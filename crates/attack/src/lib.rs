@@ -1,0 +1,424 @@
+//! # rowpress-attack
+//!
+//! The real-system RowPress demonstration (paper §6 and Appendices F/G),
+//! modeled end to end: a user-level program (Algorithm 1 / Algorithm 2) runs
+//! on a system with caches, `clflushopt`/`mfence`, hardware prefetchers
+//! disabled, a memory controller with an open-row policy, periodic
+//! auto-refresh and an in-DRAM TRR mitigation — and still flips bits in a
+//! TRR-protected DDR4 module by keeping aggressor rows open across many cache
+//! block reads.
+//!
+//! The model captures the paper's four mechanisms:
+//!
+//! 1. Reading multiple cache blocks of an open row keeps it open, so the
+//!    aggressor-row-on time grows with `NUM_READS` (verified in §6.3 / Fig. 24).
+//! 2. Dummy-row activations dilute the in-DRAM TRR sampler so the real
+//!    aggressors are rarely caught.
+//! 3. Auto-refresh bounds the accumulation window to one refresh window, and
+//!    RowPress needs far fewer activations than RowHammer inside it.
+//! 4. Very long per-iteration patterns lose synchronization with refresh,
+//!    which makes the bitflip count fall off again at large `NUM_READS`
+//!    (Obsv. 21).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rowpress_dram::{
+    module_inventory, BankId, DataPattern, DramModule, Geometry, ModuleSpec, RowId, RowRole, Time,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which proof-of-concept program is run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Algorithm 1: read all cache blocks of both aggressors, then flush them.
+    ReadsThenFlushes,
+    /// Algorithm 2 (Appendix G): flush each cache block right after reading
+    /// it, which keeps the aggressor row open even longer per activation.
+    InterleavedFlushes,
+}
+
+/// Parameters of one attack run (the red inputs of Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttackParams {
+    /// Activations of each aggressor row per iteration (`NUM_AGGR_ACTS`).
+    pub num_aggr_acts: u32,
+    /// Cache blocks read per aggressor-row activation (`NUM_READS`).
+    pub num_reads: u32,
+    /// Which program variant to run.
+    pub algorithm: Algorithm,
+    /// Iterations of the outer loop (`NUM_ITER`, 800 K in the paper).
+    pub iterations: u64,
+}
+
+impl AttackParams {
+    /// Algorithm 1 with the paper's default iteration count.
+    pub fn algorithm1(num_aggr_acts: u32, num_reads: u32) -> Self {
+        AttackParams { num_aggr_acts, num_reads, algorithm: Algorithm::ReadsThenFlushes, iterations: 800_000 }
+    }
+
+    /// Algorithm 2 with the paper's default iteration count.
+    pub fn algorithm2(num_aggr_acts: u32, num_reads: u32) -> Self {
+        AttackParams { num_aggr_acts, num_reads, algorithm: Algorithm::InterleavedFlushes, iterations: 800_000 }
+    }
+}
+
+/// Configuration of the victim system (paper §6.1: an Intel Comet Lake system
+/// with a TRR-protected Samsung DDR4 module).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemModel {
+    /// DRAM module under attack.
+    pub module: ModuleSpec,
+    /// DRAM geometry used for the demonstration (rows have 128 cache blocks,
+    /// as on the real module).
+    pub geometry: Geometry,
+    /// Latency of the first cache-block access to a closed row (activates it).
+    pub first_access: Time,
+    /// Latency of each subsequent cache-block access to the open row.
+    pub subsequent_access: Time,
+    /// Extra per-iteration time spent on flushes, fences and dummy rows.
+    pub iteration_overhead: Time,
+    /// Number of dummy rows used to bypass TRR (16 in the paper).
+    pub dummy_rows: u32,
+    /// Activations per dummy row per iteration (4 in the paper).
+    pub dummy_acts: u32,
+    /// How aggressively the in-DRAM TRR tracker samples aggressor rows: the
+    /// probability that a refresh window is neutralized grows with the
+    /// aggressors' share of the activation stream times this factor.
+    pub trr_strength: f64,
+    /// Maximum number of activations an aggressor row can accumulate within a
+    /// refresh window before the TRR mechanism is certain to have refreshed
+    /// its victims at least once. TRR is calibrated against RowHammer-scale
+    /// activation counts, so this cap stops hammering but is far above what
+    /// RowPress needs — the blind spot the paper's demonstration exploits.
+    pub trr_escape_acts: u64,
+    /// Refresh interval of the system (7.8 µs).
+    pub t_refi: Time,
+    /// Refresh window (64 ms): every row is auto-refreshed once per window.
+    pub t_refw: Time,
+    /// Number of victim rows tested (1500 in the paper).
+    pub victims: u32,
+    /// RNG seed for TRR sampling and victim placement.
+    pub seed: u64,
+}
+
+impl SystemModel {
+    /// The paper's system: a Samsung 8Gb C-die module behind TRR.
+    pub fn comet_lake_trr() -> Self {
+        let module = module_inventory()
+            .into_iter()
+            .find(|m| m.id == "S2")
+            .expect("S2 (Samsung 8Gb C-die) is in the inventory");
+        SystemModel {
+            module,
+            geometry: Geometry { banks: 16, rows_per_bank: 8192, bits_per_row: 65536, bits_per_cache_block: 512 },
+            first_access: Time::from_ns(150.0),
+            subsequent_access: Time::from_ns(100.0),
+            iteration_overhead: Time::from_us(4.0),
+            dummy_rows: 16,
+            dummy_acts: 4,
+            trr_strength: 2.5,
+            trr_escape_acts: 6_000,
+            t_refi: Time::from_us(7.8),
+            t_refw: Time::from_ms(64.0),
+            victims: 300,
+            seed: 0xA17AC,
+        }
+    }
+
+    /// Returns a copy testing a different number of victim rows.
+    pub fn with_victims(mut self, victims: u32) -> Self {
+        self.victims = victims;
+        self
+    }
+
+    /// The aggressor-row-on time produced by reading `num_reads` cache blocks
+    /// back to back (capped at the row's cache-block count), for the given
+    /// program variant.
+    pub fn t_aggon(&self, num_reads: u32, algorithm: Algorithm) -> Time {
+        let reads = num_reads.clamp(1, self.geometry.cache_blocks_per_row());
+        let base = self.first_access + self.subsequent_access * u64::from(reads.saturating_sub(1));
+        match algorithm {
+            Algorithm::ReadsThenFlushes => base,
+            // Interleaving the flushes with the reads stretches the time the
+            // row stays open per activation (Appendix G).
+            Algorithm::InterleavedFlushes => base * 1.6,
+        }
+    }
+
+    /// Wall-clock duration of one iteration of the attack loop.
+    pub fn iteration_time(&self, params: &AttackParams) -> Time {
+        let t_on = self.t_aggon(params.num_reads, params.algorithm);
+        let per_act = t_on + Time::from_ns(15.0);
+        let aggr_time = per_act * u64::from(2 * params.num_aggr_acts);
+        let dummy_time = Time::from_ns(60.0) * u64::from(self.dummy_rows * self.dummy_acts);
+        aggr_time + dummy_time + self.iteration_overhead
+    }
+
+    /// Fraction of iterations that stay synchronized with refresh: patterns
+    /// longer than a refresh interval progressively lose synchronization
+    /// (Obsv. 21).
+    pub fn sync_factor(&self, params: &AttackParams) -> f64 {
+        let iter_time = self.iteration_time(params).as_us();
+        // Patterns remain synchronizable while they fit in a few refresh
+        // intervals; beyond that, synchronization quality collapses quickly.
+        let limit = 6.0 * self.t_refi.as_us();
+        if iter_time <= limit {
+            1.0
+        } else {
+            (limit / iter_time).powi(3)
+        }
+    }
+
+    /// Probability that the in-DRAM TRR tracker neutralizes a refresh window
+    /// (refreshing the victims before enough disturbance accumulates).
+    pub fn trr_catch_probability(&self, params: &AttackParams) -> f64 {
+        let aggr_acts = f64::from(2 * params.num_aggr_acts);
+        let dummy_acts = f64::from(self.dummy_rows * self.dummy_acts);
+        let share = aggr_acts / (aggr_acts + dummy_acts);
+        (self.trr_strength * share).min(0.98)
+    }
+}
+
+/// Result of an attack run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Parameters of the run.
+    pub params: AttackParams,
+    /// Total number of bitflips across all victim rows.
+    pub total_bitflips: u64,
+    /// Number of victim rows with at least one bitflip.
+    pub rows_with_bitflips: u64,
+    /// Victim rows tested.
+    pub victims_tested: u32,
+}
+
+/// Runs the proof-of-concept program against the modeled system and counts the
+/// bitflips it induces (the experiment behind Fig. 23 / Fig. 49).
+pub fn run_attack(system: &SystemModel, params: &AttackParams) -> AttackOutcome {
+    let bank = BankId(1);
+    let mut rng = SmallRng::seed_from_u64(
+        system.seed ^ (u64::from(params.num_reads) << 32) ^ u64::from(params.num_aggr_acts),
+    );
+    let mut module = DramModule::new(&system.module, system.geometry);
+    module.set_temperature(55.0); // a warm DIMM inside a real chassis
+
+    let t_on = system.t_aggon(params.num_reads, params.algorithm);
+    let iter_time = system.iteration_time(params);
+    let sync = system.sync_factor(params);
+    let trr_catch = system.trr_catch_probability(params);
+
+    // Iterations that land in one refresh window of a victim row.
+    let iters_per_window = (system.t_refw.as_us() / iter_time.as_us()).floor().max(0.0);
+    let total_windows =
+        ((params.iterations as f64) / iters_per_window.max(1.0)).ceil().max(1.0) as u64;
+    let acts_per_window_per_aggressor = ((iters_per_window
+        * f64::from(params.num_aggr_acts)
+        * sync)
+        .floor() as u64)
+        .min(system.trr_escape_acts);
+
+    let mut total_bitflips = 0u64;
+    let mut rows_with_bitflips = 0u64;
+    let victims = system.victims.min(system.geometry.rows_per_bank / 8 - 2);
+
+    for v in 0..victims {
+        // Victim rows are spread across the bank; aggressors are its physical
+        // neighbours (double-sided, as in Algorithm 1).
+        let victim = RowId(8 + v * 8);
+        let low = RowId(victim.0 - 1);
+        let high = RowId(victim.0 + 1);
+        module.init_row_pattern(bank, victim, DataPattern::Checkerboard, RowRole::Victim).expect("victim row");
+        module.init_row_pattern(bank, low, DataPattern::Checkerboard, RowRole::Aggressor).expect("aggressor row");
+        module.init_row_pattern(bank, high, DataPattern::Checkerboard, RowRole::Aggressor).expect("aggressor row");
+
+        // Does at least one refresh window escape TRR for this victim?
+        let windows_escaping_trr = (0..total_windows.min(64))
+            .filter(|_| !rng.gen_bool(trr_catch))
+            .count();
+        if windows_escaping_trr == 0 || acts_per_window_per_aggressor == 0 {
+            continue;
+        }
+
+        // Apply one clean window's worth of disturbance: within a window the
+        // two aggressors alternate, so each one's off time is roughly the
+        // other's on time.
+        let per_aggr_off = t_on + Time::from_ns(30.0);
+        module
+            .activate_many(bank, low, t_on, per_aggr_off, acts_per_window_per_aggressor)
+            .expect("activate");
+        module
+            .activate_many(bank, high, t_on, per_aggr_off, acts_per_window_per_aggressor)
+            .expect("activate");
+        let flips = module.check_row(bank, victim).expect("check victim");
+        if !flips.is_empty() {
+            total_bitflips += flips.len() as u64;
+            rows_with_bitflips += 1;
+        }
+    }
+
+    AttackOutcome { params: *params, total_bitflips, rows_with_bitflips, victims_tested: victims }
+}
+
+/// One bucket of the access-latency histogram (Fig. 24).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBucket {
+    /// Latency in CPU cycles (bucket center).
+    pub cycles: u32,
+    /// Fraction of first-block accesses in this bucket.
+    pub first_access_fraction: f64,
+    /// Fraction of subsequent-block accesses in this bucket.
+    pub subsequent_fraction: f64,
+}
+
+/// The tAggON verification experiment of §6.3: measure the latency of the
+/// first cache-block access to a row (which must activate it) versus the
+/// remaining 127 accesses (which hit the open row). The ~30-cycle gap between
+/// the two distributions confirms that the memory controller keeps the row
+/// open across consecutive cache-block reads.
+pub fn latency_verification(samples: u32, seed: u64) -> Vec<LatencyBucket> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut first = vec![0u64; 40];
+    let mut rest = vec![0u64; 40];
+    let base = 180u32;
+    for _ in 0..samples {
+        // First access: row activation + column access (~230 cycles median).
+        let f = 230.0 + rng.gen_range(-8.0..8.0) + if rng.gen_bool(0.05) { 20.0 } else { 0.0 };
+        // Subsequent accesses: open-row column access (~200 cycles median).
+        let s = 200.0 + rng.gen_range(-8.0..8.0) + if rng.gen_bool(0.05) { 15.0 } else { 0.0 };
+        let fi = ((f as u32).saturating_sub(base) / 2).min(39);
+        let si = ((s as u32).saturating_sub(base) / 2).min(39);
+        first[fi as usize] += 1;
+        rest[si as usize] += 1;
+    }
+    (0..40)
+        .map(|i| LatencyBucket {
+            cycles: base + i * 2,
+            first_access_fraction: first[i as usize] as f64 / f64::from(samples),
+            subsequent_fraction: rest[i as usize] as f64 / f64::from(samples),
+        })
+        .collect()
+}
+
+/// Median latency (in cycles) of each access class from a histogram.
+pub fn median_latencies(buckets: &[LatencyBucket]) -> (u32, u32) {
+    let median_of = |select: &dyn Fn(&LatencyBucket) -> f64| -> u32 {
+        let mut acc = 0.0;
+        for b in buckets {
+            acc += select(b);
+            if acc >= 0.5 {
+                return b.cycles;
+            }
+        }
+        buckets.last().map(|b| b.cycles).unwrap_or(0)
+    };
+    (median_of(&|b| b.first_access_fraction), median_of(&|b| b.subsequent_fraction))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_system() -> SystemModel {
+        SystemModel::comet_lake_trr().with_victims(80)
+    }
+
+    #[test]
+    fn t_aggon_grows_with_num_reads() {
+        let s = quick_system();
+        let one = s.t_aggon(1, Algorithm::ReadsThenFlushes);
+        let sixteen = s.t_aggon(16, Algorithm::ReadsThenFlushes);
+        let many = s.t_aggon(128, Algorithm::ReadsThenFlushes);
+        assert!(one < sixteen && sixteen < many);
+        assert_eq!(one, Time::from_ns(150.0));
+        // NUM_READS is capped at the 128 cache blocks of a row.
+        assert_eq!(s.t_aggon(500, Algorithm::ReadsThenFlushes), many);
+        // Algorithm 2 keeps the row open longer per activation.
+        assert!(s.t_aggon(16, Algorithm::InterleavedFlushes) > sixteen);
+    }
+
+    #[test]
+    fn sync_factor_penalizes_long_iterations() {
+        let s = quick_system();
+        let short = AttackParams::algorithm1(2, 1);
+        let long = AttackParams::algorithm1(4, 128);
+        assert!(s.sync_factor(&short) >= s.sync_factor(&long));
+        assert!(s.sync_factor(&long) < 1.0);
+        assert!(s.iteration_time(&long) > s.iteration_time(&short));
+    }
+
+    #[test]
+    fn trr_catch_probability_tracks_aggressor_share() {
+        let s = quick_system();
+        let few = AttackParams::algorithm1(1, 16);
+        let many = AttackParams::algorithm1(4, 16);
+        assert!(s.trr_catch_probability(&many) > s.trr_catch_probability(&few));
+        assert!(s.trr_catch_probability(&many) < 1.0);
+    }
+
+    #[test]
+    fn rowpress_flips_where_rowhammer_cannot() {
+        // The headline result of §6 (Takeaway 6): with the same activation
+        // count per iteration, reading many cache blocks per activation
+        // (RowPress) flips bits while the single-read pattern (RowHammer)
+        // flips none or almost none.
+        let s = quick_system();
+        let hammer = run_attack(&s, &AttackParams::algorithm1(2, 1));
+        let press = run_attack(&s, &AttackParams::algorithm1(2, 64));
+        assert!(
+            press.total_bitflips > hammer.total_bitflips,
+            "press {} vs hammer {}",
+            press.total_bitflips,
+            hammer.total_bitflips
+        );
+        assert!(press.rows_with_bitflips > 0);
+        assert!(
+            hammer.rows_with_bitflips <= 1 && press.total_bitflips > 10 * hammer.total_bitflips.max(1),
+            "conventional RowHammer must be (almost) completely stopped on this system: hammer {} flips in {} rows",
+            hammer.total_bitflips,
+            hammer.rows_with_bitflips
+        );
+    }
+
+    #[test]
+    fn bitflips_rise_then_fall_with_num_reads() {
+        let s = quick_system();
+        let flips = |nr: u32| run_attack(&s, &AttackParams::algorithm1(4, nr)).total_bitflips;
+        let low = flips(1);
+        let mid = flips(32);
+        let high = flips(128);
+        assert!(mid > low, "mid {mid} vs low {low}");
+        assert!(mid >= high, "mid {mid} vs high {high} (synchronization loss)");
+    }
+
+    #[test]
+    fn algorithm2_is_at_least_as_effective() {
+        let s = quick_system();
+        let a1 = run_attack(&s, &AttackParams::algorithm1(3, 32));
+        let a2 = run_attack(&s, &AttackParams::algorithm2(3, 32));
+        assert!(a2.total_bitflips >= a1.total_bitflips);
+    }
+
+    #[test]
+    fn attack_is_deterministic_for_fixed_seed() {
+        let s = quick_system();
+        let p = AttackParams::algorithm1(4, 16);
+        assert_eq!(run_attack(&s, &p), run_attack(&s, &p));
+    }
+
+    #[test]
+    fn latency_histogram_shows_thirty_cycle_gap() {
+        let buckets = latency_verification(20_000, 9);
+        let (first, rest) = median_latencies(&buckets);
+        assert!(first > rest, "first access must be slower");
+        let gap = first - rest;
+        assert!((25..=40).contains(&gap), "gap = {gap}");
+        // Fractions sum to ~1 for both classes.
+        let sum_first: f64 = buckets.iter().map(|b| b.first_access_fraction).sum();
+        let sum_rest: f64 = buckets.iter().map(|b| b.subsequent_fraction).sum();
+        assert!((sum_first - 1.0).abs() < 1e-9);
+        assert!((sum_rest - 1.0).abs() < 1e-9);
+    }
+}

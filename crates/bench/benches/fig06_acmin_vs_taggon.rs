@@ -1,0 +1,38 @@
+//! Fig. 6: ACmin as tAggON increases (single-sided, 50 C), per die revision.
+
+use rowpress_bench::{bench_config, diverse_modules, footer, fmt_taggon, header};
+use rowpress_core::stats::loglog_slope;
+use rowpress_core::{acmin_by_die, acmin_sweep, PatternKind};
+use rowpress_dram::{sweep_t_aggon, Time};
+
+fn main() {
+    header(
+        "Figure 6",
+        "ACmin vs tAggON, single-sided RowPress at 50 C",
+        "ACmin drops ~21x by tREFI and ~190x by 9xtREFI; log-log slope beyond tREFI is about -1.02",
+    );
+    let cfg = bench_config(5);
+    let taggons = sweep_t_aggon();
+    let records = acmin_sweep(&cfg, &diverse_modules(), PatternKind::SingleSided, &[50.0], &taggons);
+    let by_die = acmin_by_die(&records);
+    let mut dies: Vec<_> = by_die.keys().map(|(d, m, _)| (d.clone(), *m)).collect();
+    dies.sort();
+    dies.dedup();
+    for (die, mfr) in &dies {
+        print!("{mfr} {die:<12}");
+        let mut curve = Vec::new();
+        for t in &taggons {
+            if let Some(a) = by_die.get(&(die.clone(), *mfr, t.as_ps())) {
+                print!(" {}={:.0}", fmt_taggon(*t), a.mean);
+                curve.push((t.as_us(), a.mean));
+            }
+        }
+        let tail: Vec<(f64, f64)> =
+            curve.iter().copied().filter(|(t, _)| *t >= Time::from_us(7.8).as_us()).collect();
+        match loglog_slope(&tail) {
+            Some(s) => println!("  | slope beyond tREFI = {s:.3} (paper: about -1.02)"),
+            None => println!("  | no press bitflips (paper: Mfr. M 8Gb B-die shows none)"),
+        }
+    }
+    footer("Figure 6");
+}

@@ -1,0 +1,37 @@
+//! Fig. 8: fraction of tested rows with at least one bitflip vs tAggON
+//! (single-sided, 50 C).
+
+use rowpress_bench::{bench_config, diverse_modules, footer, fmt_taggon, header};
+use rowpress_core::{acmin_sweep, fraction_rows_with_flips, PatternKind};
+use rowpress_dram::Time;
+
+fn main() {
+    header(
+        "Figure 8",
+        "Fraction of rows that experience at least one bitflip (single-sided, 50 C)",
+        "more advanced nodes have more vulnerable rows; Mfr. S D-die approaches 100%, B-die stays below ~60%",
+    );
+    let cfg = bench_config(8);
+    let taggons = vec![
+        Time::from_ns(36.0),
+        Time::from_us(7.8),
+        Time::from_us(70.2),
+        Time::from_ms(6.0),
+        Time::from_ms(30.0),
+    ];
+    let records = acmin_sweep(&cfg, &diverse_modules(), PatternKind::SingleSided, &[50.0], &taggons);
+    let fractions = fraction_rows_with_flips(&records);
+    let mut dies: Vec<String> = fractions.keys().map(|(d, _)| d.clone()).collect();
+    dies.sort();
+    dies.dedup();
+    for die in dies {
+        print!("{die:<12}");
+        for t in &taggons {
+            if let Some(f) = fractions.get(&(die.clone(), t.as_ps())) {
+                print!(" {}={:.2}", fmt_taggon(*t), f);
+            }
+        }
+        println!();
+    }
+    footer("Figure 8");
+}

@@ -1,0 +1,39 @@
+//! Fig. 9: minimum tAggON to induce a bitflip as the activation count grows.
+
+use rowpress_bench::{bench_config, footer, header, one_module_per_manufacturer};
+use rowpress_core::stats::loglog_slope;
+use rowpress_core::taggonmin_sweep;
+
+fn main() {
+    header(
+        "Figure 9",
+        "tAggONmin vs aggressor activation count (single-sided, 50 C)",
+        "tAggONmin falls from ~44-48 ms at AC=1 to ~4.3-4.8 us at AC=10K; slope about -1.0 in log-log",
+    );
+    let cfg = bench_config(4);
+    let acs = [1u64, 10, 100, 1_000, 10_000];
+    let records = taggonmin_sweep(&cfg, &one_module_per_manufacturer(), &acs, &[50.0]);
+    for module in ["S0", "H0", "M3"] {
+        let mut curve = Vec::new();
+        print!("{module:<4}");
+        for &ac in &acs {
+            let values: Vec<f64> = records
+                .iter()
+                .filter(|r| r.module.module_id == module && r.ac == ac)
+                .filter_map(|r| r.t_aggon_min.map(|t| t.as_us()))
+                .collect();
+            if values.is_empty() {
+                print!("  AC={ac}: none");
+            } else {
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                print!("  AC={ac}: {mean:.1}us");
+                curve.push((ac as f64, mean));
+            }
+        }
+        match loglog_slope(&curve) {
+            Some(s) => println!("  | slope = {s:.3} (paper: about -1.000)"),
+            None => println!("  | not enough points"),
+        }
+    }
+    footer("Figure 9");
+}

@@ -1,0 +1,35 @@
+//! Fig. 10: overlap of RowPress-vulnerable cells (at ACmin) with
+//! RowHammer-vulnerable cells and retention-failure cells.
+
+use rowpress_bench::{bench_config, footer, fmt_taggon, header, module};
+use rowpress_core::{acmin_sweep, overlap_analysis, retention_failures, PatternKind};
+use rowpress_dram::Time;
+use std::collections::BTreeMap;
+
+fn main() {
+    header(
+        "Figure 10",
+        "Overlap of RowPress cells @ACmin with RowHammer cells and retention failures",
+        "less than 0.013% overlap with RowHammer and less than 0.34% with retention failures for tAggON >= tREFI",
+    );
+    let cfg = bench_config(8);
+    let modules = vec![module("S3"), module("H0")];
+    let taggons = vec![Time::from_ns(36.0), Time::from_us(7.8), Time::from_ms(30.0)];
+    let mut retention = BTreeMap::new();
+    for m in &modules {
+        retention.insert(m.id.clone(), retention_failures(&cfg, m, 80.0, Time::from_secs(4.0)).expect("retention test"));
+    }
+    let records = acmin_sweep(&cfg, &modules, PatternKind::SingleSided, &[50.0], &taggons);
+    for o in overlap_analysis(&records, &retention) {
+        println!(
+            "{} {:<12} tAggON {:>8}: overlap with RowHammer {:.4}, with retention {:.4} ({} press cells)",
+            o.module.module_id,
+            o.module.die_label,
+            fmt_taggon(o.t_aggon),
+            o.with_hammer,
+            o.with_retention,
+            o.press_cells
+        );
+    }
+    footer("Figure 10");
+}

@@ -1,0 +1,39 @@
+//! Fig. 11: overlap of RowPress and RowHammer cells when activating as many
+//! times as possible (at ACmax).
+
+use rowpress_bench::{bench_config, footer, fmt_taggon, header, module};
+use rowpress_core::{acmax_sweep, overlap_ratio, retention_failures, PatternKind};
+use rowpress_dram::{CellAddr, Time};
+use std::collections::HashSet;
+
+fn main() {
+    header(
+        "Figure 11",
+        "Overlap of RowPress cells @ACmax with RowHammer cells @ACmax and retention failures",
+        "the overlap with RowHammer-vulnerable cells drops sharply as tAggON increases",
+    );
+    let cfg = bench_config(6);
+    let spec = module("S3");
+    let taggons = vec![Time::from_ns(36.0), Time::from_us(7.8), Time::from_us(70.2)];
+    let records = acmax_sweep(&cfg, &[spec.clone()], PatternKind::SingleSided, &[50.0], &taggons);
+    let cells_at = |t: Time| -> HashSet<CellAddr> {
+        records
+            .iter()
+            .filter(|r| r.t_aggon == t)
+            .flat_map(|r| r.flips.iter().map(|f| f.addr))
+            .collect()
+    };
+    let hammer = cells_at(Time::from_ns(36.0));
+    let retention = retention_failures(&cfg, &spec, 80.0, Time::from_secs(4.0)).expect("retention");
+    for t in &taggons[1..] {
+        let press = cells_at(*t);
+        println!(
+            "tAggON {:>8}: overlap with RowHammer {:.4}, with retention {:.4} ({} cells)",
+            fmt_taggon(*t),
+            overlap_ratio(&press, &hammer),
+            overlap_ratio(&press, &retention),
+            press.len()
+        );
+    }
+    footer("Figure 11");
+}

@@ -1,0 +1,31 @@
+//! Fig. 12: fraction of 1->0 bitflips vs tAggON: RowHammer and RowPress flip
+//! bits in opposite directions.
+
+use rowpress_bench::{bench_config, footer, fmt_taggon, header, module};
+use rowpress_core::{acmin_sweep, fraction_one_to_zero, PatternKind};
+use rowpress_dram::Time;
+
+fn main() {
+    header(
+        "Figure 12",
+        "Fraction of 1->0 bitflips as tAggON increases",
+        "RowHammer flips are dominantly 0->1, RowPress flips 1->0 (Mfr. M 16Gb E-die shows the opposite trend)",
+    );
+    let cfg = bench_config(8);
+    let taggons = vec![Time::from_ns(36.0), Time::from_us(7.8), Time::from_ms(30.0)];
+    let modules = vec![module("S3"), module("M3")];
+    let records = acmin_sweep(&cfg, &modules, PatternKind::SingleSided, &[50.0], &taggons);
+    let directions = fraction_one_to_zero(&records);
+    for (label, die) in [("Mfr. S 8Gb D-Die", "8Gb D-Die"), ("Mfr. M 16Gb E-Die", "16Gb E-Die")] {
+        print!("{label:<18}");
+        for t in &taggons {
+            match directions.get(&(die.to_string(), t.as_ps())) {
+                Some(f) => print!("  {}: {:.2}", fmt_taggon(*t), f),
+                None => print!("  {}: n/a", fmt_taggon(*t)),
+            }
+        }
+        println!();
+    }
+    println!("expected: S die rises toward 1.0 with tAggON; M 16Gb E-die stays low/decreases (anti-cells)");
+    footer("Figure 12");
+}

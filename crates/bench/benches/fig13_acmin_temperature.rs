@@ -1,0 +1,45 @@
+//! Fig. 13: ACmin at 80 C normalized to 50 C: RowPress gets worse with
+//! temperature.
+
+use rowpress_bench::{bench_config, footer, fmt_taggon, header, one_module_per_manufacturer};
+use rowpress_core::{acmin_by_die, acmin_sweep, PatternKind};
+use rowpress_dram::Time;
+
+fn main() {
+    header(
+        "Figure 13",
+        "ACmin at 80 C normalized to 50 C (single-sided)",
+        "at tREFI the 80 C ACmin is only 0.55x / 0.32x / 0.59x of the 50 C value for Mfr. S / H / M",
+    );
+    let cfg = bench_config(5);
+    let taggons = vec![Time::from_us(7.8), Time::from_us(70.2), Time::from_ms(30.0)];
+    let records = acmin_sweep(
+        &cfg,
+        &one_module_per_manufacturer(),
+        PatternKind::SingleSided,
+        &[50.0, 80.0],
+        &taggons,
+    );
+    for t in &taggons {
+        for mfr_module in ["S0", "H0", "M3"] {
+            let mean_at = |temp: f64| -> Option<f64> {
+                let v: Vec<f64> = records
+                    .iter()
+                    .filter(|r| r.module.module_id == mfr_module && r.t_aggon == *t && r.temperature_c == temp)
+                    .filter_map(|r| r.ac_min.map(|a| a as f64))
+                    .collect();
+                if v.is_empty() { None } else { Some(v.iter().sum::<f64>() / v.len() as f64) }
+            };
+            match (mean_at(50.0), mean_at(80.0)) {
+                (Some(c50), Some(c80)) => println!(
+                    "{mfr_module}  tAggON {:>8}: ACmin(80C)/ACmin(50C) = {:.2}",
+                    fmt_taggon(*t),
+                    c80 / c50
+                ),
+                _ => println!("{mfr_module}  tAggON {:>8}: insufficient bitflips", fmt_taggon(*t)),
+            }
+        }
+    }
+    let _ = acmin_by_die(&records);
+    footer("Figure 13");
+}

@@ -1,0 +1,42 @@
+//! Fig. 15: tAggONmin at AC = 1 as temperature increases from 50 C to 80 C.
+
+use rowpress_bench::{bench_config, footer, header, one_module_per_manufacturer};
+use rowpress_core::taggonmin_sweep;
+
+fn main() {
+    header(
+        "Figure 15",
+        "tAggONmin at AC=1 vs temperature",
+        "average tAggONmin shrinks by 1.78x / 2.84x / 1.64x (S / H / M) going from 50 C to 80 C",
+    );
+    let cfg = bench_config(4);
+    let temps = [50.0, 60.0, 70.0, 80.0];
+    let records = taggonmin_sweep(&cfg, &one_module_per_manufacturer(), &[1], &temps);
+    for module in ["S0", "H0", "M3"] {
+        print!("{module:<4}");
+        let mut first: Option<f64> = None;
+        let mut last: Option<f64> = None;
+        for &temp in &temps {
+            let values: Vec<f64> = records
+                .iter()
+                .filter(|r| r.module.module_id == module && r.temperature_c == temp)
+                .filter_map(|r| r.t_aggon_min.map(|t| t.as_ms()))
+                .collect();
+            if values.is_empty() {
+                print!("  {temp}C: none");
+            } else {
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                print!("  {temp}C: {mean:.1}ms");
+                if first.is_none() {
+                    first = Some(mean);
+                }
+                last = Some(mean);
+            }
+        }
+        match (first, last) {
+            (Some(f), Some(l)) if l > 0.0 => println!("  | 50C/80C ratio = {:.2}", f / l),
+            _ => println!(),
+        }
+    }
+    footer("Figure 15");
+}

@@ -1,0 +1,44 @@
+//! Fig. 17: ACmin of the double-sided RowPress pattern at 50 C.
+
+use rowpress_bench::{bench_config, footer, fmt_taggon, header, one_module_per_manufacturer};
+use rowpress_core::stats::loglog_slope;
+use rowpress_core::{acmin_by_die, acmin_sweep, PatternKind};
+use rowpress_dram::Time;
+
+fn main() {
+    header(
+        "Figure 17",
+        "ACmin vs tAggON, double-sided RowPress at 50 C",
+        "double-sided ACmin also falls with slope about -1.01 beyond tREFI",
+    );
+    let cfg = bench_config(5);
+    let taggons = vec![
+        Time::from_ns(36.0),
+        Time::from_ns(186.0),
+        Time::from_us(7.8),
+        Time::from_us(70.2),
+        Time::from_ms(6.0),
+        Time::from_ms(30.0),
+    ];
+    let records = acmin_sweep(&cfg, &one_module_per_manufacturer(), PatternKind::DoubleSided, &[50.0], &taggons);
+    let by_die = acmin_by_die(&records);
+    let mut dies: Vec<_> = by_die.keys().map(|(d, m, _)| (d.clone(), *m)).collect();
+    dies.sort();
+    dies.dedup();
+    for (die, mfr) in dies {
+        print!("{mfr} {die:<12}");
+        let mut curve = Vec::new();
+        for t in &taggons {
+            if let Some(a) = by_die.get(&(die.clone(), mfr, t.as_ps())) {
+                print!(" {}={:.0}", fmt_taggon(*t), a.mean);
+                curve.push((t.as_us(), a.mean));
+            }
+        }
+        let tail: Vec<(f64, f64)> = curve.iter().copied().filter(|(t, _)| *t >= 7.8).collect();
+        match loglog_slope(&tail) {
+            Some(s) => println!("  | slope beyond tREFI = {s:.3}"),
+            None => println!(),
+        }
+    }
+    footer("Figure 17");
+}

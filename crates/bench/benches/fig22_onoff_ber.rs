@@ -1,0 +1,44 @@
+//! Fig. 22: bit error rate of the RowPress-ONOFF pattern as the tA2A slack is
+//! shifted between the on time and the off time.
+
+use rowpress_bench::{bench_config, footer, header, module};
+use rowpress_core::{onoff_sweep, PatternKind};
+use rowpress_dram::Time;
+
+fn main() {
+    header(
+        "Figure 22",
+        "BER of the RowPress-ONOFF pattern (Mfr. S 8Gb D-die)",
+        "small slack: BER falls as the on time grows (hammer recombination); large slack: BER rises (press); double-sided always rises",
+    );
+    let cfg = bench_config(4);
+    let deltas = vec![Time::from_ns(240.0), Time::from_ns(1200.0), Time::from_ns(6000.0)];
+    let fractions = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+    let records = onoff_sweep(
+        &cfg,
+        &[module("S3")],
+        &[PatternKind::SingleSided, PatternKind::DoubleSided],
+        &deltas,
+        &fractions,
+        &[50.0, 80.0],
+    );
+    for kind in [PatternKind::SingleSided, PatternKind::DoubleSided] {
+        for temp in [50.0, 80.0] {
+            println!("-- {} at {temp} C --", kind.label());
+            for d in &deltas {
+                print!("  dtA2A {:>7}:", format!("{d}"));
+                for f in &fractions {
+                    let v: Vec<f64> = records
+                        .iter()
+                        .filter(|r| r.kind == kind && r.temperature_c == temp && r.delta_a2a == *d && (r.on_fraction - f).abs() < 1e-9)
+                        .map(|r| r.ber)
+                        .collect();
+                    let mean = v.iter().sum::<f64>() / v.len().max(1) as f64;
+                    print!(" {:.0}%={:.2e}", f * 100.0, mean);
+                }
+                println!();
+            }
+        }
+    }
+    footer("Figure 22");
+}

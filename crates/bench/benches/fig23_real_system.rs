@@ -1,0 +1,26 @@
+//! Fig. 23: bitflips induced by the user-level proof-of-concept program on a
+//! TRR-protected real system, versus the number of cache blocks read per
+//! aggressor activation.
+
+use rowpress_attack::{run_attack, AttackParams, SystemModel};
+use rowpress_bench::{footer, header};
+
+fn main() {
+    header(
+        "Figure 23",
+        "Real-system RowPress vs RowHammer bitflips (user-level program, TRR-protected DIMM)",
+        "RowHammer (1 read/activation) flips ~0-8 bits; RowPress peaks at hundreds of bitflips and falls off at very large NUM_READS",
+    );
+    let system = SystemModel::comet_lake_trr().with_victims(200);
+    for naa in [4u32, 3, 2] {
+        println!("-- NUM_AGGR_ACTS = {naa} --");
+        for nr in [1u32, 2, 4, 8, 16, 32, 48, 64, 128] {
+            let outcome = run_attack(&system, &AttackParams::algorithm1(naa, nr));
+            println!(
+                "  NUM_READS {:>3}: {:>5} bitflips in {:>4} rows (of {})",
+                nr, outcome.total_bitflips, outcome.rows_with_bitflips, outcome.victims_tested
+            );
+        }
+    }
+    footer("Figure 23");
+}

@@ -1,0 +1,25 @@
+//! Fig. 24: latency of the first vs subsequent cache-block accesses to a DRAM
+//! row (verifying that the memory controller keeps the row open).
+
+use rowpress_attack::{latency_verification, median_latencies};
+use rowpress_bench::{footer, header};
+
+fn main() {
+    header(
+        "Figure 24",
+        "Histogram of first vs subsequent cache-block access latency",
+        "the median latencies differ by ~30 cycles: the first access activates the row, the rest hit the open row",
+    );
+    let buckets = latency_verification(100_000, 42);
+    let (first, rest) = median_latencies(&buckets);
+    for b in buckets.iter().filter(|b| b.first_access_fraction > 0.005 || b.subsequent_fraction > 0.005) {
+        println!(
+            "{:>4} cycles: first {:>5.1}%  subsequent {:>5.1}%",
+            b.cycles,
+            b.first_access_fraction * 100.0,
+            b.subsequent_fraction * 100.0
+        );
+    }
+    println!("median first access = {first} cycles, median subsequent = {rest} cycles, gap = {} (paper: 30 cycles)", first - rest);
+    footer("Figure 24");
+}

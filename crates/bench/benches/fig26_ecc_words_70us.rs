@@ -1,0 +1,30 @@
+//! Fig. 26: the same ECC word analysis as Fig. 25 at tAggON = 70.2 us.
+
+use rowpress_bench::{bench_config, footer, header, module};
+use rowpress_core::{acmax_sweep, bitflips_per_word, PatternKind};
+use rowpress_dram::Time;
+use rowpress_mitigations::{EccScheme, WordAnalysis};
+
+fn main() {
+    header(
+        "Figure 26",
+        "64-bit words with 1-2 / 3-8 / >8 bitflips at tAggON = 70.2 us (max activation count, 80 C)",
+        "the same conclusions as Fig. 25 hold at the larger row-open time",
+    );
+    let cfg = bench_config(8).at_temperature(80.0);
+    for kind in [PatternKind::SingleSided, PatternKind::DoubleSided] {
+        let records = acmax_sweep(&cfg, &[module("S3"), module("H0")], kind, &[80.0], &[Time::from_us(70.2)]);
+        let counts: Vec<usize> = records.iter().flat_map(|r| bitflips_per_word(&r.flips, 64)).collect();
+        let analysis = WordAnalysis::from_word_counts(&counts);
+        println!(
+            "{:<13} erroneous words: 1-2 flips {:>6}, 3-8 flips {:>5}, >8 flips {:>4}, worst word {} flips",
+            kind.label(), analysis.words_1_2, analysis.words_3_8, analysis.words_gt_8, analysis.max_flips_in_word
+        );
+        println!(
+            "    SECDED(72,64) fails on {:.1}% of erroneous words; multi-bit words are {:.1}% of erroneous words",
+            100.0 * analysis.uncorrectable_fraction(EccScheme::Secded, &counts),
+            100.0 * analysis.multi_bit_fraction()
+        );
+    }
+    footer("Figure 26");
+}

@@ -1,0 +1,25 @@
+//! Fig. 42-45 (Appendix E): repeatability of RowPress bitflips across five
+//! repetitions of the same experiment.
+
+use rowpress_bench::{bench_config, footer, header, module};
+use rowpress_core::{repeatability_study, PatternKind};
+use rowpress_dram::Time;
+
+fn main() {
+    header(
+        "Figure 42",
+        "Repeatability of RowPress bitflips over five iterations",
+        "the majority of bitflips (>= 50-62%) recur in all five iterations",
+    );
+    let cfg = bench_config(6);
+    for (label, jitter) in [("deterministic device", 0.0), ("with run-to-run threshold jitter", 0.3)] {
+        let record = repeatability_study(&cfg, &module("S3"), PatternKind::SingleSided, Time::from_us(70.2), 80.0, 5, jitter);
+        let total: usize = record.occurrences.iter().sum();
+        print!("{label:<36}");
+        for (i, count) in record.occurrences.iter().enumerate() {
+            print!("  {}x: {:.0}%", i + 1, 100.0 * *count as f64 / total.max(1) as f64);
+        }
+        println!("  (fully repeatable: {:.0}%)", 100.0 * record.fully_repeatable_fraction());
+    }
+    footer("Figure 42");
+}

@@ -1,0 +1,35 @@
+//! Fig. 46-48 (Appendix F): ACmin at 65 C relative to 50 C and 80 C.
+
+use rowpress_bench::{bench_config, footer, fmt_taggon, header, module};
+use rowpress_core::{acmin_sweep, PatternKind};
+use rowpress_dram::Time;
+
+fn main() {
+    header(
+        "Figures 46-48",
+        "ACmin at 65 C normalized to 50 C, and 80 C normalized to 65 C",
+        "ACmin shrinks monotonically as temperature rises in 15 C steps",
+    );
+    let cfg = bench_config(4);
+    let taggons = vec![Time::from_us(7.8), Time::from_us(70.2)];
+    let records = acmin_sweep(&cfg, &[module("S0")], PatternKind::SingleSided, &[50.0, 65.0, 80.0], &taggons);
+    for t in &taggons {
+        let mean_at = |temp: f64| -> Option<f64> {
+            let v: Vec<f64> = records
+                .iter()
+                .filter(|r| r.t_aggon == *t && r.temperature_c == temp)
+                .filter_map(|r| r.ac_min.map(|a| a as f64))
+                .collect();
+            if v.is_empty() { None } else { Some(v.iter().sum::<f64>() / v.len() as f64) }
+        };
+        if let (Some(c50), Some(c65), Some(c80)) = (mean_at(50.0), mean_at(65.0), mean_at(80.0)) {
+            println!(
+                "tAggON {:>8}: 65C/50C = {:.2}, 80C/65C = {:.2} (both below 1.0)",
+                fmt_taggon(*t),
+                c65 / c50,
+                c80 / c65
+            );
+        }
+    }
+    footer("Figures 46-48");
+}

@@ -1,0 +1,26 @@
+//! Fig. 49 (Appendix G): the Algorithm 2 variant (interleaved flushes) induces
+//! even more bitflips than Algorithm 1.
+
+use rowpress_attack::{run_attack, AttackParams, SystemModel};
+use rowpress_bench::{footer, header};
+
+fn main() {
+    header(
+        "Figure 49",
+        "Algorithm 1 vs Algorithm 2 bitflips on the real system",
+        "interleaving the cache-line flushes with the reads keeps rows open longer and produces many more bitflips",
+    );
+    let system = SystemModel::comet_lake_trr().with_victims(200);
+    for naa in [4u32, 3, 2] {
+        println!("-- NUM_AGGR_ACTS = {naa} --");
+        for nr in [8u32, 16, 32, 64] {
+            let a1 = run_attack(&system, &AttackParams::algorithm1(naa, nr));
+            let a2 = run_attack(&system, &AttackParams::algorithm2(naa, nr));
+            println!(
+                "  NUM_READS {:>3}: Algorithm 1 -> {:>5} flips / {:>4} rows    Algorithm 2 -> {:>5} flips / {:>4} rows",
+                nr, a1.total_bitflips, a1.rows_with_bitflips, a2.total_bitflips, a2.rows_with_bitflips
+            );
+        }
+    }
+    footer("Figure 49");
+}

@@ -1,0 +1,24 @@
+//! Table 1: the inventory of tested DDR4 modules and chips.
+
+use rowpress_bench::{footer, header};
+use rowpress_dram::module_inventory;
+
+fn main() {
+    header("Table 1", "Tested DDR4 DRAM chips", "21 modules / 164 chips across Mfr. S, H and M");
+    let modules = module_inventory();
+    let chips: u32 = modules.iter().map(|m| m.chips).sum();
+    for m in &modules {
+        println!(
+            "{:<4} {:<8} {:<12} x{:<3} {:>2} chips  date {:<8} press-vulnerable: {}",
+            m.id,
+            format!("{}", m.die.manufacturer),
+            m.die.label(),
+            m.organization,
+            m.chips,
+            m.date_code.clone().unwrap_or_else(|| "N/A".into()),
+            m.die.is_press_vulnerable()
+        );
+    }
+    println!("total: {} modules, {chips} chips (paper: 21 modules, 164 chips)", modules.len());
+    footer("Table 1");
+}

@@ -1,0 +1,53 @@
+//! Table 5: per-module summary of RowHammer / RowPress vulnerability in terms
+//! of ACmin and tAggONmin.
+
+use rowpress_bench::{bench_config, footer, header};
+use rowpress_core::{acmin_sweep, taggonmin_sweep, PatternKind};
+use rowpress_dram::{representative_modules, Time};
+
+fn main() {
+    header(
+        "Table 5",
+        "Per-die ACmin at representative tAggON values and tAggONmin at AC=1 (50 C)",
+        "ACmin(36 ns) ranges ~31K-386K, ACmin(7.8 us) ~5.5K-7.2K, ACmin(70.2 us) ~0.6K-0.8K, tAggONmin(AC=1) ~35-58 ms",
+    );
+    let cfg = bench_config(4);
+    let modules = representative_modules();
+    let taggons = vec![Time::from_ns(36.0), Time::from_us(7.8), Time::from_us(70.2)];
+    let records = acmin_sweep(&cfg, &modules, PatternKind::SingleSided, &[50.0], &taggons);
+    let ton_records = taggonmin_sweep(&cfg, &modules, &[1], &[50.0]);
+    println!("{:<22} {:>14} {:>14} {:>14} {:>16}", "die", "ACmin@36ns", "ACmin@7.8us", "ACmin@70.2us", "tAggONmin@AC=1");
+    for m in &modules {
+        let mean_ac = |t: Time| -> String {
+            let v: Vec<f64> = records
+                .iter()
+                .filter(|r| r.module.module_id == m.id && r.t_aggon == t)
+                .filter_map(|r| r.ac_min.map(|a| a as f64))
+                .collect();
+            if v.is_empty() {
+                "no bitflip".into()
+            } else {
+                format!("{:.0}", v.iter().sum::<f64>() / v.len() as f64)
+            }
+        };
+        let ton: Vec<f64> = ton_records
+            .iter()
+            .filter(|r| r.module.module_id == m.id)
+            .filter_map(|r| r.t_aggon_min.map(|t| t.as_ms()))
+            .collect();
+        let ton_str = if ton.is_empty() {
+            "no bitflip".to_string()
+        } else {
+            format!("{:.1}ms", ton.iter().sum::<f64>() / ton.len() as f64)
+        };
+        println!(
+            "{:<22} {:>14} {:>14} {:>14} {:>16}",
+            format!("{} {}", m.die.manufacturer, m.die.label()),
+            mean_ac(taggons[0]),
+            mean_ac(taggons[1]),
+            mean_ac(taggons[2]),
+            ton_str
+        );
+    }
+    footer("Table 5");
+}

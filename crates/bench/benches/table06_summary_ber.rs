@@ -1,0 +1,36 @@
+//! Table 6: per-module maximum bit error rate at representative tAggON values
+//! with the maximum activation count that fits the 60 ms budget.
+
+use rowpress_bench::{bench_config, footer, header};
+use rowpress_core::{acmax_sweep, PatternKind};
+use rowpress_dram::{representative_modules, Time};
+
+fn main() {
+    header(
+        "Table 6",
+        "Maximum BER at 36 ns / 7.8 us / 70.2 us with the maximum activation count (50 C, single-sided)",
+        "RowHammer BER ranges ~0.1-9%; RowPress BER at >= tREFI is orders of magnitude smaller per row",
+    );
+    let cfg = bench_config(3);
+    let modules = representative_modules();
+    let taggons = vec![Time::from_ns(36.0), Time::from_us(7.8), Time::from_us(70.2)];
+    let records = acmax_sweep(&cfg, &modules, PatternKind::SingleSided, &[50.0], &taggons);
+    println!("{:<22} {:>12} {:>12} {:>12}", "die", "BER@36ns", "BER@7.8us", "BER@70.2us");
+    for m in &modules {
+        let max_ber = |t: Time| -> f64 {
+            records
+                .iter()
+                .filter(|r| r.module.module_id == m.id && r.t_aggon == t)
+                .map(|r| r.max_ber)
+                .fold(0.0, f64::max)
+        };
+        println!(
+            "{:<22} {:>11.2e} {:>11.2e} {:>11.2e}",
+            format!("{} {}", m.die.manufacturer, m.die.label()),
+            max_ber(taggons[0]),
+            max_ber(taggons[1]),
+            max_ber(taggons[2])
+        );
+    }
+    footer("Table 6");
+}

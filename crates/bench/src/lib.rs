@@ -1,0 +1,85 @@
+//! # rowpress-bench
+//!
+//! Shared helpers for the benchmark harness that regenerates every table and
+//! figure of the RowPress paper. Each bench target (`benches/*.rs`) runs a
+//! reduced-scale version of the corresponding experiment and prints the
+//! measured series next to the values the paper reports, so the *shape* of the
+//! result (who wins, slopes, crossovers) can be compared directly.
+
+#![warn(missing_docs)]
+
+use rowpress_core::ExperimentConfig;
+use rowpress_dram::{module_inventory, ModuleSpec, Time};
+
+/// Prints the standard banner of a figure/table reproduction.
+pub fn header(id: &str, title: &str, paper_claim: &str) {
+    println!("================================================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_claim}");
+    println!("================================================================================");
+}
+
+/// Prints a closing line so the harness output is easy to scan.
+pub fn footer(id: &str) {
+    println!("--- end of {id} ---\n");
+}
+
+/// The reduced-scale experiment configuration used by the characterization
+/// benches: scaled-down geometry with a handful of tested rows per module.
+pub fn bench_config(rows_per_module: u32) -> ExperimentConfig {
+    ExperimentConfig::quick().with_rows_per_module(rows_per_module)
+}
+
+/// One representative module per manufacturer (S, H, M), used by the benches
+/// that compare manufacturers rather than individual die revisions.
+pub fn one_module_per_manufacturer() -> Vec<ModuleSpec> {
+    ["S0", "H0", "M3"]
+        .iter()
+        .map(|id| module_inventory().into_iter().find(|m| &m.id == id).expect("module in inventory"))
+        .collect()
+}
+
+/// A small set of die-revision-diverse modules (one S, one H, one M plus the
+/// most and least vulnerable dies) for the per-die sweep figures.
+pub fn diverse_modules() -> Vec<ModuleSpec> {
+    ["S0", "S3", "H0", "H4", "M0", "M3"]
+        .iter()
+        .map(|id| module_inventory().into_iter().find(|m| &m.id == id).expect("module in inventory"))
+        .collect()
+}
+
+/// Looks up one module by id, panicking with a clear message if missing.
+pub fn module(id: &str) -> ModuleSpec {
+    module_inventory().into_iter().find(|m| m.id == id).unwrap_or_else(|| panic!("module {id} not in inventory"))
+}
+
+/// Formats a tAggON value the way the paper labels its x-axes.
+pub fn fmt_taggon(t: Time) -> String {
+    format!("{t}")
+}
+
+/// Formats an optional ACmin value ("-" when no bitflips could be induced).
+pub fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x >= 1000.0 => format!("{:.1}K", x / 1000.0),
+        Some(x) => format!("{x:.1}"),
+        None => "no bitflip".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_expected_shapes() {
+        assert_eq!(one_module_per_manufacturer().len(), 3);
+        assert_eq!(diverse_modules().len(), 6);
+        assert_eq!(module("S0").id, "S0");
+        assert_eq!(bench_config(4).rows_per_module, 4);
+        assert_eq!(fmt_opt(None), "no bitflip");
+        assert_eq!(fmt_opt(Some(1500.0)), "1.5K");
+        assert_eq!(fmt_opt(Some(12.0)), "12.0");
+        assert!(fmt_taggon(Time::from_us(7.8)).contains("us"));
+    }
+}

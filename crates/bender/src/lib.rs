@@ -1,0 +1,58 @@
+//! # rowpress-bender
+//!
+//! A DRAM-Bender-style testing platform for the RowPress reproduction. It
+//! mirrors the role of the paper's FPGA-based infrastructure (§3.1): it takes
+//! command-level test programs with precise timing, executes them against a
+//! [`rowpress_dram::DramModule`] with auto-refresh disabled, enforces the
+//! 60 ms execution budget that keeps experiments strictly inside a refresh
+//! window, and models the temperature-controller loop that holds the chips at
+//! the requested set point.
+//!
+//! The crate provides:
+//!
+//! * [`Program`], [`Instr`], [`ProgramBuilder`] — the test-program IR with the
+//!   paper's access patterns (single-sided RowPress, double-sided RowPress,
+//!   RowPress-ONOFF) as ready-made constructors.
+//! * [`TestPlatform`], [`ExecutionReport`] — the command-level executor.
+//! * [`TemperatureController`] — the heater/PID model.
+//!
+//! # Example
+//!
+//! ```
+//! use rowpress_bender::{ProgramBuilder, TestPlatform};
+//! use rowpress_dram::{module_inventory, BankId, DataPattern, DramModule, Geometry, RowId, Time, TimingParams};
+//!
+//! let spec = module_inventory().remove(0);
+//! let mut platform = TestPlatform::new(DramModule::new(&spec, Geometry::tiny()));
+//! platform.set_temperature(80.0);
+//!
+//! let bank = BankId(1);
+//! platform.initialize_rows(bank, &[RowId(20)], &[RowId(19), RowId(21)], DataPattern::Checkerboard)?;
+//! let program = ProgramBuilder::single_sided_press(
+//!     TimingParams::ddr4(), bank, RowId(20), Time::from_ms(5.0), 10);
+//! let report = platform.execute(&program)?;
+//! assert_eq!(report.activations, 10);
+//! # Ok::<(), rowpress_dram::DramError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod platform;
+mod program;
+
+pub use platform::{ExecutionReport, TemperatureController, TestPlatform};
+pub use program::{Instr, Program, ProgramBuilder};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<TestPlatform>();
+        assert_send::<Program>();
+        assert_send::<TemperatureController>();
+    }
+}

@@ -1,0 +1,330 @@
+//! Test-program representation (the DRAM-Bender program IR).
+//!
+//! The paper's characterization programs are sequences of DDR4 commands with
+//! precise timing, issued by an FPGA at a 1.5 ns command-bus granularity with
+//! auto-refresh disabled. [`Program`] captures such a sequence, including
+//! nested repeat loops, and [`ProgramBuilder`] provides the high-level
+//! constructors used by the characterization code (single-sided RowPress,
+//! double-sided RowPress, RowPress-ONOFF).
+
+use rowpress_dram::{BankId, ColumnId, DramCommand, RowId, Time, TimingParams};
+use serde::{Deserialize, Serialize};
+
+/// One instruction of a test program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Issue a DRAM command.
+    Command(DramCommand),
+    /// Advance time without issuing a command (the FPGA idles the bus).
+    Wait(Time),
+    /// Repeat a block of instructions `count` times.
+    Repeat {
+        /// Number of iterations.
+        count: u64,
+        /// Instructions repeated on every iteration.
+        body: Vec<Instr>,
+    },
+}
+
+impl Instr {
+    /// Total wall-clock duration of this instruction, assuming each command
+    /// occupies one command-bus slot of `granularity`.
+    pub fn duration(&self, granularity: Time) -> Time {
+        match self {
+            Instr::Command(_) => granularity,
+            Instr::Wait(t) => *t,
+            Instr::Repeat { count, body } => {
+                let body_time: Time = body.iter().map(|i| i.duration(granularity)).sum();
+                body_time * *count
+            }
+        }
+    }
+
+    /// Number of DRAM commands this instruction expands to.
+    pub fn command_count(&self) -> u64 {
+        match self {
+            Instr::Command(_) => 1,
+            Instr::Wait(_) => 0,
+            Instr::Repeat { count, body } => {
+                count * body.iter().map(Instr::command_count).sum::<u64>()
+            }
+        }
+    }
+}
+
+/// A complete test program.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// The instruction sequence.
+    pub instrs: Vec<Instr>,
+    /// Human-readable description for logs and experiment records.
+    pub description: String,
+}
+
+impl Program {
+    /// Creates an empty program with a description.
+    pub fn new(description: impl Into<String>) -> Self {
+        Program { instrs: Vec::new(), description: description.into() }
+    }
+
+    /// Total duration of the program.
+    pub fn duration(&self, timing: &TimingParams) -> Time {
+        self.instrs.iter().map(|i| i.duration(timing.command_granularity)).sum()
+    }
+
+    /// Total number of DRAM commands issued.
+    pub fn command_count(&self) -> u64 {
+        self.instrs.iter().map(Instr::command_count).sum()
+    }
+
+    /// Total number of ACT commands issued (the paper's activation count).
+    pub fn activation_count(&self) -> u64 {
+        fn count(instrs: &[Instr]) -> u64 {
+            instrs
+                .iter()
+                .map(|i| match i {
+                    Instr::Command(DramCommand::Act { .. }) => 1,
+                    Instr::Repeat { count: c, body } => c * count(body),
+                    _ => 0,
+                })
+                .sum()
+        }
+        count(&self.instrs)
+    }
+}
+
+/// Builds test programs while keeping track of DDR4 timing constraints.
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    timing: TimingParams,
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder with the given timing parameters.
+    pub fn new(timing: TimingParams, description: impl Into<String>) -> Self {
+        ProgramBuilder { timing, program: Program::new(description) }
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, instr: Instr) -> &mut Self {
+        self.program.instrs.push(instr);
+        self
+    }
+
+    /// Appends an ACT command.
+    pub fn act(&mut self, bank: BankId, row: RowId) -> &mut Self {
+        self.push(Instr::Command(DramCommand::Act { bank, row }))
+    }
+
+    /// Appends a PRE command.
+    pub fn pre(&mut self, bank: BankId) -> &mut Self {
+        self.push(Instr::Command(DramCommand::Pre { bank }))
+    }
+
+    /// Appends a RD command.
+    pub fn rd(&mut self, bank: BankId, column: ColumnId) -> &mut Self {
+        self.push(Instr::Command(DramCommand::Rd { bank, column }))
+    }
+
+    /// Appends a REF command.
+    pub fn refresh(&mut self) -> &mut Self {
+        self.push(Instr::Command(DramCommand::Ref))
+    }
+
+    /// Appends an explicit wait.
+    pub fn wait(&mut self, t: Time) -> &mut Self {
+        if !t.is_zero() {
+            self.push(Instr::Wait(t));
+        }
+        self
+    }
+
+    /// Finishes the program.
+    pub fn build(&self) -> Program {
+        self.program.clone()
+    }
+
+    /// One iteration of the single-sided RowPress pattern (paper Fig. 5):
+    /// ACT the aggressor, keep it open for `t_aggon`, PRE, then wait tRP.
+    pub fn press_iteration(&mut self, bank: BankId, aggressor: RowId, t_aggon: Time) -> &mut Self {
+        let t_on = t_aggon.max(self.timing.t_ras);
+        // The ACT command itself occupies one bus slot; the remaining open
+        // time is an explicit wait.
+        let open_wait = t_on.saturating_sub(self.timing.command_granularity);
+        self.act(bank, aggressor);
+        self.wait(open_wait);
+        self.pre(bank);
+        self.wait(self.timing.t_rp.saturating_sub(self.timing.command_granularity));
+        self
+    }
+
+    /// The complete single-sided RowPress program: `count` press iterations
+    /// (identical to single-sided RowHammer when `t_aggon == tRAS`).
+    pub fn single_sided_press(
+        timing: TimingParams,
+        bank: BankId,
+        aggressor: RowId,
+        t_aggon: Time,
+        count: u64,
+    ) -> Program {
+        let mut builder = ProgramBuilder::new(
+            timing,
+            format!("single-sided RowPress: row {aggressor}, tAggON {t_aggon}, {count} ACTs"),
+        );
+        let mut body = ProgramBuilder::new(timing, "");
+        body.press_iteration(bank, aggressor, t_aggon);
+        builder.push(Instr::Repeat { count, body: body.build().instrs });
+        builder.build()
+    }
+
+    /// The double-sided RowPress program (paper Fig. 16): alternate press
+    /// iterations between the two aggressors; `total_acts` counts activations
+    /// of both aggressors together, as the paper's ACmin does.
+    pub fn double_sided_press(
+        timing: TimingParams,
+        bank: BankId,
+        aggressor_low: RowId,
+        aggressor_high: RowId,
+        t_aggon: Time,
+        total_acts: u64,
+    ) -> Program {
+        let mut builder = ProgramBuilder::new(
+            timing,
+            format!(
+                "double-sided RowPress: rows {aggressor_low}/{aggressor_high}, tAggON {t_aggon}, {total_acts} total ACTs"
+            ),
+        );
+        let mut body = ProgramBuilder::new(timing, "");
+        body.press_iteration(bank, aggressor_low, t_aggon);
+        body.press_iteration(bank, aggressor_high, t_aggon);
+        let pairs = total_acts / 2;
+        builder.push(Instr::Repeat { count: pairs, body: body.build().instrs });
+        if total_acts % 2 == 1 {
+            builder.press_iteration(bank, aggressor_low, t_aggon);
+        }
+        builder.build()
+    }
+
+    /// The RowPress-ONOFF pattern (paper Fig. 21): a fixed activate-to-activate
+    /// time `t_a2a = t_aggon + t_aggoff`, sweeping how much of the slack goes
+    /// to the on time versus the off time.
+    pub fn onoff_pattern(
+        timing: TimingParams,
+        bank: BankId,
+        aggressors: &[RowId],
+        t_aggon: Time,
+        t_aggoff: Time,
+        iterations: u64,
+    ) -> Program {
+        let mut builder = ProgramBuilder::new(
+            timing,
+            format!("RowPress-ONOFF: tAggON {t_aggon}, tAggOFF {t_aggoff}, {iterations} iterations"),
+        );
+        let mut body = ProgramBuilder::new(timing, "");
+        for &row in aggressors {
+            let t_on = t_aggon.max(timing.t_ras);
+            let t_off = t_aggoff.max(timing.t_rp);
+            body.act(bank, row);
+            body.wait(t_on.saturating_sub(timing.command_granularity));
+            body.pre(bank);
+            body.wait(t_off.saturating_sub(timing.command_granularity));
+        }
+        builder.push(Instr::Repeat { count: iterations, body: body.build().instrs });
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> TimingParams {
+        TimingParams::ddr4()
+    }
+
+    #[test]
+    fn single_sided_program_counts_and_duration() {
+        let p = ProgramBuilder::single_sided_press(
+            timing(),
+            BankId(1),
+            RowId(10),
+            Time::from_ns(36.0),
+            1000,
+        );
+        assert_eq!(p.activation_count(), 1000);
+        assert_eq!(p.command_count(), 2000); // ACT + PRE per iteration
+        // Each iteration lasts ~tRAS + tRP = 51 ns.
+        let d = p.duration(&timing());
+        assert!((d.as_us() - 51.0).abs() < 2.0, "duration = {d}");
+    }
+
+    #[test]
+    fn rowhammer_is_press_with_minimum_taggon() {
+        let hammer = ProgramBuilder::single_sided_press(timing(), BankId(0), RowId(5), Time::from_ns(36.0), 10);
+        let press = ProgramBuilder::single_sided_press(timing(), BankId(0), RowId(5), Time::from_ns(10.0), 10);
+        // tAggON below tRAS is clamped to tRAS, so the two programs last the same.
+        assert_eq!(hammer.duration(&timing()), press.duration(&timing()));
+    }
+
+    #[test]
+    fn double_sided_splits_activations_between_aggressors() {
+        let p = ProgramBuilder::double_sided_press(
+            timing(),
+            BankId(1),
+            RowId(10),
+            RowId(12),
+            Time::from_us(7.8),
+            101,
+        );
+        assert_eq!(p.activation_count(), 101);
+        // Odd counts append one extra activation of the low aggressor.
+        let p = ProgramBuilder::double_sided_press(
+            timing(),
+            BankId(1),
+            RowId(10),
+            RowId(12),
+            Time::from_us(7.8),
+            100,
+        );
+        assert_eq!(p.activation_count(), 100);
+    }
+
+    #[test]
+    fn onoff_pattern_duration_follows_t_a2a() {
+        let p = ProgramBuilder::onoff_pattern(
+            timing(),
+            BankId(0),
+            &[RowId(3)],
+            Time::from_ns(636.0),
+            Time::from_ns(615.0),
+            100,
+        );
+        assert_eq!(p.activation_count(), 100);
+        let d = p.duration(&timing());
+        // t_a2a = 1251 ns per iteration.
+        assert!((d.as_us() - 125.1).abs() < 2.0, "duration = {d}");
+    }
+
+    #[test]
+    fn nested_repeat_counts_commands() {
+        let inner = Instr::Repeat {
+            count: 3,
+            body: vec![Instr::Command(DramCommand::Ref), Instr::Wait(Time::from_ns(100.0))],
+        };
+        let outer = Instr::Repeat { count: 2, body: vec![inner] };
+        assert_eq!(outer.command_count(), 6);
+        let d = outer.duration(Time::from_ns(1.5));
+        assert!((d.as_ns() - 2.0 * 3.0 * 101.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn builder_wait_skips_zero_waits() {
+        let mut b = ProgramBuilder::new(timing(), "t");
+        b.wait(Time::ZERO).wait(Time::from_ns(5.0)).refresh().rd(BankId(0), ColumnId(3));
+        let p = b.build();
+        assert_eq!(p.instrs.len(), 3);
+        assert_eq!(p.command_count(), 2);
+        assert_eq!(p.activation_count(), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Parallel execution of characterization campaigns across modules.
+//!
+//! Testing one module is independent of testing any other, so the study
+//! drivers fan the per-module work out over threads (the paper's artifact does
+//! the same with a Slurm cluster).
+
+use rowpress_dram::ModuleSpec;
+
+/// Applies `f` to every module, running the per-module work on separate
+/// threads, and returns the results in the input order.
+///
+/// The closure only needs to be `Sync` (it is shared by reference across
+/// threads); results are collected positionally so the output order is
+/// deterministic regardless of scheduling.
+pub fn par_map_modules<T, F>(modules: &[ModuleSpec], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&ModuleSpec) -> T + Sync,
+{
+    if modules.len() <= 1 {
+        return modules.iter().map(&f).collect();
+    }
+    let mut results: Vec<Option<T>> = Vec::with_capacity(modules.len());
+    results.resize_with(modules.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (idx, spec) in modules.iter().enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move |_| (idx, f(spec))));
+        }
+        for handle in handles {
+            let (idx, value) = handle.join().expect("module campaign thread panicked");
+            results[idx] = Some(value);
+        }
+    })
+    .expect("campaign scope");
+
+    results.into_iter().map(|r| r.expect("every module produced a result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowpress_dram::module_inventory;
+
+    #[test]
+    fn results_preserve_module_order() {
+        let modules = module_inventory();
+        let ids = par_map_modules(&modules, |m| m.id.clone());
+        let expected: Vec<String> = modules.iter().map(|m| m.id.clone()).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn single_module_runs_inline() {
+        let modules = &module_inventory()[..1];
+        let out = par_map_modules(modules, |m| m.chips);
+        assert_eq!(out, vec![modules[0].chips]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map_modules(&[], |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_work_actually_computes() {
+        let modules = module_inventory();
+        let sums = par_map_modules(&modules, |m| m.id.bytes().map(u64::from).sum::<u64>());
+        assert_eq!(sums.len(), modules.len());
+        assert!(sums.iter().all(|&s| s > 0));
+    }
+}

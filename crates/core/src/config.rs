@@ -1,0 +1,194 @@
+//! Experiment configuration shared by all characterization studies.
+
+use rowpress_dram::{DataPattern, Geometry, Time};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a characterization run (paper §4.1).
+///
+/// The defaults mirror the paper's methodology: a 60 ms execution budget
+/// (strictly inside the 64 ms refresh window), 1 % ACmin search accuracy,
+/// five repetitions of each search, the checkerboard data pattern and a 50 °C
+/// chip temperature. The `rows_per_module` and `geometry` fields control the
+/// experiment footprint; the paper tests 3072 rows of 65536 bits each, while
+/// [`ExperimentConfig::quick`] uses a reduced footprint so the full figure
+/// suite runs in minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Bank-local geometry of the simulated module.
+    pub geometry: Geometry,
+    /// Number of rows tested per module (aggressor-row sites).
+    pub rows_per_module: u32,
+    /// Execution-time budget per measurement (60 ms in the paper).
+    pub budget: Time,
+    /// Number of repetitions of each ACmin search; the minimum is reported.
+    pub repeats: u32,
+    /// Termination accuracy of the bisection search, in percent (1 % in the
+    /// paper).
+    pub accuracy_pct: f64,
+    /// Data pattern used unless a study overrides it.
+    pub data_pattern: DataPattern,
+    /// Chip temperature in °C unless a study overrides it.
+    pub temperature_c: f64,
+}
+
+impl ExperimentConfig {
+    /// The paper-scale configuration: 3072 tested rows of 65536-bit rows.
+    /// Running every study at this scale takes a long time; use it when
+    /// fidelity matters more than turnaround.
+    pub fn paper_scale() -> Self {
+        ExperimentConfig {
+            geometry: Geometry::ddr4_8gb(),
+            rows_per_module: 3072,
+            budget: Time::from_ms(60.0),
+            repeats: 5,
+            accuracy_pct: 1.0,
+            data_pattern: DataPattern::Checkerboard,
+            temperature_c: 50.0,
+        }
+    }
+
+    /// A reduced-footprint configuration used by the benches: the scaled-down
+    /// geometry with a handful of tested rows per module. The row-level
+    /// statistics (ACmin scale, temperature and pattern trends) are preserved;
+    /// only the resolution of rare-cell statistics shrinks.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            geometry: Geometry::scaled_down(),
+            rows_per_module: 6,
+            budget: Time::from_ms(60.0),
+            repeats: 1,
+            accuracy_pct: 1.0,
+            data_pattern: DataPattern::Checkerboard,
+            temperature_c: 50.0,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn test_scale() -> Self {
+        ExperimentConfig {
+            geometry: Geometry::tiny(),
+            rows_per_module: 3,
+            budget: Time::from_ms(60.0),
+            repeats: 1,
+            accuracy_pct: 1.0,
+            data_pattern: DataPattern::Checkerboard,
+            temperature_c: 50.0,
+        }
+    }
+
+    /// Returns a copy with a different temperature.
+    pub fn at_temperature(mut self, celsius: f64) -> Self {
+        self.temperature_c = celsius;
+        self
+    }
+
+    /// Returns a copy with a different data pattern.
+    pub fn with_data_pattern(mut self, pattern: DataPattern) -> Self {
+        self.data_pattern = pattern;
+        self
+    }
+
+    /// Returns a copy with a different number of tested rows per module.
+    pub fn with_rows_per_module(mut self, rows: u32) -> Self {
+        self.rows_per_module = rows;
+        self
+    }
+
+    /// The aggressor-row sites tested in each module: evenly spaced rows that
+    /// leave room for the double-sided pattern's victim halo (±3 rows plus the
+    /// far aggressor).
+    pub fn tested_sites(&self) -> Vec<rowpress_dram::RowId> {
+        let margin = 8u32;
+        let usable = self.geometry.rows_per_bank.saturating_sub(2 * margin);
+        let n = self.rows_per_module.max(1).min(usable.max(1));
+        let step = (usable / n).max(1);
+        (0..n).map(|i| rowpress_dram::RowId(margin + i * step)).collect()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.geometry.validate()?;
+        if self.rows_per_module == 0 {
+            return Err("rows_per_module must be positive".into());
+        }
+        if self.repeats == 0 {
+            return Err("repeats must be positive".into());
+        }
+        if !(self.accuracy_pct > 0.0) {
+            return Err("accuracy_pct must be positive".into());
+        }
+        if self.budget.is_zero() {
+            return Err("budget must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_methodology() {
+        let c = ExperimentConfig::paper_scale();
+        assert_eq!(c.rows_per_module, 3072);
+        assert_eq!(c.repeats, 5);
+        assert_eq!(c.accuracy_pct, 1.0);
+        assert_eq!(c.budget, Time::from_ms(60.0));
+        assert_eq!(c.data_pattern, DataPattern::Checkerboard);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn quick_config_is_valid_and_small() {
+        let c = ExperimentConfig::quick();
+        assert!(c.validate().is_ok());
+        assert!(c.rows_per_module < 64);
+        assert_eq!(ExperimentConfig::default(), c);
+    }
+
+    #[test]
+    fn tested_sites_are_within_bounds_and_spaced() {
+        let c = ExperimentConfig::quick();
+        let sites = c.tested_sites();
+        assert_eq!(sites.len(), c.rows_per_module as usize);
+        for w in sites.windows(2) {
+            assert!(w[1].0 > w[0].0 + 6, "sites must not share victim halos");
+        }
+        assert!(sites.iter().all(|r| r.0 >= 8 && r.0 < c.geometry.rows_per_bank - 8));
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let c = ExperimentConfig::quick().at_temperature(80.0).with_data_pattern(DataPattern::RowStripe).with_rows_per_module(4);
+        assert_eq!(c.temperature_c, 80.0);
+        assert_eq!(c.data_pattern, DataPattern::RowStripe);
+        assert_eq!(c.rows_per_module, 4);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = ExperimentConfig::quick();
+        c.rows_per_module = 0;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::quick();
+        c.repeats = 0;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::quick();
+        c.accuracy_pct = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::quick();
+        c.budget = Time::ZERO;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! # rowpress-core
+//!
+//! The RowPress characterization methodology (the paper's primary
+//! contribution, §4 and §5) implemented against the behavioural DRAM device
+//! model of [`rowpress_dram`]:
+//!
+//! * [`PatternSite`], [`PatternKind`], [`run_pattern`] — the single-sided,
+//!   double-sided and ONOFF read-disturb access patterns.
+//! * [`find_ac_min`], [`find_t_aggon_min`], [`flips_at_ac_max`] — the
+//!   bisection searches behind every ACmin / tAggONmin figure.
+//! * [`acmin_sweep`], [`taggonmin_sweep`], [`acmax_sweep`], [`onoff_sweep`],
+//!   [`data_pattern_sweep`], [`retention_failures`], [`overlap_analysis`],
+//!   [`repeatability_study`] — the study drivers that generate the paper's
+//!   figures, parallelized across modules.
+//! * [`stats`] — box summaries, log-log slope fits and aggregation helpers.
+//!
+//! # Example: find ACmin for a RowPress pattern
+//!
+//! ```
+//! use rowpress_core::{find_ac_min, ExperimentConfig, PatternKind, PatternSite};
+//! use rowpress_dram::{module_inventory, BankId, DataPattern, DramModule, Geometry, RowId, Time};
+//!
+//! let spec = module_inventory().remove(0);
+//! let cfg = ExperimentConfig::test_scale();
+//! let mut module = DramModule::new(&spec, cfg.geometry);
+//! let site = PatternSite::for_kind(PatternKind::SingleSided, BankId(1), RowId(20), cfg.geometry.rows_per_bank);
+//!
+//! // Keeping the row open for 30 ms needs only a handful of activations.
+//! let outcome = find_ac_min(&mut module, &site, Time::from_ms(30.0), DataPattern::Checkerboard, &cfg)?
+//!     .expect("the Samsung 8Gb B-die is RowPress-vulnerable");
+//! assert!(outcome.ac_min <= 3);
+//! # Ok::<(), rowpress_dram::DramError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod campaign;
+mod config;
+mod patterns;
+mod search;
+pub mod stats;
+mod studies;
+
+pub use config::ExperimentConfig;
+pub use patterns::{
+    apply_pattern, initialize_site, run_pattern, run_pattern_any_flip, PatternInstance,
+    PatternKind, PatternSite,
+};
+pub use search::{find_ac_min, find_t_aggon_min, flips_at_ac_max, AcMinOutcome};
+pub use studies::{
+    acmax_sweep, acmin_by_die, acmin_sweep, bitflips_per_word, data_pattern_sweep,
+    fraction_one_to_zero, fraction_rows_with_flips, max_ber_per_row, onoff_sweep,
+    overlap_analysis, overlap_ratio, repeatability_study, retention_failures, taggonmin_sweep,
+    AcMaxRecord, AcMinRecord, DataPatternRecord, ModuleKey, OnOffRecord, OverlapRecord,
+    RepeatabilityRecord, TAggOnMinRecord, TEST_BANK,
+};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExperimentConfig>();
+        assert_send_sync::<AcMinRecord>();
+        assert_send_sync::<PatternSite>();
+    }
+}

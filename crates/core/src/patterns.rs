@@ -1,0 +1,337 @@
+//! Read-disturb access patterns (paper §4.1, §5.2, §5.4).
+//!
+//! A [`PatternSite`] pins down which rows play the aggressor and victim roles
+//! around one tested row; [`run_pattern`] applies a pattern instance (on time,
+//! off time, activation count) to a [`DramModule`] and collects the victim
+//! bitflips.
+
+use rowpress_dram::{BankId, Bitflip, DataPattern, DramModule, DramResult, RowId, RowRole, Time};
+use serde::{Deserialize, Serialize};
+
+/// The access-pattern family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// One aggressor row (paper Fig. 5). Identical to single-sided RowHammer
+    /// when the on time equals tRAS.
+    SingleSided,
+    /// Two aggressor rows sandwiching a victim (paper Fig. 16).
+    DoubleSided,
+}
+
+impl PatternKind {
+    /// Both families, in the order used by the paper's figures.
+    pub fn all() -> [PatternKind; 2] {
+        [PatternKind::SingleSided, PatternKind::DoubleSided]
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PatternKind::SingleSided => "Single-Sided",
+            PatternKind::DoubleSided => "Double-Sided",
+        }
+    }
+}
+
+/// The aggressor and victim rows of one tested site.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternSite {
+    /// The pattern family this site was laid out for.
+    pub kind: PatternKind,
+    /// Bank containing all rows of the site.
+    pub bank: BankId,
+    /// Aggressor rows (one or two).
+    pub aggressors: Vec<RowId>,
+    /// Victim rows checked for bitflips.
+    pub victims: Vec<RowId>,
+}
+
+impl PatternSite {
+    /// Lays out a single-sided site around `aggressor`: the aggressor plus the
+    /// three adjacent rows on each side as victims (paper §4.1).
+    pub fn single_sided(bank: BankId, aggressor: RowId, rows_in_bank: u32) -> Self {
+        let mut victims = Vec::new();
+        // Distance-1 victims first so early-exit probes touch them first.
+        for dist in 1..=3i64 {
+            for side in [-1i64, 1] {
+                if let Some(v) = aggressor.offset(side * dist, rows_in_bank) {
+                    victims.push(v);
+                }
+            }
+        }
+        PatternSite { kind: PatternKind::SingleSided, bank, aggressors: vec![aggressor], victims }
+    }
+
+    /// Lays out a double-sided site with aggressors at `base` and `base + 2`:
+    /// the row between them plus three rows beyond each aggressor are victims
+    /// (paper §5.2).
+    pub fn double_sided(bank: BankId, base: RowId, rows_in_bank: u32) -> Self {
+        let low = base;
+        let high = RowId(base.0 + 2);
+        let mut victims = Vec::new();
+        if let Some(mid) = base.offset(1, rows_in_bank) {
+            victims.push(mid);
+        }
+        for dist in 1..=3i64 {
+            if let Some(v) = low.offset(-dist, rows_in_bank) {
+                victims.push(v);
+            }
+            if let Some(v) = high.offset(dist, rows_in_bank) {
+                victims.push(v);
+            }
+        }
+        PatternSite { kind: PatternKind::DoubleSided, bank, aggressors: vec![low, high], victims }
+    }
+
+    /// Lays out a site of the requested kind around a tested row.
+    pub fn for_kind(kind: PatternKind, bank: BankId, row: RowId, rows_in_bank: u32) -> Self {
+        match kind {
+            PatternKind::SingleSided => Self::single_sided(bank, row, rows_in_bank),
+            PatternKind::DoubleSided => Self::double_sided(bank, row, rows_in_bank),
+        }
+    }
+
+    /// Every row of the site (aggressors + victims).
+    pub fn all_rows(&self) -> Vec<RowId> {
+        let mut rows = self.aggressors.clone();
+        rows.extend(self.victims.iter().copied());
+        rows
+    }
+}
+
+/// One concrete pattern instance: how long rows stay open and closed, and how
+/// many total aggressor activations are issued.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternInstance {
+    /// Aggressor row on time per activation.
+    pub t_aggon: Time,
+    /// Aggressor row off time between its consecutive activations. For the
+    /// standard RowPress/RowHammer patterns this is tRP; the RowPress-ONOFF
+    /// pattern sweeps it explicitly.
+    pub t_aggoff: Time,
+    /// Total aggressor activations, summed over all aggressor rows (the
+    /// paper's AC metric).
+    pub total_acts: u64,
+}
+
+impl PatternInstance {
+    /// The standard pattern instance: on for `t_aggon`, closed for tRP.
+    pub fn standard(t_aggon: Time, total_acts: u64, t_rp: Time) -> Self {
+        PatternInstance { t_aggon, t_aggoff: t_rp, total_acts }
+    }
+
+    /// Total bus time the pattern occupies.
+    pub fn duration(&self) -> Time {
+        (self.t_aggon + self.t_aggoff) * self.total_acts
+    }
+}
+
+/// Initializes the site's rows with `pattern` (aggressor byte on aggressor
+/// rows, victim byte everywhere else).
+///
+/// # Errors
+///
+/// Returns an error if a row address is out of range.
+pub fn initialize_site(
+    module: &mut DramModule,
+    site: &PatternSite,
+    pattern: DataPattern,
+) -> DramResult<()> {
+    for &row in &site.aggressors {
+        module.init_row_pattern(site.bank, row, pattern, RowRole::Aggressor)?;
+    }
+    for &row in &site.victims {
+        module.init_row_pattern(site.bank, row, pattern, RowRole::Victim)?;
+    }
+    Ok(())
+}
+
+/// Applies one pattern instance to an already-initialized site.
+///
+/// For the single-sided pattern the aggressor's off time between consecutive
+/// activations is `instance.t_aggoff`. For the double-sided pattern the two
+/// aggressors alternate, so each aggressor is closed for the other's on time
+/// plus two precharge latencies between its own activations — the detail that
+/// makes double-sided RowPress *less* effective than single-sided at large
+/// tAggON (paper Obsv. 13).
+///
+/// # Errors
+///
+/// Returns an error if a row address is out of range.
+pub fn apply_pattern(
+    module: &mut DramModule,
+    site: &PatternSite,
+    instance: PatternInstance,
+) -> DramResult<()> {
+    match site.kind {
+        PatternKind::SingleSided => {
+            let aggressor = site.aggressors[0];
+            module.activate_many(
+                site.bank,
+                aggressor,
+                instance.t_aggon,
+                instance.t_aggoff,
+                instance.total_acts,
+            )?;
+        }
+        PatternKind::DoubleSided => {
+            let per_aggressor_off = instance.t_aggon + instance.t_aggoff * 2;
+            let low_acts = instance.total_acts / 2 + instance.total_acts % 2;
+            let high_acts = instance.total_acts / 2;
+            module.activate_many(site.bank, site.aggressors[0], instance.t_aggon, per_aggressor_off, low_acts)?;
+            module.activate_many(site.bank, site.aggressors[1], instance.t_aggon, per_aggressor_off, high_acts)?;
+        }
+    }
+    Ok(())
+}
+
+/// Initializes the site, applies the pattern instance and returns all victim
+/// bitflips.
+///
+/// # Errors
+///
+/// Returns an error if a row address is out of range.
+pub fn run_pattern(
+    module: &mut DramModule,
+    site: &PatternSite,
+    instance: PatternInstance,
+    pattern: DataPattern,
+) -> DramResult<Vec<Bitflip>> {
+    initialize_site(module, site, pattern)?;
+    apply_pattern(module, site, instance)?;
+    let mut flips = Vec::new();
+    for &victim in &site.victims {
+        flips.extend(module.check_row(site.bank, victim)?);
+    }
+    Ok(flips)
+}
+
+/// Like [`run_pattern`] but only answers whether *any* victim flipped
+/// (early-exits; used by the bisection searches).
+///
+/// # Errors
+///
+/// Returns an error if a row address is out of range.
+pub fn run_pattern_any_flip(
+    module: &mut DramModule,
+    site: &PatternSite,
+    instance: PatternInstance,
+    pattern: DataPattern,
+) -> DramResult<bool> {
+    initialize_site(module, site, pattern)?;
+    apply_pattern(module, site, instance)?;
+    for &victim in &site.victims {
+        if module.has_bitflip(site.bank, victim)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowpress_dram::{module_inventory, Geometry, TimingParams};
+
+    fn module(id: &str) -> DramModule {
+        let spec = module_inventory().into_iter().find(|m| m.id == id).unwrap();
+        DramModule::new(&spec, Geometry::tiny())
+    }
+
+    #[test]
+    fn single_sided_site_has_six_victims() {
+        let site = PatternSite::single_sided(BankId(1), RowId(10), 64);
+        assert_eq!(site.aggressors, vec![RowId(10)]);
+        assert_eq!(site.victims.len(), 6);
+        assert!(site.victims.contains(&RowId(9)));
+        assert!(site.victims.contains(&RowId(13)));
+        assert!(!site.victims.contains(&RowId(10)));
+        assert_eq!(site.all_rows().len(), 7);
+        // Distance-1 victims come first (probe ordering).
+        assert_eq!(site.victims[0], RowId(9));
+        assert_eq!(site.victims[1], RowId(11));
+    }
+
+    #[test]
+    fn single_sided_site_near_edge_truncates_victims() {
+        let site = PatternSite::single_sided(BankId(0), RowId(0), 64);
+        assert_eq!(site.victims.len(), 3);
+        assert!(site.victims.iter().all(|v| v.0 >= 1 && v.0 <= 3));
+    }
+
+    #[test]
+    fn double_sided_site_layout_matches_paper() {
+        // Aggressors R0 and R2; victims R1, R-1..R-3, R3..R5.
+        let site = PatternSite::double_sided(BankId(1), RowId(20), 64);
+        assert_eq!(site.aggressors, vec![RowId(20), RowId(22)]);
+        assert_eq!(site.victims.len(), 7);
+        assert!(site.victims.contains(&RowId(21)));
+        assert!(site.victims.contains(&RowId(17)));
+        assert!(site.victims.contains(&RowId(25)));
+        assert_eq!(site.victims[0], RowId(21));
+        assert_eq!(PatternSite::for_kind(PatternKind::DoubleSided, BankId(1), RowId(20), 64), site);
+    }
+
+    #[test]
+    fn pattern_instance_duration() {
+        let t = TimingParams::ddr4();
+        let inst = PatternInstance::standard(Time::from_us(7.8), 100, t.t_rp);
+        assert_eq!(inst.duration(), (Time::from_us(7.8) + t.t_rp) * 100);
+    }
+
+    #[test]
+    fn run_pattern_flips_on_vulnerable_die() {
+        let mut m = module("S3"); // 8Gb D-die, most vulnerable
+        let site = PatternSite::single_sided(BankId(1), RowId(20), 64);
+        let t = TimingParams::ddr4();
+        let inst = PatternInstance::standard(Time::from_ms(10.0), 6, t.t_rp);
+        let flips = run_pattern(&mut m, &site, inst, DataPattern::Checkerboard).unwrap();
+        assert!(!flips.is_empty());
+        assert!(run_pattern_any_flip(&mut m, &site, inst, DataPattern::Checkerboard).unwrap());
+        // Zero activations never flip anything.
+        let inst0 = PatternInstance::standard(Time::from_ms(10.0), 0, t.t_rp);
+        assert!(!run_pattern_any_flip(&mut m, &site, inst0, DataPattern::Checkerboard).unwrap());
+    }
+
+    #[test]
+    fn double_sided_hammer_beats_single_sided_at_min_taggon() {
+        let t = TimingParams::ddr4();
+        let total_acts = 120_000u64;
+        let inst = PatternInstance::standard(t.t_ras, total_acts, t.t_rp);
+        let mut m1 = module("S3");
+        let single = PatternSite::single_sided(BankId(1), RowId(20), 64);
+        let single_flips = run_pattern(&mut m1, &single, inst, DataPattern::Checkerboard).unwrap().len();
+        let mut m2 = module("S3");
+        let double = PatternSite::double_sided(BankId(1), RowId(19), 64);
+        let double_flips = run_pattern(&mut m2, &double, inst, DataPattern::Checkerboard).unwrap().len();
+        assert!(
+            double_flips >= single_flips,
+            "double-sided RowHammer should flip at least as many cells (single {single_flips}, double {double_flips})"
+        );
+    }
+
+    #[test]
+    fn single_sided_press_beats_double_sided_at_large_taggon() {
+        // Obsv. 13: at large tAggON the single-sided pattern needs fewer total
+        // activations, i.e. produces at least as many flips for the same AC.
+        let t = TimingParams::ddr4();
+        let inst = PatternInstance::standard(Time::from_us(70.2), 700, t.t_rp);
+        let mut m1 = module("S0");
+        let single = PatternSite::single_sided(BankId(1), RowId(20), 64);
+        let single_flips = run_pattern(&mut m1, &single, inst, DataPattern::Checkerboard).unwrap().len();
+        let mut m2 = module("S0");
+        let double = PatternSite::double_sided(BankId(1), RowId(19), 64);
+        let double_flips = run_pattern(&mut m2, &double, inst, DataPattern::Checkerboard).unwrap().len();
+        assert!(
+            single_flips >= double_flips,
+            "single-sided RowPress should be at least as effective at 70.2us (single {single_flips}, double {double_flips})"
+        );
+    }
+
+    #[test]
+    fn pattern_kind_labels() {
+        assert_eq!(PatternKind::SingleSided.label(), "Single-Sided");
+        assert_eq!(PatternKind::DoubleSided.label(), "Double-Sided");
+        assert_eq!(PatternKind::all().len(), 2);
+    }
+}

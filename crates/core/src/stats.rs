@@ -1,0 +1,215 @@
+//! Statistics helpers used to summarize characterization results the way the
+//! paper's figures do: box-and-whiskers summaries, means, and log-log slope
+//! fits.
+
+use serde::{Deserialize, Serialize};
+
+/// A five-number summary (minimum, first quartile, median, third quartile,
+/// maximum) plus the arithmetic mean and count — everything the paper's
+/// box-and-whiskers plots (e.g. Fig. 1) report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxSummary {
+    /// Smallest value.
+    pub min: f64,
+    /// First quartile (median of the lower half).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (median of the upper half).
+    pub q3: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of values summarized.
+    pub count: usize,
+}
+
+impl BoxSummary {
+    /// Summarizes a set of values. Returns `None` for an empty set.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = sorted.len();
+        let median = median_of(&sorted);
+        // The paper defines Q1/Q3 as the medians of the first/second halves.
+        let (lower, upper) = if n % 2 == 0 {
+            (&sorted[..n / 2], &sorted[n / 2..])
+        } else {
+            (&sorted[..n / 2], &sorted[n / 2 + 1..])
+        };
+        let q1 = if lower.is_empty() { sorted[0] } else { median_of(lower) };
+        let q3 = if upper.is_empty() { sorted[n - 1] } else { median_of(upper) };
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        Some(BoxSummary { min: sorted[0], q1, median, q3, max: sorted[n - 1], mean, count: n })
+    }
+
+    /// The interquartile range (box height of the paper's plots).
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Geometric mean; `None` for an empty slice or non-positive values.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        None
+    } else {
+        Some((values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp())
+    }
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)` — the log-log slope the
+/// paper fits to the ACmin and tAggONmin trend lines (Obsv. 3, Obsv. 5).
+/// Returns `None` with fewer than two valid points or non-positive data.
+pub fn loglog_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+/// A compact (mean, min, max, count) aggregate used by the per-die series of
+/// the sweep figures.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Number of values.
+    pub count: usize,
+}
+
+impl Aggregate {
+    /// Aggregates a set of values; `None` when empty.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Some(Aggregate { mean: sum / values.len() as f64, min, max, count: values.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_summary_of_known_set() {
+        let s = BoxSummary::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 8.0);
+        assert_eq!(s.median, 4.5);
+        assert_eq!(s.q1, 2.5);
+        assert_eq!(s.q3, 6.5);
+        assert_eq!(s.iqr(), 4.0);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_summary_odd_count_excludes_median_from_halves() {
+        let s = BoxSummary::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 1.5);
+        assert_eq!(s.q3, 4.5);
+    }
+
+    #[test]
+    fn box_summary_edge_cases() {
+        assert!(BoxSummary::from_values(&[]).is_none());
+        assert!(BoxSummary::from_values(&[f64::NAN]).is_none());
+        let s = BoxSummary::from_values(&[7.0]).unwrap();
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(mean(&[]), None);
+        assert!((geometric_mean(&[1.0, 100.0]).unwrap() - 10.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[1.0, -1.0]), None);
+        assert_eq!(geometric_mean(&[]), None);
+    }
+
+    #[test]
+    fn loglog_slope_of_inverse_law_is_minus_one() {
+        // y = c / x has slope -1 in log-log scale — exactly the ACmin vs
+        // tAggON relationship the paper reports beyond tREFI.
+        let points: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 1000.0 / i as f64)).collect();
+        let slope = loglog_slope(&points).unwrap();
+        assert!((slope + 1.0).abs() < 1e-9, "slope = {slope}");
+        // A power law y = x^2 has slope 2.
+        let points: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, (i * i) as f64)).collect();
+        assert!((loglog_slope(&points).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_slope_rejects_degenerate_inputs() {
+        assert!(loglog_slope(&[]).is_none());
+        assert!(loglog_slope(&[(1.0, 2.0)]).is_none());
+        assert!(loglog_slope(&[(0.0, 2.0), (-1.0, 3.0)]).is_none());
+        assert!(loglog_slope(&[(2.0, 5.0), (2.0, 7.0)]).is_none());
+    }
+
+    #[test]
+    fn aggregate_matches_hand_computation() {
+        let a = Aggregate::from_values(&[1.0, 3.0, 8.0]).unwrap();
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 8.0);
+        assert_eq!(a.count, 3);
+        assert!((a.mean - 4.0).abs() < 1e-12);
+        assert!(Aggregate::from_values(&[]).is_none());
+    }
+}

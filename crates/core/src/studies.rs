@@ -1,0 +1,872 @@
+//! High-level characterization studies: the experiment drivers behind every
+//! figure in the paper's §4 and §5.
+//!
+//! Each driver sweeps a set of modules and experimental knobs and returns a
+//! flat table of records; the bench targets aggregate those records into the
+//! exact series the paper plots.
+
+use crate::config::ExperimentConfig;
+use crate::patterns::{run_pattern, PatternInstance, PatternKind, PatternSite};
+use crate::search::{find_ac_min, find_t_aggon_min, flips_at_ac_max};
+use rowpress_dram::{
+    BankId, Bitflip, CellAddr, DataPattern, DramModule, DramResult, FlipMechanism, Manufacturer,
+    ModuleSpec, RowId, RowRole, Time,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// The bank the paper tests (bank 1 of every module).
+pub const TEST_BANK: BankId = BankId(1);
+
+fn build_module(spec: &ModuleSpec, cfg: &ExperimentConfig, temperature_c: f64) -> DramModule {
+    let mut module = DramModule::new(spec, cfg.geometry);
+    module.set_temperature(temperature_c);
+    module
+}
+
+/// Identity of the module a record came from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModuleKey {
+    /// Module id ("S0", "H4", ...).
+    pub module_id: String,
+    /// Die revision label ("8Gb B-Die").
+    pub die_label: String,
+    /// Manufacturer.
+    pub manufacturer: Manufacturer,
+}
+
+impl ModuleKey {
+    fn of(spec: &ModuleSpec) -> Self {
+        ModuleKey {
+            module_id: spec.id.clone(),
+            die_label: spec.die.label(),
+            manufacturer: spec.die.manufacturer,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ACmin sweeps (Figs. 1, 6, 7, 8, 12, 13, 14, 17, 18)
+// ---------------------------------------------------------------------------
+
+/// One ACmin measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcMinRecord {
+    /// Module the measurement came from.
+    pub module: ModuleKey,
+    /// Access-pattern family used.
+    pub kind: PatternKind,
+    /// Chip temperature during the measurement.
+    pub temperature_c: f64,
+    /// Aggressor-row-on time.
+    pub t_aggon: Time,
+    /// The tested row (aggressor site).
+    pub site_row: RowId,
+    /// Minimum activation count that induced a bitflip, or `None` if none
+    /// could be induced within the 60 ms budget.
+    pub ac_min: Option<u64>,
+    /// Largest activation count that fits in the budget.
+    pub ac_max: u64,
+    /// Cells that flipped at ACmin.
+    pub flip_cells: Vec<CellAddr>,
+    /// How many of those flips were 1 → 0.
+    pub one_to_zero: usize,
+}
+
+impl AcMinRecord {
+    /// Number of bitflips observed at ACmin.
+    pub fn flip_count(&self) -> usize {
+        self.flip_cells.len()
+    }
+}
+
+/// Runs the ACmin search for every (module, temperature, tAggON, tested row)
+/// combination. This is the workhorse behind Figs. 1 and 6–18.
+pub fn acmin_sweep(
+    cfg: &ExperimentConfig,
+    modules: &[ModuleSpec],
+    kind: PatternKind,
+    temperatures: &[f64],
+    t_aggons: &[Time],
+) -> Vec<AcMinRecord> {
+    crate::campaign::par_map_modules(modules, |spec| {
+        let mut records = Vec::new();
+        for &temp in temperatures {
+            let mut module = build_module(spec, cfg, temp);
+            for &row in &cfg.tested_sites() {
+                let site = PatternSite::for_kind(kind, TEST_BANK, row, cfg.geometry.rows_per_bank);
+                for &t_aggon in t_aggons {
+                    let outcome =
+                        find_ac_min(&mut module, &site, t_aggon, cfg.data_pattern, cfg).expect("valid site");
+                    let (ac_min, ac_max, flip_cells, one_to_zero) = match outcome {
+                        Some(o) => {
+                            let cells: Vec<CellAddr> = o.flips.iter().map(|f| f.addr).collect();
+                            let ones = o.flips.iter().filter(|f| f.is_one_to_zero()).count();
+                            (Some(o.ac_min), o.ac_max, cells, ones)
+                        }
+                        None => {
+                            let ac_max =
+                                module.timing().max_activations_within(t_aggon, cfg.budget);
+                            (None, ac_max, Vec::new(), 0)
+                        }
+                    };
+                    records.push(AcMinRecord {
+                        module: ModuleKey::of(spec),
+                        kind,
+                        temperature_c: temp,
+                        t_aggon,
+                        site_row: row,
+                        ac_min,
+                        ac_max,
+                        flip_cells,
+                        one_to_zero,
+                    });
+                }
+            }
+        }
+        records
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Per-die aggregation of ACmin values at one (tAggON, temperature) point.
+pub fn acmin_by_die(
+    records: &[AcMinRecord],
+) -> BTreeMap<(String, Manufacturer, u64), crate::stats::Aggregate> {
+    let mut groups: BTreeMap<(String, Manufacturer, u64), Vec<f64>> = BTreeMap::new();
+    for r in records {
+        if let Some(ac) = r.ac_min {
+            groups
+                .entry((r.module.die_label.clone(), r.module.manufacturer, r.t_aggon.as_ps()))
+                .or_default()
+                .push(ac as f64);
+        }
+    }
+    groups
+        .into_iter()
+        .filter_map(|(k, v)| crate::stats::Aggregate::from_values(&v).map(|a| (k, a)))
+        .collect()
+}
+
+/// Fraction of tested rows with at least one bitflip, per (die, tAggON) —
+/// the quantity plotted in Fig. 8 and Fig. 14.
+pub fn fraction_rows_with_flips(records: &[AcMinRecord]) -> BTreeMap<(String, u64), f64> {
+    let mut totals: BTreeMap<(String, u64), (usize, usize)> = BTreeMap::new();
+    for r in records {
+        let entry = totals.entry((r.module.die_label.clone(), r.t_aggon.as_ps())).or_insert((0, 0));
+        entry.1 += 1;
+        if r.ac_min.is_some() {
+            entry.0 += 1;
+        }
+    }
+    totals
+        .into_iter()
+        .map(|(k, (flipped, total))| (k, flipped as f64 / total.max(1) as f64))
+        .collect()
+}
+
+/// Fraction of 1 → 0 bitflips per (die, tAggON) — Fig. 12.
+pub fn fraction_one_to_zero(records: &[AcMinRecord]) -> BTreeMap<(String, u64), f64> {
+    let mut totals: BTreeMap<(String, u64), (usize, usize)> = BTreeMap::new();
+    for r in records {
+        let entry = totals.entry((r.module.die_label.clone(), r.t_aggon.as_ps())).or_insert((0, 0));
+        entry.0 += r.one_to_zero;
+        entry.1 += r.flip_count();
+    }
+    totals
+        .into_iter()
+        .filter(|(_, (_, total))| *total > 0)
+        .map(|(k, (ones, total))| (k, ones as f64 / total as f64))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// tAggONmin sweeps (Figs. 9 and 15)
+// ---------------------------------------------------------------------------
+
+/// One tAggONmin measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TAggOnMinRecord {
+    /// Module the measurement came from.
+    pub module: ModuleKey,
+    /// Chip temperature during the measurement.
+    pub temperature_c: f64,
+    /// Fixed activation count.
+    pub ac: u64,
+    /// The tested row.
+    pub site_row: RowId,
+    /// Minimum aggressor-row-on time that induced a bitflip, if any.
+    pub t_aggon_min: Option<Time>,
+}
+
+/// Runs the tAggONmin search for every (module, temperature, AC, tested row).
+pub fn taggonmin_sweep(
+    cfg: &ExperimentConfig,
+    modules: &[ModuleSpec],
+    activation_counts: &[u64],
+    temperatures: &[f64],
+) -> Vec<TAggOnMinRecord> {
+    crate::campaign::par_map_modules(modules, |spec| {
+        let mut records = Vec::new();
+        for &temp in temperatures {
+            let mut module = build_module(spec, cfg, temp);
+            for &row in &cfg.tested_sites() {
+                let site =
+                    PatternSite::single_sided(TEST_BANK, row, cfg.geometry.rows_per_bank);
+                for &ac in activation_counts {
+                    let t_min =
+                        find_t_aggon_min(&mut module, &site, ac, cfg.data_pattern, cfg).expect("valid site");
+                    records.push(TAggOnMinRecord {
+                        module: ModuleKey::of(spec),
+                        temperature_c: temp,
+                        ac,
+                        site_row: row,
+                        t_aggon_min: t_min,
+                    });
+                }
+            }
+        }
+        records
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+// ---------------------------------------------------------------------------
+// ACmax / BER sweeps (Fig. 11, Fig. 22, Fig. 25/26, Table 6)
+// ---------------------------------------------------------------------------
+
+/// Bitflips observed when activating the aggressor(s) as many times as the
+/// budget allows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcMaxRecord {
+    /// Module the measurement came from.
+    pub module: ModuleKey,
+    /// Access-pattern family used.
+    pub kind: PatternKind,
+    /// Chip temperature during the measurement.
+    pub temperature_c: f64,
+    /// Aggressor-row-on time.
+    pub t_aggon: Time,
+    /// The tested row.
+    pub site_row: RowId,
+    /// Activation count used (the budget maximum).
+    pub ac: u64,
+    /// All victim bitflips.
+    pub flips: Vec<Bitflip>,
+    /// Maximum per-victim-row bit error rate.
+    pub max_ber: f64,
+}
+
+/// Runs the at-ACmax measurement across modules, temperatures and tAggON
+/// values.
+pub fn acmax_sweep(
+    cfg: &ExperimentConfig,
+    modules: &[ModuleSpec],
+    kind: PatternKind,
+    temperatures: &[f64],
+    t_aggons: &[Time],
+) -> Vec<AcMaxRecord> {
+    crate::campaign::par_map_modules(modules, |spec| {
+        let mut records = Vec::new();
+        for &temp in temperatures {
+            let mut module = build_module(spec, cfg, temp);
+            for &row in &cfg.tested_sites() {
+                let site = PatternSite::for_kind(kind, TEST_BANK, row, cfg.geometry.rows_per_bank);
+                for &t_aggon in t_aggons {
+                    let (ac, flips) =
+                        flips_at_ac_max(&mut module, &site, t_aggon, cfg.data_pattern, cfg).expect("valid site");
+                    let max_ber = max_ber_per_row(&flips, cfg.geometry.bits_per_row);
+                    records.push(AcMaxRecord {
+                        module: ModuleKey::of(spec),
+                        kind,
+                        temperature_c: temp,
+                        t_aggon,
+                        site_row: row,
+                        ac,
+                        flips,
+                        max_ber,
+                    });
+                }
+            }
+        }
+        records
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// The highest per-row bit error rate in a flip set.
+pub fn max_ber_per_row(flips: &[Bitflip], bits_per_row: u32) -> f64 {
+    let mut per_row: BTreeMap<u32, usize> = BTreeMap::new();
+    for f in flips {
+        *per_row.entry(f.addr.row.0).or_default() += 1;
+    }
+    per_row
+        .values()
+        .map(|&c| c as f64 / f64::from(bits_per_row))
+        .fold(0.0, f64::max)
+}
+
+/// Groups bitflips into 64-bit data words and returns the number of flips in
+/// each erroneous word (the unit of the ECC analysis, Fig. 25/26).
+pub fn bitflips_per_word(flips: &[Bitflip], word_bits: u32) -> Vec<usize> {
+    let mut per_word: BTreeMap<(u32, u32, u32), usize> = BTreeMap::new();
+    for f in flips {
+        let key = (f.addr.bank.0 as u32, f.addr.row.0, f.addr.column.0 / word_bits);
+        *per_word.entry(key).or_default() += 1;
+    }
+    per_word.into_values().collect()
+}
+
+// ---------------------------------------------------------------------------
+// RowPress-ONOFF (Fig. 22, Appendix C.1)
+// ---------------------------------------------------------------------------
+
+/// One BER measurement of the RowPress-ONOFF pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnOffRecord {
+    /// Module the measurement came from.
+    pub module: ModuleKey,
+    /// Access-pattern family used.
+    pub kind: PatternKind,
+    /// Chip temperature during the measurement.
+    pub temperature_c: f64,
+    /// Slack added on top of tRC (ΔtA2A).
+    pub delta_a2a: Time,
+    /// Fraction of the slack assigned to the on time.
+    pub on_fraction: f64,
+    /// Number of activations issued (the budget maximum).
+    pub ac: u64,
+    /// Maximum per-victim-row bit error rate.
+    pub ber: f64,
+}
+
+/// Runs the RowPress-ONOFF study of §5.4: fix tA2A = tRC + Δ and sweep how
+/// much of Δ goes to the on time.
+pub fn onoff_sweep(
+    cfg: &ExperimentConfig,
+    modules: &[ModuleSpec],
+    kinds: &[PatternKind],
+    deltas: &[Time],
+    on_fractions: &[f64],
+    temperatures: &[f64],
+) -> Vec<OnOffRecord> {
+    crate::campaign::par_map_modules(modules, |spec| {
+        let mut records = Vec::new();
+        for &temp in temperatures {
+            let mut module = build_module(spec, cfg, temp);
+            let timing = *module.timing();
+            for &kind in kinds {
+                for &row in &cfg.tested_sites() {
+                    let site = PatternSite::for_kind(kind, TEST_BANK, row, cfg.geometry.rows_per_bank);
+                    for &delta in deltas {
+                        for &frac in on_fractions {
+                            let t_on = timing.t_ras + delta * frac;
+                            let t_off = timing.t_rp + delta * (1.0 - frac);
+                            let cycle = t_on + t_off;
+                            let ac = cfg.budget.as_ps() / cycle.as_ps();
+                            let instance =
+                                PatternInstance { t_aggon: t_on, t_aggoff: t_off, total_acts: ac };
+                            let flips = run_pattern(&mut module, &site, instance, cfg.data_pattern)
+                                .expect("valid site");
+                            let ber = max_ber_per_row(&flips, cfg.geometry.bits_per_row);
+                            records.push(OnOffRecord {
+                                module: ModuleKey::of(spec),
+                                kind,
+                                temperature_c: temp,
+                                delta_a2a: delta,
+                                on_fraction: frac,
+                                ac,
+                                ber,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        records
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Retention failures and overlap analysis (§4.3, Fig. 10/11)
+// ---------------------------------------------------------------------------
+
+/// Cells that fail a data-retention test: rows initialized with the study's
+/// data pattern and left unrefreshed for `duration` at `temperature_c`
+/// (the paper uses 4 s at 80 °C).
+pub fn retention_failures(
+    cfg: &ExperimentConfig,
+    spec: &ModuleSpec,
+    temperature_c: f64,
+    duration: Time,
+) -> DramResult<HashSet<CellAddr>> {
+    let mut module = build_module(spec, cfg, temperature_c);
+    let mut cells = HashSet::new();
+    for &row in &cfg.tested_sites() {
+        let site = PatternSite::single_sided(TEST_BANK, row, cfg.geometry.rows_per_bank);
+        for &victim in &site.victims {
+            module.init_row_pattern(TEST_BANK, victim, cfg.data_pattern, RowRole::Victim)?;
+        }
+        module.idle(duration);
+        for &victim in &site.victims {
+            for flip in module.check_row(TEST_BANK, victim)? {
+                if flip.mechanism == FlipMechanism::Retention {
+                    cells.insert(flip.addr);
+                }
+            }
+        }
+        module.reset();
+        module.set_temperature(temperature_c);
+    }
+    Ok(cells)
+}
+
+/// Overlap between two cell populations: `|a ∩ b| / |a|`; zero when `a` is
+/// empty.
+pub fn overlap_ratio(a: &HashSet<CellAddr>, b: &HashSet<CellAddr>) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let inter = a.iter().filter(|c| b.contains(c)).count();
+    inter as f64 / a.len() as f64
+}
+
+/// Overlap of RowPress-vulnerable cells (at a given tAggON) with
+/// RowHammer-vulnerable cells (tAggON = tRAS) and with retention-failure
+/// cells, per die — the analysis of Fig. 10/11.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlapRecord {
+    /// Module the measurement came from.
+    pub module: ModuleKey,
+    /// Aggressor-row-on time of the RowPress cell population.
+    pub t_aggon: Time,
+    /// Fraction of RowPress cells that are also RowHammer cells.
+    pub with_hammer: f64,
+    /// Fraction of RowPress cells that are also retention-failure cells.
+    pub with_retention: f64,
+    /// Size of the RowPress cell population.
+    pub press_cells: usize,
+}
+
+/// Computes per-(module, tAggON) overlap ratios from ACmin (or ACmax) records.
+/// The records at the smallest tAggON (tRAS) serve as the RowHammer reference
+/// population.
+pub fn overlap_analysis(
+    records: &[AcMinRecord],
+    retention: &BTreeMap<String, HashSet<CellAddr>>,
+) -> Vec<OverlapRecord> {
+    // RowHammer reference: flips at the smallest tAggON per module.
+    let t_ras_ps = records.iter().map(|r| r.t_aggon.as_ps()).min().unwrap_or(0);
+    let mut hammer_cells: BTreeMap<String, HashSet<CellAddr>> = BTreeMap::new();
+    for r in records.iter().filter(|r| r.t_aggon.as_ps() == t_ras_ps) {
+        hammer_cells.entry(r.module.module_id.clone()).or_default().extend(r.flip_cells.iter().copied());
+    }
+    // Press populations per (module, tAggON).
+    let mut press: BTreeMap<(String, u64), HashSet<CellAddr>> = BTreeMap::new();
+    let mut keys: BTreeMap<(String, u64), ModuleKey> = BTreeMap::new();
+    for r in records.iter().filter(|r| r.t_aggon.as_ps() > t_ras_ps) {
+        let key = (r.module.module_id.clone(), r.t_aggon.as_ps());
+        press.entry(key.clone()).or_default().extend(r.flip_cells.iter().copied());
+        keys.entry(key).or_insert_with(|| r.module.clone());
+    }
+    let empty = HashSet::new();
+    press
+        .into_iter()
+        .map(|((module_id, t_ps), cells)| {
+            let hammer = hammer_cells.get(&module_id).unwrap_or(&empty);
+            let ret = retention.get(&module_id).unwrap_or(&empty);
+            OverlapRecord {
+                module: keys[&(module_id.clone(), t_ps)].clone(),
+                t_aggon: Time::from_ps(t_ps),
+                with_hammer: overlap_ratio(&cells, hammer),
+                with_retention: overlap_ratio(&cells, ret),
+                press_cells: cells.len(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Data-pattern sensitivity (§5.3, Fig. 19/20)
+// ---------------------------------------------------------------------------
+
+/// Mean ACmin of one data pattern at one tAggON, normalized to the
+/// checkerboard pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPatternRecord {
+    /// Module the measurement came from.
+    pub module: ModuleKey,
+    /// Access-pattern family used.
+    pub kind: PatternKind,
+    /// Chip temperature during the measurement.
+    pub temperature_c: f64,
+    /// Data pattern evaluated.
+    pub pattern: DataPattern,
+    /// Aggressor-row-on time.
+    pub t_aggon: Time,
+    /// Mean ACmin across tested rows; `None` when no bitflips could be induced.
+    pub mean_ac_min: Option<f64>,
+    /// Mean ACmin normalized to the checkerboard pattern at the same tAggON.
+    pub normalized_to_cb: Option<f64>,
+}
+
+/// Runs the data-pattern sensitivity study (§5.3) for one module.
+pub fn data_pattern_sweep(
+    cfg: &ExperimentConfig,
+    spec: &ModuleSpec,
+    kind: PatternKind,
+    patterns: &[DataPattern],
+    t_aggons: &[Time],
+    temperature_c: f64,
+) -> Vec<DataPatternRecord> {
+    let mut module = build_module(spec, cfg, temperature_c);
+    let sites: Vec<PatternSite> = cfg
+        .tested_sites()
+        .iter()
+        .map(|&row| PatternSite::for_kind(kind, TEST_BANK, row, cfg.geometry.rows_per_bank))
+        .collect();
+
+    // mean ACmin per (pattern, t_aggon)
+    let mut means: BTreeMap<(DataPattern, u64), Option<f64>> = BTreeMap::new();
+    for &pattern in patterns {
+        for &t_aggon in t_aggons {
+            let mut values = Vec::new();
+            let mut any_row_tested = false;
+            for site in &sites {
+                any_row_tested = true;
+                let sweep_cfg = cfg.with_data_pattern(pattern);
+                if let Some(out) =
+                    find_ac_min(&mut module, site, t_aggon, pattern, &sweep_cfg).expect("valid site")
+                {
+                    values.push(out.ac_min as f64);
+                }
+            }
+            let mean = if values.is_empty() || !any_row_tested {
+                None
+            } else {
+                crate::stats::mean(&values)
+            };
+            means.insert((pattern, t_aggon.as_ps()), mean);
+        }
+    }
+
+    let mut records = Vec::new();
+    for &pattern in patterns {
+        for &t_aggon in t_aggons {
+            let mean_ac_min = means[&(pattern, t_aggon.as_ps())];
+            let cb = means
+                .get(&(DataPattern::Checkerboard, t_aggon.as_ps()))
+                .copied()
+                .flatten();
+            let normalized_to_cb = match (mean_ac_min, cb) {
+                (Some(m), Some(c)) if c > 0.0 => Some(m / c),
+                _ => None,
+            };
+            records.push(DataPatternRecord {
+                module: ModuleKey::of(spec),
+                kind,
+                temperature_c,
+                pattern,
+                t_aggon,
+                mean_ac_min,
+                normalized_to_cb,
+            });
+        }
+    }
+    records
+}
+
+// ---------------------------------------------------------------------------
+// Repeatability (Appendix E)
+// ---------------------------------------------------------------------------
+
+/// Histogram of how often each bitflip recurs across repeated iterations of
+/// the same experiment (Appendix E, Fig. 42–45).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepeatabilityRecord {
+    /// Module the measurement came from.
+    pub module: ModuleKey,
+    /// Aggressor-row-on time.
+    pub t_aggon: Time,
+    /// Number of iterations run.
+    pub iterations: u32,
+    /// `occurrences[k-1]` = number of distinct bitflips observed in exactly
+    /// `k` of the iterations.
+    pub occurrences: Vec<usize>,
+}
+
+impl RepeatabilityRecord {
+    /// Fraction of bitflips that occurred in every iteration.
+    pub fn fully_repeatable_fraction(&self) -> f64 {
+        let total: usize = self.occurrences.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.occurrences.last().unwrap_or(&0) as f64 / total as f64
+    }
+}
+
+/// Repeats the at-ACmax measurement `iterations` times with per-iteration
+/// threshold jitter and reports how often each bitflip recurs. The jitter
+/// models run-to-run variation of borderline cells; `jitter_sigma = 0` makes
+/// every flip perfectly repeatable.
+pub fn repeatability_study(
+    cfg: &ExperimentConfig,
+    spec: &ModuleSpec,
+    kind: PatternKind,
+    t_aggon: Time,
+    temperature_c: f64,
+    iterations: u32,
+    jitter_sigma: f64,
+) -> RepeatabilityRecord {
+    let mut module = build_module(spec, cfg, temperature_c);
+    let mut counts: BTreeMap<CellAddr, usize> = BTreeMap::new();
+    for iter in 0..iterations {
+        module.set_flip_jitter(jitter_sigma, u64::from(iter) + 1);
+        for &row in &cfg.tested_sites() {
+            let site = PatternSite::for_kind(kind, TEST_BANK, row, cfg.geometry.rows_per_bank);
+            let (_, flips) =
+                flips_at_ac_max(&mut module, &site, t_aggon, cfg.data_pattern, cfg).expect("valid site");
+            for f in flips {
+                *counts.entry(f.addr).or_default() += 1;
+            }
+        }
+    }
+    let mut occurrences = vec![0usize; iterations as usize];
+    for (_, c) in counts {
+        let idx = c.min(iterations as usize);
+        if idx > 0 {
+            occurrences[idx - 1] += 1;
+        }
+    }
+    RepeatabilityRecord { module: ModuleKey::of(spec), t_aggon, iterations, occurrences }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowpress_dram::module_inventory;
+
+    fn spec(id: &str) -> ModuleSpec {
+        module_inventory().into_iter().find(|m| m.id == id).unwrap()
+    }
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::test_scale()
+    }
+
+    #[test]
+    fn acmin_sweep_produces_one_record_per_point() {
+        let cfg = cfg();
+        let taggons = [Time::from_ns(36.0), Time::from_ms(30.0)];
+        let records =
+            acmin_sweep(&cfg, &[spec("S3")], PatternKind::SingleSided, &[50.0], &taggons);
+        assert_eq!(records.len(), cfg.rows_per_module as usize * taggons.len());
+        // The D-die flips at both points; ACmin at 30 ms is far smaller.
+        let by_die = acmin_by_die(&records);
+        let hammer = by_die[&("8Gb D-Die".to_string(), Manufacturer::S, Time::from_ns(36.0).as_ps())];
+        let press = by_die[&("8Gb D-Die".to_string(), Manufacturer::S, Time::from_ms(30.0).as_ps())];
+        assert!(press.mean < hammer.mean / 100.0);
+    }
+
+    #[test]
+    fn fraction_rows_and_direction_aggregations() {
+        let cfg = cfg();
+        let taggons = [Time::from_ns(36.0), Time::from_ms(30.0)];
+        let records =
+            acmin_sweep(&cfg, &[spec("S3")], PatternKind::SingleSided, &[50.0], &taggons);
+        let fractions = fraction_rows_with_flips(&records);
+        let press_frac = fractions[&("8Gb D-Die".to_string(), Time::from_ms(30.0).as_ps())];
+        assert!(press_frac > 0.5, "most D-die rows flip at 30 ms, got {press_frac}");
+        let directions = fraction_one_to_zero(&records);
+        // RowHammer flips are dominantly 0->1, RowPress flips dominantly 1->0
+        // for a die with few anti-cells (Obsv. 8).
+        let hammer_dir = directions[&("8Gb D-Die".to_string(), Time::from_ns(36.0).as_ps())];
+        let press_dir = directions[&("8Gb D-Die".to_string(), Time::from_ms(30.0).as_ps())];
+        assert!(hammer_dir < 0.5, "hammer 1->0 fraction = {hammer_dir}");
+        assert!(press_dir > 0.5, "press 1->0 fraction = {press_dir}");
+    }
+
+    #[test]
+    fn taggonmin_sweep_shows_inverse_relationship() {
+        let cfg = cfg();
+        let records = taggonmin_sweep(&cfg, &[spec("S0")], &[1, 1000], &[50.0]);
+        let at = |ac: u64| -> Vec<f64> {
+            records
+                .iter()
+                .filter(|r| r.ac == ac)
+                .filter_map(|r| r.t_aggon_min.map(|t| t.as_us()))
+                .collect()
+        };
+        let t1 = crate::stats::mean(&at(1)).expect("AC=1 flips on S0");
+        let t1000 = crate::stats::mean(&at(1000)).expect("AC=1000 flips on S0");
+        assert!(t1 / t1000 > 100.0, "t1 = {t1}, t1000 = {t1000}");
+    }
+
+    #[test]
+    fn acmax_sweep_reports_ber() {
+        let cfg = cfg();
+        let records = acmax_sweep(
+            &cfg,
+            &[spec("S3")],
+            PatternKind::SingleSided,
+            &[80.0],
+            &[Time::from_us(7.8)],
+        );
+        assert_eq!(records.len(), cfg.rows_per_module as usize);
+        assert!(records.iter().any(|r| r.max_ber > 0.0));
+        for r in &records {
+            assert_eq!(r.max_ber, max_ber_per_row(&r.flips, cfg.geometry.bits_per_row));
+            assert!(r.ac > 1000);
+        }
+    }
+
+    #[test]
+    fn bitflips_per_word_groups_by_64_bits() {
+        let cfg = cfg();
+        let records = acmax_sweep(
+            &cfg,
+            &[spec("S3")],
+            PatternKind::SingleSided,
+            &[80.0],
+            &[Time::from_us(7.8)],
+        );
+        let all_flips: Vec<Bitflip> = records.iter().flat_map(|r| r.flips.clone()).collect();
+        let words = bitflips_per_word(&all_flips, 64);
+        let total: usize = words.iter().sum();
+        assert_eq!(total, all_flips.len());
+        assert!(words.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn onoff_sweep_single_sided_shapes() {
+        let cfg = cfg();
+        let records = onoff_sweep(
+            &cfg,
+            &[spec("S3")],
+            &[PatternKind::SingleSided],
+            &[Time::from_ns(240.0), Time::from_ns(6000.0)],
+            &[0.0, 1.0],
+            &[50.0],
+        );
+        assert_eq!(records.len(), cfg.rows_per_module as usize * 4);
+        let mean_ber = |delta_ns: f64, frac: f64| -> f64 {
+            let v: Vec<f64> = records
+                .iter()
+                .filter(|r| (r.delta_a2a.as_ns() - delta_ns).abs() < 1.0 && (r.on_fraction - frac).abs() < 1e-9)
+                .map(|r| r.ber)
+                .collect();
+            crate::stats::mean(&v).unwrap_or(0.0)
+        };
+        // Small slack: hammer dominates, and shifting the slack to the on time
+        // removes the off-time boost, so BER does not increase (Obsv. 16).
+        assert!(mean_ber(240.0, 1.0) <= mean_ber(240.0, 0.0) + 1e-12);
+        // Large slack: press dominates, so BER grows with the on fraction.
+        assert!(mean_ber(6000.0, 1.0) >= mean_ber(6000.0, 0.0));
+    }
+
+    #[test]
+    fn retention_and_overlap_analysis() {
+        let cfg = cfg();
+        let s3 = spec("S3");
+        let retention_cells = retention_failures(&cfg, &s3, 80.0, Time::from_secs(4.0)).unwrap();
+        let mut retention = BTreeMap::new();
+        retention.insert("S3".to_string(), retention_cells);
+
+        let taggons = [Time::from_ns(36.0), Time::from_ms(30.0)];
+        let records = acmin_sweep(&cfg, &[s3], PatternKind::SingleSided, &[50.0], &taggons);
+        let overlaps = overlap_analysis(&records, &retention);
+        assert!(!overlaps.is_empty());
+        for o in &overlaps {
+            assert!(o.t_aggon > Time::from_ns(36.0));
+            assert!(o.with_hammer <= 0.05, "RowPress/RowHammer overlap must be tiny, got {}", o.with_hammer);
+            assert!(o.with_retention <= 0.05, "RowPress/retention overlap must be tiny, got {}", o.with_retention);
+            assert!(o.press_cells > 0);
+        }
+    }
+
+    #[test]
+    fn overlap_ratio_basics() {
+        let a: HashSet<CellAddr> = HashSet::new();
+        let b: HashSet<CellAddr> = HashSet::new();
+        assert_eq!(overlap_ratio(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn data_pattern_study_prefers_checkerboard_for_press() {
+        let cfg = cfg();
+        let records = data_pattern_sweep(
+            &cfg,
+            &spec("S0"),
+            PatternKind::SingleSided,
+            &[DataPattern::Checkerboard, DataPattern::RowStripe],
+            &[Time::from_ns(36.0), Time::from_ms(6.0)],
+            50.0,
+        );
+        assert_eq!(records.len(), 4);
+        // Checkerboard normalizes to 1.0 against itself.
+        for r in records.iter().filter(|r| r.pattern == DataPattern::Checkerboard) {
+            if let Some(n) = r.normalized_to_cb {
+                assert!((n - 1.0).abs() < 1e-9);
+            }
+        }
+        // RowStripe is the better hammer pattern (normalized < 1 at tRAS) but a
+        // much worse press pattern (normalized > 1 or no bitflips at 6 ms).
+        let rs_hammer = records
+            .iter()
+            .find(|r| r.pattern == DataPattern::RowStripe && r.t_aggon == Time::from_ns(36.0))
+            .unwrap();
+        if let Some(n) = rs_hammer.normalized_to_cb {
+            assert!(n <= 1.05, "RowStripe should be competitive for RowHammer, got {n}");
+        }
+        let rs_press = records
+            .iter()
+            .find(|r| r.pattern == DataPattern::RowStripe && r.t_aggon == Time::from_ms(6.0))
+            .unwrap();
+        match rs_press.normalized_to_cb {
+            Some(n) => assert!(n > 1.0, "RowStripe must be worse than CB for RowPress, got {n}"),
+            None => {} // no bitflips at all: the paper's "No Bitflip" cells
+        }
+    }
+
+    #[test]
+    fn repeatability_is_total_without_jitter_and_partial_with() {
+        let cfg = cfg();
+        let deterministic = repeatability_study(
+            &cfg,
+            &spec("S3"),
+            PatternKind::SingleSided,
+            Time::from_us(70.2),
+            80.0,
+            5,
+            0.0,
+        );
+        assert_eq!(deterministic.iterations, 5);
+        assert_eq!(deterministic.occurrences.len(), 5);
+        let total: usize = deterministic.occurrences.iter().sum();
+        assert!(total > 0, "the D-die flips at 70.2 us / 80 C");
+        assert!((deterministic.fully_repeatable_fraction() - 1.0).abs() < 1e-9);
+
+        let jittered = repeatability_study(
+            &cfg,
+            &spec("S3"),
+            PatternKind::SingleSided,
+            Time::from_us(70.2),
+            80.0,
+            5,
+            0.35,
+        );
+        assert!(jittered.fully_repeatable_fraction() <= 1.0);
+        let partial: usize = jittered.occurrences[..4].iter().sum();
+        assert!(partial > 0, "with jitter some borderline flips must not repeat every time");
+    }
+}

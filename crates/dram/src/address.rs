@@ -1,0 +1,293 @@
+//! DRAM geometry and addressing (paper §2.1).
+//!
+//! The hierarchy is channel → rank → chip → bank → row → column. The
+//! characterization operates on one bank at a time and addresses individual
+//! rows and cells within that bank, so the types here model bank-local
+//! geometry plus logical-to-physical row remapping.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a bank within a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct BankId(pub u16);
+
+/// Identifies a DRAM row within a bank. Row ids used by the characterization
+/// code are **physical** row numbers (i.e. after reverse-engineering the
+/// in-DRAM remapping), so adjacency in id space means physical adjacency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct RowId(pub u32);
+
+impl RowId {
+    /// Returns the row at signed offset `delta`, or `None` if it would fall
+    /// outside `[0, rows)`.
+    pub fn offset(self, delta: i64, rows: u32) -> Option<RowId> {
+        let target = i64::from(self.0) + delta;
+        if target < 0 || target >= i64::from(rows) {
+            None
+        } else {
+            Some(RowId(target as u32))
+        }
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Identifies one cell (one bit) within a row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ColumnId(pub u32);
+
+/// A fully qualified cell address within a module: bank, row, column(bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellAddr {
+    /// Bank containing the cell.
+    pub bank: BankId,
+    /// Physical row containing the cell.
+    pub row: RowId,
+    /// Bit position within the row.
+    pub column: ColumnId,
+}
+
+impl fmt::Display for CellAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}/{}/c{}", self.bank.0, self.row, self.column.0)
+    }
+}
+
+/// Bank-local geometry of a DRAM module under test.
+///
+/// The real modules in the paper have 32K–128K rows per bank and 65536 bits
+/// (8 KiB) per row. The characterization benches use a scaled-down geometry by
+/// default so the full figure suite runs in minutes; the geometry is entirely
+/// configurable.
+///
+/// # Examples
+///
+/// ```
+/// use rowpress_dram::Geometry;
+///
+/// let g = Geometry::scaled_down();
+/// assert!(g.rows_per_bank >= 64);
+/// assert_eq!(g.bytes_per_row() * 8, g.bits_per_row as usize);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Number of banks in the module (per rank; the study uses bank 1).
+    pub banks: u16,
+    /// Number of rows per bank.
+    pub rows_per_bank: u32,
+    /// Number of bits (cells) per row.
+    pub bits_per_row: u32,
+    /// Number of bits per DRAM burst / cache block (512 bits = 64 B).
+    pub bits_per_cache_block: u32,
+}
+
+impl Geometry {
+    /// Geometry of a real 8 Gb x8 DDR4 die: 65536 rows per bank, 8 KiB rows.
+    pub fn ddr4_8gb() -> Self {
+        Geometry { banks: 16, rows_per_bank: 65536, bits_per_row: 65536, bits_per_cache_block: 512 }
+    }
+
+    /// Scaled-down geometry used by the default characterization benches:
+    /// 16 banks, 1024 rows per bank, 8192-bit rows (16 cache blocks).
+    pub fn scaled_down() -> Self {
+        Geometry { banks: 16, rows_per_bank: 1024, bits_per_row: 8192, bits_per_cache_block: 512 }
+    }
+
+    /// A tiny geometry for unit tests.
+    pub fn tiny() -> Self {
+        Geometry { banks: 2, rows_per_bank: 64, bits_per_row: 1024, bits_per_cache_block: 512 }
+    }
+
+    /// Number of bytes per row.
+    pub fn bytes_per_row(&self) -> usize {
+        (self.bits_per_row as usize) / 8
+    }
+
+    /// Number of cache blocks (64 B units) per row; 128 for a real 8 KiB row.
+    pub fn cache_blocks_per_row(&self) -> u32 {
+        self.bits_per_row / self.bits_per_cache_block
+    }
+
+    /// Returns true if `row` is a valid row index.
+    pub fn contains_row(&self, row: RowId) -> bool {
+        row.0 < self.rows_per_bank
+    }
+
+    /// Returns true if `bank` is a valid bank index.
+    pub fn contains_bank(&self, bank: BankId) -> bool {
+        bank.0 < self.banks
+    }
+
+    /// The rows tested by the paper's methodology: the first, middle and last
+    /// `chunk` rows of the bank (the paper uses chunk = 1024 on real banks).
+    /// Rows are deduplicated when the bank is small.
+    pub fn tested_rows(&self, chunk: u32) -> Vec<RowId> {
+        let n = self.rows_per_bank;
+        let chunk = chunk.min(n);
+        let mut rows: Vec<u32> = Vec::new();
+        rows.extend(0..chunk);
+        let mid_start = (n / 2).saturating_sub(chunk / 2);
+        rows.extend(mid_start..(mid_start + chunk).min(n));
+        rows.extend(n.saturating_sub(chunk)..n);
+        rows.sort_unstable();
+        rows.dedup();
+        rows.into_iter().map(RowId).collect()
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint (zero-sized
+    /// dimensions, row size not a multiple of the cache-block size, ...).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.banks == 0 || self.rows_per_bank == 0 || self.bits_per_row == 0 {
+            return Err("geometry dimensions must be positive".into());
+        }
+        if self.bits_per_row % 8 != 0 {
+            return Err("bits_per_row must be a multiple of 8".into());
+        }
+        if self.bits_per_cache_block == 0 || self.bits_per_row % self.bits_per_cache_block != 0 {
+            return Err("bits_per_row must be a multiple of the cache-block size".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Self::scaled_down()
+    }
+}
+
+/// In-DRAM logical→physical row remapping (paper §3.2 and the references to
+/// row-address scrambling).
+///
+/// Real DRAM devices remap logical row addresses internally; the paper
+/// reverse-engineers the mapping so that "adjacent" rows in its experiments
+/// are physically adjacent. We model the most common scheme observed in the
+/// literature: within each block of `group` rows, pairs of rows are swapped
+/// according to a per-module XOR mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowMapping {
+    /// XOR mask applied to the low bits of the logical row address.
+    pub xor_mask: u32,
+    /// Size of the remapping group (power of two).
+    pub group: u32,
+}
+
+impl RowMapping {
+    /// Identity mapping (logical == physical).
+    pub fn identity() -> Self {
+        RowMapping { xor_mask: 0, group: 1 }
+    }
+
+    /// A typical vendor mapping that swaps neighbours within groups of 8 rows.
+    pub fn vendor_default(seed: u64) -> Self {
+        // Derive a small mask deterministically from the module seed so
+        // different modules get different (but fixed) scrambling.
+        let mask = ((seed >> 17) & 0x6) as u32 | 0x1;
+        RowMapping { xor_mask: mask, group: 8 }
+    }
+
+    /// Maps a logical row address to its physical row address.
+    pub fn logical_to_physical(&self, logical: RowId) -> RowId {
+        if self.group <= 1 {
+            return logical;
+        }
+        let base = logical.0 & !(self.group - 1);
+        let offset = (logical.0 & (self.group - 1)) ^ (self.xor_mask & (self.group - 1));
+        RowId(base | offset)
+    }
+
+    /// Maps a physical row address back to the logical address that selects it.
+    pub fn physical_to_logical(&self, physical: RowId) -> RowId {
+        // The XOR-within-group scheme is an involution.
+        self.logical_to_physical(physical)
+    }
+}
+
+impl Default for RowMapping {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_offsets_respect_bounds() {
+        let r = RowId(5);
+        assert_eq!(r.offset(1, 64), Some(RowId(6)));
+        assert_eq!(r.offset(-1, 64), Some(RowId(4)));
+        assert_eq!(r.offset(-6, 64), None);
+        assert_eq!(RowId(63).offset(1, 64), None);
+        assert_eq!(RowId(0).offset(0, 1), Some(RowId(0)));
+    }
+
+    #[test]
+    fn geometry_derived_quantities() {
+        let g = Geometry::ddr4_8gb();
+        assert_eq!(g.bytes_per_row(), 8192);
+        assert_eq!(g.cache_blocks_per_row(), 128);
+        assert!(g.validate().is_ok());
+        let g = Geometry::tiny();
+        assert_eq!(g.cache_blocks_per_row(), 2);
+        assert!(g.contains_row(RowId(63)));
+        assert!(!g.contains_row(RowId(64)));
+        assert!(g.contains_bank(BankId(1)));
+        assert!(!g.contains_bank(BankId(2)));
+    }
+
+    #[test]
+    fn geometry_validation_catches_errors() {
+        let mut g = Geometry::tiny();
+        g.bits_per_row = 1023;
+        assert!(g.validate().is_err());
+        let mut g = Geometry::tiny();
+        g.rows_per_bank = 0;
+        assert!(g.validate().is_err());
+        let mut g = Geometry::tiny();
+        g.bits_per_cache_block = 300;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn tested_rows_cover_first_middle_last() {
+        let g = Geometry { banks: 1, rows_per_bank: 4096, bits_per_row: 1024, bits_per_cache_block: 512 };
+        let rows = g.tested_rows(64);
+        assert!(rows.contains(&RowId(0)));
+        assert!(rows.contains(&RowId(63)));
+        assert!(rows.contains(&RowId(4095)));
+        assert!(rows.contains(&RowId(2048)));
+        assert_eq!(rows.len(), 192);
+        // Small bank: rows are deduplicated, never exceeding the bank size.
+        let g = Geometry::tiny();
+        let rows = g.tested_rows(1024);
+        assert_eq!(rows.len(), 64);
+    }
+
+    #[test]
+    fn row_mapping_is_involution() {
+        let m = RowMapping::vendor_default(0xDEADBEEF);
+        for r in 0..256u32 {
+            let phys = m.logical_to_physical(RowId(r));
+            assert_eq!(m.physical_to_logical(phys), RowId(r));
+        }
+        let id = RowMapping::identity();
+        assert_eq!(id.logical_to_physical(RowId(42)), RowId(42));
+    }
+
+    #[test]
+    fn cell_addr_display_is_informative() {
+        let c = CellAddr { bank: BankId(1), row: RowId(7), column: ColumnId(13) };
+        assert_eq!(format!("{c}"), "b1/R7/c13");
+    }
+}

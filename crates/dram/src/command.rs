@@ -1,0 +1,134 @@
+//! DRAM command vocabulary (paper §2.2).
+//!
+//! The device model and the DRAM-Bender-style test platform communicate via
+//! the standard DDR4 command set: ACT, PRE, RD, WR, REF (plus NOP for explicit
+//! waits). Commands are timestamped in the test-program representation; the
+//! types here only describe the command itself.
+
+use crate::address::{BankId, ColumnId, RowId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramCommand {
+    /// Open (activate) a row in a bank.
+    Act {
+        /// Target bank.
+        bank: BankId,
+        /// Row to open.
+        row: RowId,
+    },
+    /// Close (precharge) the open row of a bank.
+    Pre {
+        /// Target bank.
+        bank: BankId,
+    },
+    /// Read one cache block from the open row.
+    Rd {
+        /// Target bank.
+        bank: BankId,
+        /// Column (cache-block) address.
+        column: ColumnId,
+    },
+    /// Write one cache block to the open row.
+    Wr {
+        /// Target bank.
+        bank: BankId,
+        /// Column (cache-block) address.
+        column: ColumnId,
+    },
+    /// Refresh (all banks).
+    Ref,
+    /// Explicit idle; the test-program executor advances time without issuing
+    /// a command.
+    Nop,
+}
+
+impl DramCommand {
+    /// Returns the bank targeted by this command, if any.
+    pub fn bank(&self) -> Option<BankId> {
+        match self {
+            DramCommand::Act { bank, .. }
+            | DramCommand::Pre { bank }
+            | DramCommand::Rd { bank, .. }
+            | DramCommand::Wr { bank, .. } => Some(*bank),
+            DramCommand::Ref | DramCommand::Nop => None,
+        }
+    }
+
+    /// Returns the row targeted by this command, if any.
+    pub fn row(&self) -> Option<RowId> {
+        match self {
+            DramCommand::Act { row, .. } => Some(*row),
+            _ => None,
+        }
+    }
+
+    /// Returns true for commands that occupy the command bus (everything but
+    /// `Nop`).
+    pub fn is_bus_command(&self) -> bool {
+        !matches!(self, DramCommand::Nop)
+    }
+
+    /// Short mnemonic used in traces and error messages.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            DramCommand::Act { .. } => "ACT",
+            DramCommand::Pre { .. } => "PRE",
+            DramCommand::Rd { .. } => "RD",
+            DramCommand::Wr { .. } => "WR",
+            DramCommand::Ref => "REF",
+            DramCommand::Nop => "NOP",
+        }
+    }
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramCommand::Act { bank, row } => write!(f, "ACT b{} {}", bank.0, row),
+            DramCommand::Pre { bank } => write!(f, "PRE b{}", bank.0),
+            DramCommand::Rd { bank, column } => write!(f, "RD b{} c{}", bank.0, column.0),
+            DramCommand::Wr { bank, column } => write!(f, "WR b{} c{}", bank.0, column.0),
+            DramCommand::Ref => write!(f, "REF"),
+            DramCommand::Nop => write!(f, "NOP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_and_row_extraction() {
+        let act = DramCommand::Act { bank: BankId(1), row: RowId(42) };
+        assert_eq!(act.bank(), Some(BankId(1)));
+        assert_eq!(act.row(), Some(RowId(42)));
+        let pre = DramCommand::Pre { bank: BankId(3) };
+        assert_eq!(pre.bank(), Some(BankId(3)));
+        assert_eq!(pre.row(), None);
+        assert_eq!(DramCommand::Ref.bank(), None);
+        assert_eq!(DramCommand::Nop.bank(), None);
+    }
+
+    #[test]
+    fn bus_occupancy() {
+        assert!(DramCommand::Ref.is_bus_command());
+        assert!(!DramCommand::Nop.is_bus_command());
+        assert!(DramCommand::Act { bank: BankId(0), row: RowId(0) }.is_bus_command());
+    }
+
+    #[test]
+    fn display_and_mnemonics() {
+        let rd = DramCommand::Rd { bank: BankId(1), column: ColumnId(5) };
+        assert_eq!(format!("{rd}"), "RD b1 c5");
+        assert_eq!(rd.mnemonic(), "RD");
+        assert_eq!(DramCommand::Ref.mnemonic(), "REF");
+        assert_eq!(format!("{}", DramCommand::Act { bank: BankId(0), row: RowId(9) }), "ACT b0 R9");
+        assert_eq!(format!("{}", DramCommand::Pre { bank: BankId(2) }), "PRE b2");
+        assert_eq!(format!("{}", DramCommand::Wr { bank: BankId(0), column: ColumnId(1) }), "WR b0 c1");
+        assert_eq!(format!("{}", DramCommand::Nop), "NOP");
+    }
+}

@@ -1,0 +1,645 @@
+//! The behavioural read-disturbance fault model.
+//!
+//! This module is the heart of the substitution described in `DESIGN.md`: it
+//! stands in for the 164 real DDR4 chips of the paper. Every per-cell fault
+//! parameter is derived lazily and deterministically from the module seed, so
+//! the model needs no per-cell storage and every experiment is reproducible.
+//!
+//! Two separate mechanisms disturb a victim cell when a physically adjacent
+//! aggressor row is activated:
+//!
+//! * **RowHammer (charge injection)** — each activation injects charge into
+//!   victim cells that are currently *discharged*, pushing them toward a
+//!   0→1 flip (for true cells). The per-activation damage grows mildly with
+//!   the aggressor's off time (trap recombination, Obsv. 16) and with small
+//!   increases of the on time, and is amplified when the victim sits between
+//!   two active aggressors (double-sided).
+//! * **RowPress (charge drain)** — keeping the aggressor open for `tAggON`
+//!   drains charge from victim cells that are currently *charged*, pushing
+//!   them toward a 1→0 flip. The damage is proportional to the on time in
+//!   excess of tRAS, is partially recovered while the aggressor is closed, and
+//!   accelerates strongly with temperature (Obsv. 9).
+//!
+//! Cells additionally leak charge over time (retention failures). The three
+//! mechanisms draw their per-cell parameters from independent hash streams,
+//! which reproduces the paper's finding that the three vulnerable-cell
+//! populations barely overlap (Obsv. 7).
+
+use crate::address::{BankId, CellAddr, ColumnId, RowId};
+use crate::math::{hash_words, to_unit_open, LogNormal};
+use crate::profile::DieProfile;
+use crate::time::Time;
+use crate::timing::TimingParams;
+use crate::Geometry;
+use serde::{Deserialize, Serialize};
+
+/// Salts used to derive independent hash streams per mechanism.
+mod salt {
+    pub const HAMMER_ROW: u64 = 0x01;
+    pub const PRESS_ROW: u64 = 0x02;
+    pub const HAMMER_CELL: u64 = 0x03;
+    pub const PRESS_CELL: u64 = 0x04;
+    pub const RETENTION_CELL: u64 = 0x05;
+    pub const POLARITY: u64 = 0x06;
+    pub const HAMMER_ANCHOR: u64 = 0x07;
+    pub const PRESS_ANCHOR: u64 = 0x08;
+}
+
+/// Tunable physics constants of the fault model. The defaults reproduce the
+/// paper's qualitative results; the ablation benches flip individual knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModelConfig {
+    /// Gain of the hammer-damage boost with increasing aggressor on time.
+    pub hammer_on_gain: f64,
+    /// Time constant (ns) of the on-time boost saturation.
+    pub hammer_on_tau_ns: f64,
+    /// Gain of the hammer-damage boost with increasing aggressor off time
+    /// (trap-recombination effect reported by prior device-level studies).
+    pub hammer_off_gain: f64,
+    /// Time constant (ns) of the off-time boost saturation.
+    pub hammer_off_tau_ns: f64,
+    /// Fraction of the aggressor off time that counteracts accumulated press
+    /// exposure (victim charge recovery while the aggressor is closed).
+    pub recovery_rho: f64,
+    /// On-time (ns, beyond tRAS) that a press must exceed before charge drain
+    /// becomes effective. Reproduces the flat region of the ACmin curves below
+    /// roughly 1 us (Fig. 6) and the small-slack ONOFF behaviour (Obsv. 16).
+    pub press_on_offset_ns: f64,
+    /// If true, press-vulnerable cells are drawn from the same hash stream as
+    /// hammer-vulnerable cells (ablation: forces high overlap, contradicting
+    /// Obsv. 7; defaults to false).
+    pub correlate_hammer_press: bool,
+    /// Disturbance decay versus physical distance (index 0 = distance 1).
+    pub distance_decay: [f64; 3],
+}
+
+impl Default for FaultModelConfig {
+    fn default() -> Self {
+        FaultModelConfig {
+            hammer_on_gain: 0.55,
+            hammer_on_tau_ns: 400.0,
+            hammer_off_gain: 1.0,
+            hammer_off_tau_ns: 600.0,
+            recovery_rho: 0.15,
+            press_on_offset_ns: 500.0,
+            correlate_hammer_press: false,
+            distance_decay: [1.0, 0.08, 0.015],
+        }
+    }
+}
+
+/// The per-module fault model: die calibration + geometry + seed.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    profile: DieProfile,
+    geometry: Geometry,
+    timing: TimingParams,
+    config: FaultModelConfig,
+    seed: u64,
+    /// Row-level RowHammer ACmin distribution (reference conditions).
+    hammer_row: LogNormal,
+    /// Row-level press flip-time distribution, in milliseconds at 50 °C.
+    press_row: Option<LogNormal>,
+    /// Exponential scale of the per-cell hammer-resistance multiplier.
+    hammer_cell_sigma: f64,
+    /// Exponential scale of the per-cell press-time multiplier.
+    press_cell_sigma: f64,
+    /// Per-cell retention-time distribution (seconds at 80 °C).
+    retention: LogNormal,
+    /// Normalization so the reference RowHammer pattern contributes exactly
+    /// one hammer unit per activation.
+    hammer_ref_boost: f64,
+}
+
+impl FaultModel {
+    /// Builds a fault model for one module.
+    ///
+    /// `tested_rows_hint` is the approximate number of rows the
+    /// characterization will test (3072 in the paper); it calibrates how deep
+    /// into the row-level tail the observed minima sit.
+    pub fn new(
+        profile: DieProfile,
+        geometry: Geometry,
+        timing: TimingParams,
+        seed: u64,
+        config: FaultModelConfig,
+        tested_rows_hint: u64,
+    ) -> Self {
+        let n_rows = tested_rows_hint.max(2);
+        let hammer_row =
+            LogNormal::from_mean_and_min(profile.hammer_acmin_mean, profile.hammer_acmin_min, n_rows);
+        let press_row = profile
+            .press
+            .map(|p| LogNormal::from_mean_and_min(p.t_mean_ms_50c, p.t_min_ms_50c, n_rows));
+
+        // Per-cell spread: the number of cells in a row whose requirement is
+        // within a factor X of the row minimum grows as
+        // `bits_per_row * ln(X) / sigma`. The calibration counts in the die
+        // profiles are expressed per *real* 65536-bit row, so sigma is derived
+        // against that reference row size; scaled-down geometries then see the
+        // same bit error *rate* with proportionally fewer absolute flips.
+        const REFERENCE_ROW_BITS: f64 = 65536.0;
+        // Hammer: `hammer_cells_at_max` cells flip at the largest activation
+        // count reachable within the 60 ms budget (X = ac_max / acmin_mean).
+        let ac_max = timing.max_activations_within(timing.t_ras, Time::from_ms(60.0)) as f64;
+        let x_hammer = (ac_max / profile.hammer_acmin_mean).max(1.5);
+        let hammer_cell_sigma =
+            REFERENCE_ROW_BITS * x_hammer.ln() / profile.hammer_cells_at_max.max(0.5);
+        // Press: `cells_at_4x` cells flip at 4x the row's weakest requirement.
+        let press_cell_sigma = match profile.press {
+            Some(p) => REFERENCE_ROW_BITS * 4.0f64.ln() / p.cells_at_4x.max(0.5),
+            None => f64::INFINITY,
+        };
+
+        let retention = LogNormal {
+            mu: profile.retention_median_s_80c.ln(),
+            sigma: 1.5,
+        };
+
+        let mut model = FaultModel {
+            profile,
+            geometry,
+            timing,
+            config,
+            seed,
+            hammer_row,
+            press_row,
+            hammer_cell_sigma,
+            press_cell_sigma,
+            retention,
+            hammer_ref_boost: 1.0,
+        };
+        model.hammer_ref_boost = model.raw_hammer_boost(timing.t_ras, timing.t_rp);
+        model
+    }
+
+    /// Convenience constructor with the default physics configuration and the
+    /// paper's 3072-row testing footprint.
+    pub fn with_defaults(profile: DieProfile, geometry: Geometry, seed: u64) -> Self {
+        Self::new(profile, geometry, TimingParams::ddr4(), seed, FaultModelConfig::default(), 3072)
+    }
+
+    /// The die profile this model was built from.
+    pub fn profile(&self) -> &DieProfile {
+        &self.profile
+    }
+
+    /// The geometry this model was built for.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// The timing parameters of the modeled device.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// The physics configuration.
+    pub fn config(&self) -> &FaultModelConfig {
+        &self.config
+    }
+
+    fn unit(&self, words: &[u64]) -> f64 {
+        to_unit_open(hash_words(words))
+    }
+
+    // ------------------------------------------------------------------
+    // Row-level base parameters
+    // ------------------------------------------------------------------
+
+    /// The row's RowHammer ACmin under reference conditions (single-sided
+    /// pattern, tAggON = tRAS, checkerboard data, 50 °C).
+    pub fn row_hammer_acmin_base(&self, bank: BankId, row: RowId) -> f64 {
+        let u = self.unit(&[self.seed, salt::HAMMER_ROW, u64::from(bank.0), u64::from(row.0)]);
+        self.hammer_row.sample_from_uniform(u).max(1.0)
+    }
+
+    /// The row's weakest-cell press requirement: the total effective aggressor
+    /// on time (in microseconds, at 50 °C, checkerboard data) that flips the
+    /// most press-vulnerable cell of this row. `None` if the die is not
+    /// press-vulnerable.
+    pub fn row_press_time_us(&self, bank: BankId, row: RowId) -> Option<f64> {
+        let dist = self.press_row.as_ref()?;
+        let u = self.unit(&[self.seed, salt::PRESS_ROW, u64::from(bank.0), u64::from(row.0)]);
+        Some(dist.sample_from_uniform(u) * 1_000.0) // ms -> us
+    }
+
+    // ------------------------------------------------------------------
+    // Cell-level parameters
+    // ------------------------------------------------------------------
+
+    fn anchor_columns(&self, anchor_salt: u64, bank: BankId, row: RowId) -> [u32; 2] {
+        let bits = u64::from(self.geometry.bits_per_row);
+        let h1 = hash_words(&[self.seed, anchor_salt, 1, u64::from(bank.0), u64::from(row.0)]);
+        let h2 = hash_words(&[self.seed, anchor_salt, 2, u64::from(bank.0), u64::from(row.0)]);
+        // One anchor at an even column and one at an odd column so that, for
+        // any repeating-byte data pattern, at least one of the row's weakest
+        // cells sits in the charge state the mechanism can attack.
+        [((h1 % bits) & !1) as u32, ((h2 % bits) | 1) as u32]
+    }
+
+    /// The columns of the row's two weakest hammer cells (their resistance
+    /// equals the row base exactly).
+    pub fn hammer_anchor_columns(&self, bank: BankId, row: RowId) -> [u32; 2] {
+        self.anchor_columns(salt::HAMMER_ANCHOR, bank, row)
+    }
+
+    /// The columns of the row's two weakest press cells.
+    pub fn press_anchor_columns(&self, bank: BankId, row: RowId) -> [u32; 2] {
+        let anchor_salt =
+            if self.config.correlate_hammer_press { salt::HAMMER_ANCHOR } else { salt::PRESS_ANCHOR };
+        self.anchor_columns(anchor_salt, bank, row)
+    }
+
+    /// The per-cell multiplier on top of the row's base hammer resistance.
+    /// Always at least 1; the row's weakest (anchor) cells have multiplier 1.
+    pub fn cell_hammer_spread(&self, addr: CellAddr) -> f64 {
+        let anchors = self.hammer_anchor_columns(addr.bank, addr.row);
+        self.cell_hammer_spread_with_anchors(addr, &anchors)
+    }
+
+    /// [`FaultModel::cell_hammer_spread`] with the row's anchor columns
+    /// precomputed by the caller (hot-loop variant used by the device model).
+    pub fn cell_hammer_spread_with_anchors(&self, addr: CellAddr, anchors: &[u32; 2]) -> f64 {
+        if anchors.contains(&addr.column.0) {
+            return 1.0;
+        }
+        let u = self.unit(&[
+            self.seed,
+            salt::HAMMER_CELL,
+            u64::from(addr.bank.0),
+            u64::from(addr.row.0),
+            u64::from(addr.column.0),
+        ]);
+        (self.hammer_cell_sigma * -u.ln()).exp()
+    }
+
+    /// Hammer resistance of a cell: the number of reference activations of an
+    /// adjacent aggressor needed to flip it (when it stores the discharged
+    /// state).
+    pub fn cell_hammer_resistance(&self, addr: CellAddr) -> f64 {
+        self.row_hammer_acmin_base(addr.bank, addr.row) * self.cell_hammer_spread(addr)
+    }
+
+    /// The per-cell multiplier on top of the row's base press requirement.
+    /// The row's weakest (anchor) cells have multiplier 1.
+    pub fn cell_press_spread(&self, addr: CellAddr) -> f64 {
+        let anchors = self.press_anchor_columns(addr.bank, addr.row);
+        self.cell_press_spread_with_anchors(addr, &anchors)
+    }
+
+    /// [`FaultModel::cell_press_spread`] with the row's anchor columns
+    /// precomputed by the caller (hot-loop variant used by the device model).
+    pub fn cell_press_spread_with_anchors(&self, addr: CellAddr, anchors: &[u32; 2]) -> f64 {
+        if self.press_cell_sigma.is_infinite() {
+            return f64::INFINITY;
+        }
+        if anchors.contains(&addr.column.0) {
+            return 1.0;
+        }
+        let cell_salt = if self.config.correlate_hammer_press { salt::HAMMER_CELL } else { salt::PRESS_CELL };
+        let u = self.unit(&[
+            self.seed,
+            cell_salt,
+            u64::from(addr.bank.0),
+            u64::from(addr.row.0),
+            u64::from(addr.column.0),
+        ]);
+        (self.press_cell_sigma * -u.ln()).min(300.0).exp()
+    }
+
+    /// Press requirement of a cell in microseconds of effective on-time
+    /// exposure (when it stores the charged state). `None` if the die is not
+    /// press-vulnerable.
+    pub fn cell_press_time_us(&self, addr: CellAddr) -> Option<f64> {
+        let base = self.row_press_time_us(addr.bank, addr.row)?;
+        Some(base * self.cell_press_spread(addr))
+    }
+
+    /// Retention time of a cell in seconds at 80 °C.
+    pub fn cell_retention_s_at_80c(&self, addr: CellAddr) -> f64 {
+        let u = self.unit(&[
+            self.seed,
+            salt::RETENTION_CELL,
+            u64::from(addr.bank.0),
+            u64::from(addr.row.0),
+            u64::from(addr.column.0),
+        ]);
+        self.retention.sample_from_uniform(u)
+    }
+
+    /// True if the cell is an anti-cell (charged state stores logical 0).
+    pub fn cell_is_anti(&self, addr: CellAddr) -> bool {
+        let u = self.unit(&[
+            self.seed,
+            salt::POLARITY,
+            u64::from(addr.bank.0),
+            u64::from(addr.row.0),
+            u64::from(addr.column.0),
+        ]);
+        u < self.profile.anti_cell_fraction
+    }
+
+    /// Whether a cell storing logical bit `bit` is charged, given its polarity.
+    pub fn cell_is_charged(&self, addr: CellAddr, bit: bool) -> bool {
+        if self.cell_is_anti(addr) {
+            !bit
+        } else {
+            bit
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-activation disturbance
+    // ------------------------------------------------------------------
+
+    fn raw_hammer_boost(&self, t_on: Time, t_off: Time) -> f64 {
+        let c = &self.config;
+        let on_excess_ns = t_on.saturating_sub(self.timing.t_ras).as_ns();
+        let on_boost = 1.0 + c.hammer_on_gain * (1.0 - (-on_excess_ns / c.hammer_on_tau_ns).exp());
+        let off_boost = 1.0 + c.hammer_off_gain * (1.0 - (-t_off.as_ns() / c.hammer_off_tau_ns).exp());
+        on_boost * off_boost
+    }
+
+    /// Hammer damage units contributed by one activation of an adjacent
+    /// aggressor held open for `t_on` and then closed for `t_off`, at DRAM
+    /// temperature `temp_c`, normalized so the reference RowHammer pattern
+    /// contributes exactly 1.0.
+    pub fn hammer_units_per_act(&self, t_on: Time, t_off: Time, temp_c: f64) -> f64 {
+        let boost = self.raw_hammer_boost(t_on, t_off) / self.hammer_ref_boost;
+        boost * self.theta_hammer(temp_c)
+    }
+
+    /// Press exposure (microseconds of effective on time) contributed by one
+    /// activation of an adjacent aggressor held open for `t_on` and then
+    /// closed for `t_off`, at DRAM temperature `temp_c`.
+    pub fn press_exposure_us_per_act(&self, t_on: Time, t_off: Time, temp_c: f64) -> f64 {
+        let on_us =
+            t_on.saturating_sub(self.timing.t_ras).as_us() - self.config.press_on_offset_ns / 1e3;
+        let recovered = self.config.recovery_rho * t_off.as_us();
+        (on_us - recovered).max(0.0) * self.theta_press(temp_c)
+    }
+
+    /// Disturbance attenuation at physical distance `distance` (1-based) from
+    /// the aggressor. Returns 0 beyond the modeled blast radius of 3 rows.
+    pub fn distance_decay(&self, distance: u32) -> f64 {
+        match distance {
+            1 => self.config.distance_decay[0],
+            2 => self.config.distance_decay[1],
+            3 => self.config.distance_decay[2],
+            _ => 0.0,
+        }
+    }
+
+    /// Extra multiplier applied to accumulated hammer damage when the victim
+    /// row has distance-1 aggressors on both sides (double-sided pattern).
+    pub fn double_sided_hammer_bonus(&self) -> f64 {
+        self.profile.double_sided_hammer_bonus
+    }
+
+    // ------------------------------------------------------------------
+    // Temperature scaling
+    // ------------------------------------------------------------------
+
+    /// Press acceleration relative to 50 °C.
+    pub fn theta_press(&self, temp_c: f64) -> f64 {
+        match self.profile.press {
+            Some(p) => p.theta_80c.powf((temp_c - 50.0) / 30.0),
+            None => 1.0,
+        }
+    }
+
+    /// Hammer acceleration relative to 50 °C (mild).
+    pub fn theta_hammer(&self, temp_c: f64) -> f64 {
+        self.profile.hammer_theta_80c.powf((temp_c - 50.0) / 30.0)
+    }
+
+    /// Retention-leakage acceleration relative to 80 °C (halving of retention
+    /// time per 10 °C increase).
+    pub fn theta_retention(&self, temp_c: f64) -> f64 {
+        2f64.powf((temp_c - 80.0) / 10.0)
+    }
+
+    /// Retention time of a cell at the given temperature, in seconds.
+    pub fn cell_retention_s(&self, addr: CellAddr, temp_c: f64) -> f64 {
+        self.cell_retention_s_at_80c(addr) / self.theta_retention(temp_c)
+    }
+}
+
+/// Convenience: builds a cell address.
+pub fn cell(bank: BankId, row: RowId, column: u32) -> CellAddr {
+    CellAddr { bank, row, column: ColumnId(column) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{find_die, DieDensity, Manufacturer};
+
+    fn model() -> FaultModel {
+        let die = find_die(Manufacturer::S, DieDensity::Gb8, 'B').unwrap();
+        FaultModel::with_defaults(die, Geometry::scaled_down(), 0x5151)
+    }
+
+    #[test]
+    fn determinism_per_cell() {
+        let m = model();
+        let a = cell(BankId(1), RowId(10), 7);
+        assert_eq!(m.cell_hammer_resistance(a), m.cell_hammer_resistance(a));
+        assert_eq!(m.cell_press_time_us(a), m.cell_press_time_us(a));
+        assert_eq!(m.cell_is_anti(a), m.cell_is_anti(a));
+        // The row's anchor (weakest) cell is strictly weaker than the bulk of
+        // the row, and anchors differ between the hammer and press mechanisms.
+        let bank = BankId(1);
+        let row = RowId(10);
+        let hammer_anchor = m.hammer_anchor_columns(bank, row)[0];
+        let press_anchors = m.press_anchor_columns(bank, row);
+        let weak = cell(bank, row, hammer_anchor);
+        let strong_col = (0..m.geometry().bits_per_row)
+            .find(|c| !m.hammer_anchor_columns(bank, row).contains(c))
+            .unwrap();
+        let strong = cell(bank, row, strong_col);
+        assert!(m.cell_hammer_resistance(weak) < m.cell_hammer_resistance(strong));
+        assert_ne!([hammer_anchor, m.hammer_anchor_columns(bank, row)[1]], press_anchors);
+    }
+
+    #[test]
+    fn row_hammer_base_matches_calibration_scale() {
+        let m = model();
+        // Mean over a sample of rows should be within a factor ~1.5 of the
+        // calibrated 270K mean for the Samsung 8Gb B-die.
+        let mean: f64 = (0..512)
+            .map(|r| m.row_hammer_acmin_base(BankId(1), RowId(r)))
+            .sum::<f64>()
+            / 512.0;
+        assert!(mean > 270_000.0 * 0.6 && mean < 270_000.0 * 1.6, "mean = {mean}");
+        // The minimum over ~3072 rows should be far below the mean.
+        let min = (0..3072)
+            .map(|r| m.row_hammer_acmin_base(BankId(1), RowId(r)))
+            .fold(f64::INFINITY, f64::min);
+        assert!(min < 120_000.0, "min = {min}");
+    }
+
+    #[test]
+    fn row_press_time_matches_calibration_scale() {
+        let m = model();
+        let times: Vec<f64> =
+            (0..1024).filter_map(|r| m.row_press_time_us(BankId(1), RowId(r))).collect();
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        // Calibrated to 48 ms = 48000 us.
+        assert!(mean > 30_000.0 && mean < 75_000.0, "mean = {mean}");
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min < 30_000.0, "min = {min}");
+    }
+
+    #[test]
+    fn press_invulnerable_die_has_no_press_times() {
+        let die = find_die(Manufacturer::M, DieDensity::Gb8, 'B').unwrap();
+        let m = FaultModel::with_defaults(die, Geometry::tiny(), 7);
+        assert!(m.row_press_time_us(BankId(0), RowId(3)).is_none());
+        assert!(m.cell_press_time_us(cell(BankId(0), RowId(3), 1)).is_none());
+        assert_eq!(m.theta_press(80.0), 1.0);
+    }
+
+    #[test]
+    fn weakest_cell_of_row_is_close_to_row_base() {
+        let m = model();
+        let bank = BankId(1);
+        let row = RowId(99);
+        let base = m.row_press_time_us(bank, row).unwrap();
+        let min_cell = (0..m.geometry().bits_per_row)
+            .filter_map(|c| m.cell_press_time_us(cell(bank, row, c)))
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_cell >= base);
+        assert!(min_cell < base * 2.0, "min_cell = {min_cell}, base = {base}");
+    }
+
+    #[test]
+    fn hammer_units_reference_is_one() {
+        let m = model();
+        let t = m.timing();
+        let units = m.hammer_units_per_act(t.t_ras, t.t_rp, 50.0);
+        assert!((units - 1.0).abs() < 1e-12);
+        // Longer on or off time increases hammer damage per activation.
+        assert!(m.hammer_units_per_act(Time::from_ns(186.0), t.t_rp, 50.0) > 1.0);
+        assert!(m.hammer_units_per_act(t.t_ras, Time::from_ns(600.0), 50.0) > 1.0);
+        // The on-time boost saturates.
+        let b1 = m.hammer_units_per_act(Time::from_us(10.0), t.t_rp, 50.0);
+        let b2 = m.hammer_units_per_act(Time::from_ms(10.0), t.t_rp, 50.0);
+        assert!((b1 - b2).abs() / b1 < 0.01);
+    }
+
+    #[test]
+    fn press_exposure_grows_linearly_with_on_time() {
+        let m = model();
+        let t = m.timing();
+        assert_eq!(m.press_exposure_us_per_act(t.t_ras, t.t_rp, 50.0), 0.0);
+        let e1 = m.press_exposure_us_per_act(Time::from_us(7.8), t.t_rp, 50.0);
+        let e2 = m.press_exposure_us_per_act(Time::from_us(70.2), t.t_rp, 50.0);
+        assert!(e1 > 0.0);
+        // Linear in the on time beyond the tRAS + engagement offset.
+        assert!((e2 / e1 - (70.2 - 0.536) / (7.8 - 0.536)).abs() < 0.05);
+        // Recovery: a long off time reduces the effective exposure.
+        let with_off = m.press_exposure_us_per_act(Time::from_us(7.8), Time::from_us(7.8), 50.0);
+        assert!(with_off < e1);
+    }
+
+    #[test]
+    fn temperature_scaling_directions() {
+        let m = model();
+        assert!(m.theta_press(80.0) > m.theta_press(50.0));
+        assert!((m.theta_press(50.0) - 1.0).abs() < 1e-12);
+        assert!((m.theta_press(80.0) - 1.85).abs() < 1e-9);
+        assert!(m.theta_press(65.0) > 1.0 && m.theta_press(65.0) < 1.85);
+        assert!(m.theta_hammer(80.0) >= 1.0 && m.theta_hammer(80.0) < 1.2);
+        assert!(m.theta_retention(70.0) < 1.0);
+        let a = cell(BankId(0), RowId(0), 0);
+        assert!(m.cell_retention_s(a, 50.0) > m.cell_retention_s(a, 80.0));
+    }
+
+    #[test]
+    fn distance_decay_drops_off() {
+        let m = model();
+        assert_eq!(m.distance_decay(1), 1.0);
+        assert!(m.distance_decay(2) < 0.2);
+        assert!(m.distance_decay(3) < m.distance_decay(2));
+        assert_eq!(m.distance_decay(4), 0.0);
+        assert_eq!(m.distance_decay(0), 0.0);
+    }
+
+    #[test]
+    fn anti_cell_fraction_respected() {
+        let die = find_die(Manufacturer::M, DieDensity::Gb16, 'E').unwrap();
+        let m = FaultModel::with_defaults(die, Geometry::tiny(), 11);
+        let n = 4000;
+        let anti = (0..n)
+            .filter(|&c| m.cell_is_anti(cell(BankId(0), RowId(1), c)))
+            .count();
+        let frac = anti as f64 / f64::from(n);
+        assert!((frac - 0.85).abs() < 0.05, "frac = {frac}");
+        // Charged state follows polarity.
+        let a = cell(BankId(0), RowId(1), 0);
+        if m.cell_is_anti(a) {
+            assert!(m.cell_is_charged(a, false));
+            assert!(!m.cell_is_charged(a, true));
+        } else {
+            assert!(m.cell_is_charged(a, true));
+        }
+    }
+
+    #[test]
+    fn overlap_between_hammer_and_press_weak_cells_is_small() {
+        // The cells closest to flipping under each mechanism should be almost
+        // entirely distinct (Obsv. 7).
+        let m = model();
+        let bank = BankId(1);
+        let mut overlap = 0usize;
+        let mut rows_checked = 0usize;
+        for r in 0..64u32 {
+            let row = RowId(r);
+            let mut hammer_min = (f64::INFINITY, 0u32);
+            let mut press_min = (f64::INFINITY, 0u32);
+            for c in 0..m.geometry().bits_per_row {
+                let a = cell(bank, row, c);
+                let h = m.cell_hammer_resistance(a);
+                if h < hammer_min.0 {
+                    hammer_min = (h, c);
+                }
+                if let Some(p) = m.cell_press_time_us(a) {
+                    if p < press_min.0 {
+                        press_min = (p, c);
+                    }
+                }
+            }
+            rows_checked += 1;
+            if hammer_min.1 == press_min.1 {
+                overlap += 1;
+            }
+        }
+        assert!(rows_checked == 64);
+        assert!(overlap <= 1, "weakest hammer and press cells coincide in {overlap}/64 rows");
+    }
+
+    #[test]
+    fn correlated_config_increases_overlap() {
+        let die = find_die(Manufacturer::S, DieDensity::Gb8, 'B').unwrap();
+        let cfg = FaultModelConfig { correlate_hammer_press: true, ..Default::default() };
+        let m = FaultModel::new(die, Geometry::tiny(), TimingParams::ddr4(), 3, cfg, 3072);
+        let bank = BankId(0);
+        let mut coincide = 0;
+        for r in 0..32u32 {
+            let row = RowId(r);
+            let hammer_min = (0..1024)
+                .map(|c| (m.cell_hammer_resistance(cell(bank, row, c)), c))
+                .fold((f64::INFINITY, 0), |acc, x| if x.0 < acc.0 { x } else { acc });
+            let press_min = (0..1024)
+                .map(|c| (m.cell_press_time_us(cell(bank, row, c)).unwrap(), c))
+                .fold((f64::INFINITY, 0), |acc, x| if x.0 < acc.0 { x } else { acc });
+            if hammer_min.1 == press_min.1 {
+                coincide += 1;
+            }
+        }
+        // With correlated draws the weakest cells coincide in every row.
+        assert_eq!(coincide, 32);
+    }
+}

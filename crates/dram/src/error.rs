@@ -1,0 +1,92 @@
+//! Error type of the DRAM device model.
+
+use crate::address::{BankId, RowId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`crate::DramModule`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// The addressed bank does not exist in the configured geometry.
+    InvalidBank {
+        /// The offending bank address.
+        bank: BankId,
+        /// Number of banks in the geometry.
+        banks: u16,
+    },
+    /// The addressed row does not exist in the configured geometry.
+    InvalidRow {
+        /// Bank that was addressed.
+        bank: BankId,
+        /// The offending row address.
+        row: RowId,
+        /// Number of rows per bank in the geometry.
+        rows: u32,
+    },
+    /// A row was read or checked before being initialized with data.
+    RowNotInitialized {
+        /// Bank that was addressed.
+        bank: BankId,
+        /// Row that was accessed.
+        row: RowId,
+    },
+    /// The supplied data buffer does not match the row size.
+    DataSizeMismatch {
+        /// Expected buffer size in bytes (one full row).
+        expected: usize,
+        /// Size of the buffer actually supplied.
+        actual: usize,
+    },
+    /// The geometry or timing parameters are internally inconsistent.
+    InvalidConfiguration(String),
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::InvalidBank { bank, banks } => {
+                write!(f, "bank {} out of range (module has {} banks)", bank.0, banks)
+            }
+            DramError::InvalidRow { bank, row, rows } => {
+                write!(f, "row {} out of range in bank {} (bank has {} rows)", row.0, bank.0, rows)
+            }
+            DramError::RowNotInitialized { bank, row } => {
+                write!(f, "row {} in bank {} was accessed before initialization", row.0, bank.0)
+            }
+            DramError::DataSizeMismatch { expected, actual } => {
+                write!(f, "row data size mismatch: expected {expected} bytes, got {actual}")
+            }
+            DramError::InvalidConfiguration(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for DramError {}
+
+/// Convenience alias for results returned by the device model.
+pub type DramResult<T> = Result<T, DramError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DramError::InvalidBank { bank: BankId(9), banks: 4 };
+        assert!(format!("{e}").contains("bank 9"));
+        let e = DramError::RowNotInitialized { bank: BankId(1), row: RowId(7) };
+        assert!(format!("{e}").contains("row 7"));
+        let e = DramError::DataSizeMismatch { expected: 128, actual: 64 };
+        assert!(format!("{e}").contains("128"));
+        let e = DramError::InvalidConfiguration("bad".into());
+        assert!(format!("{e}").contains("bad"));
+        let e = DramError::InvalidRow { bank: BankId(0), row: RowId(99), rows: 64 };
+        assert!(format!("{e}").contains("99"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<DramError>();
+    }
+}

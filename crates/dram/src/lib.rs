@@ -1,0 +1,102 @@
+//! # rowpress-dram
+//!
+//! Behavioural DDR4 DRAM device model used by the RowPress (ISCA 2023)
+//! reproduction. It stands in for the 164 real DDR4 chips characterized by the
+//! paper: a [`DramModule`] exposes the same knobs the paper's experiments turn
+//! (aggressor-row-on time, off time, activation count, temperature, access and
+//! data pattern, die revision) and produces bitflips whose statistics are
+//! calibrated to the paper's summary tables.
+//!
+//! The crate is organized as:
+//!
+//! * [`Time`], [`TimingParams`] — picosecond-resolution time and DDR4 timing
+//!   parameters (tRAS, tRP, tREFI, tREFW, ...).
+//! * [`Geometry`], [`BankId`], [`RowId`], [`CellAddr`], [`RowMapping`] —
+//!   bank-local geometry and addressing.
+//! * [`DramCommand`] — the DDR4 command vocabulary.
+//! * [`DataPattern`] — the six data patterns of the paper's Table 2.
+//! * [`Manufacturer`], [`DieProfile`], [`ModuleSpec`], [`module_inventory`] —
+//!   the Table 1 chip catalog with per-die calibration constants.
+//! * [`FaultModel`], [`FaultModelConfig`] — the per-cell read-disturb physics.
+//! * [`DramModule`], [`Bitflip`], [`FlipMechanism`] — the stateful device
+//!   under test.
+//!
+//! # Quick example
+//!
+//! ```
+//! use rowpress_dram::{
+//!     module_inventory, BankId, DataPattern, DramModule, Geometry, RowId, RowRole, Time,
+//! };
+//!
+//! // Take a Samsung 8Gb B-die module from the paper's inventory.
+//! let spec = module_inventory().remove(0);
+//! let mut module = DramModule::new(&spec, Geometry::tiny());
+//! let bank = BankId(1);
+//!
+//! // Initialize an aggressor row and its neighbour with the checkerboard pattern.
+//! module.init_row_pattern(bank, RowId(30), DataPattern::Checkerboard, RowRole::Aggressor)?;
+//! module.init_row_pattern(bank, RowId(31), DataPattern::Checkerboard, RowRole::Victim)?;
+//!
+//! // RowPress: keep the aggressor open for 30 ms, ten times.
+//! module.activate_many(bank, RowId(30), Time::from_ms(30.0), Time::from_ns(15.0), 10)?;
+//! assert!(!module.check_row(bank, RowId(31))?.is_empty());
+//! # Ok::<(), rowpress_dram::DramError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod address;
+mod command;
+mod disturb;
+mod error;
+pub mod math;
+mod module;
+mod pattern;
+mod profile;
+mod time;
+mod timing;
+
+pub use address::{BankId, CellAddr, ColumnId, Geometry, RowId, RowMapping};
+pub use command::DramCommand;
+pub use disturb::{cell, FaultModel, FaultModelConfig};
+pub use error::{DramError, DramResult};
+pub use module::{Bitflip, DramModule, FlipMechanism};
+pub use pattern::{fill_row, DataPattern, RowRole};
+pub use profile::{
+    die_catalog, find_die, module_inventory, representative_modules, DieDensity, DieProfile,
+    Manufacturer, ModuleSpec, PressCalibration,
+};
+pub use time::Time;
+pub use timing::{representative_t_aggon, sweep_t_aggon, TimingParams};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramModule>();
+        assert_send_sync::<FaultModel>();
+        assert_send_sync::<ModuleSpec>();
+        assert_send_sync::<DramError>();
+    }
+
+    #[test]
+    fn doc_example_compiles_and_runs() {
+        let spec = module_inventory().remove(0);
+        let mut module = DramModule::new(&spec, Geometry::tiny());
+        let bank = BankId(1);
+        module
+            .init_row_pattern(bank, RowId(30), DataPattern::Checkerboard, RowRole::Aggressor)
+            .unwrap();
+        module
+            .init_row_pattern(bank, RowId(31), DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
+        module
+            .activate_many(bank, RowId(30), Time::from_ms(30.0), Time::from_ns(15.0), 10)
+            .unwrap();
+        assert!(!module.check_row(bank, RowId(31)).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! Small numerical helpers used by the fault model: deterministic hashing,
+//! standard-normal quantile/CDF, and lognormal parameter fitting.
+//!
+//! The fault model derives every per-cell parameter lazily from a hash of the
+//! cell address, so multi-gigabit devices need no per-cell storage and every
+//! experiment is exactly reproducible from the module seed.
+
+/// SplitMix64 finalizer: a fast, well-mixed 64-bit hash step.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes an arbitrary sequence of 64-bit words into one well-mixed word.
+#[inline]
+pub fn hash_words(words: &[u64]) -> u64 {
+    let mut acc = 0x51_7C_C1_B7_27_22_0A_95u64;
+    for &w in words {
+        acc = splitmix64(acc ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    splitmix64(acc)
+}
+
+/// Converts a hash value into a uniform deviate in the open interval (0, 1).
+#[inline]
+pub fn to_unit_open(hash: u64) -> f64 {
+    // Use the top 53 bits; offset by half an ulp so the result is never 0 or 1.
+    ((hash >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+/// Standard normal cumulative distribution function.
+///
+/// Uses the Abramowitz & Stegun 7.1.26 rational approximation of `erf`,
+/// accurate to about 1.5e-7 — ample for calibrating fault-model quantiles.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let a1 = 0.254829592;
+    let a2 = -0.284496736;
+    let a3 = 1.421413741;
+    let a4 = -1.453152027;
+    let a5 = 1.061405429;
+    let p = 0.3275911;
+    let t = 1.0 / (1.0 + p * x);
+    let y = 1.0 - (((((a5 * t + a4) * t) + a3) * t + a2) * t + a1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal quantile function (probit), using the Acklam rational
+/// approximation with one Halley refinement step. Relative error < 1e-9 over
+/// the full open interval.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly between 0 and 1.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1), got {p}");
+    // Coefficients for the Acklam approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One step of Halley's method to polish the estimate.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Parameters of a lognormal distribution expressed as (mu, sigma) of the
+/// underlying normal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of ln(X).
+    pub mu: f64,
+    /// Standard deviation of ln(X).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Fits a lognormal such that the distribution's *mean* equals `mean` and
+    /// the expected minimum over `n` independent draws is approximately
+    /// `min_over_n`. This is how per-row fault-model scale factors are
+    /// calibrated from the paper's "Avg. (Min.)" summary tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0`, `min_over_n <= 0`, or `n < 2`.
+    pub fn from_mean_and_min(mean: f64, min_over_n: f64, n: u64) -> Self {
+        assert!(mean > 0.0 && min_over_n > 0.0 && n >= 2);
+        let min_over_n = min_over_n.min(mean * 0.999);
+        // The expected minimum over n draws sits near the 1/(n+1) quantile:
+        //   ln(min) ~= mu + sigma * z_q  with z_q = Phi^-1(1/(n+1))
+        // and the mean of a lognormal is exp(mu + sigma^2/2). Solve the
+        // resulting quadratic in sigma and take the small positive root.
+        let z_q = normal_quantile(1.0 / (n as f64 + 1.0)); // negative
+        let gap = (mean / min_over_n).ln(); // = sigma^2/2 - sigma*z_q  (>0)
+        // sigma^2/2 - z_q*sigma - gap = 0  =>  sigma = z_q + sqrt(z_q^2 + 2*gap) (positive root)
+        let sigma = z_q + (z_q * z_q + 2.0 * gap).sqrt();
+        let sigma = sigma.max(1e-6);
+        let mu = mean.ln() - sigma * sigma / 2.0;
+        LogNormal { mu, sigma }
+    }
+
+    /// Evaluates the deviate corresponding to uniform `u` in (0,1).
+    pub fn sample_from_uniform(&self, u: f64) -> f64 {
+        (self.mu + self.sigma * normal_quantile(u)).exp()
+    }
+
+    /// The mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Probability that a draw is at most `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        normal_cdf((x.ln() - self.mu) / self.sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixes() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        let h1 = hash_words(&[1, 2, 3]);
+        let h2 = hash_words(&[1, 2, 4]);
+        let h3 = hash_words(&[1, 2, 3]);
+        assert_eq!(h1, h3);
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn unit_open_stays_in_open_interval() {
+        for x in [0u64, 1, u64::MAX, 0xDEADBEEF, 42] {
+            let u = to_unit_open(splitmix64(x));
+            assert!(u > 0.0 && u < 1.0, "u = {u}");
+        }
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.9999999);
+        assert!(normal_cdf(-8.0) < 1e-7);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.0001, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 5e-6, "p={p} x={x}");
+        }
+        assert!((normal_quantile(0.5)).abs() < 1e-6);
+        assert!(normal_quantile(0.975) > 1.95 && normal_quantile(0.975) < 1.97);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_rejects_zero() {
+        normal_quantile(0.0);
+    }
+
+    #[test]
+    fn lognormal_fit_reproduces_mean_and_min() {
+        // Calibration target taken from Table 5: mean 47.3 ms, min 12.4 ms
+        // over roughly 3072 tested rows.
+        let ln = LogNormal::from_mean_and_min(47.3, 12.4, 3072);
+        assert!((ln.mean() - 47.3).abs() / 47.3 < 1e-9);
+        // The 1/(n+1) quantile should land near the requested minimum.
+        let q = 1.0 / 3073.0;
+        let x_min = ln.sample_from_uniform(q);
+        assert!((x_min - 12.4).abs() / 12.4 < 0.05, "x_min = {x_min}");
+        // CDF is monotone and consistent with sampling.
+        assert!(ln.cdf(12.4) < ln.cdf(47.3));
+        assert!(ln.cdf(0.0) == 0.0);
+    }
+
+    #[test]
+    fn lognormal_fit_handles_tight_inputs() {
+        // A min very close to (or above) the mean should not panic and should
+        // produce a narrow distribution.
+        let ln = LogNormal::from_mean_and_min(10.0, 9.999, 100);
+        assert!(ln.sigma > 0.0 && ln.sigma < 0.2);
+        let ln = LogNormal::from_mean_and_min(10.0, 15.0, 100);
+        assert!(ln.sigma > 0.0);
+    }
+
+    #[test]
+    fn lognormal_sampling_is_monotone_in_u() {
+        let ln = LogNormal::from_mean_and_min(100.0, 20.0, 1000);
+        let lo = ln.sample_from_uniform(0.01);
+        let mid = ln.sample_from_uniform(0.5);
+        let hi = ln.sample_from_uniform(0.99);
+        assert!(lo < mid && mid < hi);
+    }
+}

@@ -1,0 +1,208 @@
+//! Data patterns used by the characterization (paper §4.1 and §5.3, Table 2).
+//!
+//! The paper fills aggressor and victim rows with one of six patterns:
+//! checkerboard, row-stripe and column-stripe, plus their bitwise inverses.
+//! The pattern determines both the byte written to each row and, together with
+//! the true-/anti-cell polarity, whether a given victim cell is charged — which
+//! in turn decides which disturbance mechanism (charge injection vs. charge
+//! drain) can flip it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The role of a row in a read-disturb experiment, which selects which byte of
+/// the data pattern it is filled with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowRole {
+    /// The row being activated (hammered / pressed).
+    Aggressor,
+    /// A physically nearby row being checked for bitflips.
+    Victim,
+}
+
+/// The six data patterns of Table 2. The suffix `I` denotes the bitwise
+/// inverse of the base pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataPattern {
+    /// Aggressor 0xAA, victim 0x55 (the paper's baseline pattern).
+    Checkerboard,
+    /// Aggressor 0x55, victim 0xAA.
+    CheckerboardI,
+    /// Aggressor 0xFF, victim 0x00.
+    RowStripe,
+    /// Aggressor 0x00, victim 0xFF.
+    RowStripeI,
+    /// Aggressor 0x55, victim 0x55 (alternating along the column/bitline).
+    ColStripe,
+    /// Aggressor 0xAA, victim 0xAA.
+    ColStripeI,
+}
+
+impl DataPattern {
+    /// All six patterns in the order used by the paper's Fig. 19/20 heatmaps.
+    pub fn all() -> [DataPattern; 6] {
+        [
+            DataPattern::Checkerboard,
+            DataPattern::CheckerboardI,
+            DataPattern::ColStripe,
+            DataPattern::ColStripeI,
+            DataPattern::RowStripe,
+            DataPattern::RowStripeI,
+        ]
+    }
+
+    /// The fill byte for a row with the given role (Table 2).
+    pub fn fill_byte(&self, role: RowRole) -> u8 {
+        match (self, role) {
+            (DataPattern::Checkerboard, RowRole::Aggressor) => 0xAA,
+            (DataPattern::Checkerboard, RowRole::Victim) => 0x55,
+            (DataPattern::CheckerboardI, RowRole::Aggressor) => 0x55,
+            (DataPattern::CheckerboardI, RowRole::Victim) => 0xAA,
+            (DataPattern::RowStripe, RowRole::Aggressor) => 0xFF,
+            (DataPattern::RowStripe, RowRole::Victim) => 0x00,
+            (DataPattern::RowStripeI, RowRole::Aggressor) => 0x00,
+            (DataPattern::RowStripeI, RowRole::Victim) => 0xFF,
+            (DataPattern::ColStripe, RowRole::Aggressor) => 0x55,
+            (DataPattern::ColStripe, RowRole::Victim) => 0x55,
+            (DataPattern::ColStripeI, RowRole::Aggressor) => 0xAA,
+            (DataPattern::ColStripeI, RowRole::Victim) => 0xAA,
+        }
+    }
+
+    /// The stored bit of cell `column` in a row filled with this pattern.
+    pub fn bit_at(&self, role: RowRole, column: u32) -> bool {
+        let byte = self.fill_byte(role);
+        let bit = column % 8;
+        (byte >> bit) & 1 == 1
+    }
+
+    /// The inverse pattern.
+    pub fn inverse(&self) -> DataPattern {
+        match self {
+            DataPattern::Checkerboard => DataPattern::CheckerboardI,
+            DataPattern::CheckerboardI => DataPattern::Checkerboard,
+            DataPattern::RowStripe => DataPattern::RowStripeI,
+            DataPattern::RowStripeI => DataPattern::RowStripe,
+            DataPattern::ColStripe => DataPattern::ColStripeI,
+            DataPattern::ColStripeI => DataPattern::ColStripe,
+        }
+    }
+
+    /// Short label used in figure output ("CB", "CBI", "RS", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DataPattern::Checkerboard => "CB",
+            DataPattern::CheckerboardI => "CBI",
+            DataPattern::RowStripe => "RS",
+            DataPattern::RowStripeI => "RSI",
+            DataPattern::ColStripe => "CS",
+            DataPattern::ColStripeI => "CSI",
+        }
+    }
+
+    /// Coupling multiplier applied to the *RowHammer* (charge-injection) term
+    /// for a victim cell under this pattern.
+    ///
+    /// The paper observes (Obsv. 15) that RowStripe is the most effective
+    /// RowHammer pattern, with Checkerboard close behind and the column-stripe
+    /// family the weakest. The factors below encode that ordering; the
+    /// per-die-revision profile can scale them further.
+    pub fn hammer_factor(&self) -> f64 {
+        match self {
+            DataPattern::RowStripe | DataPattern::RowStripeI => 1.20,
+            DataPattern::Checkerboard | DataPattern::CheckerboardI => 1.00,
+            DataPattern::ColStripe | DataPattern::ColStripeI => 0.72,
+        }
+    }
+
+    /// Coupling multiplier applied to the *RowPress* (charge-drain) term for a
+    /// victim cell under this pattern.
+    ///
+    /// The paper observes (Obsv. 14/15) that the Checkerboard pattern is the
+    /// most robust RowPress pattern: it always induces bitflips as tAggON
+    /// grows, while RowStripe becomes ineffective beyond a few hundred ns and
+    /// the column-stripe family loses effectiveness at high temperature.
+    pub fn press_factor(&self) -> f64 {
+        match self {
+            DataPattern::Checkerboard | DataPattern::CheckerboardI => 1.00,
+            DataPattern::ColStripe | DataPattern::ColStripeI => 0.92,
+            DataPattern::RowStripe | DataPattern::RowStripeI => 0.28,
+        }
+    }
+}
+
+impl fmt::Display for DataPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fills a buffer of `len` bytes for a row of the given role.
+pub fn fill_row(pattern: DataPattern, role: RowRole, len: usize) -> Vec<u8> {
+    vec![pattern.fill_byte(role); len]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkerboard_matches_paper_table2() {
+        assert_eq!(DataPattern::Checkerboard.fill_byte(RowRole::Aggressor), 0xAA);
+        assert_eq!(DataPattern::Checkerboard.fill_byte(RowRole::Victim), 0x55);
+        assert_eq!(DataPattern::RowStripe.fill_byte(RowRole::Aggressor), 0xFF);
+        assert_eq!(DataPattern::RowStripe.fill_byte(RowRole::Victim), 0x00);
+        assert_eq!(DataPattern::ColStripe.fill_byte(RowRole::Aggressor), 0x55);
+        assert_eq!(DataPattern::ColStripe.fill_byte(RowRole::Victim), 0x55);
+    }
+
+    #[test]
+    fn inverse_patterns_invert_bytes() {
+        for p in DataPattern::all() {
+            let inv = p.inverse();
+            assert_eq!(inv.inverse(), p);
+            assert_eq!(p.fill_byte(RowRole::Victim), !inv.fill_byte(RowRole::Victim));
+            assert_eq!(p.fill_byte(RowRole::Aggressor), !inv.fill_byte(RowRole::Aggressor));
+        }
+    }
+
+    #[test]
+    fn bit_at_follows_byte_pattern() {
+        // Victim byte 0x55 = 0b0101_0101: even bit positions store 1.
+        for col in 0..32 {
+            let expected = col % 2 == 0;
+            assert_eq!(DataPattern::Checkerboard.bit_at(RowRole::Victim, col), expected);
+        }
+        // RowStripe victim is all zeros.
+        assert!(!DataPattern::RowStripe.bit_at(RowRole::Victim, 17));
+        assert!(DataPattern::RowStripeI.bit_at(RowRole::Victim, 17));
+    }
+
+    #[test]
+    fn fill_row_repeats_byte() {
+        let buf = fill_row(DataPattern::Checkerboard, RowRole::Aggressor, 16);
+        assert_eq!(buf.len(), 16);
+        assert!(buf.iter().all(|&b| b == 0xAA));
+    }
+
+    #[test]
+    fn mechanism_factors_encode_paper_ordering() {
+        // RowStripe is the best hammer pattern but the worst press pattern.
+        assert!(DataPattern::RowStripe.hammer_factor() > DataPattern::Checkerboard.hammer_factor());
+        assert!(DataPattern::RowStripe.press_factor() < DataPattern::Checkerboard.press_factor());
+        // Inverse patterns have identical coupling factors.
+        for p in DataPattern::all() {
+            assert_eq!(p.hammer_factor(), p.inverse().hammer_factor());
+            assert_eq!(p.press_factor(), p.inverse().press_factor());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = DataPattern::all().iter().map(|p| p.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+        assert_eq!(format!("{}", DataPattern::Checkerboard), "CB");
+    }
+}

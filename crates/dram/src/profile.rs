@@ -1,0 +1,514 @@
+//! Manufacturer, die-revision and module catalog (paper Table 1), together
+//! with the per-die calibration constants of the behavioural fault model.
+//!
+//! The paper characterizes 164 chips on 21 modules spanning 12 distinct
+//! (manufacturer, density, die revision) combinations. Each [`DieProfile`]
+//! below carries the calibration targets extracted from the paper's summary
+//! tables (Table 5: ACmin / tAggONmin averages and minima; Table 6: maximum
+//! bit error rates), so that the synthetic device reproduces the *shape* of
+//! every figure: which dies are vulnerable, how vulnerable, and how the
+//! vulnerability scales with temperature and technology node.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three major DRAM manufacturers, anonymized as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Manufacturer {
+    /// Mfr. S (Samsung).
+    S,
+    /// Mfr. H (SK Hynix).
+    H,
+    /// Mfr. M (Micron).
+    M,
+}
+
+impl Manufacturer {
+    /// All manufacturers in the order used by the paper's figures.
+    pub fn all() -> [Manufacturer; 3] {
+        [Manufacturer::S, Manufacturer::H, Manufacturer::M]
+    }
+
+    /// Full vendor name as revealed in Table 1.
+    pub fn vendor_name(&self) -> &'static str {
+        match self {
+            Manufacturer::S => "Samsung",
+            Manufacturer::H => "SK Hynix",
+            Manufacturer::M => "Micron",
+        }
+    }
+}
+
+impl fmt::Display for Manufacturer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Manufacturer::S => write!(f, "Mfr. S"),
+            Manufacturer::H => write!(f, "Mfr. H"),
+            Manufacturer::M => write!(f, "Mfr. M"),
+        }
+    }
+}
+
+/// Die density in gigabits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DieDensity {
+    /// 4 Gb dies.
+    Gb4,
+    /// 8 Gb dies.
+    Gb8,
+    /// 16 Gb dies.
+    Gb16,
+}
+
+impl fmt::Display for DieDensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DieDensity::Gb4 => write!(f, "4Gb"),
+            DieDensity::Gb8 => write!(f, "8Gb"),
+            DieDensity::Gb16 => write!(f, "16Gb"),
+        }
+    }
+}
+
+/// RowPress-specific calibration of a die revision. Dies with `None` for this
+/// block (e.g. Mfr. M's 8Gb B-die) exhibit no RowPress bitflips at any tested
+/// temperature, matching the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PressCalibration {
+    /// Mean, across tested rows, of the total effective aggressor-on time (ms)
+    /// needed to flip the weakest cell of a row at 50 °C (Table 5's
+    /// "tAggONmin @ AC=1, 50 °C, Avg.").
+    pub t_mean_ms_50c: f64,
+    /// Minimum of the same quantity across tested rows (Table 5's "Min.").
+    pub t_min_ms_50c: f64,
+    /// Acceleration factor of the press mechanism at 80 °C relative to 50 °C
+    /// (how much less on-time is needed). Derived from Table 5's 50 °C vs
+    /// 80 °C columns; Obsv. 9/11.
+    pub theta_80c: f64,
+    /// Expected number of additional cells per row that flip when the press
+    /// exposure reaches 4x the row's weakest-cell requirement. Controls the
+    /// press BER tail (Table 6) and the ECC word analysis (Fig. 25/26).
+    pub cells_at_4x: f64,
+}
+
+/// Calibration constants of one (manufacturer, density, die revision).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DieProfile {
+    /// Manufacturer.
+    pub manufacturer: Manufacturer,
+    /// Die density.
+    pub density: DieDensity,
+    /// Die revision code ('B', 'C', ..., 'X' when unknown).
+    pub revision: char,
+    /// Mean RowHammer ACmin across tested rows at 50 °C with the reference
+    /// single-sided pattern (tAggON = tRAS).
+    pub hammer_acmin_mean: f64,
+    /// Minimum RowHammer ACmin across tested rows.
+    pub hammer_acmin_min: f64,
+    /// Expected number of cells per row that flip at the maximum activation
+    /// count reachable within the 60 ms experiment budget (RowHammer BER tail).
+    pub hammer_cells_at_max: f64,
+    /// Mild acceleration of the hammer mechanism at 80 °C relative to 50 °C.
+    pub hammer_theta_80c: f64,
+    /// Extra effectiveness of the double-sided pattern for the hammer
+    /// mechanism (victim sandwiched between two aggressors).
+    pub double_sided_hammer_bonus: f64,
+    /// RowPress calibration; `None` for dies that never exhibit press bitflips.
+    pub press: Option<PressCalibration>,
+    /// Fraction of cells that are anti-cells (a fully charged state stores a
+    /// logical 0). Drives the bitflip-direction results of Fig. 12.
+    pub anti_cell_fraction: f64,
+    /// Median single-cell retention time in seconds at 80 °C.
+    pub retention_median_s_80c: f64,
+}
+
+impl DieProfile {
+    /// A short identifier such as "8Gb B-Die".
+    pub fn label(&self) -> String {
+        format!("{} {}-Die", self.density, self.revision)
+    }
+
+    /// True if this die exhibits RowPress bitflips at any temperature.
+    pub fn is_press_vulnerable(&self) -> bool {
+        self.press.is_some()
+    }
+
+    /// Relative technology-node rank within (manufacturer, density): later die
+    /// revision letters are assumed to be more advanced nodes (paper footnote 9).
+    pub fn node_rank(&self) -> u32 {
+        match self.revision {
+            'X' => 0,
+            c => c as u32 - 'A' as u32 + 1,
+        }
+    }
+}
+
+impl fmt::Display for DieProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.manufacturer, self.label())
+    }
+}
+
+/// Returns the catalog of the 12 die revisions characterized in the paper,
+/// with calibration constants derived from Tables 5 and 6.
+pub fn die_catalog() -> Vec<DieProfile> {
+    use DieDensity::*;
+    use Manufacturer::*;
+    let press = |mean: f64, min: f64, theta: f64, cells: f64| {
+        Some(PressCalibration { t_mean_ms_50c: mean, t_min_ms_50c: min, theta_80c: theta, cells_at_4x: cells })
+    };
+    vec![
+        // ---- Mfr. S (Samsung) ----
+        DieProfile {
+            manufacturer: S,
+            density: Gb8,
+            revision: 'B',
+            hammer_acmin_mean: 270_000.0,
+            hammer_acmin_min: 42_000.0,
+            hammer_cells_at_max: 98.0,
+            hammer_theta_80c: 1.05,
+            double_sided_hammer_bonus: 1.4,
+            press: press(48.0, 13.0, 1.85, 6.0),
+            anti_cell_fraction: 0.04,
+            retention_median_s_80c: 400.0,
+        },
+        DieProfile {
+            manufacturer: S,
+            density: Gb8,
+            revision: 'C',
+            hammer_acmin_mean: 110_000.0,
+            hammer_acmin_min: 24_000.0,
+            hammer_cells_at_max: 460.0,
+            hammer_theta_80c: 1.05,
+            double_sided_hammer_bonus: 1.4,
+            press: press(49.0, 13.0, 1.45, 13.0),
+            anti_cell_fraction: 0.04,
+            retention_median_s_80c: 380.0,
+        },
+        DieProfile {
+            manufacturer: S,
+            density: Gb8,
+            revision: 'D',
+            hammer_acmin_mean: 41_500.0,
+            hammer_acmin_min: 13_000.0,
+            hammer_cells_at_max: 5_000.0,
+            hammer_theta_80c: 1.06,
+            double_sided_hammer_bonus: 1.4,
+            press: press(39.0, 9.5, 1.58, 33.0),
+            anti_cell_fraction: 0.04,
+            retention_median_s_80c: 340.0,
+        },
+        DieProfile {
+            manufacturer: S,
+            density: Gb4,
+            revision: 'F',
+            hammer_acmin_mean: 122_000.0,
+            hammer_acmin_min: 21_000.0,
+            hammer_cells_at_max: 330.0,
+            hammer_theta_80c: 1.05,
+            double_sided_hammer_bonus: 1.4,
+            press: press(45.0, 13.5, 2.8, 16.0),
+            anti_cell_fraction: 0.04,
+            retention_median_s_80c: 420.0,
+        },
+        // ---- Mfr. H (SK Hynix) ----
+        DieProfile {
+            manufacturer: H,
+            density: Gb16,
+            revision: 'A',
+            hammer_acmin_mean: 117_000.0,
+            hammer_acmin_min: 22_000.0,
+            hammer_cells_at_max: 690.0,
+            hammer_theta_80c: 1.07,
+            double_sided_hammer_bonus: 1.4,
+            press: press(50.0, 17.0, 3.8, 20.0),
+            anti_cell_fraction: 0.05,
+            retention_median_s_80c: 360.0,
+        },
+        DieProfile {
+            manufacturer: H,
+            density: Gb16,
+            revision: 'C',
+            hammer_acmin_mean: 77_500.0,
+            hammer_acmin_min: 15_500.0,
+            hammer_cells_at_max: 1_380.0,
+            hammer_theta_80c: 1.07,
+            double_sided_hammer_bonus: 1.4,
+            press: press(51.6, 11.0, 2.3, 4.0),
+            anti_cell_fraction: 0.05,
+            retention_median_s_80c: 350.0,
+        },
+        DieProfile {
+            manufacturer: H,
+            density: Gb4,
+            revision: 'A',
+            hammer_acmin_mean: 382_000.0,
+            hammer_acmin_min: 83_000.0,
+            hammer_cells_at_max: 130.0,
+            hammer_theta_80c: 1.04,
+            double_sided_hammer_bonus: 1.4,
+            // Not vulnerable at 50 C (mean on-time requirement exceeds the
+            // 60 ms experiment budget); becomes vulnerable at >= 65 C.
+            press: press(160.0, 95.0, 3.2, 3.0),
+            anti_cell_fraction: 0.05,
+            retention_median_s_80c: 520.0,
+        },
+        DieProfile {
+            manufacturer: H,
+            density: Gb4,
+            revision: 'X',
+            hammer_acmin_mean: 119_000.0,
+            hammer_acmin_min: 20_000.0,
+            hammer_cells_at_max: 590.0,
+            hammer_theta_80c: 1.05,
+            double_sided_hammer_bonus: 1.4,
+            press: press(53.5, 20.0, 3.85, 3.5),
+            anti_cell_fraction: 0.05,
+            retention_median_s_80c: 400.0,
+        },
+        // ---- Mfr. M (Micron) ----
+        DieProfile {
+            manufacturer: M,
+            density: Gb8,
+            revision: 'B',
+            hammer_acmin_mean: 386_000.0,
+            hammer_acmin_min: 87_000.0,
+            hammer_cells_at_max: 200.0,
+            hammer_theta_80c: 1.03,
+            double_sided_hammer_bonus: 1.4,
+            press: None,
+            anti_cell_fraction: 0.05,
+            retention_median_s_80c: 550.0,
+        },
+        DieProfile {
+            manufacturer: M,
+            density: Gb16,
+            revision: 'B',
+            hammer_acmin_mean: 116_000.0,
+            hammer_acmin_min: 24_000.0,
+            hammer_cells_at_max: 820.0,
+            hammer_theta_80c: 1.05,
+            double_sided_hammer_bonus: 1.4,
+            press: press(56.7, 40.0, 1.25, 3.0),
+            anti_cell_fraction: 0.05,
+            retention_median_s_80c: 430.0,
+        },
+        DieProfile {
+            manufacturer: M,
+            density: Gb16,
+            revision: 'E',
+            hammer_acmin_mean: 39_000.0,
+            hammer_acmin_min: 10_500.0,
+            hammer_cells_at_max: 5_500.0,
+            hammer_theta_80c: 1.06,
+            double_sided_hammer_bonus: 1.4,
+            press: press(46.7, 14.0, 2.0, 15.0),
+            // Press-vulnerable cells in this die are predominantly anti-cells,
+            // which inverts the bitflip-direction trend (Obsv. 8 exception).
+            anti_cell_fraction: 0.85,
+            retention_median_s_80c: 330.0,
+        },
+        DieProfile {
+            manufacturer: M,
+            density: Gb16,
+            revision: 'F',
+            hammer_acmin_mean: 31_000.0,
+            hammer_acmin_min: 8_700.0,
+            hammer_cells_at_max: 4_650.0,
+            hammer_theta_80c: 1.06,
+            double_sided_hammer_bonus: 1.4,
+            press: press(50.9, 15.0, 2.7, 7.0),
+            anti_cell_fraction: 0.25,
+            retention_median_s_80c: 320.0,
+        },
+    ]
+}
+
+/// Looks up a die profile by manufacturer, density and revision.
+pub fn find_die(mfr: Manufacturer, density: DieDensity, revision: char) -> Option<DieProfile> {
+    die_catalog()
+        .into_iter()
+        .find(|d| d.manufacturer == mfr && d.density == density && d.revision == revision)
+}
+
+/// One DDR4 module (DIMM) under test, mirroring a row of Table 1 / Table 5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleSpec {
+    /// Short identifier used in the paper's appendix tables ("S0", "H4", ...).
+    pub id: String,
+    /// Die revision profile of the chips on this module.
+    pub die: DieProfile,
+    /// Number of DRAM chips on the module.
+    pub chips: u32,
+    /// Device data width (x4, x8, x16).
+    pub organization: u8,
+    /// Manufacturing date code as printed on the label ("20-53", "Mar. 21", …).
+    pub date_code: Option<String>,
+    /// Seed from which every per-cell fault parameter of this module derives.
+    pub seed: u64,
+}
+
+impl ModuleSpec {
+    /// Creates a module spec with a seed derived from its id.
+    pub fn new(id: &str, die: DieProfile, chips: u32, organization: u8, date_code: Option<&str>) -> Self {
+        let seed = crate::math::hash_words(&[id.bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(u64::from(b)))]);
+        ModuleSpec { id: id.to_string(), die, chips, organization, date_code: date_code.map(str::to_string), seed }
+    }
+}
+
+impl fmt::Display for ModuleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} x{} chips, {})", self.id, self.chips, self.organization, self.die)
+    }
+}
+
+/// The 21-module inventory of Table 1 (164 chips in total).
+pub fn module_inventory() -> Vec<ModuleSpec> {
+    use DieDensity::*;
+    use Manufacturer::*;
+    let die = |m, d, r| find_die(m, d, r).expect("die in catalog");
+    vec![
+        // Mfr. S — Samsung (8 modules, 64 chips)
+        ModuleSpec::new("S0", die(S, Gb8, 'B'), 8, 8, Some("20-53")),
+        ModuleSpec::new("S1", die(S, Gb8, 'B'), 8, 8, Some("20-53")),
+        ModuleSpec::new("S2", die(S, Gb8, 'C'), 8, 8, None),
+        ModuleSpec::new("S3", die(S, Gb8, 'D'), 8, 8, Some("21-10")),
+        ModuleSpec::new("S4", die(S, Gb8, 'D'), 8, 8, Some("21-10")),
+        ModuleSpec::new("S5", die(S, Gb8, 'D'), 8, 8, Some("21-10")),
+        ModuleSpec::new("S6", die(S, Gb4, 'F'), 8, 8, Some("Mar. 21")),
+        ModuleSpec::new("S7", die(S, Gb4, 'F'), 8, 8, Some("Mar. 21")),
+        // Mfr. H — SK Hynix (6 modules, 48 chips)
+        ModuleSpec::new("H0", die(H, Gb16, 'A'), 8, 8, Some("20-51")),
+        ModuleSpec::new("H1", die(H, Gb16, 'A'), 8, 8, Some("20-51")),
+        ModuleSpec::new("H2", die(H, Gb16, 'C'), 8, 8, Some("21-36")),
+        ModuleSpec::new("H3", die(H, Gb16, 'C'), 8, 8, Some("21-36")),
+        ModuleSpec::new("H4", die(H, Gb4, 'A'), 8, 8, Some("19-46")),
+        ModuleSpec::new("H5", die(H, Gb4, 'X'), 8, 8, None),
+        // Mfr. M — Micron (7 modules, 52 chips)
+        ModuleSpec::new("M0", die(M, Gb8, 'B'), 16, 4, None),
+        ModuleSpec::new("M1", die(M, Gb16, 'B'), 4, 16, Some("21-26")),
+        ModuleSpec::new("M2", die(M, Gb16, 'B'), 4, 16, Some("21-26")),
+        ModuleSpec::new("M3", die(M, Gb16, 'E'), 16, 4, Some("20-14")),
+        ModuleSpec::new("M4", die(M, Gb16, 'E'), 4, 16, Some("20-46")),
+        ModuleSpec::new("M5", die(M, Gb16, 'E'), 4, 16, Some("20-46")),
+        ModuleSpec::new("M6", die(M, Gb16, 'F'), 4, 16, Some("21-50")),
+    ]
+}
+
+/// Returns one representative module per die revision (used by the quicker
+/// benches that sweep all dies without repeating identical revisions).
+pub fn representative_modules() -> Vec<ModuleSpec> {
+    let mut seen = Vec::new();
+    let mut out = Vec::new();
+    for m in module_inventory() {
+        let key = (m.die.manufacturer, m.die.density, m.die.revision);
+        if !seen.contains(&key) {
+            seen.push(key);
+            out.push(m);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_twelve_die_revisions() {
+        let catalog = die_catalog();
+        assert_eq!(catalog.len(), 12);
+        // Four revisions per manufacturer.
+        for mfr in Manufacturer::all() {
+            assert_eq!(catalog.iter().filter(|d| d.manufacturer == mfr).count(), 4);
+        }
+    }
+
+    #[test]
+    fn inventory_matches_table1_totals() {
+        let modules = module_inventory();
+        assert_eq!(modules.len(), 21);
+        let chips: u32 = modules.iter().map(|m| m.chips).sum();
+        assert_eq!(chips, 164);
+        // Unique ids.
+        let mut ids: Vec<_> = modules.iter().map(|m| m.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 21);
+        // Seeds are distinct and stable.
+        let s0 = &modules[0];
+        assert_eq!(s0.seed, ModuleSpec::new("S0", s0.die, 8, 8, Some("20-53")).seed);
+        let mut seeds: Vec<_> = modules.iter().map(|m| m.seed).collect();
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 21);
+    }
+
+    #[test]
+    fn only_micron_8gb_b_is_press_invulnerable() {
+        let invulnerable: Vec<_> =
+            die_catalog().into_iter().filter(|d| !d.is_press_vulnerable()).collect();
+        assert_eq!(invulnerable.len(), 1);
+        assert_eq!(invulnerable[0].manufacturer, Manufacturer::M);
+        assert_eq!(invulnerable[0].density, DieDensity::Gb8);
+        assert_eq!(invulnerable[0].revision, 'B');
+    }
+
+    #[test]
+    fn newer_nodes_are_more_hammer_vulnerable_within_samsung_8gb() {
+        let b = find_die(Manufacturer::S, DieDensity::Gb8, 'B').unwrap();
+        let c = find_die(Manufacturer::S, DieDensity::Gb8, 'C').unwrap();
+        let d = find_die(Manufacturer::S, DieDensity::Gb8, 'D').unwrap();
+        assert!(b.hammer_acmin_mean > c.hammer_acmin_mean);
+        assert!(c.hammer_acmin_mean > d.hammer_acmin_mean);
+        assert!(b.node_rank() < d.node_rank());
+        // Technology scaling also shows in the press BER tail.
+        assert!(d.press.unwrap().cells_at_4x > b.press.unwrap().cells_at_4x);
+    }
+
+    #[test]
+    fn hynix_4gb_a_needs_high_temperature_for_press() {
+        let die = find_die(Manufacturer::H, DieDensity::Gb4, 'A').unwrap();
+        let press = die.press.unwrap();
+        // Beyond the 60 ms budget at 50 C, within it at 80 C.
+        assert!(press.t_min_ms_50c > 60.0);
+        assert!(press.t_min_ms_50c / press.theta_80c < 60.0);
+    }
+
+    #[test]
+    fn labels_and_display() {
+        let die = find_die(Manufacturer::S, DieDensity::Gb8, 'B').unwrap();
+        assert_eq!(die.label(), "8Gb B-Die");
+        assert_eq!(format!("{die}"), "Mfr. S 8Gb B-Die");
+        assert_eq!(Manufacturer::S.vendor_name(), "Samsung");
+        assert_eq!(format!("{}", DieDensity::Gb16), "16Gb");
+        let m = &module_inventory()[0];
+        assert!(format!("{m}").contains("S0"));
+    }
+
+    #[test]
+    fn representative_modules_cover_all_dies_once() {
+        let reps = representative_modules();
+        assert_eq!(reps.len(), 12);
+        let mut keys: Vec<_> = reps
+            .iter()
+            .map(|m| (m.die.manufacturer, m.die.density, m.die.revision))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 12);
+    }
+
+    #[test]
+    fn find_die_returns_none_for_unknown() {
+        assert!(find_die(Manufacturer::S, DieDensity::Gb16, 'Z').is_none());
+    }
+
+    #[test]
+    fn anti_cell_anomaly_is_micron_16gb_e() {
+        let e = find_die(Manufacturer::M, DieDensity::Gb16, 'E').unwrap();
+        assert!(e.anti_cell_fraction > 0.5);
+        let b = find_die(Manufacturer::S, DieDensity::Gb8, 'B').unwrap();
+        assert!(b.anti_cell_fraction < 0.5);
+    }
+}

@@ -1,0 +1,290 @@
+//! Time representation used throughout the DRAM model.
+//!
+//! All DRAM timings in the paper are expressed in nanoseconds (e.g. tRAS =
+//! 36 ns), microseconds (tREFI = 7.8 µs) or milliseconds (tREFW = 64 ms), and
+//! the DRAM-Bender infrastructure issues commands on a 1.5 ns grid. To keep
+//! arithmetic exact and hashable we represent time as an integer number of
+//! **picoseconds**.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A non-negative span of time with picosecond resolution.
+///
+/// `Time` is a thin newtype over `u64` picoseconds. It is `Copy`, totally
+/// ordered and supports saturating subtraction so that timing arithmetic in
+/// the device model can never underflow.
+///
+/// # Examples
+///
+/// ```
+/// use rowpress_dram::Time;
+///
+/// let t_ras = Time::from_ns(36.0);
+/// let t_refi = Time::from_us(7.8);
+/// assert!(t_refi > t_ras);
+/// assert_eq!(Time::from_ns(36.0).as_ns(), 36.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Time {
+    ps: u64,
+}
+
+impl Time {
+    /// The zero duration.
+    pub const ZERO: Time = Time { ps: 0 };
+
+    /// Creates a `Time` from an integer number of picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Time { ps }
+    }
+
+    /// Creates a `Time` from nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    pub fn from_ns(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "time must be non-negative and finite");
+        Time { ps: (ns * 1e3).round() as u64 }
+    }
+
+    /// Creates a `Time` from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative or not finite.
+    pub fn from_us(us: f64) -> Self {
+        Self::from_ns(us * 1e3)
+    }
+
+    /// Creates a `Time` from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    pub fn from_ms(ms: f64) -> Self {
+        Self::from_ns(ms * 1e6)
+    }
+
+    /// Creates a `Time` from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs(s: f64) -> Self {
+        Self::from_ns(s * 1e9)
+    }
+
+    /// Returns the raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.ps
+    }
+
+    /// Returns the duration in nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.ps as f64 / 1e3
+    }
+
+    /// Returns the duration in microseconds.
+    pub fn as_us(self) -> f64 {
+        self.ps as f64 / 1e6
+    }
+
+    /// Returns the duration in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.ps as f64 / 1e9
+    }
+
+    /// Returns the duration in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.ps as f64 / 1e12
+    }
+
+    /// Saturating subtraction: returns `self - other`, or zero if `other > self`.
+    pub fn saturating_sub(self, other: Time) -> Time {
+        Time { ps: self.ps.saturating_sub(other.ps) }
+    }
+
+    /// Multiplies the duration by an integer count (e.g. activation count).
+    pub fn checked_mul(self, count: u64) -> Option<Time> {
+        self.ps.checked_mul(count).map(|ps| Time { ps })
+    }
+
+    /// Returns the larger of the two durations.
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of the two durations.
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns true if this is the zero duration.
+    pub fn is_zero(self) -> bool {
+        self.ps == 0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time { ps: self.ps + rhs.ps }
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.ps += rhs.ps;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on underflow; use [`Time::saturating_sub`]
+    /// where the operands may be out of order.
+    fn sub(self, rhs: Time) -> Time {
+        Time { ps: self.ps - rhs.ps }
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        self.ps -= rhs.ps;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: u64) -> Time {
+        Time { ps: self.ps * rhs }
+    }
+}
+
+impl Mul<f64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: f64) -> Time {
+        assert!(rhs.is_finite() && rhs >= 0.0);
+        Time { ps: (self.ps as f64 * rhs).round() as u64 }
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    fn div(self, rhs: u64) -> Time {
+        Time { ps: self.ps / rhs }
+    }
+}
+
+impl Div<Time> for Time {
+    type Output = f64;
+    fn div(self, rhs: Time) -> f64 {
+        self.ps as f64 / rhs.ps as f64
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.as_ns();
+        if ns < 1e3 {
+            write!(f, "{ns:.1}ns")
+        } else if ns < 1e6 {
+            write!(f, "{:.2}us", ns / 1e3)
+        } else if ns < 1e9 {
+            write!(f, "{:.2}ms", ns / 1e6)
+        } else {
+            write!(f, "{:.3}s", ns / 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        assert_eq!(Time::from_ns(36.0).as_ns(), 36.0);
+        assert_eq!(Time::from_us(7.8).as_us(), 7.8);
+        assert_eq!(Time::from_ms(64.0).as_ms(), 64.0);
+        assert_eq!(Time::from_secs(4.0).as_secs(), 4.0);
+        assert_eq!(Time::from_ps(1500).as_ns(), 1.5);
+    }
+
+    #[test]
+    fn ordering_matches_magnitude() {
+        let t_ras = Time::from_ns(36.0);
+        let t_refi = Time::from_us(7.8);
+        let t_refw = Time::from_ms(64.0);
+        assert!(t_ras < t_refi);
+        assert!(t_refi < t_refw);
+        assert_eq!(t_ras.max(t_refi), t_refi);
+        assert_eq!(t_ras.min(t_refi), t_ras);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Time::from_ns(10.0);
+        let b = Time::from_ns(4.0);
+        assert_eq!((a + b).as_ns(), 14.0);
+        assert_eq!((a - b).as_ns(), 6.0);
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!((a * 3u64).as_ns(), 30.0);
+        assert_eq!((a / 2u64).as_ns(), 5.0);
+        assert!((a / b - 2.5).abs() < 1e-12);
+        let total: Time = vec![a, b, b].into_iter().sum();
+        assert_eq!(total.as_ns(), 18.0);
+    }
+
+    #[test]
+    fn saturating_and_checked() {
+        assert_eq!(Time::from_ns(1.0).saturating_sub(Time::from_ns(2.0)), Time::ZERO);
+        assert!(Time::from_ms(1.0).checked_mul(u64::MAX).is_none());
+        assert_eq!(Time::from_ns(2.0).checked_mul(3), Some(Time::from_ns(6.0)));
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert_eq!(format!("{}", Time::from_ns(36.0)), "36.0ns");
+        assert_eq!(format!("{}", Time::from_us(7.8)), "7.80us");
+        assert_eq!(format!("{}", Time::from_ms(30.0)), "30.00ms");
+        assert_eq!(format!("{}", Time::from_secs(4.0)), "4.000s");
+    }
+
+    #[test]
+    fn zero_checks() {
+        assert!(Time::ZERO.is_zero());
+        assert!(!Time::from_ns(0.001).is_zero());
+        assert_eq!(Time::default(), Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_time_panics() {
+        let _ = Time::from_ns(-1.0);
+    }
+
+    #[test]
+    fn float_mul_scales() {
+        assert_eq!(Time::from_ns(100.0) * 0.25, Time::from_ns(25.0));
+    }
+}

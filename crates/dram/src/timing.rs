@@ -1,0 +1,254 @@
+//! DDR4 timing parameters relevant to the RowPress study (paper §2.3).
+//!
+//! The paper's characterization hinges on four parameters: `tRAS` (minimum row
+//! open time), `tRP` (precharge latency), `tREFI` (refresh interval) and
+//! `tREFW` (refresh window). The memory-controller simulator additionally
+//! needs CAS and activation-to-activation constraints.
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// The set of DRAM timing parameters used by the device model, the testing
+/// platform and the memory-controller simulator.
+///
+/// Values default to the DDR4 numbers used throughout the paper: a 36 ns
+/// minimum aggressor-row-on time (covering the 32–35 ns range of
+/// manufacturer-recommended tRAS values), tRP = 15 ns, tREFI = 7.8 µs and
+/// tREFW = 64 ms, with a 1.5 ns command-bus granularity matching the DRAM
+/// Bender infrastructure.
+///
+/// # Examples
+///
+/// ```
+/// use rowpress_dram::TimingParams;
+///
+/// let t = TimingParams::ddr4();
+/// assert_eq!(t.t_ras.as_ns(), 36.0);
+/// assert_eq!(t.t_refi.as_us(), 7.8);
+/// // A row may stay open for at most 9x tREFI when refreshes are postponed.
+/// assert_eq!(t.max_t_aggon().as_us(), 70.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Minimum time between ACT and PRE to the same bank (row open time).
+    pub t_ras: Time,
+    /// Minimum time between PRE and the next ACT to the same bank.
+    pub t_rp: Time,
+    /// Activate-to-read/write delay.
+    pub t_rcd: Time,
+    /// Column access latency (read).
+    pub t_cl: Time,
+    /// Back-to-back column command spacing (burst transfer time).
+    pub t_ccd: Time,
+    /// Default interval between consecutive REF commands.
+    pub t_refi: Time,
+    /// Maximum window between two refreshes of the same row.
+    pub t_refw: Time,
+    /// Refresh cycle time (bank busy time while a REF executes).
+    pub t_rfc: Time,
+    /// Number of REF commands that the controller may postpone (8 in DDR4).
+    pub max_postponed_refreshes: u32,
+    /// Command bus granularity of the testing infrastructure (1.5 ns).
+    pub command_granularity: Time,
+}
+
+impl TimingParams {
+    /// Timing parameters for commodity DDR4 as used in the paper.
+    pub fn ddr4() -> Self {
+        TimingParams {
+            t_ras: Time::from_ns(36.0),
+            t_rp: Time::from_ns(15.0),
+            t_rcd: Time::from_ns(15.0),
+            t_cl: Time::from_ns(15.0),
+            t_ccd: Time::from_ns(5.0),
+            t_refi: Time::from_us(7.8),
+            t_refw: Time::from_ms(64.0),
+            t_rfc: Time::from_ns(350.0),
+            max_postponed_refreshes: 8,
+            command_granularity: Time::from_ns(1.5),
+        }
+    }
+
+    /// Minimum activate-to-activate time to the same bank (tRC = tRAS + tRP).
+    pub fn t_rc(&self) -> Time {
+        self.t_ras + self.t_rp
+    }
+
+    /// The maximum allowed aggressor-row-on time when the memory controller
+    /// postpones the maximum number of refreshes: `(1 + max_postponed) x tREFI`.
+    ///
+    /// For DDR4 this is 9 x 7.8 µs = 70.2 µs, the value the paper highlights
+    /// as the JEDEC-permitted upper bound of tAggON.
+    pub fn max_t_aggon(&self) -> Time {
+        self.t_refi * u64::from(self.max_postponed_refreshes + 1)
+    }
+
+    /// Snaps a duration up to the next multiple of the command-bus
+    /// granularity, mirroring the 1.5 ns resolution of the paper's testing
+    /// infrastructure.
+    pub fn quantize(&self, t: Time) -> Time {
+        let g = self.command_granularity.as_ps();
+        if g == 0 {
+            return t;
+        }
+        let q = t.as_ps().div_ceil(g);
+        Time::from_ps(q * g)
+    }
+
+    /// Returns the number of full activation cycles (tAggON + tRP) that fit in
+    /// `budget`, i.e. the maximum activation count for a single-sided pattern
+    /// without exceeding the experiment time limit.
+    pub fn max_activations_within(&self, t_aggon: Time, budget: Time) -> u64 {
+        let cycle = t_aggon.max(self.t_ras) + self.t_rp;
+        if cycle.is_zero() {
+            return 0;
+        }
+        budget.as_ps() / cycle.as_ps()
+    }
+
+    /// Validates internal consistency of the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint, e.g. a zero
+    /// tRAS or a refresh window smaller than the refresh interval.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.t_ras.is_zero() {
+            return Err("tRAS must be positive".into());
+        }
+        if self.t_rp.is_zero() {
+            return Err("tRP must be positive".into());
+        }
+        if self.t_refi < self.t_ras {
+            return Err("tREFI must be at least tRAS".into());
+        }
+        if self.t_refw < self.t_refi {
+            return Err("tREFW must be at least tREFI".into());
+        }
+        if self.command_granularity.is_zero() {
+            return Err("command granularity must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        Self::ddr4()
+    }
+}
+
+/// The representative tAggON values the paper reports throughout its figures:
+/// 36 ns (= tRAS, conventional RowHammer), 7.8 µs (tREFI), 70.2 µs (9x tREFI)
+/// and 30 ms (the extreme case where a single activation suffices).
+pub fn representative_t_aggon() -> Vec<Time> {
+    vec![
+        Time::from_ns(36.0),
+        Time::from_us(7.8),
+        Time::from_us(70.2),
+        Time::from_ms(30.0),
+    ]
+}
+
+/// The full tAggON sweep used by the characterization figures (Fig. 6, 8, 10,
+/// 12, 13, 14, 17, 18): a geometric progression from 36 ns to 30 ms with the
+/// two JEDEC bounds (7.8 µs and 70.2 µs) always included.
+pub fn sweep_t_aggon() -> Vec<Time> {
+    let mut points = vec![
+        Time::from_ns(36.0),
+        Time::from_ns(66.0),
+        Time::from_ns(96.0),
+        Time::from_ns(186.0),
+        Time::from_ns(336.0),
+        Time::from_ns(636.0),
+        Time::from_ns(1536.0),
+        Time::from_us(3.9),
+        Time::from_us(7.8),
+        Time::from_us(15.0),
+        Time::from_us(30.0),
+        Time::from_us(70.2),
+        Time::from_us(300.0),
+        Time::from_ms(1.0),
+        Time::from_ms(6.0),
+        Time::from_ms(30.0),
+    ];
+    points.sort();
+    points.dedup();
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_defaults_match_paper() {
+        let t = TimingParams::ddr4();
+        assert_eq!(t.t_ras.as_ns(), 36.0);
+        assert_eq!(t.t_rp.as_ns(), 15.0);
+        assert_eq!(t.t_refi.as_us(), 7.8);
+        assert_eq!(t.t_refw.as_ms(), 64.0);
+        assert_eq!(t.max_postponed_refreshes, 8);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn t_rc_is_sum_of_ras_and_rp() {
+        let t = TimingParams::ddr4();
+        assert_eq!(t.t_rc().as_ns(), 51.0);
+    }
+
+    #[test]
+    fn max_t_aggon_is_nine_trefi() {
+        let t = TimingParams::ddr4();
+        assert!((t.max_t_aggon().as_us() - 70.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantize_rounds_up_to_grid() {
+        let t = TimingParams::ddr4();
+        assert_eq!(t.quantize(Time::from_ns(36.0)), Time::from_ns(36.0));
+        assert_eq!(t.quantize(Time::from_ns(36.1)), Time::from_ns(37.5));
+        assert_eq!(t.quantize(Time::ZERO), Time::ZERO);
+    }
+
+    #[test]
+    fn max_activations_within_budget() {
+        let t = TimingParams::ddr4();
+        // Conventional RowHammer: one activation per tRC = 51 ns.
+        let n = t.max_activations_within(Time::from_ns(36.0), Time::from_ms(60.0));
+        assert_eq!(n, (60e6 / 51.0) as u64);
+        // 30 ms tAggON: only one full cycle fits in 60 ms.
+        let n = t.max_activations_within(Time::from_ms(30.0), Time::from_ms(60.0));
+        assert_eq!(n, 1);
+        // tAggON below tRAS is clamped up to tRAS.
+        let n_small = t.max_activations_within(Time::from_ns(1.0), Time::from_ms(60.0));
+        assert_eq!(n_small, (60e6 / 51.0) as u64);
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_params() {
+        let mut t = TimingParams::ddr4();
+        t.t_refw = Time::from_us(1.0);
+        assert!(t.validate().is_err());
+        let mut t = TimingParams::ddr4();
+        t.t_ras = Time::ZERO;
+        assert!(t.validate().is_err());
+        let mut t = TimingParams::ddr4();
+        t.command_granularity = Time::ZERO;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn sweep_contains_jedec_bounds_and_is_sorted() {
+        let sweep = sweep_t_aggon();
+        assert!(sweep.contains(&Time::from_ns(36.0)));
+        assert!(sweep.contains(&Time::from_us(7.8)));
+        assert!(sweep.contains(&Time::from_us(70.2)));
+        assert!(sweep.contains(&Time::from_ms(30.0)));
+        let mut sorted = sweep.clone();
+        sorted.sort();
+        assert_eq!(sweep, sorted);
+        assert_eq!(representative_t_aggon().len(), 4);
+    }
+}

@@ -1,0 +1,498 @@
+//! Cycle-level DDR4 memory-controller model: bank state machines, FR-FCFS
+//! scheduling, row-buffer policies, refresh, and the hook through which
+//! RowHammer/RowPress mitigations inject preventive refreshes (paper §7,
+//! Appendix D).
+//!
+//! Times are expressed in CPU cycles of the simulated 4 GHz core (0.25 ns per
+//! cycle), matching the paper's simulated system configuration (Table 7).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// DRAM timing parameters in CPU cycles (4 GHz core clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtrlTiming {
+    /// Activate-to-read delay.
+    pub t_rcd: u64,
+    /// Precharge latency.
+    pub t_rp: u64,
+    /// Minimum row-open time.
+    pub t_ras: u64,
+    /// Column (CAS) latency.
+    pub t_cl: u64,
+    /// Data-burst transfer time.
+    pub t_bl: u64,
+    /// Refresh interval.
+    pub t_refi: u64,
+    /// Refresh cycle time.
+    pub t_rfc: u64,
+    /// Refresh window (every row refreshed once per window).
+    pub t_refw: u64,
+}
+
+impl CtrlTiming {
+    /// DDR4-3200-like timings for a 4 GHz core (1 cycle = 0.25 ns).
+    pub fn ddr4_3200() -> Self {
+        CtrlTiming {
+            t_rcd: 55,
+            t_rp: 55,
+            t_ras: 130,
+            t_cl: 55,
+            t_bl: 16,
+            t_refi: 31_200,
+            t_rfc: 1_400,
+            t_refw: 256_000_000,
+        }
+    }
+
+    /// Row cycle time (tRAS + tRP).
+    pub fn t_rc(&self) -> u64 {
+        self.t_ras + self.t_rp
+    }
+
+    /// Converts nanoseconds to CPU cycles (4 GHz).
+    pub fn ns_to_cycles(ns: f64) -> u64 {
+        (ns * 4.0).round() as u64
+    }
+}
+
+impl Default for CtrlTiming {
+    fn default() -> Self {
+        Self::ddr4_3200()
+    }
+}
+
+/// Row-buffer management policy (paper §7.3 and Appendix D.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowPolicy {
+    /// Keep the row open until a conflicting access or refresh (the baseline
+    /// FR-FCFS open-row policy).
+    Open,
+    /// Close the row immediately after each column access (the
+    /// "minimally-open-row" policy of Appendix D.1).
+    Closed,
+    /// Keep the row open at most `tmro` nanoseconds after its activation (the
+    /// row policy component of Graphene-RP / PARA-RP, §7.4).
+    TimerCapped {
+        /// Maximum row-open time in nanoseconds.
+        tmro_ns: u32,
+    },
+}
+
+impl RowPolicy {
+    /// Human-readable label.
+    pub fn label(&self) -> String {
+        match self {
+            RowPolicy::Open => "open-row".to_string(),
+            RowPolicy::Closed => "minimally-open-row".to_string(),
+            RowPolicy::TimerCapped { tmro_ns } => format!("tmro={tmro_ns}ns"),
+        }
+    }
+}
+
+/// The physical DRAM location of a memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramLocation {
+    /// Bank index.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Column (cache-block) index within the row.
+    pub column: u64,
+}
+
+/// Maps a physical byte address to a DRAM location: columns in the low bits,
+/// banks in the middle, rows on top (8 KiB rows, 64 B blocks).
+pub fn map_address(addr: u64, banks: usize) -> DramLocation {
+    let block = addr / 64;
+    let blocks_per_row = 128;
+    let column = block % blocks_per_row;
+    let bank = ((block / blocks_per_row) % banks as u64) as usize;
+    let row = block / (blocks_per_row * banks as u64);
+    DramLocation { bank, row, column }
+}
+
+/// The interface RowHammer/RowPress mitigation mechanisms implement
+/// (Graphene, PARA and their -RP adaptations live in `rowpress-mitigations`).
+pub trait ReadDisturbMitigation: Send {
+    /// Called on every row activation. Returns `true` when the mechanism
+    /// issues a preventive refresh of the activated row's neighbours, which
+    /// costs the bank one extra row cycle per neighbour.
+    fn on_activation(&mut self, bank: usize, row: u64, cycle: u64) -> bool;
+
+    /// Called on every periodic refresh command (used by counter-reset logic).
+    fn on_refresh(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// Mechanism name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A pass-through mitigation that never refreshes preventively.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMitigation;
+
+impl ReadDisturbMitigation for NoMitigation {
+    fn on_activation(&mut self, _bank: usize, _row: u64, _cycle: u64) -> bool {
+        false
+    }
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Aggregate statistics of one simulation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Total requests served.
+    pub requests: u64,
+    /// Requests that hit an open row.
+    pub row_hits: u64,
+    /// Requests that found the bank closed.
+    pub row_misses: u64,
+    /// Requests that had to close another row first.
+    pub row_conflicts: u64,
+    /// Row activations issued.
+    pub activations: u64,
+    /// Preventive refreshes issued by the mitigation mechanism.
+    pub preventive_refreshes: u64,
+    /// Periodic refresh commands issued.
+    pub refreshes: u64,
+    /// Maximum number of activations any single row received within one
+    /// refresh window (the quantity of Fig. 38).
+    pub max_row_activations_in_window: u64,
+}
+
+impl ControllerStats {
+    /// Row-buffer hit rate.
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.requests as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    opened_at: u64,
+    ready_at: u64,
+    acts_in_window: HashMap<u64, u64>,
+}
+
+/// The memory controller: banks, policy, refresh state and the mitigation.
+pub struct MemoryController {
+    timing: CtrlTiming,
+    policy: RowPolicy,
+    banks: Vec<Bank>,
+    mitigation: Box<dyn ReadDisturbMitigation>,
+    next_refresh: u64,
+    window_start: u64,
+    stats: ControllerStats,
+}
+
+impl std::fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("policy", &self.policy)
+            .field("banks", &self.banks.len())
+            .field("mitigation", &self.mitigation.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl MemoryController {
+    /// Creates a controller with 16 banks.
+    pub fn new(timing: CtrlTiming, policy: RowPolicy, mitigation: Box<dyn ReadDisturbMitigation>) -> Self {
+        MemoryController {
+            timing,
+            policy,
+            banks: (0..16).map(|_| Bank::default()).collect(),
+            mitigation,
+            next_refresh: timing.t_refi,
+            window_start: 0,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// The configured row policy.
+    pub fn policy(&self) -> RowPolicy {
+        self.policy
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    fn roll_refresh_window(&mut self, now: u64) {
+        if now.saturating_sub(self.window_start) >= self.timing.t_refw {
+            let max_in_window = self
+                .banks
+                .iter()
+                .flat_map(|b| b.acts_in_window.values())
+                .copied()
+                .max()
+                .unwrap_or(0);
+            self.stats.max_row_activations_in_window =
+                self.stats.max_row_activations_in_window.max(max_in_window);
+            for bank in &mut self.banks {
+                bank.acts_in_window.clear();
+            }
+            self.window_start = now;
+        }
+    }
+
+    fn apply_refresh(&mut self, now: u64) {
+        while now >= self.next_refresh {
+            let refresh_start = self.next_refresh;
+            for bank in &mut self.banks {
+                bank.open_row = None;
+                bank.ready_at = bank.ready_at.max(refresh_start) + self.timing.t_rfc;
+            }
+            self.mitigation.on_refresh(refresh_start);
+            self.stats.refreshes += 1;
+            self.next_refresh += self.timing.t_refi;
+        }
+    }
+
+    /// True if the request at `loc` would hit the currently open row.
+    pub fn is_row_hit(&self, loc: DramLocation) -> bool {
+        self.banks[loc.bank].open_row == Some(loc.row)
+    }
+
+    /// Earliest cycle at which the bank serving `loc` can accept a command.
+    pub fn bank_ready_at(&self, loc: DramLocation) -> u64 {
+        self.banks[loc.bank].ready_at
+    }
+
+    /// Serves one request that the scheduler selected, starting no earlier
+    /// than `now`, and returns the cycle at which its data is available.
+    pub fn service(&mut self, loc: DramLocation, now: u64) -> u64 {
+        self.apply_refresh(now);
+        self.roll_refresh_window(now);
+        let t = self.timing;
+        let policy = self.policy;
+        let start = now.max(self.banks[loc.bank].ready_at);
+        let mut cycle = start;
+        self.stats.requests += 1;
+
+        // Enforce the tmro cap lazily: if the open row has exceeded its
+        // allowance, it is considered already closed (the precharge happened
+        // in the background).
+        let effective_open = {
+            let bank = &self.banks[loc.bank];
+            match (bank.open_row, policy) {
+                (Some(row), RowPolicy::TimerCapped { tmro_ns }) => {
+                    let limit = CtrlTiming::ns_to_cycles(f64::from(tmro_ns));
+                    if start.saturating_sub(bank.opened_at) > limit {
+                        None
+                    } else {
+                        Some(row)
+                    }
+                }
+                (open, _) => open,
+            }
+        };
+
+        let hit = effective_open == Some(loc.row);
+        let needs_precharge = effective_open.is_some() && !hit;
+
+        if hit {
+            self.stats.row_hits += 1;
+        } else {
+            if needs_precharge {
+                self.stats.row_conflicts += 1;
+                // Respect tRAS of the currently open row before precharging.
+                let opened_at = self.banks[loc.bank].opened_at;
+                cycle = cycle.max(opened_at + t.t_ras) + t.t_rp;
+            } else {
+                self.stats.row_misses += 1;
+            }
+            // Activate the requested row.
+            cycle += t.t_rcd;
+            self.stats.activations += 1;
+            {
+                let bank = &mut self.banks[loc.bank];
+                bank.open_row = Some(loc.row);
+                bank.opened_at = cycle - t.t_rcd;
+                *bank.acts_in_window.entry(loc.row).or_default() += 1;
+            }
+            // Mitigation hook: a triggered preventive refresh keeps the bank
+            // busy for one extra row cycle per refreshed neighbour (2 rows).
+            if self.mitigation.on_activation(loc.bank, loc.row, cycle) {
+                self.stats.preventive_refreshes += 1;
+                cycle += 2 * t.t_rc();
+            }
+        }
+
+        // Column access and data burst.
+        let data_ready = cycle + t.t_cl + t.t_bl;
+
+        // Row-policy epilogue.
+        let bank = &mut self.banks[loc.bank];
+        match policy {
+            RowPolicy::Open | RowPolicy::TimerCapped { .. } => {
+                bank.ready_at = data_ready;
+            }
+            RowPolicy::Closed => {
+                // Precharge right after the access (respecting tRAS).
+                let pre_at = (bank.opened_at + t.t_ras).max(data_ready);
+                bank.ready_at = pre_at + t.t_rp;
+                bank.open_row = None;
+            }
+        }
+        data_ready
+    }
+
+    /// Finalizes window-level statistics at the end of a simulation.
+    pub fn finalize(&mut self, now: u64) {
+        let end = self.window_start + self.timing.t_refw;
+        self.roll_refresh_window(end.max(now + self.timing.t_refw));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(policy: RowPolicy) -> MemoryController {
+        MemoryController::new(CtrlTiming::ddr4_3200(), policy, Box::new(NoMitigation))
+    }
+
+    #[test]
+    fn address_mapping_keeps_row_locality() {
+        let a = map_address(0, 16);
+        let b = map_address(64, 16);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.row, b.row);
+        assert_eq!(b.column, a.column + 1);
+        // The next 8 KiB chunk moves to the next bank, not the next row.
+        let c = map_address(8192, 16);
+        assert_eq!(c.bank, a.bank + 1);
+        assert_eq!(c.row, a.row);
+        let d = map_address(8192 * 16, 16);
+        assert_eq!(d.bank, a.bank);
+        assert_eq!(d.row, a.row + 1);
+    }
+
+    #[test]
+    fn open_policy_turns_second_access_into_row_hit() {
+        let mut c = controller(RowPolicy::Open);
+        let loc = map_address(0, 16);
+        let first = c.service(loc, 0);
+        let second_loc = map_address(64, 16);
+        let second = c.service(second_loc, first);
+        assert_eq!(c.stats().row_hits, 1);
+        assert_eq!(c.stats().row_misses, 1);
+        // A row hit is roughly tRCD cheaper than a row miss.
+        assert!(second - first < first);
+    }
+
+    #[test]
+    fn closed_policy_never_hits() {
+        let mut c = controller(RowPolicy::Closed);
+        let mut now = 0;
+        for i in 0..8 {
+            now = c.service(map_address(i * 64, 16), now);
+        }
+        assert_eq!(c.stats().row_hits, 0);
+        assert_eq!(c.stats().requests, 8);
+        assert_eq!(c.stats().activations, 8);
+    }
+
+    #[test]
+    fn conflict_precharges_and_reopens() {
+        let mut c = controller(RowPolicy::Open);
+        let row0 = map_address(0, 16);
+        let row1 = map_address(8192 * 16, 16); // same bank, next row
+        assert_eq!(row0.bank, row1.bank);
+        let t1 = c.service(row0, 0);
+        let _t2 = c.service(row1, t1);
+        assert_eq!(c.stats().row_conflicts, 1);
+        assert_eq!(c.stats().activations, 2);
+    }
+
+    #[test]
+    fn tmro_policy_closes_rows_after_allowance() {
+        let mut c = controller(RowPolicy::TimerCapped { tmro_ns: 96 });
+        let loc = map_address(0, 16);
+        let t1 = c.service(loc, 0);
+        // Access the same row long after tmro expired: it must be a miss, not a hit.
+        let _ = c.service(map_address(64, 16), t1 + 10_000);
+        assert_eq!(c.stats().row_hits, 0);
+        assert_eq!(c.stats().activations, 2);
+        // But an immediate second access still hits.
+        let mut c = controller(RowPolicy::TimerCapped { tmro_ns: 96 });
+        let t1 = c.service(loc, 0);
+        let _ = c.service(map_address(64, 16), t1);
+        assert_eq!(c.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn refresh_closes_rows_and_counts() {
+        let mut c = controller(RowPolicy::Open);
+        let loc = map_address(0, 16);
+        let t = c.service(loc, 0);
+        // Jump past several refresh intervals.
+        let far = t + 4 * CtrlTiming::ddr4_3200().t_refi;
+        let _ = c.service(map_address(64, 16), far);
+        assert!(c.stats().refreshes >= 4);
+        // The row was closed by refresh, so the second access is not a hit.
+        assert_eq!(c.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn window_activation_tracking() {
+        let mut c = controller(RowPolicy::Closed);
+        let loc = map_address(0, 16);
+        let mut now = 0;
+        for _ in 0..50 {
+            now = c.service(loc, now);
+        }
+        c.finalize(now);
+        assert!(c.stats().max_row_activations_in_window >= 50);
+    }
+
+    #[test]
+    fn mitigation_hook_is_invoked_and_charged() {
+        struct Always;
+        impl ReadDisturbMitigation for Always {
+            fn on_activation(&mut self, _b: usize, _r: u64, _c: u64) -> bool {
+                true
+            }
+            fn name(&self) -> &'static str {
+                "always"
+            }
+        }
+        let mut with = MemoryController::new(CtrlTiming::ddr4_3200(), RowPolicy::Closed, Box::new(Always));
+        let mut without = controller(RowPolicy::Closed);
+        let mut t_with = 0;
+        let mut t_without = 0;
+        for i in 0..20 {
+            t_with = with.service(map_address(i * 64, 16), t_with);
+            t_without = without.service(map_address(i * 64, 16), t_without);
+        }
+        assert_eq!(with.stats().preventive_refreshes, 20);
+        assert!(t_with > t_without, "preventive refreshes must cost time");
+        assert_eq!(format!("{:?}", with).contains("always"), true);
+    }
+
+    #[test]
+    fn timing_helpers() {
+        let t = CtrlTiming::ddr4_3200();
+        assert_eq!(t.t_rc(), t.t_ras + t.t_rp);
+        assert_eq!(CtrlTiming::ns_to_cycles(36.0), 144);
+        assert_eq!(RowPolicy::Open.label(), "open-row");
+        assert!(RowPolicy::TimerCapped { tmro_ns: 96 }.label().contains("96"));
+    }
+}

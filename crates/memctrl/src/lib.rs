@@ -1,0 +1,46 @@
+//! # rowpress-memctrl
+//!
+//! A cycle-level DDR4 memory-controller and multi-core system simulator used
+//! by the RowPress mitigation evaluation (paper §7 and Appendix D). It plays
+//! the role Ramulator plays in the paper: FR-FCFS scheduling, open / closed /
+//! tmro-capped row policies, periodic refresh, per-row activation accounting
+//! within the refresh window, and a hook ([`ReadDisturbMitigation`]) through
+//! which Graphene / PARA and their RowPress adaptations inject preventive
+//! refreshes.
+//!
+//! # Example
+//!
+//! ```
+//! use rowpress_memctrl::{simulate_alone, NoMitigation, RowPolicy, SystemConfig};
+//! use rowpress_workloads::find_workload;
+//!
+//! let workload = find_workload("462.libquantum").unwrap();
+//! let config = SystemConfig { accesses_per_core: 2_000, policy: RowPolicy::Open, ..Default::default() };
+//! let result = simulate_alone(&workload, &config, Box::new(NoMitigation));
+//! assert!(result.cores[0].ipc() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod controller;
+mod system;
+
+pub use controller::{
+    map_address, ControllerStats, CtrlTiming, DramLocation, MemoryController, NoMitigation,
+    ReadDisturbMitigation, RowPolicy,
+};
+pub use system::{simulate_alone, simulate_mix, CoreResult, SimResult, SystemConfig};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_reasonable() {
+        let c = SystemConfig::default();
+        assert_eq!(c.policy, RowPolicy::Open);
+        assert!(c.accesses_per_core >= 1_000);
+        assert!(c.retire_width >= 1);
+    }
+}

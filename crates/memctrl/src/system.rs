@@ -1,0 +1,274 @@
+//! Trace-driven multi-core system simulation on top of the memory controller.
+//!
+//! Each core replays a synthetic trace from `rowpress-workloads` through a
+//! simple blocking-core model (4-wide retire, stalls on every LLC miss until
+//! the data returns). The model is deliberately simple: the paper's mitigation
+//! results depend on relative changes in memory latency and row-buffer hit
+//! rate, which this model captures, not on absolute IPC.
+
+use crate::controller::{map_address, ControllerStats, CtrlTiming, DramLocation, MemoryController, ReadDisturbMitigation, RowPolicy};
+use rowpress_workloads::{TraceGenerator, WorkloadMix, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// Result of simulating one core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreResult {
+    /// Workload name.
+    pub workload: String,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles elapsed (shared across cores in a multi-core run).
+    pub cycles: u64,
+    /// Memory requests issued.
+    pub requests: u64,
+}
+
+impl CoreResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Result of one system simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Per-core results.
+    pub cores: Vec<CoreResult>,
+    /// Memory-controller statistics.
+    pub controller: ControllerStats,
+}
+
+impl SimResult {
+    /// Weighted speedup against per-core baseline IPCs (paper Appendix D.2):
+    /// the sum over cores of IPC_shared / IPC_alone.
+    pub fn weighted_speedup(&self, alone_ipcs: &[f64]) -> f64 {
+        self.cores
+            .iter()
+            .zip(alone_ipcs)
+            .map(|(c, &alone)| if alone > 0.0 { c.ipc() / alone } else { 0.0 })
+            .sum()
+    }
+}
+
+/// Configuration of a system simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of memory accesses each core replays.
+    pub accesses_per_core: usize,
+    /// Row-buffer policy of the memory controller.
+    pub policy: RowPolicy,
+    /// Retire width of each core (instructions per cycle while not stalled).
+    pub retire_width: u32,
+    /// Trace-generation seed.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig { accesses_per_core: 20_000, policy: RowPolicy::Open, retire_width: 4, seed: 1 }
+    }
+}
+
+struct CoreState {
+    workload: String,
+    trace: Vec<rowpress_workloads::TraceRecord>,
+    next_index: usize,
+    /// Cycle at which the core is ready to issue its next request.
+    ready_at: u64,
+    /// The pending request, if any (location, issue cycle).
+    pending: Option<(DramLocation, u64)>,
+    instructions: u64,
+    requests: u64,
+    finish_cycle: u64,
+}
+
+/// Simulates a workload mix on a shared memory controller and returns per-core
+/// IPCs plus controller statistics.
+pub fn simulate_mix(
+    mix: &WorkloadMix,
+    config: &SystemConfig,
+    mitigation: Box<dyn ReadDisturbMitigation>,
+) -> SimResult {
+    let mut controller = MemoryController::new(CtrlTiming::ddr4_3200(), config.policy, mitigation);
+    let banks = controller.banks();
+
+    let mut cores: Vec<CoreState> = mix
+        .workloads
+        .iter()
+        .enumerate()
+        .map(|(i, profile)| {
+            let mut generator = TraceGenerator::new(profile.clone(), config.seed.wrapping_add(i as u64 * 977));
+            CoreState {
+                workload: profile.name.clone(),
+                trace: generator.generate(config.accesses_per_core),
+                next_index: 0,
+                ready_at: 0,
+                pending: None,
+                instructions: 0,
+                requests: 0,
+                finish_cycle: 0,
+            }
+        })
+        .collect();
+    // Offset each core's address space so cores do not share rows.
+    let core_offset: u64 = 1 << 33;
+
+    loop {
+        // Stage 1: cores that are idle prepare their next request.
+        for (i, core) in cores.iter_mut().enumerate() {
+            if core.pending.is_none() && core.next_index < core.trace.len() {
+                let rec = core.trace[core.next_index];
+                core.next_index += 1;
+                // Execute the non-memory instructions at the retire width.
+                let exec_cycles = u64::from(rec.inst_gap) / u64::from(config.retire_width.max(1));
+                core.instructions += u64::from(rec.inst_gap) + 1;
+                core.ready_at += exec_cycles;
+                let loc = map_address(rec.addr + core_offset * i as u64, banks);
+                core.pending = Some((loc, core.ready_at));
+                core.requests += 1;
+            }
+        }
+
+        // Stage 2: FR-FCFS among the pending requests — row hits first, then
+        // the oldest request.
+        let candidate = cores
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.pending.map(|(loc, at)| (i, loc, at)))
+            .min_by_key(|&(_, loc, at)| {
+                let hit = controller.is_row_hit(loc);
+                (if hit { 0u64 } else { 1u64 }, at)
+            });
+
+        let Some((core_idx, loc, issue_at)) = candidate else {
+            break; // all cores have drained their traces
+        };
+        let done = controller.service(loc, issue_at);
+        let core = &mut cores[core_idx];
+        core.pending = None;
+        core.ready_at = done;
+        core.finish_cycle = done;
+    }
+
+    let total_cycles = cores.iter().map(|c| c.finish_cycle).max().unwrap_or(0).max(1);
+    controller.finalize(total_cycles);
+
+    SimResult {
+        cores: cores
+            .into_iter()
+            .map(|c| CoreResult {
+                workload: c.workload,
+                instructions: c.instructions,
+                cycles: total_cycles,
+                requests: c.requests,
+            })
+            .collect(),
+        controller: controller.stats().clone(),
+    }
+}
+
+/// Simulates a single workload running alone (used as the weighted-speedup
+/// baseline and for the single-core studies of Fig. 38–40).
+pub fn simulate_alone(
+    profile: &WorkloadProfile,
+    config: &SystemConfig,
+    mitigation: Box<dyn ReadDisturbMitigation>,
+) -> SimResult {
+    let mix = WorkloadMix { label: profile.name.clone(), workloads: vec![profile.clone()] };
+    simulate_mix(&mix, config, mitigation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::NoMitigation;
+    use rowpress_workloads::{find_workload, homogeneous_mix};
+
+    fn quick_config(policy: RowPolicy) -> SystemConfig {
+        SystemConfig { accesses_per_core: 4_000, policy, retire_width: 4, seed: 3 }
+    }
+
+    #[test]
+    fn single_core_simulation_produces_sane_ipc() {
+        let p = find_workload("462.libquantum").unwrap();
+        let r = simulate_alone(&p, &quick_config(RowPolicy::Open), Box::new(NoMitigation));
+        assert_eq!(r.cores.len(), 1);
+        let ipc = r.cores[0].ipc();
+        assert!(ipc > 0.01 && ipc <= 4.0, "ipc = {ipc}");
+        assert_eq!(r.controller.requests, 4_000);
+        assert!(r.controller.row_hit_rate() > 0.7, "libquantum should be row-buffer friendly");
+    }
+
+    #[test]
+    fn closed_policy_slows_down_high_locality_workloads() {
+        let p = find_workload("462.libquantum").unwrap();
+        let open = simulate_alone(&p, &quick_config(RowPolicy::Open), Box::new(NoMitigation));
+        let closed = simulate_alone(&p, &quick_config(RowPolicy::Closed), Box::new(NoMitigation));
+        let slowdown = open.cores[0].ipc() / closed.cores[0].ipc();
+        assert!(slowdown > 1.1, "minimally-open-row must hurt libquantum, slowdown = {slowdown}");
+        // A low-locality workload is barely affected.
+        let mcf = find_workload("429.mcf").unwrap();
+        let open_mcf = simulate_alone(&mcf, &quick_config(RowPolicy::Open), Box::new(NoMitigation));
+        let closed_mcf = simulate_alone(&mcf, &quick_config(RowPolicy::Closed), Box::new(NoMitigation));
+        let slowdown_mcf = open_mcf.cores[0].ipc() / closed_mcf.cores[0].ipc();
+        assert!(slowdown_mcf < slowdown, "mcf ({slowdown_mcf}) must suffer less than libquantum ({slowdown})");
+    }
+
+    #[test]
+    fn closed_policy_inflates_per_row_activation_counts() {
+        let p = find_workload("510.parest").unwrap();
+        let open = simulate_alone(&p, &quick_config(RowPolicy::Open), Box::new(NoMitigation));
+        let closed = simulate_alone(&p, &quick_config(RowPolicy::Closed), Box::new(NoMitigation));
+        assert!(
+            closed.controller.max_row_activations_in_window
+                > open.controller.max_row_activations_in_window,
+            "closed {} vs open {}",
+            closed.controller.max_row_activations_in_window,
+            open.controller.max_row_activations_in_window
+        );
+    }
+
+    #[test]
+    fn four_core_mix_shares_bandwidth() {
+        let p = find_workload("470.lbm").unwrap();
+        let mix = homogeneous_mix(&p);
+        let cfg = quick_config(RowPolicy::Open);
+        let shared = simulate_mix(&mix, &cfg, Box::new(NoMitigation));
+        assert_eq!(shared.cores.len(), 4);
+        let alone = simulate_alone(&p, &cfg, Box::new(NoMitigation));
+        // Sharing the channel cannot make a core faster than running alone.
+        for c in &shared.cores {
+            assert!(c.ipc() <= alone.cores[0].ipc() * 1.05);
+        }
+        // Weighted speedup of 4 identical cores is between 0 and 4.
+        let ws = shared.weighted_speedup(&vec![alone.cores[0].ipc(); 4]);
+        assert!(ws > 0.5 && ws <= 4.0, "ws = {ws}");
+    }
+
+    #[test]
+    fn tmro_policy_sits_between_open_and_closed() {
+        let p = find_workload("h264_encode").unwrap();
+        let cfg_open = quick_config(RowPolicy::Open);
+        let cfg_tmro = quick_config(RowPolicy::TimerCapped { tmro_ns: 636 });
+        let cfg_closed = quick_config(RowPolicy::Closed);
+        let open = simulate_alone(&p, &cfg_open, Box::new(NoMitigation)).cores[0].ipc();
+        let tmro = simulate_alone(&p, &cfg_tmro, Box::new(NoMitigation)).cores[0].ipc();
+        let closed = simulate_alone(&p, &cfg_closed, Box::new(NoMitigation)).cores[0].ipc();
+        assert!(open >= tmro * 0.98, "open {open} vs tmro {tmro}");
+        assert!(tmro >= closed * 0.98, "tmro {tmro} vs closed {closed}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let p = find_workload("tpch17").unwrap();
+        let cfg = quick_config(RowPolicy::Open);
+        let a = simulate_alone(&p, &cfg, Box::new(NoMitigation));
+        let b = simulate_alone(&p, &cfg, Box::new(NoMitigation));
+        assert_eq!(a, b);
+    }
+}

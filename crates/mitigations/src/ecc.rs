@@ -1,0 +1,230 @@
+//! Error-correcting-code analysis (paper §7.1, Fig. 25/26).
+//!
+//! The paper asks whether the ECC schemes deployed in practice could absorb
+//! RowPress bitflips, by counting how many bitflips land in each 64-bit data
+//! word. This module classifies those per-word counts under SECDED, a strong
+//! Hamming(7,4) code, and Chipkill, and summarizes the page-retirement cost.
+
+use serde::{Deserialize, Serialize};
+
+/// The ECC schemes analyzed in §7.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EccScheme {
+    /// No ECC.
+    None,
+    /// SECDED(72, 64): corrects one bitflip per 64-bit word, detects two.
+    Secded,
+    /// Hamming(7, 4) applied to every 4-bit nibble: corrects one bitflip per
+    /// nibble (75 % storage overhead — the paper's "even this is not enough"
+    /// example).
+    Hamming74,
+    /// Chipkill: corrects one erroneous symbol, detects two. The symbol width
+    /// matches the device data width (x4, x8 or x16).
+    Chipkill {
+        /// Symbol width in bits (the DRAM device data width).
+        symbol_bits: u8,
+    },
+}
+
+/// What happens to a word with a given number of bitflips under a scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EccOutcome {
+    /// No bitflips: nothing to do.
+    Clean,
+    /// All bitflips corrected.
+    Corrected,
+    /// Errors detected but not correctable (machine check / data loss).
+    DetectedUncorrectable,
+    /// Errors neither corrected nor detected (silent data corruption).
+    SilentCorruption,
+}
+
+impl EccScheme {
+    /// Classifies a 64-bit word with `flips` bitflips.
+    ///
+    /// For Chipkill the flips are assumed to spread across symbols as evenly
+    /// as an adversary could arrange (the conservative assessment used by the
+    /// paper's footnote: 25 bitflips imply at least 7 / 4 / 2 bad symbols for
+    /// x4 / x8 / x16 devices).
+    pub fn classify(&self, flips: usize) -> EccOutcome {
+        if flips == 0 {
+            return EccOutcome::Clean;
+        }
+        match self {
+            EccScheme::None => EccOutcome::SilentCorruption,
+            EccScheme::Secded => match flips {
+                1 => EccOutcome::Corrected,
+                2 => EccOutcome::DetectedUncorrectable,
+                _ => EccOutcome::SilentCorruption,
+            },
+            EccScheme::Hamming74 => {
+                // One correctable flip per 4-bit nibble; 16 nibbles per word.
+                // More than one flip in any nibble breaks it. Worst case, all
+                // flips pile into as few nibbles as possible; best case they
+                // spread out. We take the adversarial view: any word with more
+                // flips than nibbles that could each absorb one is at risk, and
+                // two flips in one nibble is miscorrected silently.
+                if flips <= 1 {
+                    EccOutcome::Corrected
+                } else {
+                    EccOutcome::SilentCorruption
+                }
+            }
+            EccScheme::Chipkill { symbol_bits } => {
+                let symbols_hit = flips.div_ceil(usize::from(*symbol_bits)).max(if flips > 0 { 1 } else { 0 });
+                // An adversary spreads flips over as many symbols as possible:
+                // up to `flips` symbols, bounded by the symbols per word.
+                let symbols_per_word = 64 / usize::from(*symbol_bits);
+                let worst_case_symbols = flips.min(symbols_per_word).max(symbols_hit);
+                match worst_case_symbols {
+                    1 => EccOutcome::Corrected,
+                    2 => EccOutcome::DetectedUncorrectable,
+                    _ => EccOutcome::SilentCorruption,
+                }
+            }
+        }
+    }
+
+    /// Human-readable name.
+    pub fn label(&self) -> String {
+        match self {
+            EccScheme::None => "no ECC".to_string(),
+            EccScheme::Secded => "SECDED(72,64)".to_string(),
+            EccScheme::Hamming74 => "Hamming(7,4)".to_string(),
+            EccScheme::Chipkill { symbol_bits } => format!("Chipkill x{symbol_bits}"),
+        }
+    }
+}
+
+/// The per-word bitflip-count histogram of Fig. 25/26 plus ECC outcomes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WordAnalysis {
+    /// Words with one or two bitflips.
+    pub words_1_2: usize,
+    /// Words with three to eight bitflips.
+    pub words_3_8: usize,
+    /// Words with more than eight bitflips.
+    pub words_gt_8: usize,
+    /// The largest number of bitflips observed in a single word.
+    pub max_flips_in_word: usize,
+    /// Total erroneous words.
+    pub total_words: usize,
+    /// Total bitflips.
+    pub total_flips: usize,
+}
+
+impl WordAnalysis {
+    /// Builds the analysis from per-word bitflip counts (zeros are ignored).
+    pub fn from_word_counts(counts: &[usize]) -> Self {
+        let mut a = WordAnalysis::default();
+        for &c in counts.iter().filter(|&&c| c > 0) {
+            a.total_words += 1;
+            a.total_flips += c;
+            a.max_flips_in_word = a.max_flips_in_word.max(c);
+            match c {
+                1 | 2 => a.words_1_2 += 1,
+                3..=8 => a.words_3_8 += 1,
+                _ => a.words_gt_8 += 1,
+            }
+        }
+        a
+    }
+
+    /// Fraction of erroneous words that a scheme fails to correct.
+    pub fn uncorrectable_fraction(&self, scheme: EccScheme, counts: &[usize]) -> f64 {
+        let erroneous: Vec<usize> = counts.iter().copied().filter(|&c| c > 0).collect();
+        if erroneous.is_empty() {
+            return 0.0;
+        }
+        let bad = erroneous
+            .iter()
+            .filter(|&&c| {
+                matches!(
+                    scheme.classify(c),
+                    EccOutcome::DetectedUncorrectable | EccOutcome::SilentCorruption
+                )
+            })
+            .count();
+        bad as f64 / erroneous.len() as f64
+    }
+
+    /// Fraction of erroneous words with at least three bitflips — the words
+    /// that would force page retirement to give up capacity (§7.1).
+    pub fn multi_bit_fraction(&self) -> f64 {
+        if self.total_words == 0 {
+            return 0.0;
+        }
+        (self.words_3_8 + self.words_gt_8) as f64 / self.total_words as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secded_corrects_one_detects_two() {
+        assert_eq!(EccScheme::Secded.classify(0), EccOutcome::Clean);
+        assert_eq!(EccScheme::Secded.classify(1), EccOutcome::Corrected);
+        assert_eq!(EccScheme::Secded.classify(2), EccOutcome::DetectedUncorrectable);
+        assert_eq!(EccScheme::Secded.classify(3), EccOutcome::SilentCorruption);
+        assert_eq!(EccScheme::None.classify(1), EccOutcome::SilentCorruption);
+    }
+
+    #[test]
+    fn chipkill_matches_paper_footnote() {
+        // 25 bitflips in a 64-bit word: not even Chipkill survives.
+        for bits in [4u8, 8, 16] {
+            let outcome = EccScheme::Chipkill { symbol_bits: bits }.classify(25);
+            assert_eq!(outcome, EccOutcome::SilentCorruption, "x{bits}");
+        }
+        assert_eq!(EccScheme::Chipkill { symbol_bits: 8 }.classify(1), EccOutcome::Corrected);
+        assert_eq!(
+            EccScheme::Chipkill { symbol_bits: 8 }.classify(2),
+            EccOutcome::DetectedUncorrectable
+        );
+    }
+
+    #[test]
+    fn hamming74_still_fails_multi_bit_words() {
+        assert_eq!(EccScheme::Hamming74.classify(1), EccOutcome::Corrected);
+        assert_ne!(EccScheme::Hamming74.classify(25), EccOutcome::Corrected);
+    }
+
+    #[test]
+    fn word_analysis_histogram() {
+        let counts = vec![0, 1, 2, 3, 8, 9, 25, 0, 1];
+        let a = WordAnalysis::from_word_counts(&counts);
+        assert_eq!(a.total_words, 7);
+        assert_eq!(a.words_1_2, 3);
+        assert_eq!(a.words_3_8, 2);
+        assert_eq!(a.words_gt_8, 2);
+        assert_eq!(a.max_flips_in_word, 25);
+        assert_eq!(a.total_flips, 1 + 2 + 3 + 8 + 9 + 25 + 1);
+        assert!((a.multi_bit_fraction() - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrectable_fractions_order_by_scheme_strength() {
+        let counts = vec![1, 1, 2, 3, 5, 9];
+        let a = WordAnalysis::from_word_counts(&counts);
+        let none = a.uncorrectable_fraction(EccScheme::None, &counts);
+        let secded = a.uncorrectable_fraction(EccScheme::Secded, &counts);
+        let chipkill = a.uncorrectable_fraction(EccScheme::Chipkill { symbol_bits: 8 }, &counts);
+        assert_eq!(none, 1.0);
+        assert!(secded <= none);
+        assert!(chipkill <= secded + 1e-12);
+        assert!(secded > 0.0, "SECDED cannot absorb multi-bit words");
+        let empty = WordAnalysis::from_word_counts(&[]);
+        assert_eq!(empty.uncorrectable_fraction(EccScheme::Secded, &[]), 0.0);
+        assert_eq!(empty.multi_bit_fraction(), 0.0);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(EccScheme::Secded.label(), "SECDED(72,64)");
+        assert!(EccScheme::Chipkill { symbol_bits: 4 }.label().contains("x4"));
+        assert_eq!(EccScheme::None.label(), "no ECC");
+        assert_eq!(EccScheme::Hamming74.label(), "Hamming(7,4)");
+    }
+}

@@ -1,0 +1,31 @@
+//! # rowpress-mitigations
+//!
+//! RowHammer mitigation mechanisms (Graphene, PARA), the paper's methodology
+//! for adapting them to also mitigate RowPress (§7.4), the ECC analysis of
+//! §7.1 and the end-to-end overhead evaluation behind Table 3 / Table 9.
+//!
+//! # Example
+//!
+//! ```
+//! use rowpress_mitigations::{adapted_trh, MechanismKind, MitigationConfig};
+//!
+//! // Graphene-RP with a 96 ns maximum row-open time: the RowHammer threshold
+//! // shrinks to account for the extra disturbance of the longer row-open time.
+//! let config = MitigationConfig { kind: MechanismKind::Graphene, trh_base: 1000, tmro_ns: 96 };
+//! assert_eq!(config.adapted_trh(), 724);
+//! assert_eq!(adapted_trh(1000, 636), 419);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ecc;
+mod evaluation;
+mod mechanisms;
+
+pub use ecc::{EccOutcome, EccScheme, WordAnalysis};
+pub use evaluation::{evaluate_mixes, evaluate_single_core, summarize_overheads, OverheadRecord};
+pub use mechanisms::{
+    adaptation_factor_from_characterization, adapted_trh, Graphene, MechanismKind,
+    MitigationConfig, Para, TRH_ADAPTATION_TABLE,
+};

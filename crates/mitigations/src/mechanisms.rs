@@ -1,0 +1,346 @@
+//! RowHammer mitigation mechanisms (Graphene, PARA) and the paper's
+//! methodology for adapting them to also cover RowPress (§7.4).
+//!
+//! The adaptation has two parts: (1) scale the RowHammer threshold down by the
+//! worst-case ACmin reduction observed at the chosen maximum row-open time
+//! (Table 8), and (2) enforce that maximum row-open time in the memory
+//! controller (`RowPolicy::TimerCapped`).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rowpress_memctrl::ReadDisturbMitigation;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The per-tmro adapted RowHammer threshold of Table 8, for a baseline
+/// threshold of 1K: the characterization says that allowing a row to stay open
+/// for `tmro` reduces ACmin by up to the listed factor, so the mitigation must
+/// act as if the threshold were proportionally lower.
+pub const TRH_ADAPTATION_TABLE: [(u32, f64); 6] = [
+    (36, 1.000),
+    (66, 0.809),
+    (96, 0.724),
+    (186, 0.619),
+    (336, 0.555),
+    (636, 0.419),
+];
+
+/// Scales a baseline RowHammer threshold to its RowPress-adapted value for a
+/// maximum row-open time of `tmro_ns`, interpolating the characterization
+/// table (Table 8). Values beyond the table are clamped to its ends.
+pub fn adapted_trh(trh_base: u64, tmro_ns: u32) -> u64 {
+    let table = &TRH_ADAPTATION_TABLE;
+    let factor = if tmro_ns <= table[0].0 {
+        table[0].1
+    } else if tmro_ns >= table[table.len() - 1].0 {
+        table[table.len() - 1].1
+    } else {
+        let mut factor = table[0].1;
+        for pair in table.windows(2) {
+            let (t0, f0) = pair[0];
+            let (t1, f1) = pair[1];
+            if tmro_ns >= t0 && tmro_ns <= t1 {
+                let alpha = f64::from(tmro_ns - t0) / f64::from(t1 - t0);
+                factor = f0 + alpha * (f1 - f0);
+                break;
+            }
+        }
+        factor
+    };
+    ((trh_base as f64) * factor).round().max(1.0) as u64
+}
+
+/// Derives the adaptation factor directly from an ACmin-vs-tAggON
+/// characterization (pairs of `(t_aggon_ns, mean ACmin)`): the factor for a
+/// given tmro is `ACmin(tmro) / ACmin(tRAS)`, i.e. how much more dangerous an
+/// activation becomes when the row may stay open that long.
+pub fn adaptation_factor_from_characterization(curve: &[(f64, f64)], tmro_ns: f64) -> Option<f64> {
+    let base = curve
+        .iter()
+        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+        .map(|&(_, ac)| ac)?;
+    if base <= 0.0 {
+        return None;
+    }
+    // Find the ACmin at the largest characterized tAggON not exceeding tmro.
+    let at_tmro = curve
+        .iter()
+        .filter(|&&(t, _)| t <= tmro_ns)
+        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+        .map(|&(_, ac)| ac)?;
+    Some((at_tmro / base).clamp(0.0, 1.0))
+}
+
+/// Graphene: a Misra–Gries frequent-element counter table per bank that
+/// preventively refreshes the neighbours of any row whose activation count
+/// crosses multiples of the table threshold.
+#[derive(Debug)]
+pub struct Graphene {
+    /// Preventive-refresh threshold (T in the paper; roughly T_RH / 3).
+    threshold: u64,
+    /// Counter-table capacity per bank.
+    capacity: usize,
+    tables: HashMap<usize, HashMap<u64, u64>>,
+    spill: HashMap<usize, u64>,
+    refreshes_seen: u64,
+    refreshes_per_window: u64,
+}
+
+impl Graphene {
+    /// Creates a Graphene instance for a RowHammer threshold `trh`, using the
+    /// paper's configuration rule T = trh / 3 and a 128-entry table per bank.
+    pub fn for_threshold(trh: u64) -> Self {
+        Graphene {
+            threshold: (trh / 3).max(1),
+            capacity: 128,
+            tables: HashMap::new(),
+            spill: HashMap::new(),
+            refreshes_seen: 0,
+            refreshes_per_window: 8192,
+        }
+    }
+
+    /// The preventive-refresh threshold T.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+}
+
+impl ReadDisturbMitigation for Graphene {
+    fn on_activation(&mut self, bank: usize, row: u64, _cycle: u64) -> bool {
+        let spill = self.spill.entry(bank).or_insert(0);
+        let table = self.tables.entry(bank).or_default();
+        let count = if let Some(c) = table.get_mut(&row) {
+            *c += 1;
+            *c
+        } else if table.len() < self.capacity {
+            let start = *spill + 1;
+            table.insert(row, start);
+            start
+        } else {
+            // Misra-Gries: decrement everyone; evict zeros; raise the spill.
+            *spill += 1;
+            table.retain(|_, c| {
+                *c -= 1;
+                *c > 0
+            });
+            return false;
+        };
+        count % self.threshold == 0
+    }
+
+    fn on_refresh(&mut self, _cycle: u64) {
+        self.refreshes_seen += 1;
+        if self.refreshes_seen % self.refreshes_per_window == 0 {
+            self.tables.clear();
+            self.spill.clear();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Graphene"
+    }
+}
+
+/// PARA: on every activation, refresh the activated row's neighbours with a
+/// small probability `p`.
+#[derive(Debug)]
+pub struct Para {
+    probability: f64,
+    rng: SmallRng,
+}
+
+impl Para {
+    /// Creates a PARA instance with an explicit refresh probability.
+    pub fn new(probability: f64, seed: u64) -> Self {
+        Para { probability: probability.clamp(0.0, 1.0), rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Creates a PARA instance for a RowHammer threshold, using the paper's
+    /// configuration rule (Table 8 lists p = 0.034 for a threshold of 1K,
+    /// growing as the threshold shrinks).
+    pub fn for_threshold(trh: u64, seed: u64) -> Self {
+        let p = (34.0 / trh.max(1) as f64).clamp(1e-4, 0.5);
+        Self::new(p, seed)
+    }
+
+    /// The per-activation preventive-refresh probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+}
+
+impl ReadDisturbMitigation for Para {
+    fn on_activation(&mut self, _bank: usize, _row: u64, _cycle: u64) -> bool {
+        self.rng.gen_bool(self.probability)
+    }
+
+    fn name(&self) -> &'static str {
+        "PARA"
+    }
+}
+
+/// Which base mechanism an adapted configuration builds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MechanismKind {
+    /// Graphene (low performance overhead, per-bank counter tables).
+    Graphene,
+    /// PARA (low area overhead, probabilistic).
+    Para,
+}
+
+/// A complete mitigation configuration: the mechanism, the (possibly adapted)
+/// threshold, and the maximum row-open time enforced by the row policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MitigationConfig {
+    /// Base mechanism.
+    pub kind: MechanismKind,
+    /// Baseline RowHammer threshold (1K in the paper's evaluation).
+    pub trh_base: u64,
+    /// Maximum row-open time in nanoseconds; 36 ns (= tRAS) disables the
+    /// RowPress adaptation's row-policy component.
+    pub tmro_ns: u32,
+}
+
+impl MitigationConfig {
+    /// The RowPress-adapted threshold T'RH for this configuration.
+    pub fn adapted_trh(&self) -> u64 {
+        adapted_trh(self.trh_base, self.tmro_ns)
+    }
+
+    /// Instantiates the mechanism (boxed for the controller hook).
+    pub fn build(&self, seed: u64) -> Box<dyn ReadDisturbMitigation> {
+        match self.kind {
+            MechanismKind::Graphene => Box::new(Graphene::for_threshold(self.adapted_trh())),
+            MechanismKind::Para => Box::new(Para::for_threshold(self.adapted_trh(), seed)),
+        }
+    }
+
+    /// The row policy the adapted configuration requires.
+    pub fn row_policy(&self) -> rowpress_memctrl::RowPolicy {
+        if self.tmro_ns <= 36 {
+            rowpress_memctrl::RowPolicy::Open
+        } else {
+            rowpress_memctrl::RowPolicy::TimerCapped { tmro_ns: self.tmro_ns }
+        }
+    }
+
+    /// Display label ("Graphene-RP tmro=96ns").
+    pub fn label(&self) -> String {
+        let base = match self.kind {
+            MechanismKind::Graphene => "Graphene",
+            MechanismKind::Para => "PARA",
+        };
+        if self.tmro_ns <= 36 {
+            format!("{base}-RP tmro=36ns(=tRAS)")
+        } else {
+            format!("{base}-RP tmro={}ns", self.tmro_ns)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptation_table_matches_paper_values() {
+        assert_eq!(adapted_trh(1000, 36), 1000);
+        assert_eq!(adapted_trh(1000, 66), 809);
+        assert_eq!(adapted_trh(1000, 96), 724);
+        assert_eq!(adapted_trh(1000, 186), 619);
+        assert_eq!(adapted_trh(1000, 336), 555);
+        assert_eq!(adapted_trh(1000, 636), 419);
+        // Clamping and interpolation.
+        assert_eq!(adapted_trh(1000, 10), 1000);
+        assert_eq!(adapted_trh(1000, 10_000), 419);
+        let mid = adapted_trh(1000, 81);
+        assert!(mid < 809 && mid > 724);
+        assert!(adapted_trh(0, 96) >= 1);
+    }
+
+    #[test]
+    fn adaptation_factor_from_measured_curve() {
+        // A synthetic ACmin curve: flat then dropping.
+        let curve = vec![(36.0, 100_000.0), (96.0, 72_000.0), (636.0, 42_000.0), (7800.0, 6_000.0)];
+        let f96 = adaptation_factor_from_characterization(&curve, 96.0).unwrap();
+        assert!((f96 - 0.72).abs() < 1e-9);
+        let f_large = adaptation_factor_from_characterization(&curve, 1e6).unwrap();
+        assert!((f_large - 0.06).abs() < 1e-9);
+        assert!(adaptation_factor_from_characterization(&[], 96.0).is_none());
+    }
+
+    #[test]
+    fn graphene_triggers_on_heavily_activated_rows_only() {
+        let mut g = Graphene::for_threshold(999);
+        assert_eq!(g.threshold(), 333);
+        let mut refreshes = 0;
+        for _ in 0..1000 {
+            if g.on_activation(0, 42, 0) {
+                refreshes += 1;
+            }
+        }
+        assert_eq!(refreshes, 3, "a row activated 1000 times crosses T=333 three times");
+        // A row activated a handful of times never triggers.
+        let mut g = Graphene::for_threshold(999);
+        let any = (0..10).any(|_| g.on_activation(0, 7, 0));
+        assert!(!any);
+        assert_eq!(g.name(), "Graphene");
+    }
+
+    #[test]
+    fn graphene_tracks_heavy_hitters_despite_noise() {
+        let mut g = Graphene::for_threshold(900);
+        let mut triggered = false;
+        // Interleave one aggressor with many one-off rows (decoys).
+        for i in 0..90_000u64 {
+            if i % 3 == 0 {
+                triggered |= g.on_activation(0, 1, 0);
+            } else {
+                g.on_activation(0, 1000 + i, 0);
+            }
+        }
+        assert!(triggered, "the frequently activated row must eventually be caught");
+    }
+
+    #[test]
+    fn graphene_resets_at_refresh_window() {
+        let mut g = Graphene::for_threshold(300);
+        for _ in 0..50 {
+            g.on_activation(0, 9, 0);
+        }
+        assert!(!g.tables.is_empty());
+        for _ in 0..8192 {
+            g.on_refresh(0);
+        }
+        assert!(g.tables.is_empty(), "counters reset every refresh window");
+    }
+
+    #[test]
+    fn para_rate_matches_probability() {
+        let mut p = Para::for_threshold(1000, 7);
+        assert!((p.probability() - 0.034).abs() < 1e-9);
+        let n = 200_000;
+        let hits = (0..n).filter(|_| p.on_activation(0, 0, 0)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.034).abs() < 0.005, "measured rate {rate}");
+        assert_eq!(p.name(), "PARA");
+        // Smaller thresholds need more aggressive refreshing.
+        assert!(Para::for_threshold(419, 7).probability() > Para::for_threshold(1000, 7).probability());
+    }
+
+    #[test]
+    fn mitigation_config_builds_adapted_mechanisms() {
+        let cfg = MitigationConfig { kind: MechanismKind::Graphene, trh_base: 1000, tmro_ns: 96 };
+        assert_eq!(cfg.adapted_trh(), 724);
+        assert_eq!(cfg.row_policy(), rowpress_memctrl::RowPolicy::TimerCapped { tmro_ns: 96 });
+        assert!(cfg.label().contains("Graphene-RP"));
+        let baseline = MitigationConfig { kind: MechanismKind::Para, trh_base: 1000, tmro_ns: 36 };
+        assert_eq!(baseline.adapted_trh(), 1000);
+        assert_eq!(baseline.row_policy(), rowpress_memctrl::RowPolicy::Open);
+        let mut built = cfg.build(1);
+        let _ = built.on_activation(0, 0, 0);
+        let mut built = baseline.build(1);
+        let _ = built.on_activation(0, 0, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Characterize one module the way the paper's Figure 6 does: sweep the
+//! aggressor-row-on time and report mean ACmin and the fraction of rows with
+//! bitflips, at two temperatures.
+
+use rowpress::core::{acmin_sweep, fraction_rows_with_flips, ExperimentConfig, PatternKind};
+use rowpress::core::stats::loglog_slope;
+use rowpress::dram::{module_inventory, sweep_t_aggon};
+
+fn main() {
+    let spec = module_inventory().into_iter().find(|m| m.id == "S3").expect("S3 in inventory");
+    let cfg = ExperimentConfig::quick().with_rows_per_module(6);
+    let taggons = sweep_t_aggon();
+    println!("characterizing {spec} ({} tested rows per temperature)", cfg.rows_per_module);
+
+    let records = acmin_sweep(&cfg, &[spec], PatternKind::SingleSided, &[50.0, 80.0], &taggons);
+    for temp in [50.0, 80.0] {
+        println!("-- {temp} C --");
+        let mut curve = Vec::new();
+        for t in &taggons {
+            let values: Vec<f64> = records
+                .iter()
+                .filter(|r| r.temperature_c == temp && r.t_aggon == *t)
+                .filter_map(|r| r.ac_min.map(|a| a as f64))
+                .collect();
+            if values.is_empty() {
+                println!("  tAggON {:>8}: no bitflips", format!("{t}"));
+            } else {
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                println!("  tAggON {:>8}: mean ACmin {:>10.0}", format!("{t}"), mean);
+                curve.push((t.as_us(), mean));
+            }
+        }
+        let tail: Vec<(f64, f64)> = curve.into_iter().filter(|(t, _)| *t >= 7.8).collect();
+        if let Some(slope) = loglog_slope(&tail) {
+            println!("  log-log slope beyond tREFI: {slope:.3} (paper reports about -1.02)");
+        }
+    }
+    let fractions = fraction_rows_with_flips(&records);
+    let vulnerable = fractions.values().filter(|&&f| f > 0.0).count();
+    println!("{} of {} (die, tAggON) points show at least one vulnerable row", vulnerable, fractions.len());
+}

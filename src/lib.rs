@@ -1,0 +1,39 @@
+//! # rowpress
+//!
+//! Facade crate of the RowPress (ISCA 2023) reproduction: re-exports the
+//! individual subsystem crates under one roof so examples and downstream users
+//! can depend on a single crate.
+//!
+//! * [`dram`] — behavioural DDR4 device model with RowHammer + RowPress physics.
+//! * [`bender`] — DRAM-Bender-style command-level testing platform.
+//! * [`core`] — the characterization methodology (ACmin search, studies).
+//! * [`workloads`] — synthetic trace generation and benchmark catalog.
+//! * [`memctrl`] — cycle-level memory controller and system simulator.
+//! * [`mitigations`] — Graphene / PARA, their RowPress adaptations, ECC analysis.
+//! * [`attack`] — the real-system demonstration model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rowpress::core::{find_ac_min, ExperimentConfig, PatternKind, PatternSite};
+//! use rowpress::dram::{module_inventory, BankId, DataPattern, DramModule, RowId, Time};
+//!
+//! let spec = module_inventory().remove(0);
+//! let cfg = ExperimentConfig::test_scale();
+//! let mut module = DramModule::new(&spec, cfg.geometry);
+//! let site = PatternSite::for_kind(PatternKind::SingleSided, BankId(1), RowId(20), cfg.geometry.rows_per_bank);
+//! let hammer = find_ac_min(&mut module, &site, Time::from_ns(36.0), DataPattern::Checkerboard, &cfg)?.unwrap();
+//! let press = find_ac_min(&mut module, &site, Time::from_ms(30.0), DataPattern::Checkerboard, &cfg)?.unwrap();
+//! assert!(press.ac_min < hammer.ac_min / 100);
+//! # Ok::<(), rowpress::dram::DramError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use rowpress_attack as attack;
+pub use rowpress_bender as bender;
+pub use rowpress_core as core;
+pub use rowpress_dram as dram;
+pub use rowpress_memctrl as memctrl;
+pub use rowpress_mitigations as mitigations;
+pub use rowpress_workloads as workloads;

@@ -1,0 +1,99 @@
+//! Property-based tests over the core data structures and invariants of the
+//! device model and characterization library.
+
+use proptest::prelude::*;
+use rowpress::core::stats::{loglog_slope, BoxSummary};
+use rowpress::core::{ExperimentConfig, PatternKind, PatternSite};
+use rowpress::dram::math::LogNormal;
+use rowpress::dram::{module_inventory, BankId, DramModule, Geometry, RowId, Time, TimingParams};
+use rowpress::mitigations::adapted_trh;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn time_arithmetic_is_consistent(a in 0u64..10_000_000_000, b in 0u64..10_000_000_000) {
+        let ta = Time::from_ps(a);
+        let tb = Time::from_ps(b);
+        prop_assert_eq!(ta + tb, tb + ta);
+        prop_assert_eq!((ta + tb).saturating_sub(tb), ta);
+        prop_assert!(ta.saturating_sub(tb) <= ta);
+        prop_assert_eq!(ta.max(tb).as_ps(), a.max(b));
+    }
+
+    #[test]
+    fn quantize_never_shrinks_and_respects_grid(ns in 0.0f64..1_000_000.0) {
+        let t = TimingParams::ddr4();
+        let q = t.quantize(Time::from_ns(ns));
+        prop_assert!(q >= Time::from_ns(ns));
+        prop_assert_eq!(q.as_ps() % t.command_granularity.as_ps(), 0);
+    }
+
+    #[test]
+    fn box_summary_orders_quantiles(values in prop::collection::vec(0.0f64..1e9, 1..50)) {
+        let s = BoxSummary::from_values(&values).unwrap();
+        prop_assert!(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 && s.q3 <= s.max);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+        prop_assert_eq!(s.count, values.len());
+    }
+
+    #[test]
+    fn loglog_slope_of_power_law_recovers_exponent(k in -2.0f64..2.0, c in 0.1f64..100.0) {
+        let points: Vec<(f64, f64)> = (1..30).map(|i| {
+            let x = i as f64;
+            (x, c * x.powf(k))
+        }).collect();
+        if let Some(slope) = loglog_slope(&points) {
+            prop_assert!((slope - k).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_matches_request(mean in 1.0f64..1e6, ratio in 0.01f64..0.99, n in 2u64..10_000) {
+        let ln = LogNormal::from_mean_and_min(mean, mean * ratio, n);
+        prop_assert!((ln.mean() - mean).abs() / mean < 1e-6);
+        prop_assert!(ln.sigma > 0.0);
+    }
+
+    #[test]
+    fn adapted_threshold_is_monotone_in_tmro(trh in 100u64..100_000, t1 in 36u32..636, t2 in 36u32..636) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(adapted_trh(trh, lo) >= adapted_trh(trh, hi));
+        prop_assert!(adapted_trh(trh, hi) >= 1);
+    }
+
+    #[test]
+    fn pattern_sites_never_overlap_aggressors_and_victims(row in 4u32..60, kind_sel in 0u8..2) {
+        let kind = if kind_sel == 0 { PatternKind::SingleSided } else { PatternKind::DoubleSided };
+        let site = PatternSite::for_kind(kind, BankId(0), RowId(row), 64);
+        for a in &site.aggressors {
+            prop_assert!(!site.victims.contains(a));
+        }
+        prop_assert!(!site.victims.is_empty());
+    }
+
+    #[test]
+    fn longer_presses_never_flip_fewer_cells(acts in 1u64..10u64, extra in 1u64..10u64) {
+        let spec = module_inventory().remove(0);
+        let bank = BankId(1);
+        let count_flips = |n: u64| {
+            let mut m = DramModule::new(&spec, Geometry::tiny());
+            m.init_row_pattern(bank, RowId(20), rowpress::dram::DataPattern::Checkerboard, rowpress::dram::RowRole::Aggressor).unwrap();
+            m.init_row_pattern(bank, RowId(21), rowpress::dram::DataPattern::Checkerboard, rowpress::dram::RowRole::Victim).unwrap();
+            m.activate_many(bank, RowId(20), Time::from_ms(5.0), Time::from_ns(15.0), n).unwrap();
+            m.check_row(bank, RowId(21)).unwrap().len()
+        };
+        prop_assert!(count_flips(acts + extra) >= count_flips(acts));
+    }
+
+    #[test]
+    fn experiment_config_sites_fit_geometry(rows in 1u32..32) {
+        let cfg = ExperimentConfig::test_scale().with_rows_per_module(rows);
+        let sites = cfg.tested_sites();
+        prop_assert!(!sites.is_empty());
+        for site in sites {
+            prop_assert!(site.0 + 4 < cfg.geometry.rows_per_bank);
+            prop_assert!(site.0 >= 4);
+        }
+    }
+}
