@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI gate for the RowPress reproduction. Mirrors what a future GitHub Actions
+# workflow would run; keep this the single source of truth for "green".
+#
+#   ./ci.sh          # full gate
+#   ./ci.sh quick    # skip the bench compile (fastest signal)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo build --release (tier-1)"
+cargo build --release
+
+# Superset of the tier-1 `cargo test -q`: the workspace run includes the root
+# facade package (integration tests + doctest) plus every subsystem crate.
+step "cargo test --workspace -q"
+cargo test --workspace -q
+
+step "cargo build --examples"
+cargo build --examples
+
+if [[ "${1:-}" != "quick" ]]; then
+  step "cargo bench --no-run --workspace (every fig/table bench target compiles)"
+  cargo bench --no-run --workspace
+fi
+
+step "cargo doc --no-deps with warnings denied (missing docs are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+step "all green"

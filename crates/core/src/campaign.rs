@@ -23,18 +23,17 @@ where
     let mut results: Vec<Option<T>> = Vec::with_capacity(modules.len());
     results.resize_with(modules.len(), || None);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (idx, spec) in modules.iter().enumerate() {
             let f = &f;
-            handles.push(scope.spawn(move |_| (idx, f(spec))));
+            handles.push(scope.spawn(move || (idx, f(spec))));
         }
         for handle in handles {
             let (idx, value) = handle.join().expect("module campaign thread panicked");
             results[idx] = Some(value);
         }
-    })
-    .expect("campaign scope");
+    });
 
     results.into_iter().map(|r| r.expect("every module produced a result")).collect()
 }

@@ -1,0 +1,152 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro + builder surface used by `crates/bench`:
+//! [`Criterion`] with `sample_size` / `measurement_time` / `warm_up_time`,
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark is timed
+//! with `std::time::Instant` and a mean-per-iteration line is printed; there
+//! is no outlier rejection, plotting, or statistical analysis.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing a benchmark input/output away.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total time spent measuring one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Caps the time spent warming a benchmark up before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Times `f` and prints a mean-per-iteration summary line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+            deadline: Instant::now() + self.warm_up_time.min(Duration::from_millis(200)),
+            warmup: true,
+        };
+        // Warm-up passes (at least one) until the warm-up deadline expires.
+        loop {
+            f(&mut bencher);
+            if Instant::now() >= bencher.deadline {
+                break;
+            }
+        }
+
+        bencher.warmup = false;
+        bencher.iterations = 0;
+        bencher.elapsed = Duration::ZERO;
+        bencher.deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            if Instant::now() >= bencher.deadline {
+                break;
+            }
+            f(&mut bencher);
+        }
+
+        if bencher.iterations == 0 {
+            println!("bench {id}: no iterations completed");
+        } else {
+            let mean = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+            println!(
+                "bench {id}: {:.1} ns/iter (mean of {} iterations)",
+                mean, bencher.iterations
+            );
+        }
+        self
+    }
+}
+
+/// Per-benchmark timing handle (stand-in for `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    deadline: Instant,
+    warmup: bool,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` until the sample budget is spent.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        if self.warmup {
+            return;
+        }
+        self.iterations += 1;
+        self.elapsed += once;
+    }
+}
+
+/// Declares a group of benchmark functions (both criterion forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `fn main` running each group (stand-in for `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

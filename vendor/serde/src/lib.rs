@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the two trait names and the derive macros that the workspace
+//! imports (`use serde::{Deserialize, Serialize}` + `#[derive(...)]`). The
+//! traits are empty markers and the derives are no-ops — sufficient while no
+//! code path actually serializes. See `vendor/README.md`.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
