@@ -20,9 +20,20 @@ cargo test --workspace -q
 step "cargo build --examples"
 cargo build --examples
 
+# The campaign engine is the execution path of every study driver; run its
+# suite explicitly so an engine regression is named in the CI log.
+step "cargo test -p rowpress-core --lib engine (campaign engine suite)"
+cargo test -p rowpress-core --lib -q engine
+
+step "cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
 if [[ "${1:-}" != "quick" ]]; then
   step "cargo bench --no-run --workspace (every fig/table bench target compiles)"
   cargo bench --no-run --workspace
+
+  step "cargo bench -p rowpress-bench --bench perf_engine --no-run"
+  cargo bench -p rowpress-bench --bench perf_engine --no-run
 fi
 
 step "cargo doc --no-deps with warnings denied (missing docs are errors)"

@@ -56,12 +56,22 @@ pub struct AttackParams {
 impl AttackParams {
     /// Algorithm 1 with the paper's default iteration count.
     pub fn algorithm1(num_aggr_acts: u32, num_reads: u32) -> Self {
-        AttackParams { num_aggr_acts, num_reads, algorithm: Algorithm::ReadsThenFlushes, iterations: 800_000 }
+        AttackParams {
+            num_aggr_acts,
+            num_reads,
+            algorithm: Algorithm::ReadsThenFlushes,
+            iterations: 800_000,
+        }
     }
 
     /// Algorithm 2 with the paper's default iteration count.
     pub fn algorithm2(num_aggr_acts: u32, num_reads: u32) -> Self {
-        AttackParams { num_aggr_acts, num_reads, algorithm: Algorithm::InterleavedFlushes, iterations: 800_000 }
+        AttackParams {
+            num_aggr_acts,
+            num_reads,
+            algorithm: Algorithm::InterleavedFlushes,
+            iterations: 800_000,
+        }
     }
 }
 
@@ -113,7 +123,12 @@ impl SystemModel {
             .expect("S2 (Samsung 8Gb C-die) is in the inventory");
         SystemModel {
             module,
-            geometry: Geometry { banks: 16, rows_per_bank: 8192, bits_per_row: 65536, bits_per_cache_block: 512 },
+            geometry: Geometry {
+                banks: 16,
+                rows_per_bank: 8192,
+                bits_per_row: 65536,
+                bits_per_cache_block: 512,
+            },
             first_access: Time::from_ns(150.0),
             subsequent_access: Time::from_ns(100.0),
             iteration_overhead: Time::from_us(4.0),
@@ -212,13 +227,12 @@ pub fn run_attack(system: &SystemModel, params: &AttackParams) -> AttackOutcome 
 
     // Iterations that land in one refresh window of a victim row.
     let iters_per_window = (system.t_refw.as_us() / iter_time.as_us()).floor().max(0.0);
-    let total_windows =
-        ((params.iterations as f64) / iters_per_window.max(1.0)).ceil().max(1.0) as u64;
-    let acts_per_window_per_aggressor = ((iters_per_window
-        * f64::from(params.num_aggr_acts)
-        * sync)
-        .floor() as u64)
-        .min(system.trr_escape_acts);
+    let total_windows = ((params.iterations as f64) / iters_per_window.max(1.0))
+        .ceil()
+        .max(1.0) as u64;
+    let acts_per_window_per_aggressor =
+        ((iters_per_window * f64::from(params.num_aggr_acts) * sync).floor() as u64)
+            .min(system.trr_escape_acts);
 
     let mut total_bitflips = 0u64;
     let mut rows_with_bitflips = 0u64;
@@ -230,9 +244,15 @@ pub fn run_attack(system: &SystemModel, params: &AttackParams) -> AttackOutcome 
         let victim = RowId(8 + v * 8);
         let low = RowId(victim.0 - 1);
         let high = RowId(victim.0 + 1);
-        module.init_row_pattern(bank, victim, DataPattern::Checkerboard, RowRole::Victim).expect("victim row");
-        module.init_row_pattern(bank, low, DataPattern::Checkerboard, RowRole::Aggressor).expect("aggressor row");
-        module.init_row_pattern(bank, high, DataPattern::Checkerboard, RowRole::Aggressor).expect("aggressor row");
+        module
+            .init_row_pattern(bank, victim, DataPattern::Checkerboard, RowRole::Victim)
+            .expect("victim row");
+        module
+            .init_row_pattern(bank, low, DataPattern::Checkerboard, RowRole::Aggressor)
+            .expect("aggressor row");
+        module
+            .init_row_pattern(bank, high, DataPattern::Checkerboard, RowRole::Aggressor)
+            .expect("aggressor row");
 
         // Does at least one refresh window escape TRR for this victim?
         let windows_escaping_trr = (0..total_windows.min(64))
@@ -250,7 +270,13 @@ pub fn run_attack(system: &SystemModel, params: &AttackParams) -> AttackOutcome 
             .activate_many(bank, low, t_on, per_aggr_off, acts_per_window_per_aggressor)
             .expect("activate");
         module
-            .activate_many(bank, high, t_on, per_aggr_off, acts_per_window_per_aggressor)
+            .activate_many(
+                bank,
+                high,
+                t_on,
+                per_aggr_off,
+                acts_per_window_per_aggressor,
+            )
             .expect("activate");
         let flips = module.check_row(bank, victim).expect("check victim");
         if !flips.is_empty() {
@@ -259,7 +285,12 @@ pub fn run_attack(system: &SystemModel, params: &AttackParams) -> AttackOutcome 
         }
     }
 
-    AttackOutcome { params: *params, total_bitflips, rows_with_bitflips, victims_tested: victims }
+    AttackOutcome {
+        params: *params,
+        total_bitflips,
+        rows_with_bitflips,
+        victims_tested: victims,
+    }
 }
 
 /// One bucket of the access-latency histogram (Fig. 24).
@@ -314,7 +345,10 @@ pub fn median_latencies(buckets: &[LatencyBucket]) -> (u32, u32) {
         }
         buckets.last().map(|b| b.cycles).unwrap_or(0)
     };
-    (median_of(&|b| b.first_access_fraction), median_of(&|b| b.subsequent_fraction))
+    (
+        median_of(&|b| b.first_access_fraction),
+        median_of(&|b| b.subsequent_fraction),
+    )
 }
 
 #[cfg(test)]
@@ -390,7 +424,10 @@ mod tests {
         let mid = flips(32);
         let high = flips(128);
         assert!(mid > low, "mid {mid} vs low {low}");
-        assert!(mid >= high, "mid {mid} vs high {high} (synchronization loss)");
+        assert!(
+            mid >= high,
+            "mid {mid} vs high {high} (synchronization loss)"
+        );
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Fig. 1: ACmin distributions of RowHammer vs RowPress (single-/double-sided)
 //! at 80 C for the representative tAggON values 36 ns, 7.8 us, 70.2 us, 30 ms.
 
-use rowpress_bench::{bench_config, footer, fmt_taggon, header, one_module_per_manufacturer};
-use rowpress_core::{acmin_sweep, PatternKind};
+use rowpress_bench::{bench_config, fmt_taggon, footer, header, one_module_per_manufacturer};
 use rowpress_core::stats::BoxSummary;
+use rowpress_core::{acmin_sweep, PatternKind};
 use rowpress_dram::representative_t_aggon;
 
 fn main() {
@@ -15,7 +15,13 @@ fn main() {
     let cfg = bench_config(5).at_temperature(80.0);
     let taggons = representative_t_aggon();
     for kind in PatternKind::all() {
-        let records = acmin_sweep(&cfg, &one_module_per_manufacturer(), kind, &[80.0], &taggons);
+        let records = acmin_sweep(
+            &cfg,
+            &one_module_per_manufacturer(),
+            kind,
+            &[80.0],
+            &taggons,
+        );
         for t in &taggons {
             let values: Vec<f64> = records
                 .iter()
@@ -31,6 +37,8 @@ fn main() {
             }
         }
     }
-    println!("expected shape: medians drop by orders of magnitude from 36 ns to 30 ms, reaching ~1");
+    println!(
+        "expected shape: medians drop by orders of magnitude from 36 ns to 30 ms, reaching ~1"
+    );
     footer("Figure 1");
 }

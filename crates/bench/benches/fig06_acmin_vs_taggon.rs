@@ -1,6 +1,6 @@
 //! Fig. 6: ACmin as tAggON increases (single-sided, 50 C), per die revision.
 
-use rowpress_bench::{bench_config, diverse_modules, footer, fmt_taggon, header};
+use rowpress_bench::{bench_config, diverse_modules, fmt_taggon, footer, header};
 use rowpress_core::stats::loglog_slope;
 use rowpress_core::{acmin_by_die, acmin_sweep, PatternKind};
 use rowpress_dram::{sweep_t_aggon, Time};
@@ -13,7 +13,13 @@ fn main() {
     );
     let cfg = bench_config(5);
     let taggons = sweep_t_aggon();
-    let records = acmin_sweep(&cfg, &diverse_modules(), PatternKind::SingleSided, &[50.0], &taggons);
+    let records = acmin_sweep(
+        &cfg,
+        &diverse_modules(),
+        PatternKind::SingleSided,
+        &[50.0],
+        &taggons,
+    );
     let by_die = acmin_by_die(&records);
     let mut dies: Vec<_> = by_die.keys().map(|(d, m, _)| (d.clone(), *m)).collect();
     dies.sort();
@@ -27,8 +33,11 @@ fn main() {
                 curve.push((t.as_us(), a.mean));
             }
         }
-        let tail: Vec<(f64, f64)> =
-            curve.iter().copied().filter(|(t, _)| *t >= Time::from_us(7.8).as_us()).collect();
+        let tail: Vec<(f64, f64)> = curve
+            .iter()
+            .copied()
+            .filter(|(t, _)| *t >= Time::from_us(7.8).as_us())
+            .collect();
         match loglog_slope(&tail) {
             Some(s) => println!("  | slope beyond tREFI = {s:.3} (paper: about -1.02)"),
             None => println!("  | no press bitflips (paper: Mfr. M 8Gb B-die shows none)"),

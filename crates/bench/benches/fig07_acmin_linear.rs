@@ -1,7 +1,7 @@
 //! Fig. 7: ACmin between tREFI and 9xtREFI in linear scale: the reduction rate
 //! of ACmin slows down as tAggON grows.
 
-use rowpress_bench::{bench_config, footer, fmt_taggon, header, one_module_per_manufacturer};
+use rowpress_bench::{bench_config, fmt_taggon, footer, header, one_module_per_manufacturer};
 use rowpress_core::{acmin_by_die, acmin_sweep, PatternKind};
 use rowpress_dram::Time;
 
@@ -12,16 +12,30 @@ fn main() {
         "ACmin reduction rate decreases: about -0.4/us between 7.8 and 15 us but only -0.02/us between 30 and 70.2 us",
     );
     let cfg = bench_config(5);
-    let taggons = vec![Time::from_us(7.8), Time::from_us(15.0), Time::from_us(30.0), Time::from_us(70.2)];
-    let records = acmin_sweep(&cfg, &one_module_per_manufacturer(), PatternKind::SingleSided, &[50.0], &taggons);
+    let taggons = vec![
+        Time::from_us(7.8),
+        Time::from_us(15.0),
+        Time::from_us(30.0),
+        Time::from_us(70.2),
+    ];
+    let records = acmin_sweep(
+        &cfg,
+        &one_module_per_manufacturer(),
+        PatternKind::SingleSided,
+        &[50.0],
+        &taggons,
+    );
     let by_die = acmin_by_die(&records);
     let mut keys: Vec<_> = by_die.keys().cloned().collect();
     keys.sort();
     let mut per_die: std::collections::BTreeMap<String, Vec<(f64, f64)>> = Default::default();
     for (die, _mfr, t_ps) in keys {
         let a = by_die[&(die.clone(), _mfr, t_ps)];
-        per_die.entry(die).or_default().push((Time::from_ps(t_ps).as_us(), a.mean));
-        }
+        per_die
+            .entry(die)
+            .or_default()
+            .push((Time::from_ps(t_ps).as_us(), a.mean));
+    }
     for (die, curve) in per_die {
         print!("{die:<12}");
         for (t, v) in &curve {

@@ -1,7 +1,7 @@
 //! Fig. 8: fraction of tested rows with at least one bitflip vs tAggON
 //! (single-sided, 50 C).
 
-use rowpress_bench::{bench_config, diverse_modules, footer, fmt_taggon, header};
+use rowpress_bench::{bench_config, diverse_modules, fmt_taggon, footer, header};
 use rowpress_core::{acmin_sweep, fraction_rows_with_flips, PatternKind};
 use rowpress_dram::Time;
 
@@ -19,7 +19,13 @@ fn main() {
         Time::from_ms(6.0),
         Time::from_ms(30.0),
     ];
-    let records = acmin_sweep(&cfg, &diverse_modules(), PatternKind::SingleSided, &[50.0], &taggons);
+    let records = acmin_sweep(
+        &cfg,
+        &diverse_modules(),
+        PatternKind::SingleSided,
+        &[50.0],
+        &taggons,
+    );
     let fractions = fraction_rows_with_flips(&records);
     let mut dies: Vec<String> = fractions.keys().map(|(d, _)| d.clone()).collect();
     dies.sort();

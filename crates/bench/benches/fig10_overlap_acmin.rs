@@ -1,7 +1,7 @@
 //! Fig. 10: overlap of RowPress-vulnerable cells (at ACmin) with
 //! RowHammer-vulnerable cells and retention-failure cells.
 
-use rowpress_bench::{bench_config, footer, fmt_taggon, header, module};
+use rowpress_bench::{bench_config, fmt_taggon, footer, header, module};
 use rowpress_core::{acmin_sweep, overlap_analysis, retention_failures, PatternKind};
 use rowpress_dram::Time;
 use std::collections::BTreeMap;
@@ -17,7 +17,10 @@ fn main() {
     let taggons = vec![Time::from_ns(36.0), Time::from_us(7.8), Time::from_ms(30.0)];
     let mut retention = BTreeMap::new();
     for m in &modules {
-        retention.insert(m.id.clone(), retention_failures(&cfg, m, 80.0, Time::from_secs(4.0)).expect("retention test"));
+        retention.insert(
+            m.id.clone(),
+            retention_failures(&cfg, m, 80.0, Time::from_secs(4.0)).expect("retention test"),
+        );
     }
     let records = acmin_sweep(&cfg, &modules, PatternKind::SingleSided, &[50.0], &taggons);
     for o in overlap_analysis(&records, &retention) {

@@ -1,7 +1,7 @@
 //! Fig. 11: overlap of RowPress and RowHammer cells when activating as many
 //! times as possible (at ACmax).
 
-use rowpress_bench::{bench_config, footer, fmt_taggon, header, module};
+use rowpress_bench::{bench_config, fmt_taggon, footer, header, module};
 use rowpress_core::{acmax_sweep, overlap_ratio, retention_failures, PatternKind};
 use rowpress_dram::{CellAddr, Time};
 use std::collections::HashSet;
@@ -15,7 +15,13 @@ fn main() {
     let cfg = bench_config(6);
     let spec = module("S3");
     let taggons = vec![Time::from_ns(36.0), Time::from_us(7.8), Time::from_us(70.2)];
-    let records = acmax_sweep(&cfg, &[spec.clone()], PatternKind::SingleSided, &[50.0], &taggons);
+    let records = acmax_sweep(
+        &cfg,
+        &[spec.clone()],
+        PatternKind::SingleSided,
+        &[50.0],
+        &taggons,
+    );
     let cells_at = |t: Time| -> HashSet<CellAddr> {
         records
             .iter()

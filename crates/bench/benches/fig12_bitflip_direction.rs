@@ -1,7 +1,7 @@
 //! Fig. 12: fraction of 1->0 bitflips vs tAggON: RowHammer and RowPress flip
 //! bits in opposite directions.
 
-use rowpress_bench::{bench_config, footer, fmt_taggon, header, module};
+use rowpress_bench::{bench_config, fmt_taggon, footer, header, module};
 use rowpress_core::{acmin_sweep, fraction_one_to_zero, PatternKind};
 use rowpress_dram::Time;
 
@@ -16,7 +16,10 @@ fn main() {
     let modules = vec![module("S3"), module("M3")];
     let records = acmin_sweep(&cfg, &modules, PatternKind::SingleSided, &[50.0], &taggons);
     let directions = fraction_one_to_zero(&records);
-    for (label, die) in [("Mfr. S 8Gb D-Die", "8Gb D-Die"), ("Mfr. M 16Gb E-Die", "16Gb E-Die")] {
+    for (label, die) in [
+        ("Mfr. S 8Gb D-Die", "8Gb D-Die"),
+        ("Mfr. M 16Gb E-Die", "16Gb E-Die"),
+    ] {
         print!("{label:<18}");
         for t in &taggons {
             match directions.get(&(die.to_string(), t.as_ps())) {

@@ -1,7 +1,7 @@
 //! Fig. 13: ACmin at 80 C normalized to 50 C: RowPress gets worse with
 //! temperature.
 
-use rowpress_bench::{bench_config, footer, fmt_taggon, header, one_module_per_manufacturer};
+use rowpress_bench::{bench_config, fmt_taggon, footer, header, one_module_per_manufacturer};
 use rowpress_core::{acmin_by_die, acmin_sweep, PatternKind};
 use rowpress_dram::Time;
 
@@ -25,10 +25,18 @@ fn main() {
             let mean_at = |temp: f64| -> Option<f64> {
                 let v: Vec<f64> = records
                     .iter()
-                    .filter(|r| r.module.module_id == mfr_module && r.t_aggon == *t && r.temperature_c == temp)
+                    .filter(|r| {
+                        r.module.module_id == mfr_module
+                            && r.t_aggon == *t
+                            && r.temperature_c == temp
+                    })
                     .filter_map(|r| r.ac_min.map(|a| a as f64))
                     .collect();
-                if v.is_empty() { None } else { Some(v.iter().sum::<f64>() / v.len() as f64) }
+                if v.is_empty() {
+                    None
+                } else {
+                    Some(v.iter().sum::<f64>() / v.len() as f64)
+                }
             };
             match (mean_at(50.0), mean_at(80.0)) {
                 (Some(c50), Some(c80)) => println!(
@@ -36,7 +44,10 @@ fn main() {
                     fmt_taggon(*t),
                     c80 / c50
                 ),
-                _ => println!("{mfr_module}  tAggON {:>8}: insufficient bitflips", fmt_taggon(*t)),
+                _ => println!(
+                    "{mfr_module}  tAggON {:>8}: insufficient bitflips",
+                    fmt_taggon(*t)
+                ),
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Fig. 14: fraction of rows with at least one bitflip at 80 C.
 
-use rowpress_bench::{bench_config, diverse_modules, footer, fmt_taggon, header};
+use rowpress_bench::{bench_config, diverse_modules, fmt_taggon, footer, header};
 use rowpress_core::{acmin_sweep, fraction_rows_with_flips, PatternKind};
 use rowpress_dram::Time;
 
@@ -11,8 +11,18 @@ fn main() {
         "almost all press-vulnerable dies reach ~100% of rows at 80 C; even Mfr. H 4Gb A-die shows some rows",
     );
     let cfg = bench_config(8).at_temperature(80.0);
-    let taggons = vec![Time::from_ns(36.0), Time::from_us(70.2), Time::from_ms(30.0)];
-    let records = acmin_sweep(&cfg, &diverse_modules(), PatternKind::SingleSided, &[80.0], &taggons);
+    let taggons = vec![
+        Time::from_ns(36.0),
+        Time::from_us(70.2),
+        Time::from_ms(30.0),
+    ];
+    let records = acmin_sweep(
+        &cfg,
+        &diverse_modules(),
+        PatternKind::SingleSided,
+        &[80.0],
+        &taggons,
+    );
     let fractions = fraction_rows_with_flips(&records);
     let mut dies: Vec<String> = fractions.keys().map(|(d, _)| d.clone()).collect();
     dies.sort();

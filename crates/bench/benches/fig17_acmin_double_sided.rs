@@ -1,6 +1,6 @@
 //! Fig. 17: ACmin of the double-sided RowPress pattern at 50 C.
 
-use rowpress_bench::{bench_config, footer, fmt_taggon, header, one_module_per_manufacturer};
+use rowpress_bench::{bench_config, fmt_taggon, footer, header, one_module_per_manufacturer};
 use rowpress_core::stats::loglog_slope;
 use rowpress_core::{acmin_by_die, acmin_sweep, PatternKind};
 use rowpress_dram::Time;
@@ -20,7 +20,13 @@ fn main() {
         Time::from_ms(6.0),
         Time::from_ms(30.0),
     ];
-    let records = acmin_sweep(&cfg, &one_module_per_manufacturer(), PatternKind::DoubleSided, &[50.0], &taggons);
+    let records = acmin_sweep(
+        &cfg,
+        &one_module_per_manufacturer(),
+        PatternKind::DoubleSided,
+        &[50.0],
+        &taggons,
+    );
     let by_die = acmin_by_die(&records);
     let mut dies: Vec<_> = by_die.keys().map(|(d, m, _)| (d.clone(), *m)).collect();
     dies.sort();

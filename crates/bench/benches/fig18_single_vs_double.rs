@@ -1,7 +1,7 @@
 //! Fig. 18: single-sided minus double-sided ACmin at 50 C and 80 C: beyond a
 //! certain tAggON, single-sided RowPress becomes the more effective pattern.
 
-use rowpress_bench::{bench_config, footer, fmt_taggon, header, module};
+use rowpress_bench::{bench_config, fmt_taggon, footer, header, module};
 use rowpress_core::{acmin_sweep, PatternKind};
 use rowpress_dram::Time;
 
@@ -12,11 +12,28 @@ fn main() {
         "negative at small tAggON (double-sided wins) but positive... actually the paper plots single-double: below zero means single-sided needs fewer activations; single-sided wins for tAggON > ~7.8 us",
     );
     let cfg = bench_config(5);
-    let taggons = vec![Time::from_ns(36.0), Time::from_ns(636.0), Time::from_us(7.8), Time::from_us(70.2)];
+    let taggons = vec![
+        Time::from_ns(36.0),
+        Time::from_ns(636.0),
+        Time::from_us(7.8),
+        Time::from_us(70.2),
+    ];
     let modules = vec![module("S0")];
     for temp in [50.0, 80.0] {
-        let single = acmin_sweep(&cfg.at_temperature(temp), &modules, PatternKind::SingleSided, &[temp], &taggons);
-        let double = acmin_sweep(&cfg.at_temperature(temp), &modules, PatternKind::DoubleSided, &[temp], &taggons);
+        let single = acmin_sweep(
+            &cfg.at_temperature(temp),
+            &modules,
+            PatternKind::SingleSided,
+            &[temp],
+            &taggons,
+        );
+        let double = acmin_sweep(
+            &cfg.at_temperature(temp),
+            &modules,
+            PatternKind::DoubleSided,
+            &[temp],
+            &taggons,
+        );
         print!("S0 8Gb B-Die @ {temp}C:");
         for t in &taggons {
             let mean = |records: &[rowpress_core::AcMinRecord]| -> Option<f64> {
@@ -25,7 +42,11 @@ fn main() {
                     .filter(|r| r.t_aggon == *t)
                     .filter_map(|r| r.ac_min.map(|a| a as f64))
                     .collect();
-                if v.is_empty() { None } else { Some(v.iter().sum::<f64>() / v.len() as f64) }
+                if v.is_empty() {
+                    None
+                } else {
+                    Some(v.iter().sum::<f64>() / v.len() as f64)
+                }
             };
             match (mean(&single), mean(&double)) {
                 (Some(s), Some(d)) => print!("  {}: {:+.0}", fmt_taggon(*t), s - d),

@@ -1,7 +1,7 @@
 //! Fig. 19: effectiveness of the six data patterns (normalized to the
 //! checkerboard pattern), single-sided access pattern.
 
-use rowpress_bench::{bench_config, footer, fmt_taggon, header, module};
+use rowpress_bench::{bench_config, fmt_taggon, footer, header, module};
 use rowpress_core::{data_pattern_sweep, PatternKind};
 use rowpress_dram::{DataPattern, Time};
 
@@ -12,14 +12,29 @@ fn main() {
         "checkerboard is the most robust RowPress pattern; RowStripe is the best RowHammer pattern but stops flipping beyond ~636 ns",
     );
     let cfg = bench_config(4);
-    let taggons = vec![Time::from_ns(36.0), Time::from_ns(636.0), Time::from_us(7.8), Time::from_ms(6.0)];
+    let taggons = vec![
+        Time::from_ns(36.0),
+        Time::from_ns(636.0),
+        Time::from_us(7.8),
+        Time::from_ms(6.0),
+    ];
     for temp in [50.0, 80.0] {
         println!("-- Mfr. S 8Gb B-Die at {temp} C --");
-        let records = data_pattern_sweep(&cfg, &module("S0"), PatternKind::SingleSided, &DataPattern::all(), &taggons, temp);
+        let records = data_pattern_sweep(
+            &cfg,
+            &module("S0"),
+            PatternKind::SingleSided,
+            &DataPattern::all(),
+            &taggons,
+            temp,
+        );
         for pattern in DataPattern::all() {
             print!("{:<4}", pattern.label());
             for t in &taggons {
-                let r = records.iter().find(|r| r.pattern == pattern && r.t_aggon == *t).unwrap();
+                let r = records
+                    .iter()
+                    .find(|r| r.pattern == pattern && r.t_aggon == *t)
+                    .unwrap();
                 match r.normalized_to_cb {
                     Some(n) => print!("  {}: {:.2}", fmt_taggon(*t), n),
                     None => print!("  {}: no bitflip", fmt_taggon(*t)),

@@ -12,7 +12,11 @@ fn main() {
         "small slack: BER falls as the on time grows (hammer recombination); large slack: BER rises (press); double-sided always rises",
     );
     let cfg = bench_config(4);
-    let deltas = vec![Time::from_ns(240.0), Time::from_ns(1200.0), Time::from_ns(6000.0)];
+    let deltas = vec![
+        Time::from_ns(240.0),
+        Time::from_ns(1200.0),
+        Time::from_ns(6000.0),
+    ];
     let fractions = vec![0.0, 0.25, 0.5, 0.75, 1.0];
     let records = onoff_sweep(
         &cfg,
@@ -30,7 +34,12 @@ fn main() {
                 for f in &fractions {
                     let v: Vec<f64> = records
                         .iter()
-                        .filter(|r| r.kind == kind && r.temperature_c == temp && r.delta_a2a == *d && (r.on_fraction - f).abs() < 1e-9)
+                        .filter(|r| {
+                            r.kind == kind
+                                && r.temperature_c == temp
+                                && r.delta_a2a == *d
+                                && (r.on_fraction - f).abs() < 1e-9
+                        })
                         .map(|r| r.ber)
                         .collect();
                     let mean = v.iter().sum::<f64>() / v.len().max(1) as f64;

@@ -12,7 +12,10 @@ fn main() {
     );
     let buckets = latency_verification(100_000, 42);
     let (first, rest) = median_latencies(&buckets);
-    for b in buckets.iter().filter(|b| b.first_access_fraction > 0.005 || b.subsequent_fraction > 0.005) {
+    for b in buckets
+        .iter()
+        .filter(|b| b.first_access_fraction > 0.005 || b.subsequent_fraction > 0.005)
+    {
         println!(
             "{:>4} cycles: first {:>5.1}%  subsequent {:>5.1}%",
             b.cycles,

@@ -15,14 +15,27 @@ fn main() {
     );
     let cfg = bench_config(8).at_temperature(80.0);
     for kind in [PatternKind::SingleSided, PatternKind::DoubleSided] {
-        let records = acmax_sweep(&cfg, &[module("S3"), module("H0")], kind, &[80.0], &[Time::from_us(7.8)]);
-        let counts: Vec<usize> = records.iter().flat_map(|r| bitflips_per_word(&r.flips, 64)).collect();
+        let records = acmax_sweep(
+            &cfg,
+            &[module("S3"), module("H0")],
+            kind,
+            &[80.0],
+            &[Time::from_us(7.8)],
+        );
+        let counts: Vec<usize> = records
+            .iter()
+            .flat_map(|r| bitflips_per_word(&r.flips, 64))
+            .collect();
         let analysis = WordAnalysis::from_word_counts(&counts);
         println!(
             "{:<13} erroneous words: 1-2 flips {:>6}, 3-8 flips {:>5}, >8 flips {:>4}, worst word {} flips",
             kind.label(), analysis.words_1_2, analysis.words_3_8, analysis.words_gt_8, analysis.max_flips_in_word
         );
-        for scheme in [EccScheme::Secded, EccScheme::Chipkill { symbol_bits: 8 }, EccScheme::Hamming74] {
+        for scheme in [
+            EccScheme::Secded,
+            EccScheme::Chipkill { symbol_bits: 8 },
+            EccScheme::Hamming74,
+        ] {
             println!(
                 "    {:<16} fails on {:.1}% of erroneous words",
                 scheme.label(),

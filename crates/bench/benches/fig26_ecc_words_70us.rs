@@ -13,8 +13,17 @@ fn main() {
     );
     let cfg = bench_config(8).at_temperature(80.0);
     for kind in [PatternKind::SingleSided, PatternKind::DoubleSided] {
-        let records = acmax_sweep(&cfg, &[module("S3"), module("H0")], kind, &[80.0], &[Time::from_us(70.2)]);
-        let counts: Vec<usize> = records.iter().flat_map(|r| bitflips_per_word(&r.flips, 64)).collect();
+        let records = acmax_sweep(
+            &cfg,
+            &[module("S3"), module("H0")],
+            kind,
+            &[80.0],
+            &[Time::from_us(70.2)],
+        );
+        let counts: Vec<usize> = records
+            .iter()
+            .flat_map(|r| bitflips_per_word(&r.flips, 64))
+            .collect();
         let analysis = WordAnalysis::from_word_counts(&counts);
         println!(
             "{:<13} erroneous words: 1-2 flips {:>6}, 3-8 flips {:>5}, >8 flips {:>4}, worst word {} flips",

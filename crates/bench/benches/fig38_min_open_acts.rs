@@ -11,9 +11,25 @@ fn main() {
         "Maximum per-row activation count increase under the minimally-open-row policy",
         "21 of 58 workloads see >= 50x more activations to a single row; up to 372x (483.xalancbmk)",
     );
-    let base = SystemConfig { accesses_per_core: 12_000, policy: RowPolicy::Open, retire_width: 4, seed: 31 };
-    let closed = SystemConfig { policy: RowPolicy::Closed, ..base };
-    for name in ["462.libquantum", "510.parest", "483.xalancbmk", "429.mcf", "h264_encode", "ycsb_eserver", "436.cactusADM"] {
+    let base = SystemConfig {
+        accesses_per_core: 12_000,
+        policy: RowPolicy::Open,
+        retire_width: 4,
+        seed: 31,
+    };
+    let closed = SystemConfig {
+        policy: RowPolicy::Closed,
+        ..base
+    };
+    for name in [
+        "462.libquantum",
+        "510.parest",
+        "483.xalancbmk",
+        "429.mcf",
+        "h264_encode",
+        "ycsb_eserver",
+        "436.cactusADM",
+    ] {
         let w = find_workload(name).unwrap();
         let open = simulate_alone(&w, &base, Box::new(NoMitigation));
         let min_open = simulate_alone(&w, &closed, Box::new(NoMitigation));
@@ -21,7 +37,10 @@ fn main() {
         let a_closed = min_open.controller.max_row_activations_in_window;
         println!(
             "{:<18} open-row max acts/row {:>6}, minimally-open {:>6}  -> {:>6.1}x increase",
-            name, a_open, a_closed, a_closed as f64 / a_open as f64
+            name,
+            a_open,
+            a_closed,
+            a_closed as f64 / a_open as f64
         );
     }
     footer("Figure 38");

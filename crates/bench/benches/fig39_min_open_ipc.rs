@@ -11,13 +11,34 @@ fn main() {
         "Normalized IPC of the minimally-open-row policy",
         "up to 34% slowdown (462.libquantum, normalized IPC 0.66); high-row-locality workloads suffer most",
     );
-    let base = SystemConfig { accesses_per_core: 12_000, policy: RowPolicy::Open, retire_width: 4, seed: 37 };
-    let closed = SystemConfig { policy: RowPolicy::Closed, ..base };
-    for name in ["462.libquantum", "510.parest", "505.mcf", "482.sphinx3", "429.mcf", "ycsb_cserver", "h264_decode"] {
+    let base = SystemConfig {
+        accesses_per_core: 12_000,
+        policy: RowPolicy::Open,
+        retire_width: 4,
+        seed: 37,
+    };
+    let closed = SystemConfig {
+        policy: RowPolicy::Closed,
+        ..base
+    };
+    for name in [
+        "462.libquantum",
+        "510.parest",
+        "505.mcf",
+        "482.sphinx3",
+        "429.mcf",
+        "ycsb_cserver",
+        "h264_decode",
+    ] {
         let w = find_workload(name).unwrap();
         let open = simulate_alone(&w, &base, Box::new(NoMitigation)).cores[0].ipc();
         let min_open = simulate_alone(&w, &closed, Box::new(NoMitigation)).cores[0].ipc();
-        println!("{:<18} normalized IPC = {:.3}  (row-hit rate {:.2})", name, min_open / open, w.row_hit_rate);
+        println!(
+            "{:<18} normalized IPC = {:.3}  (row-hit rate {:.2})",
+            name,
+            min_open / open,
+            w.row_hit_rate
+        );
     }
     footer("Figure 39");
 }

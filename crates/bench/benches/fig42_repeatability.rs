@@ -12,14 +12,32 @@ fn main() {
         "the majority of bitflips (>= 50-62%) recur in all five iterations",
     );
     let cfg = bench_config(6);
-    for (label, jitter) in [("deterministic device", 0.0), ("with run-to-run threshold jitter", 0.3)] {
-        let record = repeatability_study(&cfg, &module("S3"), PatternKind::SingleSided, Time::from_us(70.2), 80.0, 5, jitter);
+    for (label, jitter) in [
+        ("deterministic device", 0.0),
+        ("with run-to-run threshold jitter", 0.3),
+    ] {
+        let record = repeatability_study(
+            &cfg,
+            &module("S3"),
+            PatternKind::SingleSided,
+            Time::from_us(70.2),
+            80.0,
+            5,
+            jitter,
+        );
         let total: usize = record.occurrences.iter().sum();
         print!("{label:<36}");
         for (i, count) in record.occurrences.iter().enumerate() {
-            print!("  {}x: {:.0}%", i + 1, 100.0 * *count as f64 / total.max(1) as f64);
+            print!(
+                "  {}x: {:.0}%",
+                i + 1,
+                100.0 * *count as f64 / total.max(1) as f64
+            );
         }
-        println!("  (fully repeatable: {:.0}%)", 100.0 * record.fully_repeatable_fraction());
+        println!(
+            "  (fully repeatable: {:.0}%)",
+            100.0 * record.fully_repeatable_fraction()
+        );
     }
     footer("Figure 42");
 }

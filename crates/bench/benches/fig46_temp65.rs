@@ -1,6 +1,6 @@
 //! Fig. 46-48 (Appendix F): ACmin at 65 C relative to 50 C and 80 C.
 
-use rowpress_bench::{bench_config, footer, fmt_taggon, header, module};
+use rowpress_bench::{bench_config, fmt_taggon, footer, header, module};
 use rowpress_core::{acmin_sweep, PatternKind};
 use rowpress_dram::Time;
 
@@ -12,7 +12,13 @@ fn main() {
     );
     let cfg = bench_config(4);
     let taggons = vec![Time::from_us(7.8), Time::from_us(70.2)];
-    let records = acmin_sweep(&cfg, &[module("S0")], PatternKind::SingleSided, &[50.0, 65.0, 80.0], &taggons);
+    let records = acmin_sweep(
+        &cfg,
+        &[module("S0")],
+        PatternKind::SingleSided,
+        &[50.0, 65.0, 80.0],
+        &taggons,
+    );
     for t in &taggons {
         let mean_at = |temp: f64| -> Option<f64> {
             let v: Vec<f64> = records
@@ -20,7 +26,11 @@ fn main() {
                 .filter(|r| r.t_aggon == *t && r.temperature_c == temp)
                 .filter_map(|r| r.ac_min.map(|a| a as f64))
                 .collect();
-            if v.is_empty() { None } else { Some(v.iter().sum::<f64>() / v.len() as f64) }
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.iter().sum::<f64>() / v.len() as f64)
+            }
         };
         if let (Some(c50), Some(c65), Some(c80)) = (mean_at(50.0), mean_at(65.0), mean_at(80.0)) {
             println!(

@@ -4,29 +4,79 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rowpress_core::{find_ac_min, ExperimentConfig, PatternKind, PatternSite};
-use rowpress_dram::{module_inventory, BankId, DataPattern, DramModule, Geometry, RowId, RowRole, Time};
+use rowpress_dram::{
+    module_inventory, BankId, DataPattern, DramModule, Geometry, RowId, RowRole, Time,
+};
 
 fn bench_device_model(c: &mut Criterion) {
     let spec = module_inventory().remove(0);
     c.bench_function("check_row_8192_cells", |b| {
         let mut module = DramModule::new(&spec, Geometry::scaled_down());
         let bank = BankId(1);
-        module.init_row_pattern(bank, RowId(20), DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
-        module.init_row_pattern(bank, RowId(21), DataPattern::Checkerboard, RowRole::Victim).unwrap();
-        module.activate_many(bank, RowId(20), Time::from_us(7.8), Time::from_ns(15.0), 5000).unwrap();
+        module
+            .init_row_pattern(
+                bank,
+                RowId(20),
+                DataPattern::Checkerboard,
+                RowRole::Aggressor,
+            )
+            .unwrap();
+        module
+            .init_row_pattern(bank, RowId(21), DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
+        module
+            .activate_many(
+                bank,
+                RowId(20),
+                Time::from_us(7.8),
+                Time::from_ns(15.0),
+                5000,
+            )
+            .unwrap();
         b.iter(|| module.check_row(bank, RowId(21)).unwrap().len())
     });
     c.bench_function("activate_many_bulk", |b| {
         let mut module = DramModule::new(&spec, Geometry::scaled_down());
         let bank = BankId(1);
-        module.init_row_pattern(bank, RowId(20), DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
-        b.iter(|| module.activate_many(bank, RowId(20), Time::from_ns(36.0), Time::from_ns(15.0), 1000).unwrap())
+        module
+            .init_row_pattern(
+                bank,
+                RowId(20),
+                DataPattern::Checkerboard,
+                RowRole::Aggressor,
+            )
+            .unwrap();
+        b.iter(|| {
+            module
+                .activate_many(
+                    bank,
+                    RowId(20),
+                    Time::from_ns(36.0),
+                    Time::from_ns(15.0),
+                    1000,
+                )
+                .unwrap()
+        })
     });
     c.bench_function("acmin_bisection_search", |b| {
         let cfg = ExperimentConfig::test_scale();
         let mut module = DramModule::new(&spec, cfg.geometry);
-        let site = PatternSite::for_kind(PatternKind::SingleSided, BankId(1), RowId(20), cfg.geometry.rows_per_bank);
-        b.iter(|| find_ac_min(&mut module, &site, Time::from_us(7.8), DataPattern::Checkerboard, &cfg).unwrap())
+        let site = PatternSite::for_kind(
+            PatternKind::SingleSided,
+            BankId(1),
+            RowId(20),
+            cfg.geometry.rows_per_bank,
+        );
+        b.iter(|| {
+            find_ac_min(
+                &mut module,
+                &site,
+                Time::from_us(7.8),
+                DataPattern::Checkerboard,
+                &cfg,
+            )
+            .unwrap()
+        })
     });
 }
 

@@ -1,0 +1,106 @@
+//! Criterion performance benchmarks of the campaign engine (not a paper
+//! figure): trials/sec of the bounded-pool engine against the legacy
+//! thread-per-module nested-loop path, plus the warm-cache replay rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rowpress_core::engine::{Engine, Measurement, Plan};
+use rowpress_core::{find_ac_min, ExperimentConfig, PatternKind, PatternSite};
+use rowpress_dram::{DramModule, ModuleSpec, Time};
+
+fn bench_modules() -> Vec<ModuleSpec> {
+    ["S0", "S3", "H0", "M3"]
+        .iter()
+        .map(|id| {
+            rowpress_dram::module_inventory()
+                .into_iter()
+                .find(|m| &m.id == id)
+                .expect("module in inventory")
+        })
+        .collect()
+}
+
+fn taggons() -> Vec<Time> {
+    vec![Time::from_ns(36.0), Time::from_us(7.8), Time::from_ms(30.0)]
+}
+
+fn acmin_plan(cfg: &ExperimentConfig, modules: &[ModuleSpec]) -> Plan {
+    Plan::grid(cfg)
+        .modules(modules)
+        .measurements(
+            taggons()
+                .into_iter()
+                .map(|t| Measurement::AcMin { t_aggon: t }),
+        )
+        .build()
+}
+
+/// The pre-engine execution path: one OS thread per module, bespoke nested
+/// loops per module. Reproduced here verbatim as the baseline the engine's
+/// bounded pool replaced.
+fn thread_per_module_acmin(cfg: &ExperimentConfig, modules: &[ModuleSpec]) -> usize {
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for spec in modules {
+            handles.push(scope.spawn(move || {
+                let mut count = 0usize;
+                let mut module = DramModule::new(spec, cfg.geometry);
+                module.set_temperature(cfg.temperature_c);
+                for &row in &cfg.tested_sites() {
+                    let site = PatternSite::for_kind(
+                        PatternKind::SingleSided,
+                        rowpress_core::TEST_BANK,
+                        row,
+                        cfg.geometry.rows_per_bank,
+                    );
+                    for t_aggon in taggons() {
+                        let _ = find_ac_min(&mut module, &site, t_aggon, cfg.data_pattern, cfg)
+                            .expect("valid site");
+                        count += 1;
+                    }
+                }
+                count
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("module thread"))
+            .sum()
+    })
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let cfg = ExperimentConfig::test_scale();
+    let modules = bench_modules();
+    let plan = acmin_plan(&cfg, &modules);
+    println!(
+        "perf_engine: {} trials/iteration, bounded pool of {} workers",
+        plan.len(),
+        rowpress_core::campaign::worker_count()
+    );
+
+    c.bench_function("acmin_grid_thread_per_module (legacy path)", |b| {
+        b.iter(|| thread_per_module_acmin(&cfg, &modules))
+    });
+    c.bench_function("acmin_grid_engine_cold_cache", |b| {
+        // A fresh engine per iteration measures raw execution throughput.
+        b.iter(|| {
+            Engine::new(&cfg)
+                .run_collect(&plan)
+                .expect("valid site")
+                .len()
+        })
+    });
+    let warm = Engine::new(&cfg);
+    warm.run_collect(&plan).expect("valid site");
+    c.bench_function("acmin_grid_engine_warm_cache", |b| {
+        // Every trial answered from the in-process cache.
+        b.iter(|| warm.run_collect(&plan).expect("valid site").len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -4,7 +4,11 @@ use rowpress_bench::{footer, header};
 use rowpress_dram::module_inventory;
 
 fn main() {
-    header("Table 1", "Tested DDR4 DRAM chips", "21 modules / 164 chips across Mfr. S, H and M");
+    header(
+        "Table 1",
+        "Tested DDR4 DRAM chips",
+        "21 modules / 164 chips across Mfr. S, H and M",
+    );
     let modules = module_inventory();
     let chips: u32 = modules.iter().map(|m| m.chips).sum();
     for m in &modules {
@@ -19,6 +23,9 @@ fn main() {
             m.die.is_press_vulnerable()
         );
     }
-    println!("total: {} modules, {chips} chips (paper: 21 modules, 164 chips)", modules.len());
+    println!(
+        "total: {} modules, {chips} chips (paper: 21 modules, 164 chips)",
+        modules.len()
+    );
     footer("Table 1");
 }

@@ -12,16 +12,31 @@ fn main() {
         "Graphene-RP and PARA-RP slowdown vs Graphene and PARA (four-core workloads)",
         "Graphene-RP: avg -0.63% to 1.3%, max <= 10.2%; PARA-RP: avg 3.2-12.9%, max up to 31.6%",
     );
-    let sim = SystemConfig { accesses_per_core: 8_000, policy: RowPolicy::Open, retire_width: 4, seed: 17 };
+    let sim = SystemConfig {
+        accesses_per_core: 8_000,
+        policy: RowPolicy::Open,
+        retire_width: 4,
+        seed: 17,
+    };
     let mut mixes = build_mixes(&["HHHH", "HHLL", "LLLL"], 1, 99);
     mixes.push(homogeneous_mix(&find_workload("462.libquantum").unwrap()));
     mixes.push(homogeneous_mix(&find_workload("429.mcf").unwrap()));
     let tmro = [36u32, 96, 636];
-    println!("{:<12} {:>8} {:>8} {:>12} {:>12}", "mechanism", "tmro", "T'RH", "avg ovh %", "max ovh %");
+    println!(
+        "{:<12} {:>8} {:>8} {:>12} {:>12}",
+        "mechanism", "tmro", "T'RH", "avg ovh %", "max ovh %"
+    );
     for kind in [MechanismKind::Graphene, MechanismKind::Para] {
         let records = evaluate_mixes(kind, 1000, &tmro, &mixes, &sim);
         for (k, t, avg, max) in summarize_overheads(&records) {
-            println!("{:<12} {:>6}ns {:>8} {:>12.2} {:>12.2}", format!("{k:?}-RP"), t, adapted_trh(1000, t), avg, max);
+            println!(
+                "{:<12} {:>6}ns {:>8} {:>12.2} {:>12.2}",
+                format!("{k:?}-RP"),
+                t,
+                adapted_trh(1000, t),
+                avg,
+                max
+            );
         }
     }
     println!("expected shape: Graphene-RP stays within a few percent (sometimes negative); PARA-RP costs more and grows with tmro");

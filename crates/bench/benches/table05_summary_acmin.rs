@@ -16,7 +16,10 @@ fn main() {
     let taggons = vec![Time::from_ns(36.0), Time::from_us(7.8), Time::from_us(70.2)];
     let records = acmin_sweep(&cfg, &modules, PatternKind::SingleSided, &[50.0], &taggons);
     let ton_records = taggonmin_sweep(&cfg, &modules, &[1], &[50.0]);
-    println!("{:<22} {:>14} {:>14} {:>14} {:>16}", "die", "ACmin@36ns", "ACmin@7.8us", "ACmin@70.2us", "tAggONmin@AC=1");
+    println!(
+        "{:<22} {:>14} {:>14} {:>14} {:>16}",
+        "die", "ACmin@36ns", "ACmin@7.8us", "ACmin@70.2us", "tAggONmin@AC=1"
+    );
     for m in &modules {
         let mean_ac = |t: Time| -> String {
             let v: Vec<f64> = records

@@ -15,7 +15,10 @@ fn main() {
     let modules = representative_modules();
     let taggons = vec![Time::from_ns(36.0), Time::from_us(7.8), Time::from_us(70.2)];
     let records = acmax_sweep(&cfg, &modules, PatternKind::SingleSided, &[50.0], &taggons);
-    println!("{:<22} {:>12} {:>12} {:>12}", "die", "BER@36ns", "BER@7.8us", "BER@70.2us");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "die", "BER@36ns", "BER@7.8us", "BER@70.2us"
+    );
     for m in &modules {
         let max_ber = |t: Time| -> f64 {
             records

@@ -12,21 +12,41 @@ fn main() {
         "Graphene-RP and PARA-RP overhead on single-core workloads vs tmro",
         "Graphene-RP: 3.7% at 36 ns down to ~-0.5% at 186-336 ns; PARA-RP: 7-10% throughout",
     );
-    let sim = SystemConfig { accesses_per_core: 8_000, policy: RowPolicy::Open, retire_width: 4, seed: 23 };
-    let workloads: Vec<_> = ["429.mcf", "462.libquantum", "510.parest", "470.lbm", "483.xalancbmk", "h264_encode"]
-        .iter()
-        .map(|n| find_workload(n).unwrap())
-        .collect();
+    let sim = SystemConfig {
+        accesses_per_core: 8_000,
+        policy: RowPolicy::Open,
+        retire_width: 4,
+        seed: 23,
+    };
+    let workloads: Vec<_> = [
+        "429.mcf",
+        "462.libquantum",
+        "510.parest",
+        "470.lbm",
+        "483.xalancbmk",
+        "h264_encode",
+    ]
+    .iter()
+    .map(|n| find_workload(n).unwrap())
+    .collect();
     let tmro = [36u32, 66, 96, 186, 336, 636];
     for kind in [MechanismKind::Graphene, MechanismKind::Para] {
         let records = evaluate_single_core(kind, 1000, &tmro, &workloads, &sim);
         println!("-- {kind:?}-RP --");
         for (_, t, avg, max) in summarize_overheads(&records) {
-            println!("  tmro {:>4}ns: avg overhead {:>7.2}%  max {:>7.2}%", t, avg, max);
+            println!(
+                "  tmro {:>4}ns: avg overhead {:>7.2}%  max {:>7.2}%",
+                t, avg, max
+            );
         }
         // Per-workload detail at tmro = 96 ns.
         for r in records.iter().filter(|r| r.tmro_ns == 96) {
-            println!("    {:<18} overhead {:>7.2}% (normalized IPC {:.3})", r.workload, r.overhead_pct(), r.adapted_perf / r.baseline_perf);
+            println!(
+                "    {:<18} overhead {:>7.2}% (normalized IPC {:.3})",
+                r.workload,
+                r.overhead_pct(),
+                r.adapted_perf / r.baseline_perf
+            );
         }
     }
     footer("Table 9");

@@ -35,7 +35,12 @@ pub fn bench_config(rows_per_module: u32) -> ExperimentConfig {
 pub fn one_module_per_manufacturer() -> Vec<ModuleSpec> {
     ["S0", "H0", "M3"]
         .iter()
-        .map(|id| module_inventory().into_iter().find(|m| &m.id == id).expect("module in inventory"))
+        .map(|id| {
+            module_inventory()
+                .into_iter()
+                .find(|m| &m.id == id)
+                .expect("module in inventory")
+        })
         .collect()
 }
 
@@ -44,13 +49,21 @@ pub fn one_module_per_manufacturer() -> Vec<ModuleSpec> {
 pub fn diverse_modules() -> Vec<ModuleSpec> {
     ["S0", "S3", "H0", "H4", "M0", "M3"]
         .iter()
-        .map(|id| module_inventory().into_iter().find(|m| &m.id == id).expect("module in inventory"))
+        .map(|id| {
+            module_inventory()
+                .into_iter()
+                .find(|m| &m.id == id)
+                .expect("module in inventory")
+        })
         .collect()
 }
 
 /// Looks up one module by id, panicking with a clear message if missing.
 pub fn module(id: &str) -> ModuleSpec {
-    module_inventory().into_iter().find(|m| m.id == id).unwrap_or_else(|| panic!("module {id} not in inventory"))
+    module_inventory()
+        .into_iter()
+        .find(|m| m.id == id)
+        .unwrap_or_else(|| panic!("module {id} not in inventory"))
 }
 
 /// Formats a tAggON value the way the paper labels its x-axes.

@@ -31,7 +31,12 @@ pub struct TemperatureController {
 impl TemperatureController {
     /// Creates a controller currently at ambient temperature.
     pub fn new(ambient_c: f64) -> Self {
-        TemperatureController { current_c: ambient_c, set_point_c: ambient_c, gain: 0.5, tolerance_c: 0.5 }
+        TemperatureController {
+            current_c: ambient_c,
+            set_point_c: ambient_c,
+            gain: 0.5,
+            tolerance_c: 0.5,
+        }
     }
 
     /// Sets a new target temperature.
@@ -114,7 +119,11 @@ impl TestPlatform {
     pub fn new(module: DramModule) -> Self {
         let mut controller = TemperatureController::new(50.0);
         controller.set_target(50.0);
-        TestPlatform { module, controller, budget: Time::from_ms(60.0) }
+        TestPlatform {
+            module,
+            controller,
+            budget: Time::from_ms(60.0),
+        }
     }
 
     /// Access to the module under test.
@@ -169,10 +178,12 @@ impl TestPlatform {
         pattern: DataPattern,
     ) -> DramResult<()> {
         for &row in aggressors {
-            self.module.init_row_pattern(bank, row, pattern, RowRole::Aggressor)?;
+            self.module
+                .init_row_pattern(bank, row, pattern, RowRole::Aggressor)?;
         }
         for &row in victims {
-            self.module.init_row_pattern(bank, row, pattern, RowRole::Victim)?;
+            self.module
+                .init_row_pattern(bank, row, pattern, RowRole::Victim)?;
         }
         Ok(())
     }
@@ -227,9 +238,10 @@ impl TestPlatform {
                     now += granularity;
                     match *cmd {
                         DramCommand::Act { bank, row } => {
-                            let state = banks
-                                .entry(bank)
-                                .or_insert(BankState { open_row: None, last_pre: None });
+                            let state = banks.entry(bank).or_insert(BankState {
+                                open_row: None,
+                                last_pre: None,
+                            });
                             if let Some((open, since)) = state.open_row.take() {
                                 // Implicit precharge fix-up: the program violated
                                 // the one-open-row-per-bank rule.
@@ -241,9 +253,10 @@ impl TestPlatform {
                             activations += 1;
                         }
                         DramCommand::Pre { bank } => {
-                            let state = banks
-                                .entry(bank)
-                                .or_insert(BankState { open_row: None, last_pre: None });
+                            let state = banks.entry(bank).or_insert(BankState {
+                                open_row: None,
+                                last_pre: None,
+                            });
                             if let Some((row, since)) = state.open_row.take() {
                                 let mut t_on = now.saturating_sub(since);
                                 if t_on < timing.t_ras {
@@ -255,9 +268,10 @@ impl TestPlatform {
                                 // as the best estimate of the pattern period, and
                                 // fall back to tRP for the first episode.
                                 let t_off = match state.last_pre {
-                                    Some((prev_row, prev_pre)) if prev_row == row => {
-                                        now.saturating_sub(prev_pre).saturating_sub(t_on).max(timing.t_rp)
-                                    }
+                                    Some((prev_row, prev_pre)) if prev_row == row => now
+                                        .saturating_sub(prev_pre)
+                                        .saturating_sub(t_on)
+                                        .max(timing.t_rp),
                                     _ => timing.t_rp,
                                 };
                                 self.module.activate(bank, row, t_on, t_off)?;
@@ -317,7 +331,10 @@ mod tests {
     use rowpress_dram::{module_inventory, Geometry, TimingParams};
 
     fn platform() -> TestPlatform {
-        let spec = module_inventory().into_iter().find(|m| m.id == "S0").unwrap();
+        let spec = module_inventory()
+            .into_iter()
+            .find(|m| m.id == "S0")
+            .unwrap();
         TestPlatform::new(DramModule::new(&spec, Geometry::tiny()))
     }
 
@@ -348,7 +365,8 @@ mod tests {
         let bank = BankId(1);
         let aggressor = RowId(20);
         let victims = [RowId(19), RowId(21)];
-        p.initialize_rows(bank, &[aggressor], &victims, DataPattern::Checkerboard).unwrap();
+        p.initialize_rows(bank, &[aggressor], &victims, DataPattern::Checkerboard)
+            .unwrap();
         // Ten 5 ms presses: 50 ms of on time, within the 60 ms budget.
         let program = ProgramBuilder::single_sided_press(
             TimingParams::ddr4(),
@@ -361,15 +379,22 @@ mod tests {
         assert_eq!(report.activations, 10);
         assert!(!report.exceeded_budget);
         assert_eq!(report.timing_fixups, 0);
-        let flips: usize = victims.iter().map(|&v| p.check_row(bank, v).unwrap().len()).sum();
-        assert!(flips > 0, "a 50 ms cumulative press should flip bits on the S 8Gb B-die");
+        let flips: usize = victims
+            .iter()
+            .map(|&v| p.check_row(bank, v).unwrap().len())
+            .sum();
+        assert!(
+            flips > 0,
+            "a 50 ms cumulative press should flip bits on the S 8Gb B-die"
+        );
     }
 
     #[test]
     fn budget_exceeded_is_reported() {
         let mut p = platform();
         let bank = BankId(1);
-        p.initialize_rows(bank, &[RowId(10)], &[RowId(11)], DataPattern::Checkerboard).unwrap();
+        p.initialize_rows(bank, &[RowId(10)], &[RowId(11)], DataPattern::Checkerboard)
+            .unwrap();
         let program = ProgramBuilder::single_sided_press(
             TimingParams::ddr4(),
             bank,
@@ -386,7 +411,10 @@ mod tests {
     fn command_level_and_bulk_activation_agree() {
         // The same physical access pattern expressed as a command program and
         // as a bulk activate_many call must produce the same bitflips.
-        let spec = module_inventory().into_iter().find(|m| m.id == "S3").unwrap();
+        let spec = module_inventory()
+            .into_iter()
+            .find(|m| m.id == "S3")
+            .unwrap();
         let bank = BankId(1);
         let t_aggon = Time::from_ms(2.0);
         let count = 20u64;
@@ -395,14 +423,28 @@ mod tests {
         via_program
             .initialize_rows(bank, &[RowId(20)], &[RowId(21)], DataPattern::Checkerboard)
             .unwrap();
-        let program =
-            ProgramBuilder::single_sided_press(TimingParams::ddr4(), bank, RowId(20), t_aggon, count);
+        let program = ProgramBuilder::single_sided_press(
+            TimingParams::ddr4(),
+            bank,
+            RowId(20),
+            t_aggon,
+            count,
+        );
         via_program.execute(&program).unwrap();
         let flips_program = via_program.check_row(bank, RowId(21)).unwrap();
 
         let mut via_bulk = DramModule::new(&spec, Geometry::tiny());
-        via_bulk.init_row_pattern(bank, RowId(20), DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
-        via_bulk.init_row_pattern(bank, RowId(21), DataPattern::Checkerboard, RowRole::Victim).unwrap();
+        via_bulk
+            .init_row_pattern(
+                bank,
+                RowId(20),
+                DataPattern::Checkerboard,
+                RowRole::Aggressor,
+            )
+            .unwrap();
+        via_bulk
+            .init_row_pattern(bank, RowId(21), DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
         via_bulk
             .activate_many(bank, RowId(20), t_aggon, TimingParams::ddr4().t_rp, count)
             .unwrap();
@@ -417,7 +459,13 @@ mod tests {
     fn ill_formed_program_gets_timing_fixups() {
         let mut p = platform();
         let bank = BankId(0);
-        p.initialize_rows(bank, &[RowId(5), RowId(7)], &[RowId(6)], DataPattern::Checkerboard).unwrap();
+        p.initialize_rows(
+            bank,
+            &[RowId(5), RowId(7)],
+            &[RowId(6)],
+            DataPattern::Checkerboard,
+        )
+        .unwrap();
         // Open two rows back-to-back without a PRE: the executor fixes it up.
         let mut b = ProgramBuilder::new(TimingParams::ddr4(), "ill-formed");
         b.act(bank, RowId(5)).act(bank, RowId(7)).pre(bank);
@@ -429,7 +477,8 @@ mod tests {
     fn refresh_command_restores_victims() {
         let mut p = platform();
         let bank = BankId(1);
-        p.initialize_rows(bank, &[RowId(30)], &[RowId(31)], DataPattern::Checkerboard).unwrap();
+        p.initialize_rows(bank, &[RowId(30)], &[RowId(31)], DataPattern::Checkerboard)
+            .unwrap();
         // Press hard, refresh, then check: the refresh clears the accumulated
         // disturbance of rows that have not flipped yet, and the check after a
         // tiny second press sees no flips.

@@ -64,12 +64,18 @@ pub struct Program {
 impl Program {
     /// Creates an empty program with a description.
     pub fn new(description: impl Into<String>) -> Self {
-        Program { instrs: Vec::new(), description: description.into() }
+        Program {
+            instrs: Vec::new(),
+            description: description.into(),
+        }
     }
 
     /// Total duration of the program.
     pub fn duration(&self, timing: &TimingParams) -> Time {
-        self.instrs.iter().map(|i| i.duration(timing.command_granularity)).sum()
+        self.instrs
+            .iter()
+            .map(|i| i.duration(timing.command_granularity))
+            .sum()
     }
 
     /// Total number of DRAM commands issued.
@@ -103,7 +109,10 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Creates a builder with the given timing parameters.
     pub fn new(timing: TimingParams, description: impl Into<String>) -> Self {
-        ProgramBuilder { timing, program: Program::new(description) }
+        ProgramBuilder {
+            timing,
+            program: Program::new(description),
+        }
     }
 
     /// Appends a raw instruction.
@@ -155,7 +164,11 @@ impl ProgramBuilder {
         self.act(bank, aggressor);
         self.wait(open_wait);
         self.pre(bank);
-        self.wait(self.timing.t_rp.saturating_sub(self.timing.command_granularity));
+        self.wait(
+            self.timing
+                .t_rp
+                .saturating_sub(self.timing.command_granularity),
+        );
         self
     }
 
@@ -174,7 +187,10 @@ impl ProgramBuilder {
         );
         let mut body = ProgramBuilder::new(timing, "");
         body.press_iteration(bank, aggressor, t_aggon);
-        builder.push(Instr::Repeat { count, body: body.build().instrs });
+        builder.push(Instr::Repeat {
+            count,
+            body: body.build().instrs,
+        });
         builder.build()
     }
 
@@ -199,7 +215,10 @@ impl ProgramBuilder {
         body.press_iteration(bank, aggressor_low, t_aggon);
         body.press_iteration(bank, aggressor_high, t_aggon);
         let pairs = total_acts / 2;
-        builder.push(Instr::Repeat { count: pairs, body: body.build().instrs });
+        builder.push(Instr::Repeat {
+            count: pairs,
+            body: body.build().instrs,
+        });
         if total_acts % 2 == 1 {
             builder.press_iteration(bank, aggressor_low, t_aggon);
         }
@@ -219,7 +238,9 @@ impl ProgramBuilder {
     ) -> Program {
         let mut builder = ProgramBuilder::new(
             timing,
-            format!("RowPress-ONOFF: tAggON {t_aggon}, tAggOFF {t_aggoff}, {iterations} iterations"),
+            format!(
+                "RowPress-ONOFF: tAggON {t_aggon}, tAggOFF {t_aggoff}, {iterations} iterations"
+            ),
         );
         let mut body = ProgramBuilder::new(timing, "");
         for &row in aggressors {
@@ -230,7 +251,10 @@ impl ProgramBuilder {
             body.pre(bank);
             body.wait(t_off.saturating_sub(timing.command_granularity));
         }
-        builder.push(Instr::Repeat { count: iterations, body: body.build().instrs });
+        builder.push(Instr::Repeat {
+            count: iterations,
+            body: body.build().instrs,
+        });
         builder.build()
     }
 }
@@ -254,15 +278,27 @@ mod tests {
         );
         assert_eq!(p.activation_count(), 1000);
         assert_eq!(p.command_count(), 2000); // ACT + PRE per iteration
-        // Each iteration lasts ~tRAS + tRP = 51 ns.
+                                             // Each iteration lasts ~tRAS + tRP = 51 ns.
         let d = p.duration(&timing());
         assert!((d.as_us() - 51.0).abs() < 2.0, "duration = {d}");
     }
 
     #[test]
     fn rowhammer_is_press_with_minimum_taggon() {
-        let hammer = ProgramBuilder::single_sided_press(timing(), BankId(0), RowId(5), Time::from_ns(36.0), 10);
-        let press = ProgramBuilder::single_sided_press(timing(), BankId(0), RowId(5), Time::from_ns(10.0), 10);
+        let hammer = ProgramBuilder::single_sided_press(
+            timing(),
+            BankId(0),
+            RowId(5),
+            Time::from_ns(36.0),
+            10,
+        );
+        let press = ProgramBuilder::single_sided_press(
+            timing(),
+            BankId(0),
+            RowId(5),
+            Time::from_ns(10.0),
+            10,
+        );
         // tAggON below tRAS is clamped to tRAS, so the two programs last the same.
         assert_eq!(hammer.duration(&timing()), press.duration(&timing()));
     }
@@ -310,9 +346,15 @@ mod tests {
     fn nested_repeat_counts_commands() {
         let inner = Instr::Repeat {
             count: 3,
-            body: vec![Instr::Command(DramCommand::Ref), Instr::Wait(Time::from_ns(100.0))],
+            body: vec![
+                Instr::Command(DramCommand::Ref),
+                Instr::Wait(Time::from_ns(100.0)),
+            ],
         };
-        let outer = Instr::Repeat { count: 2, body: vec![inner] };
+        let outer = Instr::Repeat {
+            count: 2,
+            body: vec![inner],
+        };
         assert_eq!(outer.command_count(), 6);
         let d = outer.duration(Time::from_ns(1.5));
         assert!((d.as_ns() - 2.0 * 3.0 * 101.5).abs() < 1e-6);
@@ -321,7 +363,10 @@ mod tests {
     #[test]
     fn builder_wait_skips_zero_waits() {
         let mut b = ProgramBuilder::new(timing(), "t");
-        b.wait(Time::ZERO).wait(Time::from_ns(5.0)).refresh().rd(BankId(0), ColumnId(3));
+        b.wait(Time::ZERO)
+            .wait(Time::from_ns(5.0))
+            .refresh()
+            .rd(BankId(0), ColumnId(3));
         let p = b.build();
         assert_eq!(p.instrs.len(), 3);
         assert_eq!(p.command_count(), 2);

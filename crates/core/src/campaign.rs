@@ -1,41 +1,90 @@
-//! Parallel execution of characterization campaigns across modules.
+//! Bounded parallel execution of characterization campaigns.
 //!
-//! Testing one module is independent of testing any other, so the study
-//! drivers fan the per-module work out over threads (the paper's artifact does
-//! the same with a Slurm cluster).
+//! Testing one unit of work (a module, a trial) is independent of any other,
+//! so campaigns fan work out over a pool of worker threads. The pool is
+//! **bounded**: it never spawns more threads than the machine has logical
+//! cores, no matter how many work items there are — the full 21-module
+//! inventory (164 chips) used to spawn one OS thread per module; it now
+//! shares [`worker_count`] workers pulling items off a common queue. The
+//! paper's artifact does the same fan-out with a Slurm cluster.
 
 use rowpress_dram::ModuleSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Applies `f` to every module, running the per-module work on separate
-/// threads, and returns the results in the input order.
+/// Number of workers a default campaign pool uses: the machine's available
+/// parallelism, with a fallback of 1 when it cannot be determined.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a bounded pool of at most `workers` threads
+/// and returns the results in input order.
 ///
-/// The closure only needs to be `Sync` (it is shared by reference across
-/// threads); results are collected positionally so the output order is
-/// deterministic regardless of scheduling.
+/// Workers pull items off a single shared atomic queue, so a slow item never
+/// idles the rest of the pool: whichever worker finishes first claims the
+/// next item (shared-queue scheduling, not per-worker deques with stealing).
+/// Results are written into per-item slots, making the output order — and
+/// therefore every downstream record stream — independent of scheduling.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` once all workers have stopped.
+pub fn bounded_par_map<I, T, F>(items: &[I], workers: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = std::iter::repeat_with(|| Mutex::new(None))
+        .take(n)
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let value = f(&items[index]);
+                *slots[index].lock().expect("result slot lock") = Some(value);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("every claimed slot was filled")
+        })
+        .collect()
+}
+
+/// Applies `f` to every module on the bounded default pool
+/// (≤ [`worker_count`] threads) and returns the results in input order.
+///
+/// Kept as the coarse-grained per-module entry point. The study drivers
+/// themselves schedule individual trials through [`crate::engine::Engine`],
+/// whose run loop uses the same shared-queue scheme but maintains its own
+/// workers so it can stream results to a sink in plan order while trials are
+/// still executing.
 pub fn par_map_modules<T, F>(modules: &[ModuleSpec], f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&ModuleSpec) -> T + Sync,
 {
-    if modules.len() <= 1 {
-        return modules.iter().map(&f).collect();
-    }
-    let mut results: Vec<Option<T>> = Vec::with_capacity(modules.len());
-    results.resize_with(modules.len(), || None);
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (idx, spec) in modules.iter().enumerate() {
-            let f = &f;
-            handles.push(scope.spawn(move || (idx, f(spec))));
-        }
-        for handle in handles {
-            let (idx, value) = handle.join().expect("module campaign thread panicked");
-            results[idx] = Some(value);
-        }
-    });
-
-    results.into_iter().map(|r| r.expect("every module produced a result")).collect()
+    bounded_par_map(modules, worker_count(), f)
 }
 
 #[cfg(test)]
@@ -70,5 +119,35 @@ mod tests {
         let sums = par_map_modules(&modules, |m| m.id.bytes().map(u64::from).sum::<u64>());
         assert_eq!(sums.len(), modules.len());
         assert!(sums.iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn bounded_pool_preserves_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 7, 64, 1000] {
+            let out = bounded_par_map(&items, workers, |&x| x * x);
+            assert_eq!(out, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn pool_never_exceeds_requested_workers() {
+        use std::sync::atomic::AtomicUsize;
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        bounded_par_map(&items, 3, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3);
     }
 }

@@ -102,7 +102,9 @@ impl ExperimentConfig {
         let usable = self.geometry.rows_per_bank.saturating_sub(2 * margin);
         let n = self.rows_per_module.max(1).min(usable.max(1));
         let step = (usable / n).max(1);
-        (0..n).map(|i| rowpress_dram::RowId(margin + i * step)).collect()
+        (0..n)
+            .map(|i| rowpress_dram::RowId(margin + i * step))
+            .collect()
     }
 
     /// Validates the configuration.
@@ -165,12 +167,17 @@ mod tests {
         for w in sites.windows(2) {
             assert!(w[1].0 > w[0].0 + 6, "sites must not share victim halos");
         }
-        assert!(sites.iter().all(|r| r.0 >= 8 && r.0 < c.geometry.rows_per_bank - 8));
+        assert!(sites
+            .iter()
+            .all(|r| r.0 >= 8 && r.0 < c.geometry.rows_per_bank - 8));
     }
 
     #[test]
     fn builder_style_modifiers() {
-        let c = ExperimentConfig::quick().at_temperature(80.0).with_data_pattern(DataPattern::RowStripe).with_rows_per_module(4);
+        let c = ExperimentConfig::quick()
+            .at_temperature(80.0)
+            .with_data_pattern(DataPattern::RowStripe)
+            .with_rows_per_module(4);
         assert_eq!(c.temperature_c, 80.0);
         assert_eq!(c.data_pattern, DataPattern::RowStripe);
         assert_eq!(c.rows_per_module, 4);

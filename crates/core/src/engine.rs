@@ -1,0 +1,1274 @@
+//! The unified campaign engine: typed trials, declarative plans, a bounded
+//! worker pool, streaming sinks and an in-process result cache.
+//!
+//! Every figure of the paper is a slice of one big grid of
+//! (module × temperature × site × pattern × tAggON) experiments. Instead of
+//! each study driver re-implementing that grid as bespoke nested loops fanned
+//! out one-OS-thread-per-module, the engine factors the grid into four
+//! orthogonal pieces:
+//!
+//! * [`Trial`] — one point of the grid: which module, at which temperature,
+//!   which aggressor site, which data pattern, and which [`Measurement`] to
+//!   take there.
+//! * [`Plan`] — an ordered list of trials, typically built declaratively with
+//!   [`Plan::grid`]'s [`PlanBuilder`].
+//! * [`Engine`] — executes a plan on a bounded pool of at most
+//!   [`crate::campaign::worker_count`] workers (shared-queue scheduling, so an
+//!   expensive trial never idles the rest of the pool) and memoizes outcomes
+//!   in a [`Trial`]-keyed cache. Overlapping figures — e.g. the shared 50 °C
+//!   ACmin sweep behind Figs. 6–8 — therefore compute each trial once per
+//!   process.
+//! * [`Sink`] — receives the resulting [`TrialRecord`] stream: collect in
+//!   memory ([`MemorySink`]) or stream to JSON Lines ([`JsonlSink`]).
+//!
+//! Results are deterministic: records always arrive in plan order and each
+//! trial runs on a freshly constructed module, so the record stream is
+//! byte-for-byte identical regardless of the worker count.
+//!
+//! # Example
+//!
+//! ```
+//! use rowpress_core::engine::{Engine, Measurement, Plan};
+//! use rowpress_core::ExperimentConfig;
+//! use rowpress_dram::{module_inventory, Time};
+//!
+//! let cfg = ExperimentConfig::test_scale();
+//! let plan = Plan::grid(&cfg)
+//!     .module(&module_inventory()[0])
+//!     .measurement(Measurement::AcMin { t_aggon: Time::from_ms(30.0) })
+//!     .build();
+//! let records = Engine::new(&cfg).run_collect(&plan).unwrap();
+//! assert_eq!(records.len(), cfg.tested_sites().len());
+//! ```
+
+use crate::config::ExperimentConfig;
+use crate::patterns::{run_pattern, PatternInstance, PatternKind, PatternSite};
+use crate::search::{find_ac_min, find_t_aggon_min, flips_at_ac_max};
+use rowpress_dram::{
+    BankId, Bitflip, DataPattern, DramError, DramModule, DramResult, FlipMechanism, ModuleSpec,
+    RowId, RowRole, Time,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// The bank the paper tests (bank 1 of every module).
+pub const TEST_BANK: BankId = BankId(1);
+
+// ---------------------------------------------------------------------------
+// Trial
+// ---------------------------------------------------------------------------
+
+/// Per-trial threshold jitter, modeling run-to-run variation of borderline
+/// cells (paper Appendix E). `sigma = 0` (the default) makes the device fully
+/// deterministic.
+///
+/// Equality (like that of [`Measurement`] and [`Trial`]) compares the float
+/// field *bitwise*, matching the `Hash` implementation exactly so the types
+/// uphold the `Eq`/`Hash` contract for any input — including `NaN` (equal to
+/// itself here) and `-0.0` (distinct from `0.0`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Jitter {
+    /// Lognormal sigma of the per-cell threshold factor.
+    pub sigma: f64,
+    /// Salt deriving the per-cell deviates; vary it per iteration.
+    pub salt: u64,
+}
+
+impl Jitter {
+    /// No jitter: the deterministic device.
+    pub fn none() -> Self {
+        Jitter {
+            sigma: 0.0,
+            salt: 0,
+        }
+    }
+
+    /// Jitter with the given sigma and salt. A zero sigma normalizes the salt
+    /// to 0 (the device ignores the salt then), which lets the trial cache
+    /// recognize iterations of a deterministic experiment as identical.
+    pub fn seeded(sigma: f64, salt: u64) -> Self {
+        if sigma == 0.0 {
+            Jitter::none()
+        } else {
+            Jitter { sigma, salt }
+        }
+    }
+}
+
+impl Default for Jitter {
+    fn default() -> Self {
+        Jitter::none()
+    }
+}
+
+impl PartialEq for Jitter {
+    fn eq(&self, other: &Self) -> bool {
+        self.sigma.to_bits() == other.sigma.to_bits() && self.salt == other.salt
+    }
+}
+
+impl Eq for Jitter {}
+
+impl Hash for Jitter {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.sigma.to_bits().hash(state);
+        self.salt.hash(state);
+    }
+}
+
+/// The measurement taken at one trial point — the paper study it belongs to.
+///
+/// Equality compares float fields bitwise (see [`Jitter`]).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum Measurement {
+    /// Bisection search for the minimum activation count that flips a bit at
+    /// a fixed aggressor-on time (§4.1, Figs. 1 and 6–18).
+    AcMin {
+        /// Aggressor-row-on time.
+        t_aggon: Time,
+    },
+    /// All bitflips at the maximum activation count that fits the 60 ms
+    /// budget (Fig. 11, Fig. 22, Tables 6/9).
+    AcMax {
+        /// Aggressor-row-on time.
+        t_aggon: Time,
+    },
+    /// Bisection search for the minimum aggressor-on time that flips a bit at
+    /// a fixed activation count (§4.2, Figs. 9 and 15).
+    TAggOnMin {
+        /// Fixed total activation count.
+        ac: u64,
+    },
+    /// The RowPress-ONOFF pattern: tA2A fixed to tRC + Δ with a fraction of
+    /// the slack assigned to the on time (§5.4, Fig. 22).
+    OnOff {
+        /// Slack added on top of tRC (ΔtA2A).
+        delta_a2a: Time,
+        /// Fraction of the slack assigned to the on time.
+        on_fraction: f64,
+    },
+    /// Data-retention test: victims initialized and left unrefreshed (§4.3,
+    /// the retention population of Fig. 10/11).
+    Retention {
+        /// Unrefreshed idle time (4 s at 80 °C in the paper).
+        duration: Time,
+    },
+}
+
+impl PartialEq for Measurement {
+    fn eq(&self, other: &Self) -> bool {
+        use Measurement::*;
+        match (self, other) {
+            (AcMin { t_aggon: a }, AcMin { t_aggon: b })
+            | (AcMax { t_aggon: a }, AcMax { t_aggon: b }) => a == b,
+            (TAggOnMin { ac: a }, TAggOnMin { ac: b }) => a == b,
+            (
+                OnOff {
+                    delta_a2a: a,
+                    on_fraction: fa,
+                },
+                OnOff {
+                    delta_a2a: b,
+                    on_fraction: fb,
+                },
+            ) => a == b && fa.to_bits() == fb.to_bits(),
+            (Retention { duration: a }, Retention { duration: b }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Measurement {}
+
+impl Hash for Measurement {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Measurement::AcMin { t_aggon } | Measurement::AcMax { t_aggon } => t_aggon.hash(state),
+            Measurement::TAggOnMin { ac } => ac.hash(state),
+            Measurement::OnOff {
+                delta_a2a,
+                on_fraction,
+            } => {
+                delta_a2a.hash(state);
+                on_fraction.to_bits().hash(state);
+            }
+            Measurement::Retention { duration } => duration.hash(state),
+        }
+    }
+}
+
+/// One point of the characterization grid: everything needed to reproduce a
+/// single measurement, and the key of the engine's result cache.
+///
+/// Equality compares the temperature bitwise (see [`Jitter`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trial {
+    /// Module under test.
+    pub spec: ModuleSpec,
+    /// Chip temperature in °C.
+    pub temperature_c: f64,
+    /// Access-pattern family laid out around the tested row.
+    pub kind: PatternKind,
+    /// The tested (aggressor-site) row.
+    pub row: RowId,
+    /// Data pattern filling aggressor and victim rows.
+    pub data_pattern: DataPattern,
+    /// Per-trial threshold jitter (Appendix E); defaults to none.
+    pub jitter: Jitter,
+    /// The measurement to take.
+    pub measurement: Measurement,
+}
+
+impl PartialEq for Trial {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.temperature_c.to_bits() == other.temperature_c.to_bits()
+            && self.kind == other.kind
+            && self.row == other.row
+            && self.data_pattern == other.data_pattern
+            && self.jitter == other.jitter
+            && self.measurement == other.measurement
+    }
+}
+
+impl Eq for Trial {}
+
+impl Hash for Trial {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.spec.hash(state);
+        self.temperature_c.to_bits().hash(state);
+        self.kind.hash(state);
+        self.row.hash(state);
+        self.data_pattern.hash(state);
+        self.jitter.hash(state);
+        self.measurement.hash(state);
+    }
+}
+
+/// The outcome of one trial, mirroring the [`Measurement`] variants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrialOutcome {
+    /// Outcome of [`Measurement::AcMin`].
+    AcMin {
+        /// Minimum activation count inducing a bitflip; `None` when even the
+        /// budget maximum induces none.
+        ac_min: Option<u64>,
+        /// Largest activation count that fits the budget, computed on the
+        /// same tRAS-clamped code path in both the flip and no-flip cases.
+        ac_max: u64,
+        /// Bitflips observed at ACmin (empty when `ac_min` is `None`).
+        flips: Vec<Bitflip>,
+    },
+    /// Outcome of [`Measurement::AcMax`].
+    AcMax {
+        /// The activation count used (the budget maximum).
+        ac: u64,
+        /// All victim bitflips.
+        flips: Vec<Bitflip>,
+    },
+    /// Outcome of [`Measurement::TAggOnMin`].
+    TAggOnMin {
+        /// Minimum aggressor-on time inducing a bitflip, if any.
+        t_aggon_min: Option<Time>,
+    },
+    /// Outcome of [`Measurement::OnOff`].
+    OnOff {
+        /// Number of activations issued (the budget maximum for the cycle).
+        ac: u64,
+        /// All victim bitflips.
+        flips: Vec<Bitflip>,
+    },
+    /// Outcome of [`Measurement::Retention`].
+    Retention {
+        /// Retention-failure bitflips in the site's victim rows.
+        flips: Vec<Bitflip>,
+    },
+}
+
+/// A trial together with its outcome: the unit streamed to [`Sink`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// The executed trial.
+    pub trial: Trial,
+    /// Its outcome.
+    pub outcome: TrialOutcome,
+}
+
+// ---------------------------------------------------------------------------
+// Plan
+// ---------------------------------------------------------------------------
+
+/// An ordered list of trials. Execution results always stream in plan order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    trials: Vec<Trial>,
+}
+
+impl Plan {
+    /// Starts a declarative grid builder over the configuration's defaults.
+    pub fn grid(cfg: &ExperimentConfig) -> PlanBuilder {
+        PlanBuilder {
+            cfg: *cfg,
+            modules: Vec::new(),
+            temperatures: vec![cfg.temperature_c],
+            kinds: vec![PatternKind::SingleSided],
+            data_patterns: vec![cfg.data_pattern],
+            jitters: vec![Jitter::none()],
+            rows: None,
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Wraps an explicit trial list (for irregular, non-grid plans).
+    pub fn from_trials(trials: Vec<Trial>) -> Self {
+        Plan { trials }
+    }
+
+    /// The trials in execution order.
+    pub fn trials(&self) -> &[Trial] {
+        &self.trials
+    }
+
+    /// Number of trials.
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// True if the plan contains no trials.
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+}
+
+/// Builds a [`Plan`] as the cartesian product of its axes, expressing each
+/// paper study declaratively.
+///
+/// Axis defaults come from the [`ExperimentConfig`]: one temperature
+/// (`cfg.temperature_c`), the single-sided pattern family, one data pattern
+/// (`cfg.data_pattern`), no jitter and the configured tested rows. The
+/// nesting order — modules, temperatures, kinds, data patterns, jitters,
+/// rows, measurements (innermost) — matches the loop order of the original
+/// hand-written drivers, so record streams keep their historical order.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    cfg: ExperimentConfig,
+    modules: Vec<ModuleSpec>,
+    temperatures: Vec<f64>,
+    kinds: Vec<PatternKind>,
+    data_patterns: Vec<DataPattern>,
+    jitters: Vec<Jitter>,
+    rows: Option<Vec<RowId>>,
+    measurements: Vec<Measurement>,
+}
+
+impl PlanBuilder {
+    /// Sets the modules axis.
+    pub fn modules(mut self, modules: &[ModuleSpec]) -> Self {
+        self.modules = modules.to_vec();
+        self
+    }
+
+    /// Sets the modules axis to a single module.
+    pub fn module(mut self, spec: &ModuleSpec) -> Self {
+        self.modules = vec![spec.clone()];
+        self
+    }
+
+    /// Sets the temperatures axis.
+    pub fn temperatures(mut self, temperatures: &[f64]) -> Self {
+        self.temperatures = temperatures.to_vec();
+        self
+    }
+
+    /// Sets the pattern-family axis to a single kind.
+    pub fn kind(mut self, kind: PatternKind) -> Self {
+        self.kinds = vec![kind];
+        self
+    }
+
+    /// Sets the pattern-family axis.
+    pub fn kinds(mut self, kinds: &[PatternKind]) -> Self {
+        self.kinds = kinds.to_vec();
+        self
+    }
+
+    /// Sets the data-pattern axis.
+    pub fn data_patterns(mut self, patterns: &[DataPattern]) -> Self {
+        self.data_patterns = patterns.to_vec();
+        self
+    }
+
+    /// Sets the jitter axis (one entry per repetition of the grid).
+    pub fn jitters(mut self, jitters: impl IntoIterator<Item = Jitter>) -> Self {
+        self.jitters = jitters.into_iter().collect();
+        self
+    }
+
+    /// Overrides the tested rows (defaults to `cfg.tested_sites()`).
+    pub fn rows(mut self, rows: Vec<RowId>) -> Self {
+        self.rows = Some(rows);
+        self
+    }
+
+    /// Sets the measurement axis (innermost).
+    pub fn measurements(mut self, measurements: impl IntoIterator<Item = Measurement>) -> Self {
+        self.measurements = measurements.into_iter().collect();
+        self
+    }
+
+    /// Sets the measurement axis to a single measurement.
+    pub fn measurement(mut self, measurement: Measurement) -> Self {
+        self.measurements = vec![measurement];
+        self
+    }
+
+    /// Expands the grid into a [`Plan`].
+    pub fn build(self) -> Plan {
+        let rows = self.rows.unwrap_or_else(|| self.cfg.tested_sites());
+        let mut trials = Vec::with_capacity(
+            self.modules.len()
+                * self.temperatures.len()
+                * self.kinds.len()
+                * self.data_patterns.len()
+                * self.jitters.len()
+                * rows.len()
+                * self.measurements.len(),
+        );
+        for spec in &self.modules {
+            for &temperature_c in &self.temperatures {
+                for &kind in &self.kinds {
+                    for &data_pattern in &self.data_patterns {
+                        for &jitter in &self.jitters {
+                            for &row in &rows {
+                                for &measurement in &self.measurements {
+                                    trials.push(Trial {
+                                        spec: spec.clone(),
+                                        temperature_c,
+                                        kind,
+                                        row,
+                                        data_pattern,
+                                        jitter,
+                                        measurement,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Plan { trials }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Receives the record stream of an engine run, in plan order.
+pub trait Sink {
+    /// Accepts one record (by value — collecting sinks store it without
+    /// another copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the underlying writer fails.
+    fn accept(&mut self, record: TrialRecord) -> std::io::Result<()>;
+
+    /// Called once after the last record (flush point for buffered sinks).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the underlying writer fails.
+    fn finish(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Collects records in memory.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Vec<TrialRecord>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The records collected so far.
+    pub fn records(&self) -> &[TrialRecord] {
+        &self.records
+    }
+
+    /// Consumes the sink, returning the collected records.
+    pub fn into_records(self) -> Vec<TrialRecord> {
+        self.records
+    }
+}
+
+impl Sink for MemorySink {
+    fn accept(&mut self, record: TrialRecord) -> std::io::Result<()> {
+        self.records.push(record);
+        Ok(())
+    }
+}
+
+/// Streams records as JSON Lines (one serde-serialized record per line) to
+/// any [`Write`] target. Each line deserializes back into a [`TrialRecord`]
+/// with `serde_json::from_str`.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn accept(&mut self, record: TrialRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(&record).map_err(std::io::Error::other)?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// An engine run failed: either a trial hit a device-model error or a sink
+/// hit an I/O error.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A trial failed in the device model (e.g. a row out of range).
+    Dram(DramError),
+    /// A sink failed to write a record.
+    Sink(std::io::Error),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Dram(e) => write!(f, "trial failed: {e}"),
+            EngineError::Sink(e) => write!(f, "sink failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Dram(e) => Some(e),
+            EngineError::Sink(e) => Some(e),
+        }
+    }
+}
+
+impl From<DramError> for EngineError {
+    fn from(e: DramError) -> Self {
+        EngineError::Dram(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Sink(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache
+// ---------------------------------------------------------------------------
+
+/// The memoized result of one trial. Errors are cached too: the device model
+/// is deterministic, so a trial that failed once (e.g. an out-of-range row)
+/// fails identically every time.
+type CachedOutcome = DramResult<Arc<TrialOutcome>>;
+
+/// A shareable, thread-safe [`Trial`]-keyed outcome cache with hit/miss
+/// accounting. Cloning shares the underlying storage.
+///
+/// Each trial maps to a [`OnceLock`] cell, so concurrent requests for the
+/// *same* trial (e.g. the identical iterations of a jitter-free
+/// repeatability plan) block on one computation instead of racing to
+/// recompute it per worker.
+#[derive(Debug, Clone, Default)]
+pub struct TrialCache {
+    cells: Arc<Mutex<HashMap<Trial, Arc<OnceLock<CachedOutcome>>>>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
+
+impl TrialCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached outcome for `trial`, computing it with `compute`
+    /// on first request. Concurrent callers for the same trial wait for the
+    /// single in-flight computation.
+    fn get_or_compute(
+        &self,
+        trial: &Trial,
+        compute: impl FnOnce() -> DramResult<TrialOutcome>,
+    ) -> CachedOutcome {
+        let cell = {
+            let mut cells = self.cells.lock().expect("cache lock");
+            match cells.get(trial) {
+                // Hot replay path: no key clone (a Trial clone heap-allocates
+                // the module id and date code) when the cell already exists.
+                Some(cell) => Arc::clone(cell),
+                None => Arc::clone(cells.entry(trial.clone()).or_default()),
+            }
+        };
+        let mut computed = false;
+        let outcome = cell.get_or_init(|| {
+            computed = true;
+            compute().map(Arc::new)
+        });
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome.clone()
+    }
+
+    /// Number of lookups answered from the cache (including lookups that
+    /// waited for another worker's in-flight computation).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that computed the trial.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct trials with a completed outcome in the cache.
+    pub fn len(&self) -> usize {
+        self.cells
+            .lock()
+            .expect("cache lock")
+            .values()
+            .filter(|c| c.get().is_some())
+            .count()
+    }
+
+    /// True if no trials are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached outcome (hit/miss counters are kept). For a cache
+    /// obtained via [`Engine::shared`] this releases the process-wide memory
+    /// held for the configuration — call it between large studies when the
+    /// memoized flip vectors are no longer worth their footprint.
+    pub fn clear(&self) {
+        self.cells.lock().expect("cache lock").clear();
+    }
+}
+
+/// A hashable fingerprint of the `ExperimentConfig` fields that influence
+/// trial outcomes, partitioning the process-wide cache registry. The config's
+/// `data_pattern`, `temperature_c` and `rows_per_module` are deliberately
+/// *omitted*: trials carry their own pattern, temperature and row, and
+/// [`execute_trial`] never reads those config fields — so configs differing
+/// only in grid defaults still share byte-identical trials.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ConfigKey {
+    banks: u16,
+    rows_per_bank: u32,
+    bits_per_row: u32,
+    bits_per_cache_block: u32,
+    budget_ps: u64,
+    repeats: u32,
+    accuracy_bits: u64,
+}
+
+impl ConfigKey {
+    fn of(cfg: &ExperimentConfig) -> Self {
+        ConfigKey {
+            banks: cfg.geometry.banks,
+            rows_per_bank: cfg.geometry.rows_per_bank,
+            bits_per_row: cfg.geometry.bits_per_row,
+            bits_per_cache_block: cfg.geometry.bits_per_cache_block,
+            budget_ps: cfg.budget.as_ps(),
+            repeats: cfg.repeats,
+            accuracy_bits: cfg.accuracy_pct.to_bits(),
+        }
+    }
+}
+
+fn shared_cache(cfg: &ExperimentConfig) -> TrialCache {
+    static REGISTRY: OnceLock<Mutex<HashMap<ConfigKey, TrialCache>>> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    registry
+        .lock()
+        .expect("cache registry lock")
+        .entry(ConfigKey::of(cfg))
+        .or_default()
+        .clone()
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Executes [`Plan`]s on a bounded worker pool with trial-level caching.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cfg: ExperimentConfig,
+    workers: usize,
+    cache: TrialCache,
+}
+
+impl Engine {
+    /// An engine with a private cache and the default bounded pool
+    /// (≤ [`crate::campaign::worker_count`] workers).
+    pub fn new(cfg: &ExperimentConfig) -> Self {
+        Engine {
+            cfg: *cfg,
+            workers: crate::campaign::worker_count(),
+            cache: TrialCache::new(),
+        }
+    }
+
+    /// An engine sharing the process-wide cache for this configuration. The
+    /// study drivers use this, so overlapping figures (the shared 50 °C ACmin
+    /// sweep behind Figs. 6–8, say) compute each trial once per process.
+    pub fn shared(cfg: &ExperimentConfig) -> Self {
+        Engine {
+            cfg: *cfg,
+            workers: crate::campaign::worker_count(),
+            cache: shared_cache(cfg),
+        }
+    }
+
+    /// Overrides the worker count (values are clamped to at least 1). The
+    /// determinism tests use this to prove worker-count independence.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The configuration the engine executes against.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// The worker-pool bound.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The engine's cache (shared handle; clone-cheap).
+    pub fn cache(&self) -> &TrialCache {
+        &self.cache
+    }
+
+    /// Executes the plan and streams records to `sink` in plan order.
+    ///
+    /// Records flow to the sink as their outcomes resolve — the run does not
+    /// wait for the whole plan before the first record lands. On the first
+    /// trial or sink error the remaining trials are aborted (workers finish
+    /// only their in-flight trial), and [`Sink::finish`] is called whether
+    /// the run succeeded or not, so buffered sinks always flush what they
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first trial or sink error, in plan order.
+    pub fn run(&self, plan: &Plan, sink: &mut dyn Sink) -> Result<(), EngineError> {
+        let result = self.stream(plan, sink);
+        let finished = sink.finish().map_err(EngineError::Sink);
+        result.and(finished)
+    }
+
+    fn stream(&self, plan: &Plan, sink: &mut dyn Sink) -> Result<(), EngineError> {
+        let trials = plan.trials();
+        let n = trials.len();
+        let workers = self.workers.min(n);
+        let record = |trial: &Trial, outcome: Arc<TrialOutcome>| TrialRecord {
+            trial: trial.clone(),
+            outcome: (*outcome).clone(),
+        };
+
+        if workers <= 1 {
+            for trial in trials {
+                let outcome = self.outcome_for(trial)?;
+                sink.accept(record(trial, outcome))?;
+            }
+            return Ok(());
+        }
+
+        // Workers fill per-trial slots off a shared queue; this thread drains
+        // the slots in plan order, feeding the sink as each outcome lands.
+        // Panics inside a trial are caught in the worker and re-raised here
+        // so the drain can never wait on a slot that will not be filled.
+        type Slot = Option<std::thread::Result<CachedOutcome>>;
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let slots: Mutex<Vec<Slot>> = Mutex::new((0..n).map(|_| None).collect());
+        let ready = Condvar::new();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.outcome_for(&trials[index])
+                    }));
+                    let mut filled = slots.lock().expect("slot lock");
+                    filled[index] = Some(outcome);
+                    ready.notify_all();
+                });
+            }
+
+            for (index, trial) in trials.iter().enumerate() {
+                let outcome = {
+                    let mut filled = slots.lock().expect("slot lock");
+                    loop {
+                        if let Some(outcome) = filled[index].take() {
+                            break outcome;
+                        }
+                        filled = ready.wait(filled).expect("slot lock");
+                    }
+                };
+                let step = match outcome {
+                    Ok(Ok(outcome)) => sink
+                        .accept(record(trial, outcome))
+                        .map_err(EngineError::Sink),
+                    Ok(Err(e)) => Err(EngineError::Dram(e)),
+                    Err(panic) => {
+                        abort.store(true, Ordering::Relaxed);
+                        std::panic::resume_unwind(panic);
+                    }
+                };
+                if let Err(e) = step {
+                    abort.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Executes the plan and collects the records in plan order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first trial error, in plan order.
+    pub fn run_collect(&self, plan: &Plan) -> DramResult<Vec<TrialRecord>> {
+        let mut sink = MemorySink::new();
+        match self.run(plan, &mut sink) {
+            Ok(()) => Ok(sink.into_records()),
+            Err(EngineError::Dram(e)) => Err(e),
+            Err(EngineError::Sink(_)) => unreachable!("MemorySink::accept is infallible"),
+        }
+    }
+
+    fn outcome_for(&self, trial: &Trial) -> CachedOutcome {
+        self.cache
+            .get_or_compute(trial, || execute_trial(&self.cfg, trial))
+    }
+}
+
+/// Runs one trial on a freshly constructed module. A fresh module per trial
+/// is what makes outcomes independent of scheduling: no state leaks between
+/// trials, so any interleaving produces the same records.
+fn execute_trial(cfg: &ExperimentConfig, trial: &Trial) -> DramResult<TrialOutcome> {
+    let mut module = DramModule::new(&trial.spec, cfg.geometry);
+    module.set_temperature(trial.temperature_c);
+    if trial.jitter.sigma != 0.0 {
+        module.set_flip_jitter(trial.jitter.sigma, trial.jitter.salt);
+    }
+    let site = PatternSite::for_kind(trial.kind, TEST_BANK, trial.row, cfg.geometry.rows_per_bank);
+
+    match trial.measurement {
+        Measurement::AcMin { t_aggon } => {
+            match find_ac_min(&mut module, &site, t_aggon, trial.data_pattern, cfg)? {
+                Some(outcome) => Ok(TrialOutcome::AcMin {
+                    ac_min: Some(outcome.ac_min),
+                    ac_max: outcome.ac_max,
+                    flips: outcome.flips,
+                }),
+                // `max_activations_within` clamps tAggON to tRAS internally,
+                // so this reports the same ACmax the search bracket used —
+                // the no-flip branch no longer diverges for sub-tRAS on-times.
+                None => Ok(TrialOutcome::AcMin {
+                    ac_min: None,
+                    ac_max: module.timing().max_activations_within(t_aggon, cfg.budget),
+                    flips: Vec::new(),
+                }),
+            }
+        }
+        Measurement::AcMax { t_aggon } => {
+            let (ac, flips) =
+                flips_at_ac_max(&mut module, &site, t_aggon, trial.data_pattern, cfg)?;
+            Ok(TrialOutcome::AcMax { ac, flips })
+        }
+        Measurement::TAggOnMin { ac } => {
+            let t_aggon_min = find_t_aggon_min(&mut module, &site, ac, trial.data_pattern, cfg)?;
+            Ok(TrialOutcome::TAggOnMin { t_aggon_min })
+        }
+        Measurement::OnOff {
+            delta_a2a,
+            on_fraction,
+        } => {
+            let timing = *module.timing();
+            let t_on = timing.t_ras + delta_a2a * on_fraction;
+            let t_off = timing.t_rp + delta_a2a * (1.0 - on_fraction);
+            let cycle = t_on + t_off;
+            let ac = cfg.budget.as_ps() / cycle.as_ps();
+            let instance = PatternInstance {
+                t_aggon: t_on,
+                t_aggoff: t_off,
+                total_acts: ac,
+            };
+            let flips = run_pattern(&mut module, &site, instance, trial.data_pattern)?;
+            Ok(TrialOutcome::OnOff { ac, flips })
+        }
+        Measurement::Retention { duration } => {
+            for &victim in &site.victims {
+                module.init_row_pattern(site.bank, victim, trial.data_pattern, RowRole::Victim)?;
+            }
+            module.idle(duration);
+            let mut flips = Vec::new();
+            for &victim in &site.victims {
+                flips.extend(
+                    module
+                        .check_row(site.bank, victim)?
+                        .into_iter()
+                        .filter(|f| f.mechanism == FlipMechanism::Retention),
+                );
+            }
+            Ok(TrialOutcome::Retention { flips })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowpress_dram::module_inventory;
+
+    fn spec(id: &str) -> ModuleSpec {
+        module_inventory().into_iter().find(|m| m.id == id).unwrap()
+    }
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::test_scale()
+    }
+
+    fn acmin_plan(cfg: &ExperimentConfig) -> Plan {
+        Plan::grid(cfg)
+            .modules(&[spec("S3"), spec("S0")])
+            .temperatures(&[50.0, 80.0])
+            .measurements(
+                [Time::from_ns(36.0), Time::from_ms(30.0)]
+                    .into_iter()
+                    .map(|t| Measurement::AcMin { t_aggon: t }),
+            )
+            .build()
+    }
+
+    #[test]
+    fn grid_builder_expands_the_cartesian_product() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        // 2 modules x 2 temperatures x 3 rows x 2 measurements.
+        assert_eq!(plan.len(), 2 * 2 * cfg.tested_sites().len() * 2);
+        assert!(!plan.is_empty());
+        // Innermost axis varies fastest: the first two trials differ only in
+        // the measurement.
+        let (a, b) = (&plan.trials()[0], &plan.trials()[1]);
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.row, b.row);
+        assert_ne!(a.measurement, b.measurement);
+        // Outermost axis varies slowest.
+        assert_eq!(plan.trials()[0].spec.id, "S3");
+        assert_eq!(plan.trials().last().unwrap().spec.id, "S0");
+    }
+
+    #[test]
+    fn records_are_identical_for_any_worker_count() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let baseline = Engine::new(&cfg)
+            .with_workers(1)
+            .run_collect(&plan)
+            .unwrap();
+        assert_eq!(baseline.len(), plan.len());
+        for workers in [2, 4, 16] {
+            let records = Engine::new(&cfg)
+                .with_workers(workers)
+                .run_collect(&plan)
+                .unwrap();
+            assert_eq!(
+                records, baseline,
+                "worker count {workers} changed the record stream"
+            );
+        }
+        // Byte-identical through the JSONL sink, too.
+        let jsonl = |workers: usize| -> Vec<u8> {
+            let mut sink = JsonlSink::new(Vec::new());
+            Engine::new(&cfg)
+                .with_workers(workers)
+                .run(&plan, &mut sink)
+                .unwrap();
+            sink.into_inner()
+        };
+        assert_eq!(jsonl(1), jsonl(4));
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_serde() {
+        let cfg = cfg();
+        let plan = Plan::grid(&cfg)
+            .module(&spec("S3"))
+            .measurements([
+                Measurement::AcMin {
+                    t_aggon: Time::from_ms(30.0),
+                },
+                Measurement::AcMax {
+                    t_aggon: Time::from_us(70.2),
+                },
+                Measurement::TAggOnMin { ac: 10 },
+                Measurement::OnOff {
+                    delta_a2a: Time::from_ns(6000.0),
+                    on_fraction: 0.5,
+                },
+                Measurement::Retention {
+                    duration: Time::from_secs(4.0),
+                },
+            ])
+            .build();
+        let engine = Engine::new(&cfg);
+        let records = engine.run_collect(&plan).unwrap();
+
+        let mut sink = JsonlSink::new(Vec::new());
+        engine.run(&plan, &mut sink).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), records.len());
+        for (line, expected) in lines.iter().zip(&records) {
+            let parsed: TrialRecord = serde_json::from_str(line).expect("valid JSONL line");
+            assert_eq!(&parsed, expected);
+        }
+    }
+
+    #[test]
+    fn cache_answers_repeated_plans_without_recomputing() {
+        let cfg = cfg();
+        let plan = Plan::grid(&cfg)
+            .module(&spec("S3"))
+            .measurement(Measurement::AcMin {
+                t_aggon: Time::from_ms(30.0),
+            })
+            .build();
+        let engine = Engine::new(&cfg);
+        let first = engine.run_collect(&plan).unwrap();
+        assert_eq!(engine.cache().hits(), 0);
+        assert_eq!(engine.cache().misses(), plan.len() as u64);
+        let second = engine.run_collect(&plan).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(engine.cache().hits(), plan.len() as u64);
+        assert_eq!(engine.cache().misses(), plan.len() as u64);
+        assert_eq!(engine.cache().len(), plan.len());
+    }
+
+    #[test]
+    fn shared_engines_reuse_overlapping_trials_across_instances() {
+        // A distinct configuration so other tests' shared caches don't
+        // interfere with the accounting.
+        let cfg = ExperimentConfig::test_scale().with_rows_per_module(2);
+        let plan = Plan::grid(&cfg)
+            .module(&spec("S0"))
+            .measurement(Measurement::AcMin {
+                t_aggon: Time::from_ms(30.0),
+            })
+            .build();
+        let first = Engine::shared(&cfg);
+        let warmup = first.run_collect(&plan).unwrap();
+        // A *new* shared engine for the same config sees the cached trials.
+        let second = Engine::shared(&cfg);
+        let hits_before = second.cache().hits();
+        let replay = second.run_collect(&plan).unwrap();
+        assert_eq!(warmup, replay);
+        assert!(second.cache().hits() >= hits_before + plan.len() as u64);
+    }
+
+    #[test]
+    fn jitter_normalization_and_trial_hashing() {
+        assert_eq!(Jitter::seeded(0.0, 99), Jitter::none());
+        assert_ne!(Jitter::seeded(0.2, 99), Jitter::none());
+        let cfg = cfg();
+        let t = Plan::grid(&cfg)
+            .module(&spec("S3"))
+            .measurement(Measurement::AcMin {
+                t_aggon: Time::from_ms(30.0),
+            })
+            .build()
+            .trials()[0]
+            .clone();
+        let mut map = HashMap::new();
+        map.insert(t.clone(), 1u32);
+        assert_eq!(map.get(&t), Some(&1));
+        let mut other = t.clone();
+        other.temperature_c = 80.0;
+        assert!(!map.contains_key(&other));
+    }
+
+    #[test]
+    fn trial_errors_surface_in_plan_order() {
+        let cfg = cfg();
+        let mut good = Plan::grid(&cfg)
+            .module(&spec("S3"))
+            .measurement(Measurement::AcMin {
+                t_aggon: Time::from_ms(30.0),
+            })
+            .build()
+            .trials()
+            .to_vec();
+        // An out-of-range row makes the site invalid.
+        good[1].row = RowId(cfg.geometry.rows_per_bank + 100);
+        let plan = Plan::from_trials(good);
+        let err = Engine::new(&cfg).run_collect(&plan).unwrap_err();
+        assert!(matches!(err, DramError::InvalidRow { .. }));
+        let display = format!("{}", EngineError::from(err));
+        assert!(display.contains("trial failed"));
+    }
+
+    #[test]
+    fn cache_clear_and_bitwise_float_equality() {
+        let cfg = cfg();
+        let plan = Plan::grid(&cfg)
+            .module(&spec("S0"))
+            .measurement(Measurement::AcMin {
+                t_aggon: Time::from_ms(30.0),
+            })
+            .build();
+        let engine = Engine::new(&cfg);
+        engine.run_collect(&plan).unwrap();
+        assert!(!engine.cache().is_empty());
+        let misses = engine.cache().misses();
+        engine.cache().clear();
+        assert!(engine.cache().is_empty());
+        assert_eq!(engine.cache().misses(), misses, "clear keeps the counters");
+
+        // Bitwise float equality: -0.0 and NaN are safe as cache keys.
+        let a = plan.trials()[0].clone();
+        let mut b = a.clone();
+        b.temperature_c = -0.0;
+        let mut zero = a.clone();
+        zero.temperature_c = 0.0;
+        assert_ne!(zero, b, "-0.0 must not alias 0.0 under bitwise equality");
+        let mut nan = a.clone();
+        nan.temperature_c = f64::NAN;
+        assert_eq!(nan, nan.clone(), "NaN trials must equal themselves");
+        assert_eq!(Jitter::seeded(f64::NAN, 1), Jitter::seeded(f64::NAN, 1));
+    }
+
+    #[test]
+    fn finish_flushes_even_when_a_trial_fails() {
+        struct CountingSink {
+            accepted: usize,
+            finished: bool,
+        }
+        impl Sink for CountingSink {
+            fn accept(&mut self, _record: TrialRecord) -> std::io::Result<()> {
+                self.accepted += 1;
+                Ok(())
+            }
+            fn finish(&mut self) -> std::io::Result<()> {
+                self.finished = true;
+                Ok(())
+            }
+        }
+        let cfg = cfg();
+        let mut trials = Plan::grid(&cfg)
+            .module(&spec("S3"))
+            .measurement(Measurement::AcMin {
+                t_aggon: Time::from_ms(30.0),
+            })
+            .build()
+            .trials()
+            .to_vec();
+        trials[1].row = RowId(cfg.geometry.rows_per_bank + 100);
+        let plan = Plan::from_trials(trials);
+        let mut sink = CountingSink {
+            accepted: 0,
+            finished: false,
+        };
+        let err = Engine::new(&cfg).run(&plan, &mut sink).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Dram(DramError::InvalidRow { .. })
+        ));
+        // The record before the failing trial streamed, and finish() still ran.
+        assert_eq!(sink.accepted, 1);
+        assert!(sink.finished, "finish() must run on the error path");
+    }
+
+    #[test]
+    fn identical_concurrent_trials_compute_once() {
+        let cfg = cfg();
+        let base = Plan::grid(&cfg)
+            .module(&spec("S0"))
+            .rows(vec![RowId(20)])
+            .measurement(Measurement::AcMax {
+                t_aggon: Time::from_us(70.2),
+            })
+            .build()
+            .trials()
+            .to_vec();
+        // Eight copies of the same trial, executed by a multi-worker pool:
+        // the in-flight dedup must compute it exactly once.
+        let plan = Plan::from_trials(vec![base[0].clone(); 8]);
+        let engine = Engine::new(&cfg).with_workers(4);
+        let records = engine.run_collect(&plan).unwrap();
+        assert_eq!(records.len(), 8);
+        assert!(records.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(engine.cache().misses(), 1);
+        assert_eq!(engine.cache().hits(), 7);
+    }
+
+    #[test]
+    fn engine_defaults_are_bounded() {
+        let engine = Engine::new(&cfg());
+        assert!(engine.workers() >= 1);
+        assert!(engine.workers() <= crate::campaign::worker_count());
+        assert_eq!(Engine::new(&cfg()).with_workers(0).workers(), 1);
+        assert!(engine.cache().is_empty());
+        assert_eq!(engine.config(), &cfg());
+    }
+}

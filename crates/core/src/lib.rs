@@ -8,10 +8,13 @@
 //!   double-sided and ONOFF read-disturb access patterns.
 //! * [`find_ac_min`], [`find_t_aggon_min`], [`flips_at_ac_max`] — the
 //!   bisection searches behind every ACmin / tAggONmin figure.
+//! * [`engine`] — the unified campaign engine: typed [`Trial`]s, declarative
+//!   [`Plan`] grids, bounded-pool execution with an in-process trial cache,
+//!   and streaming [`Sink`]s (in-memory, JSONL).
 //! * [`acmin_sweep`], [`taggonmin_sweep`], [`acmax_sweep`], [`onoff_sweep`],
 //!   [`data_pattern_sweep`], [`retention_failures`], [`overlap_analysis`],
 //!   [`repeatability_study`] — the study drivers that generate the paper's
-//!   figures, parallelized across modules.
+//!   figures, all expressed as plans on the engine.
 //! * [`stats`] — box summaries, log-log slope fits and aggregation helpers.
 //!
 //! # Example: find ACmin for a RowPress pattern
@@ -37,12 +40,17 @@
 
 pub mod campaign;
 mod config;
+pub mod engine;
 mod patterns;
 mod search;
 pub mod stats;
 mod studies;
 
 pub use config::ExperimentConfig;
+pub use engine::{
+    Engine, EngineError, Jitter, JsonlSink, Measurement, MemorySink, Plan, PlanBuilder, Sink,
+    Trial, TrialCache, TrialOutcome, TrialRecord,
+};
 pub use patterns::{
     apply_pattern, initialize_site, run_pattern, run_pattern_any_flip, PatternInstance,
     PatternKind, PatternSite,
@@ -50,10 +58,10 @@ pub use patterns::{
 pub use search::{find_ac_min, find_t_aggon_min, flips_at_ac_max, AcMinOutcome};
 pub use studies::{
     acmax_sweep, acmin_by_die, acmin_sweep, bitflips_per_word, data_pattern_sweep,
-    fraction_one_to_zero, fraction_rows_with_flips, max_ber_per_row, onoff_sweep,
-    overlap_analysis, overlap_ratio, repeatability_study, retention_failures, taggonmin_sweep,
-    AcMaxRecord, AcMinRecord, DataPatternRecord, ModuleKey, OnOffRecord, OverlapRecord,
-    RepeatabilityRecord, TAggOnMinRecord, TEST_BANK,
+    fraction_one_to_zero, fraction_rows_with_flips, max_ber_per_row, onoff_sweep, overlap_analysis,
+    overlap_ratio, repeatability_study, retention_failures, taggonmin_sweep, AcMaxRecord,
+    AcMinRecord, DataPatternRecord, ModuleKey, OnOffRecord, OverlapRecord, RepeatabilityRecord,
+    TAggOnMinRecord, TEST_BANK,
 };
 
 #[cfg(test)]

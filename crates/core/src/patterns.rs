@@ -59,7 +59,12 @@ impl PatternSite {
                 }
             }
         }
-        PatternSite { kind: PatternKind::SingleSided, bank, aggressors: vec![aggressor], victims }
+        PatternSite {
+            kind: PatternKind::SingleSided,
+            bank,
+            aggressors: vec![aggressor],
+            victims,
+        }
     }
 
     /// Lays out a double-sided site with aggressors at `base` and `base + 2`:
@@ -80,7 +85,12 @@ impl PatternSite {
                 victims.push(v);
             }
         }
-        PatternSite { kind: PatternKind::DoubleSided, bank, aggressors: vec![low, high], victims }
+        PatternSite {
+            kind: PatternKind::DoubleSided,
+            bank,
+            aggressors: vec![low, high],
+            victims,
+        }
     }
 
     /// Lays out a site of the requested kind around a tested row.
@@ -117,7 +127,11 @@ pub struct PatternInstance {
 impl PatternInstance {
     /// The standard pattern instance: on for `t_aggon`, closed for tRP.
     pub fn standard(t_aggon: Time, total_acts: u64, t_rp: Time) -> Self {
-        PatternInstance { t_aggon, t_aggoff: t_rp, total_acts }
+        PatternInstance {
+            t_aggon,
+            t_aggoff: t_rp,
+            total_acts,
+        }
     }
 
     /// Total bus time the pattern occupies.
@@ -178,8 +192,20 @@ pub fn apply_pattern(
             let per_aggressor_off = instance.t_aggon + instance.t_aggoff * 2;
             let low_acts = instance.total_acts / 2 + instance.total_acts % 2;
             let high_acts = instance.total_acts / 2;
-            module.activate_many(site.bank, site.aggressors[0], instance.t_aggon, per_aggressor_off, low_acts)?;
-            module.activate_many(site.bank, site.aggressors[1], instance.t_aggon, per_aggressor_off, high_acts)?;
+            module.activate_many(
+                site.bank,
+                site.aggressors[0],
+                instance.t_aggon,
+                per_aggressor_off,
+                low_acts,
+            )?;
+            module.activate_many(
+                site.bank,
+                site.aggressors[1],
+                instance.t_aggon,
+                per_aggressor_off,
+                high_acts,
+            )?;
         }
     }
     Ok(())
@@ -269,7 +295,10 @@ mod tests {
         assert!(site.victims.contains(&RowId(17)));
         assert!(site.victims.contains(&RowId(25)));
         assert_eq!(site.victims[0], RowId(21));
-        assert_eq!(PatternSite::for_kind(PatternKind::DoubleSided, BankId(1), RowId(20), 64), site);
+        assert_eq!(
+            PatternSite::for_kind(PatternKind::DoubleSided, BankId(1), RowId(20), 64),
+            site
+        );
     }
 
     #[test]
@@ -300,10 +329,14 @@ mod tests {
         let inst = PatternInstance::standard(t.t_ras, total_acts, t.t_rp);
         let mut m1 = module("S3");
         let single = PatternSite::single_sided(BankId(1), RowId(20), 64);
-        let single_flips = run_pattern(&mut m1, &single, inst, DataPattern::Checkerboard).unwrap().len();
+        let single_flips = run_pattern(&mut m1, &single, inst, DataPattern::Checkerboard)
+            .unwrap()
+            .len();
         let mut m2 = module("S3");
         let double = PatternSite::double_sided(BankId(1), RowId(19), 64);
-        let double_flips = run_pattern(&mut m2, &double, inst, DataPattern::Checkerboard).unwrap().len();
+        let double_flips = run_pattern(&mut m2, &double, inst, DataPattern::Checkerboard)
+            .unwrap()
+            .len();
         assert!(
             double_flips >= single_flips,
             "double-sided RowHammer should flip at least as many cells (single {single_flips}, double {double_flips})"
@@ -318,10 +351,14 @@ mod tests {
         let inst = PatternInstance::standard(Time::from_us(70.2), 700, t.t_rp);
         let mut m1 = module("S0");
         let single = PatternSite::single_sided(BankId(1), RowId(20), 64);
-        let single_flips = run_pattern(&mut m1, &single, inst, DataPattern::Checkerboard).unwrap().len();
+        let single_flips = run_pattern(&mut m1, &single, inst, DataPattern::Checkerboard)
+            .unwrap()
+            .len();
         let mut m2 = module("S0");
         let double = PatternSite::double_sided(BankId(1), RowId(19), 64);
-        let double_flips = run_pattern(&mut m2, &double, inst, DataPattern::Checkerboard).unwrap().len();
+        let double_flips = run_pattern(&mut m2, &double, inst, DataPattern::Checkerboard)
+            .unwrap()
+            .len();
         assert!(
             single_flips >= double_flips,
             "single-sided RowPress should be at least as effective at 70.2us (single {single_flips}, double {double_flips})"

@@ -24,15 +24,6 @@ pub struct AcMinOutcome {
     pub ac_max: u64,
 }
 
-fn fresh_module_for_probe(module: &mut DramModule) {
-    // Each probe starts from freshly initialized rows; the site
-    // initialization inside run_pattern* clears accumulated exposure, and the
-    // clock is irrelevant because refresh is disabled, so nothing else needs
-    // to be reset here. The hook exists so future models with cross-probe
-    // state have a single place to clear it.
-    let _ = module;
-}
-
 /// Searches for ACmin with the paper's bisection algorithm.
 ///
 /// Returns `Ok(None)` when even the largest activation count that fits within
@@ -60,10 +51,15 @@ pub fn find_ac_min(
     for repeat in 0..cfg.repeats.max(1) {
         // Different repetitions only differ when the module has flip jitter
         // enabled; the repeat index seeds it through the caller if desired.
+        // Each probe re-initializes the site's rows, which clears accumulated
+        // exposure, so no other per-repeat reset is needed.
         let _ = repeat;
-        fresh_module_for_probe(module);
         let probe = |module: &mut DramModule, acts: u64| -> DramResult<bool> {
-            let instance = PatternInstance { t_aggon, t_aggoff: timing.t_rp, total_acts: acts };
+            let instance = PatternInstance {
+                t_aggon,
+                t_aggoff: timing.t_rp,
+                total_acts: acts,
+            };
             run_pattern_any_flip(module, site, instance, data_pattern)
         };
         if !probe(module, ac_max)? {
@@ -90,9 +86,17 @@ pub fn find_ac_min(
 
     let Some(ac_min) = best else { return Ok(None) };
     // Collect the full flip set at ACmin for downstream analyses.
-    let instance = PatternInstance { t_aggon, t_aggoff: timing.t_rp, total_acts: ac_min };
+    let instance = PatternInstance {
+        t_aggon,
+        t_aggoff: timing.t_rp,
+        total_acts: ac_min,
+    };
     let flips = run_pattern(module, site, instance, data_pattern)?;
-    Ok(Some(AcMinOutcome { ac_min, flips, ac_max }))
+    Ok(Some(AcMinOutcome {
+        ac_min,
+        flips,
+        ac_max,
+    }))
 }
 
 /// Measures the bitflips induced by the *maximum* activation count that fits
@@ -112,7 +116,11 @@ pub fn flips_at_ac_max(
     let timing = *module.timing();
     let t_aggon = t_aggon.max(timing.t_ras);
     let ac_max = timing.max_activations_within(t_aggon, cfg.budget);
-    let instance = PatternInstance { t_aggon, t_aggoff: timing.t_rp, total_acts: ac_max };
+    let instance = PatternInstance {
+        t_aggon,
+        t_aggoff: timing.t_rp,
+        total_acts: ac_max,
+    };
     let flips = run_pattern(module, site, instance, data_pattern)?;
     Ok((ac_max, flips))
 }
@@ -145,7 +153,11 @@ pub fn find_t_aggon_min(
     let t_min = timing.t_ras;
 
     let probe = |module: &mut DramModule, t_on: Time| -> DramResult<bool> {
-        let instance = PatternInstance { t_aggon: t_on, t_aggoff: timing.t_rp, total_acts: ac };
+        let instance = PatternInstance {
+            t_aggon: t_on,
+            t_aggoff: timing.t_rp,
+            total_acts: ac,
+        };
         run_pattern_any_flip(module, site, instance, data_pattern)
     };
 
@@ -160,7 +172,9 @@ pub fn find_t_aggon_min(
     let mut lo = t_min;
     let mut hi = t_max;
     loop {
-        let tolerance_ps = ((hi.as_ps() as f64) * cfg.accuracy_pct / 100.0).ceil().max(1.0) as u64;
+        let tolerance_ps = ((hi.as_ps() as f64) * cfg.accuracy_pct / 100.0)
+            .ceil()
+            .max(1.0) as u64;
         if hi.as_ps() - lo.as_ps() <= tolerance_ps {
             break;
         }
@@ -194,10 +208,20 @@ mod tests {
     #[test]
     fn acmin_at_tras_matches_die_calibration_scale() {
         let (mut module, site) = setup("S3"); // 8Gb D-die: ACmin mean ~41.5K
-        let out = find_ac_min(&mut module, &site, Time::from_ns(36.0), DataPattern::Checkerboard, &cfg())
-            .unwrap()
-            .expect("the D-die must be hammerable within 60 ms");
-        assert!(out.ac_min > 5_000 && out.ac_min < 300_000, "ac_min = {}", out.ac_min);
+        let out = find_ac_min(
+            &mut module,
+            &site,
+            Time::from_ns(36.0),
+            DataPattern::Checkerboard,
+            &cfg(),
+        )
+        .unwrap()
+        .expect("the D-die must be hammerable within 60 ms");
+        assert!(
+            out.ac_min > 5_000 && out.ac_min < 300_000,
+            "ac_min = {}",
+            out.ac_min
+        );
         assert!(!out.flips.is_empty());
         assert!(out.ac_min <= out.ac_max);
     }
@@ -205,7 +229,12 @@ mod tests {
     #[test]
     fn acmin_decreases_as_taggon_increases() {
         let (mut module, site) = setup("S0");
-        let sweep = [Time::from_ns(36.0), Time::from_us(7.8), Time::from_us(70.2), Time::from_ms(30.0)];
+        let sweep = [
+            Time::from_ns(36.0),
+            Time::from_us(7.8),
+            Time::from_us(70.2),
+            Time::from_ms(30.0),
+        ];
         let mut previous = u64::MAX;
         for t in sweep {
             let out = find_ac_min(&mut module, &site, t, DataPattern::Checkerboard, &cfg())
@@ -220,17 +249,34 @@ mod tests {
         }
         // The extreme case: a 30 ms press needs only a handful of activations
         // (the paper reports ACmin = 1 for many rows).
-        assert!(previous <= 3, "ACmin at 30 ms should be tiny, got {previous}");
+        assert!(
+            previous <= 3,
+            "ACmin at 30 ms should be tiny, got {previous}"
+        );
     }
 
     #[test]
     fn press_invulnerable_die_reports_none_at_large_taggon() {
         let (mut module, site) = setup("M0"); // Micron 8Gb B-die: no RowPress
-        let out = find_ac_min(&mut module, &site, Time::from_ms(30.0), DataPattern::Checkerboard, &cfg()).unwrap();
+        let out = find_ac_min(
+            &mut module,
+            &site,
+            Time::from_ms(30.0),
+            DataPattern::Checkerboard,
+            &cfg(),
+        )
+        .unwrap();
         assert!(out.is_none(), "M0 must not flip under RowPress");
         // It is still vulnerable to plain RowHammer within the budget? Its
         // mean ACmin (386K) is below the ~1.17M budget, so a search succeeds.
-        let out = find_ac_min(&mut module, &site, Time::from_ns(36.0), DataPattern::Checkerboard, &cfg()).unwrap();
+        let out = find_ac_min(
+            &mut module,
+            &site,
+            Time::from_ns(36.0),
+            DataPattern::Checkerboard,
+            &cfg(),
+        )
+        .unwrap();
         assert!(out.is_some());
     }
 
@@ -238,46 +284,87 @@ mod tests {
     fn acmin_accuracy_is_within_one_percent() {
         let (mut module, site) = setup("S3");
         let c = cfg();
-        let out = find_ac_min(&mut module, &site, Time::from_us(7.8), DataPattern::Checkerboard, &c)
-            .unwrap()
-            .unwrap();
+        let out = find_ac_min(
+            &mut module,
+            &site,
+            Time::from_us(7.8),
+            DataPattern::Checkerboard,
+            &c,
+        )
+        .unwrap()
+        .unwrap();
         // One activation fewer than (1 - accuracy) * ACmin must not flip.
         let below = ((out.ac_min as f64) * (1.0 - 2.0 * c.accuracy_pct / 100.0)).floor() as u64;
         let timing = *module.timing();
-        let inst = PatternInstance { t_aggon: Time::from_us(7.8), t_aggoff: timing.t_rp, total_acts: below };
-        assert!(!run_pattern_any_flip(&mut module, &site, inst, DataPattern::Checkerboard).unwrap());
+        let inst = PatternInstance {
+            t_aggon: Time::from_us(7.8),
+            t_aggoff: timing.t_rp,
+            total_acts: below,
+        };
+        assert!(
+            !run_pattern_any_flip(&mut module, &site, inst, DataPattern::Checkerboard).unwrap()
+        );
     }
 
     #[test]
     fn taggonmin_decreases_as_ac_increases() {
         let (mut module, site) = setup("S0");
-        let t1 = find_t_aggon_min(&mut module, &site, 1, DataPattern::Checkerboard, &cfg()).unwrap();
-        let t100 = find_t_aggon_min(&mut module, &site, 100, DataPattern::Checkerboard, &cfg()).unwrap();
-        let (t1, t100) = (t1.expect("AC=1 flips within 60 ms on S0"), t100.expect("AC=100 flips"));
-        assert!(t100 < t1, "tAggONmin must shrink as AC grows ({t100} !< {t1})");
+        let t1 =
+            find_t_aggon_min(&mut module, &site, 1, DataPattern::Checkerboard, &cfg()).unwrap();
+        let t100 =
+            find_t_aggon_min(&mut module, &site, 100, DataPattern::Checkerboard, &cfg()).unwrap();
+        let (t1, t100) = (
+            t1.expect("AC=1 flips within 60 ms on S0"),
+            t100.expect("AC=100 flips"),
+        );
+        assert!(
+            t100 < t1,
+            "tAggONmin must shrink as AC grows ({t100} !< {t1})"
+        );
         // The product AC x tAggONmin is roughly constant (slope -1 in log-log,
         // Obsv. 5): allow a generous factor of 3.
         let p1 = t1.as_us();
         let p100 = t100.as_us() * 100.0;
-        assert!(p100 / p1 < 3.0 && p1 / p100 < 3.0, "products {p1} vs {p100}");
+        assert!(
+            p100 / p1 < 3.0 && p1 / p100 < 3.0,
+            "products {p1} vs {p100}"
+        );
     }
 
     #[test]
     fn taggonmin_is_none_for_huge_ac_budgets() {
         let (mut module, site) = setup("S0");
         // With 10 million activations a full cycle does not even fit the budget.
-        let out = find_t_aggon_min(&mut module, &site, 10_000_000, DataPattern::Checkerboard, &cfg()).unwrap();
+        let out = find_t_aggon_min(
+            &mut module,
+            &site,
+            10_000_000,
+            DataPattern::Checkerboard,
+            &cfg(),
+        )
+        .unwrap();
         assert!(out.is_none());
-        let out = find_t_aggon_min(&mut module, &site, 0, DataPattern::Checkerboard, &cfg()).unwrap();
+        let out =
+            find_t_aggon_min(&mut module, &site, 0, DataPattern::Checkerboard, &cfg()).unwrap();
         assert!(out.is_none());
     }
 
     #[test]
     fn flips_at_ac_max_returns_consistent_ac() {
         let (mut module, site) = setup("S3");
-        let (ac_max, flips) = flips_at_ac_max(&mut module, &site, Time::from_ns(36.0), DataPattern::Checkerboard, &cfg()).unwrap();
+        let (ac_max, flips) = flips_at_ac_max(
+            &mut module,
+            &site,
+            Time::from_ns(36.0),
+            DataPattern::Checkerboard,
+            &cfg(),
+        )
+        .unwrap();
         let timing = *module.timing();
-        assert_eq!(ac_max, timing.max_activations_within(Time::from_ns(36.0), cfg().budget));
+        assert_eq!(
+            ac_max,
+            timing.max_activations_within(Time::from_ns(36.0), cfg().budget)
+        );
         assert!(!flips.is_empty(), "the D-die flips at ACmax");
     }
 }

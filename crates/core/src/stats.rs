@@ -44,10 +44,26 @@ impl BoxSummary {
         } else {
             (&sorted[..n / 2], &sorted[n / 2 + 1..])
         };
-        let q1 = if lower.is_empty() { sorted[0] } else { median_of(lower) };
-        let q3 = if upper.is_empty() { sorted[n - 1] } else { median_of(upper) };
+        let q1 = if lower.is_empty() {
+            sorted[0]
+        } else {
+            median_of(lower)
+        };
+        let q3 = if upper.is_empty() {
+            sorted[n - 1]
+        } else {
+            median_of(upper)
+        };
         let mean = sorted.iter().sum::<f64>() / n as f64;
-        Some(BoxSummary { min: sorted[0], q1, median, q3, max: sorted[n - 1], mean, count: n })
+        Some(BoxSummary {
+            min: sorted[0],
+            q1,
+            median,
+            q3,
+            max: sorted[n - 1],
+            mean,
+            count: n,
+        })
     }
 
     /// The interquartile range (box height of the paper's plots).
@@ -135,7 +151,12 @@ impl Aggregate {
             max = max.max(v);
             sum += v;
         }
-        Some(Aggregate { mean: sum / values.len() as f64, min, max, count: values.len() })
+        Some(Aggregate {
+            mean: sum / values.len() as f64,
+            min,
+            max,
+            count: values.len(),
+        })
     }
 }
 

@@ -1,28 +1,23 @@
 //! High-level characterization studies: the experiment drivers behind every
 //! figure in the paper's §4 and §5.
 //!
-//! Each driver sweeps a set of modules and experimental knobs and returns a
-//! flat table of records; the bench targets aggregate those records into the
-//! exact series the paper plots.
+//! Each driver expresses its study as a declarative [`Plan`] grid and runs it
+//! through the shared [`Engine`] — a bounded worker pool with an in-process
+//! trial cache — then shapes the engine's [`TrialRecord`] stream into the
+//! flat record tables the bench targets aggregate. The public signatures are
+//! unchanged from the original hand-written nested-loop drivers, so every
+//! figure/table bench keeps compiling; only the execution path moved.
 
 use crate::config::ExperimentConfig;
-use crate::patterns::{run_pattern, PatternInstance, PatternKind, PatternSite};
-use crate::search::{find_ac_min, find_t_aggon_min, flips_at_ac_max};
+use crate::engine::{Engine, Jitter, Measurement, Plan, TrialOutcome, TrialRecord};
+use crate::patterns::PatternKind;
 use rowpress_dram::{
-    BankId, Bitflip, CellAddr, DataPattern, DramModule, DramResult, FlipMechanism, Manufacturer,
-    ModuleSpec, RowId, RowRole, Time,
+    Bitflip, CellAddr, DataPattern, DramResult, Manufacturer, ModuleSpec, RowId, Time,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
-/// The bank the paper tests (bank 1 of every module).
-pub const TEST_BANK: BankId = BankId(1);
-
-fn build_module(spec: &ModuleSpec, cfg: &ExperimentConfig, temperature_c: f64) -> DramModule {
-    let mut module = DramModule::new(spec, cfg.geometry);
-    module.set_temperature(temperature_c);
-    module
-}
+pub use crate::engine::TEST_BANK;
 
 /// Identity of the module a record came from.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -80,6 +75,32 @@ impl AcMinRecord {
     }
 }
 
+fn acmin_record(record: TrialRecord) -> AcMinRecord {
+    let TrialRecord { trial, outcome } = record;
+    let Measurement::AcMin { t_aggon } = trial.measurement else {
+        unreachable!("ACmin plans only contain ACmin measurements");
+    };
+    let TrialOutcome::AcMin {
+        ac_min,
+        ac_max,
+        flips,
+    } = outcome
+    else {
+        unreachable!("ACmin trials produce ACmin outcomes");
+    };
+    AcMinRecord {
+        module: ModuleKey::of(&trial.spec),
+        kind: trial.kind,
+        temperature_c: trial.temperature_c,
+        t_aggon,
+        site_row: trial.row,
+        ac_min,
+        ac_max,
+        flip_cells: flips.iter().map(|f| f.addr).collect(),
+        one_to_zero: flips.iter().filter(|f| f.is_one_to_zero()).count(),
+    }
+}
+
 /// Runs the ACmin search for every (module, temperature, tAggON, tested row)
 /// combination. This is the workhorse behind Figs. 1 and 6–18.
 pub fn acmin_sweep(
@@ -89,46 +110,14 @@ pub fn acmin_sweep(
     temperatures: &[f64],
     t_aggons: &[Time],
 ) -> Vec<AcMinRecord> {
-    crate::campaign::par_map_modules(modules, |spec| {
-        let mut records = Vec::new();
-        for &temp in temperatures {
-            let mut module = build_module(spec, cfg, temp);
-            for &row in &cfg.tested_sites() {
-                let site = PatternSite::for_kind(kind, TEST_BANK, row, cfg.geometry.rows_per_bank);
-                for &t_aggon in t_aggons {
-                    let outcome =
-                        find_ac_min(&mut module, &site, t_aggon, cfg.data_pattern, cfg).expect("valid site");
-                    let (ac_min, ac_max, flip_cells, one_to_zero) = match outcome {
-                        Some(o) => {
-                            let cells: Vec<CellAddr> = o.flips.iter().map(|f| f.addr).collect();
-                            let ones = o.flips.iter().filter(|f| f.is_one_to_zero()).count();
-                            (Some(o.ac_min), o.ac_max, cells, ones)
-                        }
-                        None => {
-                            let ac_max =
-                                module.timing().max_activations_within(t_aggon, cfg.budget);
-                            (None, ac_max, Vec::new(), 0)
-                        }
-                    };
-                    records.push(AcMinRecord {
-                        module: ModuleKey::of(spec),
-                        kind,
-                        temperature_c: temp,
-                        t_aggon,
-                        site_row: row,
-                        ac_min,
-                        ac_max,
-                        flip_cells,
-                        one_to_zero,
-                    });
-                }
-            }
-        }
-        records
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    let plan = Plan::grid(cfg)
+        .modules(modules)
+        .temperatures(temperatures)
+        .kind(kind)
+        .measurements(t_aggons.iter().map(|&t| Measurement::AcMin { t_aggon: t }))
+        .build();
+    let records = Engine::shared(cfg).run_collect(&plan).expect("valid site");
+    records.into_iter().map(acmin_record).collect()
 }
 
 /// Per-die aggregation of ACmin values at one (tAggON, temperature) point.
@@ -139,7 +128,11 @@ pub fn acmin_by_die(
     for r in records {
         if let Some(ac) = r.ac_min {
             groups
-                .entry((r.module.die_label.clone(), r.module.manufacturer, r.t_aggon.as_ps()))
+                .entry((
+                    r.module.die_label.clone(),
+                    r.module.manufacturer,
+                    r.t_aggon.as_ps(),
+                ))
                 .or_default()
                 .push(ac as f64);
         }
@@ -155,7 +148,9 @@ pub fn acmin_by_die(
 pub fn fraction_rows_with_flips(records: &[AcMinRecord]) -> BTreeMap<(String, u64), f64> {
     let mut totals: BTreeMap<(String, u64), (usize, usize)> = BTreeMap::new();
     for r in records {
-        let entry = totals.entry((r.module.die_label.clone(), r.t_aggon.as_ps())).or_insert((0, 0));
+        let entry = totals
+            .entry((r.module.die_label.clone(), r.t_aggon.as_ps()))
+            .or_insert((0, 0));
         entry.1 += 1;
         if r.ac_min.is_some() {
             entry.0 += 1;
@@ -171,7 +166,9 @@ pub fn fraction_rows_with_flips(records: &[AcMinRecord]) -> BTreeMap<(String, u6
 pub fn fraction_one_to_zero(records: &[AcMinRecord]) -> BTreeMap<(String, u64), f64> {
     let mut totals: BTreeMap<(String, u64), (usize, usize)> = BTreeMap::new();
     for r in records {
-        let entry = totals.entry((r.module.die_label.clone(), r.t_aggon.as_ps())).or_insert((0, 0));
+        let entry = totals
+            .entry((r.module.die_label.clone(), r.t_aggon.as_ps()))
+            .or_insert((0, 0));
         entry.0 += r.one_to_zero;
         entry.1 += r.flip_count();
     }
@@ -208,31 +205,35 @@ pub fn taggonmin_sweep(
     activation_counts: &[u64],
     temperatures: &[f64],
 ) -> Vec<TAggOnMinRecord> {
-    crate::campaign::par_map_modules(modules, |spec| {
-        let mut records = Vec::new();
-        for &temp in temperatures {
-            let mut module = build_module(spec, cfg, temp);
-            for &row in &cfg.tested_sites() {
-                let site =
-                    PatternSite::single_sided(TEST_BANK, row, cfg.geometry.rows_per_bank);
-                for &ac in activation_counts {
-                    let t_min =
-                        find_t_aggon_min(&mut module, &site, ac, cfg.data_pattern, cfg).expect("valid site");
-                    records.push(TAggOnMinRecord {
-                        module: ModuleKey::of(spec),
-                        temperature_c: temp,
-                        ac,
-                        site_row: row,
-                        t_aggon_min: t_min,
-                    });
-                }
+    let plan = Plan::grid(cfg)
+        .modules(modules)
+        .temperatures(temperatures)
+        .kind(PatternKind::SingleSided)
+        .measurements(
+            activation_counts
+                .iter()
+                .map(|&ac| Measurement::TAggOnMin { ac }),
+        )
+        .build();
+    let records = Engine::shared(cfg).run_collect(&plan).expect("valid site");
+    records
+        .into_iter()
+        .map(|TrialRecord { trial, outcome }| {
+            let Measurement::TAggOnMin { ac } = trial.measurement else {
+                unreachable!("tAggONmin plans only contain tAggONmin measurements");
+            };
+            let TrialOutcome::TAggOnMin { t_aggon_min } = outcome else {
+                unreachable!("tAggONmin trials produce tAggONmin outcomes");
+            };
+            TAggOnMinRecord {
+                module: ModuleKey::of(&trial.spec),
+                temperature_c: trial.temperature_c,
+                ac,
+                site_row: trial.row,
+                t_aggon_min,
             }
-        }
-        records
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -270,34 +271,35 @@ pub fn acmax_sweep(
     temperatures: &[f64],
     t_aggons: &[Time],
 ) -> Vec<AcMaxRecord> {
-    crate::campaign::par_map_modules(modules, |spec| {
-        let mut records = Vec::new();
-        for &temp in temperatures {
-            let mut module = build_module(spec, cfg, temp);
-            for &row in &cfg.tested_sites() {
-                let site = PatternSite::for_kind(kind, TEST_BANK, row, cfg.geometry.rows_per_bank);
-                for &t_aggon in t_aggons {
-                    let (ac, flips) =
-                        flips_at_ac_max(&mut module, &site, t_aggon, cfg.data_pattern, cfg).expect("valid site");
-                    let max_ber = max_ber_per_row(&flips, cfg.geometry.bits_per_row);
-                    records.push(AcMaxRecord {
-                        module: ModuleKey::of(spec),
-                        kind,
-                        temperature_c: temp,
-                        t_aggon,
-                        site_row: row,
-                        ac,
-                        flips,
-                        max_ber,
-                    });
-                }
+    let plan = Plan::grid(cfg)
+        .modules(modules)
+        .temperatures(temperatures)
+        .kind(kind)
+        .measurements(t_aggons.iter().map(|&t| Measurement::AcMax { t_aggon: t }))
+        .build();
+    let records = Engine::shared(cfg).run_collect(&plan).expect("valid site");
+    records
+        .into_iter()
+        .map(|TrialRecord { trial, outcome }| {
+            let Measurement::AcMax { t_aggon } = trial.measurement else {
+                unreachable!("ACmax plans only contain ACmax measurements");
+            };
+            let TrialOutcome::AcMax { ac, flips } = outcome else {
+                unreachable!("ACmax trials produce ACmax outcomes");
+            };
+            let max_ber = max_ber_per_row(&flips, cfg.geometry.bits_per_row);
+            AcMaxRecord {
+                module: ModuleKey::of(&trial.spec),
+                kind: trial.kind,
+                temperature_c: trial.temperature_c,
+                t_aggon,
+                site_row: trial.row,
+                ac,
+                flips,
+                max_ber,
             }
-        }
-        records
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+        })
+        .collect()
 }
 
 /// The highest per-row bit error rate in a flip set.
@@ -317,7 +319,11 @@ pub fn max_ber_per_row(flips: &[Bitflip], bits_per_row: u32) -> f64 {
 pub fn bitflips_per_word(flips: &[Bitflip], word_bits: u32) -> Vec<usize> {
     let mut per_word: BTreeMap<(u32, u32, u32), usize> = BTreeMap::new();
     for f in flips {
-        let key = (f.addr.bank.0 as u32, f.addr.row.0, f.addr.column.0 / word_bits);
+        let key = (
+            f.addr.bank.0 as u32,
+            f.addr.row.0,
+            f.addr.column.0 / word_bits,
+        );
         *per_word.entry(key).or_default() += 1;
     }
     per_word.into_values().collect()
@@ -356,44 +362,46 @@ pub fn onoff_sweep(
     on_fractions: &[f64],
     temperatures: &[f64],
 ) -> Vec<OnOffRecord> {
-    crate::campaign::par_map_modules(modules, |spec| {
-        let mut records = Vec::new();
-        for &temp in temperatures {
-            let mut module = build_module(spec, cfg, temp);
-            let timing = *module.timing();
-            for &kind in kinds {
-                for &row in &cfg.tested_sites() {
-                    let site = PatternSite::for_kind(kind, TEST_BANK, row, cfg.geometry.rows_per_bank);
-                    for &delta in deltas {
-                        for &frac in on_fractions {
-                            let t_on = timing.t_ras + delta * frac;
-                            let t_off = timing.t_rp + delta * (1.0 - frac);
-                            let cycle = t_on + t_off;
-                            let ac = cfg.budget.as_ps() / cycle.as_ps();
-                            let instance =
-                                PatternInstance { t_aggon: t_on, t_aggoff: t_off, total_acts: ac };
-                            let flips = run_pattern(&mut module, &site, instance, cfg.data_pattern)
-                                .expect("valid site");
-                            let ber = max_ber_per_row(&flips, cfg.geometry.bits_per_row);
-                            records.push(OnOffRecord {
-                                module: ModuleKey::of(spec),
-                                kind,
-                                temperature_c: temp,
-                                delta_a2a: delta,
-                                on_fraction: frac,
-                                ac,
-                                ber,
-                            });
-                        }
-                    }
-                }
+    let measurements: Vec<Measurement> = deltas
+        .iter()
+        .flat_map(|&delta| {
+            on_fractions.iter().map(move |&frac| Measurement::OnOff {
+                delta_a2a: delta,
+                on_fraction: frac,
+            })
+        })
+        .collect();
+    let plan = Plan::grid(cfg)
+        .modules(modules)
+        .temperatures(temperatures)
+        .kinds(kinds)
+        .measurements(measurements)
+        .build();
+    let records = Engine::shared(cfg).run_collect(&plan).expect("valid site");
+    records
+        .into_iter()
+        .map(|TrialRecord { trial, outcome }| {
+            let Measurement::OnOff {
+                delta_a2a,
+                on_fraction,
+            } = trial.measurement
+            else {
+                unreachable!("ONOFF plans only contain ONOFF measurements");
+            };
+            let TrialOutcome::OnOff { ac, flips } = outcome else {
+                unreachable!("ONOFF trials produce ONOFF outcomes");
+            };
+            OnOffRecord {
+                module: ModuleKey::of(&trial.spec),
+                kind: trial.kind,
+                temperature_c: trial.temperature_c,
+                delta_a2a,
+                on_fraction,
+                ac,
+                ber: max_ber_per_row(&flips, cfg.geometry.bits_per_row),
             }
-        }
-        records
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -409,25 +417,22 @@ pub fn retention_failures(
     temperature_c: f64,
     duration: Time,
 ) -> DramResult<HashSet<CellAddr>> {
-    let mut module = build_module(spec, cfg, temperature_c);
-    let mut cells = HashSet::new();
-    for &row in &cfg.tested_sites() {
-        let site = PatternSite::single_sided(TEST_BANK, row, cfg.geometry.rows_per_bank);
-        for &victim in &site.victims {
-            module.init_row_pattern(TEST_BANK, victim, cfg.data_pattern, RowRole::Victim)?;
-        }
-        module.idle(duration);
-        for &victim in &site.victims {
-            for flip in module.check_row(TEST_BANK, victim)? {
-                if flip.mechanism == FlipMechanism::Retention {
-                    cells.insert(flip.addr);
-                }
-            }
-        }
-        module.reset();
-        module.set_temperature(temperature_c);
-    }
-    Ok(cells)
+    let plan = Plan::grid(cfg)
+        .module(spec)
+        .temperatures(&[temperature_c])
+        .measurement(Measurement::Retention { duration })
+        .build();
+    let records = Engine::shared(cfg).run_collect(&plan)?;
+    Ok(records
+        .into_iter()
+        .flat_map(|record| {
+            let TrialOutcome::Retention { flips } = record.outcome else {
+                unreachable!("retention trials produce retention outcomes");
+            };
+            flips
+        })
+        .map(|f| f.addr)
+        .collect())
 }
 
 /// Overlap between two cell populations: `|a ∩ b| / |a|`; zero when `a` is
@@ -457,9 +462,11 @@ pub struct OverlapRecord {
     pub press_cells: usize,
 }
 
-/// Computes per-(module, tAggON) overlap ratios from ACmin (or ACmax) records.
-/// The records at the smallest tAggON (tRAS) serve as the RowHammer reference
-/// population.
+/// Computes per-(module, tAggON) overlap ratios from engine-produced ACmin
+/// records ([`acmin_sweep`]) and retention populations
+/// ([`retention_failures`]). The records at the smallest tAggON (tRAS) serve
+/// as the RowHammer reference population; this function itself is pure
+/// aggregation — both of its cell populations come out of [`Engine`] runs.
 pub fn overlap_analysis(
     records: &[AcMinRecord],
     retention: &BTreeMap<String, HashSet<CellAddr>>,
@@ -468,14 +475,20 @@ pub fn overlap_analysis(
     let t_ras_ps = records.iter().map(|r| r.t_aggon.as_ps()).min().unwrap_or(0);
     let mut hammer_cells: BTreeMap<String, HashSet<CellAddr>> = BTreeMap::new();
     for r in records.iter().filter(|r| r.t_aggon.as_ps() == t_ras_ps) {
-        hammer_cells.entry(r.module.module_id.clone()).or_default().extend(r.flip_cells.iter().copied());
+        hammer_cells
+            .entry(r.module.module_id.clone())
+            .or_default()
+            .extend(r.flip_cells.iter().copied());
     }
     // Press populations per (module, tAggON).
     let mut press: BTreeMap<(String, u64), HashSet<CellAddr>> = BTreeMap::new();
     let mut keys: BTreeMap<(String, u64), ModuleKey> = BTreeMap::new();
     for r in records.iter().filter(|r| r.t_aggon.as_ps() > t_ras_ps) {
         let key = (r.module.module_id.clone(), r.t_aggon.as_ps());
-        press.entry(key.clone()).or_default().extend(r.flip_cells.iter().copied());
+        press
+            .entry(key.clone())
+            .or_default()
+            .extend(r.flip_cells.iter().copied());
         keys.entry(key).or_insert_with(|| r.module.clone());
     }
     let empty = HashSet::new();
@@ -528,41 +541,40 @@ pub fn data_pattern_sweep(
     t_aggons: &[Time],
     temperature_c: f64,
 ) -> Vec<DataPatternRecord> {
-    let mut module = build_module(spec, cfg, temperature_c);
-    let sites: Vec<PatternSite> = cfg
-        .tested_sites()
-        .iter()
-        .map(|&row| PatternSite::for_kind(kind, TEST_BANK, row, cfg.geometry.rows_per_bank))
-        .collect();
+    let plan = Plan::grid(cfg)
+        .module(spec)
+        .temperatures(&[temperature_c])
+        .kind(kind)
+        .data_patterns(patterns)
+        .measurements(t_aggons.iter().map(|&t| Measurement::AcMin { t_aggon: t }))
+        .build();
+    let trial_records = Engine::shared(cfg).run_collect(&plan).expect("valid site");
 
-    // mean ACmin per (pattern, t_aggon)
-    let mut means: BTreeMap<(DataPattern, u64), Option<f64>> = BTreeMap::new();
-    for &pattern in patterns {
-        for &t_aggon in t_aggons {
-            let mut values = Vec::new();
-            let mut any_row_tested = false;
-            for site in &sites {
-                any_row_tested = true;
-                let sweep_cfg = cfg.with_data_pattern(pattern);
-                if let Some(out) =
-                    find_ac_min(&mut module, site, t_aggon, pattern, &sweep_cfg).expect("valid site")
-                {
-                    values.push(out.ac_min as f64);
-                }
-            }
-            let mean = if values.is_empty() || !any_row_tested {
-                None
-            } else {
-                crate::stats::mean(&values)
-            };
-            means.insert((pattern, t_aggon.as_ps()), mean);
+    // Mean ACmin across tested rows per (pattern, tAggON).
+    let mut values: BTreeMap<(DataPattern, u64), Vec<f64>> = BTreeMap::new();
+    for record in trial_records {
+        let Measurement::AcMin { t_aggon } = record.trial.measurement else {
+            unreachable!("ACmin plans only contain ACmin measurements");
+        };
+        let TrialOutcome::AcMin { ac_min, .. } = record.outcome else {
+            unreachable!("ACmin trials produce ACmin outcomes");
+        };
+        let entry = values
+            .entry((record.trial.data_pattern, t_aggon.as_ps()))
+            .or_default();
+        if let Some(ac) = ac_min {
+            entry.push(ac as f64);
         }
     }
+    let means: BTreeMap<(DataPattern, u64), Option<f64>> = values
+        .into_iter()
+        .map(|(k, v)| (k, crate::stats::mean(&v)))
+        .collect();
 
     let mut records = Vec::new();
     for &pattern in patterns {
         for &t_aggon in t_aggons {
-            let mean_ac_min = means[&(pattern, t_aggon.as_ps())];
+            let mean_ac_min = means.get(&(pattern, t_aggon.as_ps())).copied().flatten();
             let cb = means
                 .get(&(DataPattern::Checkerboard, t_aggon.as_ps()))
                 .copied()
@@ -618,7 +630,8 @@ impl RepeatabilityRecord {
 /// Repeats the at-ACmax measurement `iterations` times with per-iteration
 /// threshold jitter and reports how often each bitflip recurs. The jitter
 /// models run-to-run variation of borderline cells; `jitter_sigma = 0` makes
-/// every flip perfectly repeatable.
+/// every flip perfectly repeatable (and lets the engine's trial cache collapse
+/// the iterations into one computation).
 pub fn repeatability_study(
     cfg: &ExperimentConfig,
     spec: &ModuleSpec,
@@ -628,17 +641,21 @@ pub fn repeatability_study(
     iterations: u32,
     jitter_sigma: f64,
 ) -> RepeatabilityRecord {
-    let mut module = build_module(spec, cfg, temperature_c);
+    let plan = Plan::grid(cfg)
+        .module(spec)
+        .temperatures(&[temperature_c])
+        .kind(kind)
+        .jitters((0..iterations).map(|i| Jitter::seeded(jitter_sigma, u64::from(i) + 1)))
+        .measurement(Measurement::AcMax { t_aggon })
+        .build();
+    let records = Engine::shared(cfg).run_collect(&plan).expect("valid site");
     let mut counts: BTreeMap<CellAddr, usize> = BTreeMap::new();
-    for iter in 0..iterations {
-        module.set_flip_jitter(jitter_sigma, u64::from(iter) + 1);
-        for &row in &cfg.tested_sites() {
-            let site = PatternSite::for_kind(kind, TEST_BANK, row, cfg.geometry.rows_per_bank);
-            let (_, flips) =
-                flips_at_ac_max(&mut module, &site, t_aggon, cfg.data_pattern, cfg).expect("valid site");
-            for f in flips {
-                *counts.entry(f.addr).or_default() += 1;
-            }
+    for record in records {
+        let TrialOutcome::AcMax { flips, .. } = record.outcome else {
+            unreachable!("ACmax trials produce ACmax outcomes");
+        };
+        for f in flips {
+            *counts.entry(f.addr).or_default() += 1;
         }
     }
     let mut occurrences = vec![0usize; iterations as usize];
@@ -648,7 +665,12 @@ pub fn repeatability_study(
             occurrences[idx - 1] += 1;
         }
     }
-    RepeatabilityRecord { module: ModuleKey::of(spec), t_aggon, iterations, occurrences }
+    RepeatabilityRecord {
+        module: ModuleKey::of(spec),
+        t_aggon,
+        iterations,
+        occurrences,
+    }
 }
 
 #[cfg(test)]
@@ -668,13 +690,26 @@ mod tests {
     fn acmin_sweep_produces_one_record_per_point() {
         let cfg = cfg();
         let taggons = [Time::from_ns(36.0), Time::from_ms(30.0)];
-        let records =
-            acmin_sweep(&cfg, &[spec("S3")], PatternKind::SingleSided, &[50.0], &taggons);
+        let records = acmin_sweep(
+            &cfg,
+            &[spec("S3")],
+            PatternKind::SingleSided,
+            &[50.0],
+            &taggons,
+        );
         assert_eq!(records.len(), cfg.rows_per_module as usize * taggons.len());
         // The D-die flips at both points; ACmin at 30 ms is far smaller.
         let by_die = acmin_by_die(&records);
-        let hammer = by_die[&("8Gb D-Die".to_string(), Manufacturer::S, Time::from_ns(36.0).as_ps())];
-        let press = by_die[&("8Gb D-Die".to_string(), Manufacturer::S, Time::from_ms(30.0).as_ps())];
+        let hammer = by_die[&(
+            "8Gb D-Die".to_string(),
+            Manufacturer::S,
+            Time::from_ns(36.0).as_ps(),
+        )];
+        let press = by_die[&(
+            "8Gb D-Die".to_string(),
+            Manufacturer::S,
+            Time::from_ms(30.0).as_ps(),
+        )];
         assert!(press.mean < hammer.mean / 100.0);
     }
 
@@ -682,11 +717,19 @@ mod tests {
     fn fraction_rows_and_direction_aggregations() {
         let cfg = cfg();
         let taggons = [Time::from_ns(36.0), Time::from_ms(30.0)];
-        let records =
-            acmin_sweep(&cfg, &[spec("S3")], PatternKind::SingleSided, &[50.0], &taggons);
+        let records = acmin_sweep(
+            &cfg,
+            &[spec("S3")],
+            PatternKind::SingleSided,
+            &[50.0],
+            &taggons,
+        );
         let fractions = fraction_rows_with_flips(&records);
         let press_frac = fractions[&("8Gb D-Die".to_string(), Time::from_ms(30.0).as_ps())];
-        assert!(press_frac > 0.5, "most D-die rows flip at 30 ms, got {press_frac}");
+        assert!(
+            press_frac > 0.5,
+            "most D-die rows flip at 30 ms, got {press_frac}"
+        );
         let directions = fraction_one_to_zero(&records);
         // RowHammer flips are dominantly 0->1, RowPress flips dominantly 1->0
         // for a die with few anti-cells (Obsv. 8).
@@ -725,7 +768,10 @@ mod tests {
         assert_eq!(records.len(), cfg.rows_per_module as usize);
         assert!(records.iter().any(|r| r.max_ber > 0.0));
         for r in &records {
-            assert_eq!(r.max_ber, max_ber_per_row(&r.flips, cfg.geometry.bits_per_row));
+            assert_eq!(
+                r.max_ber,
+                max_ber_per_row(&r.flips, cfg.geometry.bits_per_row)
+            );
             assert!(r.ac > 1000);
         }
     }
@@ -762,7 +808,10 @@ mod tests {
         let mean_ber = |delta_ns: f64, frac: f64| -> f64 {
             let v: Vec<f64> = records
                 .iter()
-                .filter(|r| (r.delta_a2a.as_ns() - delta_ns).abs() < 1.0 && (r.on_fraction - frac).abs() < 1e-9)
+                .filter(|r| {
+                    (r.delta_a2a.as_ns() - delta_ns).abs() < 1.0
+                        && (r.on_fraction - frac).abs() < 1e-9
+                })
                 .map(|r| r.ber)
                 .collect();
             crate::stats::mean(&v).unwrap_or(0.0)
@@ -788,8 +837,16 @@ mod tests {
         assert!(!overlaps.is_empty());
         for o in &overlaps {
             assert!(o.t_aggon > Time::from_ns(36.0));
-            assert!(o.with_hammer <= 0.05, "RowPress/RowHammer overlap must be tiny, got {}", o.with_hammer);
-            assert!(o.with_retention <= 0.05, "RowPress/retention overlap must be tiny, got {}", o.with_retention);
+            assert!(
+                o.with_hammer <= 0.05,
+                "RowPress/RowHammer overlap must be tiny, got {}",
+                o.with_hammer
+            );
+            assert!(
+                o.with_retention <= 0.05,
+                "RowPress/retention overlap must be tiny, got {}",
+                o.with_retention
+            );
             assert!(o.press_cells > 0);
         }
     }
@@ -814,7 +871,10 @@ mod tests {
         );
         assert_eq!(records.len(), 4);
         // Checkerboard normalizes to 1.0 against itself.
-        for r in records.iter().filter(|r| r.pattern == DataPattern::Checkerboard) {
+        for r in records
+            .iter()
+            .filter(|r| r.pattern == DataPattern::Checkerboard)
+        {
             if let Some(n) = r.normalized_to_cb {
                 assert!((n - 1.0).abs() < 1e-9);
             }
@@ -826,14 +886,20 @@ mod tests {
             .find(|r| r.pattern == DataPattern::RowStripe && r.t_aggon == Time::from_ns(36.0))
             .unwrap();
         if let Some(n) = rs_hammer.normalized_to_cb {
-            assert!(n <= 1.05, "RowStripe should be competitive for RowHammer, got {n}");
+            assert!(
+                n <= 1.05,
+                "RowStripe should be competitive for RowHammer, got {n}"
+            );
         }
         let rs_press = records
             .iter()
             .find(|r| r.pattern == DataPattern::RowStripe && r.t_aggon == Time::from_ms(6.0))
             .unwrap();
         match rs_press.normalized_to_cb {
-            Some(n) => assert!(n > 1.0, "RowStripe must be worse than CB for RowPress, got {n}"),
+            Some(n) => assert!(
+                n > 1.0,
+                "RowStripe must be worse than CB for RowPress, got {n}"
+            ),
             None => {} // no bitflips at all: the paper's "No Bitflip" cells
         }
     }
@@ -867,6 +933,9 @@ mod tests {
         );
         assert!(jittered.fully_repeatable_fraction() <= 1.0);
         let partial: usize = jittered.occurrences[..4].iter().sum();
-        assert!(partial > 0, "with jitter some borderline flips must not repeat every time");
+        assert!(
+            partial > 0,
+            "with jitter some borderline flips must not repeat every time"
+        );
     }
 }

@@ -9,13 +9,17 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a bank within a rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct BankId(pub u16);
 
 /// Identifies a DRAM row within a bank. Row ids used by the characterization
 /// code are **physical** row numbers (i.e. after reverse-engineering the
 /// in-DRAM remapping), so adjacency in id space means physical adjacency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct RowId(pub u32);
 
 impl RowId {
@@ -38,7 +42,9 @@ impl fmt::Display for RowId {
 }
 
 /// Identifies one cell (one bit) within a row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ColumnId(pub u32);
 
 /// A fully qualified cell address within a module: bank, row, column(bit).
@@ -89,18 +95,33 @@ pub struct Geometry {
 impl Geometry {
     /// Geometry of a real 8 Gb x8 DDR4 die: 65536 rows per bank, 8 KiB rows.
     pub fn ddr4_8gb() -> Self {
-        Geometry { banks: 16, rows_per_bank: 65536, bits_per_row: 65536, bits_per_cache_block: 512 }
+        Geometry {
+            banks: 16,
+            rows_per_bank: 65536,
+            bits_per_row: 65536,
+            bits_per_cache_block: 512,
+        }
     }
 
     /// Scaled-down geometry used by the default characterization benches:
     /// 16 banks, 1024 rows per bank, 8192-bit rows (16 cache blocks).
     pub fn scaled_down() -> Self {
-        Geometry { banks: 16, rows_per_bank: 1024, bits_per_row: 8192, bits_per_cache_block: 512 }
+        Geometry {
+            banks: 16,
+            rows_per_bank: 1024,
+            bits_per_row: 8192,
+            bits_per_cache_block: 512,
+        }
     }
 
     /// A tiny geometry for unit tests.
     pub fn tiny() -> Self {
-        Geometry { banks: 2, rows_per_bank: 64, bits_per_row: 1024, bits_per_cache_block: 512 }
+        Geometry {
+            banks: 2,
+            rows_per_bank: 64,
+            bits_per_row: 1024,
+            bits_per_cache_block: 512,
+        }
     }
 
     /// Number of bytes per row.
@@ -184,7 +205,10 @@ pub struct RowMapping {
 impl RowMapping {
     /// Identity mapping (logical == physical).
     pub fn identity() -> Self {
-        RowMapping { xor_mask: 0, group: 1 }
+        RowMapping {
+            xor_mask: 0,
+            group: 1,
+        }
     }
 
     /// A typical vendor mapping that swaps neighbours within groups of 8 rows.
@@ -192,7 +216,10 @@ impl RowMapping {
         // Derive a small mask deterministically from the module seed so
         // different modules get different (but fixed) scrambling.
         let mask = ((seed >> 17) & 0x6) as u32 | 0x1;
-        RowMapping { xor_mask: mask, group: 8 }
+        RowMapping {
+            xor_mask: mask,
+            group: 8,
+        }
     }
 
     /// Maps a logical row address to its physical row address.
@@ -261,7 +288,12 @@ mod tests {
 
     #[test]
     fn tested_rows_cover_first_middle_last() {
-        let g = Geometry { banks: 1, rows_per_bank: 4096, bits_per_row: 1024, bits_per_cache_block: 512 };
+        let g = Geometry {
+            banks: 1,
+            rows_per_bank: 4096,
+            bits_per_row: 1024,
+            bits_per_cache_block: 512,
+        };
         let rows = g.tested_rows(64);
         assert!(rows.contains(&RowId(0)));
         assert!(rows.contains(&RowId(63)));
@@ -287,7 +319,11 @@ mod tests {
 
     #[test]
     fn cell_addr_display_is_informative() {
-        let c = CellAddr { bank: BankId(1), row: RowId(7), column: ColumnId(13) };
+        let c = CellAddr {
+            bank: BankId(1),
+            row: RowId(7),
+            column: ColumnId(13),
+        };
         assert_eq!(format!("{c}"), "b1/R7/c13");
     }
 }

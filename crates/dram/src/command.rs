@@ -103,7 +103,10 @@ mod tests {
 
     #[test]
     fn bank_and_row_extraction() {
-        let act = DramCommand::Act { bank: BankId(1), row: RowId(42) };
+        let act = DramCommand::Act {
+            bank: BankId(1),
+            row: RowId(42),
+        };
         assert_eq!(act.bank(), Some(BankId(1)));
         assert_eq!(act.row(), Some(RowId(42)));
         let pre = DramCommand::Pre { bank: BankId(3) };
@@ -117,18 +120,46 @@ mod tests {
     fn bus_occupancy() {
         assert!(DramCommand::Ref.is_bus_command());
         assert!(!DramCommand::Nop.is_bus_command());
-        assert!(DramCommand::Act { bank: BankId(0), row: RowId(0) }.is_bus_command());
+        assert!(DramCommand::Act {
+            bank: BankId(0),
+            row: RowId(0)
+        }
+        .is_bus_command());
     }
 
     #[test]
     fn display_and_mnemonics() {
-        let rd = DramCommand::Rd { bank: BankId(1), column: ColumnId(5) };
+        let rd = DramCommand::Rd {
+            bank: BankId(1),
+            column: ColumnId(5),
+        };
         assert_eq!(format!("{rd}"), "RD b1 c5");
         assert_eq!(rd.mnemonic(), "RD");
         assert_eq!(DramCommand::Ref.mnemonic(), "REF");
-        assert_eq!(format!("{}", DramCommand::Act { bank: BankId(0), row: RowId(9) }), "ACT b0 R9");
-        assert_eq!(format!("{}", DramCommand::Pre { bank: BankId(2) }), "PRE b2");
-        assert_eq!(format!("{}", DramCommand::Wr { bank: BankId(0), column: ColumnId(1) }), "WR b0 c1");
+        assert_eq!(
+            format!(
+                "{}",
+                DramCommand::Act {
+                    bank: BankId(0),
+                    row: RowId(9)
+                }
+            ),
+            "ACT b0 R9"
+        );
+        assert_eq!(
+            format!("{}", DramCommand::Pre { bank: BankId(2) }),
+            "PRE b2"
+        );
+        assert_eq!(
+            format!(
+                "{}",
+                DramCommand::Wr {
+                    bank: BankId(0),
+                    column: ColumnId(1)
+                }
+            ),
+            "WR b0 c1"
+        );
         assert_eq!(format!("{}", DramCommand::Nop), "NOP");
     }
 }

@@ -126,8 +126,11 @@ impl FaultModel {
         tested_rows_hint: u64,
     ) -> Self {
         let n_rows = tested_rows_hint.max(2);
-        let hammer_row =
-            LogNormal::from_mean_and_min(profile.hammer_acmin_mean, profile.hammer_acmin_min, n_rows);
+        let hammer_row = LogNormal::from_mean_and_min(
+            profile.hammer_acmin_mean,
+            profile.hammer_acmin_min,
+            n_rows,
+        );
         let press_row = profile
             .press
             .map(|p| LogNormal::from_mean_and_min(p.t_mean_ms_50c, p.t_min_ms_50c, n_rows));
@@ -176,7 +179,14 @@ impl FaultModel {
     /// Convenience constructor with the default physics configuration and the
     /// paper's 3072-row testing footprint.
     pub fn with_defaults(profile: DieProfile, geometry: Geometry, seed: u64) -> Self {
-        Self::new(profile, geometry, TimingParams::ddr4(), seed, FaultModelConfig::default(), 3072)
+        Self::new(
+            profile,
+            geometry,
+            TimingParams::ddr4(),
+            seed,
+            FaultModelConfig::default(),
+            3072,
+        )
     }
 
     /// The die profile this model was built from.
@@ -210,7 +220,12 @@ impl FaultModel {
     /// The row's RowHammer ACmin under reference conditions (single-sided
     /// pattern, tAggON = tRAS, checkerboard data, 50 °C).
     pub fn row_hammer_acmin_base(&self, bank: BankId, row: RowId) -> f64 {
-        let u = self.unit(&[self.seed, salt::HAMMER_ROW, u64::from(bank.0), u64::from(row.0)]);
+        let u = self.unit(&[
+            self.seed,
+            salt::HAMMER_ROW,
+            u64::from(bank.0),
+            u64::from(row.0),
+        ]);
         self.hammer_row.sample_from_uniform(u).max(1.0)
     }
 
@@ -220,7 +235,12 @@ impl FaultModel {
     /// press-vulnerable.
     pub fn row_press_time_us(&self, bank: BankId, row: RowId) -> Option<f64> {
         let dist = self.press_row.as_ref()?;
-        let u = self.unit(&[self.seed, salt::PRESS_ROW, u64::from(bank.0), u64::from(row.0)]);
+        let u = self.unit(&[
+            self.seed,
+            salt::PRESS_ROW,
+            u64::from(bank.0),
+            u64::from(row.0),
+        ]);
         Some(dist.sample_from_uniform(u) * 1_000.0) // ms -> us
     }
 
@@ -230,8 +250,20 @@ impl FaultModel {
 
     fn anchor_columns(&self, anchor_salt: u64, bank: BankId, row: RowId) -> [u32; 2] {
         let bits = u64::from(self.geometry.bits_per_row);
-        let h1 = hash_words(&[self.seed, anchor_salt, 1, u64::from(bank.0), u64::from(row.0)]);
-        let h2 = hash_words(&[self.seed, anchor_salt, 2, u64::from(bank.0), u64::from(row.0)]);
+        let h1 = hash_words(&[
+            self.seed,
+            anchor_salt,
+            1,
+            u64::from(bank.0),
+            u64::from(row.0),
+        ]);
+        let h2 = hash_words(&[
+            self.seed,
+            anchor_salt,
+            2,
+            u64::from(bank.0),
+            u64::from(row.0),
+        ]);
         // One anchor at an even column and one at an odd column so that, for
         // any repeating-byte data pattern, at least one of the row's weakest
         // cells sits in the charge state the mechanism can attack.
@@ -246,8 +278,11 @@ impl FaultModel {
 
     /// The columns of the row's two weakest press cells.
     pub fn press_anchor_columns(&self, bank: BankId, row: RowId) -> [u32; 2] {
-        let anchor_salt =
-            if self.config.correlate_hammer_press { salt::HAMMER_ANCHOR } else { salt::PRESS_ANCHOR };
+        let anchor_salt = if self.config.correlate_hammer_press {
+            salt::HAMMER_ANCHOR
+        } else {
+            salt::PRESS_ANCHOR
+        };
         self.anchor_columns(anchor_salt, bank, row)
     }
 
@@ -297,7 +332,11 @@ impl FaultModel {
         if anchors.contains(&addr.column.0) {
             return 1.0;
         }
-        let cell_salt = if self.config.correlate_hammer_press { salt::HAMMER_CELL } else { salt::PRESS_CELL };
+        let cell_salt = if self.config.correlate_hammer_press {
+            salt::HAMMER_CELL
+        } else {
+            salt::PRESS_CELL
+        };
         let u = self.unit(&[
             self.seed,
             cell_salt,
@@ -357,7 +396,8 @@ impl FaultModel {
         let c = &self.config;
         let on_excess_ns = t_on.saturating_sub(self.timing.t_ras).as_ns();
         let on_boost = 1.0 + c.hammer_on_gain * (1.0 - (-on_excess_ns / c.hammer_on_tau_ns).exp());
-        let off_boost = 1.0 + c.hammer_off_gain * (1.0 - (-t_off.as_ns() / c.hammer_off_tau_ns).exp());
+        let off_boost =
+            1.0 + c.hammer_off_gain * (1.0 - (-t_off.as_ns() / c.hammer_off_tau_ns).exp());
         on_boost * off_boost
     }
 
@@ -428,7 +468,11 @@ impl FaultModel {
 
 /// Convenience: builds a cell address.
 pub fn cell(bank: BankId, row: RowId, column: u32) -> CellAddr {
-    CellAddr { bank, row, column: ColumnId(column) }
+    CellAddr {
+        bank,
+        row,
+        column: ColumnId(column),
+    }
 }
 
 #[cfg(test)]
@@ -460,7 +504,10 @@ mod tests {
             .unwrap();
         let strong = cell(bank, row, strong_col);
         assert!(m.cell_hammer_resistance(weak) < m.cell_hammer_resistance(strong));
-        assert_ne!([hammer_anchor, m.hammer_anchor_columns(bank, row)[1]], press_anchors);
+        assert_ne!(
+            [hammer_anchor, m.hammer_anchor_columns(bank, row)[1]],
+            press_anchors
+        );
     }
 
     #[test]
@@ -472,7 +519,10 @@ mod tests {
             .map(|r| m.row_hammer_acmin_base(BankId(1), RowId(r)))
             .sum::<f64>()
             / 512.0;
-        assert!(mean > 270_000.0 * 0.6 && mean < 270_000.0 * 1.6, "mean = {mean}");
+        assert!(
+            mean > 270_000.0 * 0.6 && mean < 270_000.0 * 1.6,
+            "mean = {mean}"
+        );
         // The minimum over ~3072 rows should be far below the mean.
         let min = (0..3072)
             .map(|r| m.row_hammer_acmin_base(BankId(1), RowId(r)))
@@ -483,8 +533,9 @@ mod tests {
     #[test]
     fn row_press_time_matches_calibration_scale() {
         let m = model();
-        let times: Vec<f64> =
-            (0..1024).filter_map(|r| m.row_press_time_us(BankId(1), RowId(r))).collect();
+        let times: Vec<f64> = (0..1024)
+            .filter_map(|r| m.row_press_time_us(BankId(1), RowId(r)))
+            .collect();
         let mean = times.iter().sum::<f64>() / times.len() as f64;
         // Calibrated to 48 ms = 48000 us.
         assert!(mean > 30_000.0 && mean < 75_000.0, "mean = {mean}");
@@ -511,7 +562,10 @@ mod tests {
             .filter_map(|c| m.cell_press_time_us(cell(bank, row, c)))
             .fold(f64::INFINITY, f64::min);
         assert!(min_cell >= base);
-        assert!(min_cell < base * 2.0, "min_cell = {min_cell}, base = {base}");
+        assert!(
+            min_cell < base * 2.0,
+            "min_cell = {min_cell}, base = {base}"
+        );
     }
 
     #[test]
@@ -617,13 +671,19 @@ mod tests {
             }
         }
         assert!(rows_checked == 64);
-        assert!(overlap <= 1, "weakest hammer and press cells coincide in {overlap}/64 rows");
+        assert!(
+            overlap <= 1,
+            "weakest hammer and press cells coincide in {overlap}/64 rows"
+        );
     }
 
     #[test]
     fn correlated_config_increases_overlap() {
         let die = find_die(Manufacturer::S, DieDensity::Gb8, 'B').unwrap();
-        let cfg = FaultModelConfig { correlate_hammer_press: true, ..Default::default() };
+        let cfg = FaultModelConfig {
+            correlate_hammer_press: true,
+            ..Default::default()
+        };
         let m = FaultModel::new(die, Geometry::tiny(), TimingParams::ddr4(), 3, cfg, 3072);
         let bank = BankId(0);
         let mut coincide = 0;
@@ -631,10 +691,16 @@ mod tests {
             let row = RowId(r);
             let hammer_min = (0..1024)
                 .map(|c| (m.cell_hammer_resistance(cell(bank, row, c)), c))
-                .fold((f64::INFINITY, 0), |acc, x| if x.0 < acc.0 { x } else { acc });
+                .fold(
+                    (f64::INFINITY, 0),
+                    |acc, x| if x.0 < acc.0 { x } else { acc },
+                );
             let press_min = (0..1024)
                 .map(|c| (m.cell_press_time_us(cell(bank, row, c)).unwrap(), c))
-                .fold((f64::INFINITY, 0), |acc, x| if x.0 < acc.0 { x } else { acc });
+                .fold(
+                    (f64::INFINITY, 0),
+                    |acc, x| if x.0 < acc.0 { x } else { acc },
+                );
             if hammer_min.1 == press_min.1 {
                 coincide += 1;
             }

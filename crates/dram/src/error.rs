@@ -45,16 +45,31 @@ impl fmt::Display for DramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DramError::InvalidBank { bank, banks } => {
-                write!(f, "bank {} out of range (module has {} banks)", bank.0, banks)
+                write!(
+                    f,
+                    "bank {} out of range (module has {} banks)",
+                    bank.0, banks
+                )
             }
             DramError::InvalidRow { bank, row, rows } => {
-                write!(f, "row {} out of range in bank {} (bank has {} rows)", row.0, bank.0, rows)
+                write!(
+                    f,
+                    "row {} out of range in bank {} (bank has {} rows)",
+                    row.0, bank.0, rows
+                )
             }
             DramError::RowNotInitialized { bank, row } => {
-                write!(f, "row {} in bank {} was accessed before initialization", row.0, bank.0)
+                write!(
+                    f,
+                    "row {} in bank {} was accessed before initialization",
+                    row.0, bank.0
+                )
             }
             DramError::DataSizeMismatch { expected, actual } => {
-                write!(f, "row data size mismatch: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "row data size mismatch: expected {expected} bytes, got {actual}"
+                )
             }
             DramError::InvalidConfiguration(msg) => write!(f, "invalid configuration: {msg}"),
         }
@@ -72,15 +87,28 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = DramError::InvalidBank { bank: BankId(9), banks: 4 };
+        let e = DramError::InvalidBank {
+            bank: BankId(9),
+            banks: 4,
+        };
         assert!(format!("{e}").contains("bank 9"));
-        let e = DramError::RowNotInitialized { bank: BankId(1), row: RowId(7) };
+        let e = DramError::RowNotInitialized {
+            bank: BankId(1),
+            row: RowId(7),
+        };
         assert!(format!("{e}").contains("row 7"));
-        let e = DramError::DataSizeMismatch { expected: 128, actual: 64 };
+        let e = DramError::DataSizeMismatch {
+            expected: 128,
+            actual: 64,
+        };
         assert!(format!("{e}").contains("128"));
         let e = DramError::InvalidConfiguration("bad".into());
         assert!(format!("{e}").contains("bad"));
-        let e = DramError::InvalidRow { bank: BankId(0), row: RowId(99), rows: 64 };
+        let e = DramError::InvalidRow {
+            bank: BankId(0),
+            row: RowId(99),
+            rows: 64,
+        };
         assert!(format!("{e}").contains("99"));
     }
 

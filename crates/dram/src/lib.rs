@@ -89,13 +89,24 @@ mod crate_tests {
         let mut module = DramModule::new(&spec, Geometry::tiny());
         let bank = BankId(1);
         module
-            .init_row_pattern(bank, RowId(30), DataPattern::Checkerboard, RowRole::Aggressor)
+            .init_row_pattern(
+                bank,
+                RowId(30),
+                DataPattern::Checkerboard,
+                RowRole::Aggressor,
+            )
             .unwrap();
         module
             .init_row_pattern(bank, RowId(31), DataPattern::Checkerboard, RowRole::Victim)
             .unwrap();
         module
-            .activate_many(bank, RowId(30), Time::from_ms(30.0), Time::from_ns(15.0), 10)
+            .activate_many(
+                bank,
+                RowId(30),
+                Time::from_ms(30.0),
+                Time::from_ns(15.0),
+                10,
+            )
             .unwrap();
         assert!(!module.check_row(bank, RowId(31)).unwrap().is_empty());
     }

@@ -145,7 +145,7 @@ impl LogNormal {
         // resulting quadratic in sigma and take the small positive root.
         let z_q = normal_quantile(1.0 / (n as f64 + 1.0)); // negative
         let gap = (mean / min_over_n).ln(); // = sigma^2/2 - sigma*z_q  (>0)
-        // sigma^2/2 - z_q*sigma - gap = 0  =>  sigma = z_q + sqrt(z_q^2 + 2*gap) (positive root)
+                                            // sigma^2/2 - z_q*sigma - gap = 0  =>  sigma = z_q + sqrt(z_q^2 + 2*gap) (positive root)
         let sigma = z_q + (z_q * z_q + 2.0 * gap).sqrt();
         let sigma = sigma.max(1e-6);
         let mu = mean.ln() - sigma * sigma / 2.0;
@@ -205,7 +205,9 @@ mod tests {
 
     #[test]
     fn quantile_inverts_cdf() {
-        for &p in &[0.0001, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999] {
+        for &p in &[
+            0.0001, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999,
+        ] {
             let x = normal_quantile(p);
             assert!((normal_cdf(x) - p).abs() < 5e-6, "p={p} x={x}");
         }

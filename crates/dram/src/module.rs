@@ -108,7 +108,12 @@ impl DramModule {
     /// Creates a module with the default fault-model configuration, DDR4
     /// timings and 50 °C ambient temperature.
     pub fn new(spec: &ModuleSpec, geometry: Geometry) -> Self {
-        Self::with_config(spec, geometry, TimingParams::ddr4(), FaultModelConfig::default())
+        Self::with_config(
+            spec,
+            geometry,
+            TimingParams::ddr4(),
+            FaultModelConfig::default(),
+        )
     }
 
     /// Creates a module with explicit timing and fault-model configuration.
@@ -191,10 +196,17 @@ impl DramModule {
 
     fn check_addr(&self, bank: BankId, row: RowId) -> DramResult<()> {
         if !self.geometry.contains_bank(bank) {
-            return Err(DramError::InvalidBank { bank, banks: self.geometry.banks });
+            return Err(DramError::InvalidBank {
+                bank,
+                banks: self.geometry.banks,
+            });
         }
         if !self.geometry.contains_row(row) {
-            return Err(DramError::InvalidRow { bank, row, rows: self.geometry.rows_per_bank });
+            return Err(DramError::InvalidRow {
+                bank,
+                row,
+                rows: self.geometry.rows_per_bank,
+            });
         }
         Ok(())
     }
@@ -214,7 +226,14 @@ impl DramModule {
                 actual: data.len(),
             });
         }
-        self.rows.insert((bank, row), RowState { data, pattern: None, last_restore: self.now });
+        self.rows.insert(
+            (bank, row),
+            RowState {
+                data,
+                pattern: None,
+                last_restore: self.now,
+            },
+        );
         self.exposures.remove(&(bank, row));
         Ok(())
     }
@@ -236,7 +255,11 @@ impl DramModule {
         let data = crate::pattern::fill_row(pattern, role, self.geometry.bytes_per_row());
         self.rows.insert(
             (bank, row),
-            RowState { data, pattern: Some((pattern, role)), last_restore: self.now },
+            RowState {
+                data,
+                pattern: Some((pattern, role)),
+                last_restore: self.now,
+            },
         );
         self.exposures.remove(&(bank, row));
         Ok(())
@@ -312,12 +335,17 @@ impl DramModule {
         }
         let t_on = t_on.max(self.timing.t_ras);
         let t_off = t_off.max(self.timing.t_rp);
-        let hammer_per_act = self.fault.hammer_units_per_act(t_on, t_off, self.temperature_c);
-        let press_per_act = self.fault.press_exposure_us_per_act(t_on, t_off, self.temperature_c);
+        let hammer_per_act = self
+            .fault
+            .hammer_units_per_act(t_on, t_off, self.temperature_c);
+        let press_per_act = self
+            .fault
+            .press_exposure_us_per_act(t_on, t_off, self.temperature_c);
         let n = count as f64;
         for side in [-1i64, 1] {
             for dist in 1..=3u32 {
-                let Some(victim) = row.offset(side * i64::from(dist), self.geometry.rows_per_bank) else {
+                let Some(victim) = row.offset(side * i64::from(dist), self.geometry.rows_per_bank)
+                else {
                     continue;
                 };
                 let decay = self.fault.distance_decay(dist);
@@ -329,7 +357,10 @@ impl DramModule {
                     .entry((bank, victim))
                     .or_default()
                     .entry(row)
-                    .or_insert(Exposure { distance: dist, ..Default::default() });
+                    .or_insert(Exposure {
+                        distance: dist,
+                        ..Default::default()
+                    });
                 entry.acts += n;
                 entry.hammer_units += n * hammer_per_act * decay;
                 entry.press_us += n * press_per_act * decay;
@@ -346,7 +377,13 @@ impl DramModule {
     /// # Errors
     ///
     /// Returns an error if the aggressor address is out of range.
-    pub fn activate(&mut self, bank: BankId, row: RowId, t_on: Time, t_off: Time) -> DramResult<()> {
+    pub fn activate(
+        &mut self,
+        bank: BankId,
+        row: RowId,
+        t_on: Time,
+        t_off: Time,
+    ) -> DramResult<()> {
         self.activate_many(bank, row, t_on, t_off, 1)
     }
 
@@ -355,7 +392,12 @@ impl DramModule {
         (byte >> (column % 8)) & 1 == 1
     }
 
-    fn evaluate_row(&self, bank: BankId, row: RowId, stop_at_first: bool) -> DramResult<Vec<Bitflip>> {
+    fn evaluate_row(
+        &self,
+        bank: BankId,
+        row: RowId,
+        stop_at_first: bool,
+    ) -> DramResult<Vec<Bitflip>> {
         self.check_addr(bank, row)?;
         let state = self
             .rows
@@ -409,7 +451,11 @@ impl DramModule {
 
         for column in 0..self.geometry.bits_per_row {
             let bit = Self::stored_bit(&state.data, column);
-            let addr = CellAddr { bank, row, column: ColumnId(column) };
+            let addr = CellAddr {
+                bank,
+                row,
+                column: ColumnId(column),
+            };
             let jitter = self.flip_jitter(addr);
             let charged = self.fault.cell_is_charged(addr, bit);
             if charged {
@@ -417,25 +463,41 @@ impl DramModule {
                 let pressed = check_press
                     && press_total
                         >= press_base.unwrap_or(f64::INFINITY)
-                            * self.fault.cell_press_spread_with_anchors(addr, &press_anchors)
+                            * self
+                                .fault
+                                .cell_press_spread_with_anchors(addr, &press_anchors)
                             * jitter;
                 let leaked = !pressed
                     && check_retention
-                    && retention_elapsed_s >= self.fault.cell_retention_s(addr, self.temperature_c) * jitter;
+                    && retention_elapsed_s
+                        >= self.fault.cell_retention_s(addr, self.temperature_c) * jitter;
                 if pressed || leaked {
                     flips.push(Bitflip {
                         addr,
                         from: bit,
                         to: !bit,
-                        mechanism: if pressed { FlipMechanism::Press } else { FlipMechanism::Retention },
+                        mechanism: if pressed {
+                            FlipMechanism::Press
+                        } else {
+                            FlipMechanism::Retention
+                        },
                     });
                 }
             } else if check_hammer
                 && hammer_total
-                    >= hammer_base * self.fault.cell_hammer_spread_with_anchors(addr, &hammer_anchors) * jitter
+                    >= hammer_base
+                        * self
+                            .fault
+                            .cell_hammer_spread_with_anchors(addr, &hammer_anchors)
+                        * jitter
             {
                 // Charge-injection mechanism: RowHammer.
-                flips.push(Bitflip { addr, from: bit, to: !bit, mechanism: FlipMechanism::Hammer });
+                flips.push(Bitflip {
+                    addr,
+                    from: bit,
+                    to: !bit,
+                    mechanism: FlipMechanism::Hammer,
+                });
             }
             if stop_at_first && !flips.is_empty() {
                 break;
@@ -536,12 +598,18 @@ mod tests {
     use crate::profile::module_inventory;
 
     fn samsung_b_module() -> DramModule {
-        let spec = module_inventory().into_iter().find(|m| m.id == "S0").unwrap();
+        let spec = module_inventory()
+            .into_iter()
+            .find(|m| m.id == "S0")
+            .unwrap();
         DramModule::new(&spec, Geometry::tiny())
     }
 
     fn micron_8gb_module() -> DramModule {
-        let spec = module_inventory().into_iter().find(|m| m.id == "M0").unwrap();
+        let spec = module_inventory()
+            .into_iter()
+            .find(|m| m.id == "M0")
+            .unwrap();
         DramModule::new(&spec, Geometry::tiny())
     }
 
@@ -549,7 +617,8 @@ mod tests {
     fn init_and_read_round_trip_without_disturbance() {
         let mut m = samsung_b_module();
         let bank = BankId(1);
-        m.init_row_pattern(bank, RowId(5), DataPattern::Checkerboard, RowRole::Victim).unwrap();
+        m.init_row_pattern(bank, RowId(5), DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
         let data = m.read_row(bank, RowId(5)).unwrap();
         assert!(data.iter().all(|&b| b == 0x55));
         assert!(m.check_row(bank, RowId(5)).unwrap().is_empty());
@@ -560,10 +629,19 @@ mod tests {
         let m = samsung_b_module();
         assert_eq!(
             m.check_row(BankId(0), RowId(1)).unwrap_err(),
-            DramError::RowNotInitialized { bank: BankId(0), row: RowId(1) }
+            DramError::RowNotInitialized {
+                bank: BankId(0),
+                row: RowId(1)
+            }
         );
-        assert!(matches!(m.check_row(BankId(50), RowId(1)), Err(DramError::InvalidBank { .. })));
-        assert!(matches!(m.check_row(BankId(0), RowId(9999)), Err(DramError::InvalidRow { .. })));
+        assert!(matches!(
+            m.check_row(BankId(50), RowId(1)),
+            Err(DramError::InvalidBank { .. })
+        ));
+        assert!(matches!(
+            m.check_row(BankId(0), RowId(9999)),
+            Err(DramError::InvalidRow { .. })
+        ));
     }
 
     #[test]
@@ -579,11 +657,17 @@ mod tests {
         let bank = BankId(1);
         let aggr = RowId(20);
         let victim = RowId(21);
-        m.init_row_pattern(bank, aggr, DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
-        m.init_row_pattern(bank, victim, DataPattern::Checkerboard, RowRole::Victim).unwrap();
-        m.activate_many(bank, aggr, Time::from_ms(30.0), Time::from_ns(15.0), 10).unwrap();
+        m.init_row_pattern(bank, aggr, DataPattern::Checkerboard, RowRole::Aggressor)
+            .unwrap();
+        m.init_row_pattern(bank, victim, DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
+        m.activate_many(bank, aggr, Time::from_ms(30.0), Time::from_ns(15.0), 10)
+            .unwrap();
         let flips = m.check_row(bank, victim).unwrap();
-        assert!(!flips.is_empty(), "a 10x30ms press should flip the weakest cells");
+        assert!(
+            !flips.is_empty(),
+            "a 10x30ms press should flip the weakest cells"
+        );
         assert!(flips.iter().all(|f| f.mechanism == FlipMechanism::Press));
         // With the checkerboard pattern press flips are dominantly 1 -> 0 for
         // a die with few anti-cells.
@@ -597,13 +681,19 @@ mod tests {
         let bank = BankId(1);
         let aggr = RowId(30);
         let victim = RowId(31);
-        m.init_row_pattern(bank, aggr, DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
-        m.init_row_pattern(bank, victim, DataPattern::Checkerboard, RowRole::Victim).unwrap();
+        m.init_row_pattern(bank, aggr, DataPattern::Checkerboard, RowRole::Aggressor)
+            .unwrap();
+        m.init_row_pattern(bank, victim, DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
         let t = *m.timing();
         m.activate_many(bank, aggr, t.t_ras, t.t_rp, 1_000).unwrap();
-        assert!(m.check_row(bank, victim).unwrap().is_empty(), "1K activations must not flip a ~270K-ACmin die");
+        assert!(
+            m.check_row(bank, victim).unwrap().is_empty(),
+            "1K activations must not flip a ~270K-ACmin die"
+        );
         // Hammer well beyond the worst-case ACmin of the die.
-        m.activate_many(bank, aggr, t.t_ras, t.t_rp, 2_000_000).unwrap();
+        m.activate_many(bank, aggr, t.t_ras, t.t_rp, 2_000_000)
+            .unwrap();
         let flips = m.check_row(bank, victim).unwrap();
         assert!(!flips.is_empty());
         assert!(flips.iter().all(|f| f.mechanism == FlipMechanism::Hammer));
@@ -613,9 +703,23 @@ mod tests {
     fn press_invulnerable_die_survives_long_press() {
         let mut m = micron_8gb_module();
         let bank = BankId(0);
-        m.init_row_pattern(bank, RowId(10), DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
-        m.init_row_pattern(bank, RowId(11), DataPattern::Checkerboard, RowRole::Victim).unwrap();
-        m.activate_many(bank, RowId(10), Time::from_ms(30.0), Time::from_ns(15.0), 10).unwrap();
+        m.init_row_pattern(
+            bank,
+            RowId(10),
+            DataPattern::Checkerboard,
+            RowRole::Aggressor,
+        )
+        .unwrap();
+        m.init_row_pattern(bank, RowId(11), DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
+        m.activate_many(
+            bank,
+            RowId(10),
+            Time::from_ms(30.0),
+            Time::from_ns(15.0),
+            10,
+        )
+        .unwrap();
         assert!(m.check_row(bank, RowId(11)).unwrap().is_empty());
     }
 
@@ -623,12 +727,27 @@ mod tests {
     fn init_clears_accumulated_disturbance() {
         let mut m = samsung_b_module();
         let bank = BankId(1);
-        m.init_row_pattern(bank, RowId(40), DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
-        m.init_row_pattern(bank, RowId(41), DataPattern::Checkerboard, RowRole::Victim).unwrap();
-        m.activate_many(bank, RowId(40), Time::from_ms(30.0), Time::from_ns(15.0), 10).unwrap();
+        m.init_row_pattern(
+            bank,
+            RowId(40),
+            DataPattern::Checkerboard,
+            RowRole::Aggressor,
+        )
+        .unwrap();
+        m.init_row_pattern(bank, RowId(41), DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
+        m.activate_many(
+            bank,
+            RowId(40),
+            Time::from_ms(30.0),
+            Time::from_ns(15.0),
+            10,
+        )
+        .unwrap();
         assert!(!m.check_row(bank, RowId(41)).unwrap().is_empty());
         // Re-initializing the victim restores its charge.
-        m.init_row_pattern(bank, RowId(41), DataPattern::Checkerboard, RowRole::Victim).unwrap();
+        m.init_row_pattern(bank, RowId(41), DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
         assert!(m.check_row(bank, RowId(41)).unwrap().is_empty());
     }
 
@@ -636,19 +755,36 @@ mod tests {
     fn refresh_row_stops_further_disturbance_accumulation() {
         let mut m = samsung_b_module();
         let bank = BankId(1);
-        m.init_row_pattern(bank, RowId(50), DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
-        m.init_row_pattern(bank, RowId(51), DataPattern::Checkerboard, RowRole::Victim).unwrap();
+        m.init_row_pattern(
+            bank,
+            RowId(50),
+            DataPattern::Checkerboard,
+            RowRole::Aggressor,
+        )
+        .unwrap();
+        m.init_row_pattern(bank, RowId(51), DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
         // Accumulate just under the flip threshold, refresh, accumulate again:
         // no flips because the exposure never adds up across the refresh.
-        m.activate_many(bank, RowId(50), Time::from_ms(15.0), Time::from_ns(15.0), 1).unwrap();
+        m.activate_many(bank, RowId(50), Time::from_ms(15.0), Time::from_ns(15.0), 1)
+            .unwrap();
         m.refresh_row(bank, RowId(51)).unwrap();
-        m.activate_many(bank, RowId(50), Time::from_ms(15.0), Time::from_ns(15.0), 1).unwrap();
+        m.activate_many(bank, RowId(50), Time::from_ms(15.0), Time::from_ns(15.0), 1)
+            .unwrap();
         let after_refresh = m.check_row(bank, RowId(51)).unwrap().len();
         // Compare with the same total exposure without the refresh.
         let mut m2 = samsung_b_module();
-        m2.init_row_pattern(bank, RowId(50), DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
-        m2.init_row_pattern(bank, RowId(51), DataPattern::Checkerboard, RowRole::Victim).unwrap();
-        m2.activate_many(bank, RowId(50), Time::from_ms(15.0), Time::from_ns(15.0), 2).unwrap();
+        m2.init_row_pattern(
+            bank,
+            RowId(50),
+            DataPattern::Checkerboard,
+            RowRole::Aggressor,
+        )
+        .unwrap();
+        m2.init_row_pattern(bank, RowId(51), DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
+        m2.activate_many(bank, RowId(50), Time::from_ms(15.0), Time::from_ns(15.0), 2)
+            .unwrap();
         let without_refresh = m2.check_row(bank, RowId(51)).unwrap().len();
         assert!(after_refresh <= without_refresh);
     }
@@ -658,13 +794,16 @@ mod tests {
         let mut m = samsung_b_module();
         m.set_temperature(80.0);
         let bank = BankId(0);
-        m.init_row_pattern(bank, RowId(3), DataPattern::Checkerboard, RowRole::Victim).unwrap();
+        m.init_row_pattern(bank, RowId(3), DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
         m.idle(Time::from_secs(4.0));
         let flips = m.check_row(bank, RowId(3)).unwrap();
         // A 1024-bit tiny row may or may not contain a retention-weak cell;
         // what must hold is that all flips (if any) are retention flips and
         // that a freshly refreshed row has none.
-        assert!(flips.iter().all(|f| f.mechanism == FlipMechanism::Retention));
+        assert!(flips
+            .iter()
+            .all(|f| f.mechanism == FlipMechanism::Retention));
         m.refresh_row(bank, RowId(3)).unwrap();
         assert!(m.check_row(bank, RowId(3)).unwrap().is_empty());
     }
@@ -673,9 +812,22 @@ mod tests {
     fn clock_and_activation_accounting() {
         let mut m = samsung_b_module();
         let bank = BankId(1);
-        m.init_row_pattern(bank, RowId(10), DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
+        m.init_row_pattern(
+            bank,
+            RowId(10),
+            DataPattern::Checkerboard,
+            RowRole::Aggressor,
+        )
+        .unwrap();
         assert_eq!(m.now(), Time::ZERO);
-        m.activate_many(bank, RowId(10), Time::from_ns(36.0), Time::from_ns(15.0), 100).unwrap();
+        m.activate_many(
+            bank,
+            RowId(10),
+            Time::from_ns(36.0),
+            Time::from_ns(15.0),
+            100,
+        )
+        .unwrap();
         assert_eq!(m.activation_count(), 100);
         assert_eq!(m.now(), Time::from_ns(51.0) * 100);
         m.idle(Time::from_us(1.0));
@@ -687,22 +839,56 @@ mod tests {
 
     #[test]
     fn double_sided_amplifies_hammer() {
-        let spec = module_inventory().into_iter().find(|m| m.id == "S3").unwrap(); // 8Gb D-die, weak
+        let spec = module_inventory()
+            .into_iter()
+            .find(|m| m.id == "S3")
+            .unwrap(); // 8Gb D-die, weak
         let bank = BankId(1);
         let t = TimingParams::ddr4();
         // Single-sided: AC activations of one neighbour.
         let mut single = DramModule::new(&spec, Geometry::tiny());
-        single.init_row_pattern(bank, RowId(20), DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
-        single.init_row_pattern(bank, RowId(21), DataPattern::Checkerboard, RowRole::Victim).unwrap();
+        single
+            .init_row_pattern(
+                bank,
+                RowId(20),
+                DataPattern::Checkerboard,
+                RowRole::Aggressor,
+            )
+            .unwrap();
+        single
+            .init_row_pattern(bank, RowId(21), DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
         // Double-sided: the same *total* AC split across both neighbours.
         let mut double = DramModule::new(&spec, Geometry::tiny());
-        double.init_row_pattern(bank, RowId(20), DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
-        double.init_row_pattern(bank, RowId(22), DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
-        double.init_row_pattern(bank, RowId(21), DataPattern::Checkerboard, RowRole::Victim).unwrap();
+        double
+            .init_row_pattern(
+                bank,
+                RowId(20),
+                DataPattern::Checkerboard,
+                RowRole::Aggressor,
+            )
+            .unwrap();
+        double
+            .init_row_pattern(
+                bank,
+                RowId(22),
+                DataPattern::Checkerboard,
+                RowRole::Aggressor,
+            )
+            .unwrap();
+        double
+            .init_row_pattern(bank, RowId(21), DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
         let ac_total = 60_000u64;
-        single.activate_many(bank, RowId(20), t.t_ras, t.t_rp, ac_total).unwrap();
-        double.activate_many(bank, RowId(20), t.t_ras, t.t_rp, ac_total / 2).unwrap();
-        double.activate_many(bank, RowId(22), t.t_ras, t.t_rp, ac_total / 2).unwrap();
+        single
+            .activate_many(bank, RowId(20), t.t_ras, t.t_rp, ac_total)
+            .unwrap();
+        double
+            .activate_many(bank, RowId(20), t.t_ras, t.t_rp, ac_total / 2)
+            .unwrap();
+        double
+            .activate_many(bank, RowId(22), t.t_ras, t.t_rp, ac_total / 2)
+            .unwrap();
         let single_flips = single.check_row(bank, RowId(21)).unwrap().len();
         let double_flips = double.check_row(bank, RowId(21)).unwrap().len();
         assert!(
@@ -715,9 +901,23 @@ mod tests {
     fn read_row_applies_flips_to_data() {
         let mut m = samsung_b_module();
         let bank = BankId(1);
-        m.init_row_pattern(bank, RowId(20), DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
-        m.init_row_pattern(bank, RowId(21), DataPattern::Checkerboard, RowRole::Victim).unwrap();
-        m.activate_many(bank, RowId(20), Time::from_ms(30.0), Time::from_ns(15.0), 10).unwrap();
+        m.init_row_pattern(
+            bank,
+            RowId(20),
+            DataPattern::Checkerboard,
+            RowRole::Aggressor,
+        )
+        .unwrap();
+        m.init_row_pattern(bank, RowId(21), DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
+        m.activate_many(
+            bank,
+            RowId(20),
+            Time::from_ms(30.0),
+            Time::from_ns(15.0),
+            10,
+        )
+        .unwrap();
         let flips = m.check_row(bank, RowId(21)).unwrap();
         let data = m.read_row(bank, RowId(21)).unwrap();
         for f in &flips {
@@ -732,14 +932,31 @@ mod tests {
 
     #[test]
     fn higher_temperature_yields_more_press_flips() {
-        let spec = module_inventory().into_iter().find(|m| m.id == "H0").unwrap(); // theta80 = 3.8
+        let spec = module_inventory()
+            .into_iter()
+            .find(|m| m.id == "H0")
+            .unwrap(); // theta80 = 3.8
         let bank = BankId(1);
         let run = |temp: f64| {
             let mut m = DramModule::new(&spec, Geometry::tiny());
             m.set_temperature(temp);
-            m.init_row_pattern(bank, RowId(10), DataPattern::Checkerboard, RowRole::Aggressor).unwrap();
-            m.init_row_pattern(bank, RowId(11), DataPattern::Checkerboard, RowRole::Victim).unwrap();
-            m.activate_many(bank, RowId(10), Time::from_us(70.2), Time::from_ns(15.0), 600).unwrap();
+            m.init_row_pattern(
+                bank,
+                RowId(10),
+                DataPattern::Checkerboard,
+                RowRole::Aggressor,
+            )
+            .unwrap();
+            m.init_row_pattern(bank, RowId(11), DataPattern::Checkerboard, RowRole::Victim)
+                .unwrap();
+            m.activate_many(
+                bank,
+                RowId(10),
+                Time::from_us(70.2),
+                Time::from_ns(15.0),
+                600,
+            )
+            .unwrap();
             m.check_row(bank, RowId(11)).unwrap().len()
         };
         assert!(run(80.0) >= run(50.0));

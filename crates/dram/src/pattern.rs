@@ -148,7 +148,10 @@ mod tests {
 
     #[test]
     fn checkerboard_matches_paper_table2() {
-        assert_eq!(DataPattern::Checkerboard.fill_byte(RowRole::Aggressor), 0xAA);
+        assert_eq!(
+            DataPattern::Checkerboard.fill_byte(RowRole::Aggressor),
+            0xAA
+        );
         assert_eq!(DataPattern::Checkerboard.fill_byte(RowRole::Victim), 0x55);
         assert_eq!(DataPattern::RowStripe.fill_byte(RowRole::Aggressor), 0xFF);
         assert_eq!(DataPattern::RowStripe.fill_byte(RowRole::Victim), 0x00);
@@ -161,8 +164,14 @@ mod tests {
         for p in DataPattern::all() {
             let inv = p.inverse();
             assert_eq!(inv.inverse(), p);
-            assert_eq!(p.fill_byte(RowRole::Victim), !inv.fill_byte(RowRole::Victim));
-            assert_eq!(p.fill_byte(RowRole::Aggressor), !inv.fill_byte(RowRole::Aggressor));
+            assert_eq!(
+                p.fill_byte(RowRole::Victim),
+                !inv.fill_byte(RowRole::Victim)
+            );
+            assert_eq!(
+                p.fill_byte(RowRole::Aggressor),
+                !inv.fill_byte(RowRole::Aggressor)
+            );
         }
     }
 
@@ -171,7 +180,10 @@ mod tests {
         // Victim byte 0x55 = 0b0101_0101: even bit positions store 1.
         for col in 0..32 {
             let expected = col % 2 == 0;
-            assert_eq!(DataPattern::Checkerboard.bit_at(RowRole::Victim, col), expected);
+            assert_eq!(
+                DataPattern::Checkerboard.bit_at(RowRole::Victim, col),
+                expected
+            );
         }
         // RowStripe victim is all zeros.
         assert!(!DataPattern::RowStripe.bit_at(RowRole::Victim, 17));

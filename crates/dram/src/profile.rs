@@ -11,6 +11,22 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Hashes an `f64` by its bit pattern. [`PressCalibration`], [`DieProfile`]
+/// and [`ModuleSpec`] compare their float fields bitwise too (see the manual
+/// `PartialEq` impls below), so equality and hashing agree for *any* value —
+/// `NaN` equals itself, `-0.0` is distinct from `0.0` — which is what lets
+/// these types serve as `HashMap` keys (the engine's trial cache keys trials
+/// by module spec).
+fn hash_f64<H: Hasher>(value: f64, state: &mut H) {
+    value.to_bits().hash(state);
+}
+
+/// Bitwise `f64` equality, the counterpart of [`hash_f64`].
+fn eq_f64(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
 
 /// The three major DRAM manufacturers, anonymized as in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -73,7 +89,11 @@ impl fmt::Display for DieDensity {
 /// RowPress-specific calibration of a die revision. Dies with `None` for this
 /// block (e.g. Mfr. M's 8Gb B-die) exhibit no RowPress bitflips at any tested
 /// temperature, matching the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares the float fields *bitwise* so it always agrees with the
+/// `Hash` implementation (`NaN` equals itself, `-0.0` differs from `0.0`);
+/// likewise for [`DieProfile`] and [`ModuleSpec`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct PressCalibration {
     /// Mean, across tested rows, of the total effective aggressor-on time (ms)
     /// needed to flip the weakest cell of a row at 50 °C (Table 5's
@@ -91,8 +111,30 @@ pub struct PressCalibration {
     pub cells_at_4x: f64,
 }
 
+impl PartialEq for PressCalibration {
+    fn eq(&self, other: &Self) -> bool {
+        eq_f64(self.t_mean_ms_50c, other.t_mean_ms_50c)
+            && eq_f64(self.t_min_ms_50c, other.t_min_ms_50c)
+            && eq_f64(self.theta_80c, other.theta_80c)
+            && eq_f64(self.cells_at_4x, other.cells_at_4x)
+    }
+}
+
+impl Eq for PressCalibration {}
+
+impl Hash for PressCalibration {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        hash_f64(self.t_mean_ms_50c, state);
+        hash_f64(self.t_min_ms_50c, state);
+        hash_f64(self.theta_80c, state);
+        hash_f64(self.cells_at_4x, state);
+    }
+}
+
 /// Calibration constants of one (manufacturer, density, die revision).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares float fields bitwise (see [`PressCalibration`]).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct DieProfile {
     /// Manufacturer.
     pub manufacturer: Manufacturer,
@@ -120,6 +162,43 @@ pub struct DieProfile {
     pub anti_cell_fraction: f64,
     /// Median single-cell retention time in seconds at 80 °C.
     pub retention_median_s_80c: f64,
+}
+
+impl PartialEq for DieProfile {
+    fn eq(&self, other: &Self) -> bool {
+        self.manufacturer == other.manufacturer
+            && self.density == other.density
+            && self.revision == other.revision
+            && eq_f64(self.hammer_acmin_mean, other.hammer_acmin_mean)
+            && eq_f64(self.hammer_acmin_min, other.hammer_acmin_min)
+            && eq_f64(self.hammer_cells_at_max, other.hammer_cells_at_max)
+            && eq_f64(self.hammer_theta_80c, other.hammer_theta_80c)
+            && eq_f64(
+                self.double_sided_hammer_bonus,
+                other.double_sided_hammer_bonus,
+            )
+            && self.press == other.press
+            && eq_f64(self.anti_cell_fraction, other.anti_cell_fraction)
+            && eq_f64(self.retention_median_s_80c, other.retention_median_s_80c)
+    }
+}
+
+impl Eq for DieProfile {}
+
+impl Hash for DieProfile {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.manufacturer.hash(state);
+        self.density.hash(state);
+        self.revision.hash(state);
+        hash_f64(self.hammer_acmin_mean, state);
+        hash_f64(self.hammer_acmin_min, state);
+        hash_f64(self.hammer_cells_at_max, state);
+        hash_f64(self.hammer_theta_80c, state);
+        hash_f64(self.double_sided_hammer_bonus, state);
+        self.press.hash(state);
+        hash_f64(self.anti_cell_fraction, state);
+        hash_f64(self.retention_median_s_80c, state);
+    }
 }
 
 impl DieProfile {
@@ -155,7 +234,12 @@ pub fn die_catalog() -> Vec<DieProfile> {
     use DieDensity::*;
     use Manufacturer::*;
     let press = |mean: f64, min: f64, theta: f64, cells: f64| {
-        Some(PressCalibration { t_mean_ms_50c: mean, t_min_ms_50c: min, theta_80c: theta, cells_at_4x: cells })
+        Some(PressCalibration {
+            t_mean_ms_50c: mean,
+            t_min_ms_50c: min,
+            theta_80c: theta,
+            cells_at_4x: cells,
+        })
     };
     vec![
         // ---- Mfr. S (Samsung) ----
@@ -348,17 +432,49 @@ pub struct ModuleSpec {
     pub seed: u64,
 }
 
+impl Eq for ModuleSpec {}
+
+impl Hash for ModuleSpec {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+        self.die.hash(state);
+        self.chips.hash(state);
+        self.organization.hash(state);
+        self.date_code.hash(state);
+        self.seed.hash(state);
+    }
+}
+
 impl ModuleSpec {
     /// Creates a module spec with a seed derived from its id.
-    pub fn new(id: &str, die: DieProfile, chips: u32, organization: u8, date_code: Option<&str>) -> Self {
-        let seed = crate::math::hash_words(&[id.bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(u64::from(b)))]);
-        ModuleSpec { id: id.to_string(), die, chips, organization, date_code: date_code.map(str::to_string), seed }
+    pub fn new(
+        id: &str,
+        die: DieProfile,
+        chips: u32,
+        organization: u8,
+        date_code: Option<&str>,
+    ) -> Self {
+        let seed = crate::math::hash_words(&[id
+            .bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(u64::from(b)))]);
+        ModuleSpec {
+            id: id.to_string(),
+            die,
+            chips,
+            organization,
+            date_code: date_code.map(str::to_string),
+            seed,
+        }
     }
 }
 
 impl fmt::Display for ModuleSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} x{} chips, {})", self.id, self.chips, self.organization, self.die)
+        write!(
+            f,
+            "{} ({} x{} chips, {})",
+            self.id, self.chips, self.organization, self.die
+        )
     }
 }
 
@@ -437,7 +553,10 @@ mod tests {
         assert_eq!(ids.len(), 21);
         // Seeds are distinct and stable.
         let s0 = &modules[0];
-        assert_eq!(s0.seed, ModuleSpec::new("S0", s0.die, 8, 8, Some("20-53")).seed);
+        assert_eq!(
+            s0.seed,
+            ModuleSpec::new("S0", s0.die, 8, 8, Some("20-53")).seed
+        );
         let mut seeds: Vec<_> = modules.iter().map(|m| m.seed).collect();
         seeds.sort();
         seeds.dedup();
@@ -446,8 +565,10 @@ mod tests {
 
     #[test]
     fn only_micron_8gb_b_is_press_invulnerable() {
-        let invulnerable: Vec<_> =
-            die_catalog().into_iter().filter(|d| !d.is_press_vulnerable()).collect();
+        let invulnerable: Vec<_> = die_catalog()
+            .into_iter()
+            .filter(|d| !d.is_press_vulnerable())
+            .collect();
         assert_eq!(invulnerable.len(), 1);
         assert_eq!(invulnerable[0].manufacturer, Manufacturer::M);
         assert_eq!(invulnerable[0].density, DieDensity::Gb8);
@@ -502,6 +623,23 @@ mod tests {
     #[test]
     fn find_die_returns_none_for_unknown() {
         assert!(find_die(Manufacturer::S, DieDensity::Gb16, 'Z').is_none());
+    }
+
+    #[test]
+    fn module_specs_are_usable_as_hash_keys() {
+        // The campaign engine keys its trial cache by ModuleSpec; equal specs
+        // must collide and distinct specs must not.
+        let mut counts: std::collections::HashMap<ModuleSpec, u32> =
+            std::collections::HashMap::new();
+        for spec in module_inventory() {
+            *counts.entry(spec).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 21);
+        let again = module_inventory();
+        assert_eq!(counts[&again[0]], 1);
+        let mut modified = again[0].clone();
+        modified.chips += 1;
+        assert!(!counts.contains_key(&modified));
     }
 
     #[test]

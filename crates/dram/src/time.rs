@@ -27,7 +27,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// assert!(t_refi > t_ras);
 /// assert_eq!(Time::from_ns(36.0).as_ns(), 36.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Time {
     ps: u64,
 }
@@ -47,8 +49,13 @@ impl Time {
     ///
     /// Panics if `ns` is negative or not finite.
     pub fn from_ns(ns: f64) -> Self {
-        assert!(ns.is_finite() && ns >= 0.0, "time must be non-negative and finite");
-        Time { ps: (ns * 1e3).round() as u64 }
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "time must be non-negative and finite"
+        );
+        Time {
+            ps: (ns * 1e3).round() as u64,
+        }
     }
 
     /// Creates a `Time` from microseconds.
@@ -105,7 +112,9 @@ impl Time {
 
     /// Saturating subtraction: returns `self - other`, or zero if `other > self`.
     pub fn saturating_sub(self, other: Time) -> Time {
-        Time { ps: self.ps.saturating_sub(other.ps) }
+        Time {
+            ps: self.ps.saturating_sub(other.ps),
+        }
     }
 
     /// Multiplies the duration by an integer count (e.g. activation count).
@@ -140,7 +149,9 @@ impl Time {
 impl Add for Time {
     type Output = Time;
     fn add(self, rhs: Time) -> Time {
-        Time { ps: self.ps + rhs.ps }
+        Time {
+            ps: self.ps + rhs.ps,
+        }
     }
 }
 
@@ -157,7 +168,9 @@ impl Sub for Time {
     /// Panics (in debug builds) on underflow; use [`Time::saturating_sub`]
     /// where the operands may be out of order.
     fn sub(self, rhs: Time) -> Time {
-        Time { ps: self.ps - rhs.ps }
+        Time {
+            ps: self.ps - rhs.ps,
+        }
     }
 }
 
@@ -178,7 +191,9 @@ impl Mul<f64> for Time {
     type Output = Time;
     fn mul(self, rhs: f64) -> Time {
         assert!(rhs.is_finite() && rhs >= 0.0);
-        Time { ps: (self.ps as f64 * rhs).round() as u64 }
+        Time {
+            ps: (self.ps as f64 * rhs).round() as u64,
+        }
     }
 }
 
@@ -257,7 +272,10 @@ mod tests {
 
     #[test]
     fn saturating_and_checked() {
-        assert_eq!(Time::from_ns(1.0).saturating_sub(Time::from_ns(2.0)), Time::ZERO);
+        assert_eq!(
+            Time::from_ns(1.0).saturating_sub(Time::from_ns(2.0)),
+            Time::ZERO
+        );
         assert!(Time::from_ms(1.0).checked_mul(u64::MAX).is_none());
         assert_eq!(Time::from_ns(2.0).checked_mul(3), Some(Time::from_ns(6.0)));
     }

@@ -207,7 +207,11 @@ impl std::fmt::Debug for MemoryController {
 
 impl MemoryController {
     /// Creates a controller with 16 banks.
-    pub fn new(timing: CtrlTiming, policy: RowPolicy, mitigation: Box<dyn ReadDisturbMitigation>) -> Self {
+    pub fn new(
+        timing: CtrlTiming,
+        policy: RowPolicy,
+        mitigation: Box<dyn ReadDisturbMitigation>,
+    ) -> Self {
         MemoryController {
             timing,
             policy,
@@ -474,7 +478,8 @@ mod tests {
                 "always"
             }
         }
-        let mut with = MemoryController::new(CtrlTiming::ddr4_3200(), RowPolicy::Closed, Box::new(Always));
+        let mut with =
+            MemoryController::new(CtrlTiming::ddr4_3200(), RowPolicy::Closed, Box::new(Always));
         let mut without = controller(RowPolicy::Closed);
         let mut t_with = 0;
         let mut t_without = 0;
@@ -493,6 +498,8 @@ mod tests {
         assert_eq!(t.t_rc(), t.t_ras + t.t_rp);
         assert_eq!(CtrlTiming::ns_to_cycles(36.0), 144);
         assert_eq!(RowPolicy::Open.label(), "open-row");
-        assert!(RowPolicy::TimerCapped { tmro_ns: 96 }.label().contains("96"));
+        assert!(RowPolicy::TimerCapped { tmro_ns: 96 }
+            .label()
+            .contains("96"));
     }
 }

@@ -6,7 +6,10 @@
 //! results depend on relative changes in memory latency and row-buffer hit
 //! rate, which this model captures, not on absolute IPC.
 
-use crate::controller::{map_address, ControllerStats, CtrlTiming, DramLocation, MemoryController, ReadDisturbMitigation, RowPolicy};
+use crate::controller::{
+    map_address, ControllerStats, CtrlTiming, DramLocation, MemoryController,
+    ReadDisturbMitigation, RowPolicy,
+};
 use rowpress_workloads::{TraceGenerator, WorkloadMix, WorkloadProfile};
 use serde::{Deserialize, Serialize};
 
@@ -70,7 +73,12 @@ pub struct SystemConfig {
 
 impl Default for SystemConfig {
     fn default() -> Self {
-        SystemConfig { accesses_per_core: 20_000, policy: RowPolicy::Open, retire_width: 4, seed: 1 }
+        SystemConfig {
+            accesses_per_core: 20_000,
+            policy: RowPolicy::Open,
+            retire_width: 4,
+            seed: 1,
+        }
     }
 }
 
@@ -102,7 +110,8 @@ pub fn simulate_mix(
         .iter()
         .enumerate()
         .map(|(i, profile)| {
-            let mut generator = TraceGenerator::new(profile.clone(), config.seed.wrapping_add(i as u64 * 977));
+            let mut generator =
+                TraceGenerator::new(profile.clone(), config.seed.wrapping_add(i as u64 * 977));
             CoreState {
                 workload: profile.name.clone(),
                 trace: generator.generate(config.accesses_per_core),
@@ -155,7 +164,12 @@ pub fn simulate_mix(
         core.finish_cycle = done;
     }
 
-    let total_cycles = cores.iter().map(|c| c.finish_cycle).max().unwrap_or(0).max(1);
+    let total_cycles = cores
+        .iter()
+        .map(|c| c.finish_cycle)
+        .max()
+        .unwrap_or(0)
+        .max(1);
     controller.finalize(total_cycles);
 
     SimResult {
@@ -179,7 +193,10 @@ pub fn simulate_alone(
     config: &SystemConfig,
     mitigation: Box<dyn ReadDisturbMitigation>,
 ) -> SimResult {
-    let mix = WorkloadMix { label: profile.name.clone(), workloads: vec![profile.clone()] };
+    let mix = WorkloadMix {
+        label: profile.name.clone(),
+        workloads: vec![profile.clone()],
+    };
     simulate_mix(&mix, config, mitigation)
 }
 
@@ -190,7 +207,12 @@ mod tests {
     use rowpress_workloads::{find_workload, homogeneous_mix};
 
     fn quick_config(policy: RowPolicy) -> SystemConfig {
-        SystemConfig { accesses_per_core: 4_000, policy, retire_width: 4, seed: 3 }
+        SystemConfig {
+            accesses_per_core: 4_000,
+            policy,
+            retire_width: 4,
+            seed: 3,
+        }
     }
 
     #[test]
@@ -201,7 +223,10 @@ mod tests {
         let ipc = r.cores[0].ipc();
         assert!(ipc > 0.01 && ipc <= 4.0, "ipc = {ipc}");
         assert_eq!(r.controller.requests, 4_000);
-        assert!(r.controller.row_hit_rate() > 0.7, "libquantum should be row-buffer friendly");
+        assert!(
+            r.controller.row_hit_rate() > 0.7,
+            "libquantum should be row-buffer friendly"
+        );
     }
 
     #[test]
@@ -210,13 +235,23 @@ mod tests {
         let open = simulate_alone(&p, &quick_config(RowPolicy::Open), Box::new(NoMitigation));
         let closed = simulate_alone(&p, &quick_config(RowPolicy::Closed), Box::new(NoMitigation));
         let slowdown = open.cores[0].ipc() / closed.cores[0].ipc();
-        assert!(slowdown > 1.1, "minimally-open-row must hurt libquantum, slowdown = {slowdown}");
+        assert!(
+            slowdown > 1.1,
+            "minimally-open-row must hurt libquantum, slowdown = {slowdown}"
+        );
         // A low-locality workload is barely affected.
         let mcf = find_workload("429.mcf").unwrap();
         let open_mcf = simulate_alone(&mcf, &quick_config(RowPolicy::Open), Box::new(NoMitigation));
-        let closed_mcf = simulate_alone(&mcf, &quick_config(RowPolicy::Closed), Box::new(NoMitigation));
+        let closed_mcf = simulate_alone(
+            &mcf,
+            &quick_config(RowPolicy::Closed),
+            Box::new(NoMitigation),
+        );
         let slowdown_mcf = open_mcf.cores[0].ipc() / closed_mcf.cores[0].ipc();
-        assert!(slowdown_mcf < slowdown, "mcf ({slowdown_mcf}) must suffer less than libquantum ({slowdown})");
+        assert!(
+            slowdown_mcf < slowdown,
+            "mcf ({slowdown_mcf}) must suffer less than libquantum ({slowdown})"
+        );
     }
 
     #[test]

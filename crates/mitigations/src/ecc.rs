@@ -71,7 +71,10 @@ impl EccScheme {
                 }
             }
             EccScheme::Chipkill { symbol_bits } => {
-                let symbols_hit = flips.div_ceil(usize::from(*symbol_bits)).max(if flips > 0 { 1 } else { 0 });
+                let symbols_hit =
+                    flips
+                        .div_ceil(usize::from(*symbol_bits))
+                        .max(if flips > 0 { 1 } else { 0 });
                 // An adversary spreads flips over as many symbols as possible:
                 // up to `flips` symbols, bounded by the symbols per word.
                 let symbols_per_word = 64 / usize::from(*symbol_bits);
@@ -166,7 +169,10 @@ mod tests {
     fn secded_corrects_one_detects_two() {
         assert_eq!(EccScheme::Secded.classify(0), EccOutcome::Clean);
         assert_eq!(EccScheme::Secded.classify(1), EccOutcome::Corrected);
-        assert_eq!(EccScheme::Secded.classify(2), EccOutcome::DetectedUncorrectable);
+        assert_eq!(
+            EccScheme::Secded.classify(2),
+            EccOutcome::DetectedUncorrectable
+        );
         assert_eq!(EccScheme::Secded.classify(3), EccOutcome::SilentCorruption);
         assert_eq!(EccScheme::None.classify(1), EccOutcome::SilentCorruption);
     }
@@ -178,7 +184,10 @@ mod tests {
             let outcome = EccScheme::Chipkill { symbol_bits: bits }.classify(25);
             assert_eq!(outcome, EccOutcome::SilentCorruption, "x{bits}");
         }
-        assert_eq!(EccScheme::Chipkill { symbol_bits: 8 }.classify(1), EccOutcome::Corrected);
+        assert_eq!(
+            EccScheme::Chipkill { symbol_bits: 8 }.classify(1),
+            EccOutcome::Corrected
+        );
         assert_eq!(
             EccScheme::Chipkill { symbol_bits: 8 }.classify(2),
             EccOutcome::DetectedUncorrectable
@@ -223,7 +232,9 @@ mod tests {
     #[test]
     fn labels_are_informative() {
         assert_eq!(EccScheme::Secded.label(), "SECDED(72,64)");
-        assert!(EccScheme::Chipkill { symbol_bits: 4 }.label().contains("x4"));
+        assert!(EccScheme::Chipkill { symbol_bits: 4 }
+            .label()
+            .contains("x4"));
         assert_eq!(EccScheme::None.label(), "no ECC");
         assert_eq!(EccScheme::Hamming74.label(), "Hamming(7,4)");
     }

@@ -50,11 +50,25 @@ pub fn evaluate_single_core(
 ) -> Vec<OverheadRecord> {
     let mut records = Vec::new();
     for &tmro_ns in tmro_values {
-        let adapted = MitigationConfig { kind, trh_base, tmro_ns };
-        let baseline = MitigationConfig { kind, trh_base, tmro_ns: 36 };
+        let adapted = MitigationConfig {
+            kind,
+            trh_base,
+            tmro_ns,
+        };
+        let baseline = MitigationConfig {
+            kind,
+            trh_base,
+            tmro_ns: 36,
+        };
         for w in workloads {
-            let base_cfg = SystemConfig { policy: RowPolicy::Open, ..*sim };
-            let adapted_cfg = SystemConfig { policy: adapted.row_policy(), ..*sim };
+            let base_cfg = SystemConfig {
+                policy: RowPolicy::Open,
+                ..*sim
+            };
+            let adapted_cfg = SystemConfig {
+                policy: adapted.row_policy(),
+                ..*sim
+            };
             let base = simulate_alone(w, &base_cfg, baseline.build(7)).cores[0].ipc();
             let adpt = simulate_alone(w, &adapted_cfg, adapted.build(7)).cores[0].ipc();
             records.push(OverheadRecord {
@@ -82,8 +96,15 @@ pub fn evaluate_mixes(
 ) -> Vec<OverheadRecord> {
     // Alone baselines (open-row, baseline mechanism) per distinct workload.
     let mut alone_cache: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
-    let baseline_mech = MitigationConfig { kind, trh_base, tmro_ns: 36 };
-    let base_cfg = SystemConfig { policy: RowPolicy::Open, ..*sim };
+    let baseline_mech = MitigationConfig {
+        kind,
+        trh_base,
+        tmro_ns: 36,
+    };
+    let base_cfg = SystemConfig {
+        policy: RowPolicy::Open,
+        ..*sim
+    };
     for mix in mixes {
         for w in &mix.workloads {
             alone_cache.entry(w.name.clone()).or_insert_with(|| {
@@ -94,11 +115,19 @@ pub fn evaluate_mixes(
 
     let mut records = Vec::new();
     for &tmro_ns in tmro_values {
-        let adapted = MitigationConfig { kind, trh_base, tmro_ns };
+        let adapted = MitigationConfig {
+            kind,
+            trh_base,
+            tmro_ns,
+        };
         for mix in mixes {
             let alone: Vec<f64> = mix.workloads.iter().map(|w| alone_cache[&w.name]).collect();
-            let base = simulate_mix(mix, &base_cfg, baseline_mech.build(7)).weighted_speedup(&alone);
-            let adapted_cfg = SystemConfig { policy: adapted.row_policy(), ..*sim };
+            let base =
+                simulate_mix(mix, &base_cfg, baseline_mech.build(7)).weighted_speedup(&alone);
+            let adapted_cfg = SystemConfig {
+                policy: adapted.row_policy(),
+                ..*sim
+            };
             let adpt = simulate_mix(mix, &adapted_cfg, adapted.build(7)).weighted_speedup(&alone);
             records.push(OverheadRecord {
                 kind,
@@ -138,27 +167,51 @@ mod tests {
     use rowpress_workloads::find_workload;
 
     fn quick_sim() -> SystemConfig {
-        SystemConfig { accesses_per_core: 3_000, policy: RowPolicy::Open, retire_width: 4, seed: 5 }
+        SystemConfig {
+            accesses_per_core: 3_000,
+            policy: RowPolicy::Open,
+            retire_width: 4,
+            seed: 5,
+        }
     }
 
     #[test]
     fn single_core_overheads_are_small_for_graphene() {
-        let workloads = vec![find_workload("462.libquantum").unwrap(), find_workload("429.mcf").unwrap()];
-        let records = evaluate_single_core(MechanismKind::Graphene, 1000, &[96], &workloads, &quick_sim());
+        let workloads = vec![
+            find_workload("462.libquantum").unwrap(),
+            find_workload("429.mcf").unwrap(),
+        ];
+        let records = evaluate_single_core(
+            MechanismKind::Graphene,
+            1000,
+            &[96],
+            &workloads,
+            &quick_sim(),
+        );
         assert_eq!(records.len(), 2);
         for r in &records {
             assert_eq!(r.trh_adapted, 724);
             assert!(r.baseline_perf > 0.0 && r.adapted_perf > 0.0);
             // Graphene-RP at tmro = 96 ns stays within a few percent of Graphene.
-            assert!(r.overhead_pct() < 20.0, "{}: {}%", r.workload, r.overhead_pct());
+            assert!(
+                r.overhead_pct() < 20.0,
+                "{}: {}%",
+                r.workload,
+                r.overhead_pct()
+            );
         }
     }
 
     #[test]
     fn para_overhead_grows_with_larger_tmro() {
         let workloads = vec![find_workload("470.lbm").unwrap()];
-        let records =
-            evaluate_single_core(MechanismKind::Para, 1000, &[36, 636], &workloads, &quick_sim());
+        let records = evaluate_single_core(
+            MechanismKind::Para,
+            1000,
+            &[36, 636],
+            &workloads,
+            &quick_sim(),
+        );
         let summary = summarize_overheads(&records);
         assert_eq!(summary.len(), 2);
         let at = |tmro: u32| summary.iter().find(|s| s.1 == tmro).unwrap().2;
@@ -168,13 +221,22 @@ mod tests {
         // policy that converts row conflicts into cheaper misses. The paper
         // reports single-digit percentages either way (Table 9); what must
         // hold here is that the overhead stays bounded in that regime.
-        assert!(at(36).abs() < 1e-6, "baseline-equal configuration must have zero overhead");
-        assert!(at(636) > -10.0 && at(636) < 25.0, "PARA-RP overhead out of range: {}", at(636));
+        assert!(
+            at(36).abs() < 1e-6,
+            "baseline-equal configuration must have zero overhead"
+        );
+        assert!(
+            at(636) > -10.0 && at(636) < 25.0,
+            "PARA-RP overhead out of range: {}",
+            at(636)
+        );
     }
 
     #[test]
     fn mix_evaluation_uses_weighted_speedup() {
-        let mixes = vec![rowpress_workloads::homogeneous_mix(&find_workload("h264_encode").unwrap())];
+        let mixes = vec![rowpress_workloads::homogeneous_mix(
+            &find_workload("h264_encode").unwrap(),
+        )];
         let records = evaluate_mixes(MechanismKind::Graphene, 1000, &[96], &mixes, &quick_sim());
         assert_eq!(records.len(), 1);
         let r = &records[0];
@@ -194,9 +256,15 @@ mod tests {
             adapted_perf: 1.6,
         };
         assert!((r.overhead_pct() - 25.0).abs() < 1e-9);
-        let speedup = OverheadRecord { adapted_perf: 2.5, ..r.clone() };
+        let speedup = OverheadRecord {
+            adapted_perf: 2.5,
+            ..r.clone()
+        };
         assert!(speedup.overhead_pct() < 0.0);
-        let broken = OverheadRecord { adapted_perf: 0.0, ..r };
+        let broken = OverheadRecord {
+            adapted_perf: 0.0,
+            ..r
+        };
         assert_eq!(broken.overhead_pct(), 100.0);
     }
 }

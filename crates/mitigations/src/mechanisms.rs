@@ -153,7 +153,10 @@ pub struct Para {
 impl Para {
     /// Creates a PARA instance with an explicit refresh probability.
     pub fn new(probability: f64, seed: u64) -> Self {
-        Para { probability: probability.clamp(0.0, 1.0), rng: SmallRng::seed_from_u64(seed) }
+        Para {
+            probability: probability.clamp(0.0, 1.0),
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Creates a PARA instance for a RowHammer threshold, using the paper's
@@ -221,7 +224,9 @@ impl MitigationConfig {
         if self.tmro_ns <= 36 {
             rowpress_memctrl::RowPolicy::Open
         } else {
-            rowpress_memctrl::RowPolicy::TimerCapped { tmro_ns: self.tmro_ns }
+            rowpress_memctrl::RowPolicy::TimerCapped {
+                tmro_ns: self.tmro_ns,
+            }
         }
     }
 
@@ -262,7 +267,12 @@ mod tests {
     #[test]
     fn adaptation_factor_from_measured_curve() {
         // A synthetic ACmin curve: flat then dropping.
-        let curve = vec![(36.0, 100_000.0), (96.0, 72_000.0), (636.0, 42_000.0), (7800.0, 6_000.0)];
+        let curve = vec![
+            (36.0, 100_000.0),
+            (96.0, 72_000.0),
+            (636.0, 42_000.0),
+            (7800.0, 6_000.0),
+        ];
         let f96 = adaptation_factor_from_characterization(&curve, 96.0).unwrap();
         assert!((f96 - 0.72).abs() < 1e-9);
         let f_large = adaptation_factor_from_characterization(&curve, 1e6).unwrap();
@@ -280,7 +290,10 @@ mod tests {
                 refreshes += 1;
             }
         }
-        assert_eq!(refreshes, 3, "a row activated 1000 times crosses T=333 three times");
+        assert_eq!(
+            refreshes, 3,
+            "a row activated 1000 times crosses T=333 three times"
+        );
         // A row activated a handful of times never triggers.
         let mut g = Graphene::for_threshold(999);
         let any = (0..10).any(|_| g.on_activation(0, 7, 0));
@@ -300,7 +313,10 @@ mod tests {
                 g.on_activation(0, 1000 + i, 0);
             }
         }
-        assert!(triggered, "the frequently activated row must eventually be caught");
+        assert!(
+            triggered,
+            "the frequently activated row must eventually be caught"
+        );
     }
 
     #[test]
@@ -326,16 +342,29 @@ mod tests {
         assert!((rate - 0.034).abs() < 0.005, "measured rate {rate}");
         assert_eq!(p.name(), "PARA");
         // Smaller thresholds need more aggressive refreshing.
-        assert!(Para::for_threshold(419, 7).probability() > Para::for_threshold(1000, 7).probability());
+        assert!(
+            Para::for_threshold(419, 7).probability() > Para::for_threshold(1000, 7).probability()
+        );
     }
 
     #[test]
     fn mitigation_config_builds_adapted_mechanisms() {
-        let cfg = MitigationConfig { kind: MechanismKind::Graphene, trh_base: 1000, tmro_ns: 96 };
+        let cfg = MitigationConfig {
+            kind: MechanismKind::Graphene,
+            trh_base: 1000,
+            tmro_ns: 96,
+        };
         assert_eq!(cfg.adapted_trh(), 724);
-        assert_eq!(cfg.row_policy(), rowpress_memctrl::RowPolicy::TimerCapped { tmro_ns: 96 });
+        assert_eq!(
+            cfg.row_policy(),
+            rowpress_memctrl::RowPolicy::TimerCapped { tmro_ns: 96 }
+        );
         assert!(cfg.label().contains("Graphene-RP"));
-        let baseline = MitigationConfig { kind: MechanismKind::Para, trh_base: 1000, tmro_ns: 36 };
+        let baseline = MitigationConfig {
+            kind: MechanismKind::Para,
+            trh_base: 1000,
+            tmro_ns: 36,
+        };
         assert_eq!(baseline.adapted_trh(), 1000);
         assert_eq!(baseline.row_policy(), rowpress_memctrl::RowPolicy::Open);
         let mut built = cfg.build(1);

@@ -66,7 +66,13 @@ impl WorkloadProfile {
 /// 429.mcf is pointer-chasing with poor locality, h264_encode has an 87 %
 /// row-hit rate).
 pub fn workload_catalog() -> Vec<WorkloadProfile> {
-    fn w(name: &str, llc_mpki: f64, row_hit_rate: f64, write_fraction: f64, footprint_mb: u64) -> WorkloadProfile {
+    fn w(
+        name: &str,
+        llc_mpki: f64,
+        row_hit_rate: f64,
+        write_fraction: f64,
+        footprint_mb: u64,
+    ) -> WorkloadProfile {
         WorkloadProfile {
             name: name.to_string(),
             llc_mpki,
@@ -182,8 +188,14 @@ impl TraceGenerator {
         let block = self.next_block_in_row % blocks_per_row;
         self.next_block_in_row = (self.next_block_in_row + 1) % blocks_per_row;
         let addr = self.current_row * self.row_bytes + block * self.block_bytes;
-        let is_write = self.rng.gen_bool(self.profile.write_fraction.clamp(0.0, 1.0));
-        TraceRecord { inst_gap, addr, is_write }
+        let is_write = self
+            .rng
+            .gen_bool(self.profile.write_fraction.clamp(0.0, 1.0));
+        TraceRecord {
+            inst_gap,
+            addr,
+            is_write,
+        }
     }
 
     /// Generates a trace of `n` accesses.
@@ -206,10 +218,16 @@ pub struct WorkloadMix {
 /// high-/low-intensity halves of the catalog.
 pub fn build_mixes(groups: &[&str], mixes_per_group: usize, seed: u64) -> Vec<WorkloadMix> {
     let catalog = workload_catalog();
-    let high: Vec<WorkloadProfile> =
-        catalog.iter().filter(|w| w.is_memory_intensive()).cloned().collect();
-    let low: Vec<WorkloadProfile> =
-        catalog.iter().filter(|w| !w.is_memory_intensive()).cloned().collect();
+    let high: Vec<WorkloadProfile> = catalog
+        .iter()
+        .filter(|w| w.is_memory_intensive())
+        .cloned()
+        .collect();
+    let low: Vec<WorkloadProfile> = catalog
+        .iter()
+        .filter(|w| !w.is_memory_intensive())
+        .cloned()
+        .collect();
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut mixes = Vec::new();
     for &group in groups {
@@ -221,7 +239,10 @@ pub fn build_mixes(groups: &[&str], mixes_per_group: usize, seed: u64) -> Vec<Wo
                     pool[rng.gen_range(0..pool.len())].clone()
                 })
                 .collect();
-            mixes.push(WorkloadMix { label: format!("{group}-{i}"), workloads });
+            mixes.push(WorkloadMix {
+                label: format!("{group}-{i}"),
+                workloads,
+            });
         }
     }
     mixes
@@ -242,7 +263,15 @@ mod tests {
     #[test]
     fn catalog_contains_paper_workloads() {
         let names: Vec<String> = workload_catalog().into_iter().map(|w| w.name).collect();
-        for expected in ["429.mcf", "462.libquantum", "510.parest", "483.xalancbmk", "h264_encode", "ycsb_eserver", "tpch17"] {
+        for expected in [
+            "429.mcf",
+            "462.libquantum",
+            "510.parest",
+            "483.xalancbmk",
+            "h264_encode",
+            "ycsb_eserver",
+            "tpch17",
+        ] {
             assert!(names.contains(&expected.to_string()), "missing {expected}");
         }
         assert!(names.len() >= 35);
@@ -256,14 +285,20 @@ mod tests {
     #[test]
     fn intensity_classification_matches_paper_descriptions() {
         assert!(find_workload("429.mcf").unwrap().is_memory_intensive());
-        assert!(find_workload("462.libquantum").unwrap().is_memory_intensive());
+        assert!(find_workload("462.libquantum")
+            .unwrap()
+            .is_memory_intensive());
         assert!(!find_workload("538.imagick").unwrap().is_memory_intensive());
         // libquantum has the highest row-buffer locality of the SPEC2006 set.
         let libq = find_workload("462.libquantum").unwrap();
         let mcf = find_workload("429.mcf").unwrap();
         assert!(libq.row_hit_rate > 0.9);
         assert!(mcf.row_hit_rate < 0.3);
-        assert!(libq.rbmpki() < 2.0, "libquantum RBMPKI is small: {}", libq.rbmpki());
+        assert!(
+            libq.rbmpki() < 2.0,
+            "libquantum RBMPKI is small: {}",
+            libq.rbmpki()
+        );
         assert!(mcf.rbmpki() > 10.0);
     }
 

@@ -1,18 +1,29 @@
 //! Reproduce the spirit of the paper's Section 6: a user-level access pattern
 //! that defeats a TRR-protected module by keeping aggressor rows open.
 
-use rowpress::attack::{latency_verification, median_latencies, run_attack, AttackParams, SystemModel};
+use rowpress::attack::{
+    latency_verification, median_latencies, run_attack, AttackParams, SystemModel,
+};
 
 fn main() {
     let system = SystemModel::comet_lake_trr().with_victims(150);
-    println!("victim system: {} with in-DRAM TRR, {} victim rows", system.module, system.victims);
+    println!(
+        "victim system: {} with in-DRAM TRR, {} victim rows",
+        system.module, system.victims
+    );
 
     // First, verify that reading many cache blocks keeps the row open.
     let histogram = latency_verification(50_000, 7);
     let (first, rest) = median_latencies(&histogram);
-    println!("first-block access median {first} cycles vs subsequent {rest} cycles (gap {} cycles)", first - rest);
+    println!(
+        "first-block access median {first} cycles vs subsequent {rest} cycles (gap {} cycles)",
+        first - rest
+    );
 
-    println!("{:<28} {:>10} {:>14}", "pattern", "bitflips", "rows w/ flips");
+    println!(
+        "{:<28} {:>10} {:>14}",
+        "pattern", "bitflips", "rows w/ flips"
+    );
     for (label, params) in [
         ("RowHammer (1 read/ACT)", AttackParams::algorithm1(4, 1)),
         ("RowPress (16 reads/ACT)", AttackParams::algorithm1(4, 16)),
@@ -20,7 +31,10 @@ fn main() {
         ("RowPress Algorithm 2 (32)", AttackParams::algorithm2(4, 32)),
     ] {
         let outcome = run_attack(&system, &params);
-        println!("{:<28} {:>10} {:>14}", label, outcome.total_bitflips, outcome.rows_with_bitflips);
+        println!(
+            "{:<28} {:>10} {:>14}",
+            label, outcome.total_bitflips, outcome.rows_with_bitflips
+        );
     }
     println!("RowPress defeats the in-DRAM RowHammer protection; plain hammering does not.");
 }

@@ -2,17 +2,29 @@
 //! aggressor-row-on time and report mean ACmin and the fraction of rows with
 //! bitflips, at two temperatures.
 
-use rowpress::core::{acmin_sweep, fraction_rows_with_flips, ExperimentConfig, PatternKind};
 use rowpress::core::stats::loglog_slope;
+use rowpress::core::{acmin_sweep, fraction_rows_with_flips, ExperimentConfig, PatternKind};
 use rowpress::dram::{module_inventory, sweep_t_aggon};
 
 fn main() {
-    let spec = module_inventory().into_iter().find(|m| m.id == "S3").expect("S3 in inventory");
+    let spec = module_inventory()
+        .into_iter()
+        .find(|m| m.id == "S3")
+        .expect("S3 in inventory");
     let cfg = ExperimentConfig::quick().with_rows_per_module(6);
     let taggons = sweep_t_aggon();
-    println!("characterizing {spec} ({} tested rows per temperature)", cfg.rows_per_module);
+    println!(
+        "characterizing {spec} ({} tested rows per temperature)",
+        cfg.rows_per_module
+    );
 
-    let records = acmin_sweep(&cfg, &[spec], PatternKind::SingleSided, &[50.0, 80.0], &taggons);
+    let records = acmin_sweep(
+        &cfg,
+        &[spec],
+        PatternKind::SingleSided,
+        &[50.0, 80.0],
+        &taggons,
+    );
     for temp in [50.0, 80.0] {
         println!("-- {temp} C --");
         let mut curve = Vec::new();
@@ -37,5 +49,9 @@ fn main() {
     }
     let fractions = fraction_rows_with_flips(&records);
     let vulnerable = fractions.values().filter(|&&f| f > 0.0).count();
-    println!("{} of {} (die, tAggON) points show at least one vulnerable row", vulnerable, fractions.len());
+    println!(
+        "{} of {} (die, tAggON) points show at least one vulnerable row",
+        vulnerable,
+        fractions.len()
+    );
 }

@@ -2,11 +2,18 @@
 //! Graphene-RP and PARA-RP slowdowns for a few maximum row-open times.
 
 use rowpress::memctrl::{RowPolicy, SystemConfig};
-use rowpress::mitigations::{adapted_trh, evaluate_single_core, summarize_overheads, MechanismKind};
+use rowpress::mitigations::{
+    adapted_trh, evaluate_single_core, summarize_overheads, MechanismKind,
+};
 use rowpress::workloads::find_workload;
 
 fn main() {
-    let sim = SystemConfig { accesses_per_core: 6_000, policy: RowPolicy::Open, retire_width: 4, seed: 11 };
+    let sim = SystemConfig {
+        accesses_per_core: 6_000,
+        policy: RowPolicy::Open,
+        retire_width: 4,
+        seed: 11,
+    };
     let workloads: Vec<_> = ["462.libquantum", "429.mcf", "510.parest", "h264_encode"]
         .iter()
         .map(|n| find_workload(n).expect("workload in catalog"))

@@ -2,7 +2,7 @@
 //! aggressor row is merely hammered versus kept open (pressed)?
 
 use rowpress::core::{find_ac_min, ExperimentConfig, PatternKind, PatternSite};
-use rowpress::dram::{module_inventory, BankId, DataPattern, DramModule, DramError, RowId, Time};
+use rowpress::dram::{module_inventory, BankId, DataPattern, DramError, DramModule, RowId, Time};
 
 fn main() -> Result<(), DramError> {
     let spec = module_inventory().remove(0); // Samsung 8Gb B-die
@@ -18,7 +18,12 @@ fn main() -> Result<(), DramError> {
     );
 
     println!("module: {spec} at 80 C");
-    for t_aggon in [Time::from_ns(36.0), Time::from_us(7.8), Time::from_us(70.2), Time::from_ms(30.0)] {
+    for t_aggon in [
+        Time::from_ns(36.0),
+        Time::from_us(7.8),
+        Time::from_us(70.2),
+        Time::from_ms(30.0),
+    ] {
         match find_ac_min(&mut module, &site, t_aggon, DataPattern::Checkerboard, &cfg)? {
             Some(outcome) => println!(
                 "tAggON {:>8}: ACmin = {:>8} activations ({} bitflips at ACmin)",
@@ -26,7 +31,10 @@ fn main() -> Result<(), DramError> {
                 outcome.ac_min,
                 outcome.flips.len()
             ),
-            None => println!("tAggON {:>8}: no bitflips within the 60 ms budget", format!("{t_aggon}")),
+            None => println!(
+                "tAggON {:>8}: no bitflips within the 60 ms budget",
+                format!("{t_aggon}")
+            ),
         }
     }
     println!("RowPress amplifies read disturbance: keeping the row open cuts ACmin by orders of magnitude,");

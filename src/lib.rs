@@ -6,7 +6,9 @@
 //!
 //! * [`dram`] — behavioural DDR4 device model with RowHammer + RowPress physics.
 //! * [`bender`] — DRAM-Bender-style command-level testing platform.
-//! * [`core`] — the characterization methodology (ACmin search, studies).
+//! * [`core`] — the characterization methodology: ACmin search, the study
+//!   drivers, and the campaign engine (`core::engine`) that executes typed
+//!   trial plans on a bounded worker pool with streaming sinks.
 //! * [`workloads`] — synthetic trace generation and benchmark catalog.
 //! * [`memctrl`] — cycle-level memory controller and system simulator.
 //! * [`mitigations`] — Graphene / PARA, their RowPress adaptations, ECC analysis.

@@ -14,32 +14,66 @@ fn headline_result_rowpress_amplifies_read_disturbance() {
     let spec = module_inventory().remove(0);
     let cfg = ExperimentConfig::test_scale();
     let mut module = DramModule::new(&spec, cfg.geometry);
-    let site = PatternSite::for_kind(PatternKind::SingleSided, BankId(1), RowId(20), cfg.geometry.rows_per_bank);
-    let hammer = find_ac_min(&mut module, &site, Time::from_ns(36.0), DataPattern::Checkerboard, &cfg)
-        .unwrap()
-        .expect("hammer flips within budget");
-    let press_refi = find_ac_min(&mut module, &site, Time::from_us(7.8), DataPattern::Checkerboard, &cfg)
-        .unwrap()
-        .expect("press flips at tREFI");
-    let press_30ms = find_ac_min(&mut module, &site, Time::from_ms(30.0), DataPattern::Checkerboard, &cfg)
-        .unwrap()
-        .expect("press flips at 30 ms");
-    assert!(press_refi.ac_min * 5 < hammer.ac_min, "ACmin must drop by well over 5x at tREFI");
-    assert!(press_30ms.ac_min <= 3, "a 30 ms press needs only a couple of activations");
+    let site = PatternSite::for_kind(
+        PatternKind::SingleSided,
+        BankId(1),
+        RowId(20),
+        cfg.geometry.rows_per_bank,
+    );
+    let hammer = find_ac_min(
+        &mut module,
+        &site,
+        Time::from_ns(36.0),
+        DataPattern::Checkerboard,
+        &cfg,
+    )
+    .unwrap()
+    .expect("hammer flips within budget");
+    let press_refi = find_ac_min(
+        &mut module,
+        &site,
+        Time::from_us(7.8),
+        DataPattern::Checkerboard,
+        &cfg,
+    )
+    .unwrap()
+    .expect("press flips at tREFI");
+    let press_30ms = find_ac_min(
+        &mut module,
+        &site,
+        Time::from_ms(30.0),
+        DataPattern::Checkerboard,
+        &cfg,
+    )
+    .unwrap()
+    .expect("press flips at 30 ms");
+    assert!(
+        press_refi.ac_min * 5 < hammer.ac_min,
+        "ACmin must drop by well over 5x at tREFI"
+    );
+    assert!(
+        press_30ms.ac_min <= 3,
+        "a 30 ms press needs only a couple of activations"
+    );
 }
 
 #[test]
 fn characterization_campaign_covers_all_manufacturers() {
     // At 80 C and tAggON = 70.2 us every manufacturer is press-vulnerable and
     // the amplification over conventional RowHammer is large (Fig. 1).
-    let cfg = ExperimentConfig::test_scale().with_rows_per_module(6).at_temperature(80.0);
+    let cfg = ExperimentConfig::test_scale()
+        .with_rows_per_module(6)
+        .at_temperature(80.0);
     let modules: Vec<_> = module_inventory()
         .into_iter()
         .filter(|m| ["S0", "H0", "M3"].contains(&m.id.as_str()))
         .collect();
     let taggons = [Time::from_ns(36.0), Time::from_us(70.2)];
     let records = acmin_sweep(&cfg, &modules, PatternKind::SingleSided, &[80.0], &taggons);
-    assert_eq!(records.len(), modules.len() * cfg.rows_per_module as usize * taggons.len());
+    assert_eq!(
+        records.len(),
+        modules.len() * cfg.rows_per_module as usize * taggons.len()
+    );
     for id in ["S0", "H0", "M3"] {
         let mean_at = |t: Time| -> Option<f64> {
             let v: Vec<f64> = records
@@ -56,7 +90,10 @@ fn characterization_campaign_covers_all_manufacturers() {
         let hammer = mean_at(Time::from_ns(36.0)).expect("RowHammer flips within the budget");
         let press = mean_at(Time::from_us(70.2))
             .unwrap_or_else(|| panic!("{id} must show RowPress bitflips at 70.2 us / 80 C"));
-        assert!(press * 10.0 < hammer, "{id}: ACmin must drop by >10x (hammer {hammer}, press {press})");
+        assert!(
+            press * 10.0 < hammer,
+            "{id}: ACmin must drop by >10x (hammer {hammer}, press {press})"
+        );
     }
 }
 
@@ -68,7 +105,11 @@ fn adapted_mitigation_preserves_protection_math() {
     for tmro in [66u32, 96, 186, 336, 636] {
         assert!(adapted_trh(1000, tmro) < 1000);
     }
-    let config = MitigationConfig { kind: MechanismKind::Graphene, trh_base: 1000, tmro_ns: 186 };
+    let config = MitigationConfig {
+        kind: MechanismKind::Graphene,
+        trh_base: 1000,
+        tmro_ns: 186,
+    };
     assert_eq!(config.adapted_trh(), 619);
     assert_eq!(config.row_policy(), RowPolicy::TimerCapped { tmro_ns: 186 });
 }
@@ -76,7 +117,12 @@ fn adapted_mitigation_preserves_protection_math() {
 #[test]
 fn system_simulator_and_workloads_compose() {
     let w = find_workload("462.libquantum").unwrap();
-    let cfg = SystemConfig { accesses_per_core: 2_000, policy: RowPolicy::Open, retire_width: 4, seed: 1 };
+    let cfg = SystemConfig {
+        accesses_per_core: 2_000,
+        policy: RowPolicy::Open,
+        retire_width: 4,
+        seed: 1,
+    };
     let result = simulate_alone(&w, &cfg, Box::new(NoMitigation));
     assert!(result.cores[0].ipc() > 0.0);
     assert!(result.controller.row_hit_rate() > 0.5);

@@ -1,0 +1,90 @@
+//! Integration tests of the campaign engine through the `rowpress` facade:
+//! the engine is re-exported at `rowpress::core::engine`, executes plans
+//! deterministically regardless of worker count, and streams JSONL that
+//! round-trips through serde.
+
+use rowpress::core::engine::{Engine, JsonlSink, Measurement, Plan, TrialRecord};
+use rowpress::core::{acmin_sweep, ExperimentConfig, PatternKind};
+use rowpress::dram::{module_inventory, ModuleSpec, Time};
+
+fn spec(id: &str) -> ModuleSpec {
+    module_inventory().into_iter().find(|m| m.id == id).unwrap()
+}
+
+fn plan(cfg: &ExperimentConfig) -> Plan {
+    Plan::grid(cfg)
+        .modules(&[spec("S3"), spec("M0")])
+        .temperatures(&[50.0, 80.0])
+        .measurements(
+            [Time::from_ns(36.0), Time::from_ms(30.0)]
+                .into_iter()
+                .map(|t| Measurement::AcMin { t_aggon: t }),
+        )
+        .build()
+}
+
+#[test]
+fn facade_exposes_a_deterministic_engine() {
+    let cfg = ExperimentConfig::test_scale();
+    let plan = plan(&cfg);
+    let single = Engine::new(&cfg)
+        .with_workers(1)
+        .run_collect(&plan)
+        .unwrap();
+    let pooled = Engine::new(&cfg)
+        .with_workers(8)
+        .run_collect(&plan)
+        .unwrap();
+    assert_eq!(single, pooled);
+    assert_eq!(single.len(), plan.len());
+}
+
+#[test]
+fn facade_jsonl_stream_round_trips() {
+    let cfg = ExperimentConfig::test_scale();
+    let plan = plan(&cfg);
+    let engine = Engine::new(&cfg);
+    let records = engine.run_collect(&plan).unwrap();
+    let mut sink = JsonlSink::new(Vec::new());
+    engine.run(&plan, &mut sink).unwrap();
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    let parsed: Vec<TrialRecord> = text
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("valid JSONL"))
+        .collect();
+    assert_eq!(parsed, records);
+}
+
+#[test]
+fn study_drivers_agree_with_equivalent_engine_plans() {
+    // The drivers kept their public signatures but now run through the
+    // engine; the records they produce must match a hand-built plan.
+    let cfg = ExperimentConfig::test_scale();
+    let taggons = [Time::from_ns(36.0), Time::from_ms(30.0)];
+    let driver_records = acmin_sweep(
+        &cfg,
+        &[spec("S3")],
+        PatternKind::SingleSided,
+        &[50.0],
+        &taggons,
+    );
+    let plan = Plan::grid(&cfg)
+        .module(&spec("S3"))
+        .temperatures(&[50.0])
+        .measurements(
+            taggons
+                .into_iter()
+                .map(|t| Measurement::AcMin { t_aggon: t }),
+        )
+        .build();
+    let engine_records = Engine::new(&cfg).run_collect(&plan).unwrap();
+    assert_eq!(driver_records.len(), engine_records.len());
+    for (driver, engine) in driver_records.iter().zip(&engine_records) {
+        assert_eq!(driver.site_row, engine.trial.row);
+        let rowpress::core::TrialOutcome::AcMin { ac_min, ac_max, .. } = &engine.outcome else {
+            panic!("ACmin plan produced a non-ACmin outcome");
+        };
+        assert_eq!(&driver.ac_min, ac_min);
+        assert_eq!(&driver.ac_max, ac_max);
+    }
+}

@@ -7,7 +7,9 @@
 
 #![allow(unused_imports)]
 
-use rowpress::attack::{latency_verification, median_latencies, run_attack, AttackParams, SystemModel};
+use rowpress::attack::{
+    latency_verification, median_latencies, run_attack, AttackParams, SystemModel,
+};
 use rowpress::bender::{Program, ProgramBuilder, TestPlatform};
 use rowpress::core::stats::{loglog_slope, BoxSummary};
 use rowpress::core::{
@@ -46,10 +48,16 @@ fn every_subsystem_is_reachable_through_the_facade() {
     assert!(adapted_trh(1000, 36) >= adapted_trh(1000, 600));
 
     // workloads
-    assert!(find_workload("429.mcf").is_some(), "benchmark catalog resolves a SPEC name");
+    assert!(
+        find_workload("429.mcf").is_some(),
+        "benchmark catalog resolves a SPEC name"
+    );
 
     // memctrl: the config type constructs and carries a row policy.
-    let sys = SystemConfig { accesses_per_core: 1_000, ..SystemConfig::default() };
+    let sys = SystemConfig {
+        accesses_per_core: 1_000,
+        ..SystemConfig::default()
+    };
     assert!(matches!(sys.policy, RowPolicy::Open));
 
     // attack + bender types are constructible/nameable (checked via imports

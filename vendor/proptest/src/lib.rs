@@ -40,7 +40,9 @@ impl TestRng {
     /// A fixed-seed generator so failures reproduce run-to-run.
     pub fn deterministic(salt: u64) -> Self {
         use rand::SeedableRng;
-        TestRng { inner: rand::rngs::SmallRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ salt) }
+        TestRng {
+            inner: rand::rngs::SmallRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ salt),
+        }
     }
 
     /// Returns the next pseudo-random word.

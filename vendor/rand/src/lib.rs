@@ -114,7 +114,9 @@ pub mod rngs {
             let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            SmallRng { state: (z ^ (z >> 31)) | 1 }
+            SmallRng {
+                state: (z ^ (z >> 31)) | 1,
+            }
         }
     }
 

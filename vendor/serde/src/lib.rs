@@ -1,16 +1,465 @@
-//! Offline stand-in for `serde`.
+//! Offline stand-in for `serde` — now a *real*, minimal serialization
+//! framework rather than a no-op marker.
 //!
-//! Exposes the two trait names and the derive macros that the workspace
-//! imports (`use serde::{Deserialize, Serialize}` + `#[derive(...)]`). The
-//! traits are empty markers and the derives are no-ops — sufficient while no
-//! code path actually serializes. See `vendor/README.md`.
+//! The workspace's engine streams trial records to JSONL sinks, so the former
+//! empty-marker traits are replaced by a small self-describing data model:
+//! [`Serialize`] lowers a value into a [`Value`] tree and [`Deserialize`]
+//! rebuilds a value from one. The derive macros in `serde_derive` generate
+//! real implementations for structs and enums (externally tagged, like real
+//! serde's JSON representation), and the `serde_json` stand-in renders
+//! [`Value`] trees to JSON text and parses them back.
+//!
+//! The trait *methods* are intentionally simpler than real serde's
+//! `Serializer`/`Deserializer` visitors — workspace code never calls them
+//! directly; it only uses `#[derive(Serialize, Deserialize)]` plus
+//! `serde_json::{to_string, from_str}`, which match the real crates' call
+//! sites. See `vendor/README.md`.
 
 #![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+use std::fmt;
 
-/// Marker stand-in for `serde::Deserialize`.
-pub trait Deserialize<'de>: Sized {}
+/// A self-describing value tree: the intermediate representation between
+/// typed Rust values and serialized text.
+///
+/// The variants mirror the JSON data model (plus a signed/unsigned integer
+/// split so `u64::MAX` survives a round trip). Maps preserve insertion order
+/// so serialization is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`; also the encoding of `None` and of non-finite floats.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A finite floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (struct fields / enum tags).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a struct field by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a map or the field is missing.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+            other => Err(Error::custom(format!(
+                "expected a map with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Views `self` as a sequence of exactly `expected` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a sequence or the length differs.
+    pub fn elements(&self, expected: usize) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) if items.len() == expected => Ok(items),
+            Value::Seq(items) => Err(Error::custom(format!(
+                "expected a sequence of {expected} elements, found {}",
+                items.len()
+            ))),
+            other => Err(Error::custom(format!(
+                "expected a sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// A short description of the variant, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::U64(_) | Value::I64(_) => "an integer",
+            Value::F64(_) => "a float",
+            Value::Str(_) => "a string",
+            Value::Seq(_) => "a sequence",
+            Value::Map(_) => "a map",
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can lower itself into a [`Value`] tree.
+pub trait Serialize {
+    /// Lowers `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from a [`Value`] tree.
+///
+/// The lifetime parameter mirrors real serde's `Deserialize<'de>` so that
+/// workspace trait bounds (`for<'de> Deserialize<'de>` etc.) keep compiling.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds a value from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value tree does not match `Self`'s shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive implementations
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected an unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$ty>::try_from(raw).map_err(|_| {
+                    Error::custom(format!("integer {raw} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n < 0 {
+                    Value::I64(n)
+                } else {
+                    Value::U64(n as u64)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n).map_err(|_| {
+                        Error::custom(format!("integer {n} out of range for i64"))
+                    })?,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected a signed integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$ty>::try_from(raw).map_err(|_| {
+                    Error::custom(format!("integer {raw} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let raw = u64::from_value(value)?;
+        usize::try_from(raw)
+            .map_err(|_| Error::custom(format!("integer {raw} out of range for usize")))
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let raw = i64::from_value(value)?;
+        isize::try_from(raw)
+            .map_err(|_| Error::custom(format!("integer {raw} out of range for isize")))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected a boolean, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            // JSON has no NaN / infinity; encode as null like real serde_json.
+            Value::Null
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::custom(format!(
+                "expected a number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(Error::custom(format!(
+                        "expected a single-character string, found {s:?}"
+                    ))),
+                }
+            }
+            other => Err(Error::custom(format!(
+                "expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected a sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value.elements(N)?;
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected an array of {N} elements")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_values() {
+        assert_eq!(u64::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(char::from_value(&'D'.to_value()).unwrap(), 'D');
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        let v: Option<u8> = None;
+        assert_eq!(v.to_value(), Value::Null);
+        assert_eq!(<Option<u8>>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(<Option<u8>>::from_value(&Value::U64(3)).unwrap(), Some(3));
+        let seq = vec![1u8, 2, 3].to_value();
+        assert_eq!(<Vec<u8>>::from_value(&seq).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn type_mismatches_are_reported() {
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+        assert!(char::from_value(&Value::Str("ab".into())).is_err());
+        let err = Value::Null.field("x").unwrap_err();
+        assert!(err.to_string().contains("expected a map"));
+        assert!(Value::Seq(vec![]).elements(1).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn map_field_lookup() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Bool(false)),
+        ]);
+        assert_eq!(v.field("a").unwrap(), &Value::U64(1));
+        assert!(v
+            .field("c")
+            .unwrap_err()
+            .to_string()
+            .contains("missing field"));
+    }
+}

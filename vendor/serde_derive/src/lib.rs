@@ -1,21 +1,441 @@
-//! Offline stand-in for `serde_derive`.
+//! Offline stand-in for `serde_derive` — generates *real* `Serialize` /
+//! `Deserialize` implementations against the vendored serde's `Value` data
+//! model (see `vendor/serde/src/lib.rs`).
 //!
-//! The real crate generates `serde::Serialize` / `serde::Deserialize`
-//! implementations. Nothing in this workspace performs actual
-//! (de)serialization yet, so these derives intentionally expand to nothing:
-//! the attribute positions stay valid and the code keeps compiling against
-//! the real serde API shape.
+//! The real crate parses the input with `syn`; that dependency is not
+//! available offline, so this macro walks the raw [`TokenStream`] directly.
+//! It supports exactly the shapes the workspace uses:
+//!
+//! * structs with named fields, tuple structs (newtype and multi-field) and
+//!   unit structs,
+//! * enums whose variants are unit, newtype, tuple or struct-like,
+//! * no generic parameters (none of the workspace's serialized types have
+//!   any; a type that does gets a clear `compile_error!`).
+//!
+//! The generated representation matches real serde's externally-tagged JSON
+//! encoding: named structs become maps, newtype structs unwrap to their inner
+//! value, unit enum variants become strings, and payload-carrying variants
+//! become single-entry maps keyed by the variant name.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// No-op stand-in for `#[derive(Serialize)]`.
+/// Generates a `serde::Serialize` implementation.
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
 }
 
-/// No-op stand-in for `#[derive(Deserialize)]`.
+/// Generates a `serde::Deserialize` implementation.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+enum Body {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S(A, B);` — the field count.
+    TupleStruct(usize),
+    /// `struct S { a: A, b: B }` — the field names.
+    NamedStruct(Vec<String>),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let (name, body) = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});")
+                .parse()
+                .expect("valid compile_error")
+        }
+    };
+    let code = match which {
+        Trait::Serialize => gen_serialize(&name, &body),
+        Trait::Deserialize => gen_deserialize(&name, &body),
+    };
+    code.parse().expect("derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<(String, Body), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err(format!("expected a name after `{keyword}`")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive stand-in: generic type `{name}` is not supported (vendor/serde_derive)"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Ok((name, Body::UnitStruct)),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Body::UnitStruct)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Body::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Body::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Body::Enum(parse_variants(g.stream())?)))
+            }
+            _ => Err(format!("expected a brace-delimited body for enum `{name}`")),
+        },
+        other => Err(format!(
+            "serde derive stand-in: unsupported item kind `{other}`"
+        )),
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` — the punct is followed by a bracketed group.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            // `pub` optionally followed by `(crate)` / `(super)` / `(in ...)`.
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Consumes a type from `tokens[*i]..`, stopping at a `,` that sits outside
+/// every `<...>` pair. Delimited groups are single tokens, so only angle
+/// brackets need explicit depth tracking.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected a field name, found `{other}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&tokens, &mut i);
+        // Skip the separating comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected a variant name, found `{other}`")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err("serde derive stand-in: explicit discriminants are not supported".into());
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Body::NamedStruct(fields) => gen_map_literal(fields, |f| format!("&self.{f}")),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_serialize_arm(name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body_code} }}\n\
+         }}"
+    )
+}
+
+/// `Value::Map(vec![("field", field.to_value()), ...])` where `expr(f)` names
+/// the borrowed field (`&self.f` for structs, the match binding for enums).
+fn gen_map_literal(fields: &[String], expr: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({}))",
+                expr(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize_arm(name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.fields {
+        VariantFields::Unit => {
+            format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),")
+        }
+        VariantFields::Tuple(n) => {
+            let bindings: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items: Vec<String> = bindings
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "{name}::{v}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from({v:?}), {inner})]),",
+                bindings.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let inner = gen_map_literal(fields, |f| f.to_string());
+            format!(
+                "{name}::{v} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from({v:?}), {inner})]),",
+                fields.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::UnitStruct => format!(
+            "match __value {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\n\
+                     \"expected null for unit struct {name}, found {{}}\", __other.kind()))),\n\
+             }}"
+        ),
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                .collect();
+            format!(
+                "{{ let __items = __value.elements({n})?;\n\
+                     ::std::result::Result::Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+        Body::NamedStruct(fields) => {
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                gen_named_field_inits(fields)
+            )
+        }
+        Body::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body_code}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// `f: Deserialize::from_value(source.field("f")?)?, ...` — the field types
+/// are recovered by inference from the struct/variant constructor.
+fn gen_named_field_inits(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(__value.field({f:?})?)?"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| {
+            format!(
+                "{:?} => ::std::result::Result::Ok({name}::{}),",
+                v.name, v.name
+            )
+        })
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let variant = &v.name;
+            match &v.fields {
+                VariantFields::Unit => None,
+                VariantFields::Tuple(1) => Some(format!(
+                    "{variant:?} => ::std::result::Result::Ok({name}::{variant}(::serde::Deserialize::from_value(__inner)?)),"
+                )),
+                VariantFields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                        .collect();
+                    Some(format!(
+                        "{variant:?} => {{ let __items = __inner.elements({n})?;\n\
+                             ::std::result::Result::Ok({name}::{variant}({})) }},",
+                        items.join(", ")
+                    ))
+                }
+                VariantFields::Named(fields) => {
+                    let inits = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::Deserialize::from_value(__inner.field({f:?})?)?")
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    Some(format!(
+                        "{variant:?} => ::std::result::Result::Ok({name}::{variant} {{ {inits} }}),"
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match __value {{\n\
+             ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\n\
+                     \"unknown unit variant `{{__other}}` of {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\n\
+                         \"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\n\
+                 \"expected a variant of {name}, found {{}}\", __other.kind()))),\n\
+         }}",
+        unit_arms.join("\n"),
+        payload_arms.join("\n")
+    )
 }
