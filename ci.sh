@@ -20,13 +20,22 @@ cargo test --workspace -q
 step "cargo build --examples"
 cargo build --examples
 
-# The campaign engine is the execution path of every study driver; run its
-# suite explicitly so an engine regression is named in the CI log.
-step "cargo test -p rowpress-core --lib engine (campaign engine suite)"
-cargo test -p rowpress-core --lib -q engine
+# The campaign engine is the execution path of every study driver; name its
+# suites in the CI log so an engine regression is pinpointed. One filtered
+# run covers the whole module tree (engine::plan / schedule / cache / sink /
+# worker) plus the sharded-campaign helper; one more runs the facade-level
+# shard + persistent-cache + threaded-sink integration tests.
+step "cargo test -p rowpress-core --lib (engine tree + sharded campaign)"
+cargo test -p rowpress-core --lib -q -- engine campaign
+
+step "cargo test --test engine (facade shard/cache/sink integration)"
+cargo test -q --test engine
 
 step "cargo fmt --all -- --check"
 cargo fmt --all -- --check
+
+step "cargo clippy --workspace --all-targets -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 if [[ "${1:-}" != "quick" ]]; then
   step "cargo bench --no-run --workspace (every fig/table bench target compiles)"
@@ -34,6 +43,12 @@ if [[ "${1:-}" != "quick" ]]; then
 
   step "cargo bench -p rowpress-bench --bench perf_engine --no-run"
   cargo bench -p rowpress-bench --bench perf_engine --no-run
+
+  step "cargo bench -p rowpress-bench --bench perf_shard --no-run"
+  cargo bench -p rowpress-bench --bench perf_shard --no-run
+
+  step "cargo bench -p rowpress-bench --bench perf_persistent_cache --no-run"
+  cargo bench -p rowpress-bench --bench perf_persistent_cache --no-run
 fi
 
 step "cargo doc --no-deps with warnings denied (missing docs are errors)"

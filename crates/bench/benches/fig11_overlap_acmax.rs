@@ -17,7 +17,7 @@ fn main() {
     let taggons = vec![Time::from_ns(36.0), Time::from_us(7.8), Time::from_us(70.2)];
     let records = acmax_sweep(
         &cfg,
-        &[spec.clone()],
+        std::slice::from_ref(&spec),
         PatternKind::SingleSided,
         &[50.0],
         &taggons,

@@ -7,18 +7,6 @@ use rowpress_core::engine::{Engine, Measurement, Plan};
 use rowpress_core::{find_ac_min, ExperimentConfig, PatternKind, PatternSite};
 use rowpress_dram::{DramModule, ModuleSpec, Time};
 
-fn bench_modules() -> Vec<ModuleSpec> {
-    ["S0", "S3", "H0", "M3"]
-        .iter()
-        .map(|id| {
-            rowpress_dram::module_inventory()
-                .into_iter()
-                .find(|m| &m.id == id)
-                .expect("module in inventory")
-        })
-        .collect()
-}
-
 fn taggons() -> Vec<Time> {
     vec![Time::from_ns(36.0), Time::from_us(7.8), Time::from_ms(30.0)]
 }
@@ -70,7 +58,7 @@ fn thread_per_module_acmin(cfg: &ExperimentConfig, modules: &[ModuleSpec]) -> us
 
 fn bench_engine(c: &mut Criterion) {
     let cfg = ExperimentConfig::test_scale();
-    let modules = bench_modules();
+    let modules = rowpress_bench::engine_bench_modules();
     let plan = acmin_plan(&cfg, &modules);
     println!(
         "perf_engine: {} trials/iteration, bounded pool of {} workers",

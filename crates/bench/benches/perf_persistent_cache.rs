@@ -1,0 +1,108 @@
+//! Criterion performance benchmark of the persistent cross-process trial
+//! cache (not a paper figure): a cold ACmin grid against a second "process"
+//! that preloads the first one's `PersistentCache` JSONL file and replays
+//! the grid without recomputing a single trial — the paper's
+//! "never recompute a measured point" discipline across processes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rowpress_core::engine::{Engine, Measurement, PersistentCache, Plan};
+use rowpress_core::ExperimentConfig;
+use rowpress_dram::Time;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn acmin_plan(cfg: &ExperimentConfig) -> Plan {
+    Plan::grid(cfg)
+        .modules(&rowpress_bench::engine_bench_modules())
+        .measurements(
+            [Time::from_ns(36.0), Time::from_us(7.8), Time::from_ms(30.0)]
+                .into_iter()
+                .map(|t| Measurement::AcMin { t_aggon: t }),
+        )
+        .build()
+}
+
+fn cache_path() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "rowpress-perf-persistent-cache-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn bench_persistent_cache(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let plan = acmin_plan(&cfg);
+    let path = cache_path();
+    std::fs::remove_file(&path).ok();
+
+    // "Process" 1: one cold run populates the cache file.
+    let baseline = {
+        let persistent = PersistentCache::open(&path, &cfg).expect("cache file");
+        Engine::new(&cfg)
+            .with_persistent_cache(&persistent)
+            .run_collect(&plan)
+            .expect("valid site")
+        // Dropping `persistent` flushes the outcomes to disk.
+    };
+
+    // Correctness and headline-ratio gates before criterion runs: a second
+    // "process" preloading the file must replay byte-identically without
+    // computing anything, and the warm replay (including the JSONL preload
+    // parse) must be >= 100x faster than the cold run.
+    let cold_started = Instant::now();
+    let cold = Engine::new(&cfg).run_collect(&plan).expect("valid site");
+    let cold_elapsed = cold_started.elapsed();
+    assert_eq!(cold, baseline);
+    let warm_started = Instant::now();
+    let warm = {
+        let persistent = PersistentCache::open(&path, &cfg).expect("cache file");
+        assert_eq!(persistent.preloaded(), plan.len());
+        let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+        let records = engine.run_collect(&plan).expect("valid site");
+        assert_eq!(engine.cache().misses(), 0, "warm replay must not compute");
+        records
+    };
+    let warm_elapsed = warm_started.elapsed();
+    assert_eq!(warm, baseline, "preloaded replay must be identical");
+    let speedup = cold_elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "perf_persistent_cache: {} trials, cold {:?}, warm preload+replay {:?} ({speedup:.0}x)",
+        plan.len(),
+        cold_elapsed,
+        warm_elapsed
+    );
+    assert!(
+        speedup >= 100.0,
+        "persistent-cache replay must be >= 100x faster, got {speedup:.1}x"
+    );
+
+    c.bench_function("acmin_grid_cold_no_cache", |b| {
+        // A fresh private cache per iteration: every trial computes.
+        b.iter(|| {
+            Engine::new(&cfg)
+                .run_collect(&plan)
+                .expect("valid site")
+                .len()
+        })
+    });
+    c.bench_function("acmin_grid_warm_persistent_preload", |b| {
+        // A new "process" per iteration: open the file, preload, replay.
+        b.iter(|| {
+            let persistent = PersistentCache::open(&path, &cfg).expect("cache file");
+            Engine::new(&cfg)
+                .with_persistent_cache(&persistent)
+                .run_collect(&plan)
+                .expect("valid site")
+                .len()
+        })
+    });
+
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_persistent_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion performance benchmark of sharded campaign execution (not a
+//! paper figure): a single-process engine run against the same plan split
+//! into strided `Plan::shard` sub-plans executed by independent engines and
+//! merge-sorted back — the in-process model of the paper's Slurm-style
+//! DRAM-Bender fan-out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rowpress_core::campaign::run_sharded;
+use rowpress_core::engine::{Engine, Measurement, Plan};
+use rowpress_core::ExperimentConfig;
+use rowpress_dram::Time;
+
+const SHARDS: usize = 4;
+
+fn acmin_plan(cfg: &ExperimentConfig) -> Plan {
+    Plan::grid(cfg)
+        .modules(&rowpress_bench::engine_bench_modules())
+        .measurements(
+            [Time::from_ns(36.0), Time::from_us(7.8), Time::from_ms(30.0)]
+                .into_iter()
+                .map(|t| Measurement::AcMin { t_aggon: t }),
+        )
+        .build()
+}
+
+fn bench_shard(c: &mut Criterion) {
+    let cfg = ExperimentConfig::test_scale();
+    let plan = acmin_plan(&cfg);
+    println!(
+        "perf_shard: {} trials/iteration, {SHARDS} shards, shard sizes {:?}",
+        plan.len(),
+        (0..SHARDS)
+            .map(|i| plan.shard(i, SHARDS).len())
+            .collect::<Vec<_>>()
+    );
+
+    // Determinism gate before timing anything: the merged shard streams must
+    // reproduce the single-process record stream exactly.
+    let baseline = Engine::new(&cfg).run_collect(&plan).expect("valid site");
+    let merged = run_sharded(&Engine::new(&cfg), &plan, SHARDS).expect("valid site");
+    assert_eq!(merged, baseline, "sharded merge must be byte-identical");
+
+    c.bench_function("acmin_grid_single_process", |b| {
+        // A fresh engine per iteration: raw single-process throughput.
+        b.iter(|| {
+            Engine::new(&cfg)
+                .run_collect(&plan)
+                .expect("valid site")
+                .len()
+        })
+    });
+    c.bench_function("acmin_grid_sharded_merged", |b| {
+        // Shard, execute each shard on its own fresh-cache engine, merge.
+        b.iter(|| {
+            run_sharded(&Engine::new(&cfg), &plan, SHARDS)
+                .expect("valid site")
+                .len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_shard
+}
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 #![warn(missing_docs)]
 
 use rowpress_core::ExperimentConfig;
-use rowpress_dram::{module_inventory, ModuleSpec, Time};
+use rowpress_dram::{ModuleSpec, Time};
 
 /// Prints the standard banner of a figure/table reproduction.
 pub fn header(id: &str, title: &str, paper_claim: &str) {
@@ -33,15 +33,7 @@ pub fn bench_config(rows_per_module: u32) -> ExperimentConfig {
 /// One representative module per manufacturer (S, H, M), used by the benches
 /// that compare manufacturers rather than individual die revisions.
 pub fn one_module_per_manufacturer() -> Vec<ModuleSpec> {
-    ["S0", "H0", "M3"]
-        .iter()
-        .map(|id| {
-            module_inventory()
-                .into_iter()
-                .find(|m| &m.id == id)
-                .expect("module in inventory")
-        })
-        .collect()
+    ["S0", "H0", "M3"].iter().map(|id| module(id)).collect()
 }
 
 /// A small set of die-revision-diverse modules (one S, one H, one M plus the
@@ -49,21 +41,26 @@ pub fn one_module_per_manufacturer() -> Vec<ModuleSpec> {
 pub fn diverse_modules() -> Vec<ModuleSpec> {
     ["S0", "S3", "H0", "H4", "M0", "M3"]
         .iter()
-        .map(|id| {
-            module_inventory()
-                .into_iter()
-                .find(|m| &m.id == id)
-                .expect("module in inventory")
-        })
+        .map(|id| module(id))
         .collect()
 }
 
-/// Looks up one module by id, panicking with a clear message if missing.
+/// Looks up one module by id through the engine's typed
+/// [`rowpress_core::lookup_module`], panicking with its
+/// `EngineError::UnknownModule` message if missing (benches have no error
+/// channel to propagate through).
 pub fn module(id: &str) -> ModuleSpec {
-    module_inventory()
-        .into_iter()
-        .find(|m| m.id == id)
-        .unwrap_or_else(|| panic!("module {id} not in inventory"))
+    rowpress_core::lookup_module(id).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The module set shared by the engine-infrastructure perf benches
+/// (`perf_engine`, `perf_shard`, `perf_persistent_cache`): one module per
+/// manufacturer plus the most RowPress-vulnerable S die.
+pub fn engine_bench_modules() -> Vec<ModuleSpec> {
+    ["S0", "S3", "H0", "M3"]
+        .iter()
+        .map(|id| module(id))
+        .collect()
 }
 
 /// Formats a tAggON value the way the paper labels its x-axes.

@@ -6,9 +6,12 @@
 //! cores, no matter how many work items there are — the full 21-module
 //! inventory (164 chips) used to spawn one OS thread per module; it now
 //! shares [`worker_count`] workers pulling items off a common queue. The
-//! paper's artifact does the same fan-out with a Slurm cluster.
+//! paper's artifact does the same fan-out with a Slurm cluster —
+//! [`run_sharded`] models exactly that: one engine per [`Plan::shard`], the
+//! partial streams merge-sorted back into plan order.
 
-use rowpress_dram::ModuleSpec;
+use crate::engine::{Engine, Plan, TrialRecord};
+use rowpress_dram::{DramResult, ModuleSpec};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -87,6 +90,36 @@ where
     bounded_par_map(modules, worker_count(), f)
 }
 
+/// Runs a plan as `shards` independent [`Plan::shard`] campaigns — each on a
+/// clone of `engine` (the clones share its cache handle) driven by one
+/// [`bounded_par_map`] slot — and merge-sorts the partial record streams
+/// back into plan order with [`Plan::merge`].
+///
+/// This is the in-process model of the paper's Slurm-style fan-out: the
+/// record stream is byte-identical to `engine.run_collect(plan)`. For the
+/// real multi-process version, hand each process its own shard index and a
+/// `JsonlSink`, then reassemble with
+/// [`JsonlReader::merge_shards`](crate::engine::JsonlReader::merge_shards).
+///
+/// # Errors
+///
+/// Returns the first trial error of any shard.
+pub fn run_sharded(engine: &Engine, plan: &Plan, shards: usize) -> DramResult<Vec<TrialRecord>> {
+    let shards = shards.clamp(1, plan.len().max(1));
+    let indices: Vec<usize> = (0..shards).collect();
+    let streams = bounded_par_map(&indices, worker_count(), |&i| {
+        // Each shard gets a 1-worker engine: the fan-out across shards *is*
+        // the parallelism, exactly as one process per board provides it.
+        engine
+            .clone()
+            .with_workers(1)
+            .run_collect(&plan.shard(i, shards))
+    })
+    .into_iter()
+    .collect::<DramResult<Vec<_>>>()?;
+    Ok(Plan::merge(streams))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +167,28 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn sharded_campaigns_match_the_single_engine_stream() {
+        use crate::engine::{lookup_module, Measurement};
+        use rowpress_dram::Time;
+        let cfg = crate::ExperimentConfig::test_scale();
+        let plan = Plan::grid(&cfg)
+            .module(&lookup_module("S3").unwrap())
+            .temperatures(&[50.0, 80.0])
+            .measurements(
+                [Time::from_ns(36.0), Time::from_ms(30.0)]
+                    .into_iter()
+                    .map(|t| Measurement::AcMin { t_aggon: t }),
+            )
+            .build();
+        let engine = Engine::new(&cfg);
+        let baseline = engine.run_collect(&plan).unwrap();
+        for shards in [1, 3, 8, plan.len() + 5] {
+            let records = run_sharded(&engine, &plan, shards).unwrap();
+            assert_eq!(records, baseline, "shards = {shards}");
+        }
     }
 
     #[test]

@@ -120,7 +120,7 @@ impl ExperimentConfig {
         if self.repeats == 0 {
             return Err("repeats must be positive".into());
         }
-        if !(self.accuracy_pct > 0.0) {
+        if self.accuracy_pct.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("accuracy_pct must be positive".into());
         }
         if self.budget.is_zero() {

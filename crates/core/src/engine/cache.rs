@@ -1,0 +1,555 @@
+//! Trial-outcome caches: the in-process [`TrialCache`] and the cross-process
+//! [`PersistentCache`] that preloads/flushes it through a JSONL file.
+//!
+//! The in-process cache memoizes every executed [`Trial`] for the lifetime of
+//! the process ([`Engine::shared`](super::Engine::shared) hands all study
+//! drivers one per configuration). [`PersistentCache`] extends that across
+//! processes: it preloads previously flushed [`TrialRecord`] JSONL at open,
+//! seeds the cache with it, and appends the outcomes computed since on
+//! [`PersistentCache::flush`] (also invoked on drop) — so a repeated bench
+//! run in a *new* process replays entirely from disk.
+
+use super::plan::{Trial, TrialOutcome, TrialRecord};
+use crate::config::ExperimentConfig;
+use rowpress_dram::DramResult;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The memoized result of one trial. Errors are cached too: the device model
+/// is deterministic, so a trial that failed once (e.g. an out-of-range row)
+/// fails identically every time.
+pub(super) type CachedOutcome = DramResult<Arc<TrialOutcome>>;
+
+/// A shareable, thread-safe [`Trial`]-keyed outcome cache with hit/miss
+/// accounting. Cloning shares the underlying storage.
+///
+/// Each trial maps to a [`OnceLock`] cell, so concurrent requests for the
+/// *same* trial (e.g. the identical iterations of a jitter-free
+/// repeatability plan) block on one computation instead of racing to
+/// recompute it per worker.
+#[derive(Debug, Clone, Default)]
+pub struct TrialCache {
+    cells: Arc<Mutex<HashMap<Trial, Arc<OnceLock<CachedOutcome>>>>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
+
+impl TrialCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached outcome for `trial`, computing it with `compute`
+    /// on first request. Concurrent callers for the same trial wait for the
+    /// single in-flight computation.
+    pub(super) fn get_or_compute(
+        &self,
+        trial: &Trial,
+        compute: impl FnOnce() -> DramResult<TrialOutcome>,
+    ) -> CachedOutcome {
+        let cell = {
+            let mut cells = self.cells.lock().expect("cache lock");
+            match cells.get(trial) {
+                // Hot replay path: no key clone (a Trial clone heap-allocates
+                // the module id and date code) when the cell already exists.
+                Some(cell) => Arc::clone(cell),
+                None => Arc::clone(cells.entry(trial.clone()).or_default()),
+            }
+        };
+        let mut computed = false;
+        let outcome = cell.get_or_init(|| {
+            computed = true;
+            compute().map(Arc::new)
+        });
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome.clone()
+    }
+
+    /// Seeds the cache with a known outcome (the preload path of
+    /// [`PersistentCache`]). A trial that is already cached keeps its first
+    /// outcome; seeding counts as neither hit nor miss.
+    pub fn seed(&self, trial: Trial, outcome: TrialOutcome) {
+        let cell = {
+            let mut cells = self.cells.lock().expect("cache lock");
+            Arc::clone(cells.entry(trial).or_default())
+        };
+        cell.get_or_init(|| Ok(Arc::new(outcome)));
+    }
+
+    /// Snapshot of every successfully completed (trial, outcome) pair whose
+    /// trial is not in `exclude`. Errored and in-flight trials are skipped.
+    /// The filter runs before any clone, so an incremental caller (the
+    /// persistent cache's flush) pays only for the fresh entries, not for
+    /// re-cloning the whole cache under the lock.
+    pub(super) fn completed_excluding(
+        &self,
+        exclude: &HashSet<Trial>,
+    ) -> Vec<(Trial, Arc<TrialOutcome>)> {
+        self.cells
+            .lock()
+            .expect("cache lock")
+            .iter()
+            .filter(|(trial, _)| !exclude.contains(*trial))
+            .filter_map(|(trial, cell)| {
+                let outcome = cell.get()?.as_ref().ok()?;
+                Some((trial.clone(), Arc::clone(outcome)))
+            })
+            .collect()
+    }
+
+    /// Number of lookups answered from the cache (including lookups that
+    /// waited for another worker's in-flight computation).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that computed the trial.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct trials with a completed outcome in the cache.
+    pub fn len(&self) -> usize {
+        self.cells
+            .lock()
+            .expect("cache lock")
+            .values()
+            .filter(|c| c.get().is_some())
+            .count()
+    }
+
+    /// True if no trials are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached outcome (hit/miss counters are kept). For a cache
+    /// obtained via [`Engine::shared`](super::Engine::shared) this releases
+    /// the process-wide memory held for the configuration — call it between
+    /// large studies when the memoized flip vectors are no longer worth
+    /// their footprint.
+    pub fn clear(&self) {
+        self.cells.lock().expect("cache lock").clear();
+    }
+}
+
+/// A hashable fingerprint of the `ExperimentConfig` fields that influence
+/// trial outcomes, partitioning the process-wide cache registry and
+/// stamped into every [`PersistentCache`] file header. The config's
+/// `data_pattern`, `temperature_c` and `rows_per_module` are deliberately
+/// *omitted*: trials carry their own pattern, temperature and row, and the
+/// worker never reads those config fields — so configs differing only in
+/// grid defaults still share byte-identical trials.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+struct ConfigKey {
+    banks: u16,
+    rows_per_bank: u32,
+    bits_per_row: u32,
+    bits_per_cache_block: u32,
+    budget_ps: u64,
+    repeats: u32,
+    accuracy_bits: u64,
+}
+
+impl ConfigKey {
+    fn of(cfg: &ExperimentConfig) -> Self {
+        ConfigKey {
+            banks: cfg.geometry.banks,
+            rows_per_bank: cfg.geometry.rows_per_bank,
+            bits_per_row: cfg.geometry.bits_per_row,
+            bits_per_cache_block: cfg.geometry.bits_per_cache_block,
+            budget_ps: cfg.budget.as_ps(),
+            repeats: cfg.repeats,
+            accuracy_bits: cfg.accuracy_pct.to_bits(),
+        }
+    }
+}
+
+/// The process-wide cache for a configuration ([`Engine::shared`]'s storage).
+///
+/// [`Engine::shared`]: super::Engine::shared
+pub(super) fn shared_cache(cfg: &ExperimentConfig) -> TrialCache {
+    static REGISTRY: OnceLock<Mutex<HashMap<ConfigKey, TrialCache>>> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    registry
+        .lock()
+        .expect("cache registry lock")
+        .entry(ConfigKey::of(cfg))
+        .or_default()
+        .clone()
+}
+
+/// The first line of every [`PersistentCache`] file: the fingerprint of the
+/// configuration the outcomes were computed under. [`Trial`] equality
+/// deliberately ignores config fields (budget, repeats, accuracy, geometry),
+/// so without this header a cache written under one configuration would
+/// silently replay wrong outcomes under another.
+#[derive(Debug, Serialize, Deserialize)]
+struct CacheHeader {
+    config: ConfigKey,
+}
+
+/// A [`TrialCache`] bound to a JSONL file so trial outcomes survive the
+/// process: the paper's "never recompute a measured point" discipline across
+/// bench invocations.
+///
+/// [`PersistentCache::open`] checks the file's config-fingerprint header
+/// against the caller's [`ExperimentConfig`] (opening a cache written under
+/// a different budget/repeats/accuracy/geometry is an
+/// [`io::ErrorKind::InvalidData`] error, not a silent wrong replay), then
+/// reads every [`TrialRecord`] line and seeds the cache;
+/// [`PersistentCache::flush`] appends the outcomes computed since — one
+/// serde JSONL line per record, sorted within the batch for reproducible
+/// files — and runs automatically on drop. After the header line the format
+/// is exactly the [`JsonlSink`](super::JsonlSink) stream format.
+///
+/// One process should own the file at a time (flushes append without
+/// locking); sharded campaigns give each process its own file and merge
+/// afterwards.
+#[derive(Debug)]
+pub struct PersistentCache {
+    cache: TrialCache,
+    path: PathBuf,
+    config: ConfigKey,
+    header_on_disk: bool,
+    on_disk: HashSet<Trial>,
+    preloaded: usize,
+}
+
+impl PersistentCache {
+    /// Opens (or initializes) the cache file at `path` for outcomes computed
+    /// under `cfg`, preloading every record the file already holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the file exists but cannot be read, holds a
+    /// line that does not parse as a [`TrialRecord`], or was written under a
+    /// different configuration (missing or mismatching header —
+    /// [`io::ErrorKind::InvalidData`]).
+    pub fn open(path: impl Into<PathBuf>, cfg: &ExperimentConfig) -> io::Result<Self> {
+        let path = path.into();
+        let config = ConfigKey::of(cfg);
+        let cache = TrialCache::new();
+        let mut on_disk = HashSet::new();
+        let mut header_on_disk = false;
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+                if let Some(first) = lines.next() {
+                    let header: CacheHeader = serde_json::from_str(first).map_err(|_| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "{}: not a persistent-cache file (no header)",
+                                path.display()
+                            ),
+                        )
+                    })?;
+                    if header.config != config {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "{}: cache was written under a different \
+                                 configuration (budget/repeats/accuracy/geometry)",
+                                path.display()
+                            ),
+                        ));
+                    }
+                    header_on_disk = true;
+                }
+                for line in lines {
+                    let record: TrialRecord =
+                        serde_json::from_str(line).map_err(io::Error::other)?;
+                    cache.seed(record.trial.clone(), record.outcome);
+                    on_disk.insert(record.trial);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let preloaded = on_disk.len();
+        Ok(PersistentCache {
+            cache,
+            path,
+            config,
+            header_on_disk,
+            on_disk,
+            preloaded,
+        })
+    }
+
+    /// The underlying trial cache. Hand a clone to
+    /// [`Engine::with_cache`](super::Engine::with_cache) (clones share
+    /// storage) or use [`Engine::with_persistent_cache`](super::Engine::with_persistent_cache).
+    pub fn cache(&self) -> &TrialCache {
+        &self.cache
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of records preloaded from disk at open.
+    pub fn preloaded(&self) -> usize {
+        self.preloaded
+    }
+
+    /// Appends every outcome computed since open (or the previous flush) to
+    /// the backing file and returns how many records were written. Errored
+    /// trials are never persisted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the file cannot be created or written; the
+    /// unwritten outcomes stay pending for the next flush.
+    pub fn flush(&mut self) -> io::Result<usize> {
+        let mut fresh: Vec<(Trial, String)> = Vec::new();
+        for (trial, outcome) in self.cache.completed_excluding(&self.on_disk) {
+            let record = TrialRecord {
+                trial: trial.clone(),
+                outcome: (*outcome).clone(),
+            };
+            let line = serde_json::to_string(&record).map_err(io::Error::other)?;
+            fresh.push((trial, line));
+        }
+        if fresh.is_empty() {
+            return Ok(0);
+        }
+        // The cache map iterates in hash order; sort the batch so two runs
+        // that computed the same outcomes write byte-identical files.
+        fresh.sort_by(|a, b| a.1.cmp(&b.1));
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        if !self.header_on_disk {
+            let header = CacheHeader {
+                config: self.config.clone(),
+            };
+            let line = serde_json::to_string(&header).map_err(io::Error::other)?;
+            file.write_all(line.as_bytes())?;
+            file.write_all(b"\n")?;
+            self.header_on_disk = true;
+        }
+        for (_, line) in &fresh {
+            file.write_all(line.as_bytes())?;
+            file.write_all(b"\n")?;
+        }
+        file.flush()?;
+        let written = fresh.len();
+        self.on_disk
+            .extend(fresh.into_iter().map(|(trial, _)| trial));
+        Ok(written)
+    }
+}
+
+impl Drop for PersistentCache {
+    /// Best-effort flush; call [`PersistentCache::flush`] explicitly to
+    /// observe I/O errors.
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{lookup_module, Engine, Measurement, Plan};
+    use super::*;
+    use rowpress_dram::Time;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::test_scale()
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "rowpress-cache-{tag}-{}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn acmin_plan(cfg: &ExperimentConfig) -> Plan {
+        Plan::grid(cfg)
+            .module(&lookup_module("S3").unwrap())
+            .measurement(Measurement::AcMin {
+                t_aggon: Time::from_ms(30.0),
+            })
+            .build()
+    }
+
+    #[test]
+    fn cache_answers_repeated_plans_without_recomputing() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let engine = Engine::new(&cfg);
+        let first = engine.run_collect(&plan).unwrap();
+        assert_eq!(engine.cache().hits(), 0);
+        assert_eq!(engine.cache().misses(), plan.len() as u64);
+        let second = engine.run_collect(&plan).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(engine.cache().hits(), plan.len() as u64);
+        assert_eq!(engine.cache().misses(), plan.len() as u64);
+        assert_eq!(engine.cache().len(), plan.len());
+    }
+
+    #[test]
+    fn shared_engines_reuse_overlapping_trials_across_instances() {
+        // A distinct configuration so other tests' shared caches don't
+        // interfere with the accounting.
+        let cfg = ExperimentConfig::test_scale().with_rows_per_module(2);
+        let plan = Plan::grid(&cfg)
+            .module(&lookup_module("S0").unwrap())
+            .measurement(Measurement::AcMin {
+                t_aggon: Time::from_ms(30.0),
+            })
+            .build();
+        let first = Engine::shared(&cfg);
+        let warmup = first.run_collect(&plan).unwrap();
+        // A *new* shared engine for the same config sees the cached trials.
+        let second = Engine::shared(&cfg);
+        let hits_before = second.cache().hits();
+        let replay = second.run_collect(&plan).unwrap();
+        assert_eq!(warmup, replay);
+        assert!(second.cache().hits() >= hits_before + plan.len() as u64);
+    }
+
+    #[test]
+    fn cache_clear_keeps_counters() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let engine = Engine::new(&cfg);
+        engine.run_collect(&plan).unwrap();
+        assert!(!engine.cache().is_empty());
+        let misses = engine.cache().misses();
+        engine.cache().clear();
+        assert!(engine.cache().is_empty());
+        assert_eq!(engine.cache().misses(), misses, "clear keeps the counters");
+    }
+
+    #[test]
+    fn persistent_cache_replays_across_processes() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let path = temp_path("replay");
+
+        // "Process" 1: cold run, flushed on drop.
+        let baseline = {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            assert_eq!(persistent.preloaded(), 0);
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            let records = engine.run_collect(&plan).unwrap();
+            assert_eq!(engine.cache().misses(), plan.len() as u64);
+            records
+        };
+
+        // "Process" 2: a fresh cache preloads the file; zero recomputation.
+        {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            assert_eq!(persistent.preloaded(), plan.len());
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            let replay = engine.run_collect(&plan).unwrap();
+            assert_eq!(replay, baseline, "preloaded replay must be identical");
+            assert_eq!(engine.cache().misses(), 0, "warm replay must not compute");
+            assert_eq!(engine.cache().hits(), plan.len() as u64);
+        }
+
+        // Re-flushing preloaded outcomes appends nothing.
+        {
+            let mut persistent = PersistentCache::open(&path, &cfg).unwrap();
+            assert_eq!(persistent.flush().unwrap(), 0);
+            let lines = std::fs::read_to_string(&path).unwrap().lines().count();
+            assert_eq!(lines, plan.len() + 1, "header + records, no duplicates");
+        }
+
+        // A different configuration must be rejected, not silently replayed.
+        let mismatched = ExperimentConfig {
+            budget: Time::from_ms(30.0),
+            ..cfg
+        };
+        assert_ne!(mismatched.budget, cfg.budget);
+        let err = PersistentCache::open(&path, &mismatched).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("different"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persistent_cache_flush_is_incremental_and_sorted() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let path = temp_path("incremental");
+
+        let mut persistent = PersistentCache::open(&path, &cfg).unwrap();
+        let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+        engine.run_collect(&plan).unwrap();
+        assert_eq!(persistent.flush().unwrap(), plan.len());
+        assert_eq!(persistent.flush().unwrap(), 0, "second flush is a no-op");
+
+        // New outcomes append; existing lines are untouched.
+        let more = Plan::grid(&cfg)
+            .module(&lookup_module("S0").unwrap())
+            .measurement(Measurement::TAggOnMin { ac: 10 })
+            .build();
+        engine.run_collect(&more).unwrap();
+        assert_eq!(persistent.flush().unwrap(), more.len());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1 + plan.len() + more.len());
+        // Each flushed batch is internally sorted (line 0 is the header).
+        let first_batch: Vec<&str> = text.lines().skip(1).take(plan.len()).collect();
+        let mut sorted = first_batch.clone();
+        sorted.sort_unstable();
+        assert_eq!(first_batch, sorted);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persistent_cache_rejects_corrupt_and_headerless_files() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "this is not json\n").unwrap();
+        assert!(PersistentCache::open(&path, &cfg()).is_err());
+        // A plain JsonlSink stream has no header: rejected up front rather
+        // than trusted as some unknown configuration's outcomes.
+        let cfg = cfg();
+        let trial = acmin_plan(&cfg).trials()[0].clone();
+        let record = TrialRecord {
+            trial,
+            outcome: TrialOutcome::Retention { flips: Vec::new() },
+        };
+        std::fs::write(&path, serde_json::to_string(&record).unwrap() + "\n").unwrap();
+        let err = PersistentCache::open(&path, &cfg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seeding_does_not_overwrite_and_counts_nothing() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let trial = plan.trials()[0].clone();
+        let cache = TrialCache::new();
+        cache.seed(trial.clone(), TrialOutcome::Retention { flips: Vec::new() });
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        // A second seed for the same trial keeps the first outcome.
+        cache.seed(trial.clone(), TrialOutcome::TAggOnMin { t_aggon_min: None });
+        let outcome = cache.get_or_compute(&trial, || unreachable!("seeded"));
+        assert_eq!(
+            *outcome.unwrap(),
+            TrialOutcome::Retention { flips: Vec::new() }
+        );
+        assert_eq!(cache.hits(), 1);
+    }
+}

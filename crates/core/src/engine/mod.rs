@@ -1,0 +1,85 @@
+//! The unified campaign engine: typed trials, declarative plans, sharding,
+//! a bounded cost-aware worker pool, streaming sinks and in-process plus
+//! cross-process result caches.
+//!
+//! Every figure of the paper is a slice of one big grid of
+//! (module × temperature × site × pattern × tAggON) experiments. The paper's
+//! characterization of 164 DDR4 chips was only feasible because that grid
+//! was fanned out across many DRAM-Bender boards in parallel and no measured
+//! point was ever recomputed — and the engine factors exactly those concerns
+//! into one submodule per layer:
+//!
+//! * [`plan`] — [`Trial`], one point of the grid, and [`Plan`], an ordered
+//!   trial list built declaratively with [`Plan::grid`]'s [`PlanBuilder`].
+//!   [`Plan::shard`] splits a grid into strided sub-plans for independent
+//!   processes (the paper's Slurm-style fan-out) and [`Plan::merge`]
+//!   reassembles their record streams into single-process plan order.
+//! * [`schedule`] — the [`CostModel`] that estimates per-trial device cost
+//!   and the [`SchedulePolicy`] deciding dispatch order; the default
+//!   longest-pole-first policy keeps the pool busy through a grid's 30 ms
+//!   tAggON tail.
+//! * [`cache`] — the in-process [`TrialCache`] (shared per configuration via
+//!   [`Engine::shared`]) and the [`PersistentCache`] that preloads and
+//!   flushes trial outcomes through a JSONL file, so a *new* process replays
+//!   warm instead of recomputing.
+//! * [`sink`] — the [`Sink`] consumers of the record stream: [`MemorySink`],
+//!   [`JsonlSink`], the [`ThreadedSink`] background-writer adapter that
+//!   decouples slow I/O from the pool, and the [`JsonlReader`] that parses
+//!   streams back (and merge-sorts shard outputs).
+//! * [`worker`] — the [`Engine`] itself: a bounded pool of at most
+//!   [`crate::campaign::worker_count`] workers claiming trials in dispatch
+//!   order and draining outcomes to the sink in plan order.
+//!
+//! Results are deterministic: records always arrive in plan order and each
+//! trial runs on a freshly constructed module, so the record stream is
+//! byte-for-byte identical regardless of worker count, schedule policy,
+//! sharding or sink threading.
+//!
+//! # Example
+//!
+//! ```
+//! use rowpress_core::engine::{Engine, Measurement, Plan};
+//! use rowpress_core::ExperimentConfig;
+//! use rowpress_dram::{module_inventory, Time};
+//!
+//! let cfg = ExperimentConfig::test_scale();
+//! let plan = Plan::grid(&cfg)
+//!     .module(&module_inventory()[0])
+//!     .measurement(Measurement::AcMin { t_aggon: Time::from_ms(30.0) })
+//!     .build();
+//! let records = Engine::new(&cfg).run_collect(&plan).unwrap();
+//! assert_eq!(records.len(), cfg.tested_sites().len());
+//! ```
+//!
+//! # Example: shard a grid and merge the streams
+//!
+//! ```
+//! use rowpress_core::engine::{Engine, Measurement, Plan};
+//! use rowpress_core::ExperimentConfig;
+//! use rowpress_dram::{module_inventory, Time};
+//!
+//! let cfg = ExperimentConfig::test_scale();
+//! let plan = Plan::grid(&cfg)
+//!     .module(&module_inventory()[0])
+//!     .measurement(Measurement::AcMin { t_aggon: Time::from_ms(30.0) })
+//!     .build();
+//! // Each shard would normally run in its own process.
+//! let shards: Vec<_> = (0..2)
+//!     .map(|i| Engine::new(&cfg).run_collect(&plan.shard(i, 2)).unwrap())
+//!     .collect();
+//! assert_eq!(Plan::merge(shards), Engine::new(&cfg).run_collect(&plan).unwrap());
+//! ```
+
+pub mod cache;
+pub mod plan;
+pub mod schedule;
+pub mod sink;
+pub mod worker;
+
+pub use cache::{PersistentCache, TrialCache};
+pub use plan::{
+    Jitter, Measurement, Plan, PlanBuilder, Trial, TrialOutcome, TrialRecord, TEST_BANK,
+};
+pub use schedule::{CostModel, SchedulePolicy};
+pub use sink::{JsonlReader, JsonlSink, MemorySink, Sink, ThreadedSink};
+pub use worker::{lookup_module, Engine, EngineError};

@@ -1,0 +1,507 @@
+//! Trial vocabulary and declarative plans: [`Trial`], [`Measurement`],
+//! [`TrialOutcome`], [`TrialRecord`], and the [`Plan`]/[`PlanBuilder`] pair
+//! that expands a study grid into an ordered trial list.
+//!
+//! Plans are where distribution starts: [`Plan::shard`] splits a grid into
+//! `n` strided sub-plans that independent processes can execute, and
+//! [`Plan::merge`] reassembles their partial record streams back into
+//! single-process plan order (see the module docs of [`crate::engine`]).
+
+use crate::config::ExperimentConfig;
+use crate::patterns::PatternKind;
+use rowpress_dram::{BankId, Bitflip, DataPattern, ModuleSpec, RowId, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// The bank the paper tests (bank 1 of every module).
+pub const TEST_BANK: BankId = BankId(1);
+
+/// Per-trial threshold jitter, modeling run-to-run variation of borderline
+/// cells (paper Appendix E). `sigma = 0` (the default) makes the device fully
+/// deterministic.
+///
+/// Equality (like that of [`Measurement`] and [`Trial`]) compares the float
+/// field *bitwise*, matching the `Hash` implementation exactly so the types
+/// uphold the `Eq`/`Hash` contract for any input — including `NaN` (equal to
+/// itself here) and `-0.0` (distinct from `0.0`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Jitter {
+    /// Lognormal sigma of the per-cell threshold factor.
+    pub sigma: f64,
+    /// Salt deriving the per-cell deviates; vary it per iteration.
+    pub salt: u64,
+}
+
+impl Jitter {
+    /// No jitter: the deterministic device.
+    pub fn none() -> Self {
+        Jitter {
+            sigma: 0.0,
+            salt: 0,
+        }
+    }
+
+    /// Jitter with the given sigma and salt. A zero sigma normalizes the salt
+    /// to 0 (the device ignores the salt then), which lets the trial cache
+    /// recognize iterations of a deterministic experiment as identical.
+    pub fn seeded(sigma: f64, salt: u64) -> Self {
+        if sigma == 0.0 {
+            Jitter::none()
+        } else {
+            Jitter { sigma, salt }
+        }
+    }
+}
+
+impl Default for Jitter {
+    fn default() -> Self {
+        Jitter::none()
+    }
+}
+
+impl PartialEq for Jitter {
+    fn eq(&self, other: &Self) -> bool {
+        self.sigma.to_bits() == other.sigma.to_bits() && self.salt == other.salt
+    }
+}
+
+impl Eq for Jitter {}
+
+impl Hash for Jitter {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.sigma.to_bits().hash(state);
+        self.salt.hash(state);
+    }
+}
+
+/// The measurement taken at one trial point — the paper study it belongs to.
+///
+/// Equality compares float fields bitwise (see [`Jitter`]).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum Measurement {
+    /// Bisection search for the minimum activation count that flips a bit at
+    /// a fixed aggressor-on time (§4.1, Figs. 1 and 6–18).
+    AcMin {
+        /// Aggressor-row-on time.
+        t_aggon: Time,
+    },
+    /// All bitflips at the maximum activation count that fits the 60 ms
+    /// budget (Fig. 11, Fig. 22, Tables 6/9).
+    AcMax {
+        /// Aggressor-row-on time.
+        t_aggon: Time,
+    },
+    /// Bisection search for the minimum aggressor-on time that flips a bit at
+    /// a fixed activation count (§4.2, Figs. 9 and 15).
+    TAggOnMin {
+        /// Fixed total activation count.
+        ac: u64,
+    },
+    /// The RowPress-ONOFF pattern: tA2A fixed to tRC + Δ with a fraction of
+    /// the slack assigned to the on time (§5.4, Fig. 22).
+    OnOff {
+        /// Slack added on top of tRC (ΔtA2A).
+        delta_a2a: Time,
+        /// Fraction of the slack assigned to the on time.
+        on_fraction: f64,
+    },
+    /// Data-retention test: victims initialized and left unrefreshed (§4.3,
+    /// the retention population of Fig. 10/11).
+    Retention {
+        /// Unrefreshed idle time (4 s at 80 °C in the paper).
+        duration: Time,
+    },
+}
+
+impl PartialEq for Measurement {
+    fn eq(&self, other: &Self) -> bool {
+        use Measurement::*;
+        match (self, other) {
+            (AcMin { t_aggon: a }, AcMin { t_aggon: b })
+            | (AcMax { t_aggon: a }, AcMax { t_aggon: b }) => a == b,
+            (TAggOnMin { ac: a }, TAggOnMin { ac: b }) => a == b,
+            (
+                OnOff {
+                    delta_a2a: a,
+                    on_fraction: fa,
+                },
+                OnOff {
+                    delta_a2a: b,
+                    on_fraction: fb,
+                },
+            ) => a == b && fa.to_bits() == fb.to_bits(),
+            (Retention { duration: a }, Retention { duration: b }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Measurement {}
+
+impl Hash for Measurement {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Measurement::AcMin { t_aggon } | Measurement::AcMax { t_aggon } => t_aggon.hash(state),
+            Measurement::TAggOnMin { ac } => ac.hash(state),
+            Measurement::OnOff {
+                delta_a2a,
+                on_fraction,
+            } => {
+                delta_a2a.hash(state);
+                on_fraction.to_bits().hash(state);
+            }
+            Measurement::Retention { duration } => duration.hash(state),
+        }
+    }
+}
+
+/// One point of the characterization grid: everything needed to reproduce a
+/// single measurement, and the key of the engine's result cache.
+///
+/// Equality compares the temperature bitwise (see [`Jitter`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trial {
+    /// Module under test.
+    pub spec: ModuleSpec,
+    /// Chip temperature in °C.
+    pub temperature_c: f64,
+    /// Access-pattern family laid out around the tested row.
+    pub kind: PatternKind,
+    /// The tested (aggressor-site) row.
+    pub row: RowId,
+    /// Data pattern filling aggressor and victim rows.
+    pub data_pattern: DataPattern,
+    /// Per-trial threshold jitter (Appendix E); defaults to none.
+    pub jitter: Jitter,
+    /// The measurement to take.
+    pub measurement: Measurement,
+}
+
+impl PartialEq for Trial {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.temperature_c.to_bits() == other.temperature_c.to_bits()
+            && self.kind == other.kind
+            && self.row == other.row
+            && self.data_pattern == other.data_pattern
+            && self.jitter == other.jitter
+            && self.measurement == other.measurement
+    }
+}
+
+impl Eq for Trial {}
+
+impl Hash for Trial {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.spec.hash(state);
+        self.temperature_c.to_bits().hash(state);
+        self.kind.hash(state);
+        self.row.hash(state);
+        self.data_pattern.hash(state);
+        self.jitter.hash(state);
+        self.measurement.hash(state);
+    }
+}
+
+/// The outcome of one trial, mirroring the [`Measurement`] variants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrialOutcome {
+    /// Outcome of [`Measurement::AcMin`].
+    AcMin {
+        /// Minimum activation count inducing a bitflip; `None` when even the
+        /// budget maximum induces none.
+        ac_min: Option<u64>,
+        /// Largest activation count that fits the budget, computed on the
+        /// same tRAS-clamped code path in both the flip and no-flip cases.
+        ac_max: u64,
+        /// Bitflips observed at ACmin (empty when `ac_min` is `None`).
+        flips: Vec<Bitflip>,
+    },
+    /// Outcome of [`Measurement::AcMax`].
+    AcMax {
+        /// The activation count used (the budget maximum).
+        ac: u64,
+        /// All victim bitflips.
+        flips: Vec<Bitflip>,
+    },
+    /// Outcome of [`Measurement::TAggOnMin`].
+    TAggOnMin {
+        /// Minimum aggressor-on time inducing a bitflip, if any.
+        t_aggon_min: Option<Time>,
+    },
+    /// Outcome of [`Measurement::OnOff`].
+    OnOff {
+        /// Number of activations issued (the budget maximum for the cycle).
+        ac: u64,
+        /// All victim bitflips.
+        flips: Vec<Bitflip>,
+    },
+    /// Outcome of [`Measurement::Retention`].
+    Retention {
+        /// Retention-failure bitflips in the site's victim rows.
+        flips: Vec<Bitflip>,
+    },
+}
+
+/// A trial together with its outcome: the unit streamed to
+/// [`Sink`](super::Sink)s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// The executed trial.
+    pub trial: Trial,
+    /// Its outcome.
+    pub outcome: TrialOutcome,
+}
+
+/// An ordered list of trials. Execution results always stream in plan order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    trials: Vec<Trial>,
+}
+
+impl Plan {
+    /// Starts a declarative grid builder over the configuration's defaults.
+    pub fn grid(cfg: &ExperimentConfig) -> PlanBuilder {
+        PlanBuilder {
+            cfg: *cfg,
+            modules: Vec::new(),
+            temperatures: vec![cfg.temperature_c],
+            kinds: vec![PatternKind::SingleSided],
+            data_patterns: vec![cfg.data_pattern],
+            jitters: vec![Jitter::none()],
+            rows: None,
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Wraps an explicit trial list (for irregular, non-grid plans).
+    pub fn from_trials(trials: Vec<Trial>) -> Self {
+        Plan { trials }
+    }
+
+    /// The trials in execution order.
+    pub fn trials(&self) -> &[Trial] {
+        &self.trials
+    }
+
+    /// Number of trials.
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// True if the plan contains no trials.
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// The `index`-th of `of` strided shards: every trial whose plan position
+    /// is congruent to `index` modulo `of`, in plan order. This is the
+    /// paper's Slurm-style fan-out — each process runs one shard of the same
+    /// grid, and [`Plan::merge`] reassembles the partial record streams.
+    ///
+    /// Striding (rather than chunking) balances the shards: the expensive
+    /// long-tAggON trials of a grid land in every shard instead of all in the
+    /// last one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `of` is zero or `index >= of`.
+    pub fn shard(&self, index: usize, of: usize) -> Plan {
+        assert!(of > 0, "shard count must be positive");
+        assert!(
+            index < of,
+            "shard index {index} out of range for {of} shards"
+        );
+        Plan {
+            trials: self
+                .trials
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % of == index)
+                .map(|(_, t)| t.clone())
+                .collect(),
+        }
+    }
+
+    /// Merge-sorts the record streams of the `n` shards of one plan back into
+    /// single-process plan order.
+    ///
+    /// `shards[i]` must hold the records of `plan.shard(i, n)` in that
+    /// shard's own order (engine runs always emit in plan order, so any sink
+    /// output qualifies). Because [`Plan::shard`] strides, plan order is
+    /// exactly the round-robin interleaving of the shard streams — shard 0's
+    /// first record, shard 1's first record, …, shard 0's second record, and
+    /// so on — which is what this performs, skipping exhausted shards in the
+    /// final round. Takes the shards by value and moves the records: merging
+    /// never copies a flip vector.
+    pub fn merge(shards: Vec<Vec<TrialRecord>>) -> Vec<TrialRecord> {
+        let total = shards.iter().map(Vec::len).sum();
+        let mut streams: Vec<std::vec::IntoIter<TrialRecord>> =
+            shards.into_iter().map(Vec::into_iter).collect();
+        let mut merged: Vec<TrialRecord> = Vec::with_capacity(total);
+        loop {
+            let before = merged.len();
+            for stream in &mut streams {
+                if let Some(record) = stream.next() {
+                    merged.push(record);
+                }
+            }
+            if merged.len() == before {
+                break;
+            }
+        }
+        merged
+    }
+}
+
+/// Retains the first occurrence of each key, dropping later duplicates.
+fn dedup_by_key<T, K: Eq + Hash>(items: &mut Vec<T>, key: impl Fn(&T) -> K) {
+    let mut seen = HashSet::with_capacity(items.len());
+    items.retain(|item| seen.insert(key(item)));
+}
+
+/// Builds a [`Plan`] as the cartesian product of its axes, expressing each
+/// paper study declaratively.
+///
+/// Axis defaults come from the [`ExperimentConfig`]: one temperature
+/// (`cfg.temperature_c`), the single-sided pattern family, one data pattern
+/// (`cfg.data_pattern`), no jitter and the configured tested rows. The
+/// nesting order — modules, temperatures, kinds, data patterns, jitters,
+/// rows, measurements (innermost) — matches the loop order of the original
+/// hand-written drivers, so record streams keep their historical order.
+///
+/// [`PlanBuilder::build`] deduplicates every axis except jitters (first
+/// occurrence wins), so a repeated `.module(...)` call or a duplicated row
+/// list cannot inflate the grid with identical trials. The jitter axis is
+/// exempt because it is the *repetition* axis: a jitter-free repeatability
+/// plan deliberately repeats `Jitter::none()` once per iteration.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    cfg: ExperimentConfig,
+    modules: Vec<ModuleSpec>,
+    temperatures: Vec<f64>,
+    kinds: Vec<PatternKind>,
+    data_patterns: Vec<DataPattern>,
+    jitters: Vec<Jitter>,
+    rows: Option<Vec<RowId>>,
+    measurements: Vec<Measurement>,
+}
+
+impl PlanBuilder {
+    /// Sets the modules axis.
+    pub fn modules(mut self, modules: &[ModuleSpec]) -> Self {
+        self.modules = modules.to_vec();
+        self
+    }
+
+    /// Sets the modules axis to a single module.
+    pub fn module(mut self, spec: &ModuleSpec) -> Self {
+        self.modules = vec![spec.clone()];
+        self
+    }
+
+    /// Sets the temperatures axis.
+    pub fn temperatures(mut self, temperatures: &[f64]) -> Self {
+        self.temperatures = temperatures.to_vec();
+        self
+    }
+
+    /// Sets the pattern-family axis to a single kind.
+    pub fn kind(mut self, kind: PatternKind) -> Self {
+        self.kinds = vec![kind];
+        self
+    }
+
+    /// Sets the pattern-family axis.
+    pub fn kinds(mut self, kinds: &[PatternKind]) -> Self {
+        self.kinds = kinds.to_vec();
+        self
+    }
+
+    /// Sets the data-pattern axis.
+    pub fn data_patterns(mut self, patterns: &[DataPattern]) -> Self {
+        self.data_patterns = patterns.to_vec();
+        self
+    }
+
+    /// Sets the jitter axis (one entry per repetition of the grid). This is
+    /// the one axis [`PlanBuilder::build`] does not deduplicate.
+    pub fn jitters(mut self, jitters: impl IntoIterator<Item = Jitter>) -> Self {
+        self.jitters = jitters.into_iter().collect();
+        self
+    }
+
+    /// Overrides the tested rows (defaults to `cfg.tested_sites()`).
+    pub fn rows(mut self, rows: Vec<RowId>) -> Self {
+        self.rows = Some(rows);
+        self
+    }
+
+    /// Sets the measurement axis (innermost).
+    pub fn measurements(mut self, measurements: impl IntoIterator<Item = Measurement>) -> Self {
+        self.measurements = measurements.into_iter().collect();
+        self
+    }
+
+    /// Sets the measurement axis to a single measurement.
+    pub fn measurement(mut self, measurement: Measurement) -> Self {
+        self.measurements = vec![measurement];
+        self
+    }
+
+    /// Expands the grid into a [`Plan`], deduplicating every axis except
+    /// jitters first (see the type-level docs).
+    pub fn build(self) -> Plan {
+        let mut modules = self.modules;
+        let mut temperatures = self.temperatures;
+        let mut kinds = self.kinds;
+        let mut data_patterns = self.data_patterns;
+        let mut rows = self.rows.unwrap_or_else(|| self.cfg.tested_sites());
+        let mut measurements = self.measurements;
+        dedup_by_key(&mut modules, |m| m.clone());
+        dedup_by_key(&mut temperatures, |t| t.to_bits());
+        dedup_by_key(&mut kinds, |k| *k);
+        dedup_by_key(&mut data_patterns, |p| *p);
+        dedup_by_key(&mut rows, |r| *r);
+        dedup_by_key(&mut measurements, |m| *m);
+
+        let mut trials = Vec::with_capacity(
+            modules.len()
+                * temperatures.len()
+                * kinds.len()
+                * data_patterns.len()
+                * self.jitters.len()
+                * rows.len()
+                * measurements.len(),
+        );
+        for spec in &modules {
+            for &temperature_c in &temperatures {
+                for &kind in &kinds {
+                    for &data_pattern in &data_patterns {
+                        for &jitter in &self.jitters {
+                            for &row in &rows {
+                                for &measurement in &measurements {
+                                    trials.push(Trial {
+                                        spec: spec.clone(),
+                                        temperature_c,
+                                        kind,
+                                        row,
+                                        data_pattern,
+                                        jitter,
+                                        measurement,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Plan { trials }
+    }
+}
+
+#[cfg(test)]
+mod tests;

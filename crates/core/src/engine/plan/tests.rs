@@ -1,0 +1,166 @@
+//! Unit tests of `engine::plan` (split out to keep the submodule readable).
+
+use super::*;
+use crate::engine::lookup_module;
+use std::collections::HashMap;
+
+fn spec(id: &str) -> ModuleSpec {
+    lookup_module(id).expect("module in inventory")
+}
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig::test_scale()
+}
+
+fn acmin_plan(cfg: &ExperimentConfig) -> Plan {
+    Plan::grid(cfg)
+        .modules(&[spec("S3"), spec("S0")])
+        .temperatures(&[50.0, 80.0])
+        .measurements(
+            [Time::from_ns(36.0), Time::from_ms(30.0)]
+                .into_iter()
+                .map(|t| Measurement::AcMin { t_aggon: t }),
+        )
+        .build()
+}
+
+#[test]
+fn grid_builder_expands_the_cartesian_product() {
+    let cfg = cfg();
+    let plan = acmin_plan(&cfg);
+    // 2 modules x 2 temperatures x 3 rows x 2 measurements.
+    assert_eq!(plan.len(), 2 * 2 * cfg.tested_sites().len() * 2);
+    assert!(!plan.is_empty());
+    // Innermost axis varies fastest: the first two trials differ only in
+    // the measurement.
+    let (a, b) = (&plan.trials()[0], &plan.trials()[1]);
+    assert_eq!(a.spec, b.spec);
+    assert_eq!(a.row, b.row);
+    assert_ne!(a.measurement, b.measurement);
+    // Outermost axis varies slowest.
+    assert_eq!(plan.trials()[0].spec.id, "S3");
+    assert_eq!(plan.trials().last().unwrap().spec.id, "S0");
+}
+
+#[test]
+fn build_dedupes_every_axis_except_jitters() {
+    let cfg = cfg();
+    let baseline = acmin_plan(&cfg);
+    let inflated = Plan::grid(&cfg)
+        .modules(&[spec("S3"), spec("S3"), spec("S0"), spec("S3")])
+        .temperatures(&[50.0, 80.0, 50.0])
+        .kinds(&[PatternKind::SingleSided, PatternKind::SingleSided])
+        .data_patterns(&[cfg.data_pattern, cfg.data_pattern])
+        .rows({
+            let mut rows = cfg.tested_sites();
+            rows.extend(cfg.tested_sites());
+            rows
+        })
+        .measurements(
+            [
+                Time::from_ns(36.0),
+                Time::from_ms(30.0),
+                Time::from_ns(36.0),
+            ]
+            .into_iter()
+            .map(|t| Measurement::AcMin { t_aggon: t }),
+        )
+        .build();
+    assert_eq!(inflated, baseline, "duplicates must not inflate the grid");
+
+    // The jitter axis is the repetition axis: identical entries survive.
+    let repeated = Plan::grid(&cfg)
+        .module(&spec("S3"))
+        .jitters((0..4).map(|i| Jitter::seeded(0.0, i)))
+        .measurement(Measurement::AcMax {
+            t_aggon: Time::from_us(70.2),
+        })
+        .build();
+    assert_eq!(repeated.len(), 4 * cfg.tested_sites().len());
+}
+
+#[test]
+fn shard_strides_and_merge_restores_plan_order() {
+    let cfg = cfg();
+    let plan = acmin_plan(&cfg);
+    for shards in [1, 2, 3, 5, plan.len(), plan.len() + 3] {
+        let parts: Vec<Plan> = (0..shards).map(|i| plan.shard(i, shards)).collect();
+        let total: usize = parts.iter().map(Plan::len).sum();
+        assert_eq!(total, plan.len(), "shards must partition the plan");
+        // Stride discipline: shard i holds trials i, i+n, i+2n, ...
+        for (i, part) in parts.iter().enumerate() {
+            for (k, trial) in part.trials().iter().enumerate() {
+                assert_eq!(trial, &plan.trials()[i + k * shards]);
+            }
+        }
+        // Merging record streams (records here stand in 1:1 for trials)
+        // restores plan order exactly.
+        let streams: Vec<Vec<TrialRecord>> = parts
+            .iter()
+            .map(|p| {
+                p.trials()
+                    .iter()
+                    .map(|t| TrialRecord {
+                        trial: t.clone(),
+                        outcome: TrialOutcome::Retention { flips: Vec::new() },
+                    })
+                    .collect()
+            })
+            .collect();
+        let merged = Plan::merge(streams);
+        let expected: Vec<&Trial> = plan.trials().iter().collect();
+        let got: Vec<&Trial> = merged.iter().map(|r| &r.trial).collect();
+        assert_eq!(got, expected, "{shards}-way merge must restore order");
+    }
+}
+
+#[test]
+#[should_panic(expected = "shard index")]
+fn shard_rejects_out_of_range_index() {
+    let cfg = cfg();
+    acmin_plan(&cfg).shard(3, 3);
+}
+
+#[test]
+fn jitter_normalization_and_trial_hashing() {
+    assert_eq!(Jitter::seeded(0.0, 99), Jitter::none());
+    assert_eq!(Jitter::default(), Jitter::none());
+    assert_ne!(Jitter::seeded(0.2, 99), Jitter::none());
+    let cfg = cfg();
+    let t = Plan::grid(&cfg)
+        .module(&spec("S3"))
+        .measurement(Measurement::AcMin {
+            t_aggon: Time::from_ms(30.0),
+        })
+        .build()
+        .trials()[0]
+        .clone();
+    let mut map = HashMap::new();
+    map.insert(t.clone(), 1u32);
+    assert_eq!(map.get(&t), Some(&1));
+    let mut other = t.clone();
+    other.temperature_c = 80.0;
+    assert!(!map.contains_key(&other));
+}
+
+#[test]
+fn bitwise_float_equality_for_cache_keys() {
+    let cfg = cfg();
+    let plan = Plan::grid(&cfg)
+        .module(&spec("S0"))
+        .measurement(Measurement::AcMin {
+            t_aggon: Time::from_ms(30.0),
+        })
+        .build();
+    // Bitwise float equality: -0.0 and NaN are safe as cache keys.
+    let a = plan.trials()[0].clone();
+    let mut b = a.clone();
+    b.temperature_c = -0.0;
+    let mut zero = a.clone();
+    zero.temperature_c = 0.0;
+    assert_ne!(zero, b, "-0.0 must not alias 0.0 under bitwise equality");
+    let mut nan = a.clone();
+    nan.temperature_c = f64::NAN;
+    assert_eq!(nan, nan.clone(), "NaN trials must equal themselves");
+    assert_eq!(Jitter::seeded(f64::NAN, 1), Jitter::seeded(f64::NAN, 1));
+}

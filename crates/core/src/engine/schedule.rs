@@ -1,0 +1,220 @@
+//! Cost-aware dispatch ordering for the shared worker queue.
+//!
+//! The paper's grids mix trials whose device time differs by five orders of
+//! magnitude: a 30 ms tAggON ACmin search keeps the aggressor open for the
+//! whole 60 ms budget per probe, while a tRAS-scale RowHammer probe recycles
+//! in 51 ns. When such a grid drains a shared queue in plan order, the long
+//! poles are claimed last and the pool idles while the final workers finish
+//! them. [`CostModel`] estimates each trial's device cost and
+//! [`SchedulePolicy::CostAware`] (the [`Engine`](super::Engine) default)
+//! dispatches the queue longest-pole-first.
+//!
+//! Scheduling never changes results: outcomes land in per-trial slots and
+//! sinks always consume them in plan order, so the record stream is
+//! byte-identical under any policy (proved in the worker tests).
+
+use super::plan::{Measurement, Trial, TEST_BANK};
+use crate::config::ExperimentConfig;
+use crate::patterns::PatternSite;
+use rowpress_dram::TimingParams;
+use std::cmp::Reverse;
+
+/// How the engine hands queued trials to its workers. The record stream is
+/// identical under every policy; only pool utilization differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Dispatch trials in plan order: records start streaming to the sink
+    /// almost immediately and completed outcomes never pile up behind an
+    /// unfinished early-plan trial.
+    PlanOrder,
+    /// Dispatch trials longest-pole-first by [`CostModel`] estimate, so the
+    /// expensive tail of a mixed grid never stalls the pool. Since sinks
+    /// drain in plan order, cheap early-plan trials now resolve *last*: the
+    /// first record may reach the sink only late in the run, with completed
+    /// outcomes buffered in the meantime — trade first-record latency and
+    /// peak memory for wall-clock throughput.
+    #[default]
+    CostAware,
+}
+
+/// Estimates how long a trial occupies the device, in picoseconds of modeled
+/// board time — the quantity that schedules the paper's real DRAM-Bender
+/// fan-out.
+///
+/// For the activation-count measurements the estimate is the on-time share
+/// of the budget: a bisection's probes halve the activation count each step,
+/// so total device time converges to about twice the budget-bound first
+/// probe (a geometric series), of which the aggressor row is open for
+/// `tAggON / (tAggON + tRP)` of every activation cycle. That share — and so
+/// the estimate — grows monotonically with tAggON: the 30 ms press trials
+/// are the long poles, tRAS-scale hammer trials the short ones. Retention
+/// trials cost their idle duration. Everything scales with the touched site
+/// rows and the configured repeats.
+///
+/// Only the *relative order* of estimates matters: the scheduler sorts by
+/// them and ties fall back to plan order, so an imperfect model can reorder
+/// dispatch but never change results.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    timing: TimingParams,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            timing: TimingParams::ddr4(),
+        }
+    }
+}
+
+impl CostModel {
+    /// A model over explicit timing parameters (the default uses DDR4).
+    pub fn new(timing: TimingParams) -> Self {
+        CostModel { timing }
+    }
+
+    /// Estimated device occupancy of `trial` under `cfg`, in picoseconds of
+    /// modeled board time. Deterministic and cheap: no device model is
+    /// constructed.
+    pub fn estimate(&self, cfg: &ExperimentConfig, trial: &Trial) -> u128 {
+        let site =
+            PatternSite::for_kind(trial.kind, TEST_BANK, trial.row, cfg.geometry.rows_per_bank);
+        let rows = (site.aggressors.len() + site.victims.len()) as u128;
+        let budget_ps = u128::from(cfg.budget.as_ps());
+        let repeats = u128::from(cfg.repeats.max(1));
+        // Aggressor-on share of one activation cycle, in parts per million.
+        let on_share_ppm = |t_on: rowpress_dram::Time, t_off: rowpress_dram::Time| -> u128 {
+            let on = u128::from(t_on.as_ps());
+            let cycle = on + u128::from(t_off.as_ps());
+            (on * 1_000_000).checked_div(cycle).unwrap_or(0)
+        };
+        let cost = match trial.measurement {
+            Measurement::AcMin { t_aggon } => {
+                // Bisection device time ~ 2x the budget-bound first probe,
+                // per repeat; the row is open for the on-share of each cycle.
+                let t_on = t_aggon.max(self.timing.t_ras);
+                repeats * 2 * budget_ps * on_share_ppm(t_on, self.timing.t_rp) / 1_000_000
+            }
+            Measurement::AcMax { t_aggon } => {
+                let t_on = t_aggon.max(self.timing.t_ras);
+                budget_ps * on_share_ppm(t_on, self.timing.t_rp) / 1_000_000
+            }
+            // Bisection over on-times: the first probe holds the row open for
+            // up to budget/ac per activation, so a search costs about two
+            // full budgets per repeat.
+            Measurement::TAggOnMin { .. } => repeats * 2 * budget_ps,
+            Measurement::OnOff {
+                delta_a2a,
+                on_fraction,
+            } => {
+                let frac = on_fraction.clamp(0.0, 1.0);
+                let t_on = self.timing.t_ras + delta_a2a * frac;
+                let t_off = self.timing.t_rp + delta_a2a * (1.0 - frac);
+                budget_ps * on_share_ppm(t_on, t_off) / 1_000_000
+            }
+            Measurement::Retention { duration } => u128::from(duration.as_ps()),
+        };
+        cost * rows
+    }
+
+    /// The order in which a worker pool should claim the trials of a plan:
+    /// indices into `trials` sorted by descending estimate, ties broken by
+    /// plan position (the sort is stable).
+    pub fn dispatch_order(&self, cfg: &ExperimentConfig, trials: &[Trial]) -> Vec<usize> {
+        let costs: Vec<u128> = trials.iter().map(|t| self.estimate(cfg, t)).collect();
+        let mut order: Vec<usize> = (0..trials.len()).collect();
+        order.sort_by_key(|&i| Reverse(costs[i]));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{lookup_module, Plan};
+    use rowpress_dram::Time;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::test_scale()
+    }
+
+    fn acmin_trial(t_aggon: Time) -> Trial {
+        let cfg = cfg();
+        Plan::grid(&cfg)
+            .module(&lookup_module("S3").unwrap())
+            .measurement(Measurement::AcMin { t_aggon })
+            .build()
+            .trials()[0]
+            .clone()
+    }
+
+    #[test]
+    fn long_taggon_trials_cost_more() {
+        let cfg = cfg();
+        let model = CostModel::default();
+        let hammer = model.estimate(&cfg, &acmin_trial(Time::from_ns(36.0)));
+        let press = model.estimate(&cfg, &acmin_trial(Time::from_ms(30.0)));
+        assert!(
+            press > hammer,
+            "30 ms tAggON must out-cost tRAS: {press} vs {hammer}"
+        );
+    }
+
+    #[test]
+    fn retention_cost_scales_with_duration() {
+        let cfg = cfg();
+        let model = CostModel::default();
+        let mut short = acmin_trial(Time::from_ns(36.0));
+        short.measurement = Measurement::Retention {
+            duration: Time::from_ms(1.0),
+        };
+        let mut long = short.clone();
+        long.measurement = Measurement::Retention {
+            duration: Time::from_secs(4.0),
+        };
+        assert!(model.estimate(&cfg, &long) > model.estimate(&cfg, &short));
+    }
+
+    #[test]
+    fn dispatch_order_is_a_longest_first_permutation() {
+        let cfg = cfg();
+        let plan = Plan::grid(&cfg)
+            .module(&lookup_module("S3").unwrap())
+            .measurements(
+                [Time::from_ns(36.0), Time::from_us(7.8), Time::from_ms(30.0)]
+                    .into_iter()
+                    .map(|t| Measurement::AcMin { t_aggon: t }),
+            )
+            .build();
+        let model = CostModel::default();
+        let order = model.dispatch_order(&cfg, plan.trials());
+        // A permutation of 0..n.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..plan.len()).collect::<Vec<_>>());
+        // Costs are non-increasing along the dispatch order, and equal costs
+        // keep plan order (stable sort).
+        let costs: Vec<u128> = plan
+            .trials()
+            .iter()
+            .map(|t| model.estimate(&cfg, t))
+            .collect();
+        for pair in order.windows(2) {
+            assert!(costs[pair[0]] >= costs[pair[1]]);
+            if costs[pair[0]] == costs[pair[1]] {
+                assert!(pair[0] < pair[1], "ties must fall back to plan order");
+            }
+        }
+        // The 30 ms press trials dispatch before the tRAS hammer trials.
+        let press = Measurement::AcMin {
+            t_aggon: Time::from_ms(30.0),
+        };
+        let first = &plan.trials()[order[0]];
+        assert_eq!(first.measurement, press);
+    }
+
+    #[test]
+    fn schedule_policy_defaults_to_cost_aware() {
+        assert_eq!(SchedulePolicy::default(), SchedulePolicy::CostAware);
+    }
+}

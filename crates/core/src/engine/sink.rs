@@ -1,0 +1,470 @@
+//! Record sinks and readers: where the engine's plan-ordered
+//! [`TrialRecord`] stream goes, and how partial JSONL streams come back.
+//!
+//! * [`MemorySink`] collects records in memory.
+//! * [`JsonlSink`] streams records as JSON Lines to any [`Write`] target.
+//! * [`ThreadedSink`] decouples any `Send` sink from the engine through a
+//!   bounded channel and a background writer thread, so slow I/O never
+//!   stalls the worker pool.
+//! * [`JsonlReader`] parses a JSONL stream back into records and
+//!   merge-sorts shard streams into plan order
+//!   ([`JsonlReader::merge_shards`]).
+
+use super::plan::{Plan, TrialRecord};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// Receives the record stream of an engine run, in plan order.
+pub trait Sink {
+    /// Accepts one record (by value — collecting sinks store it without
+    /// another copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the underlying writer fails.
+    fn accept(&mut self, record: TrialRecord) -> std::io::Result<()>;
+
+    /// Called once after the last record (flush point for buffered sinks).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the underlying writer fails.
+    fn finish(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Collects records in memory.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Vec<TrialRecord>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The records collected so far.
+    pub fn records(&self) -> &[TrialRecord] {
+        &self.records
+    }
+
+    /// Consumes the sink, returning the collected records.
+    pub fn into_records(self) -> Vec<TrialRecord> {
+        self.records
+    }
+}
+
+impl Sink for MemorySink {
+    fn accept(&mut self, record: TrialRecord) -> std::io::Result<()> {
+        self.records.push(record);
+        Ok(())
+    }
+}
+
+/// Streams records as JSON Lines (one serde-serialized record per line) to
+/// any [`Write`] target. Each line deserializes back into a [`TrialRecord`]
+/// with `serde_json::from_str` — or stream-parse whole files with
+/// [`JsonlReader`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn accept(&mut self, record: TrialRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(&record).map_err(std::io::Error::other)?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+enum ThreadedMsg {
+    // Boxed so the queued message stays pointer-sized next to `Finish`.
+    Record(Box<TrialRecord>),
+    Finish,
+}
+
+/// Hands records to an inner sink on a background writer thread over a
+/// bounded channel, so a slow writer never stalls the engine's worker pool —
+/// the pool keeps computing while the writer drains the queue. When the
+/// queue is full, `accept` blocks (bounded memory; back-pressure instead of
+/// unbounded buffering).
+///
+/// Record order is preserved: the engine feeds records in plan order and the
+/// channel is FIFO, so the inner sink sees the byte-identical stream it
+/// would have seen inline.
+///
+/// Inner-sink errors surface on [`ThreadedSink::finish`] (which waits until
+/// the queue is fully drained and the inner sink flushed) — or on a later
+/// `accept` once the writer thread has stopped. After an error the writer
+/// drops further records.
+#[derive(Debug)]
+pub struct ThreadedSink<S: Sink + Send + 'static> {
+    sender: Option<SyncSender<ThreadedMsg>>,
+    acks: Receiver<io::Result<()>>,
+    writer: Option<JoinHandle<S>>,
+}
+
+impl<S: Sink + Send + 'static> ThreadedSink<S> {
+    /// Default bound of the record queue.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Spawns the writer thread with the default queue capacity.
+    pub fn new(inner: S) -> Self {
+        Self::with_capacity(inner, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Spawns the writer thread with an explicit queue capacity (clamped to
+    /// at least 1).
+    pub fn with_capacity(mut inner: S, capacity: usize) -> Self {
+        let (sender, receiver) = std::sync::mpsc::sync_channel(capacity.max(1));
+        let (ack_tx, acks) = std::sync::mpsc::sync_channel(1);
+        let writer = std::thread::spawn(move || {
+            let mut failed: Option<io::ErrorKind> = None;
+            while let Ok(msg) = receiver.recv() {
+                match msg {
+                    ThreadedMsg::Record(record) => {
+                        if failed.is_none() {
+                            if let Err(e) = inner.accept(*record) {
+                                failed = Some(e.kind());
+                                let _ = ack_tx.send(Err(e));
+                            }
+                        }
+                    }
+                    ThreadedMsg::Finish => {
+                        let result = match failed {
+                            // The error was already queued by the failing
+                            // accept; acknowledge the finish itself.
+                            Some(kind) => Err(io::Error::from(kind)),
+                            None => inner.finish(),
+                        };
+                        let _ = ack_tx.send(result);
+                    }
+                }
+            }
+            inner
+        });
+        ThreadedSink {
+            sender: Some(sender),
+            acks,
+            writer: Some(writer),
+        }
+    }
+
+    fn disconnected() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "threaded sink writer thread stopped",
+        )
+    }
+
+    /// Stops the writer thread and returns the inner sink. Pending records
+    /// are drained first. Call [`Sink::finish`] beforehand to observe flush
+    /// errors ([`super::Engine::run`] always does).
+    pub fn into_inner(mut self) -> S {
+        drop(self.sender.take());
+        self.writer
+            .take()
+            .expect("writer thread present until into_inner")
+            .join()
+            .expect("threaded sink writer must not panic")
+    }
+}
+
+impl<S: Sink + Send + 'static> Sink for ThreadedSink<S> {
+    /// Queues the record, blocking when the channel is full.
+    fn accept(&mut self, record: TrialRecord) -> std::io::Result<()> {
+        // A prior inner-sink error parks its report in the ack queue; surface
+        // it here instead of silently queueing more records.
+        if let Ok(result) = self.acks.try_recv() {
+            return result;
+        }
+        let sender = self.sender.as_ref().ok_or_else(Self::disconnected)?;
+        sender
+            .send(ThreadedMsg::Record(Box::new(record)))
+            .map_err(|_| Self::disconnected())
+    }
+
+    /// Waits until every queued record reached the inner sink, then flushes
+    /// it, returning the first error the writer hit (if any).
+    fn finish(&mut self) -> std::io::Result<()> {
+        let sender = self.sender.as_ref().ok_or_else(Self::disconnected)?;
+        sender
+            .send(ThreadedMsg::Finish)
+            .map_err(|_| Self::disconnected())?;
+        match self.acks.recv() {
+            Ok(result) => result,
+            Err(_) => Err(Self::disconnected()),
+        }
+    }
+}
+
+impl<S: Sink + Send + 'static> Drop for ThreadedSink<S> {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+/// Parses a JSON Lines stream of [`TrialRecord`]s — the output of
+/// [`JsonlSink`] — skipping blank lines. Iterate it record by record, or
+/// reassemble a sharded campaign with [`JsonlReader::merge_shards`].
+/// (A [`PersistentCache`](super::PersistentCache) file is *not* a plain
+/// record stream: it starts with a config-fingerprint header line; open it
+/// through `PersistentCache` instead.)
+#[derive(Debug)]
+pub struct JsonlReader<R> {
+    lines: std::io::Lines<R>,
+}
+
+impl JsonlReader<BufReader<File>> {
+    /// Opens a JSONL file for reading.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the file cannot be opened.
+    pub fn from_path(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufReader::new(File::open(path)?)))
+    }
+}
+
+impl<R: BufRead> JsonlReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        JsonlReader {
+            lines: reader.lines(),
+        }
+    }
+
+    /// Reads the remaining records into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first read or parse error.
+    pub fn read_all(self) -> io::Result<Vec<TrialRecord>> {
+        self.collect()
+    }
+
+    /// Reads one record stream per shard and merge-sorts them back into plan
+    /// order via [`Plan::merge`]: `readers` must hold the outputs of
+    /// `plan.shard(0, n) .. plan.shard(n - 1, n)` in shard-index order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first read or parse error of any shard.
+    pub fn merge_shards(readers: impl IntoIterator<Item = Self>) -> io::Result<Vec<TrialRecord>> {
+        let shards = readers
+            .into_iter()
+            .map(Self::read_all)
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Plan::merge(shards))
+    }
+}
+
+impl<R: BufRead> Iterator for JsonlReader<R> {
+    type Item = io::Result<TrialRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.lines.next()? {
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => {
+                    return Some(serde_json::from_str(&line).map_err(io::Error::other));
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{lookup_module, Engine, Measurement, Plan, TrialOutcome};
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use rowpress_dram::Time;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::test_scale()
+    }
+
+    fn all_variant_plan(cfg: &ExperimentConfig) -> Plan {
+        Plan::grid(cfg)
+            .module(&lookup_module("S3").unwrap())
+            .measurements([
+                Measurement::AcMin {
+                    t_aggon: Time::from_ms(30.0),
+                },
+                Measurement::AcMax {
+                    t_aggon: Time::from_us(70.2),
+                },
+                Measurement::TAggOnMin { ac: 10 },
+                Measurement::OnOff {
+                    delta_a2a: Time::from_ns(6000.0),
+                    on_fraction: 0.5,
+                },
+                Measurement::Retention {
+                    duration: Time::from_secs(4.0),
+                },
+            ])
+            .build()
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_measurement_variant() {
+        let cfg = cfg();
+        let plan = all_variant_plan(&cfg);
+        let engine = Engine::new(&cfg);
+        let records = engine.run_collect(&plan).unwrap();
+
+        let mut sink = JsonlSink::new(Vec::new());
+        engine.run(&plan, &mut sink).unwrap();
+        let bytes = sink.into_inner();
+        let lines = String::from_utf8(bytes.clone()).unwrap();
+        assert_eq!(lines.lines().count(), records.len());
+
+        // Every Measurement variant must appear, and every line must parse
+        // back to the exact record through the JsonlReader.
+        let parsed = JsonlReader::new(BufReader::new(&bytes[..]))
+            .read_all()
+            .unwrap();
+        assert_eq!(parsed, records);
+        for variant in ["AcMin", "AcMax", "TAggOnMin", "OnOff", "Retention"] {
+            assert!(
+                lines.contains(variant),
+                "JSONL stream must name the {variant} variant"
+            );
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_outcome_variant_including_edge_cases() {
+        let cfg = cfg();
+        let trial = all_variant_plan(&cfg).trials()[0].clone();
+        // Hand-built outcomes cover the optional-field edge cases a real run
+        // might not hit (no-flip AcMin, flip-less TAggOnMin).
+        let outcomes = [
+            TrialOutcome::AcMin {
+                ac_min: None,
+                ac_max: 1_173_708,
+                flips: Vec::new(),
+            },
+            TrialOutcome::AcMin {
+                ac_min: Some(2),
+                ac_max: 2,
+                flips: Vec::new(),
+            },
+            TrialOutcome::AcMax {
+                ac: 854,
+                flips: Vec::new(),
+            },
+            TrialOutcome::TAggOnMin { t_aggon_min: None },
+            TrialOutcome::TAggOnMin {
+                t_aggon_min: Some(Time::from_us(70.2)),
+            },
+            TrialOutcome::OnOff {
+                ac: 9_539,
+                flips: Vec::new(),
+            },
+            TrialOutcome::Retention { flips: Vec::new() },
+        ];
+        for outcome in outcomes {
+            let record = TrialRecord {
+                trial: trial.clone(),
+                outcome,
+            };
+            let line = serde_json::to_string(&record).unwrap();
+            let parsed: TrialRecord = serde_json::from_str(&line).unwrap();
+            assert_eq!(parsed, record);
+        }
+    }
+
+    #[test]
+    fn jsonl_reader_skips_blank_lines_and_reports_parse_errors() {
+        let text = "\n  \n";
+        let none = JsonlReader::new(BufReader::new(text.as_bytes()))
+            .read_all()
+            .unwrap();
+        assert!(none.is_empty());
+        let bad = "not json\n";
+        assert!(JsonlReader::new(BufReader::new(bad.as_bytes()))
+            .read_all()
+            .is_err());
+    }
+
+    #[test]
+    fn threaded_sink_preserves_the_stream_and_returns_the_inner_sink() {
+        let cfg = cfg();
+        let plan = all_variant_plan(&cfg);
+        let engine = Engine::new(&cfg);
+        let baseline = {
+            let mut sink = JsonlSink::new(Vec::new());
+            engine.run(&plan, &mut sink).unwrap();
+            sink.into_inner()
+        };
+        // A capacity of 1 forces back-pressure on every record.
+        for capacity in [1, 4, 1024] {
+            let mut sink = ThreadedSink::with_capacity(JsonlSink::new(Vec::new()), capacity);
+            engine.run(&plan, &mut sink).unwrap();
+            let bytes = sink.into_inner().into_inner();
+            assert_eq!(
+                bytes, baseline,
+                "threaded sink (capacity {capacity}) must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_sink_surfaces_writer_errors_on_finish() {
+        struct FailingSink;
+        impl Sink for FailingSink {
+            fn accept(&mut self, _record: TrialRecord) -> io::Result<()> {
+                Err(io::Error::other("disk full"))
+            }
+        }
+        let cfg = cfg();
+        let plan = all_variant_plan(&cfg);
+        let mut sink = ThreadedSink::new(FailingSink);
+        let err = Engine::new(&cfg).run(&plan, &mut sink).unwrap_err();
+        assert!(
+            matches!(err, super::super::EngineError::Sink(_)),
+            "writer failure must surface as a sink error, got {err}"
+        );
+    }
+
+    #[test]
+    fn threaded_sink_supports_multiple_runs() {
+        let cfg = cfg();
+        let plan = all_variant_plan(&cfg);
+        let engine = Engine::new(&cfg);
+        let mut sink = ThreadedSink::new(MemorySink::new());
+        engine.run(&plan, &mut sink).unwrap();
+        engine.run(&plan, &mut sink).unwrap();
+        let records = sink.into_inner().into_records();
+        assert_eq!(records.len(), 2 * plan.len());
+    }
+}

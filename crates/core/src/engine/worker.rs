@@ -1,0 +1,377 @@
+//! Plan execution: the [`Engine`], its bounded worker pool, and the
+//! per-trial device-model code path.
+//!
+//! Workers claim trials off a shared queue in the order the engine's
+//! [`SchedulePolicy`] dictates (cost-aware longest-pole-first by default)
+//! and fill per-trial slots; the caller's thread drains the slots in plan
+//! order and feeds the sink, so the record stream is independent of worker
+//! count, scheduling policy and timing.
+
+use super::cache::{shared_cache, CachedOutcome, TrialCache};
+use super::plan::{Measurement, Plan, Trial, TrialOutcome, TrialRecord, TEST_BANK};
+use super::schedule::{CostModel, SchedulePolicy};
+use super::sink::{MemorySink, Sink};
+use crate::config::ExperimentConfig;
+use crate::patterns::{run_pattern, PatternInstance, PatternSite};
+use crate::search::{find_ac_min, find_t_aggon_min, flips_at_ac_max};
+use rowpress_dram::{
+    module_inventory, DramError, DramModule, DramResult, FlipMechanism, ModuleSpec, RowRole,
+};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// An engine run failed: a trial hit a device-model error, a sink hit an I/O
+/// error, or a referenced module does not exist.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A trial failed in the device model (e.g. a row out of range).
+    Dram(DramError),
+    /// A sink failed to write a record.
+    Sink(std::io::Error),
+    /// A module id is not in the tested-chip inventory (see
+    /// [`lookup_module`]).
+    UnknownModule {
+        /// The id that failed to resolve.
+        id: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Dram(e) => write!(f, "trial failed: {e}"),
+            EngineError::Sink(e) => write!(f, "sink failed: {e}"),
+            EngineError::UnknownModule { id } => {
+                write!(f, "module {id:?} is not in the tested-chip inventory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Dram(e) => Some(e),
+            EngineError::Sink(e) => Some(e),
+            EngineError::UnknownModule { .. } => None,
+        }
+    }
+}
+
+impl From<DramError> for EngineError {
+    fn from(e: DramError) -> Self {
+        EngineError::Dram(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Sink(e)
+    }
+}
+
+/// Resolves a module id ("S3", "H0", …) against the paper's tested-chip
+/// inventory, returning a typed [`EngineError::UnknownModule`] instead of
+/// panicking when the id is unknown.
+///
+/// # Errors
+///
+/// Returns [`EngineError::UnknownModule`] when no inventory module has the
+/// requested id.
+pub fn lookup_module(id: &str) -> Result<ModuleSpec, EngineError> {
+    module_inventory()
+        .into_iter()
+        .find(|m| m.id == id)
+        .ok_or_else(|| EngineError::UnknownModule { id: id.to_string() })
+}
+
+/// Executes [`Plan`]s on a bounded worker pool with trial-level caching and
+/// cost-aware dispatch.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cfg: ExperimentConfig,
+    workers: usize,
+    cache: TrialCache,
+    policy: SchedulePolicy,
+}
+
+impl Engine {
+    /// An engine with a private cache and the default bounded pool
+    /// (≤ [`crate::campaign::worker_count`] workers).
+    pub fn new(cfg: &ExperimentConfig) -> Self {
+        Engine {
+            cfg: *cfg,
+            workers: crate::campaign::worker_count(),
+            cache: TrialCache::new(),
+            policy: SchedulePolicy::default(),
+        }
+    }
+
+    /// An engine sharing the process-wide cache for this configuration. The
+    /// study drivers use this, so overlapping figures (the shared 50 °C ACmin
+    /// sweep behind Figs. 6–8, say) compute each trial once per process.
+    pub fn shared(cfg: &ExperimentConfig) -> Self {
+        Engine {
+            cfg: *cfg,
+            workers: crate::campaign::worker_count(),
+            cache: shared_cache(cfg),
+            policy: SchedulePolicy::default(),
+        }
+    }
+
+    /// Overrides the worker count (values are clamped to at least 1). The
+    /// determinism tests use this to prove worker-count independence.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Replaces the cache handle (clones share storage): use a
+    /// [`super::PersistentCache`]'s cache, or share one private cache
+    /// between engines.
+    pub fn with_cache(mut self, cache: TrialCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Backs the engine with a [`super::PersistentCache`]: outcomes preloaded
+    /// from its file answer without recomputation, and new outcomes reach
+    /// the file on its next flush (or drop).
+    pub fn with_persistent_cache(self, persistent: &super::PersistentCache) -> Self {
+        self.with_cache(persistent.cache().clone())
+    }
+
+    /// Overrides the dispatch policy (the default is
+    /// [`SchedulePolicy::CostAware`]). Results are identical either way.
+    pub fn with_schedule(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The configuration the engine executes against.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// The worker-pool bound.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The dispatch policy.
+    pub fn schedule(&self) -> SchedulePolicy {
+        self.policy
+    }
+
+    /// The engine's cache (shared handle; clone-cheap).
+    pub fn cache(&self) -> &TrialCache {
+        &self.cache
+    }
+
+    /// Executes the plan and streams records to `sink` in plan order.
+    ///
+    /// Records flow to the sink as their outcomes resolve in plan order. How
+    /// early the first record lands depends on the [`SchedulePolicy`]: under
+    /// [`SchedulePolicy::PlanOrder`] early-plan trials are computed first,
+    /// so the stream starts almost immediately; under the default
+    /// [`SchedulePolicy::CostAware`] the longest poles are computed first,
+    /// so early-plan records (and the outcomes buffered behind them) may
+    /// only reach the sink late in the run — prefer `PlanOrder` when
+    /// first-record latency or peak outcome memory matters more than pool
+    /// utilization. On the first trial or sink error the remaining trials
+    /// are aborted (workers finish only their in-flight trial), and
+    /// [`Sink::finish`] is called whether the run succeeded or not, so
+    /// buffered sinks always flush what they accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first trial or sink error, in plan order.
+    pub fn run(&self, plan: &Plan, sink: &mut dyn Sink) -> Result<(), EngineError> {
+        let result = self.stream(plan, sink);
+        let finished = sink.finish().map_err(EngineError::Sink);
+        result.and(finished)
+    }
+
+    fn stream(&self, plan: &Plan, sink: &mut dyn Sink) -> Result<(), EngineError> {
+        let trials = plan.trials();
+        let n = trials.len();
+        let workers = self.workers.min(n);
+        let record = |trial: &Trial, outcome: Arc<TrialOutcome>| TrialRecord {
+            trial: trial.clone(),
+            outcome: (*outcome).clone(),
+        };
+
+        if workers <= 1 {
+            for trial in trials {
+                let outcome = self.outcome_for(trial)?;
+                sink.accept(record(trial, outcome))?;
+            }
+            return Ok(());
+        }
+
+        // The dispatch order decides which trial an idle worker claims next;
+        // longest-pole-first keeps the pool busy through a mixed grid's
+        // expensive tail. The drain below is plan-ordered either way.
+        let dispatch: Vec<usize> = match self.policy {
+            SchedulePolicy::PlanOrder => (0..n).collect(),
+            SchedulePolicy::CostAware => CostModel::default().dispatch_order(&self.cfg, trials),
+        };
+
+        // Workers fill per-trial slots off a shared queue; this thread drains
+        // the slots in plan order, feeding the sink as each outcome lands.
+        // Panics inside a trial are caught in the worker and re-raised here
+        // so the drain can never wait on a slot that will not be filled.
+        type Slot = Option<std::thread::Result<CachedOutcome>>;
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let slots: Mutex<Vec<Slot>> = Mutex::new((0..n).map(|_| None).collect());
+        let ready = Condvar::new();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let claimed = next.fetch_add(1, Ordering::Relaxed);
+                    if claimed >= n {
+                        break;
+                    }
+                    let index = dispatch[claimed];
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.outcome_for(&trials[index])
+                    }));
+                    let mut filled = slots.lock().expect("slot lock");
+                    filled[index] = Some(outcome);
+                    ready.notify_all();
+                });
+            }
+
+            for (index, trial) in trials.iter().enumerate() {
+                let outcome = {
+                    let mut filled = slots.lock().expect("slot lock");
+                    loop {
+                        if let Some(outcome) = filled[index].take() {
+                            break outcome;
+                        }
+                        filled = ready.wait(filled).expect("slot lock");
+                    }
+                };
+                let step = match outcome {
+                    Ok(Ok(outcome)) => sink
+                        .accept(record(trial, outcome))
+                        .map_err(EngineError::Sink),
+                    Ok(Err(e)) => Err(EngineError::Dram(e)),
+                    Err(panic) => {
+                        abort.store(true, Ordering::Relaxed);
+                        std::panic::resume_unwind(panic);
+                    }
+                };
+                if let Err(e) = step {
+                    abort.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Executes the plan and collects the records in plan order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first trial error, in plan order.
+    pub fn run_collect(&self, plan: &Plan) -> DramResult<Vec<TrialRecord>> {
+        let mut sink = MemorySink::new();
+        match self.run(plan, &mut sink) {
+            Ok(()) => Ok(sink.into_records()),
+            Err(EngineError::Dram(e)) => Err(e),
+            Err(EngineError::Sink(_)) | Err(EngineError::UnknownModule { .. }) => {
+                unreachable!("MemorySink::accept is infallible and runs resolve no module ids")
+            }
+        }
+    }
+
+    fn outcome_for(&self, trial: &Trial) -> CachedOutcome {
+        self.cache
+            .get_or_compute(trial, || execute_trial(&self.cfg, trial))
+    }
+}
+
+/// Runs one trial on a freshly constructed module. A fresh module per trial
+/// is what makes outcomes independent of scheduling: no state leaks between
+/// trials, so any interleaving produces the same records.
+fn execute_trial(cfg: &ExperimentConfig, trial: &Trial) -> DramResult<TrialOutcome> {
+    let mut module = DramModule::new(&trial.spec, cfg.geometry);
+    module.set_temperature(trial.temperature_c);
+    if trial.jitter.sigma != 0.0 {
+        module.set_flip_jitter(trial.jitter.sigma, trial.jitter.salt);
+    }
+    let site = PatternSite::for_kind(trial.kind, TEST_BANK, trial.row, cfg.geometry.rows_per_bank);
+
+    match trial.measurement {
+        Measurement::AcMin { t_aggon } => {
+            match find_ac_min(&mut module, &site, t_aggon, trial.data_pattern, cfg)? {
+                Some(outcome) => Ok(TrialOutcome::AcMin {
+                    ac_min: Some(outcome.ac_min),
+                    ac_max: outcome.ac_max,
+                    flips: outcome.flips,
+                }),
+                // `max_activations_within` clamps tAggON to tRAS internally,
+                // so this reports the same ACmax the search bracket used —
+                // the no-flip branch no longer diverges for sub-tRAS on-times.
+                None => Ok(TrialOutcome::AcMin {
+                    ac_min: None,
+                    ac_max: module.timing().max_activations_within(t_aggon, cfg.budget),
+                    flips: Vec::new(),
+                }),
+            }
+        }
+        Measurement::AcMax { t_aggon } => {
+            let (ac, flips) =
+                flips_at_ac_max(&mut module, &site, t_aggon, trial.data_pattern, cfg)?;
+            Ok(TrialOutcome::AcMax { ac, flips })
+        }
+        Measurement::TAggOnMin { ac } => {
+            let t_aggon_min = find_t_aggon_min(&mut module, &site, ac, trial.data_pattern, cfg)?;
+            Ok(TrialOutcome::TAggOnMin { t_aggon_min })
+        }
+        Measurement::OnOff {
+            delta_a2a,
+            on_fraction,
+        } => {
+            let timing = *module.timing();
+            let t_on = timing.t_ras + delta_a2a * on_fraction;
+            let t_off = timing.t_rp + delta_a2a * (1.0 - on_fraction);
+            let cycle = t_on + t_off;
+            let ac = cfg.budget.as_ps() / cycle.as_ps();
+            let instance = PatternInstance {
+                t_aggon: t_on,
+                t_aggoff: t_off,
+                total_acts: ac,
+            };
+            let flips = run_pattern(&mut module, &site, instance, trial.data_pattern)?;
+            Ok(TrialOutcome::OnOff { ac, flips })
+        }
+        Measurement::Retention { duration } => {
+            for &victim in &site.victims {
+                module.init_row_pattern(site.bank, victim, trial.data_pattern, RowRole::Victim)?;
+            }
+            module.idle(duration);
+            let mut flips = Vec::new();
+            for &victim in &site.victims {
+                flips.extend(
+                    module
+                        .check_row(site.bank, victim)?
+                        .into_iter()
+                        .filter(|f| f.mechanism == FlipMechanism::Retention),
+                );
+            }
+            Ok(TrialOutcome::Retention { flips })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

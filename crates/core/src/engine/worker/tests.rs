@@ -1,0 +1,192 @@
+//! Unit tests of `engine::worker` (split out to keep the submodule readable).
+
+use super::super::JsonlSink;
+use super::*;
+use rowpress_dram::{RowId, Time};
+
+fn spec(id: &str) -> ModuleSpec {
+    lookup_module(id).expect("module in inventory")
+}
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig::test_scale()
+}
+
+fn acmin_plan(cfg: &ExperimentConfig) -> Plan {
+    Plan::grid(cfg)
+        .modules(&[spec("S3"), spec("S0")])
+        .temperatures(&[50.0, 80.0])
+        .measurements(
+            [Time::from_ns(36.0), Time::from_ms(30.0)]
+                .into_iter()
+                .map(|t| Measurement::AcMin { t_aggon: t }),
+        )
+        .build()
+}
+
+#[test]
+fn records_are_identical_for_any_worker_count_and_policy() {
+    let cfg = cfg();
+    let plan = acmin_plan(&cfg);
+    let baseline = Engine::new(&cfg)
+        .with_workers(1)
+        .run_collect(&plan)
+        .unwrap();
+    assert_eq!(baseline.len(), plan.len());
+    for workers in [2, 4, 16] {
+        for policy in [SchedulePolicy::PlanOrder, SchedulePolicy::CostAware] {
+            let records = Engine::new(&cfg)
+                .with_workers(workers)
+                .with_schedule(policy)
+                .run_collect(&plan)
+                .unwrap();
+            assert_eq!(
+                records, baseline,
+                "{workers} workers under {policy:?} changed the record stream"
+            );
+        }
+    }
+    // Byte-identical through the JSONL sink, too.
+    let jsonl = |workers: usize, policy: SchedulePolicy| -> Vec<u8> {
+        let mut sink = JsonlSink::new(Vec::new());
+        Engine::new(&cfg)
+            .with_workers(workers)
+            .with_schedule(policy)
+            .run(&plan, &mut sink)
+            .unwrap();
+        sink.into_inner()
+    };
+    let reference = jsonl(1, SchedulePolicy::PlanOrder);
+    assert_eq!(reference, jsonl(4, SchedulePolicy::PlanOrder));
+    assert_eq!(reference, jsonl(4, SchedulePolicy::CostAware));
+}
+
+#[test]
+fn sharded_engines_merge_to_the_single_process_stream() {
+    let cfg = cfg();
+    let plan = acmin_plan(&cfg);
+    let baseline = Engine::new(&cfg).run_collect(&plan).unwrap();
+    for shards in [2, 3, 5] {
+        // Each shard runs on its own engine with a private cache — the
+        // in-process model of independent shard processes.
+        let streams: Vec<Vec<TrialRecord>> = (0..shards)
+            .map(|i| {
+                Engine::new(&cfg)
+                    .run_collect(&plan.shard(i, shards))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(
+            Plan::merge(streams),
+            baseline,
+            "{shards}-way shard must merge to the baseline"
+        );
+    }
+}
+
+#[test]
+fn trial_errors_surface_in_plan_order() {
+    let cfg = cfg();
+    let mut good = Plan::grid(&cfg)
+        .module(&spec("S3"))
+        .measurement(Measurement::AcMin {
+            t_aggon: Time::from_ms(30.0),
+        })
+        .build()
+        .trials()
+        .to_vec();
+    // An out-of-range row makes the site invalid.
+    good[1].row = RowId(cfg.geometry.rows_per_bank + 100);
+    let plan = Plan::from_trials(good);
+    let err = Engine::new(&cfg).run_collect(&plan).unwrap_err();
+    assert!(matches!(err, DramError::InvalidRow { .. }));
+    let display = format!("{}", EngineError::from(err));
+    assert!(display.contains("trial failed"));
+}
+
+#[test]
+fn finish_flushes_even_when_a_trial_fails() {
+    struct CountingSink {
+        accepted: usize,
+        finished: bool,
+    }
+    impl Sink for CountingSink {
+        fn accept(&mut self, _record: TrialRecord) -> std::io::Result<()> {
+            self.accepted += 1;
+            Ok(())
+        }
+        fn finish(&mut self) -> std::io::Result<()> {
+            self.finished = true;
+            Ok(())
+        }
+    }
+    let cfg = cfg();
+    let mut trials = Plan::grid(&cfg)
+        .module(&spec("S3"))
+        .measurement(Measurement::AcMin {
+            t_aggon: Time::from_ms(30.0),
+        })
+        .build()
+        .trials()
+        .to_vec();
+    trials[1].row = RowId(cfg.geometry.rows_per_bank + 100);
+    let plan = Plan::from_trials(trials);
+    let mut sink = CountingSink {
+        accepted: 0,
+        finished: false,
+    };
+    let err = Engine::new(&cfg)
+        .with_workers(1)
+        .run(&plan, &mut sink)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::Dram(DramError::InvalidRow { .. })
+    ));
+    // The record before the failing trial streamed, and finish() still ran.
+    assert_eq!(sink.accepted, 1);
+    assert!(sink.finished, "finish() must run on the error path");
+}
+
+#[test]
+fn identical_concurrent_trials_compute_once() {
+    let cfg = cfg();
+    let base = Plan::grid(&cfg)
+        .module(&spec("S0"))
+        .rows(vec![RowId(20)])
+        .measurement(Measurement::AcMax {
+            t_aggon: Time::from_us(70.2),
+        })
+        .build()
+        .trials()
+        .to_vec();
+    // Eight copies of the same trial, executed by a multi-worker pool:
+    // the in-flight dedup must compute it exactly once.
+    let plan = Plan::from_trials(vec![base[0].clone(); 8]);
+    let engine = Engine::new(&cfg).with_workers(4);
+    let records = engine.run_collect(&plan).unwrap();
+    assert_eq!(records.len(), 8);
+    assert!(records.windows(2).all(|w| w[0] == w[1]));
+    assert_eq!(engine.cache().misses(), 1);
+    assert_eq!(engine.cache().hits(), 7);
+}
+
+#[test]
+fn engine_defaults_are_bounded_and_cost_aware() {
+    let engine = Engine::new(&cfg());
+    assert!(engine.workers() >= 1);
+    assert!(engine.workers() <= crate::campaign::worker_count());
+    assert_eq!(engine.schedule(), SchedulePolicy::CostAware);
+    assert_eq!(Engine::new(&cfg()).with_workers(0).workers(), 1);
+    assert!(engine.cache().is_empty());
+    assert_eq!(engine.config(), &cfg());
+}
+
+#[test]
+fn unknown_modules_resolve_to_typed_errors() {
+    assert_eq!(lookup_module("S3").unwrap().id, "S3");
+    let err = lookup_module("Z9").unwrap_err();
+    assert!(matches!(err, EngineError::UnknownModule { ref id } if id == "Z9"));
+    assert!(format!("{err}").contains("Z9"));
+    assert!(std::error::Error::source(&err).is_none());
+}

@@ -8,9 +8,12 @@
 //!   double-sided and ONOFF read-disturb access patterns.
 //! * [`find_ac_min`], [`find_t_aggon_min`], [`flips_at_ac_max`] — the
 //!   bisection searches behind every ACmin / tAggONmin figure.
-//! * [`engine`] — the unified campaign engine: typed [`Trial`]s, declarative
-//!   [`Plan`] grids, bounded-pool execution with an in-process trial cache,
-//!   and streaming [`Sink`]s (in-memory, JSONL).
+//! * [`engine`] — the unified campaign engine, one submodule per layer:
+//!   typed [`Trial`]s and shardable [`Plan`] grids (`engine::plan`),
+//!   cost-aware dispatch (`engine::schedule`), in-process and persistent
+//!   cross-process trial caches (`engine::cache`), streaming [`Sink`]s with
+//!   a threaded writer adapter and a merge-sorting JSONL reader
+//!   (`engine::sink`), and the bounded-pool [`Engine`] (`engine::worker`).
 //! * [`acmin_sweep`], [`taggonmin_sweep`], [`acmax_sweep`], [`onoff_sweep`],
 //!   [`data_pattern_sweep`], [`retention_failures`], [`overlap_analysis`],
 //!   [`repeatability_study`] — the study drivers that generate the paper's
@@ -48,8 +51,9 @@ mod studies;
 
 pub use config::ExperimentConfig;
 pub use engine::{
-    Engine, EngineError, Jitter, JsonlSink, Measurement, MemorySink, Plan, PlanBuilder, Sink,
-    Trial, TrialCache, TrialOutcome, TrialRecord,
+    lookup_module, CostModel, Engine, EngineError, Jitter, JsonlReader, JsonlSink, Measurement,
+    MemorySink, PersistentCache, Plan, PlanBuilder, SchedulePolicy, Sink, ThreadedSink, Trial,
+    TrialCache, TrialOutcome, TrialRecord,
 };
 pub use patterns::{
     apply_pattern, initialize_site, run_pattern, run_pattern_any_flip, PatternInstance,

@@ -39,7 +39,7 @@ impl BoxSummary {
         let n = sorted.len();
         let median = median_of(&sorted);
         // The paper defines Q1/Q3 as the medians of the first/second halves.
-        let (lower, upper) = if n % 2 == 0 {
+        let (lower, upper) = if n.is_multiple_of(2) {
             (&sorted[..n / 2], &sorted[n / 2..])
         } else {
             (&sorted[..n / 2], &sorted[n / 2 + 1..])

@@ -170,10 +170,12 @@ impl Geometry {
         if self.banks == 0 || self.rows_per_bank == 0 || self.bits_per_row == 0 {
             return Err("geometry dimensions must be positive".into());
         }
-        if self.bits_per_row % 8 != 0 {
+        if !self.bits_per_row.is_multiple_of(8) {
             return Err("bits_per_row must be a multiple of 8".into());
         }
-        if self.bits_per_cache_block == 0 || self.bits_per_row % self.bits_per_cache_block != 0 {
+        if self.bits_per_cache_block == 0
+            || !self.bits_per_row.is_multiple_of(self.bits_per_cache_block)
+        {
             return Err("bits_per_row must be a multiple of the cache-block size".into());
         }
         Ok(())

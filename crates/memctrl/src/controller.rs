@@ -489,7 +489,7 @@ mod tests {
         }
         assert_eq!(with.stats().preventive_refreshes, 20);
         assert!(t_with > t_without, "preventive refreshes must cost time");
-        assert_eq!(format!("{:?}", with).contains("always"), true);
+        assert!(format!("{:?}", with).contains("always"));
     }
 
     #[test]

@@ -281,7 +281,7 @@ mod tests {
             assert!(c.ipc() <= alone.cores[0].ipc() * 1.05);
         }
         // Weighted speedup of 4 identical cores is between 0 and 4.
-        let ws = shared.weighted_speedup(&vec![alone.cores[0].ipc(); 4]);
+        let ws = shared.weighted_speedup(&[alone.cores[0].ipc(); 4]);
         assert!(ws > 0.5 && ws <= 4.0, "ws = {ws}");
     }
 

@@ -131,7 +131,10 @@ impl ReadDisturbMitigation for Graphene {
 
     fn on_refresh(&mut self, _cycle: u64) {
         self.refreshes_seen += 1;
-        if self.refreshes_seen % self.refreshes_per_window == 0 {
+        if self
+            .refreshes_seen
+            .is_multiple_of(self.refreshes_per_window)
+        {
             self.tables.clear();
             self.spill.clear();
         }

@@ -151,7 +151,7 @@ pub struct TraceGenerator {
 impl TraceGenerator {
     /// Creates a generator for a profile with a given seed.
     pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_0F12_34u64);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5E_ED0F_1234_u64);
         let row_bytes = 8192u64;
         let rows = (profile.footprint / row_bytes).max(2);
         let current_row = rng.gen_range(0..rows);

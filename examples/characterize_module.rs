@@ -3,14 +3,13 @@
 //! bitflips, at two temperatures.
 
 use rowpress::core::stats::loglog_slope;
-use rowpress::core::{acmin_sweep, fraction_rows_with_flips, ExperimentConfig, PatternKind};
-use rowpress::dram::{module_inventory, sweep_t_aggon};
+use rowpress::core::{
+    acmin_sweep, fraction_rows_with_flips, lookup_module, ExperimentConfig, PatternKind,
+};
+use rowpress::dram::sweep_t_aggon;
 
 fn main() {
-    let spec = module_inventory()
-        .into_iter()
-        .find(|m| m.id == "S3")
-        .expect("S3 in inventory");
+    let spec = lookup_module("S3").expect("S3 in inventory");
     let cfg = ExperimentConfig::quick().with_rows_per_module(6);
     let taggons = sweep_t_aggon();
     println!(

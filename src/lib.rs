@@ -8,7 +8,13 @@
 //! * [`bender`] — DRAM-Bender-style command-level testing platform.
 //! * [`core`] — the characterization methodology: ACmin search, the study
 //!   drivers, and the campaign engine (`core::engine`) that executes typed
-//!   trial plans on a bounded worker pool with streaming sinks.
+//!   trial plans on a bounded, cost-aware worker pool with streaming sinks.
+//!   The engine layers are one submodule each: shardable plans
+//!   (`core::engine::plan`, `Plan::shard`/`Plan::merge`), longest-pole-first
+//!   dispatch (`core::engine::schedule`), in-process and persistent
+//!   cross-process trial caches (`core::engine::cache`), and threaded JSONL
+//!   sinks/readers (`core::engine::sink`); `core::campaign::run_sharded`
+//!   models the paper's Slurm-style fan-out end to end.
 //! * [`workloads`] — synthetic trace generation and benchmark catalog.
 //! * [`memctrl`] — cycle-level memory controller and system simulator.
 //! * [`mitigations`] — Graphene / PARA, their RowPress adaptations, ECC analysis.

@@ -1,14 +1,19 @@
 //! Integration tests of the campaign engine through the `rowpress` facade:
-//! the engine is re-exported at `rowpress::core::engine`, executes plans
-//! deterministically regardless of worker count, and streams JSONL that
-//! round-trips through serde.
+//! the engine module tree is re-exported at `rowpress::core::engine`,
+//! executes plans deterministically regardless of worker count, schedule
+//! policy, sharding and sink threading, and streams JSONL that round-trips
+//! through serde — including across processes via the persistent cache.
 
-use rowpress::core::engine::{Engine, JsonlSink, Measurement, Plan, TrialRecord};
-use rowpress::core::{acmin_sweep, ExperimentConfig, PatternKind};
-use rowpress::dram::{module_inventory, ModuleSpec, Time};
+use rowpress::core::engine::{
+    lookup_module, Engine, JsonlReader, JsonlSink, Measurement, PersistentCache, Plan,
+    SchedulePolicy, ThreadedSink, TrialRecord,
+};
+use rowpress::core::{acmin_sweep, campaign, ExperimentConfig, PatternKind};
+use rowpress::dram::{ModuleSpec, Time};
+use std::io::BufReader;
 
 fn spec(id: &str) -> ModuleSpec {
-    module_inventory().into_iter().find(|m| m.id == id).unwrap()
+    lookup_module(id).expect("module in inventory")
 }
 
 fn plan(cfg: &ExperimentConfig) -> Plan {
@@ -53,6 +58,101 @@ fn facade_jsonl_stream_round_trips() {
         .map(|line| serde_json::from_str(line).expect("valid JSONL"))
         .collect();
     assert_eq!(parsed, records);
+}
+
+#[test]
+fn sharded_jsonl_streams_merge_to_the_single_process_bytes() {
+    // The full distributed loop through the facade: shard the plan, run each
+    // shard on its own engine into its own JSONL stream (as independent
+    // processes would), then merge-sort the streams and compare bytes
+    // against the 1-worker single-process baseline.
+    let cfg = ExperimentConfig::test_scale();
+    let plan = plan(&cfg);
+    let baseline = {
+        let mut sink = JsonlSink::new(Vec::new());
+        Engine::new(&cfg)
+            .with_workers(1)
+            .run(&plan, &mut sink)
+            .unwrap();
+        sink.into_inner()
+    };
+    for shards in [2, 4, 7] {
+        let streams: Vec<Vec<u8>> = (0..shards)
+            .map(|i| {
+                let mut sink = JsonlSink::new(Vec::new());
+                Engine::new(&cfg)
+                    .run(&plan.shard(i, shards), &mut sink)
+                    .unwrap();
+                sink.into_inner()
+            })
+            .collect();
+        let merged = JsonlReader::merge_shards(
+            streams
+                .iter()
+                .map(|bytes| JsonlReader::new(BufReader::new(&bytes[..]))),
+        )
+        .unwrap();
+        let mut sink = JsonlSink::new(Vec::new());
+        for record in merged {
+            use rowpress::core::engine::Sink;
+            sink.accept(record).unwrap();
+        }
+        assert_eq!(
+            sink.into_inner(),
+            baseline,
+            "{shards}-way sharded JSONL must merge byte-identically"
+        );
+    }
+    // The campaign-level helper agrees too.
+    let records = campaign::run_sharded(&Engine::new(&cfg), &plan, 3).unwrap();
+    let expected = Engine::new(&cfg).run_collect(&plan).unwrap();
+    assert_eq!(records, expected);
+}
+
+#[test]
+fn threaded_sink_and_cost_schedule_are_transparent() {
+    let cfg = ExperimentConfig::test_scale();
+    let plan = plan(&cfg);
+    let baseline = {
+        let mut sink = JsonlSink::new(Vec::new());
+        Engine::new(&cfg)
+            .with_workers(1)
+            .with_schedule(SchedulePolicy::PlanOrder)
+            .run(&plan, &mut sink)
+            .unwrap();
+        sink.into_inner()
+    };
+    let mut threaded = ThreadedSink::with_capacity(JsonlSink::new(Vec::new()), 2);
+    Engine::new(&cfg)
+        .with_schedule(SchedulePolicy::CostAware)
+        .run(&plan, &mut threaded)
+        .unwrap();
+    assert_eq!(threaded.into_inner().into_inner(), baseline);
+}
+
+#[test]
+fn persistent_cache_spans_engine_instances() {
+    let cfg = ExperimentConfig::test_scale();
+    let plan = plan(&cfg);
+    let path = std::env::temp_dir().join(format!(
+        "rowpress-facade-cache-{}.jsonl",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+
+    let baseline = {
+        let persistent = PersistentCache::open(&path, &cfg).unwrap();
+        let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+        engine.run_collect(&plan).unwrap()
+        // drop(persistent) flushes the outcomes to disk.
+    };
+    let persistent = PersistentCache::open(&path, &cfg).unwrap();
+    assert_eq!(persistent.preloaded(), plan.len());
+    let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+    let replay = engine.run_collect(&plan).unwrap();
+    assert_eq!(replay, baseline);
+    assert_eq!(engine.cache().misses(), 0, "warm replay must not compute");
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

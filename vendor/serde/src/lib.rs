@@ -417,7 +417,7 @@ mod tests {
     fn primitives_round_trip_through_values() {
         assert_eq!(u64::from_value(&42u32.to_value()).unwrap(), 42);
         assert_eq!(i64::from_value(&(-7i32).to_value()).unwrap(), -7);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         assert_eq!(char::from_value(&'D'.to_value()).unwrap(), 'D');
         assert_eq!(
             String::from_value(&"hi".to_string().to_value()).unwrap(),
