@@ -49,6 +49,13 @@ if [[ "${1:-}" != "quick" ]]; then
 
   step "cargo bench -p rowpress-bench --bench perf_persistent_cache --no-run"
   cargo bench -p rowpress-bench --bench perf_persistent_cache --no-run
+
+  # Runs (not just compiles) the trial-kernel perf gate on the quick-scale
+  # ACmin grid: asserts outcomes identical to the scalar reference path and
+  # a >= 5x median cold-trial speedup, and refreshes the machine-readable
+  # perf trajectory in BENCH_trial_kernel.json.
+  step "cargo bench -p rowpress-bench --bench perf_trial_kernel (runs, writes BENCH_trial_kernel.json)"
+  cargo bench -p rowpress-bench --bench perf_trial_kernel
 fi
 
 step "cargo doc --no-deps with warnings denied (missing docs are errors)"

@@ -1,0 +1,113 @@
+//! Criterion performance benchmark of the trial execution kernel (not a
+//! paper figure): per-trial cost of the quick-scale ACmin grid under the
+//! precomputed-profile kernel against the scalar reference path the kernel
+//! replaced, plus the warm in-process cache replay rate.
+//!
+//! Before criterion runs, the bench asserts the kernel's two contractual
+//! properties — outcomes byte-identical to the reference path, and a ≥ 5x
+//! median cold-trial speedup — and writes a machine-readable
+//! `BENCH_trial_kernel.json` at the repository root so future PRs have a
+//! perf trajectory to regress against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rowpress_core::engine::{run_trial, run_trial_reference, Engine, Measurement, Plan};
+use rowpress_core::{ExperimentConfig, TrialScratch};
+use rowpress_dram::Time;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn acmin_plan(cfg: &ExperimentConfig) -> Plan {
+    Plan::grid(cfg)
+        .modules(&rowpress_bench::engine_bench_modules())
+        .measurements(
+            [Time::from_ns(36.0), Time::from_us(7.8), Time::from_ms(30.0)]
+                .into_iter()
+                .map(|t| Measurement::AcMin { t_aggon: t }),
+        )
+        .build()
+}
+
+fn median_us(mut samples: Vec<Duration>) -> f64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2].as_secs_f64() * 1e6
+}
+
+fn report_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_trial_kernel.json")
+}
+
+fn bench_trial_kernel(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let plan = acmin_plan(&cfg);
+    let trials = plan.trials();
+    let mut scratch = TrialScratch::new();
+
+    // Correctness gate: every trial outcome of the kernel path must equal the
+    // scalar reference path's, and per-trial times feed the medians.
+    let mut kernel_times = Vec::with_capacity(trials.len());
+    let mut reference_times = Vec::with_capacity(trials.len());
+    for trial in trials {
+        let started = Instant::now();
+        let kernel = run_trial(&cfg, trial, &mut scratch).expect("valid site");
+        kernel_times.push(started.elapsed());
+        let started = Instant::now();
+        let reference = run_trial_reference(&cfg, trial).expect("valid site");
+        reference_times.push(started.elapsed());
+        assert_eq!(kernel, reference, "kernel diverged on {trial:?}");
+    }
+    let kernel_us = median_us(kernel_times);
+    let reference_us = median_us(reference_times);
+    let speedup = reference_us / kernel_us.max(1e-9);
+
+    // Warm replay: the in-process cache answers every trial.
+    let warm_engine = Engine::new(&cfg);
+    let baseline = warm_engine.run_collect(&plan).expect("valid site");
+    let started = Instant::now();
+    let replay = warm_engine.run_collect(&plan).expect("valid site");
+    let warm_us = started.elapsed().as_secs_f64() * 1e6 / plan.len() as f64;
+    assert_eq!(replay, baseline, "warm replay must be identical");
+
+    println!(
+        "perf_trial_kernel: {} trials, median cold trial {kernel_us:.0}us (kernel) vs \
+         {reference_us:.0}us (reference) = {speedup:.1}x, warm replay {warm_us:.1}us/trial",
+        plan.len(),
+    );
+    let report = format!(
+        "{{\n  \"bench\": \"perf_trial_kernel\",\n  \"grid\": \"quick-scale ACmin\",\n  \
+         \"trials\": {},\n  \"reference_cold_trial_us_median\": {reference_us:.1},\n  \
+         \"kernel_cold_trial_us_median\": {kernel_us:.1},\n  \
+         \"warm_replay_us_per_trial\": {warm_us:.1},\n  \"speedup_cold\": {speedup:.1}\n}}\n",
+        plan.len(),
+    );
+    std::fs::write(report_path(), report).expect("write BENCH_trial_kernel.json");
+    assert!(
+        speedup >= 5.0,
+        "trial kernel must be >= 5x faster than the reference path, got {speedup:.1}x"
+    );
+
+    c.bench_function("acmin_grid_trial_kernel_cold", |b| {
+        let mut scratch = TrialScratch::new();
+        b.iter(|| {
+            for trial in trials {
+                std::hint::black_box(run_trial(&cfg, trial, &mut scratch).expect("valid site"));
+            }
+        })
+    });
+    c.bench_function("acmin_grid_trial_reference_cold", |b| {
+        b.iter(|| {
+            for trial in trials {
+                std::hint::black_box(run_trial_reference(&cfg, trial).expect("valid site"));
+            }
+        })
+    });
+    c.bench_function("acmin_grid_trial_kernel_warm_cache", |b| {
+        b.iter(|| warm_engine.run_collect(&plan).expect("valid site").len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_trial_kernel
+}
+criterion_main!(benches);

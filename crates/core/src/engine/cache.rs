@@ -11,9 +11,9 @@
 
 use super::plan::{Trial, TrialOutcome, TrialRecord};
 use crate::config::ExperimentConfig;
+use fxhash::{FxHashMap, FxHashSet};
 use rowpress_dram::DramResult;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 use std::io;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -28,13 +28,18 @@ pub(super) type CachedOutcome = DramResult<Arc<TrialOutcome>>;
 /// A shareable, thread-safe [`Trial`]-keyed outcome cache with hit/miss
 /// accounting. Cloning shares the underlying storage.
 ///
+/// Keys are hashed with the vendored `fxhash` (multiply-rotate) hasher:
+/// trial keys are process-local and trusted, so SipHash's DoS-resistance
+/// buys nothing, while a `Trial` hashes its whole spec — module id, die
+/// calibration, measurement — on every lookup of the replay hot path.
+///
 /// Each trial maps to a [`OnceLock`] cell, so concurrent requests for the
 /// *same* trial (e.g. the identical iterations of a jitter-free
 /// repeatability plan) block on one computation instead of racing to
 /// recompute it per worker.
 #[derive(Debug, Clone, Default)]
 pub struct TrialCache {
-    cells: Arc<Mutex<HashMap<Trial, Arc<OnceLock<CachedOutcome>>>>>,
+    cells: Arc<Mutex<FxHashMap<Trial, Arc<OnceLock<CachedOutcome>>>>>,
     hits: Arc<AtomicU64>,
     misses: Arc<AtomicU64>,
 }
@@ -93,7 +98,7 @@ impl TrialCache {
     /// re-cloning the whole cache under the lock.
     pub(super) fn completed_excluding(
         &self,
-        exclude: &HashSet<Trial>,
+        exclude: &FxHashSet<Trial>,
     ) -> Vec<(Trial, Arc<TrialOutcome>)> {
         self.cells
             .lock()
@@ -179,8 +184,8 @@ impl ConfigKey {
 ///
 /// [`Engine::shared`]: super::Engine::shared
 pub(super) fn shared_cache(cfg: &ExperimentConfig) -> TrialCache {
-    static REGISTRY: OnceLock<Mutex<HashMap<ConfigKey, TrialCache>>> = OnceLock::new();
-    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    static REGISTRY: OnceLock<Mutex<FxHashMap<ConfigKey, TrialCache>>> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(FxHashMap::default()));
     registry
         .lock()
         .expect("cache registry lock")
@@ -222,7 +227,7 @@ pub struct PersistentCache {
     path: PathBuf,
     config: ConfigKey,
     header_on_disk: bool,
-    on_disk: HashSet<Trial>,
+    on_disk: FxHashSet<Trial>,
     preloaded: usize,
 }
 
@@ -240,7 +245,7 @@ impl PersistentCache {
         let path = path.into();
         let config = ConfigKey::of(cfg);
         let cache = TrialCache::new();
-        let mut on_disk = HashSet::new();
+        let mut on_disk = FxHashSet::default();
         let mut header_on_disk = false;
         match std::fs::read_to_string(&path) {
             Ok(text) => {

@@ -82,4 +82,4 @@ pub use plan::{
 };
 pub use schedule::{CostModel, SchedulePolicy};
 pub use sink::{JsonlReader, JsonlSink, MemorySink, Sink, ThreadedSink};
-pub use worker::{lookup_module, Engine, EngineError};
+pub use worker::{lookup_module, run_trial, run_trial_reference, Engine, EngineError};

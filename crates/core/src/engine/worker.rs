@@ -12,8 +12,8 @@ use super::plan::{Measurement, Plan, Trial, TrialOutcome, TrialRecord, TEST_BANK
 use super::schedule::{CostModel, SchedulePolicy};
 use super::sink::{MemorySink, Sink};
 use crate::config::ExperimentConfig;
-use crate::patterns::{run_pattern, PatternInstance, PatternSite};
-use crate::search::{find_ac_min, find_t_aggon_min, flips_at_ac_max};
+use crate::patterns::{run_pattern_into, PatternInstance, PatternSite};
+use crate::search::{find_ac_min_with, find_t_aggon_min, flips_at_ac_max_with, TrialScratch};
 use rowpress_dram::{
     module_inventory, DramError, DramModule, DramResult, FlipMechanism, ModuleSpec, RowRole,
 };
@@ -203,8 +203,9 @@ impl Engine {
         };
 
         if workers <= 1 {
+            let mut scratch = TrialScratch::new();
             for trial in trials {
-                let outcome = self.outcome_for(trial)?;
+                let outcome = self.outcome_for(trial, &mut scratch)?;
                 sink.accept(record(trial, outcome))?;
             }
             return Ok(());
@@ -230,21 +231,27 @@ impl Engine {
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if abort.load(Ordering::Relaxed) {
-                        break;
+                scope.spawn(|| {
+                    // One scratch per worker: buffers warm up on the first
+                    // trial and are reused for every trial the worker claims.
+                    let mut scratch = TrialScratch::new();
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let claimed = next.fetch_add(1, Ordering::Relaxed);
+                        if claimed >= n {
+                            break;
+                        }
+                        let index = dispatch[claimed];
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                self.outcome_for(&trials[index], &mut scratch)
+                            }));
+                        let mut filled = slots.lock().expect("slot lock");
+                        filled[index] = Some(outcome);
+                        ready.notify_all();
                     }
-                    let claimed = next.fetch_add(1, Ordering::Relaxed);
-                    if claimed >= n {
-                        break;
-                    }
-                    let index = dispatch[claimed];
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        self.outcome_for(&trials[index])
-                    }));
-                    let mut filled = slots.lock().expect("slot lock");
-                    filled[index] = Some(outcome);
-                    ready.notify_all();
                 });
             }
 
@@ -293,17 +300,50 @@ impl Engine {
         }
     }
 
-    fn outcome_for(&self, trial: &Trial) -> CachedOutcome {
+    fn outcome_for(&self, trial: &Trial, scratch: &mut TrialScratch) -> CachedOutcome {
         self.cache
-            .get_or_compute(trial, || execute_trial(&self.cfg, trial))
+            .get_or_compute(trial, || run_trial(&self.cfg, trial, scratch))
     }
 }
 
 /// Runs one trial on a freshly constructed module. A fresh module per trial
 /// is what makes outcomes independent of scheduling: no state leaks between
-/// trials, so any interleaving produces the same records.
-fn execute_trial(cfg: &ExperimentConfig, trial: &Trial) -> DramResult<TrialOutcome> {
+/// trials, so any interleaving produces the same records. `scratch` holds the
+/// reusable buffers of the trial kernel (the engine threads one per worker);
+/// only state that never influences outcomes lives there.
+///
+/// # Errors
+///
+/// Returns an error if a row of the trial's site is out of range.
+pub fn run_trial(
+    cfg: &ExperimentConfig,
+    trial: &Trial,
+    scratch: &mut TrialScratch,
+) -> DramResult<TrialOutcome> {
+    execute(cfg, trial, scratch, true)
+}
+
+/// [`run_trial`] with the device model's precomputed-profile kernel
+/// disabled: every cell parameter is recomputed on demand, as the pre-kernel
+/// code did. Outcomes are bit-identical to [`run_trial`]; only the cost
+/// differs. This is the measured baseline of the `perf_trial_kernel` bench
+/// and the oracle of the kernel-equivalence tests.
+///
+/// # Errors
+///
+/// Returns an error if a row of the trial's site is out of range.
+pub fn run_trial_reference(cfg: &ExperimentConfig, trial: &Trial) -> DramResult<TrialOutcome> {
+    execute(cfg, trial, &mut TrialScratch::new(), false)
+}
+
+fn execute(
+    cfg: &ExperimentConfig,
+    trial: &Trial,
+    scratch: &mut TrialScratch,
+    profile_caching: bool,
+) -> DramResult<TrialOutcome> {
     let mut module = DramModule::new(&trial.spec, cfg.geometry);
+    module.set_profile_caching(profile_caching);
     module.set_temperature(trial.temperature_c);
     if trial.jitter.sigma != 0.0 {
         module.set_flip_jitter(trial.jitter.sigma, trial.jitter.salt);
@@ -312,7 +352,14 @@ fn execute_trial(cfg: &ExperimentConfig, trial: &Trial) -> DramResult<TrialOutco
 
     match trial.measurement {
         Measurement::AcMin { t_aggon } => {
-            match find_ac_min(&mut module, &site, t_aggon, trial.data_pattern, cfg)? {
+            match find_ac_min_with(
+                &mut module,
+                &site,
+                t_aggon,
+                trial.data_pattern,
+                cfg,
+                scratch,
+            )? {
                 Some(outcome) => Ok(TrialOutcome::AcMin {
                     ac_min: Some(outcome.ac_min),
                     ac_max: outcome.ac_max,
@@ -329,8 +376,14 @@ fn execute_trial(cfg: &ExperimentConfig, trial: &Trial) -> DramResult<TrialOutco
             }
         }
         Measurement::AcMax { t_aggon } => {
-            let (ac, flips) =
-                flips_at_ac_max(&mut module, &site, t_aggon, trial.data_pattern, cfg)?;
+            let (ac, flips) = flips_at_ac_max_with(
+                &mut module,
+                &site,
+                t_aggon,
+                trial.data_pattern,
+                cfg,
+                scratch,
+            )?;
             Ok(TrialOutcome::AcMax { ac, flips })
         }
         Measurement::TAggOnMin { ac } => {
@@ -351,24 +404,35 @@ fn execute_trial(cfg: &ExperimentConfig, trial: &Trial) -> DramResult<TrialOutco
                 t_aggoff: t_off,
                 total_acts: ac,
             };
-            let flips = run_pattern(&mut module, &site, instance, trial.data_pattern)?;
-            Ok(TrialOutcome::OnOff { ac, flips })
+            run_pattern_into(
+                &mut module,
+                &site,
+                instance,
+                trial.data_pattern,
+                &mut scratch.flips,
+            )?;
+            Ok(TrialOutcome::OnOff {
+                ac,
+                flips: scratch.flips.clone(),
+            })
         }
         Measurement::Retention { duration } => {
             for &victim in &site.victims {
                 module.init_row_pattern(site.bank, victim, trial.data_pattern, RowRole::Victim)?;
             }
             module.idle(duration);
-            let mut flips = Vec::new();
+            scratch.flips.clear();
             for &victim in &site.victims {
-                flips.extend(
-                    module
-                        .check_row(site.bank, victim)?
-                        .into_iter()
-                        .filter(|f| f.mechanism == FlipMechanism::Retention),
-                );
+                module.check_row_append(site.bank, victim, &mut scratch.flips)?;
             }
-            Ok(TrialOutcome::Retention { flips })
+            Ok(TrialOutcome::Retention {
+                flips: scratch
+                    .flips
+                    .iter()
+                    .filter(|f| f.mechanism == FlipMechanism::Retention)
+                    .copied()
+                    .collect(),
+            })
         }
     }
 }

@@ -56,10 +56,13 @@ pub use engine::{
     TrialCache, TrialOutcome, TrialRecord,
 };
 pub use patterns::{
-    apply_pattern, initialize_site, run_pattern, run_pattern_any_flip, PatternInstance,
-    PatternKind, PatternSite,
+    apply_pattern, initialize_site, run_pattern, run_pattern_any_flip, run_pattern_into,
+    PatternInstance, PatternKind, PatternSite,
 };
-pub use search::{find_ac_min, find_t_aggon_min, flips_at_ac_max, AcMinOutcome};
+pub use search::{
+    find_ac_min, find_ac_min_with, find_t_aggon_min, flips_at_ac_max, flips_at_ac_max_with,
+    AcMinOutcome, TrialScratch,
+};
 pub use studies::{
     acmax_sweep, acmin_by_die, acmin_sweep, bitflips_per_word, data_pattern_sweep,
     fraction_one_to_zero, fraction_rows_with_flips, max_ber_per_row, onoff_sweep, overlap_analysis,

@@ -223,13 +223,32 @@ pub fn run_pattern(
     instance: PatternInstance,
     pattern: DataPattern,
 ) -> DramResult<Vec<Bitflip>> {
+    let mut flips = Vec::new();
+    run_pattern_into(module, site, instance, pattern, &mut flips)?;
+    Ok(flips)
+}
+
+/// [`run_pattern`] into a caller-provided buffer (cleared first), so a search
+/// loop reuses one flip accumulator across probes instead of allocating one
+/// per measurement.
+///
+/// # Errors
+///
+/// Returns an error if a row address is out of range.
+pub fn run_pattern_into(
+    module: &mut DramModule,
+    site: &PatternSite,
+    instance: PatternInstance,
+    pattern: DataPattern,
+    out: &mut Vec<Bitflip>,
+) -> DramResult<()> {
+    out.clear();
     initialize_site(module, site, pattern)?;
     apply_pattern(module, site, instance)?;
-    let mut flips = Vec::new();
     for &victim in &site.victims {
-        flips.extend(module.check_row(site.bank, victim)?);
+        module.check_row_append(site.bank, victim, out)?;
     }
-    Ok(flips)
+    Ok(())
 }
 
 /// Like [`run_pattern`] but only answers whether *any* victim flipped

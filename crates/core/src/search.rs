@@ -8,9 +8,31 @@
 //!   least one bitflip for a given activation count (Fig. 9 / Fig. 15).
 
 use crate::config::ExperimentConfig;
-use crate::patterns::{run_pattern, run_pattern_any_flip, PatternInstance, PatternSite};
+use crate::patterns::{run_pattern_any_flip, run_pattern_into, PatternInstance, PatternSite};
 use rowpress_dram::{Bitflip, DataPattern, DramModule, DramResult, Time};
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for the trial hot path.
+///
+/// The bisection searches probe a site dozens of times per measurement; with
+/// the device model's flat row storage the probes themselves are
+/// allocation-free, and this scratch extends that to the flip collection: one
+/// accumulator, owned by the caller (the engine keeps one per worker), is
+/// reused across every probe and trial, so a full search performs no heap
+/// allocation after warm-up beyond the outcome buffers that escape into
+/// records.
+#[derive(Debug, Default)]
+pub struct TrialScratch {
+    /// Flip accumulator reused by the collection passes.
+    pub(crate) flips: Vec<Bitflip>,
+}
+
+impl TrialScratch {
+    /// Creates an empty scratch (buffers grow on first use and stick).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Result of an ACmin search at one (site, tAggON) point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +61,31 @@ pub fn find_ac_min(
     t_aggon: Time,
     data_pattern: DataPattern,
     cfg: &ExperimentConfig,
+) -> DramResult<Option<AcMinOutcome>> {
+    find_ac_min_with(
+        module,
+        site,
+        t_aggon,
+        data_pattern,
+        cfg,
+        &mut TrialScratch::new(),
+    )
+}
+
+/// [`find_ac_min`] with caller-provided scratch buffers: the engine's workers
+/// thread one [`TrialScratch`] through every trial they execute, so repeated
+/// searches reuse the same flip accumulator.
+///
+/// # Errors
+///
+/// Returns an error if a row of the site is out of range for the module.
+pub fn find_ac_min_with(
+    module: &mut DramModule,
+    site: &PatternSite,
+    t_aggon: Time,
+    data_pattern: DataPattern,
+    cfg: &ExperimentConfig,
+    scratch: &mut TrialScratch,
 ) -> DramResult<Option<AcMinOutcome>> {
     let timing = *module.timing();
     let t_aggon = t_aggon.max(timing.t_ras);
@@ -85,16 +132,18 @@ pub fn find_ac_min(
     }
 
     let Some(ac_min) = best else { return Ok(None) };
-    // Collect the full flip set at ACmin for downstream analyses.
+    // Collect the full flip set at ACmin for downstream analyses. The
+    // accumulation reuses the scratch buffer; only the outcome's own vector
+    // (which escapes into the record stream) is allocated.
     let instance = PatternInstance {
         t_aggon,
         t_aggoff: timing.t_rp,
         total_acts: ac_min,
     };
-    let flips = run_pattern(module, site, instance, data_pattern)?;
+    run_pattern_into(module, site, instance, data_pattern, &mut scratch.flips)?;
     Ok(Some(AcMinOutcome {
         ac_min,
-        flips,
+        flips: scratch.flips.clone(),
         ac_max,
     }))
 }
@@ -113,6 +162,30 @@ pub fn flips_at_ac_max(
     data_pattern: DataPattern,
     cfg: &ExperimentConfig,
 ) -> DramResult<(u64, Vec<Bitflip>)> {
+    flips_at_ac_max_with(
+        module,
+        site,
+        t_aggon,
+        data_pattern,
+        cfg,
+        &mut TrialScratch::new(),
+    )
+}
+
+/// [`flips_at_ac_max`] with caller-provided scratch buffers (see
+/// [`find_ac_min_with`]).
+///
+/// # Errors
+///
+/// Returns an error if a row of the site is out of range for the module.
+pub fn flips_at_ac_max_with(
+    module: &mut DramModule,
+    site: &PatternSite,
+    t_aggon: Time,
+    data_pattern: DataPattern,
+    cfg: &ExperimentConfig,
+    scratch: &mut TrialScratch,
+) -> DramResult<(u64, Vec<Bitflip>)> {
     let timing = *module.timing();
     let t_aggon = t_aggon.max(timing.t_ras);
     let ac_max = timing.max_activations_within(t_aggon, cfg.budget);
@@ -121,8 +194,8 @@ pub fn flips_at_ac_max(
         t_aggoff: timing.t_rp,
         total_acts: ac_max,
     };
-    let flips = run_pattern(module, site, instance, data_pattern)?;
-    Ok((ac_max, flips))
+    run_pattern_into(module, site, instance, data_pattern, &mut scratch.flips)?;
+    Ok((ac_max, scratch.flips.clone()))
 }
 
 /// Searches for the minimum tAggON that induces at least one bitflip with a

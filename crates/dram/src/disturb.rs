@@ -26,7 +26,7 @@
 //! populations barely overlap (Obsv. 7).
 
 use crate::address::{BankId, CellAddr, ColumnId, RowId};
-use crate::math::{hash_words, to_unit_open, LogNormal};
+use crate::math::{hash_prefix, hash_words, to_unit_open, HashPrefix, LogNormal};
 use crate::profile::DieProfile;
 use crate::time::Time;
 use crate::timing::TimingParams;
@@ -464,6 +464,397 @@ impl FaultModel {
     pub fn cell_retention_s(&self, addr: CellAddr, temp_c: f64) -> f64 {
         self.cell_retention_s_at_80c(addr) / self.theta_retention(temp_c)
     }
+
+    // ------------------------------------------------------------------
+    // Precomputed cell profiles (the trial-kernel hot path)
+    // ------------------------------------------------------------------
+
+    /// Builds the [`CellProfileTable`] of one row: every per-cell parameter
+    /// the disturbance evaluation needs (polarity, hammer / press / retention
+    /// flip thresholds with anchors and jitter folded in), derived once and
+    /// reused across all probes of a search instead of being re-hashed per
+    /// [`DramModule::check_row`](crate::DramModule::check_row) bit.
+    ///
+    /// `jitter` is the per-cell threshold-jitter factor, or `None` when
+    /// jitter is disabled (every factor 1.0). The jitter-free build is pure
+    /// integer hashing — per (polarity, column % 8) bucket it keeps the
+    /// extreme hash, whose threshold it evaluates once at the end; the
+    /// per-cell transcendental math runs lazily, only for cells whose bucket
+    /// minimum a disturbance total actually reaches. With jitter the
+    /// monotonicity that makes extreme-hash tracking exact is lost, so the
+    /// table falls back to dense per-cell threshold vectors.
+    ///
+    /// Either way the thresholds are evaluated with exactly the same
+    /// expressions as the per-cell functions above, so the table is
+    /// bit-for-bit interchangeable with them.
+    pub fn cell_profile_table(
+        &self,
+        bank: BankId,
+        row: RowId,
+        temp_c: f64,
+        jitter: Option<&dyn Fn(CellAddr) -> f64>,
+    ) -> CellProfileTable {
+        let bits = self.geometry.bits_per_row;
+        let press_cell_salt = if self.config.correlate_hammer_press {
+            salt::HAMMER_CELL
+        } else {
+            salt::PRESS_CELL
+        };
+        let bank_row = [u64::from(bank.0), u64::from(row.0)];
+        let prefix = |s: u64| hash_prefix(&[self.seed, s, bank_row[0], bank_row[1]]);
+        let mut table = CellProfileTable {
+            columns: bits,
+            press_vulnerable: self.press_row.is_some(),
+            anti: vec![0u64; (bits as usize).div_ceil(64)],
+            min_hammer: [[f64::INFINITY; 8]; 2],
+            min_press: [[f64::INFINITY; 8]; 2],
+            min_retention: [[f64::INFINITY; 8]; 2],
+            hammer_base: self.row_hammer_acmin_base(bank, row),
+            press_base: self.row_press_time_us(bank, row),
+            hammer_anchors: self.hammer_anchor_columns(bank, row),
+            press_anchors: self.press_anchor_columns(bank, row),
+            hammer_cell_sigma: self.hammer_cell_sigma,
+            press_cell_sigma: self.press_cell_sigma,
+            hammer_prefix: prefix(salt::HAMMER_CELL),
+            press_prefix: prefix(press_cell_salt),
+            retention_prefix: prefix(salt::RETENTION_CELL),
+            retention: self.retention,
+            theta_retention: self.theta_retention(temp_c),
+            dense: None,
+        };
+        let polarity_prefix = prefix(salt::POLARITY);
+        match jitter {
+            None => table.build_sparse(polarity_prefix, self.profile.anti_cell_fraction),
+            Some(j) => table.build_dense(
+                bank,
+                row,
+                polarity_prefix,
+                self.profile.anti_cell_fraction,
+                j,
+            ),
+        }
+        table
+    }
+}
+
+/// Precomputed per-cell fault parameters of one row, built by
+/// [`FaultModel::cell_profile_table`] and cached by the device model per
+/// (bank, row) for the lifetime of a temperature / jitter setting.
+///
+/// The table stores, for every cell of the row, the exact flip thresholds the
+/// scalar per-cell functions would compute — hammer resistance in hammer
+/// units, press requirement in microseconds of effective on time, retention
+/// time in seconds at the build temperature, each multiplied by the build-time
+/// jitter factor — plus the cell polarity as a bitmask. On top of the
+/// per-cell arrays it keeps the minimum threshold per (polarity, column % 8)
+/// bucket, which turns the "does this row currently contain *any* bitflip?"
+/// probe of the bisection searches into an O(8) comparison for rows holding
+/// an unmodified repeating-byte data pattern.
+#[derive(Debug, Clone)]
+pub struct CellProfileTable {
+    columns: u32,
+    press_vulnerable: bool,
+    /// Bit `c` set ⇔ column `c` is an anti-cell (charged state stores 0).
+    anti: Vec<u64>,
+    /// Minimum thresholds indexed by `[polarity][column % 8]`, with polarity
+    /// 0 = true cells and 1 = anti-cells. Each entry is the exact threshold
+    /// of a real cell of the bucket (or infinity for an empty bucket).
+    min_hammer: [[f64; 8]; 2],
+    min_press: [[f64; 8]; 2],
+    min_retention: [[f64; 8]; 2],
+    /// Row-level state for recomputing exact per-cell thresholds on demand.
+    hammer_base: f64,
+    press_base: Option<f64>,
+    hammer_anchors: [u32; 2],
+    press_anchors: [u32; 2],
+    hammer_cell_sigma: f64,
+    press_cell_sigma: f64,
+    hammer_prefix: HashPrefix,
+    press_prefix: HashPrefix,
+    retention_prefix: HashPrefix,
+    retention: LogNormal,
+    theta_retention: f64,
+    /// Dense per-cell thresholds, present only for jitter-enabled builds.
+    dense: Option<DenseThresholds>,
+}
+
+/// Per-cell threshold vectors of a jitter-enabled build: jitter breaks the
+/// hash-monotonicity the sparse representation relies on, so every cell's
+/// factor is materialized.
+#[derive(Debug, Clone)]
+struct DenseThresholds {
+    hammer: Vec<f64>,
+    press: Vec<f64>,
+    retention_s: Vec<f64>,
+}
+
+/// The weakest-cell thresholds of a row under one repeating fill byte,
+/// computed by [`CellProfileTable::min_thresholds_for_fill`]. A disturbance
+/// total reaching a field flips at least one cell of the corresponding
+/// mechanism; `f64::INFINITY` means no cell of the row is attackable by that
+/// mechanism under the pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowMinima {
+    /// Minimum hammer threshold over the row's *discharged* cells.
+    pub hammer: f64,
+    /// Minimum press threshold (µs) over the row's *charged* cells.
+    pub press_us: f64,
+    /// Minimum retention time (s) over the row's *charged* cells.
+    pub retention_s: f64,
+}
+
+impl CellProfileTable {
+    /// The jitter-free build: one pass of pure integer hashing. Per bucket it
+    /// tracks the extreme hash — thresholds are monotone in the uniform
+    /// deviate, so the bucket minimum is attained at the largest spread hash
+    /// (hammer/press, spreads shrink as the deviate grows) or the smallest
+    /// retention hash — and evaluates the transcendental threshold expression
+    /// once per bucket at the end.
+    fn build_sparse(&mut self, polarity_prefix: HashPrefix, anti_fraction: f64) {
+        let mut hammer_hash: [[Option<u64>; 8]; 2] = [[None; 8]; 2];
+        let mut press_hash: [[Option<u64>; 8]; 2] = [[None; 8]; 2];
+        let mut retention_hash: [[Option<u64>; 8]; 2] = [[None; 8]; 2];
+        let mut hammer_anchor_in = [[false; 8]; 2];
+        let mut press_anchor_in = [[false; 8]; 2];
+        let track_press = self.press_vulnerable;
+        for column in 0..self.columns {
+            let word = u64::from(column);
+            let anti = to_unit_open(polarity_prefix.with(word)) < anti_fraction;
+            if anti {
+                self.anti[(column / 64) as usize] |= 1u64 << (column % 64);
+            }
+            let polarity = usize::from(anti);
+            let residue = (column % 8) as usize;
+            if self.hammer_anchors.contains(&column) {
+                hammer_anchor_in[polarity][residue] = true;
+            } else {
+                let h = self.hammer_prefix.with(word);
+                let slot = &mut hammer_hash[polarity][residue];
+                *slot = Some(slot.map_or(h, |prev| prev.max(h)));
+            }
+            if track_press {
+                if self.press_anchors.contains(&column) {
+                    press_anchor_in[polarity][residue] = true;
+                } else {
+                    let h = self.press_prefix.with(word);
+                    let slot = &mut press_hash[polarity][residue];
+                    *slot = Some(slot.map_or(h, |prev| prev.max(h)));
+                }
+            }
+            let h = self.retention_prefix.with(word);
+            let slot = &mut retention_hash[polarity][residue];
+            *slot = Some(slot.map_or(h, |prev| prev.min(h)));
+        }
+        for polarity in 0..2 {
+            for residue in 0..8 {
+                let mut hammer = f64::INFINITY;
+                if hammer_anchor_in[polarity][residue] {
+                    hammer = self.hammer_base * 1.0;
+                }
+                if let Some(h) = hammer_hash[polarity][residue] {
+                    hammer = hammer.min(self.hammer_base * self.hammer_spread_of_hash(h));
+                }
+                self.min_hammer[polarity][residue] = hammer;
+                if track_press {
+                    let base = self.press_base.unwrap_or(f64::INFINITY);
+                    let mut press = f64::INFINITY;
+                    if press_anchor_in[polarity][residue] {
+                        press = base * 1.0;
+                    }
+                    if let Some(h) = press_hash[polarity][residue] {
+                        press = press.min(base * self.press_spread_of_hash(h));
+                    }
+                    self.min_press[polarity][residue] = press;
+                }
+                if let Some(h) = retention_hash[polarity][residue] {
+                    self.min_retention[polarity][residue] = self.retention_of_hash(h);
+                }
+            }
+        }
+    }
+
+    /// The jitter-enabled build: every cell's thresholds are materialized
+    /// (jitter factors are per-cell, so no extreme-hash shortcut applies)
+    /// and the bucket minima taken over the dense vectors.
+    fn build_dense(
+        &mut self,
+        bank: BankId,
+        row: RowId,
+        polarity_prefix: HashPrefix,
+        anti_fraction: f64,
+        jitter: &dyn Fn(CellAddr) -> f64,
+    ) {
+        let n = self.columns as usize;
+        let mut dense = DenseThresholds {
+            hammer: Vec::with_capacity(n),
+            press: Vec::with_capacity(n),
+            retention_s: Vec::with_capacity(n),
+        };
+        let press_base = self.press_base.unwrap_or(f64::INFINITY);
+        for column in 0..self.columns {
+            let word = u64::from(column);
+            let addr = CellAddr {
+                bank,
+                row,
+                column: ColumnId(column),
+            };
+            let j = jitter(addr);
+            let anti = to_unit_open(polarity_prefix.with(word)) < anti_fraction;
+            if anti {
+                self.anti[(column / 64) as usize] |= 1u64 << (column % 64);
+            }
+            // The exact expressions of the scalar evaluation path: product
+            // order matters for bit-identical outcomes.
+            let hammer_spread = if self.hammer_anchors.contains(&column) {
+                1.0
+            } else {
+                self.hammer_spread_of_hash(self.hammer_prefix.with(word))
+            };
+            let hammer = self.hammer_base * hammer_spread * j;
+            let press_spread = if self.press_cell_sigma.is_infinite() {
+                f64::INFINITY
+            } else if self.press_anchors.contains(&column) {
+                1.0
+            } else {
+                self.press_spread_of_hash(self.press_prefix.with(word))
+            };
+            let press = press_base * press_spread * j;
+            let retention = self.retention_of_hash(self.retention_prefix.with(word)) * j;
+            let polarity = usize::from(anti);
+            let residue = (column % 8) as usize;
+            let slot = &mut self.min_hammer[polarity][residue];
+            *slot = slot.min(hammer);
+            let slot = &mut self.min_press[polarity][residue];
+            *slot = slot.min(press);
+            let slot = &mut self.min_retention[polarity][residue];
+            *slot = slot.min(retention);
+            dense.hammer.push(hammer);
+            dense.press.push(press);
+            dense.retention_s.push(retention);
+        }
+        self.dense = Some(dense);
+    }
+
+    /// `cell_hammer_spread` of the cell whose address hashed to `h`.
+    fn hammer_spread_of_hash(&self, h: u64) -> f64 {
+        (self.hammer_cell_sigma * -to_unit_open(h).ln()).exp()
+    }
+
+    /// `cell_press_spread` of the cell whose address hashed to `h`.
+    fn press_spread_of_hash(&self, h: u64) -> f64 {
+        (self.press_cell_sigma * -to_unit_open(h).ln())
+            .min(300.0)
+            .exp()
+    }
+
+    /// `cell_retention_s` (at the build temperature) of the cell whose
+    /// address hashed to `h`.
+    fn retention_of_hash(&self, h: u64) -> f64 {
+        self.retention.sample_from_uniform(to_unit_open(h)) / self.theta_retention
+    }
+
+    /// Number of columns (cells) covered by the table.
+    pub fn columns(&self) -> u32 {
+        self.columns
+    }
+
+    /// True if the die this table was built for is press-vulnerable.
+    pub fn press_vulnerable(&self) -> bool {
+        self.press_vulnerable
+    }
+
+    /// True if the cell at `column` is an anti-cell (charged state stores 0).
+    pub fn is_anti(&self, column: u32) -> bool {
+        self.anti[(column / 64) as usize] >> (column % 64) & 1 == 1
+    }
+
+    /// Whether the cell at `column` is charged when storing logical `bit`.
+    pub fn is_charged(&self, column: u32, bit: bool) -> bool {
+        self.is_anti(column) != bit
+    }
+
+    /// Hammer threshold of the cell: accumulated hammer units at or above
+    /// this flip it (when discharged). Includes the build-time jitter factor.
+    pub fn hammer_threshold(&self, column: u32) -> f64 {
+        if let Some(dense) = &self.dense {
+            return dense.hammer[column as usize];
+        }
+        let spread = if self.hammer_anchors.contains(&column) {
+            1.0
+        } else {
+            self.hammer_spread_of_hash(self.hammer_prefix.with(u64::from(column)))
+        };
+        self.hammer_base * spread
+    }
+
+    /// Press threshold of the cell in microseconds of effective on time
+    /// (infinite for press-invulnerable dies). Includes the jitter factor.
+    pub fn press_threshold(&self, column: u32) -> f64 {
+        if let Some(dense) = &self.dense {
+            return dense.press[column as usize];
+        }
+        let spread = if self.press_cell_sigma.is_infinite() {
+            f64::INFINITY
+        } else if self.press_anchors.contains(&column) {
+            1.0
+        } else {
+            self.press_spread_of_hash(self.press_prefix.with(u64::from(column)))
+        };
+        self.press_base.unwrap_or(f64::INFINITY) * spread
+    }
+
+    /// Retention time of the cell in seconds at the build temperature.
+    /// Includes the jitter factor.
+    pub fn retention_threshold_s(&self, column: u32) -> f64 {
+        if let Some(dense) = &self.dense {
+            return dense.retention_s[column as usize];
+        }
+        self.retention_of_hash(self.retention_prefix.with(u64::from(column)))
+    }
+
+    /// The bucket-minimum hammer threshold of the cell's (polarity, residue)
+    /// bucket: a scan can skip the exact per-cell evaluation whenever the
+    /// accumulated total does not even reach the bucket minimum.
+    #[inline]
+    pub(crate) fn min_hammer_bucket(&self, anti: bool, column: u32) -> f64 {
+        self.min_hammer[usize::from(anti)][(column % 8) as usize]
+    }
+
+    /// The bucket-minimum press threshold (see `min_hammer_bucket`).
+    #[inline]
+    pub(crate) fn min_press_bucket(&self, anti: bool, column: u32) -> f64 {
+        self.min_press[usize::from(anti)][(column % 8) as usize]
+    }
+
+    /// The bucket-minimum retention time (see `min_hammer_bucket`).
+    #[inline]
+    pub(crate) fn min_retention_bucket(&self, anti: bool, column: u32) -> f64 {
+        self.min_retention[usize::from(anti)][(column % 8) as usize]
+    }
+
+    /// The minimum flip thresholds of the row when every byte of the row
+    /// stores `fill`: the fast path of the any-bitflip probes. Exact, not
+    /// approximate — each returned minimum is the threshold of a real cell
+    /// of the row (or infinity if no cell qualifies), so comparing a
+    /// disturbance total against it decides existence identically to the
+    /// per-cell scan.
+    pub fn min_thresholds_for_fill(&self, fill: u8) -> RowMinima {
+        let mut minima = RowMinima {
+            hammer: f64::INFINITY,
+            press_us: f64::INFINITY,
+            retention_s: f64::INFINITY,
+        };
+        for residue in 0..8usize {
+            let bit = (fill >> residue) & 1 == 1;
+            // Charged cells: true cells storing 1, anti-cells storing 0.
+            let charged = usize::from(!bit);
+            let discharged = usize::from(bit);
+            minima.press_us = minima.press_us.min(self.min_press[charged][residue]);
+            minima.retention_s = minima.retention_s.min(self.min_retention[charged][residue]);
+            minima.hammer = minima.hammer.min(self.min_hammer[discharged][residue]);
+        }
+        minima
+    }
 }
 
 /// Convenience: builds a cell address.
@@ -675,6 +1066,70 @@ mod tests {
             overlap <= 1,
             "weakest hammer and press cells coincide in {overlap}/64 rows"
         );
+    }
+
+    #[test]
+    fn profile_table_minima_are_exact_bucket_minima() {
+        let m = model();
+        let bank = BankId(1);
+        let row = RowId(33);
+        for (label, table) in [
+            ("sparse", m.cell_profile_table(bank, row, 65.0, None)),
+            (
+                "dense",
+                m.cell_profile_table(
+                    bank,
+                    row,
+                    65.0,
+                    Some(&|a: CellAddr| 1.0 + f64::from(a.column.0 % 7) * 0.01),
+                ),
+            ),
+        ] {
+            for fill in [0x00u8, 0x55, 0xAA, 0xFF, 0x3C] {
+                let minima = table.min_thresholds_for_fill(fill);
+                let mut hammer = f64::INFINITY;
+                let mut press = f64::INFINITY;
+                let mut retention = f64::INFINITY;
+                for c in 0..table.columns() {
+                    let bit = (fill >> (c % 8)) & 1 == 1;
+                    if table.is_charged(c, bit) {
+                        press = press.min(table.press_threshold(c));
+                        retention = retention.min(table.retention_threshold_s(c));
+                    } else {
+                        hammer = hammer.min(table.hammer_threshold(c));
+                    }
+                }
+                assert_eq!(minima.hammer, hammer, "{label} hammer, fill {fill:#x}");
+                assert_eq!(minima.press_us, press, "{label} press, fill {fill:#x}");
+                assert_eq!(
+                    minima.retention_s, retention,
+                    "{label} retention, fill {fill:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_table_matches_scalar_functions_including_anchors() {
+        let m = model();
+        let bank = BankId(0);
+        let row = RowId(7);
+        let table = m.cell_profile_table(bank, row, 50.0, None);
+        let base = m.row_hammer_acmin_base(bank, row);
+        for c in 0..table.columns() {
+            let a = cell(bank, row, c);
+            assert_eq!(table.hammer_threshold(c), base * m.cell_hammer_spread(a));
+            assert_eq!(
+                table.press_threshold(c),
+                m.cell_press_time_us(a).unwrap_or(f64::INFINITY)
+            );
+            assert_eq!(table.retention_threshold_s(c), m.cell_retention_s(a, 50.0));
+            assert_eq!(table.is_anti(c), m.cell_is_anti(a));
+        }
+        // The anchors are the weakest cells and sit at threshold == base.
+        for anchor in m.hammer_anchor_columns(bank, row) {
+            assert_eq!(table.hammer_threshold(anchor), base);
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ mod timing;
 
 pub use address::{BankId, CellAddr, ColumnId, Geometry, RowId, RowMapping};
 pub use command::DramCommand;
-pub use disturb::{cell, FaultModel, FaultModelConfig};
+pub use disturb::{cell, CellProfileTable, FaultModel, FaultModelConfig, RowMinima};
 pub use error::{DramError, DramResult};
 pub use module::{Bitflip, DramModule, FlipMechanism};
 pub use pattern::{fill_row, DataPattern, RowRole};

@@ -5,9 +5,24 @@
 //! victim rows, the time elapsed since each row was last restored, and the
 //! current DRAM temperature. It is the object that both the DRAM-Bender-style
 //! test platform and the system-level simulators drive.
+//!
+//! # Storage layout and the trial kernel
+//!
+//! Row state lives in dense per-bank slabs indexed by row offset (allocated
+//! lazily in fixed 64-row chunks, so a paper-scale bank costs a trial only
+//! the chunks its site touches) rather than hash maps, and the read-disturb
+//! exposure of a row is a fixed six-entry ledger indexed by the aggressor's
+//! signed distance (±1..±3) — the model's blast radius. The per
+//! cell fault parameters are precomputed once per row into a
+//! [`CellProfileTable`] and reused across every subsequent evaluation, which
+//! makes the probe loop of the bisection searches both hash-free and, for
+//! rows holding an unmodified data pattern, O(1) in the row size. The
+//! precomputed path is bit-for-bit identical to the scalar per-cell math; the
+//! scalar path is kept behind [`DramModule::set_profile_caching`] as the
+//! reference for tests and perf baselines.
 
 use crate::address::{BankId, CellAddr, ColumnId, RowId};
-use crate::disturb::{FaultModel, FaultModelConfig};
+use crate::disturb::{CellProfileTable, FaultModel, FaultModelConfig};
 use crate::error::{DramError, DramResult};
 use crate::pattern::{DataPattern, RowRole};
 use crate::profile::{DieProfile, ModuleSpec};
@@ -15,7 +30,7 @@ use crate::time::Time;
 use crate::timing::TimingParams;
 use crate::Geometry;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Which physical mechanism produced a bitflip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -50,7 +65,7 @@ impl Bitflip {
 }
 
 /// Read-disturb exposure accumulated at a victim row from one aggressor row.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 struct Exposure {
     /// Number of aggressor activations contributing to this entry.
     acts: f64,
@@ -59,16 +74,95 @@ struct Exposure {
     /// Accumulated press exposure in microseconds (decay- and
     /// temperature-scaled).
     press_us: f64,
-    /// Physical distance between aggressor and victim (1..=3).
-    distance: u32,
 }
 
-/// Per-row stored state.
-#[derive(Debug, Clone)]
-struct RowState {
+/// Signed aggressor offsets (aggressor row − victim row) tracked per victim:
+/// the model's ±3-row blast radius, in ascending aggressor-row order.
+const EXPOSURE_DELTAS: [i64; 6] = [-3, -2, -1, 1, 2, 3];
+
+/// Writes a flip's read-back value into a row buffer.
+fn apply_flip(data: &mut [u8], flip: &Bitflip) {
+    let byte = (flip.addr.column.0 / 8) as usize;
+    let bit = flip.addr.column.0 % 8;
+    if flip.to {
+        data[byte] |= 1 << bit;
+    } else {
+        data[byte] &= !(1 << bit);
+    }
+}
+
+/// Ledger slot of the aggressor at signed offset `delta` from the victim.
+fn exposure_index(delta: i64) -> usize {
+    debug_assert!(delta != 0 && delta.abs() <= 3);
+    if delta < 0 {
+        (delta + 3) as usize
+    } else {
+        (delta + 2) as usize
+    }
+}
+
+/// Per-row stored state: one dense slab entry per (bank, row offset).
+#[derive(Debug, Clone, Default)]
+struct RowSlot {
+    /// Stored bytes; empty means the row was never initialized.
     data: Vec<u8>,
     pattern: Option<(DataPattern, RowRole)>,
+    /// True while `data` is exactly the unmodified repeating-byte pattern
+    /// fill — the precondition of the O(1) any-bitflip probe path.
+    pristine: bool,
     last_restore: Time,
+    /// Exposure ledger indexed by [`exposure_index`] of the aggressor offset.
+    exposure: [Exposure; 6],
+    /// Quick check: any ledger entry nonzero.
+    exposed: bool,
+    /// Lazily built per-cell fault parameters (see [`CellProfileTable`]);
+    /// invalidated on temperature / jitter changes.
+    profile: OnceLock<Box<CellProfileTable>>,
+}
+
+impl RowSlot {
+    fn initialized(&self) -> bool {
+        !self.data.is_empty()
+    }
+
+    fn clear_exposure(&mut self) {
+        if self.exposed {
+            self.exposure = [Exposure::default(); 6];
+            self.exposed = false;
+        }
+    }
+}
+
+/// Rows per storage chunk: a pattern site spans at most ~9 rows, so a trial
+/// touches one or two chunks regardless of bank size, while row → slot
+/// lookup stays two array indexes.
+const CHUNK_ROWS: usize = 64;
+
+/// Dense row storage of one bank, allocated in fixed-size chunks on first
+/// touch: `chunks` is empty until the bank is used, then holds
+/// `ceil(rows_per_bank / CHUNK_ROWS)` entries of which only the touched
+/// chunks are populated — a paper-scale bank (65 536 rows) costs a trial
+/// only the chunks its site actually lives in.
+#[derive(Debug, Clone, Default)]
+struct BankStore {
+    chunks: Vec<Option<Box<[RowSlot]>>>,
+}
+
+impl BankStore {
+    fn slot(&self, row: RowId) -> Option<&RowSlot> {
+        let chunk = self.chunks.get(row.0 as usize / CHUNK_ROWS)?.as_deref()?;
+        chunk.get(row.0 as usize % CHUNK_ROWS)
+    }
+}
+
+/// Row-level disturbance totals shared by every evaluation path.
+struct RowDisturb {
+    hammer_total: f64,
+    press_total: f64,
+    retention_elapsed_s: f64,
+    check_retention: bool,
+    check_hammer: bool,
+    press_exposed: bool,
 }
 
 /// A DRAM module under test: fault model + mutable experiment state.
@@ -97,11 +191,11 @@ pub struct DramModule {
     timing: TimingParams,
     temperature_c: f64,
     now: Time,
-    rows: HashMap<(BankId, RowId), RowState>,
-    exposures: HashMap<(BankId, RowId), HashMap<RowId, Exposure>>,
+    banks: Vec<BankStore>,
     activations: u64,
     jitter_sigma: f64,
     jitter_salt: u64,
+    profile_caching: bool,
 }
 
 impl DramModule {
@@ -131,11 +225,41 @@ impl DramModule {
             timing,
             temperature_c: 50.0,
             now: Time::ZERO,
-            rows: HashMap::new(),
-            exposures: HashMap::new(),
+            banks: (0..geometry.banks).map(|_| BankStore::default()).collect(),
             activations: 0,
             jitter_sigma: 0.0,
             jitter_salt: 0,
+            profile_caching: true,
+        }
+    }
+
+    /// Read access to a row slot, `None` when the row's storage chunk was
+    /// never touched or the row is out of range.
+    fn slot(&self, bank: BankId, row: RowId) -> Option<&RowSlot> {
+        self.banks.get(usize::from(bank.0))?.slot(row)
+    }
+
+    /// Mutable access to a row slot, allocating the bank's chunk table and
+    /// the row's chunk on first touch. Callers must have validated the
+    /// address.
+    fn slot_mut(&mut self, bank: BankId, row: RowId) -> &mut RowSlot {
+        let chunk_count = (self.geometry.rows_per_bank as usize).div_ceil(CHUNK_ROWS);
+        let store = &mut self.banks[usize::from(bank.0)];
+        if store.chunks.is_empty() {
+            store.chunks = vec![None; chunk_count];
+        }
+        let chunk = store.chunks[row.0 as usize / CHUNK_ROWS]
+            .get_or_insert_with(|| vec![RowSlot::default(); CHUNK_ROWS].into_boxed_slice());
+        &mut chunk[row.0 as usize % CHUNK_ROWS]
+    }
+
+    /// The slot of an initialized row, or the typed error the evaluation
+    /// paths report for untouched rows.
+    fn slot_initialized(&self, bank: BankId, row: RowId) -> DramResult<&RowSlot> {
+        self.check_addr(bank, row)?;
+        match self.slot(bank, row) {
+            Some(slot) if slot.initialized() => Ok(slot),
+            _ => Err(DramError::RowNotInitialized { bank, row }),
         }
     }
 
@@ -170,9 +294,39 @@ impl DramModule {
     }
 
     /// Sets the DRAM temperature (the temperature-controller model in the
-    /// bender crate calls this once the set point settles).
+    /// bender crate calls this once the set point settles). Cached cell
+    /// profiles bake the temperature into retention thresholds, so a change
+    /// invalidates them.
     pub fn set_temperature(&mut self, celsius: f64) {
-        self.temperature_c = celsius;
+        if self.temperature_c != celsius {
+            self.temperature_c = celsius;
+            self.invalidate_profiles();
+        }
+    }
+
+    /// Enables or disables the precomputed [`CellProfileTable`] evaluation
+    /// path (enabled by default). The disabled path recomputes every cell
+    /// parameter on demand — bit-identical but much slower; it exists as the
+    /// reference baseline for the `perf_trial_kernel` bench and the
+    /// equivalence tests.
+    pub fn set_profile_caching(&mut self, enabled: bool) {
+        self.profile_caching = enabled;
+    }
+
+    /// Whether the precomputed-profile evaluation path is enabled.
+    pub fn profile_caching(&self) -> bool {
+        self.profile_caching
+    }
+
+    /// Drops every cached row profile (temperature or jitter changed).
+    fn invalidate_profiles(&mut self) {
+        for store in &mut self.banks {
+            for chunk in store.chunks.iter_mut().flatten() {
+                for slot in chunk.iter_mut() {
+                    slot.profile.take();
+                }
+            }
+        }
     }
 
     /// The module-local clock: total time advanced by activations and idling
@@ -188,8 +342,9 @@ impl DramModule {
 
     /// Clears all stored data, exposure and the clock (a fresh experiment).
     pub fn reset(&mut self) {
-        self.rows.clear();
-        self.exposures.clear();
+        for store in &mut self.banks {
+            store.chunks = Vec::new();
+        }
         self.now = Time::ZERO;
         self.activations = 0;
     }
@@ -226,15 +381,13 @@ impl DramModule {
                 actual: data.len(),
             });
         }
-        self.rows.insert(
-            (bank, row),
-            RowState {
-                data,
-                pattern: None,
-                last_restore: self.now,
-            },
-        );
-        self.exposures.remove(&(bank, row));
+        let now = self.now;
+        let slot = self.slot_mut(bank, row);
+        slot.data = data;
+        slot.pattern = None;
+        slot.pristine = false;
+        slot.last_restore = now;
+        slot.clear_exposure();
         Ok(())
     }
 
@@ -252,16 +405,22 @@ impl DramModule {
         role: RowRole,
     ) -> DramResult<()> {
         self.check_addr(bank, row)?;
-        let data = crate::pattern::fill_row(pattern, role, self.geometry.bytes_per_row());
-        self.rows.insert(
-            (bank, row),
-            RowState {
-                data,
-                pattern: Some((pattern, role)),
-                last_restore: self.now,
-            },
-        );
-        self.exposures.remove(&(bank, row));
+        let byte = pattern.fill_byte(role);
+        let len = self.geometry.bytes_per_row();
+        let now = self.now;
+        let slot = self.slot_mut(bank, row);
+        // Re-initialization refills the existing buffer: the probe loops of
+        // the bisection searches allocate a row buffer once, not per probe.
+        if slot.data.len() == len {
+            slot.data.fill(byte);
+        } else {
+            slot.data.clear();
+            slot.data.resize(len, byte);
+        }
+        slot.pattern = Some((pattern, role));
+        slot.pristine = true;
+        slot.last_restore = now;
+        slot.clear_exposure();
         Ok(())
     }
 
@@ -271,11 +430,7 @@ impl DramModule {
     ///
     /// Returns an error if the row is out of range or not initialized.
     pub fn initialized_data(&self, bank: BankId, row: RowId) -> DramResult<&[u8]> {
-        self.check_addr(bank, row)?;
-        self.rows
-            .get(&(bank, row))
-            .map(|r| r.data.as_slice())
-            .ok_or(DramError::RowNotInitialized { bank, row })
+        Ok(self.slot_initialized(bank, row)?.data.as_slice())
     }
 
     /// Refreshes a single row: restores its charge, clearing accumulated
@@ -288,23 +443,50 @@ impl DramModule {
     /// Returns an error if the row address is out of range.
     pub fn refresh_row(&mut self, bank: BankId, row: RowId) -> DramResult<()> {
         self.check_addr(bank, row)?;
-        if self.rows.contains_key(&(bank, row)) {
-            // Materialize any flips that have already happened, then restore.
-            let current = self.read_row(bank, row)?;
-            if let Some(state) = self.rows.get_mut(&(bank, row)) {
-                state.data = current;
-                state.last_restore = self.now;
-            }
-            self.exposures.remove(&(bank, row));
+        if !self.slot(bank, row).is_some_and(RowSlot::initialized) {
+            return Ok(());
         }
+        // Materialize any flips that have already happened directly into the
+        // row's buffer (no row-sized copy), then restore.
+        let mut flips = Vec::new();
+        {
+            let slot = self.slot(bank, row).expect("slot exists");
+            self.scan_cells(bank, row, slot, &slot.data, &mut |flip: Bitflip| {
+                flips.push(flip);
+                true
+            });
+        }
+        let now = self.now;
+        let slot = self.slot_mut(bank, row);
+        for flip in &flips {
+            apply_flip(&mut slot.data, flip);
+        }
+        slot.pristine = slot.pristine && flips.is_empty();
+        slot.last_restore = now;
+        slot.clear_exposure();
         Ok(())
     }
 
-    /// Refreshes every initialized row (an auto-refresh sweep).
+    /// Refreshes every initialized row (an auto-refresh sweep). Iterates the
+    /// allocated storage chunks directly — no key collection is allocated
+    /// per sweep, and untouched regions of a bank cost nothing.
     pub fn refresh_all(&mut self) {
-        let keys: Vec<(BankId, RowId)> = self.rows.keys().copied().collect();
-        for (bank, row) in keys {
-            let _ = self.refresh_row(bank, row);
+        for bank in 0..self.banks.len() {
+            for chunk_idx in 0..self.banks[bank].chunks.len() {
+                let len = match &self.banks[bank].chunks[chunk_idx] {
+                    Some(chunk) => chunk.len(),
+                    None => continue,
+                };
+                for offset in 0..len {
+                    let initialized = self.banks[bank].chunks[chunk_idx]
+                        .as_ref()
+                        .is_some_and(|chunk| chunk[offset].initialized());
+                    if initialized {
+                        let row = RowId((chunk_idx * CHUNK_ROWS + offset) as u32);
+                        let _ = self.refresh_row(BankId(bank as u16), row);
+                    }
+                }
+            }
         }
     }
 
@@ -344,32 +526,41 @@ impl DramModule {
         let n = count as f64;
         for side in [-1i64, 1] {
             for dist in 1..=3u32 {
-                let Some(victim) = row.offset(side * i64::from(dist), self.geometry.rows_per_bank)
-                else {
+                let delta = side * i64::from(dist);
+                let Some(victim) = row.offset(delta, self.geometry.rows_per_bank) else {
                     continue;
                 };
                 let decay = self.fault.distance_decay(dist);
                 if decay == 0.0 {
                     continue;
                 }
-                let entry = self
-                    .exposures
-                    .entry((bank, victim))
-                    .or_default()
-                    .entry(row)
-                    .or_insert(Exposure {
-                        distance: dist,
-                        ..Default::default()
-                    });
+                let slot = self.slot_mut(bank, victim);
+                // The aggressor sits at -delta relative to the victim.
+                let entry = &mut slot.exposure[exposure_index(-delta)];
                 entry.acts += n;
                 entry.hammer_units += n * hammer_per_act * decay;
                 entry.press_us += n * press_per_act * decay;
-                entry.distance = dist;
+                slot.exposed = true;
             }
         }
         self.activations += count;
         self.now += (t_on + t_off) * count;
         Ok(())
+    }
+
+    /// The precomputed [`CellProfileTable`] of one row (built on first use
+    /// and cached until the temperature or jitter setting changes). Exposed
+    /// so tests can check the table against the fault model's per-cell
+    /// functions; the evaluation paths use it internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address is out of range.
+    pub fn cell_profiles(&mut self, bank: BankId, row: RowId) -> DramResult<&CellProfileTable> {
+        self.check_addr(bank, row)?;
+        self.slot_mut(bank, row); // allocate the slab so the cache has a home
+        let slot = self.slot(bank, row).expect("slab allocated");
+        Ok(self.profile(bank, row, slot))
     }
 
     /// Issues a single activation (see [`DramModule::activate_many`]).
@@ -392,65 +583,165 @@ impl DramModule {
         (byte >> (column % 8)) & 1 == 1
     }
 
-    fn evaluate_row(
-        &self,
-        bank: BankId,
-        row: RowId,
-        stop_at_first: bool,
-    ) -> DramResult<Vec<Bitflip>> {
-        self.check_addr(bank, row)?;
-        let state = self
-            .rows
-            .get(&(bank, row))
-            .ok_or(DramError::RowNotInitialized { bank, row })?;
-
-        let empty = HashMap::new();
-        let exposure = self.exposures.get(&(bank, row)).unwrap_or(&empty);
-
-        // Aggregate exposure across aggressors, noting whether the victim is
-        // sandwiched between two distance-1 aggressors (double-sided).
+    /// Aggregates a row's exposure ledger into the mechanism totals, noting
+    /// whether the victim is sandwiched between two distance-1 aggressors
+    /// (double-sided) and applying the data-pattern coupling factors.
+    fn row_disturb(&self, slot: &RowSlot) -> RowDisturb {
         let mut hammer_total = 0.0;
         let mut press_total = 0.0;
-        let mut adjacent_sides = [false, false];
-        for (aggr, e) in exposure {
-            hammer_total += e.hammer_units;
-            press_total += e.press_us;
-            if e.distance == 1 && e.acts > 0.0 {
-                if aggr.0 < row.0 {
-                    adjacent_sides[0] = true;
-                } else {
-                    adjacent_sides[1] = true;
+        if slot.exposed {
+            let mut adjacent_sides = [false, false];
+            for (i, e) in slot.exposure.iter().enumerate() {
+                hammer_total += e.hammer_units;
+                press_total += e.press_us;
+                if e.acts > 0.0 && EXPOSURE_DELTAS[i].abs() == 1 {
+                    adjacent_sides[usize::from(EXPOSURE_DELTAS[i] > 0)] = true;
                 }
             }
+            if adjacent_sides[0] && adjacent_sides[1] {
+                hammer_total *= self.fault.double_sided_hammer_bonus();
+            }
         }
-        if adjacent_sides[0] && adjacent_sides[1] {
-            hammer_total *= self.fault.double_sided_hammer_bonus();
-        }
-        let (hammer_factor, press_factor) = match state.pattern {
+        let (hammer_factor, press_factor) = match slot.pattern {
             Some((p, _)) => (p.hammer_factor(), p.press_factor()),
             None => (1.0, 1.0),
         };
         let hammer_total = hammer_total * hammer_factor;
         let press_total = press_total * press_factor;
 
-        let retention_elapsed_s = (self.now.saturating_sub(state.last_restore)).as_secs();
-        let check_retention = retention_elapsed_s >= 1e-3;
-
-        let mut flips = Vec::new();
-        if hammer_total == 0.0 && press_total == 0.0 && !check_retention {
-            return Ok(flips);
+        let retention_elapsed_s = (self.now.saturating_sub(slot.last_restore)).as_secs();
+        RowDisturb {
+            hammer_total,
+            press_total,
+            retention_elapsed_s,
+            check_retention: retention_elapsed_s >= 1e-3,
+            check_hammer: hammer_total > 0.0,
+            press_exposed: press_total > 0.0,
         }
+    }
 
+    /// The row's cached [`CellProfileTable`], building it on first use.
+    fn profile<'a>(&'a self, bank: BankId, row: RowId, slot: &'a RowSlot) -> &'a CellProfileTable {
+        slot.profile.get_or_init(|| {
+            let jitter = |addr| self.flip_jitter(addr);
+            let jitter: Option<&dyn Fn(CellAddr) -> f64> = if self.jitter_sigma == 0.0 {
+                None
+            } else {
+                Some(&jitter)
+            };
+            Box::new(
+                self.fault
+                    .cell_profile_table(bank, row, self.temperature_c, jitter),
+            )
+        })
+    }
+
+    /// Evaluates every cell of a row against its current disturbance,
+    /// invoking `emit` for each bitflip; `emit` returns `false` to stop the
+    /// scan. `data` is passed explicitly so [`DramModule::refresh_row`] can
+    /// evaluate a buffer it temporarily owns.
+    fn scan_cells(
+        &self,
+        bank: BankId,
+        row: RowId,
+        slot: &RowSlot,
+        data: &[u8],
+        emit: &mut dyn FnMut(Bitflip) -> bool,
+    ) {
+        let d = self.row_disturb(slot);
+        if d.hammer_total == 0.0 && d.press_total == 0.0 && !d.check_retention {
+            return;
+        }
+        if self.profile_caching {
+            self.scan_cells_profiled(bank, row, slot, data, &d, emit);
+        } else {
+            self.scan_cells_reference(bank, row, data, &d, emit);
+        }
+    }
+
+    /// The kernel scan: per-cell thresholds come from the precomputed
+    /// profile, so the loop is two comparisons per cell with no hashing.
+    fn scan_cells_profiled(
+        &self,
+        bank: BankId,
+        row: RowId,
+        slot: &RowSlot,
+        data: &[u8],
+        d: &RowDisturb,
+        emit: &mut dyn FnMut(Bitflip) -> bool,
+    ) {
+        let profile = self.profile(bank, row, slot);
+        let check_press = d.press_exposed && profile.press_vulnerable();
+        for column in 0..self.geometry.bits_per_row {
+            let bit = Self::stored_bit(data, column);
+            let anti = profile.is_anti(column);
+            // Bucket pruning: a total below the (polarity, residue) bucket's
+            // minimum threshold is below every cell threshold in the bucket,
+            // so the exact per-cell evaluation runs only for cells a
+            // mechanism could actually flip.
+            let flip = if anti != bit {
+                // Charge-drain mechanisms: RowPress and retention.
+                let pressed = check_press
+                    && d.press_total >= profile.min_press_bucket(anti, column)
+                    && d.press_total >= profile.press_threshold(column);
+                let leaked = !pressed
+                    && d.check_retention
+                    && d.retention_elapsed_s >= profile.min_retention_bucket(anti, column)
+                    && d.retention_elapsed_s >= profile.retention_threshold_s(column);
+                if pressed {
+                    Some(FlipMechanism::Press)
+                } else if leaked {
+                    Some(FlipMechanism::Retention)
+                } else {
+                    None
+                }
+            } else if d.check_hammer
+                && d.hammer_total >= profile.min_hammer_bucket(anti, column)
+                && d.hammer_total >= profile.hammer_threshold(column)
+            {
+                // Charge-injection mechanism: RowHammer.
+                Some(FlipMechanism::Hammer)
+            } else {
+                None
+            };
+            if let Some(mechanism) = flip {
+                let keep_going = emit(Bitflip {
+                    addr: CellAddr {
+                        bank,
+                        row,
+                        column: ColumnId(column),
+                    },
+                    from: bit,
+                    to: !bit,
+                    mechanism,
+                });
+                if !keep_going {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The reference scan: every cell parameter recomputed on demand from the
+    /// fault model's hash streams — the pre-kernel behavior, kept as the
+    /// baseline for equivalence tests and the `perf_trial_kernel` bench.
+    fn scan_cells_reference(
+        &self,
+        bank: BankId,
+        row: RowId,
+        data: &[u8],
+        d: &RowDisturb,
+        emit: &mut dyn FnMut(Bitflip) -> bool,
+    ) {
         // Row-level bases and anchor columns hoisted out of the per-cell loop.
         let hammer_base = self.fault.row_hammer_acmin_base(bank, row);
         let press_base = self.fault.row_press_time_us(bank, row);
         let hammer_anchors = self.fault.hammer_anchor_columns(bank, row);
         let press_anchors = self.fault.press_anchor_columns(bank, row);
-        let check_hammer = hammer_total > 0.0;
-        let check_press = press_total > 0.0 && press_base.is_some();
+        let check_press = d.press_exposed && press_base.is_some();
 
         for column in 0..self.geometry.bits_per_row {
-            let bit = Self::stored_bit(&state.data, column);
+            let bit = Self::stored_bit(data, column);
             let addr = CellAddr {
                 bank,
                 row,
@@ -458,52 +749,49 @@ impl DramModule {
             };
             let jitter = self.flip_jitter(addr);
             let charged = self.fault.cell_is_charged(addr, bit);
-            if charged {
-                // Charge-drain mechanisms: RowPress and retention.
+            let flip = if charged {
                 let pressed = check_press
-                    && press_total
+                    && d.press_total
                         >= press_base.unwrap_or(f64::INFINITY)
                             * self
                                 .fault
                                 .cell_press_spread_with_anchors(addr, &press_anchors)
                             * jitter;
                 let leaked = !pressed
-                    && check_retention
-                    && retention_elapsed_s
+                    && d.check_retention
+                    && d.retention_elapsed_s
                         >= self.fault.cell_retention_s(addr, self.temperature_c) * jitter;
-                if pressed || leaked {
-                    flips.push(Bitflip {
-                        addr,
-                        from: bit,
-                        to: !bit,
-                        mechanism: if pressed {
-                            FlipMechanism::Press
-                        } else {
-                            FlipMechanism::Retention
-                        },
-                    });
+                if pressed {
+                    Some(FlipMechanism::Press)
+                } else if leaked {
+                    Some(FlipMechanism::Retention)
+                } else {
+                    None
                 }
-            } else if check_hammer
-                && hammer_total
+            } else if d.check_hammer
+                && d.hammer_total
                     >= hammer_base
                         * self
                             .fault
                             .cell_hammer_spread_with_anchors(addr, &hammer_anchors)
                         * jitter
             {
-                // Charge-injection mechanism: RowHammer.
-                flips.push(Bitflip {
+                Some(FlipMechanism::Hammer)
+            } else {
+                None
+            };
+            if let Some(mechanism) = flip {
+                let keep_going = emit(Bitflip {
                     addr,
                     from: bit,
                     to: !bit,
-                    mechanism: FlipMechanism::Hammer,
+                    mechanism,
                 });
-            }
-            if stop_at_first && !flips.is_empty() {
-                break;
+                if !keep_going {
+                    return;
+                }
             }
         }
-        Ok(flips)
     }
 
     /// Per-cell threshold jitter factor; 1.0 unless jitter is enabled via
@@ -531,8 +819,12 @@ impl DramModule {
     /// run-to-run variation of borderline cells; `sigma = 0` (the default)
     /// makes the device fully deterministic.
     pub fn set_flip_jitter(&mut self, sigma: f64, salt: u64) {
-        self.jitter_sigma = sigma;
-        self.jitter_salt = salt;
+        if self.jitter_sigma != sigma || self.jitter_salt != salt {
+            self.jitter_sigma = sigma;
+            self.jitter_salt = salt;
+            // Cached profiles bake the jitter factors into their thresholds.
+            self.invalidate_profiles();
+        }
     }
 
     /// Computes the bitflips currently present in a row, without modifying
@@ -543,39 +835,95 @@ impl DramModule {
     ///
     /// Returns an error if the row is out of range or not initialized.
     pub fn check_row(&self, bank: BankId, row: RowId) -> DramResult<Vec<Bitflip>> {
-        self.evaluate_row(bank, row, false)
+        let mut flips = Vec::new();
+        self.check_row_append(bank, row, &mut flips)?;
+        Ok(flips)
     }
 
-    /// Fast check whether a row currently contains at least one bitflip
-    /// (early-exits at the first flipped cell). Used by the ACmin bisection
-    /// search, whose probes only need a yes/no answer.
+    /// [`DramModule::check_row`] into a caller-provided buffer: flips are
+    /// *appended* to `out` (the buffer is not cleared), so a probe loop can
+    /// reuse one accumulator across rows and probes without reallocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the row is out of range or not initialized.
+    pub fn check_row_append(
+        &self,
+        bank: BankId,
+        row: RowId,
+        out: &mut Vec<Bitflip>,
+    ) -> DramResult<()> {
+        let slot = self.slot_initialized(bank, row)?;
+        self.scan_cells(bank, row, slot, &slot.data, &mut |flip| {
+            out.push(flip);
+            true
+        });
+        Ok(())
+    }
+
+    /// Fast check whether a row currently contains at least one bitflip.
+    /// Used by the ACmin bisection search, whose probes only need a yes/no
+    /// answer. For a row still holding an unmodified repeating-byte pattern
+    /// the answer comes from the profile's precomputed per-pattern minimum
+    /// thresholds — O(1) in the row size; otherwise the cell scan early-exits
+    /// at the first flipped cell. Allocation-free either way.
     ///
     /// # Errors
     ///
     /// Returns an error if the row is out of range or not initialized.
     pub fn has_bitflip(&self, bank: BankId, row: RowId) -> DramResult<bool> {
-        Ok(!self.evaluate_row(bank, row, true)?.is_empty())
+        let slot = self.slot_initialized(bank, row)?;
+        if self.profile_caching && slot.pristine {
+            if let Some((pattern, role)) = slot.pattern {
+                let d = self.row_disturb(slot);
+                if d.hammer_total == 0.0 && d.press_total == 0.0 && !d.check_retention {
+                    return Ok(false);
+                }
+                let profile = self.profile(bank, row, slot);
+                let minima = profile.min_thresholds_for_fill(pattern.fill_byte(role));
+                let check_press = d.press_exposed && profile.press_vulnerable();
+                return Ok((check_press && d.press_total >= minima.press_us)
+                    || (d.check_retention && d.retention_elapsed_s >= minima.retention_s)
+                    || (d.check_hammer && d.hammer_total >= minima.hammer));
+            }
+        }
+        let mut found = false;
+        self.scan_cells(bank, row, slot, &slot.data, &mut |_| {
+            found = true;
+            false
+        });
+        Ok(found)
     }
 
     /// Reads a row back: the initialized data with any current bitflips
-    /// applied.
+    /// applied. Allocates the returned buffer; the probe-loop variant is
+    /// [`DramModule::read_row_into`].
     ///
     /// # Errors
     ///
     /// Returns an error if the row is out of range or not initialized.
     pub fn read_row(&self, bank: BankId, row: RowId) -> DramResult<Vec<u8>> {
-        let flips = self.check_row(bank, row)?;
-        let mut data = self.rows[&(bank, row)].data.clone();
-        for flip in flips {
-            let byte = (flip.addr.column.0 / 8) as usize;
-            let bit = flip.addr.column.0 % 8;
-            if flip.to {
-                data[byte] |= 1 << bit;
-            } else {
-                data[byte] &= !(1 << bit);
-            }
-        }
+        let mut data = Vec::new();
+        self.read_row_into(bank, row, &mut data)?;
         Ok(data)
+    }
+
+    /// [`DramModule::read_row`] into a caller-provided buffer (cleared and
+    /// refilled), so repeated readback reuses one allocation instead of
+    /// cloning the row on every call.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the row is out of range or not initialized.
+    pub fn read_row_into(&self, bank: BankId, row: RowId, out: &mut Vec<u8>) -> DramResult<()> {
+        let slot = self.slot_initialized(bank, row)?;
+        out.clear();
+        out.extend_from_slice(&slot.data);
+        self.scan_cells(bank, row, slot, &slot.data, &mut |flip| {
+            apply_flip(out, &flip);
+            true
+        });
+        Ok(())
     }
 
     /// Convenience: counts the bitflips in a set of rows.
@@ -928,6 +1276,92 @@ mod tests {
         let initial = m.initialized_data(bank, RowId(21)).unwrap();
         assert!(initial.iter().all(|&b| b == 0x55));
         assert_eq!(m.count_bitflips(bank, &[RowId(21)]).unwrap(), flips.len());
+    }
+
+    #[test]
+    fn scratch_apis_match_allocating_apis() {
+        let mut m = samsung_b_module();
+        let bank = BankId(1);
+        m.init_row_pattern(
+            bank,
+            RowId(20),
+            DataPattern::Checkerboard,
+            RowRole::Aggressor,
+        )
+        .unwrap();
+        m.init_row_pattern(bank, RowId(21), DataPattern::Checkerboard, RowRole::Victim)
+            .unwrap();
+        m.activate_many(
+            bank,
+            RowId(20),
+            Time::from_ms(30.0),
+            Time::from_ns(15.0),
+            10,
+        )
+        .unwrap();
+        let flips = m.check_row(bank, RowId(21)).unwrap();
+        assert!(!flips.is_empty());
+        // check_row_append appends without clearing.
+        let mut buf = vec![flips[0]];
+        m.check_row_append(bank, RowId(21), &mut buf).unwrap();
+        assert_eq!(buf.len(), flips.len() + 1);
+        assert_eq!(&buf[1..], flips.as_slice());
+        // read_row_into clears and refills the caller's buffer.
+        let mut data = vec![0xFFu8; 3];
+        m.read_row_into(bank, RowId(21), &mut data).unwrap();
+        assert_eq!(data, m.read_row(bank, RowId(21)).unwrap());
+        assert!(m.has_bitflip(bank, RowId(21)).unwrap());
+    }
+
+    #[test]
+    fn reference_mode_produces_identical_flips() {
+        let run = |caching: bool| {
+            let mut m = samsung_b_module();
+            m.set_profile_caching(caching);
+            assert_eq!(m.profile_caching(), caching);
+            let bank = BankId(1);
+            m.init_row_pattern(
+                bank,
+                RowId(20),
+                DataPattern::Checkerboard,
+                RowRole::Aggressor,
+            )
+            .unwrap();
+            m.init_row_pattern(bank, RowId(21), DataPattern::Checkerboard, RowRole::Victim)
+                .unwrap();
+            m.activate_many(
+                bank,
+                RowId(20),
+                Time::from_ms(20.0),
+                Time::from_ns(15.0),
+                12,
+            )
+            .unwrap();
+            m.check_row(bank, RowId(21)).unwrap()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn temperature_change_invalidates_cached_profiles() {
+        let mut m = samsung_b_module();
+        let bank = BankId(0);
+        let r = RowId(5);
+        let cold = m.cell_profiles(bank, r).unwrap().retention_threshold_s(0);
+        m.set_temperature(80.0);
+        let hot = m.cell_profiles(bank, r).unwrap().retention_threshold_s(0);
+        assert!(
+            hot < cold,
+            "retention must shorten with temperature (cold {cold}, hot {hot})"
+        );
+        // Jitter perturbs thresholds; probe the anchor cell, whose threshold
+        // is finite by construction.
+        m.set_temperature(50.0);
+        let anchor = m.fault_model().hammer_anchor_columns(bank, r)[0];
+        let t1 = m.cell_profiles(bank, r).unwrap().hammer_threshold(anchor);
+        m.set_flip_jitter(0.2, 99);
+        let t2 = m.cell_profiles(bank, r).unwrap().hammer_threshold(anchor);
+        assert_ne!(t1, t2, "jitter must perturb cached thresholds");
     }
 
     #[test]

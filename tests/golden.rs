@@ -1,0 +1,92 @@
+//! Golden-record test of the trial kernel: the quick-scale ACmin grid must
+//! serialize to a byte stream with a known checksum.
+//!
+//! The stored checksum was computed from the engine *before* the trial-kernel
+//! rewrite (flat bank storage, precomputed cell profiles, scratch reuse) and
+//! verified unchanged after it, so this test pins the property the kernel
+//! promises: the fast path changes nothing observable — not a flip, not a
+//! float digit, not a byte. If an intentional physics or serialization change
+//! moves this value, update the constant in the same commit and say why.
+
+use rowpress::core::engine::{
+    run_trial, run_trial_reference, Engine, JsonlSink, Measurement, Plan,
+};
+use rowpress::core::{lookup_module, ExperimentConfig, TrialScratch};
+use rowpress::dram::math::hash_words;
+use rowpress::dram::Time;
+
+/// The quick ACmin study: the perf benches' module set (one per manufacturer
+/// plus the most press-vulnerable S die) crossed with the paper's three
+/// representative tAggON points.
+fn quick_acmin_plan(cfg: &ExperimentConfig) -> Plan {
+    let modules: Vec<_> = ["S0", "S3", "H0", "M3"]
+        .iter()
+        .map(|id| lookup_module(id).expect("inventory module"))
+        .collect();
+    Plan::grid(cfg)
+        .modules(&modules)
+        .measurements(
+            [Time::from_ns(36.0), Time::from_us(7.8), Time::from_ms(30.0)]
+                .into_iter()
+                .map(|t| Measurement::AcMin { t_aggon: t }),
+        )
+        .build()
+}
+
+fn jsonl_bytes(cfg: &ExperimentConfig, plan: &Plan) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut sink = JsonlSink::new(&mut buf);
+    Engine::new(cfg)
+        .run(plan, &mut sink)
+        .expect("quick grid runs");
+    buf
+}
+
+/// Order-dependent checksum of a byte stream: 8-byte little-endian words
+/// (zero-padded tail) plus the length, folded through the device model's own
+/// deterministic `hash_words`.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut words: Vec<u64> = bytes
+        .chunks(8)
+        .map(|chunk| {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            u64::from_le_bytes(word)
+        })
+        .collect();
+    words.push(bytes.len() as u64);
+    hash_words(&words)
+}
+
+/// The pre-kernel byte stream of the quick ACmin grid: 72 records, 52 397
+/// bytes, this checksum.
+const QUICK_ACMIN_CHECKSUM: u64 = 0xAFD9_38D1_B694_2477;
+const QUICK_ACMIN_BYTES: usize = 52_397;
+
+#[test]
+fn quick_acmin_jsonl_is_byte_identical_to_pre_kernel_engine() {
+    let cfg = ExperimentConfig::quick();
+    let plan = quick_acmin_plan(&cfg);
+    let bytes = jsonl_bytes(&cfg, &plan);
+    assert_eq!(bytes.len(), QUICK_ACMIN_BYTES, "stream length drifted");
+    assert_eq!(
+        checksum(&bytes),
+        QUICK_ACMIN_CHECKSUM,
+        "the JSONL byte stream of the quick ACmin grid changed"
+    );
+}
+
+#[test]
+fn kernel_and_reference_trial_paths_agree_on_the_quick_grid() {
+    // Per-trial equivalence, sharper than the stream checksum: the kernel
+    // path (precomputed profiles + scratch reuse) must produce the same
+    // outcome object as the scalar reference path for every trial.
+    let cfg = ExperimentConfig::quick();
+    let plan = quick_acmin_plan(&cfg);
+    let mut scratch = TrialScratch::new();
+    for trial in plan.trials() {
+        let kernel = run_trial(&cfg, trial, &mut scratch).expect("kernel trial");
+        let reference = run_trial_reference(&cfg, trial).expect("reference trial");
+        assert_eq!(kernel, reference, "trial diverged: {trial:?}");
+    }
+}

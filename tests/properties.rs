@@ -96,4 +96,80 @@ proptest! {
             prop_assert!(site.0 >= 4);
         }
     }
+
+    #[test]
+    fn cell_profile_table_agrees_with_per_cell_functions(
+        module_idx in 0usize..10,
+        bank in 0u16..2,
+        row in 0u32..64,
+        column in 0u32..1024,
+        temp in 50.0f64..85.0,
+    ) {
+        // The precomputed table must report exactly what the fault model's
+        // scalar per-cell functions compute, for any address.
+        let inventory = module_inventory();
+        let spec = &inventory[module_idx % inventory.len()];
+        let mut m = DramModule::new(spec, Geometry::tiny());
+        m.set_temperature(temp);
+        let bank = BankId(bank);
+        let row = RowId(row);
+        let addr = rowpress::dram::cell(bank, row, column);
+        let fault = m.fault_model().clone();
+        let table = m.cell_profiles(bank, row).unwrap();
+        prop_assert_eq!(table.columns(), 1024);
+        prop_assert_eq!(table.is_anti(column), fault.cell_is_anti(addr));
+        prop_assert_eq!(
+            table.is_charged(column, true),
+            fault.cell_is_charged(addr, true)
+        );
+        prop_assert_eq!(
+            table.hammer_threshold(column),
+            fault.row_hammer_acmin_base(bank, row) * fault.cell_hammer_spread(addr)
+        );
+        match fault.cell_press_time_us(addr) {
+            Some(t) => prop_assert_eq!(table.press_threshold(column), t),
+            None => prop_assert!(table.press_threshold(column).is_infinite()),
+        }
+        prop_assert_eq!(
+            table.retention_threshold_s(column),
+            fault.cell_retention_s(addr, temp)
+        );
+    }
+
+    #[test]
+    fn kernel_and_reference_evaluation_agree_after_random_exposure(
+        module_idx in 0usize..10,
+        t_on_us in 1.0f64..20_000.0,
+        acts in 1u64..2_000,
+        idle_ms in 0.0f64..2_000.0,
+        pattern_sel in 0usize..6,
+        jitter_sel in 0u8..2,
+    ) {
+        // Whatever the exposure, the profiled evaluation path must produce
+        // exactly the flips of the scalar reference path.
+        let inventory = module_inventory();
+        let spec = &inventory[module_idx % inventory.len()];
+        let pattern = rowpress::dram::DataPattern::all()[pattern_sel];
+        let bank = BankId(1);
+        let run = |caching: bool| {
+            let mut m = DramModule::new(spec, Geometry::tiny());
+            m.set_profile_caching(caching);
+            if jitter_sel == 1 {
+                m.set_flip_jitter(0.05, 0x5EED ^ acts);
+            }
+            m.init_row_pattern(bank, RowId(20), pattern, rowpress::dram::RowRole::Aggressor)
+                .unwrap();
+            m.init_row_pattern(bank, RowId(21), pattern, rowpress::dram::RowRole::Victim)
+                .unwrap();
+            m.activate_many(bank, RowId(20), Time::from_us(t_on_us), Time::from_ns(15.0), acts)
+                .unwrap();
+            m.idle(Time::from_ms(idle_ms));
+            let flips = m.check_row(bank, RowId(21)).unwrap();
+            let any = m.has_bitflip(bank, RowId(21)).unwrap();
+            assert_eq!(any, !flips.is_empty());
+            let data = m.read_row(bank, RowId(21)).unwrap();
+            (flips, data)
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
 }

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `fxhash` crate: the multiply-rotate hash
+//! function used by Firefox and the Rust compiler.
+//!
+//! `FxHasher` is dramatically cheaper than the standard library's SipHash
+//! (a handful of cycles per word, no key setup) at the cost of no
+//! DoS-resistance — exactly the right trade for **process-local** hash maps
+//! whose keys are trusted, like the trial caches of the campaign engine.
+//! The surface mirrors the real crate: [`FxHasher`], the
+//! [`FxBuildHasher`] state, the [`FxHashMap`] / [`FxHashSet`] aliases and
+//! the [`hash64`] convenience function.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// The 64-bit Fx seed: a large prime-ish constant with well-mixed bits
+/// (the same constant the reference implementation uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` state producing [`FxHasher`]s (zero-sized, `Default`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The Fx streaming hasher: `hash = (hash <<< 5) ^ word) * SEED` per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hashes one value with [`FxHasher`] (fresh state per call).
+pub fn hash64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        assert_eq!(hash64(&42u64), hash64(&42u64));
+        assert_ne!(hash64(&42u64), hash64(&43u64));
+        assert_ne!(hash64("abc"), hash64("abd"));
+        assert_ne!(hash64(&(1u32, 2u32)), hash64(&(2u32, 1u32)));
+    }
+
+    #[test]
+    fn byte_stream_tail_is_hashed() {
+        // Streams that differ only in the sub-word tail must not collide.
+        assert_ne!(hash64(&[1u8, 2, 3][..]), hash64(&[1u8, 2, 4][..]));
+        assert_ne!(hash64(&[0u8; 9][..]), hash64(&[0u8; 10][..]));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<String, u32> = FxHashMap::default();
+        map.insert("acmin".into(), 1);
+        map.insert("taggon".into(), 2);
+        assert_eq!(map.get("acmin"), Some(&1));
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            set.insert(i);
+        }
+        assert_eq!(set.len(), 1000);
+        assert!(set.contains(&999));
+    }
+
+    #[test]
+    fn distribution_spreads_sequential_keys() {
+        // Sequential integers must not collapse into few buckets.
+        let mut low_bits: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..256u64 {
+            low_bits.insert(hash64(&i) >> 56);
+        }
+        assert!(
+            low_bits.len() > 64,
+            "top bits too uniform: {}",
+            low_bits.len()
+        );
+    }
+}
