@@ -31,6 +31,25 @@ cargo test -p rowpress-core --lib -q -- engine campaign
 step "cargo test --test engine (facade shard/cache/sink integration)"
 cargo test -q --test engine
 
+step "cargo test -p rowpress-cli (orchestrator end-to-end: spawn/kill/resume/merge)"
+cargo test -p rowpress-cli -q
+
+# The orchestrator CLI, end to end on the quick ACmin grid: 2 real shard
+# processes, merged stream verified byte-identical to a single-process run
+# (the same bytes tests/golden.rs pins). Plus the --help and canonical-spec
+# round-trip smoke checks (spec -> JSON -> spec must be a fixed point).
+step "rowpress-campaign end-to-end (2 shards, --verify) + spec round-trip"
+cargo build --release -p rowpress-cli
+CAMPAIGN=target/release/rowpress-campaign
+CAMPAIGN_OUT=target/campaign-ci
+rm -rf "$CAMPAIGN_OUT"
+"$CAMPAIGN" --help > /dev/null
+"$CAMPAIGN" plan examples/quick_acmin.toml
+"$CAMPAIGN" run examples/quick_acmin.toml --shards 2 --out-dir "$CAMPAIGN_OUT" --verify
+"$CAMPAIGN" spec examples/quick_acmin.toml > "$CAMPAIGN_OUT/spec-a.json"
+"$CAMPAIGN" spec "$CAMPAIGN_OUT/spec-a.json" > "$CAMPAIGN_OUT/spec-b.json"
+diff "$CAMPAIGN_OUT/spec-a.json" "$CAMPAIGN_OUT/spec-b.json"
+
 step "cargo fmt --all -- --check"
 cargo fmt --all -- --check
 

@@ -1,0 +1,243 @@
+//! The `__shard` child mode: one shard process of a campaign.
+//!
+//! A child derives the same plan as the parent from the spec file, runs its
+//! [`Plan::shard`](rowpress_core::engine::Plan::shard) through
+//! [`run_shard`] (persistent cache flushed after every record), and speaks
+//! a line protocol on stdout — the parent's only view of its health:
+//!
+//! ```text
+//! ##rowpress-shard start index=0 of=2 total=36 preloaded=0
+//! ##rowpress-shard progress done=1 total=36 computed=1 replayed=0
+//! ...
+//! ##rowpress-shard done total=36 computed=36 replayed=0
+//! ```
+//!
+//! Every line doubles as a heartbeat: the parent kills and respawns a shard
+//! whose stdout goes quiet past the stall timeout. The `--fault` options
+//! exist for the orchestrator's own tests: they crash (`exit-after`) or
+//! wedge (`hang-after`) the child once it has *computed* (not replayed) N
+//! trials, which exercises exactly the crash/stall recovery paths.
+
+use crate::{parse_number, CliError, EXIT_FAULT, EXIT_OK, EXIT_RUN, EXIT_SPEC};
+use rowpress_core::campaign::{run_shard, CampaignError, CampaignSpec, ShardEvent};
+use std::fmt;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// The line prefix of the child protocol; everything else on a child's
+/// stdout is free-form logging.
+pub const PROTOCOL_PREFIX: &str = "##rowpress-shard";
+
+/// A test-only fault injected into a shard incarnation, triggered once the
+/// incarnation has computed (cache-missed) the given number of trials. A
+/// fully resumed incarnation computes nothing, so the fault no longer fires
+/// and the shard completes — which is what lets the recovery tests converge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Exit with [`EXIT_FAULT`] after computing N trials.
+    ExitAfter(u64),
+    /// Stop emitting heartbeats (sleep forever) after computing N trials.
+    HangAfter(u64),
+}
+
+impl Fault {
+    /// Parses the `KIND=N` form used by `--fault` (`exit-after=5`,
+    /// `hang-after=3`).
+    pub fn parse(text: &str) -> Result<Fault, CliError> {
+        let (kind, n) = text
+            .split_once('=')
+            .ok_or_else(|| CliError::usage(format!("malformed fault `{text}` (want KIND=N)")))?;
+        let n: u64 = n
+            .parse()
+            .map_err(|_| CliError::usage(format!("fault count `{n}` is not an integer")))?;
+        if n == 0 {
+            return Err(CliError::usage("fault count must be positive"));
+        }
+        match kind {
+            "exit-after" => Ok(Fault::ExitAfter(n)),
+            "hang-after" => Ok(Fault::HangAfter(n)),
+            other => Err(CliError::usage(format!(
+                "unknown fault kind `{other}` (want exit-after or hang-after)"
+            ))),
+        }
+    }
+
+    /// The child argument this fault round-trips through.
+    pub fn to_arg(self) -> String {
+        match self {
+            Fault::ExitAfter(n) => format!("exit-after={n}"),
+            Fault::HangAfter(n) => format!("hang-after={n}"),
+        }
+    }
+}
+
+/// Parsed arguments of the hidden `__shard` mode.
+#[derive(Debug)]
+pub struct ShardArgs {
+    /// The spec file (the parent passes its resolved `campaign.json`).
+    pub spec: PathBuf,
+    /// This shard's index.
+    pub index: usize,
+    /// Total shard count.
+    pub of: usize,
+    /// The shard's persistent-cache file.
+    pub cache: PathBuf,
+    /// The shard's JSONL output file.
+    pub out: PathBuf,
+    /// Injected test fault, if any.
+    pub fault: Option<Fault>,
+}
+
+impl ShardArgs {
+    /// Parses `__shard <SPEC> --index I --of N --cache FILE --out FILE
+    /// [--fault KIND=N]`.
+    pub fn parse(operand: Option<&String>, rest: &[String]) -> Result<ShardArgs, CliError> {
+        let spec = operand.ok_or_else(|| CliError::usage("__shard: missing <SPEC>"))?;
+        let mut index = None;
+        let mut of = None;
+        let mut cache = None;
+        let mut out = None;
+        let mut fault = None;
+        let mut args = rest.iter();
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .cloned()
+                    .ok_or_else(|| CliError::usage(format!("__shard: {name} needs a value")))
+            };
+            match flag.as_str() {
+                "--index" => index = Some(parse_number(&value("--index")?, "--index")?),
+                "--of" => of = Some(parse_number(&value("--of")?, "--of")?),
+                "--cache" => cache = Some(PathBuf::from(value("--cache")?)),
+                "--out" => out = Some(PathBuf::from(value("--out")?)),
+                "--fault" => fault = Some(Fault::parse(&value("--fault")?)?),
+                other => {
+                    return Err(CliError::usage(format!("__shard: unknown flag `{other}`")));
+                }
+            }
+        }
+        let missing = |name: &str| CliError::usage(format!("__shard: missing {name}"));
+        Ok(ShardArgs {
+            spec: PathBuf::from(spec),
+            index: index.ok_or_else(|| missing("--index"))?,
+            of: of.ok_or_else(|| missing("--of"))?,
+            cache: cache.ok_or_else(|| missing("--cache"))?,
+            out: out.ok_or_else(|| missing("--out"))?,
+            fault,
+        })
+    }
+}
+
+/// Prints one protocol line and flushes, so the parent's reader sees it
+/// immediately (a child's piped stdout is block-buffered otherwise — a
+/// buffered heartbeat is no heartbeat).
+fn emit(line: fmt::Arguments<'_>) {
+    let mut stdout = std::io::stdout().lock();
+    let _ = writeln!(stdout, "{line}");
+    let _ = stdout.flush();
+}
+
+/// Runs the shard and returns the process exit code.
+pub fn run(args: &ShardArgs) -> i32 {
+    // Boot heartbeats: the parent's stall clock starts at spawn, but the
+    // first protocol event (`start`) only comes after the spec parse, plan
+    // derivation and cache preload — and a paper-scale cache file can take
+    // longer to preload than the stall timeout. Beat through the startup
+    // window so a healthy preload is never killed as a straggler; real
+    // stall detection begins once trials run.
+    let started = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let boot = {
+        let started = std::sync::Arc::clone(&started);
+        let index = args.index;
+        std::thread::spawn(move || {
+            while !started.load(std::sync::atomic::Ordering::Relaxed) {
+                emit(format_args!("{PROTOCOL_PREFIX} boot index={index}"));
+                std::thread::sleep(std::time::Duration::from_millis(300));
+            }
+        })
+    };
+    let spec = match CampaignSpec::from_path(&args.spec) {
+        Ok(spec) => spec,
+        Err(e) => {
+            started.store(true, std::sync::atomic::Ordering::Relaxed);
+            let _ = boot.join();
+            eprintln!("rowpress-campaign shard {}: {e}", args.index);
+            return EXIT_SPEC;
+        }
+    };
+    let fault = args.fault;
+    let boot_done = started.clone();
+    let result = run_shard(
+        &spec,
+        args.index,
+        args.of,
+        &args.cache,
+        &args.out,
+        |event| {
+            match event {
+                ShardEvent::Started { preloaded, total } => {
+                    boot_done.store(true, std::sync::atomic::Ordering::Relaxed);
+                    emit(format_args!(
+                        "{PROTOCOL_PREFIX} start index={} of={} total={total} preloaded={preloaded}",
+                        args.index, args.of
+                    ));
+                }
+                ShardEvent::Beat {
+                    computed_live,
+                    replayed_live,
+                } => emit(format_args!(
+                    "{PROTOCOL_PREFIX} beat computed_live={computed_live} \
+                     replayed_live={replayed_live}"
+                )),
+                ShardEvent::Progress {
+                    done,
+                    total,
+                    computed,
+                    replayed,
+                } => emit(format_args!(
+                    "{PROTOCOL_PREFIX} progress done={done} total={total} \
+                     computed={computed} replayed={replayed}"
+                )),
+                ShardEvent::Finished {
+                    total,
+                    computed,
+                    replayed,
+                } => emit(format_args!(
+                    "{PROTOCOL_PREFIX} done total={total} computed={computed} replayed={replayed}"
+                )),
+            }
+            if let ShardEvent::Progress { computed, .. } = event {
+                match fault {
+                    Some(Fault::ExitAfter(n)) if computed >= n => {
+                        emit(format_args!("{PROTOCOL_PREFIX} fault exit-after={n}"));
+                        // The per-record cache flush already persisted every
+                        // computed outcome; dying here loses nothing.
+                        std::process::exit(EXIT_FAULT);
+                    }
+                    Some(Fault::HangAfter(n)) if computed >= n => {
+                        emit(format_args!("{PROTOCOL_PREFIX} fault hang-after={n}"));
+                        // Wedge without exiting: heartbeats stop, the parent's
+                        // stall detector must notice and kill us.
+                        loop {
+                            std::thread::sleep(std::time::Duration::from_secs(3600));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        },
+    );
+    started.store(true, std::sync::atomic::Ordering::Relaxed);
+    let _ = boot.join();
+    match result {
+        Ok(_) => EXIT_OK,
+        Err(CampaignError::Spec(e)) => {
+            eprintln!("rowpress-campaign shard {}: {e}", args.index);
+            EXIT_SPEC
+        }
+        Err(e) => {
+            eprintln!("rowpress-campaign shard {}: {e}", args.index);
+            EXIT_RUN
+        }
+    }
+}

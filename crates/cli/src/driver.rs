@@ -1,0 +1,353 @@
+//! The parent orchestrator: spawn the shard processes, watch their
+//! heartbeats, respawn stragglers, merge and verify the result.
+//!
+//! The parent is deliberately stateless about trial outcomes — all campaign
+//! state lives in the shards' persistent-cache files, so the recovery story
+//! is uniform: whatever killed a shard (crash, OOM, operator, stall
+//! detector), the respawned incarnation preloads its cache and recomputes
+//! nothing. The parent only tracks liveness: a shard that prints no
+//! protocol line for `stall_timeout_ms` is killed and respawned, and a
+//! shard that exceeds `max_respawns` aborts the campaign (exit code 4).
+
+use crate::child::{Fault, PROTOCOL_PREFIX};
+use crate::{parse_number, CliError, EXIT_OK, EXIT_VERIFY};
+use rowpress_core::campaign::{shard_cache_path, shard_output_path, CampaignSpec, MERGED_FILENAME};
+use rowpress_core::engine::{Engine, JsonlReader, JsonlSink, Sink};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Parsed options of the `run` command.
+#[derive(Debug)]
+pub struct RunOptions {
+    spec_path: PathBuf,
+    out_dir: PathBuf,
+    shards: Option<usize>,
+    stall_timeout_ms: Option<u64>,
+    max_respawns: Option<u32>,
+    verify: bool,
+    faults: Vec<(usize, Fault)>,
+}
+
+impl RunOptions {
+    /// Parses `run <SPEC> [OPTIONS]`.
+    pub fn parse(operand: Option<&String>, rest: &[String]) -> Result<RunOptions, CliError> {
+        let spec_path = operand.ok_or_else(|| CliError::usage("run: missing <SPEC> operand"))?;
+        let mut options = RunOptions {
+            spec_path: PathBuf::from(spec_path),
+            out_dir: PathBuf::from("campaign-out"),
+            shards: None,
+            stall_timeout_ms: None,
+            max_respawns: None,
+            verify: false,
+            faults: Vec::new(),
+        };
+        let mut args = rest.iter();
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .cloned()
+                    .ok_or_else(|| CliError::usage(format!("run: {name} needs a value")))
+            };
+            match flag.as_str() {
+                "--out-dir" => options.out_dir = PathBuf::from(value("--out-dir")?),
+                "--shards" => {
+                    options.shards = Some(parse_number(&value("--shards")?, "--shards")?);
+                }
+                "--stall-timeout-ms" => {
+                    options.stall_timeout_ms = Some(parse_number(
+                        &value("--stall-timeout-ms")?,
+                        "--stall-timeout-ms",
+                    )?);
+                }
+                "--max-respawns" => {
+                    options.max_respawns =
+                        Some(parse_number(&value("--max-respawns")?, "--max-respawns")?);
+                }
+                "--verify" => options.verify = true,
+                "--fault" => {
+                    let raw = value("--fault")?;
+                    let (index, fault) = raw.split_once(':').ok_or_else(|| {
+                        CliError::usage(format!("run: malformed --fault `{raw}` (want I:KIND=N)"))
+                    })?;
+                    let index = parse_number(index, "--fault shard index")?;
+                    options.faults.push((index, Fault::parse(fault)?));
+                }
+                other => return Err(CliError::usage(format!("run: unknown flag `{other}`"))),
+            }
+        }
+        Ok(options)
+    }
+}
+
+/// Executes the `run` command end to end: resolve, fan out, watch, merge,
+/// verify. Returns the process exit code.
+pub fn orchestrate(options: RunOptions) -> Result<i32, CliError> {
+    let mut spec = CampaignSpec::from_path(&options.spec_path)?;
+    if let Some(shards) = options.shards {
+        spec.orchestration.shards = shards;
+    }
+    if let Some(timeout) = options.stall_timeout_ms {
+        spec.orchestration.stall_timeout_ms = timeout;
+    }
+    if let Some(budget) = options.max_respawns {
+        spec.orchestration.max_respawns = budget;
+    }
+    spec.validate()?;
+    let plan = spec.plan()?;
+    let of = spec.orchestration.shards.min(plan.len().max(1));
+    // Record the clamp too: campaign.json must document the fan-out that
+    // actually ran, not the requested one.
+    spec.orchestration.shards = of;
+
+    std::fs::create_dir_all(&options.out_dir)?;
+    // Children execute the *resolved* spec (CLI overrides applied), so the
+    // file on disk documents exactly what ran.
+    let resolved = options.out_dir.join("campaign.json");
+    std::fs::write(&resolved, spec.canonical_json() + "\n")?;
+    println!(
+        "campaign {:?}: {} trials across {of} shard(s), out-dir {}",
+        spec.name,
+        plan.len(),
+        options.out_dir.display()
+    );
+
+    let orchestrator = Orchestrator {
+        exe: std::env::current_exe()?,
+        spec_file: resolved,
+        out_dir: options.out_dir.clone(),
+        of,
+        stall: Duration::from_millis(spec.orchestration.stall_timeout_ms),
+        max_respawns: spec.orchestration.max_respawns,
+        faults: options.faults.iter().copied().collect(),
+    };
+    orchestrator.supervise()?;
+
+    let merged_path = options.out_dir.join(MERGED_FILENAME);
+    let merged = merge_shards(&options.out_dir, of, &merged_path)?;
+    println!(
+        "campaign: merged {merged} records into {}",
+        merged_path.display()
+    );
+
+    if options.verify {
+        let expected = single_process_bytes(&spec)?;
+        let got = std::fs::read(&merged_path)?;
+        if got != expected {
+            return Err(CliError {
+                code: EXIT_VERIFY,
+                message: format!(
+                    "verification FAILED: merged stream ({} bytes) differs from \
+                     the single-process stream ({} bytes)",
+                    got.len(),
+                    expected.len()
+                ),
+            });
+        }
+        println!(
+            "campaign: verified byte-identical to a single-process run ({} bytes)",
+            got.len()
+        );
+    }
+    Ok(EXIT_OK)
+}
+
+/// One live shard process and the channel back to its watcher state.
+struct RunningShard {
+    index: usize,
+    child: Child,
+    /// Updated by the reader thread on every stdout line.
+    beat: Arc<Mutex<Instant>>,
+    /// Set when the protocol `done` line was seen.
+    done: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+    respawns: u32,
+    finished: bool,
+}
+
+struct Orchestrator {
+    exe: PathBuf,
+    spec_file: PathBuf,
+    out_dir: PathBuf,
+    of: usize,
+    stall: Duration,
+    max_respawns: u32,
+    faults: HashMap<usize, Fault>,
+}
+
+impl Orchestrator {
+    /// Spawns every shard and babysits them to completion (or aborts the
+    /// campaign when one exhausts its respawn budget).
+    fn supervise(&self) -> Result<(), CliError> {
+        let mut shards = Vec::with_capacity(self.of);
+        for index in 0..self.of {
+            shards.push(self.spawn(index, 0)?);
+        }
+        let result = self.watch(&mut shards);
+        if result.is_err() {
+            for shard in &mut shards {
+                if !shard.finished {
+                    let _ = shard.child.kill();
+                    let _ = shard.child.wait();
+                }
+            }
+        }
+        result
+    }
+
+    fn watch(&self, shards: &mut [RunningShard]) -> Result<(), CliError> {
+        loop {
+            let mut live = 0usize;
+            for shard in shards.iter_mut() {
+                if shard.finished {
+                    continue;
+                }
+                live += 1;
+                match shard.child.try_wait().map_err(CliError::from)? {
+                    Some(status) => {
+                        // Drain the rest of the pipe before judging the exit.
+                        if let Some(reader) = shard.reader.take() {
+                            let _ = reader.join();
+                        }
+                        if status.success() && shard.done.load(Ordering::Relaxed) {
+                            shard.finished = true;
+                            println!(
+                                "campaign: shard {} finished ({} respawn(s))",
+                                shard.index, shard.respawns
+                            );
+                        } else {
+                            println!(
+                                "campaign: shard {} died ({status}), respawning",
+                                shard.index
+                            );
+                            self.respawn(shard)?;
+                        }
+                    }
+                    None => {
+                        let quiet = shard.beat.lock().expect("beat lock").elapsed();
+                        if quiet >= self.stall {
+                            println!(
+                                "campaign: shard {} stalled ({} ms without a heartbeat), \
+                                 killing and respawning",
+                                shard.index,
+                                quiet.as_millis()
+                            );
+                            let _ = shard.child.kill();
+                            let _ = shard.child.wait();
+                            if let Some(reader) = shard.reader.take() {
+                                let _ = reader.join();
+                            }
+                            self.respawn(shard)?;
+                        }
+                    }
+                }
+            }
+            if live == 0 {
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    fn respawn(&self, shard: &mut RunningShard) -> Result<(), CliError> {
+        let used = shard.respawns + 1;
+        if used > self.max_respawns {
+            return Err(CliError::run(format!(
+                "shard {} exceeded its respawn budget ({} allowed); aborting the campaign \
+                 (completed trials are preserved in {})",
+                shard.index,
+                self.max_respawns,
+                shard_cache_path(&self.out_dir, shard.index).display()
+            )));
+        }
+        *shard = self.spawn(shard.index, used)?;
+        Ok(())
+    }
+
+    /// Spawns one shard child with piped stdout and a reader thread that
+    /// relays its lines (prefixed) and timestamps every one as a heartbeat.
+    fn spawn(&self, index: usize, respawns: u32) -> Result<RunningShard, CliError> {
+        let mut command = Command::new(&self.exe);
+        command
+            .arg("__shard")
+            .arg(&self.spec_file)
+            .args(["--index", &index.to_string()])
+            .args(["--of", &self.of.to_string()])
+            .arg("--cache")
+            .arg(shard_cache_path(&self.out_dir, index))
+            .arg("--out")
+            .arg(shard_output_path(&self.out_dir, index))
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        if let Some(fault) = self.faults.get(&index) {
+            command.args(["--fault", &fault.to_arg()]);
+        }
+        let mut child = command
+            .spawn()
+            .map_err(|e| CliError::run(format!("failed to spawn shard {index}: {e}")))?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let beat = Arc::new(Mutex::new(Instant::now()));
+        let done = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let beat = Arc::clone(&beat);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let done_prefix = format!("{PROTOCOL_PREFIX} done");
+                for line in BufReader::new(stdout).lines() {
+                    let Ok(line) = line else { break };
+                    *beat.lock().expect("beat lock") = Instant::now();
+                    if line.starts_with(&done_prefix) {
+                        done.store(true, Ordering::Relaxed);
+                    }
+                    // Relay with a stable prefix: the parent's stdout is the
+                    // campaign log (and what the recovery tests parse).
+                    let mut out = std::io::stdout().lock();
+                    let _ = writeln!(out, "[shard {index}] {line}");
+                    let _ = out.flush();
+                }
+            })
+        };
+        Ok(RunningShard {
+            index,
+            child,
+            beat,
+            done,
+            reader: Some(reader),
+            respawns,
+            finished: false,
+        })
+    }
+}
+
+/// Merge-sorts the shard output files into the plan-ordered merged stream.
+fn merge_shards(out_dir: &Path, of: usize, merged_path: &Path) -> Result<usize, CliError> {
+    let readers = (0..of)
+        .map(|i| JsonlReader::from_path(shard_output_path(out_dir, i)))
+        .collect::<std::io::Result<Vec<_>>>()?;
+    let records = JsonlReader::merge_shards(readers)?;
+    let count = records.len();
+    let mut sink = JsonlSink::new(BufWriter::new(File::create(merged_path)?));
+    for record in records {
+        sink.accept(record)?;
+    }
+    sink.finish()?;
+    Ok(count)
+}
+
+/// The single-process reference stream `--verify` compares against.
+fn single_process_bytes(spec: &CampaignSpec) -> Result<Vec<u8>, CliError> {
+    let cfg = spec.config();
+    let plan = spec.plan()?;
+    let mut sink = JsonlSink::new(Vec::new());
+    Engine::new(&cfg)
+        .run(&plan, &mut sink)
+        .map_err(|e| CliError::run(e.to_string()))?;
+    Ok(sink.into_inner())
+}

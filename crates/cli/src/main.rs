@@ -1,0 +1,210 @@
+//! `rowpress-campaign` — the multi-process campaign orchestrator.
+//!
+//! The paper's 164-chip characterization was farmed out across many
+//! DRAM-Bender boards by a cluster scheduler. This binary is that scheduler
+//! for the reproduction: the parent process resolves a TOML/JSON
+//! [`CampaignSpec`] to a trial [`Plan`](rowpress_core::engine::Plan),
+//! spawns one child shard process of itself per
+//! [`Plan::shard`](rowpress_core::engine::Plan::shard), watches
+//! heartbeat/progress lines on each child's stdout (a dead or stalled shard
+//! is killed and respawned, resuming from its persistent cache so no
+//! measured point is recomputed), then merge-sorts the shard outputs into a
+//! stream byte-identical to a single-process run.
+//!
+//! See `README.md` ("Operating a campaign") for the spec format, the
+//! output-file layout, and the straggler policy; `ARCHITECTURE.md` places
+//! the orchestrator in the system's layer diagram.
+
+use rowpress_core::campaign::{CampaignSpec, SpecError};
+use std::fmt;
+use std::path::PathBuf;
+
+mod child;
+mod driver;
+
+/// Exit code: success.
+pub const EXIT_OK: i32 = 0;
+/// Exit code: bad command line (unknown flag, missing operand).
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code: the spec failed to parse, validate, or resolve to a plan.
+pub const EXIT_SPEC: i32 = 3;
+/// Exit code: execution failed (I/O, engine error, or a shard exhausted its
+/// respawn budget).
+pub const EXIT_RUN: i32 = 4;
+/// Exit code: `--verify` found the merged stream differs from the
+/// single-process stream.
+pub const EXIT_VERIFY: i32 = 5;
+/// Exit code a child uses when an injected test fault fires (see
+/// `--fault`); the parent treats it like any other crash and respawns.
+pub const EXIT_FAULT: i32 = 9;
+
+const USAGE: &str = "\
+rowpress-campaign — multi-process RowPress characterization campaigns
+
+USAGE:
+    rowpress-campaign run <SPEC> [OPTIONS]   execute a campaign spec
+    rowpress-campaign spec <SPEC>            parse a spec, print canonical JSON
+    rowpress-campaign plan <SPEC>            print the plan/shard breakdown
+    rowpress-campaign help | --help          this help
+
+RUN OPTIONS:
+    --out-dir <DIR>           output directory [default: campaign-out]
+    --shards <N>              override the spec's shard count
+    --stall-timeout-ms <MS>   override the spec's straggler timeout
+    --max-respawns <N>        override the spec's per-shard respawn budget
+    --verify                  re-run single-process and require the merged
+                              stream to be byte-identical
+    --fault <I:KIND=N>        (testing) inject a fault into shard I:
+                              exit-after=N kills it after N computed trials,
+                              hang-after=N wedges it after N computed trials
+
+FILES (under --out-dir):
+    campaign.json             the resolved spec the shards execute
+    shard-NNNN.jsonl          shard N's plan-ordered record stream
+    shard-NNNN.cache.jsonl    shard N's persistent trial cache (resume state)
+    merged.jsonl              the merged stream, byte-identical to one process
+
+EXIT CODES:
+    0  success        2  usage error      3  invalid spec
+    4  execution failure (incl. a shard exhausting its respawn budget)
+    5  --verify mismatch";
+
+/// A fatal CLI error carrying its exit code.
+#[derive(Debug)]
+struct CliError {
+    code: i32,
+    message: String,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            code: EXIT_USAGE,
+            message: message.into(),
+        }
+    }
+
+    fn run(message: impl Into<String>) -> Self {
+        CliError {
+            code: EXIT_RUN,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        CliError {
+            code: EXIT_SPEC,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::run(e.to_string())
+    }
+}
+
+/// Parses a numeric flag value, shared by every subcommand's flag parser.
+fn parse_number<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, CliError> {
+    text.parse()
+        .map_err(|_| CliError::usage(format!("{flag}: `{text}` is not a non-negative integer")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match dispatch(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("rowpress-campaign: {e}");
+            if e.code == EXIT_USAGE {
+                eprintln!("\n{USAGE}");
+            }
+            e.code
+        }
+    };
+    std::process::exit(code);
+}
+
+fn dispatch(args: &[String]) -> Result<i32, CliError> {
+    let command = args.first().map(String::as_str);
+    let operand = args.get(1);
+    let rest = args.get(2..).unwrap_or(&[]);
+    match command {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(EXIT_OK)
+        }
+        Some("spec") => {
+            let spec = load_spec(operand, rest)?;
+            println!("{}", spec.canonical_json());
+            Ok(EXIT_OK)
+        }
+        Some("plan") => {
+            let spec = load_spec(operand, rest)?;
+            print_plan_summary(&spec)?;
+            Ok(EXIT_OK)
+        }
+        Some("run") => {
+            let options = driver::RunOptions::parse(operand, rest)?;
+            driver::orchestrate(options)
+        }
+        Some("__shard") => {
+            let args = child::ShardArgs::parse(operand, rest)?;
+            Ok(child::run(&args))
+        }
+        Some(other) => Err(CliError::usage(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Loads the spec operand shared by `spec` and `plan` (which accept no
+/// further flags).
+fn load_spec(operand: Option<&String>, rest: &[String]) -> Result<CampaignSpec, CliError> {
+    if let Some(extra) = rest.first() {
+        return Err(CliError::usage(format!("unexpected argument `{extra}`")));
+    }
+    let path = operand.ok_or_else(|| CliError::usage("missing <SPEC> operand"))?;
+    Ok(CampaignSpec::from_path(PathBuf::from(path))?)
+}
+
+/// `plan`: a dry-run summary an operator reads before committing hardware —
+/// trial counts per shard and the cost-model share each shard carries.
+fn print_plan_summary(spec: &CampaignSpec) -> Result<(), CliError> {
+    use rowpress_core::engine::CostModel;
+    let cfg = spec.config();
+    let plan = spec.plan()?;
+    // Same clamp as `run`: the preview must show the fan-out that would
+    // actually execute.
+    let shards = spec.orchestration.shards.min(plan.len().max(1));
+    let model = CostModel::default();
+    let total_cost: u128 = plan
+        .trials()
+        .iter()
+        .map(|t| model.estimate(&cfg, t))
+        .sum::<u128>()
+        .max(1);
+    println!(
+        "campaign {:?}: {} trials, {} shard(s)",
+        spec.name,
+        plan.len(),
+        shards
+    );
+    for index in 0..shards {
+        let shard = plan.shard(index, shards);
+        let cost: u128 = shard.trials().iter().map(|t| model.estimate(&cfg, t)).sum();
+        println!(
+            "  shard {index}: {} trials, {}% of modeled device time",
+            shard.len(),
+            cost * 100 / total_cost
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,350 @@
+//! End-to-end tests of the `rowpress-campaign` orchestrator: real child
+//! processes, real kills, real resumes.
+//!
+//! The binary under test is the one cargo built for this crate
+//! (`CARGO_BIN_EXE_rowpress-campaign`). The quick-grid test pins the merged
+//! stream to the same checksum `tests/golden.rs` pins for the
+//! single-process engine, which closes the loop: spec file → N processes →
+//! kill/respawn → merge must be byte-identical to one process computing the
+//! plan in order.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_rowpress-campaign");
+
+/// The shipped example spec (also exercised by ci.sh), resolved relative to
+/// this crate.
+fn example_spec() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/quick_acmin.toml")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "rowpress-orchestrator-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn rowpress-campaign")
+}
+
+fn stdout_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// Order-dependent checksum of a byte stream — the exact function and
+/// constants of `tests/golden.rs`, so the orchestrator is pinned to the
+/// same pre-kernel engine bytes as the single-process golden test.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut words: Vec<u64> = bytes
+        .chunks(8)
+        .map(|chunk| {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            u64::from_le_bytes(word)
+        })
+        .collect();
+    words.push(bytes.len() as u64);
+    rowpress_dram::math::hash_words(&words)
+}
+
+/// Keep in sync with `tests/golden.rs` (update both in the same commit,
+/// with the reason).
+const QUICK_ACMIN_CHECKSUM: u64 = 0xAFD9_38D1_B694_2477;
+const QUICK_ACMIN_BYTES: usize = 52_397;
+
+/// A small campaign over the tiny test-scale config for the fault tests:
+/// 2 modules x 3 rows x 2 measurements = 12 trials.
+const SMALL_SPEC: &str = r#"
+name = "small"
+[config]
+preset = "test"
+[grid]
+modules = ["S3", "S0"]
+[[measurement]]
+kind = "ac_min"
+t_aggon_ns = [36.0, 30000000.0]
+[orchestration]
+shards = 2
+"#;
+
+fn write_small_spec(dir: &Path) -> PathBuf {
+    let path = dir.join("small.toml");
+    std::fs::write(&path, SMALL_SPEC).unwrap();
+    path
+}
+
+#[test]
+fn two_shard_run_matches_the_single_process_golden_checksum() {
+    let dir = temp_dir("golden");
+    let spec = example_spec();
+    let output = run(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--verify",
+    ]);
+    assert!(
+        output.status.success(),
+        "run failed: {}\n{}",
+        stdout_of(&output),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let merged = std::fs::read(dir.join("merged.jsonl")).unwrap();
+    assert_eq!(merged.len(), QUICK_ACMIN_BYTES, "stream length drifted");
+    assert_eq!(
+        checksum(&merged),
+        QUICK_ACMIN_CHECKSUM,
+        "the multi-process merged stream diverged from the golden engine bytes"
+    );
+    // The per-shard streams and caches exist where README documents them.
+    for index in 0..2 {
+        assert!(dir.join(format!("shard-000{index}.jsonl")).exists());
+        assert!(dir.join(format!("shard-000{index}.cache.jsonl")).exists());
+    }
+    assert!(dir.join("campaign.json").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Per-incarnation (preloaded, final computed) pairs of one shard, parsed
+/// from the parent's relayed `[shard N]` protocol lines.
+fn incarnations(log: &str, shard: usize) -> Vec<(u64, u64)> {
+    let prefix = format!("[shard {shard}] ##rowpress-shard ");
+    let field = |line: &str, name: &str| -> Option<u64> {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{name}=")))
+            .and_then(|v| v.parse().ok())
+    };
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for line in log.lines() {
+        let Some(body) = line.strip_prefix(&prefix) else {
+            continue;
+        };
+        if body.starts_with("start") {
+            runs.push((field(body, "preloaded").unwrap(), 0));
+        } else if body.starts_with("progress") || body.starts_with("done") {
+            let computed = field(body, "computed").unwrap();
+            let last = runs.last_mut().expect("progress before start");
+            last.1 = last.1.max(computed);
+        }
+    }
+    runs
+}
+
+#[test]
+fn killed_shard_resumes_from_its_cache_without_recomputation() {
+    let dir = temp_dir("kill");
+    let spec = example_spec();
+    // Shard 0 crashes (exit 9) every time it has computed 12 fresh trials;
+    // the parent must respawn it until the cache covers all 36.
+    let output = run(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--verify",
+        "--fault",
+        "0:exit-after=12",
+        "--max-respawns",
+        "5",
+    ]);
+    let log = stdout_of(&output);
+    assert!(
+        output.status.success(),
+        "run failed: {log}\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let merged = std::fs::read(dir.join("merged.jsonl")).unwrap();
+    assert_eq!(checksum(&merged), QUICK_ACMIN_CHECKSUM);
+
+    let runs = incarnations(&log, 0);
+    assert!(
+        runs.len() >= 2,
+        "the fault must have killed shard 0 at least once:\n{log}"
+    );
+    // Resume proof: each incarnation preloads exactly what its predecessors
+    // computed — and across all incarnations each of the 36 trials was
+    // computed exactly once.
+    let mut persisted = 0u64;
+    for &(preloaded, computed) in &runs {
+        assert_eq!(
+            preloaded, persisted,
+            "an incarnation must preload exactly the prior computations:\n{log}"
+        );
+        persisted += computed;
+    }
+    assert_eq!(
+        persisted, 36,
+        "computed-trial total must equal the shard's plan, no recomputation:\n{log}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stalled_shard_is_killed_and_respawned() {
+    let dir = temp_dir("stall");
+    let spec = write_small_spec(&dir);
+    // Shard 1 stops heartbeating after 2 computed trials; the parent's
+    // stall detector must kill and respawn it until the cache is complete.
+    let output = run(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--verify",
+        "--fault",
+        "1:hang-after=2",
+        "--stall-timeout-ms",
+        "1200",
+        "--max-respawns",
+        "5",
+    ]);
+    let log = stdout_of(&output);
+    assert!(
+        output.status.success(),
+        "run failed: {log}\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        log.contains("stalled"),
+        "the stall detector must have fired:\n{log}"
+    );
+    let runs = incarnations(&log, 1);
+    assert!(
+        runs.len() >= 2,
+        "the hang must have forced a respawn:\n{log}"
+    );
+    let total: u64 = runs.iter().map(|&(_, computed)| computed).sum();
+    assert_eq!(
+        total, 6,
+        "each of the shard's 6 trials computed once:\n{log}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exhausted_respawn_budget_aborts_with_exit_code_4() {
+    let dir = temp_dir("budget");
+    let spec = write_small_spec(&dir);
+    let output = run(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--fault",
+        "0:exit-after=1",
+        "--max-respawns",
+        "0",
+    ]);
+    assert_eq!(output.status.code(), Some(4), "{}", stdout_of(&output));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("respawn budget"),
+        "abort must name the budget: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn canonical_spec_output_is_a_fixed_point() {
+    let dir = temp_dir("roundtrip");
+    let first = run(&["spec", example_spec().to_str().unwrap()]);
+    assert!(first.status.success());
+    let canonical = dir.join("canonical.json");
+    std::fs::write(&canonical, &first.stdout).unwrap();
+    let second = run(&["spec", canonical.to_str().unwrap()]);
+    assert!(second.status.success());
+    assert_eq!(
+        first.stdout, second.stdout,
+        "spec canonicalization must be a fixed point"
+    );
+    // And the canonical form is real JSON.
+    let parsed: serde_json::Error = match serde_json::parse(&String::from_utf8_lossy(&first.stdout))
+    {
+        Ok(_) => return std::fs::remove_dir_all(&dir).map(drop).unwrap_or(()),
+        Err(e) => e,
+    };
+    panic!("canonical spec is not valid JSON: {parsed}");
+}
+
+#[test]
+fn exit_codes_match_the_documented_protocol() {
+    // Usage error: 2.
+    assert_eq!(run(&["bogus-command"]).status.code(), Some(2));
+    assert_eq!(run(&["run"]).status.code(), Some(2));
+    // Spec errors: 3.
+    assert_eq!(
+        run(&["run", "/nonexistent/campaign.toml"]).status.code(),
+        Some(3)
+    );
+    let dir = temp_dir("exitcodes");
+    let bad = dir.join("bad.toml");
+    std::fs::write(&bad, "[grid]\nmodules = [\"NOT-A-MODULE\"]\n").unwrap();
+    assert_eq!(run(&["spec", bad.to_str().unwrap()]).status.code(), Some(3));
+    // Help: 0, and it documents the protocol.
+    let help = run(&["--help"]);
+    assert!(help.status.success());
+    let text = stdout_of(&help);
+    for needle in ["EXIT CODES", "merged.jsonl", "shard-NNNN.cache.jsonl"] {
+        assert!(text.contains(needle), "--help must document {needle}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_shard_count_is_clamped_and_recorded() {
+    let dir = temp_dir("clamp");
+    let spec = write_small_spec(&dir);
+    // 99 shards over a 12-trial plan must clamp to 12 processes — and
+    // campaign.json must document the clamped fan-out that actually ran.
+    let output = run(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--shards",
+        "99",
+        "--verify",
+    ]);
+    assert!(
+        output.status.success(),
+        "run failed: {}\n{}",
+        stdout_of(&output),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let resolved = std::fs::read_to_string(dir.join("campaign.json")).unwrap();
+    assert!(
+        resolved.contains("\"shards\":12"),
+        "campaign.json must record the clamped shard count: {resolved}"
+    );
+    assert!(dir.join("shard-0011.jsonl").exists());
+    assert!(!dir.join("shard-0012.jsonl").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plan_subcommand_previews_the_shard_breakdown() {
+    let output = run(&["plan", example_spec().to_str().unwrap()]);
+    assert!(output.status.success());
+    let text = stdout_of(&output);
+    assert!(text.contains("72 trials"), "{text}");
+    assert!(
+        text.contains("shard 0") && text.contains("shard 1"),
+        "{text}"
+    );
+}

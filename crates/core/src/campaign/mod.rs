@@ -9,6 +9,22 @@
 //! paper's artifact does the same fan-out with a Slurm cluster —
 //! [`run_sharded`] models exactly that: one engine per [`Plan::shard`], the
 //! partial streams merge-sorted back into plan order.
+//!
+//! The *multi-process* version of the fan-out lives in the submodules:
+//! [`spec`] defines the declarative [`CampaignSpec`] (TOML/JSON) that every
+//! shard process resolves to the identical plan, and [`shard`] provides
+//! [`run_shard`], the crash-safe per-shard entry point the
+//! `rowpress-campaign` orchestrator drives (persistent cache flushed per
+//! record, progress events as heartbeats).
+
+pub mod shard;
+pub mod spec;
+
+pub use shard::{
+    run_shard, shard_cache_path, shard_output_path, CampaignError, ShardEvent, ShardRun,
+    MERGED_FILENAME,
+};
+pub use spec::{CampaignSpec, ConfigPreset, Orchestration, SpecError};
 
 use crate::engine::{Engine, Plan, TrialRecord};
 use rowpress_dram::{DramResult, ModuleSpec};

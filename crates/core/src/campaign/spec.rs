@@ -1,0 +1,1182 @@
+//! Campaign specifications: the declarative input of the
+//! `rowpress-campaign` orchestrator.
+//!
+//! A [`CampaignSpec`] names everything a multi-process campaign needs — a
+//! configuration preset with overrides, the grid axes (modules,
+//! temperatures, pattern families, data patterns), the measurement list and
+//! the [`Orchestration`] policy (shard count, straggler timeout, respawn
+//! budget) — and resolves to exactly one [`Plan`], so every shard process
+//! of a campaign derives the same trial list from the same spec file.
+//!
+//! Specs parse from JSON or from a TOML subset (tables, array-of-tables
+//! `[[measurement]]` entries, strings, numbers, booleans and flat arrays —
+//! everything the spec grammar needs), and re-emit as *canonical JSON*:
+//! parsing the canonical form reproduces it byte-for-byte, which is the
+//! round-trip property `ci.sh` smoke-checks through the CLI.
+//!
+//! # Example
+//!
+//! ```
+//! use rowpress_core::campaign::CampaignSpec;
+//!
+//! let spec = CampaignSpec::parse(
+//!     r#"
+//!     name = "smoke"
+//!     [config]
+//!     preset = "test"
+//!     [grid]
+//!     modules = ["S3"]
+//!     [[measurement]]
+//!     kind = "ac_min"
+//!     t_aggon_ns = [36.0, 30000000.0]
+//!     "#,
+//! )
+//! .unwrap();
+//! assert_eq!(spec.plan().unwrap().len(), 2 * spec.config().tested_sites().len());
+//! // Canonical JSON is a fixed point: parse(emit(spec)) emits the same text.
+//! let canonical = spec.canonical_json();
+//! assert_eq!(CampaignSpec::parse(&canonical).unwrap().canonical_json(), canonical);
+//! ```
+
+use crate::config::ExperimentConfig;
+use crate::engine::{lookup_module, Measurement, Plan};
+use crate::patterns::PatternKind;
+use rowpress_dram::{DataPattern, ModuleSpec, Time};
+use serde::Value;
+use std::fmt;
+use std::path::Path;
+
+/// A campaign spec failed to parse, validate, or resolve to a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>) -> Self {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "campaign spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The named [`ExperimentConfig`] a spec starts from (before field
+/// overrides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConfigPreset {
+    /// [`ExperimentConfig::quick`]: the reduced-footprint bench scale.
+    #[default]
+    Quick,
+    /// [`ExperimentConfig::test_scale`]: the tiny unit-test scale.
+    Test,
+    /// [`ExperimentConfig::paper_scale`]: the paper's full 3072-row scale.
+    Paper,
+}
+
+impl ConfigPreset {
+    fn parse(name: &str) -> Result<Self, SpecError> {
+        match name {
+            "quick" => Ok(ConfigPreset::Quick),
+            "test" => Ok(ConfigPreset::Test),
+            "paper" => Ok(ConfigPreset::Paper),
+            other => Err(SpecError::new(format!(
+                "unknown config preset {other:?} (expected \"quick\", \"test\" or \"paper\")"
+            ))),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            ConfigPreset::Quick => "quick",
+            ConfigPreset::Test => "test",
+            ConfigPreset::Paper => "paper",
+        }
+    }
+
+    fn config(self) -> ExperimentConfig {
+        match self {
+            ConfigPreset::Quick => ExperimentConfig::quick(),
+            ConfigPreset::Test => ExperimentConfig::test_scale(),
+            ConfigPreset::Paper => ExperimentConfig::paper_scale(),
+        }
+    }
+}
+
+/// How the orchestrator fans a campaign out across shard processes and when
+/// it declares one a straggler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Orchestration {
+    /// Number of shard processes ([`Plan::shard`] count).
+    pub shards: usize,
+    /// A shard that prints no progress line for this long is killed and
+    /// respawned (it resumes from its persistent cache).
+    pub stall_timeout_ms: u64,
+    /// How many times one shard may be respawned (after a crash or a stall)
+    /// before the campaign is aborted.
+    pub max_respawns: u32,
+}
+
+impl Default for Orchestration {
+    fn default() -> Self {
+        Orchestration {
+            shards: 2,
+            stall_timeout_ms: 30_000,
+            max_respawns: 3,
+        }
+    }
+}
+
+/// A parsed, validated campaign specification. See the [module
+/// docs](self) for the file format and [`CampaignSpec::parse`] for how to
+/// obtain one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (used in logs and output-file headers).
+    pub name: String,
+    /// The configuration preset the campaign runs under.
+    pub preset: ConfigPreset,
+    /// Override of [`ExperimentConfig::rows_per_module`], if any.
+    pub rows_per_module: Option<u32>,
+    /// Override of [`ExperimentConfig::repeats`], if any.
+    pub repeats: Option<u32>,
+    /// Module ids of the grid's module axis (resolved against the inventory
+    /// by [`CampaignSpec::plan`]).
+    pub modules: Vec<String>,
+    /// Temperatures axis (defaults to the config's temperature).
+    pub temperatures: Vec<f64>,
+    /// Pattern-family axis (defaults to single-sided).
+    pub kinds: Vec<PatternKind>,
+    /// Data-pattern axis (defaults to the config's pattern).
+    pub data_patterns: Vec<DataPattern>,
+    /// The measurement axis, already expanded (one entry per grid point).
+    pub measurements: Vec<Measurement>,
+    /// Fan-out and straggler policy.
+    pub orchestration: Orchestration,
+}
+
+impl CampaignSpec {
+    /// Parses a spec from JSON or the TOML subset, sniffing the format: text
+    /// whose first non-whitespace byte is `{` is JSON, anything else TOML.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] describing the first syntax error, unknown
+    /// key/value, or failed validation.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        if text.trim_start().starts_with('{') {
+            Self::from_json_str(text)
+        } else {
+            Self::from_toml_str(text)
+        }
+    }
+
+    /// Reads and parses a spec file ([`CampaignSpec::parse`] on its
+    /// contents).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] when the file cannot be read or does not
+    /// parse.
+    pub fn from_path(path: impl AsRef<Path>) -> Result<Self, SpecError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError::new(format!("{}: {e}", path.display())))?;
+        Self::parse(&text).map_err(|e| SpecError::new(format!("{}: {}", path.display(), e.message)))
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] on malformed JSON or an invalid spec.
+    pub fn from_json_str(text: &str) -> Result<Self, SpecError> {
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| SpecError::new(format!("invalid JSON: {e}")))?;
+        Self::from_value(&value)
+    }
+
+    /// Parses a spec from the TOML subset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] on a syntax error or an invalid spec.
+    pub fn from_toml_str(text: &str) -> Result<Self, SpecError> {
+        Self::from_value(&toml::parse(text)?)
+    }
+
+    /// Builds a spec from a parsed [`Value`] tree (shared by the JSON and
+    /// TOML front ends).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the offending key on any shape or
+    /// vocabulary mismatch.
+    pub fn from_value(root: &Value) -> Result<Self, SpecError> {
+        let root = as_map(root, "spec root")?;
+        known_keys(
+            root,
+            &["name", "config", "grid", "measurement", "orchestration"],
+            "spec root",
+        )?;
+
+        let name = match find(root, "name") {
+            Some(v) => as_str(v, "name")?.to_string(),
+            None => "campaign".to_string(),
+        };
+
+        let (preset, rows_per_module, repeats) = match find(root, "config") {
+            Some(v) => {
+                let config = as_map(v, "config")?;
+                known_keys(config, &["preset", "rows_per_module", "repeats"], "config")?;
+                let preset = match find(config, "preset") {
+                    Some(p) => ConfigPreset::parse(as_str(p, "config.preset")?)?,
+                    None => ConfigPreset::default(),
+                };
+                let rows = find(config, "rows_per_module")
+                    .map(|v| as_u32(v, "config.rows_per_module"))
+                    .transpose()?;
+                let repeats = find(config, "repeats")
+                    .map(|v| as_u32(v, "config.repeats"))
+                    .transpose()?;
+                (preset, rows, repeats)
+            }
+            None => (ConfigPreset::default(), None, None),
+        };
+
+        let base = {
+            let mut cfg = preset.config();
+            if let Some(rows) = rows_per_module {
+                cfg.rows_per_module = rows;
+            }
+            if let Some(repeats) = repeats {
+                cfg.repeats = repeats;
+            }
+            cfg
+        };
+
+        let grid = match find(root, "grid") {
+            Some(v) => as_map(v, "grid")?,
+            None => return Err(SpecError::new("missing [grid] table")),
+        };
+        known_keys(
+            grid,
+            &["modules", "temperatures", "patterns", "data_patterns"],
+            "grid",
+        )?;
+        let modules = match find(grid, "modules") {
+            Some(v) => as_seq(v, "grid.modules")?
+                .iter()
+                .map(|m| as_str(m, "grid.modules").map(str::to_string))
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        let temperatures = match find(grid, "temperatures") {
+            Some(v) => as_seq(v, "grid.temperatures")?
+                .iter()
+                .map(|t| as_f64(t, "grid.temperatures"))
+                .collect::<Result<Vec<_>, _>>()?,
+            None => vec![base.temperature_c],
+        };
+        let kinds = match find(grid, "patterns") {
+            Some(v) => as_seq(v, "grid.patterns")?
+                .iter()
+                .map(|k| parse_kind(as_str(k, "grid.patterns")?))
+                .collect::<Result<Vec<_>, _>>()?,
+            None => vec![PatternKind::SingleSided],
+        };
+        let data_patterns = match find(grid, "data_patterns") {
+            Some(v) => as_seq(v, "grid.data_patterns")?
+                .iter()
+                .map(|p| parse_data_pattern(as_str(p, "grid.data_patterns")?))
+                .collect::<Result<Vec<_>, _>>()?,
+            None => vec![base.data_pattern],
+        };
+
+        let measurements = match find(root, "measurement") {
+            Some(v) => as_seq(v, "measurement")?
+                .iter()
+                .map(parse_measurement)
+                .collect::<Result<Vec<Vec<_>>, _>>()?
+                .into_iter()
+                .flatten()
+                .collect(),
+            None => Vec::new(),
+        };
+
+        let orchestration = match find(root, "orchestration") {
+            Some(v) => {
+                let table = as_map(v, "orchestration")?;
+                known_keys(
+                    table,
+                    &["shards", "stall_timeout_ms", "max_respawns"],
+                    "orchestration",
+                )?;
+                let defaults = Orchestration::default();
+                Orchestration {
+                    shards: match find(table, "shards") {
+                        Some(s) => as_u32(s, "orchestration.shards")? as usize,
+                        None => defaults.shards,
+                    },
+                    stall_timeout_ms: match find(table, "stall_timeout_ms") {
+                        Some(s) => as_u64(s, "orchestration.stall_timeout_ms")?,
+                        None => defaults.stall_timeout_ms,
+                    },
+                    max_respawns: match find(table, "max_respawns") {
+                        Some(s) => as_u32(s, "orchestration.max_respawns")?,
+                        None => defaults.max_respawns,
+                    },
+                }
+            }
+            None => Orchestration::default(),
+        };
+
+        let spec = CampaignSpec {
+            name,
+            preset,
+            rows_per_module,
+            repeats,
+            modules,
+            temperatures,
+            kinds,
+            data_patterns,
+            measurements,
+            orchestration,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks the constraints a runnable campaign needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.modules.is_empty() {
+            return Err(SpecError::new("grid.modules must name at least one module"));
+        }
+        for id in &self.modules {
+            lookup_module(id).map_err(|e| SpecError::new(e.to_string()))?;
+        }
+        if self.measurements.is_empty() {
+            return Err(SpecError::new(
+                "at least one [[measurement]] entry is required",
+            ));
+        }
+        if self.orchestration.shards == 0 {
+            return Err(SpecError::new("orchestration.shards must be positive"));
+        }
+        if self.orchestration.stall_timeout_ms == 0 {
+            return Err(SpecError::new(
+                "orchestration.stall_timeout_ms must be positive",
+            ));
+        }
+        for m in &self.measurements {
+            if let Measurement::OnOff { on_fraction, .. } = m {
+                if !(0.0..=1.0).contains(on_fraction) {
+                    return Err(SpecError::new(format!(
+                        "on_fraction {on_fraction} outside [0, 1]"
+                    )));
+                }
+            }
+        }
+        self.config().validate().map_err(SpecError::new)
+    }
+
+    /// The [`ExperimentConfig`] the campaign runs under: the preset with the
+    /// spec's overrides applied.
+    pub fn config(&self) -> ExperimentConfig {
+        let mut cfg = self.preset.config();
+        if let Some(rows) = self.rows_per_module {
+            cfg.rows_per_module = rows;
+        }
+        if let Some(repeats) = self.repeats {
+            cfg.repeats = repeats;
+        }
+        cfg
+    }
+
+    /// Resolves the module ids and expands the grid into the campaign's
+    /// [`Plan`]. Every shard process derives the identical plan from the
+    /// identical spec, which is what makes strided shard indices meaningful
+    /// across processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] when a module id is not in the tested-chip
+    /// inventory.
+    pub fn plan(&self) -> Result<Plan, SpecError> {
+        let cfg = self.config();
+        let modules = self
+            .modules
+            .iter()
+            .map(|id| lookup_module(id).map_err(|e| SpecError::new(e.to_string())))
+            .collect::<Result<Vec<ModuleSpec>, _>>()?;
+        Ok(Plan::grid(&cfg)
+            .modules(&modules)
+            .temperatures(&self.temperatures)
+            .kinds(&self.kinds)
+            .data_patterns(&self.data_patterns)
+            .measurements(self.measurements.iter().copied())
+            .build())
+    }
+
+    /// Emits the spec as canonical JSON: every axis explicit, measurements
+    /// fully expanded, keys in a fixed order. Parsing the canonical form
+    /// yields a spec that emits the identical text (the round-trip property
+    /// `ci.sh` checks).
+    pub fn canonical_json(&self) -> String {
+        let mut config = vec![("preset".to_string(), Value::Str(self.preset.name().into()))];
+        if let Some(rows) = self.rows_per_module {
+            config.push(("rows_per_module".to_string(), Value::U64(u64::from(rows))));
+        }
+        if let Some(repeats) = self.repeats {
+            config.push(("repeats".to_string(), Value::U64(u64::from(repeats))));
+        }
+        let grid = vec![
+            (
+                "modules".to_string(),
+                Value::Seq(self.modules.iter().map(|m| Value::Str(m.clone())).collect()),
+            ),
+            (
+                "temperatures".to_string(),
+                Value::Seq(self.temperatures.iter().map(|&t| Value::F64(t)).collect()),
+            ),
+            (
+                "patterns".to_string(),
+                Value::Seq(
+                    self.kinds
+                        .iter()
+                        .map(|k| Value::Str(kind_name(*k).into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "data_patterns".to_string(),
+                Value::Seq(
+                    self.data_patterns
+                        .iter()
+                        .map(|p| Value::Str(data_pattern_name(*p).into()))
+                        .collect(),
+                ),
+            ),
+        ];
+        let measurements = self
+            .measurements
+            .iter()
+            .map(|m| Value::Map(measurement_fields(m)))
+            .collect();
+        let orchestration = vec![
+            (
+                "shards".to_string(),
+                Value::U64(self.orchestration.shards as u64),
+            ),
+            (
+                "stall_timeout_ms".to_string(),
+                Value::U64(self.orchestration.stall_timeout_ms),
+            ),
+            (
+                "max_respawns".to_string(),
+                Value::U64(u64::from(self.orchestration.max_respawns)),
+            ),
+        ];
+        let root = Value::Map(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("config".to_string(), Value::Map(config)),
+            ("grid".to_string(), Value::Map(grid)),
+            ("measurement".to_string(), Value::Seq(measurements)),
+            ("orchestration".to_string(), Value::Map(orchestration)),
+        ]);
+        serde_json::to_string(&root).expect("canonical spec serialization is infallible")
+    }
+}
+
+/// The spec vocabulary for [`PatternKind`].
+fn parse_kind(name: &str) -> Result<PatternKind, SpecError> {
+    match name {
+        "single_sided" => Ok(PatternKind::SingleSided),
+        "double_sided" => Ok(PatternKind::DoubleSided),
+        other => Err(SpecError::new(format!(
+            "unknown pattern family {other:?} (expected \"single_sided\" or \"double_sided\")"
+        ))),
+    }
+}
+
+fn kind_name(kind: PatternKind) -> &'static str {
+    match kind {
+        PatternKind::SingleSided => "single_sided",
+        PatternKind::DoubleSided => "double_sided",
+    }
+}
+
+/// The spec vocabulary for [`DataPattern`] (the paper's six patterns).
+fn parse_data_pattern(name: &str) -> Result<DataPattern, SpecError> {
+    match name {
+        "checkerboard" => Ok(DataPattern::Checkerboard),
+        "checkerboard_i" => Ok(DataPattern::CheckerboardI),
+        "row_stripe" => Ok(DataPattern::RowStripe),
+        "row_stripe_i" => Ok(DataPattern::RowStripeI),
+        "col_stripe" => Ok(DataPattern::ColStripe),
+        "col_stripe_i" => Ok(DataPattern::ColStripeI),
+        other => Err(SpecError::new(format!(
+            "unknown data pattern {other:?} (expected checkerboard[_i], \
+             row_stripe[_i] or col_stripe[_i])"
+        ))),
+    }
+}
+
+fn data_pattern_name(pattern: DataPattern) -> &'static str {
+    match pattern {
+        DataPattern::Checkerboard => "checkerboard",
+        DataPattern::CheckerboardI => "checkerboard_i",
+        DataPattern::RowStripe => "row_stripe",
+        DataPattern::RowStripeI => "row_stripe_i",
+        DataPattern::ColStripe => "col_stripe",
+        DataPattern::ColStripeI => "col_stripe_i",
+    }
+}
+
+/// Parses one `[[measurement]]` entry, expanding scalar-or-array sweep
+/// fields (`t_aggon_ns = [36.0, 7800.0]`) into one [`Measurement`] each.
+fn parse_measurement(entry: &Value) -> Result<Vec<Measurement>, SpecError> {
+    let map = as_map(entry, "measurement")?;
+    let kind = as_str(
+        find(map, "kind")
+            .ok_or_else(|| SpecError::new("measurement entry is missing its `kind`"))?,
+        "measurement.kind",
+    )?;
+    match kind {
+        "ac_min" | "ac_max" => {
+            known_keys(map, &["kind", "t_aggon_ns"], "measurement")?;
+            let times = sweep_f64(map, "t_aggon_ns")?;
+            Ok(times
+                .into_iter()
+                .map(|ns| {
+                    let t_aggon = Time::from_ns(ns);
+                    if kind == "ac_min" {
+                        Measurement::AcMin { t_aggon }
+                    } else {
+                        Measurement::AcMax { t_aggon }
+                    }
+                })
+                .collect())
+        }
+        "t_aggon_min" => {
+            known_keys(map, &["kind", "ac"], "measurement")?;
+            let acs = sweep_u64(map, "ac")?;
+            Ok(acs
+                .into_iter()
+                .map(|ac| Measurement::TAggOnMin { ac })
+                .collect())
+        }
+        "on_off" => {
+            known_keys(map, &["kind", "delta_a2a_ns", "on_fraction"], "measurement")?;
+            let deltas = sweep_f64(map, "delta_a2a_ns")?;
+            let fractions = sweep_f64(map, "on_fraction")?;
+            let mut out = Vec::with_capacity(deltas.len() * fractions.len());
+            for &delta in &deltas {
+                for &fraction in &fractions {
+                    out.push(Measurement::OnOff {
+                        delta_a2a: Time::from_ns(delta),
+                        on_fraction: fraction,
+                    });
+                }
+            }
+            Ok(out)
+        }
+        "retention" => {
+            known_keys(map, &["kind", "duration_ms"], "measurement")?;
+            let durations = sweep_f64(map, "duration_ms")?;
+            Ok(durations
+                .into_iter()
+                .map(|ms| Measurement::Retention {
+                    duration: Time::from_ms(ms),
+                })
+                .collect())
+        }
+        other => Err(SpecError::new(format!(
+            "unknown measurement kind {other:?} (expected ac_min, ac_max, \
+             t_aggon_min, on_off or retention)"
+        ))),
+    }
+}
+
+/// The canonical-JSON fields of one expanded measurement.
+fn measurement_fields(m: &Measurement) -> Vec<(String, Value)> {
+    match m {
+        Measurement::AcMin { t_aggon } => vec![
+            ("kind".to_string(), Value::Str("ac_min".into())),
+            ("t_aggon_ns".to_string(), Value::F64(t_aggon.as_ns())),
+        ],
+        Measurement::AcMax { t_aggon } => vec![
+            ("kind".to_string(), Value::Str("ac_max".into())),
+            ("t_aggon_ns".to_string(), Value::F64(t_aggon.as_ns())),
+        ],
+        Measurement::TAggOnMin { ac } => vec![
+            ("kind".to_string(), Value::Str("t_aggon_min".into())),
+            ("ac".to_string(), Value::U64(*ac)),
+        ],
+        Measurement::OnOff {
+            delta_a2a,
+            on_fraction,
+        } => vec![
+            ("kind".to_string(), Value::Str("on_off".into())),
+            ("delta_a2a_ns".to_string(), Value::F64(delta_a2a.as_ns())),
+            ("on_fraction".to_string(), Value::F64(*on_fraction)),
+        ],
+        Measurement::Retention { duration } => vec![
+            ("kind".to_string(), Value::Str("retention".into())),
+            ("duration_ms".to_string(), Value::F64(duration.as_ms())),
+        ],
+    }
+}
+
+/// Reads a required scalar-or-array float field.
+fn sweep_f64(map: &[(String, Value)], key: &str) -> Result<Vec<f64>, SpecError> {
+    let value = find(map, key)
+        .ok_or_else(|| SpecError::new(format!("measurement entry is missing `{key}`")))?;
+    match value {
+        Value::Seq(items) => items.iter().map(|v| as_f64(v, key)).collect(),
+        scalar => Ok(vec![as_f64(scalar, key)?]),
+    }
+}
+
+/// Reads a required scalar-or-array unsigned-integer field.
+fn sweep_u64(map: &[(String, Value)], key: &str) -> Result<Vec<u64>, SpecError> {
+    let value = find(map, key)
+        .ok_or_else(|| SpecError::new(format!("measurement entry is missing `{key}`")))?;
+    match value {
+        Value::Seq(items) => items.iter().map(|v| as_u64(v, key)).collect(),
+        scalar => Ok(vec![as_u64(scalar, key)?]),
+    }
+}
+
+fn find<'v>(map: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Rejects unknown keys so a typo ("tempratures") fails loudly instead of
+/// silently falling back to a default axis.
+fn known_keys(map: &[(String, Value)], known: &[&str], ctx: &str) -> Result<(), SpecError> {
+    for (key, _) in map {
+        if !known.contains(&key.as_str()) {
+            return Err(SpecError::new(format!(
+                "unknown key `{key}` in {ctx} (expected one of: {})",
+                known.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn as_map<'v>(value: &'v Value, ctx: &str) -> Result<&'v [(String, Value)], SpecError> {
+    match value {
+        Value::Map(entries) => Ok(entries),
+        other => Err(SpecError::new(format!(
+            "{ctx} must be a table, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn as_seq<'v>(value: &'v Value, ctx: &str) -> Result<&'v [Value], SpecError> {
+    match value {
+        Value::Seq(items) => Ok(items),
+        other => Err(SpecError::new(format!(
+            "{ctx} must be an array, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn as_str<'v>(value: &'v Value, ctx: &str) -> Result<&'v str, SpecError> {
+    match value {
+        Value::Str(s) => Ok(s),
+        other => Err(SpecError::new(format!(
+            "{ctx} must be a string, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn as_f64(value: &Value, ctx: &str) -> Result<f64, SpecError> {
+    match value {
+        Value::F64(x) => Ok(*x),
+        Value::U64(n) => Ok(*n as f64),
+        Value::I64(n) => Ok(*n as f64),
+        other => Err(SpecError::new(format!(
+            "{ctx} must be a number, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn as_u64(value: &Value, ctx: &str) -> Result<u64, SpecError> {
+    match value {
+        Value::U64(n) => Ok(*n),
+        other => Err(SpecError::new(format!(
+            "{ctx} must be a non-negative integer, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn as_u32(value: &Value, ctx: &str) -> Result<u32, SpecError> {
+    let raw = as_u64(value, ctx)?;
+    u32::try_from(raw).map_err(|_| SpecError::new(format!("{ctx} is out of range")))
+}
+
+/// The TOML subset front end: tables, dotted table headers, array-of-tables
+/// headers, and `key = value` pairs whose values are strings, integers,
+/// floats, booleans or flat arrays — exactly the grammar of the campaign
+/// spec. Inline tables, multi-line strings, dates and dotted keys are out
+/// of scope and rejected with a line-numbered error.
+mod toml {
+    use super::{SpecError, Value};
+
+    /// Parses the TOML subset into a [`Value::Map`] tree.
+    pub fn parse(text: &str) -> Result<Value, SpecError> {
+        let mut root: Vec<(String, Value)> = Vec::new();
+        // Path of the table the next `key = value` lands in; empty = root.
+        let mut current: Vec<PathStep> = Vec::new();
+        for (number, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fail = |message: String| SpecError::new(format!("line {}: {message}", number + 1));
+            if let Some(header) = line.strip_prefix("[[") {
+                let header = header
+                    .strip_suffix("]]")
+                    .ok_or_else(|| fail("unterminated [[table]] header".into()))?;
+                current = parse_path(header).map_err(&fail)?;
+                let last = current.len() - 1;
+                current[last].new_element = true;
+                // Materialize the new array element right away, so an empty
+                // [[entry]] still appears in the tree.
+                table_for(&mut root, &mut current).map_err(&fail)?;
+            } else if let Some(header) = line.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| fail("unterminated [table] header".into()))?;
+                current = parse_path(header).map_err(&fail)?;
+                table_for(&mut root, &mut current).map_err(&fail)?;
+            } else {
+                let (key, value) = line
+                    .split_once('=')
+                    .ok_or_else(|| fail("expected `key = value`".into()))?;
+                let key = key.trim();
+                if key.is_empty() || !is_bare_key(key) {
+                    return Err(fail(format!("invalid key `{key}`")));
+                }
+                let value = parse_value(value.trim()).map_err(&fail)?;
+                let table = table_for(&mut root, &mut current).map_err(&fail)?;
+                if table.iter().any(|(k, _)| k == key) {
+                    return Err(fail(format!("duplicate key `{key}`")));
+                }
+                table.push((key.to_string(), value));
+            }
+        }
+        Ok(Value::Map(root))
+    }
+
+    /// One step of a table path; `new_element` marks the pending
+    /// array-of-tables element a `[[header]]` opened.
+    struct PathStep {
+        key: String,
+        new_element: bool,
+    }
+
+    fn parse_path(header: &str) -> Result<Vec<PathStep>, String> {
+        let steps: Vec<PathStep> = header
+            .split('.')
+            .map(|part| PathStep {
+                key: part.trim().to_string(),
+                new_element: false,
+            })
+            .collect();
+        if steps.is_empty()
+            || steps
+                .iter()
+                .any(|s| s.key.is_empty() || !is_bare_key(&s.key))
+        {
+            return Err(format!("invalid table header `{header}`"));
+        }
+        Ok(steps)
+    }
+
+    fn is_bare_key(key: &str) -> bool {
+        key.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+    }
+
+    /// Walks (creating as needed) to the table `path` points at. For a path
+    /// step flagged `new_element`, the first visit appends a fresh element
+    /// to the array-of-tables and clears the flag, so subsequent keys land
+    /// in that element.
+    fn table_for<'a>(
+        root: &'a mut Vec<(String, Value)>,
+        path: &mut [PathStep],
+    ) -> Result<&'a mut Vec<(String, Value)>, String> {
+        let mut table = root;
+        for step in path {
+            if !table.iter().any(|(k, _)| k == &step.key) {
+                let initial = if step.new_element {
+                    Value::Seq(Vec::new())
+                } else {
+                    Value::Map(Vec::new())
+                };
+                table.push((step.key.clone(), initial));
+            }
+            let slot = table
+                .iter_mut()
+                .find(|(k, _)| k == &step.key)
+                .map(|(_, v)| v)
+                .expect("slot just ensured");
+            table = match slot {
+                Value::Map(entries) => entries,
+                Value::Seq(elements) => {
+                    if step.new_element {
+                        elements.push(Value::Map(Vec::new()));
+                        step.new_element = false;
+                    }
+                    match elements.last_mut() {
+                        Some(Value::Map(entries)) => entries,
+                        _ => return Err(format!("`{}` is not an array of tables", step.key)),
+                    }
+                }
+                _ => return Err(format!("`{}` is not a table", step.key)),
+            };
+        }
+        Ok(table)
+    }
+
+    /// Drops a `#` comment, respecting `"…"` strings.
+    fn strip_comment(line: &str) -> &str {
+        let mut in_string = false;
+        let mut escaped = false;
+        for (i, b) in line.bytes().enumerate() {
+            match b {
+                b'\\' if in_string && !escaped => {
+                    escaped = true;
+                    continue;
+                }
+                b'"' if !escaped => in_string = !in_string,
+                b'#' if !in_string => return &line[..i],
+                _ => {}
+            }
+            escaped = false;
+        }
+        line
+    }
+
+    fn parse_value(text: &str) -> Result<Value, String> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Err("missing value".into());
+        }
+        if let Some(rest) = text.strip_prefix('"') {
+            return parse_string(rest).map(Value::Str);
+        }
+        if let Some(body) = text.strip_prefix('[') {
+            let body = body
+                .strip_suffix(']')
+                .ok_or_else(|| "unterminated array".to_string())?;
+            let mut items = Vec::new();
+            for part in split_top_level(body) {
+                let part = part.trim();
+                if !part.is_empty() {
+                    items.push(parse_value(part)?);
+                }
+            }
+            return Ok(Value::Seq(items));
+        }
+        match text {
+            "true" => return Ok(Value::Bool(true)),
+            "false" => return Ok(Value::Bool(false)),
+            _ => {}
+        }
+        if text.contains(['.', 'e', 'E']) {
+            if let Ok(x) = text.parse::<f64>() {
+                return Ok(Value::F64(x));
+            }
+        } else if let Some(negative) = text.strip_prefix('-') {
+            if let Ok(n) = negative.parse::<u64>() {
+                return Ok(Value::I64(-(n as i64)));
+            }
+        } else if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::U64(n));
+        }
+        Err(format!("cannot parse value `{text}`"))
+    }
+
+    /// Parses the remainder of a `"…"` string (escapes: `\\ \" \n \t`),
+    /// rejecting trailing garbage.
+    fn parse_string(rest: &str) -> Result<String, String> {
+        let mut out = String::new();
+        let mut chars = rest.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => {
+                    let trailing = chars.as_str().trim();
+                    if !trailing.is_empty() {
+                        return Err(format!("unexpected `{trailing}` after string"));
+                    }
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    other => return Err(format!("unsupported escape `\\{other:?}`")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    /// Splits an array body on commas outside strings and nested brackets.
+    fn split_top_level(body: &str) -> Vec<&str> {
+        let mut parts = Vec::new();
+        let mut depth = 0usize;
+        let mut in_string = false;
+        let mut escaped = false;
+        let mut start = 0usize;
+        for (i, b) in body.bytes().enumerate() {
+            match b {
+                b'\\' if in_string && !escaped => {
+                    escaped = true;
+                    continue;
+                }
+                b'"' if !escaped => in_string = !in_string,
+                b'[' if !in_string => depth += 1,
+                b']' if !in_string => depth = depth.saturating_sub(1),
+                b',' if !in_string && depth == 0 => {
+                    parts.push(&body[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+            escaped = false;
+        }
+        parts.push(&body[start..]);
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK_ACMIN: &str = r#"
+        # The quick ACmin grid of tests/golden.rs, as a campaign spec.
+        name = "quick-acmin"
+
+        [config]
+        preset = "quick"
+
+        [grid]
+        modules = ["S0", "S3", "H0", "M3"]
+
+        [[measurement]]
+        kind = "ac_min"
+        t_aggon_ns = [36.0, 7800.0, 30000000.0]
+
+        [orchestration]
+        shards = 2
+        stall_timeout_ms = 30000
+        max_respawns = 3
+    "#;
+
+    #[test]
+    fn toml_spec_reproduces_the_golden_plan() {
+        let spec = CampaignSpec::parse(QUICK_ACMIN).unwrap();
+        assert_eq!(spec.name, "quick-acmin");
+        assert_eq!(spec.preset, ConfigPreset::Quick);
+        assert_eq!(spec.orchestration.shards, 2);
+        let plan = spec.plan().unwrap();
+        // The exact grid of tests/golden.rs: 4 modules x 3 tAggON x 6 rows.
+        let cfg = ExperimentConfig::quick();
+        let modules: Vec<_> = ["S0", "S3", "H0", "M3"]
+            .iter()
+            .map(|id| lookup_module(id).unwrap())
+            .collect();
+        let golden = Plan::grid(&cfg)
+            .modules(&modules)
+            .measurements(
+                [Time::from_ns(36.0), Time::from_us(7.8), Time::from_ms(30.0)]
+                    .into_iter()
+                    .map(|t| Measurement::AcMin { t_aggon: t }),
+            )
+            .build();
+        assert_eq!(plan, golden);
+    }
+
+    #[test]
+    fn canonical_json_is_a_fixed_point_and_json_parses_back() {
+        let spec = CampaignSpec::parse(QUICK_ACMIN).unwrap();
+        let canonical = spec.canonical_json();
+        let reparsed = CampaignSpec::parse(&canonical).unwrap();
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.canonical_json(), canonical);
+    }
+
+    #[test]
+    fn defaults_fill_unspecified_axes() {
+        let spec = CampaignSpec::parse(
+            r#"
+            [grid]
+            modules = ["S3"]
+            [[measurement]]
+            kind = "retention"
+            duration_ms = 4000.0
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.name, "campaign");
+        assert_eq!(spec.preset, ConfigPreset::Quick);
+        assert_eq!(spec.temperatures, vec![50.0]);
+        assert_eq!(spec.kinds, vec![PatternKind::SingleSided]);
+        assert_eq!(spec.data_patterns, vec![DataPattern::Checkerboard]);
+        assert_eq!(spec.orchestration, Orchestration::default());
+        assert_eq!(
+            spec.measurements,
+            vec![Measurement::Retention {
+                duration: Time::from_secs(4.0)
+            }]
+        );
+    }
+
+    #[test]
+    fn every_measurement_kind_parses_and_round_trips() {
+        let spec = CampaignSpec::parse(
+            r#"
+            [config]
+            preset = "test"
+            [grid]
+            modules = ["S3"]
+            patterns = ["single_sided", "double_sided"]
+            data_patterns = ["row_stripe", "col_stripe_i"]
+            temperatures = [50.0, 80.0]
+            [[measurement]]
+            kind = "ac_min"
+            t_aggon_ns = 36.0
+            [[measurement]]
+            kind = "ac_max"
+            t_aggon_ns = [70200.0]
+            [[measurement]]
+            kind = "t_aggon_min"
+            ac = [1, 10]
+            [[measurement]]
+            kind = "on_off"
+            delta_a2a_ns = 6000.0
+            on_fraction = [0.25, 0.75]
+            [[measurement]]
+            kind = "retention"
+            duration_ms = 4000.0
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.measurements.len(), 1 + 1 + 2 + 2 + 1);
+        assert_eq!(spec.kinds.len(), 2);
+        assert_eq!(spec.data_patterns.len(), 2);
+        let canonical = spec.canonical_json();
+        assert_eq!(CampaignSpec::parse(&canonical).unwrap(), spec);
+        // The expanded grid exists and is non-trivial.
+        assert!(spec.plan().unwrap().len() > spec.measurements.len());
+    }
+
+    #[test]
+    fn config_overrides_apply() {
+        let spec = CampaignSpec::parse(
+            r#"
+            [config]
+            preset = "test"
+            rows_per_module = 2
+            repeats = 3
+            [grid]
+            modules = ["S3"]
+            [[measurement]]
+            kind = "ac_min"
+            t_aggon_ns = 36.0
+            "#,
+        )
+        .unwrap();
+        let cfg = spec.config();
+        assert_eq!(cfg.rows_per_module, 2);
+        assert_eq!(cfg.repeats, 3);
+        assert_eq!(spec.plan().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn errors_name_the_offending_key() {
+        let cases: &[(&str, &str)] = &[
+            ("[grid]\nmodules = []", "at least one module"),
+            ("[grid]\nmodules = [\"S3\"]", "measurement"),
+            (
+                "[grid]\nmodules = [\"Z9\"]\n[[measurement]]\nkind = \"ac_min\"\nt_aggon_ns = 36.0",
+                "Z9",
+            ),
+            (
+                "[grid]\nmodules = [\"S3\"]\n[[measurement]]\nkind = \"warp\"",
+                "warp",
+            ),
+            (
+                "[grid]\nmodules = [\"S3\"]\ntempratures = [50.0]",
+                "tempratures",
+            ),
+            ("[config]\npreset = \"fast\"", "fast"),
+            (
+                "[grid]\nmodules = [\"S3\"]\n[[measurement]]\nkind = \"ac_min\"",
+                "t_aggon_ns",
+            ),
+            ("[grid]\nmodules = 3", "array"),
+            ("name = \"x\"\nname = \"y\"", "duplicate"),
+            ("key", "key = value"),
+            ("[unclosed", "unterminated"),
+        ];
+        for (text, needle) in cases {
+            let err = CampaignSpec::parse(text).unwrap_err().to_string();
+            assert!(
+                err.contains(needle),
+                "spec {text:?}: error {err:?} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn toml_subset_handles_comments_strings_and_nesting() {
+        let spec = CampaignSpec::parse(
+            "name = \"a # not-a-comment\" # a real comment\n\
+             [grid]\n\
+             modules = [\"S3\", \"S0\"] # trailing comment\n\
+             temperatures = [50.0,] # trailing comma\n\
+             [[measurement]]\n\
+             kind = \"t_aggon_min\"\n\
+             ac = 5\n",
+        )
+        .unwrap();
+        assert_eq!(spec.name, "a # not-a-comment");
+        assert_eq!(spec.modules, vec!["S3", "S0"]);
+        assert_eq!(spec.temperatures, vec![50.0]);
+        assert_eq!(spec.measurements, vec![Measurement::TAggOnMin { ac: 5 }]);
+    }
+
+    #[test]
+    fn json_and_toml_front_ends_agree() {
+        let toml_spec = CampaignSpec::parse(QUICK_ACMIN).unwrap();
+        let json_spec = CampaignSpec::parse(&toml_spec.canonical_json()).unwrap();
+        assert_eq!(toml_spec, json_spec);
+        assert_eq!(toml_spec.plan().unwrap(), json_spec.plan().unwrap());
+    }
+}

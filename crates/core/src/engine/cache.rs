@@ -8,6 +8,35 @@
 //! seeds the cache with it, and appends the outcomes computed since on
 //! [`PersistentCache::flush`] (also invoked on drop) — so a repeated bench
 //! run in a *new* process replays entirely from disk.
+//!
+//! # Example: cross-process replay through a cache file
+//!
+//! ```
+//! use rowpress_core::engine::{Engine, Measurement, PersistentCache, Plan};
+//! use rowpress_core::{lookup_module, ExperimentConfig};
+//! use rowpress_dram::Time;
+//!
+//! let cfg = ExperimentConfig::test_scale();
+//! let plan = Plan::grid(&cfg)
+//!     .module(&lookup_module("S3").unwrap())
+//!     .measurement(Measurement::AcMin { t_aggon: Time::from_ms(30.0) })
+//!     .build();
+//! let path = std::env::temp_dir().join(format!("rowpress-cache-doc-{}.jsonl", std::process::id()));
+//!
+//! // "Process" 1 computes cold and flushes on drop.
+//! let cold = {
+//!     let persistent = PersistentCache::open(&path, &cfg).unwrap();
+//!     Engine::new(&cfg).with_persistent_cache(&persistent).run_collect(&plan)?
+//! };
+//! // "Process" 2 preloads the file and replays without recomputing.
+//! let persistent = PersistentCache::open(&path, &cfg).unwrap();
+//! assert_eq!(persistent.preloaded(), plan.len());
+//! let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+//! assert_eq!(engine.run_collect(&plan)?, cold);
+//! assert_eq!(engine.cache().misses(), 0, "a warm replay computes nothing");
+//! # std::fs::remove_file(&path).ok();
+//! # Ok::<(), rowpress_dram::DramError>(())
+//! ```
 
 use super::plan::{Trial, TrialOutcome, TrialRecord};
 use crate::config::ExperimentConfig;
@@ -24,6 +53,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// is deterministic, so a trial that failed once (e.g. an out-of-range row)
 /// fails identically every time.
 pub(super) type CachedOutcome = DramResult<Arc<TrialOutcome>>;
+
+/// One journaled fresh outcome: the unit [`PersistentCache::flush`] drains.
+type JournalEntry = (Trial, Arc<TrialOutcome>);
 
 /// A shareable, thread-safe [`Trial`]-keyed outcome cache with hit/miss
 /// accounting. Cloning shares the underlying storage.
@@ -42,6 +74,12 @@ pub struct TrialCache {
     cells: Arc<Mutex<FxHashMap<Trial, Arc<OnceLock<CachedOutcome>>>>>,
     hits: Arc<AtomicU64>,
     misses: Arc<AtomicU64>,
+    /// Freshly computed (trial, outcome) pairs since the last drain — the
+    /// incremental feed of [`PersistentCache::flush`], populated only once
+    /// [`TrialCache::enable_journal`] ran (so caches without a persistent
+    /// backing never accumulate it). Each trial computes at most once (the
+    /// `OnceLock` cells), so entries never duplicate.
+    journal: Arc<Mutex<Option<Vec<JournalEntry>>>>,
 }
 
 impl TrialCache {
@@ -74,10 +112,50 @@ impl TrialCache {
         });
         if computed {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            if let Ok(outcome) = outcome {
+                self.journal_push(trial.clone(), Arc::clone(outcome));
+            }
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         outcome.clone()
+    }
+
+    /// Turns the journal on: from now on every freshly computed outcome is
+    /// also recorded for [`TrialCache::drain_journal`]. Idempotent.
+    pub(super) fn enable_journal(&self) {
+        let mut journal = self.journal.lock().expect("journal lock");
+        if journal.is_none() {
+            *journal = Some(Vec::new());
+        }
+    }
+
+    /// Records one (trial, outcome) pair in the journal, if enabled. Errored
+    /// outcomes never enter the journal.
+    pub(super) fn journal_push(&self, trial: Trial, outcome: Arc<TrialOutcome>) {
+        if let Some(entries) = self.journal.lock().expect("journal lock").as_mut() {
+            entries.push((trial, outcome));
+        }
+    }
+
+    /// Takes everything journaled since the last drain. O(drained), not
+    /// O(cache) — this is what keeps a flush-per-record campaign shard
+    /// linear instead of quadratic.
+    pub(super) fn drain_journal(&self) -> Vec<JournalEntry> {
+        self.journal
+            .lock()
+            .expect("journal lock")
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Puts drained entries back (the failed-write path of
+    /// [`PersistentCache::flush`], so unwritten outcomes stay pending).
+    pub(super) fn requeue_journal(&self, entries: Vec<JournalEntry>) {
+        if let Some(journal) = self.journal.lock().expect("journal lock").as_mut() {
+            journal.extend(entries);
+        }
     }
 
     /// Seeds the cache with a known outcome (the preload path of
@@ -89,27 +167,6 @@ impl TrialCache {
             Arc::clone(cells.entry(trial).or_default())
         };
         cell.get_or_init(|| Ok(Arc::new(outcome)));
-    }
-
-    /// Snapshot of every successfully completed (trial, outcome) pair whose
-    /// trial is not in `exclude`. Errored and in-flight trials are skipped.
-    /// The filter runs before any clone, so an incremental caller (the
-    /// persistent cache's flush) pays only for the fresh entries, not for
-    /// re-cloning the whole cache under the lock.
-    pub(super) fn completed_excluding(
-        &self,
-        exclude: &FxHashSet<Trial>,
-    ) -> Vec<(Trial, Arc<TrialOutcome>)> {
-        self.cells
-            .lock()
-            .expect("cache lock")
-            .iter()
-            .filter(|(trial, _)| !exclude.contains(*trial))
-            .filter_map(|(trial, cell)| {
-                let outcome = cell.get()?.as_ref().ok()?;
-                Some((trial.clone(), Arc::clone(outcome)))
-            })
-            .collect()
     }
 
     /// Number of lookups answered from the cache (including lookups that
@@ -145,6 +202,9 @@ impl TrialCache {
     /// their footprint.
     pub fn clear(&self) {
         self.cells.lock().expect("cache lock").clear();
+        if let Some(journal) = self.journal.lock().expect("journal lock").as_mut() {
+            journal.clear();
+        }
     }
 }
 
@@ -221,6 +281,20 @@ struct CacheHeader {
 /// One process should own the file at a time (flushes append without
 /// locking); sharded campaigns give each process its own file and merge
 /// afterwards.
+///
+/// # Crash safety
+///
+/// The file must survive its owner being killed at *any* instant — the
+/// campaign orchestrator's straggler policy kills and respawns shard
+/// processes by design, and the respawn guarantee ("no measured point is
+/// recomputed") rides on this file. Two mechanisms provide it: each flush
+/// is a single newline-terminated `write` (no torn-between-lines window),
+/// and `open` treats an unterminated or unparseable *final* line as the
+/// torn tail of a killed append — the tail is dropped (a parseable one
+/// still seeds the cache, so nothing is recomputed) and the file is
+/// truncated back to the valid prefix before the next append. A malformed
+/// line anywhere *else* is still a hard error: that is corruption, not a
+/// kill artifact.
 #[derive(Debug)]
 pub struct PersistentCache {
     cache: TrialCache,
@@ -229,54 +303,109 @@ pub struct PersistentCache {
     header_on_disk: bool,
     on_disk: FxHashSet<Trial>,
     preloaded: usize,
+    /// When the file ended in a torn line at open, the byte length of the
+    /// valid prefix; the next flush truncates to it before appending.
+    repair_len: Option<u64>,
 }
 
 impl PersistentCache {
     /// Opens (or initializes) the cache file at `path` for outcomes computed
-    /// under `cfg`, preloading every record the file already holds.
+    /// under `cfg`, preloading every record the file already holds. A torn
+    /// final line — the signature of an owner killed mid-append — is dropped
+    /// and repaired on the next flush (see the type-level docs).
     ///
     /// # Errors
     ///
     /// Returns an I/O error when the file exists but cannot be read, holds a
-    /// line that does not parse as a [`TrialRecord`], or was written under a
-    /// different configuration (missing or mismatching header —
-    /// [`io::ErrorKind::InvalidData`]).
+    /// non-final line that does not parse as a [`TrialRecord`], or was
+    /// written under a different configuration (missing or mismatching
+    /// header — [`io::ErrorKind::InvalidData`]).
     pub fn open(path: impl Into<PathBuf>, cfg: &ExperimentConfig) -> io::Result<Self> {
         let path = path.into();
         let config = ConfigKey::of(cfg);
         let cache = TrialCache::new();
+        // Persistent caches journal fresh outcomes so each flush is
+        // O(fresh), not a scan of the whole cache.
+        cache.enable_journal();
         let mut on_disk = FxHashSet::default();
         let mut header_on_disk = false;
+        let mut repair_len = None;
         match std::fs::read_to_string(&path) {
             Ok(text) => {
-                let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-                if let Some(first) = lines.next() {
-                    let header: CacheHeader = serde_json::from_str(first).map_err(|_| {
-                        io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!(
-                                "{}: not a persistent-cache file (no header)",
-                                path.display()
-                            ),
-                        )
-                    })?;
-                    if header.config != config {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!(
-                                "{}: cache was written under a different \
-                                 configuration (budget/repeats/accuracy/geometry)",
-                                path.display()
-                            ),
-                        ));
-                    }
-                    header_on_disk = true;
+                // Keep byte offsets so a torn tail can be truncated away.
+                let mut raw: Vec<(usize, bool, &str)> = Vec::new(); // (start, terminated, line)
+                let mut start = 0;
+                for chunk in text.split_inclusive('\n') {
+                    let terminated = chunk.ends_with('\n');
+                    raw.push((start, terminated, chunk.trim_end_matches('\n')));
+                    start += chunk.len();
                 }
-                for line in lines {
-                    let record: TrialRecord =
-                        serde_json::from_str(line).map_err(io::Error::other)?;
-                    cache.seed(record.trial.clone(), record.outcome);
-                    on_disk.insert(record.trial);
+                // An unterminated final line is a torn append, whatever it
+                // holds; truncate it on the next flush so a new append can
+                // never concatenate onto it.
+                if let Some(&(tail_start, terminated, _)) = raw.last() {
+                    if !terminated {
+                        repair_len = Some(tail_start as u64);
+                    }
+                }
+                let content: Vec<&(usize, bool, &str)> = raw
+                    .iter()
+                    .filter(|(_, _, l)| !l.trim().is_empty())
+                    .collect();
+                for (position, &&(_, _, line)) in content.iter().enumerate() {
+                    // Only the file's very last line can be a kill artifact.
+                    let torn_tail = position + 1 == content.len() && repair_len.is_some();
+                    if position == 0 {
+                        match serde_json::from_str::<CacheHeader>(line) {
+                            Ok(header) => {
+                                if torn_tail {
+                                    // The header itself was torn: the next
+                                    // flush truncates and rewrites it.
+                                    continue;
+                                }
+                                if header.config != config {
+                                    return Err(io::Error::new(
+                                        io::ErrorKind::InvalidData,
+                                        format!(
+                                            "{}: cache was written under a different \
+                                             configuration (budget/repeats/accuracy/geometry)",
+                                            path.display()
+                                        ),
+                                    ));
+                                }
+                                header_on_disk = true;
+                            }
+                            Err(_) if torn_tail => {}
+                            Err(_) => {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!(
+                                        "{}: not a persistent-cache file (no header)",
+                                        path.display()
+                                    ),
+                                ));
+                            }
+                        }
+                    } else {
+                        match serde_json::from_str::<TrialRecord>(line) {
+                            Ok(record) => {
+                                cache.seed(record.trial.clone(), record.outcome.clone());
+                                if torn_tail {
+                                    // Parseable but unterminated: seed it (no
+                                    // recompute), keep it out of `on_disk`,
+                                    // and journal it so the next flush
+                                    // rewrites it after the truncation.
+                                    cache.journal_push(record.trial, Arc::new(record.outcome));
+                                } else {
+                                    on_disk.insert(record.trial);
+                                }
+                            }
+                            // Torn mid-JSON: drop it; that one trial is
+                            // recomputed by the resumed owner.
+                            Err(_) if torn_tail => {}
+                            Err(e) => return Err(io::Error::other(e)),
+                        }
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
@@ -290,6 +419,7 @@ impl PersistentCache {
             header_on_disk,
             on_disk,
             preloaded,
+            repair_len,
         })
     }
 
@@ -319,43 +449,85 @@ impl PersistentCache {
     /// Returns an I/O error when the file cannot be created or written; the
     /// unwritten outcomes stay pending for the next flush.
     pub fn flush(&mut self) -> io::Result<usize> {
-        let mut fresh: Vec<(Trial, String)> = Vec::new();
-        for (trial, outcome) in self.cache.completed_excluding(&self.on_disk) {
-            let record = TrialRecord {
-                trial: trial.clone(),
-                outcome: (*outcome).clone(),
-            };
-            let line = serde_json::to_string(&record).map_err(io::Error::other)?;
-            fresh.push((trial, line));
-        }
-        if fresh.is_empty() {
+        // The journal feeds the flush incrementally: draining is O(fresh),
+        // never a scan of the whole cache — a flush-per-record campaign
+        // shard stays linear. The `on_disk` filter is belt-and-braces (a
+        // trial computes at most once, and seeds never journal).
+        let entries: Vec<JournalEntry> = self
+            .cache
+            .drain_journal()
+            .into_iter()
+            .filter(|(trial, _)| !self.on_disk.contains(trial))
+            .collect();
+        if entries.is_empty() {
             return Ok(0);
         }
-        // The cache map iterates in hash order; sort the batch so two runs
-        // that computed the same outcomes write byte-identical files.
-        fresh.sort_by(|a, b| a.1.cmp(&b.1));
+        match self.write_batch(&entries) {
+            Ok(written) => {
+                self.on_disk
+                    .extend(entries.into_iter().map(|(trial, _)| trial));
+                Ok(written)
+            }
+            Err(e) => {
+                // Unwritten outcomes stay pending for the next flush.
+                self.cache.requeue_journal(entries);
+                Err(e)
+            }
+        }
+    }
+
+    /// Serializes and appends one batch of fresh records (plus the header
+    /// and torn-tail repair when pending). Leaves `self` untouched except
+    /// for `header_on_disk`/`repair_len` bookkeeping tied to completed I/O.
+    fn write_batch(&mut self, entries: &[JournalEntry]) -> io::Result<usize> {
+        let mut fresh: Vec<String> = Vec::with_capacity(entries.len());
+        for (trial, outcome) in entries {
+            let record = TrialRecord {
+                trial: trial.clone(),
+                outcome: (**outcome).clone(),
+            };
+            fresh.push(serde_json::to_string(&record).map_err(io::Error::other)?);
+        }
+        // Sort the batch so two runs that computed the same outcomes write
+        // byte-identical files regardless of completion order.
+        fresh.sort_unstable();
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&self.path)?;
+        if let Some(valid) = self.repair_len {
+            // Drop the torn tail a killed predecessor left behind before
+            // anything can be appended after it. Cleared only after the
+            // truncation succeeded, so a failed repair is retried.
+            file.set_len(valid)?;
+            self.repair_len = None;
+        }
+        // One newline-terminated write per batch: a kill can truncate the
+        // batch (the torn tail the next open repairs) but never interleave
+        // or split a record across flushes.
+        let mut batch = String::new();
         if !self.header_on_disk {
             let header = CacheHeader {
                 config: self.config.clone(),
             };
-            let line = serde_json::to_string(&header).map_err(io::Error::other)?;
-            file.write_all(line.as_bytes())?;
-            file.write_all(b"\n")?;
-            self.header_on_disk = true;
+            batch.push_str(&serde_json::to_string(&header).map_err(io::Error::other)?);
+            batch.push('\n');
         }
-        for (_, line) in &fresh {
-            file.write_all(line.as_bytes())?;
-            file.write_all(b"\n")?;
+        for line in &fresh {
+            batch.push_str(line);
+            batch.push('\n');
         }
-        file.flush()?;
-        let written = fresh.len();
-        self.on_disk
-            .extend(fresh.into_iter().map(|(trial, _)| trial));
-        Ok(written)
+        // On a failed append (ENOSPC, EIO), truncate back to the pre-write
+        // length: a partial batch must never survive as a torn *non-final*
+        // line once a retried flush appends after it — open() would then
+        // reject the file as corruption rather than repair it.
+        let before = file.metadata()?.len();
+        if let Err(e) = file.write_all(batch.as_bytes()).and_then(|()| file.flush()) {
+            let _ = file.set_len(before);
+            return Err(e);
+        }
+        self.header_on_disk = true;
+        Ok(fresh.len())
     }
 }
 
@@ -517,6 +689,67 @@ mod tests {
         let mut sorted = first_batch.clone();
         sorted.sort_unstable();
         assert_eq!(first_batch, sorted);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_from_a_kill_is_repaired_without_recompute_where_possible() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let path = temp_path("torn");
+        {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+        }
+        let intact = std::fs::read_to_string(&path).unwrap();
+        let intact_lines = intact.lines().count();
+
+        // Case 1: kill mid-JSON — the final record is half-written. The open
+        // must drop exactly that record, and the next flush must rewrite a
+        // fully parseable file.
+        let torn_mid_json = &intact[..intact.len() - 25];
+        assert!(!torn_mid_json.ends_with('\n'));
+        std::fs::write(&path, torn_mid_json).unwrap();
+        {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            assert_eq!(persistent.preloaded(), plan.len() - 1, "tail dropped");
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+            assert_eq!(engine.cache().misses(), 1, "only the torn trial recomputes");
+        }
+        let repaired = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(repaired.lines().count(), intact_lines, "no duplicates");
+        assert!(repaired.ends_with('\n'));
+        assert!(PersistentCache::open(&path, &cfg).is_ok());
+
+        // Case 2: kill between the record bytes and nothing else — the final
+        // line parses but is unterminated. Nothing may be recomputed, and
+        // the record must be rewritten terminated.
+        let unterminated = repaired.trim_end_matches('\n');
+        std::fs::write(&path, unterminated).unwrap();
+        {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            assert_eq!(persistent.preloaded(), plan.len() - 1);
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+            assert_eq!(
+                engine.cache().misses(),
+                0,
+                "a parseable tail never recomputes"
+            );
+        }
+        let final_text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(final_text.lines().count(), intact_lines);
+        assert!(final_text.ends_with('\n'));
+        let reopened = PersistentCache::open(&path, &cfg).unwrap();
+        assert_eq!(reopened.preloaded(), plan.len());
+
+        // Case 3: only a torn header survives — equivalent to an empty file.
+        let header_only = intact.lines().next().unwrap();
+        std::fs::write(&path, &header_only[..header_only.len() - 3]).unwrap();
+        let persistent = PersistentCache::open(&path, &cfg).unwrap();
+        assert_eq!(persistent.preloaded(), 0);
         std::fs::remove_file(&path).ok();
     }
 

@@ -6,6 +6,48 @@
 //! `n` strided sub-plans that independent processes can execute, and
 //! [`Plan::merge`] reassembles their partial record streams back into
 //! single-process plan order (see the module docs of [`crate::engine`]).
+//!
+//! # Example: shard a grid, merge the streams
+//!
+//! Sharding strides (shard `i` of `n` takes trials `i`, `i+n`, `i+2n`, …),
+//! so merging is the round-robin interleave that restores plan order
+//! exactly — independent of how the per-shard streams were produced:
+//!
+//! ```
+//! use rowpress_core::engine::{Measurement, Plan, TrialOutcome, TrialRecord};
+//! use rowpress_core::{lookup_module, ExperimentConfig};
+//! use rowpress_dram::Time;
+//!
+//! let cfg = ExperimentConfig::test_scale();
+//! let plan = Plan::grid(&cfg)
+//!     .module(&lookup_module("S3")?)
+//!     .measurements(
+//!         [Time::from_ns(36.0), Time::from_ms(30.0)]
+//!             .into_iter()
+//!             .map(|t| Measurement::AcMin { t_aggon: t }),
+//!     )
+//!     .build();
+//! // Stride discipline: shard 1 of 2 holds trials 1, 3, 5, ...
+//! let shard = plan.shard(1, 2);
+//! assert_eq!(shard.trials()[0], plan.trials()[1]);
+//! assert_eq!(shard.trials()[1], plan.trials()[3]);
+//! // Merging per-shard record streams restores plan order.
+//! let streams: Vec<Vec<TrialRecord>> = (0..2)
+//!     .map(|i| {
+//!         plan.shard(i, 2)
+//!             .trials()
+//!             .iter()
+//!             .map(|t| TrialRecord {
+//!                 trial: t.clone(),
+//!                 outcome: TrialOutcome::Retention { flips: Vec::new() },
+//!             })
+//!             .collect()
+//!     })
+//!     .collect();
+//! let merged = Plan::merge(streams);
+//! assert!(merged.iter().map(|r| &r.trial).eq(plan.trials().iter()));
+//! # Ok::<(), rowpress_core::EngineError>(())
+//! ```
 
 use crate::config::ExperimentConfig;
 use crate::patterns::PatternKind;

@@ -12,6 +12,35 @@
 //! Scheduling never changes results: outcomes land in per-trial slots and
 //! sinks always consume them in plan order, so the record stream is
 //! byte-identical under any policy (proved in the worker tests).
+//!
+//! # Example: the long poles dispatch first
+//!
+//! ```
+//! use rowpress_core::engine::{CostModel, Measurement, Plan, SchedulePolicy};
+//! use rowpress_core::{lookup_module, ExperimentConfig};
+//! use rowpress_dram::Time;
+//!
+//! let cfg = ExperimentConfig::test_scale();
+//! let plan = Plan::grid(&cfg)
+//!     .module(&lookup_module("S3")?)
+//!     .measurements(
+//!         [Time::from_ns(36.0), Time::from_ms(30.0)]
+//!             .into_iter()
+//!             .map(|t| Measurement::AcMin { t_aggon: t }),
+//!     )
+//!     .build();
+//! let model = CostModel::default();
+//! // A 30 ms RowPress trial occupies the device far longer than a
+//! // tRAS-scale hammer trial, so it is claimed first under the default
+//! // cost-aware policy.
+//! assert_eq!(SchedulePolicy::default(), SchedulePolicy::CostAware);
+//! let order = model.dispatch_order(&cfg, plan.trials());
+//! assert_eq!(
+//!     plan.trials()[order[0]].measurement,
+//!     Measurement::AcMin { t_aggon: Time::from_ms(30.0) },
+//! );
+//! # Ok::<(), rowpress_core::EngineError>(())
+//! ```
 
 use super::plan::{Measurement, Trial, TEST_BANK};
 use crate::config::ExperimentConfig;

@@ -9,6 +9,32 @@
 //! * [`JsonlReader`] parses a JSONL stream back into records and
 //!   merge-sorts shard streams into plan order
 //!   ([`JsonlReader::merge_shards`]).
+//!
+//! # Example: a threaded JSONL sink round-trips the stream
+//!
+//! [`ThreadedSink`] moves the inner sink to a background writer thread; the
+//! engine's pool never blocks on I/O, yet the stream that reaches the inner
+//! sink is byte-identical — and [`JsonlReader`] parses it back:
+//!
+//! ```
+//! use rowpress_core::engine::{Engine, JsonlReader, JsonlSink, Measurement, Plan, ThreadedSink};
+//! use rowpress_core::{lookup_module, ExperimentConfig};
+//! use rowpress_dram::Time;
+//! use std::io::BufReader;
+//!
+//! let cfg = ExperimentConfig::test_scale();
+//! let plan = Plan::grid(&cfg)
+//!     .module(&lookup_module("S3").unwrap())
+//!     .measurement(Measurement::AcMin { t_aggon: Time::from_ms(30.0) })
+//!     .build();
+//! let engine = Engine::new(&cfg);
+//! let mut sink = ThreadedSink::new(JsonlSink::new(Vec::new()));
+//! engine.run(&plan, &mut sink).unwrap();
+//! let bytes = sink.into_inner().into_inner();
+//! let records = JsonlReader::new(BufReader::new(&bytes[..])).read_all().unwrap();
+//! assert_eq!(records, engine.run_collect(&plan)?);
+//! # Ok::<(), rowpress_dram::DramError>(())
+//! ```
 
 use super::plan::{Plan, TrialRecord};
 use std::fs::File;

@@ -6,6 +6,24 @@
 //! and fill per-trial slots; the caller's thread drains the slots in plan
 //! order and feeds the sink, so the record stream is independent of worker
 //! count, scheduling policy and timing.
+//!
+//! # Example: results are worker-count independent
+//!
+//! ```
+//! use rowpress_core::engine::{Engine, Measurement, Plan};
+//! use rowpress_core::{lookup_module, ExperimentConfig};
+//! use rowpress_dram::Time;
+//!
+//! let cfg = ExperimentConfig::test_scale();
+//! let plan = Plan::grid(&cfg)
+//!     .module(&lookup_module("S3").unwrap())
+//!     .measurement(Measurement::AcMin { t_aggon: Time::from_ms(30.0) })
+//!     .build();
+//! let serial = Engine::new(&cfg).with_workers(1).run_collect(&plan)?;
+//! let pooled = Engine::new(&cfg).with_workers(8).run_collect(&plan)?;
+//! assert_eq!(serial, pooled);
+//! # Ok::<(), rowpress_dram::DramError>(())
+//! ```
 
 use super::cache::{shared_cache, CachedOutcome, TrialCache};
 use super::plan::{Measurement, Plan, Trial, TrialOutcome, TrialRecord, TEST_BANK};

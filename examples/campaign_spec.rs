@@ -1,0 +1,56 @@
+//! Parse the shipped campaign spec, preview its plan, and prove the
+//! sharded execution model in-process.
+//!
+//! The `rowpress-campaign` CLI drives the same three library calls this
+//! example makes — `CampaignSpec::parse`, `CampaignSpec::plan`, and
+//! per-shard engine runs merged with `Plan::merge` — just with each shard
+//! in its own OS process and a persistent cache underneath (see
+//! `crates/core/src/campaign/shard.rs` and README "Operating a campaign").
+//!
+//! Run with: `cargo run --example campaign_spec`
+
+use rowpress::core::campaign::CampaignSpec;
+use rowpress::core::engine::{CostModel, Engine, Plan};
+
+fn main() {
+    let text = include_str!("quick_acmin.toml");
+    let spec = CampaignSpec::parse(text).expect("the shipped spec parses");
+
+    println!("spec {:?} (canonical JSON):", spec.name);
+    println!("{}\n", spec.canonical_json());
+
+    let cfg = spec.config();
+    let plan = spec.plan().expect("the shipped spec resolves to a plan");
+    let shards = spec.orchestration.shards;
+    let model = CostModel::default();
+    println!("plan: {} trials across {} shard(s)", plan.len(), shards);
+    for index in 0..shards {
+        let shard = plan.shard(index, shards);
+        let cost: u128 = shard.trials().iter().map(|t| model.estimate(&cfg, t)).sum();
+        println!(
+            "  shard {index}: {} trials, ~{} ms of modeled device time",
+            shard.len(),
+            cost / 1_000_000_000
+        );
+    }
+
+    // The in-process model of what the orchestrator does across processes:
+    // run each shard on its own engine, merge, compare to one engine.
+    let baseline = Engine::new(&cfg).run_collect(&plan).expect("plan runs");
+    let streams: Vec<_> = (0..shards)
+        .map(|i| {
+            Engine::new(&cfg)
+                .run_collect(&plan.shard(i, shards))
+                .expect("shard runs")
+        })
+        .collect();
+    let merged = Plan::merge(streams);
+    assert_eq!(merged, baseline);
+    println!(
+        "\n{} sharded records merged back into plan order — identical to the \
+         single-engine stream ({} records)",
+        merged.len(),
+        baseline.len()
+    );
+    println!("multi-process version: cargo run -p rowpress-cli --bin rowpress-campaign -- run examples/quick_acmin.toml --verify");
+}

@@ -14,7 +14,11 @@
 //!   dispatch (`core::engine::schedule`), in-process and persistent
 //!   cross-process trial caches (`core::engine::cache`), and threaded JSONL
 //!   sinks/readers (`core::engine::sink`); `core::campaign::run_sharded`
-//!   models the paper's Slurm-style fan-out end to end.
+//!   models the paper's Slurm-style fan-out end to end, and
+//!   `core::campaign::spec`/`core::campaign::shard` are the declarative
+//!   campaign specs and crash-safe shard entry point behind the
+//!   `rowpress-campaign` multi-process orchestrator (`crates/cli`; see
+//!   ARCHITECTURE.md).
 //! * [`workloads`] — synthetic trace generation and benchmark catalog.
 //! * [`memctrl`] — cycle-level memory controller and system simulator.
 //! * [`mitigations`] — Graphene / PARA, their RowPress adaptations, ECC analysis.

@@ -351,6 +351,23 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl Serialize for Value {
+    /// A `Value` lowers to itself, so already-built trees can be handed to
+    /// `serde_json::to_string` directly (mirroring the real
+    /// `serde_json::Value`).
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    /// A `Value` lifts from itself, so `serde_json::from_str::<Value>` yields
+    /// the raw parse tree (mirroring the real `serde_json::Value`).
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
