@@ -34,6 +34,24 @@ cargo test -q --test engine
 step "cargo test -p rowpress-cli (orchestrator end-to-end: spawn/kill/resume/merge)"
 cargo test -p rowpress-cli -q
 
+# The transport fault matrix, by name: scripted drops, duplicates, reorders,
+# torn frames, stalls on both sides of the threshold, connect-window overruns
+# and kill-at-byte partitions must each end in a byte-identical merge or the
+# documented abort. A separate filtered run so a transport regression is
+# pinpointed in the CI log.
+step "cargo test -p rowpress-cli (fault-injection transport matrix)"
+cargo test -p rowpress-cli -q --test orchestrator -- \
+  silence_ torn_frame_ duplicate_record_ reordered_ kill_at_byte_ \
+  respawn_budget_ stall_clock_ connect_window_
+
+# No orchestrator test may be quietly parked: an #[ignore] in the suite is a
+# fault scenario CI stopped proving.
+step "no #[ignore]d tests in the orchestrator/property suites"
+if grep -rn '#\[ignore' crates/cli/tests tests/; then
+  echo "ignored tests found — the fault matrix must run in CI" >&2
+  exit 1
+fi
+
 # The orchestrator CLI, end to end on the quick ACmin grid: 2 real shard
 # processes, merged stream verified byte-identical to a single-process run
 # (the same bytes tests/golden.rs pins). Plus the --help and canonical-spec
@@ -46,6 +64,11 @@ rm -rf "$CAMPAIGN_OUT"
 "$CAMPAIGN" --help > /dev/null
 "$CAMPAIGN" plan examples/quick_acmin.toml
 "$CAMPAIGN" run examples/quick_acmin.toml --shards 2 --out-dir "$CAMPAIGN_OUT" --verify
+# Same campaign over the TCP agent transport: 2 shards stream records over
+# loopback to the parent's collector; the merge must still be byte-identical.
+rm -rf "$CAMPAIGN_OUT-tcp"
+"$CAMPAIGN" run examples/quick_acmin.toml --shards 2 --out-dir "$CAMPAIGN_OUT-tcp" \
+  --transport tcp://127.0.0.1:0 --verify
 "$CAMPAIGN" spec examples/quick_acmin.toml > "$CAMPAIGN_OUT/spec-a.json"
 "$CAMPAIGN" spec "$CAMPAIGN_OUT/spec-a.json" > "$CAMPAIGN_OUT/spec-b.json"
 diff "$CAMPAIGN_OUT/spec-a.json" "$CAMPAIGN_OUT/spec-b.json"

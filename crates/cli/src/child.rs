@@ -1,32 +1,42 @@
 //! The `__shard` child mode: one shard process of a campaign.
 //!
-//! A child derives the same plan as the parent from the spec file, runs its
-//! [`Plan::shard`](rowpress_core::engine::Plan::shard) through
-//! [`run_shard`] (persistent cache flushed after every record), and speaks
-//! a line protocol on stdout — the parent's only view of its health:
+//! A child derives the same plan as the parent from the spec file and runs
+//! its [`Plan::shard`](rowpress_core::engine::Plan::shard) with the
+//! persistent cache flushed after every record. It speaks the line protocol
+//! documented in [`crate::transport::Frame`] — the parent's only view of
+//! its health — over one of two channels:
 //!
-//! ```text
-//! ##rowpress-shard start index=0 of=2 total=36 preloaded=0
-//! ##rowpress-shard progress done=1 total=36 computed=1 replayed=0
-//! ...
-//! ##rowpress-shard done total=36 computed=36 replayed=0
-//! ```
+//! * **local mode** (`--out FILE`): frames on stdout, records in the output
+//!   file ([`run_shard`] unchanged from PR 5);
+//! * **agent mode** (`--connect HOST:PORT --incarnation K`): the child
+//!   dials the parent's collector (bounded retry with backoff), announces
+//!   itself with a `hello` frame, and streams frames *and* `record` frames
+//!   over the same connection ([`run_shard_with`] feeding a
+//!   [`FramedSink`] behind a [`ThreadedSink`]). The cache stays a local
+//!   file either way — resume must survive the transport being the very
+//!   thing that failed.
 //!
 //! Every line doubles as a heartbeat: the parent kills and respawns a shard
-//! whose stdout goes quiet past the stall timeout. The `--fault` options
+//! whose channel goes quiet past the stall timeout. The `--fault` options
 //! exist for the orchestrator's own tests: they crash (`exit-after`) or
 //! wedge (`hang-after`) the child once it has *computed* (not replayed) N
 //! trials, which exercises exactly the crash/stall recovery paths.
 
+use crate::transport::RECORD_FRAME_PREFIX;
 use crate::{parse_number, CliError, EXIT_FAULT, EXIT_OK, EXIT_RUN, EXIT_SPEC};
-use rowpress_core::campaign::{run_shard, CampaignError, CampaignSpec, ShardEvent};
+use rowpress_core::campaign::{run_shard, run_shard_with, CampaignError, CampaignSpec, ShardEvent};
+use rowpress_core::engine::{FramedSink, ThreadedSink};
 use std::fmt;
 use std::io::Write;
+use std::net::TcpStream;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-/// The line prefix of the child protocol; everything else on a child's
-/// stdout is free-form logging.
-pub const PROTOCOL_PREFIX: &str = "##rowpress-shard";
+/// The line prefix of the child protocol (re-exported from the transport
+/// layer's frame grammar); everything else on a child's channel is
+/// free-form logging.
+pub use crate::transport::PROTOCOL_PREFIX;
 
 /// A test-only fault injected into a shard incarnation, triggered once the
 /// incarnation has computed (cache-missed) the given number of trials. A
@@ -43,6 +53,10 @@ pub enum Fault {
 impl Fault {
     /// Parses the `KIND=N` form used by `--fault` (`exit-after=5`,
     /// `hang-after=3`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage-level [`CliError`] for malformed or unknown faults.
     pub fn parse(text: &str) -> Result<Fault, CliError> {
         let (kind, n) = text
             .split_once('=')
@@ -82,21 +96,33 @@ pub struct ShardArgs {
     pub of: usize,
     /// The shard's persistent-cache file.
     pub cache: PathBuf,
-    /// The shard's JSONL output file.
-    pub out: PathBuf,
+    /// The shard's JSONL output file (local mode).
+    pub out: Option<PathBuf>,
+    /// The parent collector's `HOST:PORT` (agent mode).
+    pub connect: Option<String>,
+    /// Which incarnation of the shard this is (agent mode routes
+    /// connections by it; stale incarnations are ignored).
+    pub incarnation: u32,
     /// Injected test fault, if any.
     pub fault: Option<Fault>,
 }
 
 impl ShardArgs {
-    /// Parses `__shard <SPEC> --index I --of N --cache FILE --out FILE
-    /// [--fault KIND=N]`.
+    /// Parses `__shard <SPEC> --index I --of N --cache FILE
+    /// (--out FILE | --connect HOST:PORT [--incarnation K]) [--fault KIND=N]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage-level [`CliError`] for unknown flags, missing
+    /// operands, or when neither/both of `--out` and `--connect` are given.
     pub fn parse(operand: Option<&String>, rest: &[String]) -> Result<ShardArgs, CliError> {
         let spec = operand.ok_or_else(|| CliError::usage("__shard: missing <SPEC>"))?;
         let mut index = None;
         let mut of = None;
         let mut cache = None;
         let mut out = None;
+        let mut connect = None;
+        let mut incarnation = 0;
         let mut fault = None;
         let mut args = rest.iter();
         while let Some(flag) = args.next() {
@@ -110,11 +136,28 @@ impl ShardArgs {
                 "--of" => of = Some(parse_number(&value("--of")?, "--of")?),
                 "--cache" => cache = Some(PathBuf::from(value("--cache")?)),
                 "--out" => out = Some(PathBuf::from(value("--out")?)),
+                "--connect" => connect = Some(value("--connect")?),
+                "--incarnation" => {
+                    incarnation = parse_number(&value("--incarnation")?, "--incarnation")?;
+                }
                 "--fault" => fault = Some(Fault::parse(&value("--fault")?)?),
                 other => {
                     return Err(CliError::usage(format!("__shard: unknown flag `{other}`")));
                 }
             }
+        }
+        match (&out, &connect) {
+            (None, None) => {
+                return Err(CliError::usage(
+                    "__shard: need --out FILE or --connect ADDR",
+                ));
+            }
+            (Some(_), Some(_)) => {
+                return Err(CliError::usage(
+                    "__shard: --out and --connect are mutually exclusive",
+                ));
+            }
+            _ => {}
         }
         let missing = |name: &str| CliError::usage(format!("__shard: missing {name}"));
         Ok(ShardArgs {
@@ -122,37 +165,104 @@ impl ShardArgs {
             index: index.ok_or_else(|| missing("--index"))?,
             of: of.ok_or_else(|| missing("--of"))?,
             cache: cache.ok_or_else(|| missing("--cache"))?,
-            out: out.ok_or_else(|| missing("--out"))?,
+            out,
+            connect,
+            incarnation,
             fault,
         })
     }
 }
 
-/// Prints one protocol line and flushes, so the parent's reader sees it
-/// immediately (a child's piped stdout is block-buffered otherwise — a
-/// buffered heartbeat is no heartbeat).
-fn emit(line: fmt::Arguments<'_>) {
-    let mut stdout = std::io::stdout().lock();
-    let _ = writeln!(stdout, "{line}");
-    let _ = stdout.flush();
+/// Where the shard's protocol lines go: the parent reads exactly one of
+/// these channels, and every line on it is a heartbeat.
+#[derive(Clone)]
+enum Emitter {
+    /// Local mode: lines on stdout, read by the parent's pipe watcher.
+    Stdout,
+    /// Agent mode: lines over the collector connection. The same mutex
+    /// serializes the record frames ([`FramedSink`] shares the stream), so
+    /// lines never interleave mid-frame.
+    Wire(Arc<Mutex<TcpStream>>),
+}
+
+impl Emitter {
+    /// Dials the parent's collector with bounded retry (the parent may
+    /// still be binding when the first child launches) and announces this
+    /// (shard, incarnation) with the `hello` frame.
+    fn connect(addr: &str, index: usize, of: usize, incarnation: u32) -> Result<Emitter, CliError> {
+        let mut backoff = Duration::from_millis(50);
+        let mut last_error = String::new();
+        for attempt in 0..6 {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let wire = Arc::new(Mutex::new(stream));
+                    let emitter = Emitter::Wire(wire);
+                    emitter.emit(format_args!(
+                        "{PROTOCOL_PREFIX} hello index={index} of={of} incarnation={incarnation}"
+                    ));
+                    return Ok(emitter);
+                }
+                Err(e) => last_error = e.to_string(),
+            }
+        }
+        Err(CliError::run(format!(
+            "shard {index}: failed to reach the collector at {addr}: {last_error}"
+        )))
+    }
+
+    /// Prints one protocol line and flushes, so the parent sees it
+    /// immediately (a buffered heartbeat is no heartbeat).
+    fn emit(&self, line: fmt::Arguments<'_>) {
+        match self {
+            Emitter::Stdout => {
+                let mut stdout = std::io::stdout().lock();
+                let _ = writeln!(stdout, "{line}");
+                let _ = stdout.flush();
+            }
+            Emitter::Wire(wire) => {
+                // Held across the whole writeln: the formatter may write in
+                // fragments, and the record sink shares this stream.
+                let mut stream = wire.lock().expect("wire lock");
+                let _ = writeln!(stream, "{line}");
+                let _ = stream.flush();
+            }
+        }
+    }
 }
 
 /// Runs the shard and returns the process exit code.
 pub fn run(args: &ShardArgs) -> i32 {
-    // Boot heartbeats: the parent's stall clock starts at spawn, but the
-    // first protocol event (`start`) only comes after the spec parse, plan
-    // derivation and cache preload — and a paper-scale cache file can take
-    // longer to preload than the stall timeout. Beat through the startup
-    // window so a healthy preload is never killed as a straggler; real
-    // stall detection begins once trials run.
-    let started = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let emitter = match &args.connect {
+        Some(addr) => match Emitter::connect(addr, args.index, args.of, args.incarnation) {
+            Ok(emitter) => emitter,
+            Err(e) => {
+                eprintln!("rowpress-campaign shard {}: {e}", args.index);
+                return EXIT_RUN;
+            }
+        },
+        None => Emitter::Stdout,
+    };
+    // Boot heartbeats: the parent's connect window ends at our first line,
+    // and its stall clock starts there — but the first protocol event
+    // (`start`) only comes after the spec parse, plan derivation and cache
+    // preload, and a paper-scale cache file can take longer to preload than
+    // the stall timeout. Beat through the startup window so a healthy
+    // preload is never killed as a straggler; real stall detection begins
+    // once trials run.
+    let started = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let boot = {
-        let started = std::sync::Arc::clone(&started);
+        let started = Arc::clone(&started);
+        let emitter = emitter.clone();
         let index = args.index;
         std::thread::spawn(move || {
             while !started.load(std::sync::atomic::Ordering::Relaxed) {
-                emit(format_args!("{PROTOCOL_PREFIX} boot index={index}"));
-                std::thread::sleep(std::time::Duration::from_millis(300));
+                emitter.emit(format_args!("{PROTOCOL_PREFIX} boot index={index}"));
+                std::thread::sleep(Duration::from_millis(300));
             }
         })
     };
@@ -167,66 +277,71 @@ pub fn run(args: &ShardArgs) -> i32 {
     };
     let fault = args.fault;
     let boot_done = started.clone();
-    let result = run_shard(
-        &spec,
-        args.index,
-        args.of,
-        &args.cache,
-        &args.out,
-        |event| {
-            match event {
-                ShardEvent::Started { preloaded, total } => {
-                    boot_done.store(true, std::sync::atomic::Ordering::Relaxed);
-                    emit(format_args!(
-                        "{PROTOCOL_PREFIX} start index={} of={} total={total} preloaded={preloaded}",
-                        args.index, args.of
-                    ));
-                }
-                ShardEvent::Beat {
-                    computed_live,
-                    replayed_live,
-                } => emit(format_args!(
-                    "{PROTOCOL_PREFIX} beat computed_live={computed_live} \
-                     replayed_live={replayed_live}"
-                )),
-                ShardEvent::Progress {
-                    done,
-                    total,
-                    computed,
-                    replayed,
-                } => emit(format_args!(
-                    "{PROTOCOL_PREFIX} progress done={done} total={total} \
-                     computed={computed} replayed={replayed}"
-                )),
-                ShardEvent::Finished {
-                    total,
-                    computed,
-                    replayed,
-                } => emit(format_args!(
-                    "{PROTOCOL_PREFIX} done total={total} computed={computed} replayed={replayed}"
-                )),
+    let events = emitter.clone();
+    let on_event = move |event: ShardEvent| {
+        match event {
+            ShardEvent::Started { preloaded, total } => {
+                boot_done.store(true, std::sync::atomic::Ordering::Relaxed);
+                events.emit(format_args!(
+                    "{PROTOCOL_PREFIX} start index={} of={} total={total} preloaded={preloaded}",
+                    args.index, args.of
+                ));
             }
-            if let ShardEvent::Progress { computed, .. } = event {
-                match fault {
-                    Some(Fault::ExitAfter(n)) if computed >= n => {
-                        emit(format_args!("{PROTOCOL_PREFIX} fault exit-after={n}"));
-                        // The per-record cache flush already persisted every
-                        // computed outcome; dying here loses nothing.
-                        std::process::exit(EXIT_FAULT);
-                    }
-                    Some(Fault::HangAfter(n)) if computed >= n => {
-                        emit(format_args!("{PROTOCOL_PREFIX} fault hang-after={n}"));
-                        // Wedge without exiting: heartbeats stop, the parent's
-                        // stall detector must notice and kill us.
-                        loop {
-                            std::thread::sleep(std::time::Duration::from_secs(3600));
-                        }
-                    }
-                    _ => {}
+            ShardEvent::Beat {
+                computed_live,
+                replayed_live,
+            } => events.emit(format_args!(
+                "{PROTOCOL_PREFIX} beat computed_live={computed_live} \
+                 replayed_live={replayed_live}"
+            )),
+            ShardEvent::Progress {
+                done,
+                total,
+                computed,
+                replayed,
+            } => events.emit(format_args!(
+                "{PROTOCOL_PREFIX} progress done={done} total={total} \
+                 computed={computed} replayed={replayed}"
+            )),
+            ShardEvent::Finished {
+                total,
+                computed,
+                replayed,
+            } => events.emit(format_args!(
+                "{PROTOCOL_PREFIX} done total={total} computed={computed} replayed={replayed}"
+            )),
+        }
+        if let ShardEvent::Progress { computed, .. } = event {
+            match fault {
+                Some(Fault::ExitAfter(n)) if computed >= n => {
+                    events.emit(format_args!("{PROTOCOL_PREFIX} fault exit-after={n}"));
+                    // The per-record cache flush already persisted every
+                    // computed outcome; dying here loses nothing.
+                    std::process::exit(EXIT_FAULT);
                 }
+                Some(Fault::HangAfter(n)) if computed >= n => {
+                    events.emit(format_args!("{PROTOCOL_PREFIX} fault hang-after={n}"));
+                    // Wedge without exiting: heartbeats stop, the parent's
+                    // stall detector must notice and kill us.
+                    loop {
+                        std::thread::sleep(Duration::from_secs(3600));
+                    }
+                }
+                _ => {}
             }
-        },
-    );
+        }
+    };
+    let result = match (&args.out, &emitter) {
+        (Some(out), _) => run_shard(&spec, args.index, args.of, &args.cache, out, on_event),
+        (None, Emitter::Wire(wire)) => {
+            // Records ride the connection as `record` frames; ThreadedSink
+            // keeps serialization off the trial loop exactly as in local
+            // mode, FramedSink makes each record one atomic line.
+            let sink = ThreadedSink::new(FramedSink::new(Arc::clone(wire), RECORD_FRAME_PREFIX));
+            run_shard_with(&spec, args.index, args.of, &args.cache, sink, on_event)
+        }
+        (None, Emitter::Stdout) => unreachable!("ShardArgs::parse requires --out or --connect"),
+    };
     started.store(true, std::sync::atomic::Ordering::Relaxed);
     let _ = boot.join();
     match result {

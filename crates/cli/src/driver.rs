@@ -1,27 +1,38 @@
-//! The parent orchestrator: spawn the shard processes, watch their
-//! heartbeats, respawn stragglers, merge and verify the result.
+//! The parent orchestrator: launch the shards through a transport, watch
+//! their liveness, respawn stragglers, merge and verify the result.
 //!
 //! The parent is deliberately stateless about trial outcomes — all campaign
 //! state lives in the shards' persistent-cache files, so the recovery story
 //! is uniform: whatever killed a shard (crash, OOM, operator, stall
-//! detector), the respawned incarnation preloads its cache and recomputes
-//! nothing. The parent only tracks liveness: a shard that prints no
-//! protocol line for `stall_timeout_ms` is killed and respawned, and a
-//! shard that exceeds `max_respawns` aborts the campaign (exit code 4).
+//! detector, a torn TCP stream), the respawned incarnation preloads its
+//! cache and recomputes nothing. The parent only tracks liveness, through
+//! two clocks with distinct budgets:
+//!
+//! * the **connect window** (`connect_timeout_ms`) runs from launch until
+//!   the shard's first frame reaches the transport — process start, socket
+//!   dial, retries;
+//! * the **stall clock** (`stall_timeout_ms`) runs from the last frame of a
+//!   *connected* shard — it deliberately does not start at launch, so a
+//!   slow transport handshake is never misdiagnosed as a wedged worker.
+//!
+//! A shard that overruns either clock is killed and respawned; a shard
+//! that exceeds `max_respawns` aborts the campaign (exit code 4).
+//!
+//! [`supervise`] is generic over the [`Transport`], which is what makes the
+//! whole watch loop testable in-process against the scripted
+//! [`FaultInjector`](crate::transport::FaultInjector).
 
-use crate::child::{Fault, PROTOCOL_PREFIX};
+use crate::child::Fault;
+use crate::transport::{
+    Liveness, LocalProcess, ShardHandle, ShardStatus, TcpAgent, Transport, TransportKind,
+};
 use crate::{parse_number, CliError, EXIT_OK, EXIT_VERIFY};
-use rowpress_core::campaign::{shard_cache_path, shard_output_path, CampaignSpec, MERGED_FILENAME};
-use rowpress_core::engine::{Engine, JsonlReader, JsonlSink, Sink};
-use std::collections::HashMap;
+use rowpress_core::campaign::{CampaignSpec, MERGED_FILENAME};
+use rowpress_core::engine::{Engine, JsonlSink, Plan, Sink};
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::time::Duration;
 
 /// Parsed options of the `run` command.
 #[derive(Debug)]
@@ -29,7 +40,9 @@ pub struct RunOptions {
     spec_path: PathBuf,
     out_dir: PathBuf,
     shards: Option<usize>,
+    transport: TransportKind,
     stall_timeout_ms: Option<u64>,
+    connect_timeout_ms: Option<u64>,
     max_respawns: Option<u32>,
     verify: bool,
     faults: Vec<(usize, Fault)>,
@@ -43,7 +56,9 @@ impl RunOptions {
             spec_path: PathBuf::from(spec_path),
             out_dir: PathBuf::from("campaign-out"),
             shards: None,
+            transport: TransportKind::Local,
             stall_timeout_ms: None,
+            connect_timeout_ms: None,
             max_respawns: None,
             verify: false,
             faults: Vec::new(),
@@ -60,10 +75,19 @@ impl RunOptions {
                 "--shards" => {
                     options.shards = Some(parse_number(&value("--shards")?, "--shards")?);
                 }
+                "--transport" => {
+                    options.transport = TransportKind::parse(&value("--transport")?)?;
+                }
                 "--stall-timeout-ms" => {
                     options.stall_timeout_ms = Some(parse_number(
                         &value("--stall-timeout-ms")?,
                         "--stall-timeout-ms",
+                    )?);
+                }
+                "--connect-timeout-ms" => {
+                    options.connect_timeout_ms = Some(parse_number(
+                        &value("--connect-timeout-ms")?,
+                        "--connect-timeout-ms",
                     )?);
                 }
                 "--max-respawns" => {
@@ -86,8 +110,167 @@ impl RunOptions {
     }
 }
 
-/// Executes the `run` command end to end: resolve, fan out, watch, merge,
-/// verify. Returns the process exit code.
+/// The watch loop's clocks and budgets.
+#[derive(Debug, Clone)]
+pub struct WatchPolicy {
+    /// Kill a *connected* shard after this long without a frame.
+    pub stall: Duration,
+    /// Kill a launched shard that produced no frame at all after this long.
+    pub connect: Duration,
+    /// Respawns allowed per shard before the campaign aborts.
+    pub max_respawns: u32,
+    /// How often the loop polls the handles.
+    pub poll: Duration,
+}
+
+impl WatchPolicy {
+    /// The policy a resolved spec asks for, at the default poll cadence.
+    pub fn from_spec(spec: &CampaignSpec) -> Self {
+        WatchPolicy {
+            stall: Duration::from_millis(spec.orchestration.stall_timeout_ms),
+            connect: Duration::from_millis(spec.orchestration.connect_timeout_ms),
+            max_respawns: spec.orchestration.max_respawns,
+            poll: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What [`supervise`] observed, for callers (and tests) that care how hard
+/// the campaign had to fight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperviseReport {
+    /// Respawns each shard consumed (index-aligned; all zeros on a calm
+    /// run).
+    pub respawns: Vec<u32>,
+}
+
+/// One supervised shard's watch-loop state.
+struct Supervised {
+    index: usize,
+    handle: Box<dyn ShardHandle>,
+    respawns: u32,
+    finished: bool,
+}
+
+/// Launches every shard through the transport and babysits the fleet to
+/// completion: dead, stalled or never-connecting shards are killed and
+/// relaunched until they finish or exhaust their respawn budget.
+///
+/// # Errors
+///
+/// Returns a run-level [`CliError`] when a shard cannot be (re)launched or
+/// exceeds `policy.max_respawns`; every unfinished shard is killed before
+/// the error propagates, so no orphan processes outlive the campaign.
+pub fn supervise(
+    transport: &mut dyn Transport,
+    of: usize,
+    policy: &WatchPolicy,
+) -> Result<SuperviseReport, CliError> {
+    let mut fleet = Vec::with_capacity(of);
+    for index in 0..of {
+        fleet.push(Supervised {
+            index,
+            handle: transport.launch(index, 0)?,
+            respawns: 0,
+            finished: false,
+        });
+    }
+    let result = watch(transport, &mut fleet, policy);
+    if result.is_err() {
+        for shard in &mut fleet {
+            if !shard.finished {
+                shard.handle.kill();
+            }
+        }
+    }
+    result.map(|()| SuperviseReport {
+        respawns: fleet.iter().map(|s| s.respawns).collect(),
+    })
+}
+
+fn watch(
+    transport: &mut dyn Transport,
+    fleet: &mut [Supervised],
+    policy: &WatchPolicy,
+) -> Result<(), CliError> {
+    loop {
+        let mut live = 0usize;
+        for shard in fleet.iter_mut() {
+            if shard.finished {
+                continue;
+            }
+            live += 1;
+            match shard.handle.poll()? {
+                ShardStatus::Exited { clean } => {
+                    if clean && shard.handle.done() {
+                        shard.finished = true;
+                        println!(
+                            "campaign: shard {} finished ({} respawn(s))",
+                            shard.index, shard.respawns
+                        );
+                    } else {
+                        println!("campaign: shard {} died, respawning", shard.index);
+                        respawn(transport, shard, policy)?;
+                    }
+                }
+                ShardStatus::Running => match shard.handle.liveness() {
+                    Liveness::Connecting { waited } if waited >= policy.connect => {
+                        println!(
+                            "campaign: shard {} never connected ({} ms since launch), \
+                             killing and respawning",
+                            shard.index,
+                            waited.as_millis()
+                        );
+                        shard.handle.kill();
+                        respawn(transport, shard, policy)?;
+                    }
+                    Liveness::Alive { quiet } if quiet >= policy.stall => {
+                        println!(
+                            "campaign: shard {} stalled ({} ms without a heartbeat), \
+                             killing and respawning",
+                            shard.index,
+                            quiet.as_millis()
+                        );
+                        shard.handle.kill();
+                        respawn(transport, shard, policy)?;
+                    }
+                    _ => {}
+                },
+            }
+        }
+        if live == 0 {
+            return Ok(());
+        }
+        std::thread::sleep(policy.poll);
+    }
+}
+
+fn respawn(
+    transport: &mut dyn Transport,
+    shard: &mut Supervised,
+    policy: &WatchPolicy,
+) -> Result<(), CliError> {
+    let used = shard.respawns + 1;
+    if used > policy.max_respawns {
+        return Err(CliError::run(format!(
+            "shard {} exceeded its respawn budget ({} allowed); aborting the campaign \
+             (completed trials are preserved in the shard's persistent cache)",
+            shard.index, policy.max_respawns
+        )));
+    }
+    shard.handle = transport.launch(shard.index, used)?;
+    shard.respawns = used;
+    Ok(())
+}
+
+/// Executes the `run` command end to end: resolve, fan out through the
+/// selected transport, watch, merge, verify. Returns the process exit code.
+///
+/// # Errors
+///
+/// Returns the [`CliError`] mapping to the documented exit codes: spec
+/// failures, launch/transport failures, respawn-budget exhaustion, and
+/// `--verify` mismatches.
 pub fn orchestrate(options: RunOptions) -> Result<i32, CliError> {
     let mut spec = CampaignSpec::from_path(&options.spec_path)?;
     if let Some(shards) = options.shards {
@@ -95,6 +278,9 @@ pub fn orchestrate(options: RunOptions) -> Result<i32, CliError> {
     }
     if let Some(timeout) = options.stall_timeout_ms {
         spec.orchestration.stall_timeout_ms = timeout;
+    }
+    if let Some(timeout) = options.connect_timeout_ms {
+        spec.orchestration.connect_timeout_ms = timeout;
     }
     if let Some(budget) = options.max_respawns {
         spec.orchestration.max_respawns = budget;
@@ -118,21 +304,46 @@ pub fn orchestrate(options: RunOptions) -> Result<i32, CliError> {
         options.out_dir.display()
     );
 
-    let orchestrator = Orchestrator {
-        exe: std::env::current_exe()?,
-        spec_file: resolved,
-        out_dir: options.out_dir.clone(),
-        of,
-        stall: Duration::from_millis(spec.orchestration.stall_timeout_ms),
-        max_respawns: spec.orchestration.max_respawns,
-        faults: options.faults.iter().copied().collect(),
+    let exe = std::env::current_exe()?;
+    let faults = options.faults.iter().copied().collect();
+    let mut transport: Box<dyn Transport> = match &options.transport {
+        TransportKind::Local => Box::new(LocalProcess::new(
+            exe,
+            resolved,
+            options.out_dir.clone(),
+            of,
+            faults,
+        )),
+        TransportKind::Tcp(bind_addr) => {
+            let agent = TcpAgent::new(
+                exe,
+                resolved,
+                options.out_dir.clone(),
+                of,
+                faults,
+                bind_addr,
+                &spec,
+            )?;
+            println!("campaign: collector listening on {}", agent.local_addr());
+            Box::new(agent)
+        }
     };
-    orchestrator.supervise()?;
+    let policy = WatchPolicy::from_spec(&spec);
+    supervise(transport.as_mut(), of, &policy)?;
 
+    let shards = (0..of)
+        .map(|i| transport.collect(i))
+        .collect::<Result<Vec<_>, _>>()?;
+    let records = Plan::merge(shards);
     let merged_path = options.out_dir.join(MERGED_FILENAME);
-    let merged = merge_shards(&options.out_dir, of, &merged_path)?;
+    let mut sink = JsonlSink::new(BufWriter::new(File::create(&merged_path)?));
+    let count = records.len();
+    for record in records {
+        sink.accept(record)?;
+    }
+    sink.finish()?;
     println!(
-        "campaign: merged {merged} records into {}",
+        "campaign: merged {count} records into {}",
         merged_path.display()
     );
 
@@ -156,189 +367,6 @@ pub fn orchestrate(options: RunOptions) -> Result<i32, CliError> {
         );
     }
     Ok(EXIT_OK)
-}
-
-/// One live shard process and the channel back to its watcher state.
-struct RunningShard {
-    index: usize,
-    child: Child,
-    /// Updated by the reader thread on every stdout line.
-    beat: Arc<Mutex<Instant>>,
-    /// Set when the protocol `done` line was seen.
-    done: Arc<AtomicBool>,
-    reader: Option<JoinHandle<()>>,
-    respawns: u32,
-    finished: bool,
-}
-
-struct Orchestrator {
-    exe: PathBuf,
-    spec_file: PathBuf,
-    out_dir: PathBuf,
-    of: usize,
-    stall: Duration,
-    max_respawns: u32,
-    faults: HashMap<usize, Fault>,
-}
-
-impl Orchestrator {
-    /// Spawns every shard and babysits them to completion (or aborts the
-    /// campaign when one exhausts its respawn budget).
-    fn supervise(&self) -> Result<(), CliError> {
-        let mut shards = Vec::with_capacity(self.of);
-        for index in 0..self.of {
-            shards.push(self.spawn(index, 0)?);
-        }
-        let result = self.watch(&mut shards);
-        if result.is_err() {
-            for shard in &mut shards {
-                if !shard.finished {
-                    let _ = shard.child.kill();
-                    let _ = shard.child.wait();
-                }
-            }
-        }
-        result
-    }
-
-    fn watch(&self, shards: &mut [RunningShard]) -> Result<(), CliError> {
-        loop {
-            let mut live = 0usize;
-            for shard in shards.iter_mut() {
-                if shard.finished {
-                    continue;
-                }
-                live += 1;
-                match shard.child.try_wait().map_err(CliError::from)? {
-                    Some(status) => {
-                        // Drain the rest of the pipe before judging the exit.
-                        if let Some(reader) = shard.reader.take() {
-                            let _ = reader.join();
-                        }
-                        if status.success() && shard.done.load(Ordering::Relaxed) {
-                            shard.finished = true;
-                            println!(
-                                "campaign: shard {} finished ({} respawn(s))",
-                                shard.index, shard.respawns
-                            );
-                        } else {
-                            println!(
-                                "campaign: shard {} died ({status}), respawning",
-                                shard.index
-                            );
-                            self.respawn(shard)?;
-                        }
-                    }
-                    None => {
-                        let quiet = shard.beat.lock().expect("beat lock").elapsed();
-                        if quiet >= self.stall {
-                            println!(
-                                "campaign: shard {} stalled ({} ms without a heartbeat), \
-                                 killing and respawning",
-                                shard.index,
-                                quiet.as_millis()
-                            );
-                            let _ = shard.child.kill();
-                            let _ = shard.child.wait();
-                            if let Some(reader) = shard.reader.take() {
-                                let _ = reader.join();
-                            }
-                            self.respawn(shard)?;
-                        }
-                    }
-                }
-            }
-            if live == 0 {
-                return Ok(());
-            }
-            std::thread::sleep(Duration::from_millis(25));
-        }
-    }
-
-    fn respawn(&self, shard: &mut RunningShard) -> Result<(), CliError> {
-        let used = shard.respawns + 1;
-        if used > self.max_respawns {
-            return Err(CliError::run(format!(
-                "shard {} exceeded its respawn budget ({} allowed); aborting the campaign \
-                 (completed trials are preserved in {})",
-                shard.index,
-                self.max_respawns,
-                shard_cache_path(&self.out_dir, shard.index).display()
-            )));
-        }
-        *shard = self.spawn(shard.index, used)?;
-        Ok(())
-    }
-
-    /// Spawns one shard child with piped stdout and a reader thread that
-    /// relays its lines (prefixed) and timestamps every one as a heartbeat.
-    fn spawn(&self, index: usize, respawns: u32) -> Result<RunningShard, CliError> {
-        let mut command = Command::new(&self.exe);
-        command
-            .arg("__shard")
-            .arg(&self.spec_file)
-            .args(["--index", &index.to_string()])
-            .args(["--of", &self.of.to_string()])
-            .arg("--cache")
-            .arg(shard_cache_path(&self.out_dir, index))
-            .arg("--out")
-            .arg(shard_output_path(&self.out_dir, index))
-            .stdin(Stdio::null())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit());
-        if let Some(fault) = self.faults.get(&index) {
-            command.args(["--fault", &fault.to_arg()]);
-        }
-        let mut child = command
-            .spawn()
-            .map_err(|e| CliError::run(format!("failed to spawn shard {index}: {e}")))?;
-        let stdout = child.stdout.take().expect("stdout was piped");
-        let beat = Arc::new(Mutex::new(Instant::now()));
-        let done = Arc::new(AtomicBool::new(false));
-        let reader = {
-            let beat = Arc::clone(&beat);
-            let done = Arc::clone(&done);
-            std::thread::spawn(move || {
-                let done_prefix = format!("{PROTOCOL_PREFIX} done");
-                for line in BufReader::new(stdout).lines() {
-                    let Ok(line) = line else { break };
-                    *beat.lock().expect("beat lock") = Instant::now();
-                    if line.starts_with(&done_prefix) {
-                        done.store(true, Ordering::Relaxed);
-                    }
-                    // Relay with a stable prefix: the parent's stdout is the
-                    // campaign log (and what the recovery tests parse).
-                    let mut out = std::io::stdout().lock();
-                    let _ = writeln!(out, "[shard {index}] {line}");
-                    let _ = out.flush();
-                }
-            })
-        };
-        Ok(RunningShard {
-            index,
-            child,
-            beat,
-            done,
-            reader: Some(reader),
-            respawns,
-            finished: false,
-        })
-    }
-}
-
-/// Merge-sorts the shard output files into the plan-ordered merged stream.
-fn merge_shards(out_dir: &Path, of: usize, merged_path: &Path) -> Result<usize, CliError> {
-    let readers = (0..of)
-        .map(|i| JsonlReader::from_path(shard_output_path(out_dir, i)))
-        .collect::<std::io::Result<Vec<_>>>()?;
-    let records = JsonlReader::merge_shards(readers)?;
-    let count = records.len();
-    let mut sink = JsonlSink::new(BufWriter::new(File::create(merged_path)?));
-    for record in records {
-        sink.accept(record)?;
-    }
-    sink.finish()?;
-    Ok(count)
 }
 
 /// The single-process reference stream `--verify` compares against.

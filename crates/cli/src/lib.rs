@@ -1,0 +1,103 @@
+//! Library layer of `rowpress-campaign` — the multi-process, multi-host
+//! campaign orchestrator.
+//!
+//! The binary (`src/main.rs`) is a thin argument dispatcher; everything it
+//! does lives here so the orchestrator's fault tolerance is *testable
+//! in-process*:
+//!
+//! * [`transport`] — the [`Transport`](transport::Transport) trait that
+//!   abstracts how the parent reaches its shard children (spawn, heartbeat
+//!   frames, kill, record collection), with three implementations:
+//!   [`LocalProcess`](transport::LocalProcess) (child processes over stdout
+//!   pipes), [`TcpAgent`](transport::TcpAgent) (children stream frames and
+//!   records over a socket to the parent's collector), and
+//!   [`FaultInjector`](transport::FaultInjector) (a scripted in-memory
+//!   transport that injects partitions, torn frames, duplicates, slow drips
+//!   and half-dead children deterministically).
+//! * [`driver`] — the transport-generic watch loop
+//!   ([`driver::supervise`]): launch every shard, respawn dead, stalled or
+//!   unreachable ones within a per-shard budget, then merge the collected
+//!   streams byte-identically to a single-process run.
+//! * [`child`] — the `__shard` child mode both process transports spawn.
+
+pub mod child;
+pub mod driver;
+pub mod transport;
+
+use rowpress_core::campaign::SpecError;
+use std::fmt;
+
+/// Exit code: success.
+pub const EXIT_OK: i32 = 0;
+/// Exit code: bad command line (unknown flag, missing operand).
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code: the spec failed to parse, validate, or resolve to a plan.
+pub const EXIT_SPEC: i32 = 3;
+/// Exit code: execution failed (I/O, engine error, a shard exhausted its
+/// respawn budget, or a transport fault could not be recovered).
+pub const EXIT_RUN: i32 = 4;
+/// Exit code: `--verify` found the merged stream differs from the
+/// single-process stream.
+pub const EXIT_VERIFY: i32 = 5;
+/// Exit code a child uses when an injected test fault fires (see
+/// `--fault`); the parent treats it like any other crash and respawns.
+pub const EXIT_FAULT: i32 = 9;
+
+/// A fatal CLI error carrying its exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// The process exit code this error maps to.
+    pub code: i32,
+    /// Human-readable description, printed to stderr.
+    pub message: String,
+}
+
+impl CliError {
+    /// A usage error ([`EXIT_USAGE`]).
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            code: EXIT_USAGE,
+            message: message.into(),
+        }
+    }
+
+    /// An execution error ([`EXIT_RUN`]).
+    pub fn run(message: impl Into<String>) -> Self {
+        CliError {
+            code: EXIT_RUN,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        CliError {
+            code: EXIT_SPEC,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::run(e.to_string())
+    }
+}
+
+/// Parses a numeric flag value, shared by every subcommand's flag parser.
+///
+/// # Errors
+///
+/// Returns a usage-level [`CliError`] naming the flag when `text` does not
+/// parse.
+pub fn parse_number<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, CliError> {
+    text.parse()
+        .map_err(|_| CliError::usage(format!("{flag}: `{text}` is not a non-negative integer")))
+}

@@ -4,39 +4,23 @@
 //! DRAM-Bender boards by a cluster scheduler. This binary is that scheduler
 //! for the reproduction: the parent process resolves a TOML/JSON
 //! [`CampaignSpec`] to a trial [`Plan`](rowpress_core::engine::Plan),
-//! spawns one child shard process of itself per
-//! [`Plan::shard`](rowpress_core::engine::Plan::shard), watches
-//! heartbeat/progress lines on each child's stdout (a dead or stalled shard
-//! is killed and respawned, resuming from its persistent cache so no
-//! measured point is recomputed), then merge-sorts the shard outputs into a
+//! launches one shard of itself per
+//! [`Plan::shard`](rowpress_core::engine::Plan::shard) through a
+//! [`Transport`](rowpress_cli::transport::Transport) (local child processes
+//! by default, a line-oriented TCP agent with `--transport tcp://…`),
+//! watches heartbeat frames from each shard (a dead, stalled or unreachable
+//! shard is killed and respawned, resuming from its persistent cache so no
+//! measured point is recomputed), then merge-sorts the shard streams into a
 //! stream byte-identical to a single-process run.
 //!
 //! See `README.md` ("Operating a campaign") for the spec format, the
-//! output-file layout, and the straggler policy; `ARCHITECTURE.md` places
-//! the orchestrator in the system's layer diagram.
+//! output-file layout, the transport matrix and the straggler policy;
+//! `ARCHITECTURE.md` places the orchestrator and the transport layer in the
+//! system's layer diagram.
 
-use rowpress_core::campaign::{CampaignSpec, SpecError};
-use std::fmt;
+use rowpress_cli::{child, driver, CliError, EXIT_OK};
+use rowpress_core::campaign::CampaignSpec;
 use std::path::PathBuf;
-
-mod child;
-mod driver;
-
-/// Exit code: success.
-pub const EXIT_OK: i32 = 0;
-/// Exit code: bad command line (unknown flag, missing operand).
-pub const EXIT_USAGE: i32 = 2;
-/// Exit code: the spec failed to parse, validate, or resolve to a plan.
-pub const EXIT_SPEC: i32 = 3;
-/// Exit code: execution failed (I/O, engine error, or a shard exhausted its
-/// respawn budget).
-pub const EXIT_RUN: i32 = 4;
-/// Exit code: `--verify` found the merged stream differs from the
-/// single-process stream.
-pub const EXIT_VERIFY: i32 = 5;
-/// Exit code a child uses when an injected test fault fires (see
-/// `--fault`); the parent treats it like any other crash and respawns.
-pub const EXIT_FAULT: i32 = 9;
 
 const USAGE: &str = "\
 rowpress-campaign — multi-process RowPress characterization campaigns
@@ -50,7 +34,13 @@ USAGE:
 RUN OPTIONS:
     --out-dir <DIR>           output directory [default: campaign-out]
     --shards <N>              override the spec's shard count
+    --transport <T>           shard transport: `local` (child processes over
+                              stdout pipes, the default) or `tcp://HOST:PORT`
+                              (children stream frames + records over a socket
+                              to the parent's collector; port 0 picks a free
+                              port)
     --stall-timeout-ms <MS>   override the spec's straggler timeout
+    --connect-timeout-ms <MS> override the spec's transport connect window
     --max-respawns <N>        override the spec's per-shard respawn budget
     --verify                  re-run single-process and require the merged
                               stream to be byte-identical
@@ -69,63 +59,13 @@ EXIT CODES:
     4  execution failure (incl. a shard exhausting its respawn budget)
     5  --verify mismatch";
 
-/// A fatal CLI error carrying its exit code.
-#[derive(Debug)]
-struct CliError {
-    code: i32,
-    message: String,
-}
-
-impl CliError {
-    fn usage(message: impl Into<String>) -> Self {
-        CliError {
-            code: EXIT_USAGE,
-            message: message.into(),
-        }
-    }
-
-    fn run(message: impl Into<String>) -> Self {
-        CliError {
-            code: EXIT_RUN,
-            message: message.into(),
-        }
-    }
-}
-
-impl fmt::Display for CliError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.message)
-    }
-}
-
-impl From<SpecError> for CliError {
-    fn from(e: SpecError) -> Self {
-        CliError {
-            code: EXIT_SPEC,
-            message: e.to_string(),
-        }
-    }
-}
-
-impl From<std::io::Error> for CliError {
-    fn from(e: std::io::Error) -> Self {
-        CliError::run(e.to_string())
-    }
-}
-
-/// Parses a numeric flag value, shared by every subcommand's flag parser.
-fn parse_number<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, CliError> {
-    text.parse()
-        .map_err(|_| CliError::usage(format!("{flag}: `{text}` is not a non-negative integer")))
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match dispatch(&args) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("rowpress-campaign: {e}");
-            if e.code == EXIT_USAGE {
+            if e.code == rowpress_cli::EXIT_USAGE {
                 eprintln!("\n{USAGE}");
             }
             e.code

@@ -1,0 +1,228 @@
+//! The parent-side per-shard stream collector: validate, dedupe, reject.
+//!
+//! Transports that carry records over the connection (TCP, the fault
+//! injector) feed every received line through a [`ShardCollector`]. The
+//! collector knows the shard's expected trial sequence (derived from the
+//! plan, which every process derives identically), so it can judge each
+//! `record` frame deterministically:
+//!
+//! * the next expected record → accepted;
+//! * an exact duplicate of the previously accepted record → dropped and
+//!   counted (at-least-once delivery folds to exactly-once);
+//! * anything else — out of order, unknown, torn mid-JSON — → the
+//!   incarnation is *faulted*: its partial stream is discarded and the
+//!   watch loop respawns the shard, which replays from its persistent
+//!   cache. Dropped frames surface the same way (the successor record
+//!   arrives out of order) or as a short stream at `done`.
+//!
+//! Either way the outcome is documented and deterministic: a byte-identical
+//! merged stream, or a respawn charged against the shard's budget — never
+//! silent partial output.
+
+use super::frame::Frame;
+use rowpress_core::engine::{Trial, TrialRecord};
+use std::sync::Arc;
+
+/// Validating accumulator for one shard incarnation's record stream.
+#[derive(Debug)]
+pub struct ShardCollector {
+    expected: Arc<Vec<Trial>>,
+    records: Vec<TrialRecord>,
+    duplicates: u64,
+    fault: Option<String>,
+    complete: bool,
+}
+
+impl ShardCollector {
+    /// A collector expecting the given trial sequence (the shard's
+    /// sub-plan, in plan order).
+    pub fn new(expected: Arc<Vec<Trial>>) -> Self {
+        ShardCollector {
+            expected,
+            records: Vec::new(),
+            duplicates: 0,
+            fault: None,
+            complete: false,
+        }
+    }
+
+    /// Feeds one received line. Non-protocol lines and non-record frames
+    /// are ignored here (they are heartbeats; the transport timestamps
+    /// them); `record` and `done` frames drive the state machine.
+    pub fn ingest(&mut self, line: &str) {
+        if self.fault.is_some() {
+            return;
+        }
+        match Frame::parse(line) {
+            Some(Frame::Record(payload)) => self.ingest_record(payload),
+            Some(Frame::Done { total, .. }) => {
+                if self.records.len() == self.expected.len() && total as usize == self.records.len()
+                {
+                    self.complete = true;
+                } else {
+                    self.fault = Some(format!(
+                        "done frame with an incomplete stream ({} of {} records)",
+                        self.records.len(),
+                        self.expected.len()
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn ingest_record(&mut self, payload: &str) {
+        let record: TrialRecord = match serde_json::from_str(payload) {
+            Ok(record) => record,
+            Err(_) => {
+                self.fault = Some(format!(
+                    "torn or corrupt record frame ({} bytes) at position {}",
+                    payload.len(),
+                    self.records.len()
+                ));
+                return;
+            }
+        };
+        let next = self.records.len();
+        if next < self.expected.len() && record.trial == self.expected[next] {
+            self.records.push(record);
+        } else if self.records.last() == Some(&record) {
+            // At-least-once delivery: an exact re-send of the last accepted
+            // record is dropped, deterministically.
+            self.duplicates += 1;
+        } else {
+            self.fault = Some(format!(
+                "record out of order or foreign to the shard's plan at position {next}"
+            ));
+        }
+    }
+
+    /// The first protocol violation, if any. A faulted incarnation's
+    /// partial stream must be discarded (the respawn replays it).
+    pub fn fault(&self) -> Option<&str> {
+        self.fault.as_deref()
+    }
+
+    /// Whether a `done` frame arrived with every expected record accepted.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Duplicate record frames dropped so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Records accepted so far (all of them, in plan order, when
+    /// [`is_complete`](Self::is_complete)).
+    pub fn records(&self) -> &[TrialRecord] {
+        &self.records
+    }
+
+    /// Consumes the collector, returning the accepted records.
+    pub fn into_records(self) -> Vec<TrialRecord> {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::frame::RECORD_FRAME_PREFIX;
+    use super::*;
+    use rowpress_core::campaign::CampaignSpec;
+    use rowpress_core::engine::{Engine, JsonlSink, Sink};
+
+    fn records() -> Vec<TrialRecord> {
+        let spec = CampaignSpec::parse(
+            r#"
+            [config]
+            preset = "test"
+            [grid]
+            modules = ["S3"]
+            [[measurement]]
+            kind = "ac_min"
+            t_aggon_ns = [36.0]
+            "#,
+        )
+        .unwrap();
+        Engine::new(&spec.config())
+            .run_collect(&spec.plan().unwrap())
+            .unwrap()
+    }
+
+    fn line(record: &TrialRecord) -> String {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.accept(record.clone()).unwrap();
+        let json = String::from_utf8(sink.into_inner()).unwrap();
+        format!("{RECORD_FRAME_PREFIX} {}", json.trim_end())
+    }
+
+    fn collector(records: &[TrialRecord]) -> ShardCollector {
+        ShardCollector::new(Arc::new(
+            records.iter().map(|r| r.trial.clone()).collect::<Vec<_>>(),
+        ))
+    }
+
+    #[test]
+    fn in_order_stream_completes() {
+        let records = records();
+        let mut c = collector(&records);
+        for record in &records {
+            c.ingest(&line(record));
+        }
+        c.ingest(&format!(
+            "##rowpress-shard done total={} computed=0 replayed=0",
+            records.len()
+        ));
+        assert!(c.is_complete());
+        assert_eq!(c.fault(), None);
+        assert_eq!(c.into_records(), records);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_and_counted() {
+        let records = records();
+        let mut c = collector(&records);
+        for record in &records {
+            c.ingest(&line(record));
+            c.ingest(&line(record)); // delivered twice
+        }
+        c.ingest(&format!(
+            "##rowpress-shard done total={} computed=0 replayed=0",
+            records.len()
+        ));
+        assert!(c.is_complete());
+        assert_eq!(c.duplicates(), records.len() as u64);
+        assert_eq!(c.records().len(), records.len());
+    }
+
+    #[test]
+    fn torn_record_frame_faults_the_incarnation() {
+        let records = records();
+        let mut c = collector(&records);
+        let full = line(&records[0]);
+        c.ingest(&full[..full.len() / 2]);
+        assert!(c.fault().unwrap().contains("torn"));
+        // Further input is ignored once faulted.
+        c.ingest(&line(&records[0]));
+        assert!(c.records().is_empty());
+    }
+
+    #[test]
+    fn out_of_order_and_short_streams_are_rejected() {
+        let records = records();
+        assert!(records.len() >= 2, "need two records for the swap");
+        let mut c = collector(&records);
+        c.ingest(&line(&records[1]));
+        assert!(c.fault().unwrap().contains("out of order"));
+
+        let mut c = collector(&records);
+        c.ingest(&line(&records[0]));
+        c.ingest(&format!(
+            "##rowpress-shard done total={} computed=0 replayed=0",
+            records.len()
+        ));
+        assert!(c.fault().unwrap().contains("incomplete"));
+        assert!(!c.is_complete());
+    }
+}

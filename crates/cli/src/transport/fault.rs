@@ -1,0 +1,433 @@
+//! The fault-injection transport: every network failure, scripted and
+//! deterministic, without spawning a process.
+//!
+//! [`FaultInjector`] simulates a shard fleet in-memory. It is constructed
+//! from the campaign's single-process record stream; each simulated shard
+//! incarnation is a thread that emits the exact frame lines a TCP shard
+//! would — through a [`ShardCollector`], under the same watch loop — while
+//! a [`FaultScript`] perturbs the stream: drop, duplicate, reorder or tear
+//! frames, delay the connect past the connect window, go silent past the
+//! stall threshold, or kill the incarnation at any byte offset.
+//!
+//! Scripts are addressed by `(shard, incarnation)`; an unscripted
+//! incarnation runs clean, so every scripted campaign either converges to
+//! the byte-identical merged stream (the respawned incarnation replays and
+//! completes) or exhausts the respawn budget with the documented exit code.
+//! Faults never touch the simulated persistent cache — a network fault is
+//! not a cache loss — so a respawn reports its predecessors' progress as
+//! `preloaded`.
+
+use super::frame::RECORD_FRAME_PREFIX;
+use super::{Liveness, ShardCollector, ShardHandle, ShardStatus, Transport};
+use crate::CliError;
+use rowpress_core::engine::{JsonlSink, Sink, Trial, TrialRecord};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sleep granularity of the simulator: stalls and delays are sliced this
+/// finely so a kill takes effect promptly.
+const SLEEP_SLICE: Duration = Duration::from_millis(5);
+
+/// One scripted perturbation of a shard incarnation's frame stream.
+/// Record indices are positions in the *shard's* plan-ordered stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Emit nothing (not even the `start` frame) for this long after
+    /// launch: a slow or unreachable connect.
+    ConnectDelay(Duration),
+    /// Drop record `0`-indexed frame N entirely (a lost packet).
+    DropRecord(usize),
+    /// Deliver record frame N twice (an at-least-once retransmit).
+    DuplicateRecord(usize),
+    /// Swap record frames N and N+1 (reordered delivery).
+    SwapRecords(usize),
+    /// Truncate record frame N to its first `keep_bytes` bytes (a torn
+    /// frame: the connection died mid-line but the fragment was flushed).
+    TearRecord {
+        /// Which record frame to tear.
+        index: usize,
+        /// How many bytes of the line survive.
+        keep_bytes: usize,
+    },
+    /// Go completely silent for `silence` after emitting record frame N
+    /// (a wedged peer or a long partition), then resume.
+    StallAfter {
+        /// The last record frame emitted before the silence.
+        index: usize,
+        /// How long the silence lasts.
+        silence: Duration,
+    },
+    /// Die uncleanly once `0`-indexed byte N of the stream would be
+    /// emitted; a final partial line (everything up to byte N) is flushed
+    /// first, torn mid-frame wherever N lands.
+    KillAtByte(u64),
+}
+
+/// The ordered perturbations applied to one shard incarnation.
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    /// The operations, applied together over the incarnation's stream.
+    pub ops: Vec<FaultOp>,
+}
+
+impl FaultScript {
+    /// A script from a list of operations.
+    pub fn new(ops: Vec<FaultOp>) -> Self {
+        FaultScript { ops }
+    }
+}
+
+/// The scripted in-memory transport (see the module docs).
+pub struct FaultInjector {
+    /// Per-shard full frame lines (`##rowpress-shard record {…}`), plan
+    /// order.
+    lines: Vec<Arc<Vec<String>>>,
+    /// Per-shard expected trial sequences, for the collectors.
+    expected: Vec<Arc<Vec<Trial>>>,
+    /// Per-shard completed record streams.
+    finals: Vec<Arc<Mutex<Option<Vec<TrialRecord>>>>>,
+    /// Simulated per-shard persistent cache: the high-water record count
+    /// any incarnation has computed. Survives kills; faults never touch it.
+    persisted: Vec<Arc<AtomicUsize>>,
+    scripts: HashMap<(usize, u32), FaultScript>,
+    of: usize,
+}
+
+impl FaultInjector {
+    /// A simulated fleet of `of` shards over the campaign's single-process
+    /// record stream (shard `i` gets records `i, i+of, i+2·of, …`, exactly
+    /// like `Plan::shard`).
+    pub fn new(records: &[TrialRecord], of: usize) -> Self {
+        assert!(of > 0, "a campaign needs at least one shard");
+        let mut lines = Vec::with_capacity(of);
+        let mut expected = Vec::with_capacity(of);
+        for index in 0..of {
+            let shard: Vec<&TrialRecord> = records.iter().skip(index).step_by(of).collect();
+            lines.push(Arc::new(
+                shard.iter().map(|r| record_line(r)).collect::<Vec<_>>(),
+            ));
+            expected.push(Arc::new(
+                shard.iter().map(|r| r.trial.clone()).collect::<Vec<_>>(),
+            ));
+        }
+        FaultInjector {
+            lines,
+            expected,
+            finals: (0..of).map(|_| Arc::new(Mutex::new(None))).collect(),
+            persisted: (0..of).map(|_| Arc::new(AtomicUsize::new(0))).collect(),
+            scripts: HashMap::new(),
+            of,
+        }
+    }
+
+    /// Scripts shard `index`'s incarnation `incarnation`. Unscripted
+    /// incarnations run clean.
+    pub fn script(&mut self, index: usize, incarnation: u32, script: FaultScript) -> &mut Self {
+        self.scripts.insert((index, incarnation), script);
+        self
+    }
+}
+
+/// The exact frame line a shard would emit for this record.
+fn record_line(record: &TrialRecord) -> String {
+    let mut sink = JsonlSink::new(Vec::new());
+    sink.accept(record.clone()).expect("serialize to memory");
+    let json = String::from_utf8(sink.into_inner()).expect("records serialize to UTF-8");
+    format!("{RECORD_FRAME_PREFIX} {}", json.trim_end())
+}
+
+/// Shared state between a simulated incarnation's thread and its handle.
+struct SimSlot {
+    beat: Mutex<Option<Instant>>,
+    done: AtomicBool,
+    fault: Mutex<Option<String>>,
+    /// `Some(clean)` once the incarnation's thread has stopped.
+    exited: Mutex<Option<bool>>,
+    killed: AtomicBool,
+}
+
+/// One planned frame emission of an incarnation.
+struct Emission {
+    line: String,
+    /// Record position this emission advances the simulated cache to.
+    advance: Option<usize>,
+    sleep_after: Duration,
+}
+
+impl Transport for FaultInjector {
+    fn name(&self) -> &'static str {
+        "fault"
+    }
+
+    fn launch(&mut self, index: usize, incarnation: u32) -> Result<Box<dyn ShardHandle>, CliError> {
+        let script = self
+            .scripts
+            .get(&(index, incarnation))
+            .cloned()
+            .unwrap_or_default();
+        let slot = Arc::new(SimSlot {
+            beat: Mutex::new(None),
+            done: AtomicBool::new(false),
+            fault: Mutex::new(None),
+            exited: Mutex::new(None),
+            killed: AtomicBool::new(false),
+        });
+        let thread = spawn_incarnation(
+            Arc::clone(&slot),
+            IncarnationCtx {
+                lines: Arc::clone(&self.lines[index]),
+                collector: ShardCollector::new(Arc::clone(&self.expected[index])),
+                finals: Arc::clone(&self.finals[index]),
+                persisted: Arc::clone(&self.persisted[index]),
+                script,
+                index,
+                of: self.of,
+            },
+        );
+        Ok(Box::new(SimHandle {
+            slot,
+            launched: Instant::now(),
+            thread: Some(thread),
+        }))
+    }
+
+    fn collect(&mut self, index: usize) -> Result<Vec<TrialRecord>, CliError> {
+        self.finals[index]
+            .lock()
+            .expect("finals lock")
+            .take()
+            .ok_or_else(|| {
+                CliError::run(format!(
+                    "shard {index} never delivered a complete stream over the fault transport"
+                ))
+            })
+    }
+}
+
+/// Everything a simulated incarnation thread needs from the injector: the
+/// shard's true frame stream, a fresh parent-side collector, and the
+/// shard-lifetime state (final records, simulated cache position, script).
+struct IncarnationCtx {
+    lines: Arc<Vec<String>>,
+    collector: ShardCollector,
+    finals: Arc<Mutex<Option<Vec<TrialRecord>>>>,
+    persisted: Arc<AtomicUsize>,
+    script: FaultScript,
+    index: usize,
+    of: usize,
+}
+
+/// Builds the incarnation's emission plan and runs it on a thread.
+fn spawn_incarnation(slot: Arc<SimSlot>, ctx: IncarnationCtx) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let IncarnationCtx {
+            lines,
+            mut collector,
+            finals,
+            persisted,
+            script,
+            index,
+            of,
+        } = ctx;
+        let total = lines.len();
+        let mut connect_delay = Duration::ZERO;
+        let mut kill_at_byte: Option<u64> = None;
+        let mut order: Vec<usize> = (0..total).collect();
+        for op in &script.ops {
+            match *op {
+                FaultOp::ConnectDelay(delay) => connect_delay += delay,
+                FaultOp::KillAtByte(at) => kill_at_byte = Some(at),
+                FaultOp::SwapRecords(i) if i + 1 < total => order.swap(i, i + 1),
+                _ => {}
+            }
+        }
+        let preloaded = persisted.load(Ordering::Relaxed);
+        let mut emissions = Vec::with_capacity(total + 2);
+        emissions.push(Emission {
+            line: format!(
+                "##rowpress-shard start index={index} of={of} total={total} preloaded={preloaded}"
+            ),
+            advance: None,
+            sleep_after: Duration::ZERO,
+        });
+        for &ri in &order {
+            if script.ops.contains(&FaultOp::DropRecord(ri)) {
+                // A dropped frame is still a *computed* record: the shard
+                // did the work and flushed its cache; only the wire lost it.
+                persisted.fetch_max(ri + 1, Ordering::Relaxed);
+                continue;
+            }
+            let full = &lines[ri];
+            let torn = script.ops.iter().find_map(|op| match *op {
+                FaultOp::TearRecord {
+                    index: i,
+                    keep_bytes,
+                } if i == ri => Some(keep_bytes),
+                _ => None,
+            });
+            let line = match torn {
+                Some(keep) => truncate_at_boundary(full, keep),
+                None => full.clone(),
+            };
+            let stall = script
+                .ops
+                .iter()
+                .find_map(|op| match *op {
+                    FaultOp::StallAfter { index: i, silence } if i == ri => Some(silence),
+                    _ => None,
+                })
+                .unwrap_or(Duration::ZERO);
+            let duplicated = script.ops.contains(&FaultOp::DuplicateRecord(ri));
+            emissions.push(Emission {
+                line,
+                advance: Some(ri + 1),
+                sleep_after: if duplicated { Duration::ZERO } else { stall },
+            });
+            if duplicated {
+                emissions.push(Emission {
+                    line: full.clone(),
+                    advance: None,
+                    sleep_after: stall,
+                });
+            }
+        }
+        let computed = total.saturating_sub(preloaded);
+        emissions.push(Emission {
+            line: format!(
+                "##rowpress-shard done total={total} computed={computed} replayed={preloaded}"
+            ),
+            advance: None,
+            sleep_after: Duration::ZERO,
+        });
+
+        let exit = |clean: bool| {
+            *slot.exited.lock().expect("exited lock") = Some(clean);
+        };
+        if !sliced_sleep(connect_delay, &slot.killed) {
+            exit(false);
+            return;
+        }
+        let mut bytes: u64 = 0;
+        for emission in emissions {
+            if slot.killed.load(Ordering::Relaxed) {
+                exit(false);
+                return;
+            }
+            let line_bytes = emission.line.len() as u64 + 1;
+            if let Some(at) = kill_at_byte {
+                if bytes + line_bytes > at {
+                    // Flush whatever fragment fits before dying, exactly
+                    // like a process killed mid-write.
+                    let keep = (at - bytes) as usize;
+                    if keep > 0 {
+                        let partial = truncate_at_boundary(&emission.line, keep);
+                        *slot.beat.lock().expect("beat lock") = Some(Instant::now());
+                        collector.ingest(&partial);
+                        if let Some(fault) = collector.fault() {
+                            set_fault(&slot, index, fault);
+                        }
+                    }
+                    exit(false);
+                    return;
+                }
+            }
+            bytes += line_bytes;
+            if let Some(advance) = emission.advance {
+                persisted.fetch_max(advance, Ordering::Relaxed);
+            }
+            *slot.beat.lock().expect("beat lock") = Some(Instant::now());
+            collector.ingest(&emission.line);
+            if let Some(fault) = collector.fault() {
+                set_fault(&slot, index, fault);
+                exit(false);
+                return;
+            }
+            if collector.is_complete() {
+                *finals.lock().expect("finals lock") = Some(collector.records().to_vec());
+                slot.done.store(true, Ordering::Relaxed);
+            }
+            if !sliced_sleep(emission.sleep_after, &slot.killed) {
+                exit(false);
+                return;
+            }
+        }
+        exit(slot.done.load(Ordering::Relaxed));
+    })
+}
+
+fn set_fault(slot: &SimSlot, index: usize, message: &str) {
+    let mut fault = slot.fault.lock().expect("fault lock");
+    if fault.is_none() {
+        *fault = Some(format!("shard {index}: {message}"));
+    }
+}
+
+/// Sleeps `total` in slices, returning `false` if `killed` went up.
+fn sliced_sleep(total: Duration, killed: &AtomicBool) -> bool {
+    let mut remaining = total;
+    while remaining > Duration::ZERO {
+        if killed.load(Ordering::Relaxed) {
+            return false;
+        }
+        let slice = remaining.min(SLEEP_SLICE);
+        std::thread::sleep(slice);
+        remaining -= slice;
+    }
+    !killed.load(Ordering::Relaxed)
+}
+
+/// Truncates to at most `keep` bytes, backing off to a char boundary.
+fn truncate_at_boundary(line: &str, keep: usize) -> String {
+    let mut keep = keep.min(line.len());
+    while !line.is_char_boundary(keep) {
+        keep -= 1;
+    }
+    line[..keep].to_string()
+}
+
+/// One simulated shard incarnation.
+struct SimHandle {
+    slot: Arc<SimSlot>,
+    launched: Instant,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle for SimHandle {
+    fn poll(&mut self) -> Result<ShardStatus, CliError> {
+        let fault = self.slot.fault.lock().expect("fault lock").clone();
+        if let Some(fault) = fault {
+            println!("campaign: transport fault: {fault}");
+            self.kill();
+            return Ok(ShardStatus::Exited { clean: false });
+        }
+        match *self.slot.exited.lock().expect("exited lock") {
+            Some(clean) => Ok(ShardStatus::Exited { clean }),
+            None => Ok(ShardStatus::Running),
+        }
+    }
+
+    fn liveness(&self) -> Liveness {
+        match *self.slot.beat.lock().expect("beat lock") {
+            None => Liveness::Connecting {
+                waited: self.launched.elapsed(),
+            },
+            Some(last) => Liveness::Alive {
+                quiet: last.elapsed(),
+            },
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.slot.done.load(Ordering::Relaxed)
+    }
+
+    fn kill(&mut self) {
+        self.slot.killed.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The line-oriented wire protocol every transport speaks.
+//!
+//! A shard talks to its parent in newline-delimited *frames*; every frame
+//! doubles as a heartbeat. The grammar (space-separated `key=value` fields
+//! after a frame word):
+//!
+//! ```text
+//! ##rowpress-shard hello index=0 of=2 incarnation=1     transport connect ack
+//! ##rowpress-shard boot index=0                         pre-start liveness
+//! ##rowpress-shard start index=0 of=2 total=36 preloaded=12
+//! ##rowpress-shard beat computed_live=3 replayed_live=12
+//! ##rowpress-shard record {"trial":…,"outcome":…}       one TrialRecord (TCP)
+//! ##rowpress-shard progress done=15 total=36 computed=3 replayed=12
+//! ##rowpress-shard fault exit-after=12                  injected test fault
+//! ##rowpress-shard done total=36 computed=24 replayed=12
+//! ```
+//!
+//! Over the local transport, records travel in `shard-NNNN.jsonl` files and
+//! the `record` frame is unused; over TCP (and the in-memory fault
+//! transport) records ride the same connection as the heartbeats. Lines
+//! without the `##rowpress-shard` prefix are free-form shard logging.
+
+/// The line prefix of the shard protocol; everything else on a shard's
+/// channel is free-form logging.
+pub const PROTOCOL_PREFIX: &str = "##rowpress-shard";
+
+/// The full prefix of a `record` frame — [`PROTOCOL_PREFIX`] plus the frame
+/// word. The remainder of the line is one serialized
+/// [`TrialRecord`](rowpress_core::engine::TrialRecord).
+pub const RECORD_FRAME_PREFIX: &str = "##rowpress-shard record";
+
+/// One parsed protocol frame. Borrows the record payload from the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame<'a> {
+    /// Transport connect acknowledgement: the first frame a TCP shard sends,
+    /// naming which (shard, incarnation) this connection belongs to.
+    Hello {
+        /// Shard index.
+        index: usize,
+        /// Incarnation (0 = first launch, counts up with respawns).
+        incarnation: u32,
+    },
+    /// Pre-`start` liveness while the spec parses and the cache preloads.
+    Boot,
+    /// The shard derived its sub-plan and preloaded its cache.
+    Start {
+        /// Records preloaded from the persistent cache.
+        preloaded: u64,
+        /// Trials in the shard's sub-plan.
+        total: u64,
+    },
+    /// Worker-liveness heartbeat (counters advanced, nothing drained yet).
+    Beat,
+    /// One serialized [`TrialRecord`](rowpress_core::engine::TrialRecord);
+    /// the payload is the JSON after the frame word.
+    Record(&'a str),
+    /// One record reached the shard's output stream.
+    Progress {
+        /// Records streamed so far.
+        done: u64,
+        /// Trials in the shard's sub-plan.
+        total: u64,
+        /// Fresh outcomes persisted this incarnation.
+        computed: u64,
+        /// Cache hits this incarnation.
+        replayed: u64,
+    },
+    /// An injected test fault fired (see `--fault`).
+    Fault,
+    /// The shard streamed every record and flushed.
+    Done {
+        /// Trials in the shard's sub-plan.
+        total: u64,
+        /// Fresh outcomes persisted by the incarnation.
+        computed: u64,
+        /// Cache hits of the incarnation.
+        replayed: u64,
+    },
+    /// A protocol-prefixed line this version does not understand (or a
+    /// known frame with missing fields — e.g. the tail of a torn line).
+    /// Counts as a heartbeat, carries no data.
+    Unknown,
+}
+
+/// Extracts `name=value` as a number from a frame body.
+fn field(body: &str, name: &str) -> Option<u64> {
+    body.split_whitespace()
+        .find_map(|token| token.strip_prefix(name)?.strip_prefix('='))
+        .and_then(|value| value.parse().ok())
+}
+
+impl<'a> Frame<'a> {
+    /// Parses one line. Returns `None` for lines without the protocol
+    /// prefix (free-form logging); protocol lines always parse, degrading
+    /// to [`Frame::Unknown`] when malformed.
+    pub fn parse(line: &'a str) -> Option<Frame<'a>> {
+        let body = line.strip_prefix(PROTOCOL_PREFIX)?;
+        let body = body.strip_prefix(' ').unwrap_or(body);
+        let word = body.split_whitespace().next().unwrap_or("");
+        let frame = match word {
+            "hello" => Frame::Hello {
+                index: field(body, "index")? as usize,
+                incarnation: field(body, "incarnation")? as u32,
+            },
+            "boot" => Frame::Boot,
+            "start" => match (field(body, "preloaded"), field(body, "total")) {
+                (Some(preloaded), Some(total)) => Frame::Start { preloaded, total },
+                _ => Frame::Unknown,
+            },
+            "beat" => Frame::Beat,
+            "record" => Frame::Record(body["record".len()..].trim_start()),
+            "progress" => match (
+                field(body, "done"),
+                field(body, "total"),
+                field(body, "computed"),
+                field(body, "replayed"),
+            ) {
+                (Some(done), Some(total), Some(computed), Some(replayed)) => Frame::Progress {
+                    done,
+                    total,
+                    computed,
+                    replayed,
+                },
+                _ => Frame::Unknown,
+            },
+            "fault" => Frame::Fault,
+            "done" => match (
+                field(body, "total"),
+                field(body, "computed"),
+                field(body, "replayed"),
+            ) {
+                (Some(total), Some(computed), Some(replayed)) => Frame::Done {
+                    total,
+                    computed,
+                    replayed,
+                },
+                _ => Frame::Unknown,
+            },
+            _ => Frame::Unknown,
+        };
+        Some(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_parse_and_free_form_lines_do_not() {
+        assert_eq!(Frame::parse("plain log line"), None);
+        assert_eq!(
+            Frame::parse("##rowpress-shard hello index=3 of=4 incarnation=2"),
+            Some(Frame::Hello {
+                index: 3,
+                incarnation: 2
+            })
+        );
+        assert_eq!(
+            Frame::parse("##rowpress-shard start index=0 of=2 total=36 preloaded=12"),
+            Some(Frame::Start {
+                preloaded: 12,
+                total: 36
+            })
+        );
+        assert_eq!(
+            Frame::parse("##rowpress-shard progress done=1 total=6 computed=1 replayed=0"),
+            Some(Frame::Progress {
+                done: 1,
+                total: 6,
+                computed: 1,
+                replayed: 0
+            })
+        );
+        assert_eq!(
+            Frame::parse("##rowpress-shard done total=6 computed=6 replayed=0"),
+            Some(Frame::Done {
+                total: 6,
+                computed: 6,
+                replayed: 0
+            })
+        );
+        assert_eq!(
+            Frame::parse("##rowpress-shard record {\"x\":1}"),
+            Some(Frame::Record("{\"x\":1}"))
+        );
+        assert_eq!(
+            Frame::parse("##rowpress-shard boot index=0"),
+            Some(Frame::Boot)
+        );
+        assert_eq!(
+            Frame::parse("##rowpress-shard beat computed_live=1 replayed_live=0"),
+            Some(Frame::Beat)
+        );
+    }
+
+    #[test]
+    fn torn_frames_degrade_to_unknown_not_panic() {
+        // The tails a torn line produces: truncated word, missing fields.
+        assert_eq!(
+            Frame::parse("##rowpress-shard progress done=1 tot"),
+            Some(Frame::Unknown)
+        );
+        assert_eq!(Frame::parse("##rowpress-shard don"), Some(Frame::Unknown));
+        assert_eq!(Frame::parse("##rowpress-shard "), Some(Frame::Unknown));
+        assert_eq!(Frame::parse("##rowpress-shard"), Some(Frame::Unknown));
+    }
+}

@@ -1,0 +1,171 @@
+//! The local-process transport: shard children over stdout pipes.
+//!
+//! This is PR 5's orchestrator mechanics refactored onto the [`Transport`]
+//! trait, byte-for-byte compatible on the wire: children are `__shard`
+//! invocations of the current executable, frames arrive on piped stdout
+//! (relayed to the parent's stdout as `[shard N] …`), and records travel
+//! through the filesystem in `shard-NNNN.jsonl` — the transport only
+//! reads them back at [`Transport::collect`] time.
+
+use super::{Frame, Liveness, ShardHandle, ShardStatus, Transport};
+use crate::child::Fault;
+use crate::CliError;
+use rowpress_core::campaign::{shard_cache_path, shard_output_path};
+use rowpress_core::engine::{JsonlReader, TrialRecord};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Shard children of the current executable, watched over stdout pipes.
+#[derive(Debug)]
+pub struct LocalProcess {
+    exe: PathBuf,
+    spec_file: PathBuf,
+    out_dir: PathBuf,
+    of: usize,
+    faults: HashMap<usize, Fault>,
+}
+
+impl LocalProcess {
+    /// A local transport fanning out `of` shards of `exe` over `spec_file`,
+    /// with outputs and caches under `out_dir`. `faults` maps shard index →
+    /// injected test fault (forwarded as the child's `--fault`).
+    pub fn new(
+        exe: PathBuf,
+        spec_file: PathBuf,
+        out_dir: PathBuf,
+        of: usize,
+        faults: HashMap<usize, Fault>,
+    ) -> Self {
+        LocalProcess {
+            exe,
+            spec_file,
+            out_dir,
+            of,
+            faults,
+        }
+    }
+}
+
+impl Transport for LocalProcess {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn launch(
+        &mut self,
+        index: usize,
+        _incarnation: u32,
+    ) -> Result<Box<dyn ShardHandle>, CliError> {
+        let mut command = Command::new(&self.exe);
+        command
+            .arg("__shard")
+            .arg(&self.spec_file)
+            .args(["--index", &index.to_string()])
+            .args(["--of", &self.of.to_string()])
+            .arg("--cache")
+            .arg(shard_cache_path(&self.out_dir, index))
+            .arg("--out")
+            .arg(shard_output_path(&self.out_dir, index))
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        if let Some(fault) = self.faults.get(&index) {
+            command.args(["--fault", &fault.to_arg()]);
+        }
+        let mut child = command
+            .spawn()
+            .map_err(|e| CliError::run(format!("failed to spawn shard {index}: {e}")))?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        // `None` until the first line: the stall clock starts at the
+        // transport-acknowledged connect, not at spawn (see `Liveness`).
+        let beat: Arc<Mutex<Option<Instant>>> = Arc::new(Mutex::new(None));
+        let done = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let beat = Arc::clone(&beat);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                for line in BufReader::new(stdout).lines() {
+                    let Ok(line) = line else { break };
+                    *beat.lock().expect("beat lock") = Some(Instant::now());
+                    if matches!(Frame::parse(&line), Some(Frame::Done { .. })) {
+                        done.store(true, Ordering::Relaxed);
+                    }
+                    // Relay with a stable prefix: the parent's stdout is the
+                    // campaign log (and what the recovery tests parse).
+                    let mut out = std::io::stdout().lock();
+                    let _ = writeln!(out, "[shard {index}] {line}");
+                    let _ = out.flush();
+                }
+            })
+        };
+        Ok(Box::new(LocalHandle {
+            child,
+            launched: Instant::now(),
+            beat,
+            done,
+            reader: Some(reader),
+        }))
+    }
+
+    fn collect(&mut self, index: usize) -> Result<Vec<TrialRecord>, CliError> {
+        let path = shard_output_path(&self.out_dir, index);
+        let records = JsonlReader::from_path(&path)?.read_all()?;
+        Ok(records)
+    }
+}
+
+/// One live local shard child.
+struct LocalHandle {
+    child: Child,
+    launched: Instant,
+    /// `None` until the reader thread sees the child's first stdout line.
+    beat: Arc<Mutex<Option<Instant>>>,
+    done: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle for LocalHandle {
+    fn poll(&mut self) -> Result<ShardStatus, CliError> {
+        match self.child.try_wait().map_err(CliError::from)? {
+            Some(status) => {
+                // Drain the rest of the pipe before judging the exit.
+                if let Some(reader) = self.reader.take() {
+                    let _ = reader.join();
+                }
+                Ok(ShardStatus::Exited {
+                    clean: status.success(),
+                })
+            }
+            None => Ok(ShardStatus::Running),
+        }
+    }
+
+    fn liveness(&self) -> Liveness {
+        match *self.beat.lock().expect("beat lock") {
+            None => Liveness::Connecting {
+                waited: self.launched.elapsed(),
+            },
+            Some(last) => Liveness::Alive {
+                quiet: last.elapsed(),
+            },
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The transport layer: how the orchestrator reaches its shards.
+//!
+//! PR 5's parent↔child contract — spawn a shard, watch its
+//! `##rowpress-shard` heartbeat/progress lines, kill it when it goes
+//! quiet, collect its plan-ordered record stream at the end — was welded to
+//! local child processes and stdout pipes. This module extracts that
+//! contract into the [`Transport`] trait so the same watch loop
+//! ([`crate::driver::supervise`]) drives three very different worlds:
+//!
+//! * [`LocalProcess`] — the PR 5 behavior, refactored onto the trait:
+//!   children of the same binary, frames over piped stdout, records in
+//!   local `shard-NNNN.jsonl` files.
+//! * [`TcpAgent`] — a thin line-oriented agent: children dial the parent's
+//!   collector socket (bounded retry with backoff) and stream frames *and*
+//!   records over it; the parent validates, dedupes and persists each
+//!   shard's stream.
+//! * [`FaultInjector`] — a scripted in-memory transport for tests: every
+//!   failure the real world produces (partitions, torn frames, duplicate
+//!   records, slow drips, half-dead children) injected deterministically
+//!   and fast, without spawning a single process.
+//!
+//! The wire protocol is the line-oriented [`Frame`] grammar; the parent's
+//! per-shard state machine over it is the [`ShardCollector`].
+
+mod collector;
+pub mod fault;
+mod frame;
+mod local;
+mod tcp;
+
+pub use collector::ShardCollector;
+pub use fault::{FaultInjector, FaultOp, FaultScript};
+pub use frame::{Frame, PROTOCOL_PREFIX, RECORD_FRAME_PREFIX};
+pub use local::LocalProcess;
+pub use tcp::TcpAgent;
+
+use crate::CliError;
+use rowpress_core::engine::TrialRecord;
+use std::time::Duration;
+
+/// What the watch loop knows about a live shard's responsiveness.
+///
+/// The stall clock starts at the *transport-acknowledged connect* (the
+/// shard's first frame), not at spawn: a remote transport adds a connect
+/// window — process launch, socket dial, retries — during which silence is
+/// expected, and is bounded by the separate connect timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// No frame has arrived yet; `waited` is the time since launch.
+    Connecting {
+        /// Elapsed time since the shard was launched.
+        waited: Duration,
+    },
+    /// The shard has connected; `quiet` is the time since its last frame.
+    Alive {
+        /// Elapsed time since the last frame (any frame is a heartbeat).
+        quiet: Duration,
+    },
+}
+
+/// A shard's process state as the transport sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// Still running (or at least: not yet observed to have stopped).
+    Running,
+    /// Stopped. `clean` means an orderly zero-status exit; whether the
+    /// shard actually *finished* is [`ShardHandle::done`]'s call — a shard
+    /// can exit 0 without having delivered a complete stream.
+    Exited {
+        /// The shard stopped with a success status and no transport fault.
+        clean: bool,
+    },
+}
+
+/// One live shard incarnation, as seen through its transport.
+pub trait ShardHandle {
+    /// Polls the shard's process state. A transport fault (torn frame,
+    /// protocol violation, lost connection) surfaces here as
+    /// `Exited { clean: false }` after the transport has reaped the shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] only for orchestrator-side failures (e.g. the
+    /// OS refusing to report on a child); shard-side failures are statuses,
+    /// not errors.
+    fn poll(&mut self) -> Result<ShardStatus, CliError>;
+
+    /// The shard's responsiveness (see [`Liveness`]).
+    fn liveness(&self) -> Liveness;
+
+    /// Whether the protocol `done` frame was seen *and* the transport holds
+    /// a complete record stream for this shard.
+    fn done(&self) -> bool;
+
+    /// Kills the shard and releases its transport resources. Idempotent.
+    fn kill(&mut self);
+}
+
+/// A way to launch shards and collect their record streams — the extracted
+/// PR 5 parent↔child contract.
+pub trait Transport {
+    /// The transport's name for logs (`"local"`, `"tcp"`, `"fault"`).
+    fn name(&self) -> &'static str;
+
+    /// Launches incarnation `incarnation` of shard `index` and returns its
+    /// handle. Incarnation 0 is the first launch; respawns count up.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] when the shard cannot even be launched (spawn
+    /// failure, bind failure); a shard that launches but then misbehaves is
+    /// reported through its handle instead.
+    fn launch(&mut self, index: usize, incarnation: u32) -> Result<Box<dyn ShardHandle>, CliError>;
+
+    /// Hands over shard `index`'s complete plan-ordered record stream after
+    /// the watch loop declared it finished.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] when the shard never delivered a complete
+    /// stream (which the watch loop should have prevented) or the stream
+    /// cannot be read back.
+    fn collect(&mut self, index: usize) -> Result<Vec<TrialRecord>, CliError>;
+}
+
+/// Parsed value of the `--transport` flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Local child processes over stdout pipes (the default).
+    Local,
+    /// TCP agent: the operand is the `HOST:PORT` the parent binds its
+    /// collector on (port 0 picks a free port).
+    Tcp(String),
+}
+
+impl TransportKind {
+    /// Parses `local` or `tcp://HOST:PORT`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage-level [`CliError`] for anything else.
+    pub fn parse(text: &str) -> Result<Self, CliError> {
+        if text == "local" {
+            return Ok(TransportKind::Local);
+        }
+        if let Some(addr) = text.strip_prefix("tcp://") {
+            if addr.is_empty() {
+                return Err(CliError::usage(
+                    "--transport tcp:// needs a HOST:PORT (use port 0 for a free port)",
+                ));
+            }
+            return Ok(TransportKind::Tcp(addr.to_string()));
+        }
+        Err(CliError::usage(format!(
+            "--transport: unknown transport `{text}` (want `local` or `tcp://HOST:PORT`)"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_kind_parses_local_and_tcp() {
+        assert_eq!(TransportKind::parse("local").unwrap(), TransportKind::Local);
+        assert_eq!(
+            TransportKind::parse("tcp://127.0.0.1:0").unwrap(),
+            TransportKind::Tcp("127.0.0.1:0".into())
+        );
+        assert!(TransportKind::parse("tcp://").is_err());
+        assert!(TransportKind::parse("ssh://host").is_err());
+    }
+}

@@ -348,3 +348,356 @@ fn plan_subcommand_previews_the_shard_breakdown() {
         "{text}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// TCP agent transport: the same campaigns over a loopback socket.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tcp_loopback_run_matches_the_golden_checksum() {
+    let dir = temp_dir("tcp-golden");
+    let spec = example_spec();
+    let output = run(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--transport",
+        "tcp://127.0.0.1:0",
+        "--verify",
+    ]);
+    let log = stdout_of(&output);
+    assert!(
+        output.status.success(),
+        "tcp run failed: {log}\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        log.contains("collector listening on 127.0.0.1:"),
+        "the parent must announce its bound collector address:\n{log}"
+    );
+    let merged = std::fs::read(dir.join("merged.jsonl")).unwrap();
+    assert_eq!(merged.len(), QUICK_ACMIN_BYTES, "stream length drifted");
+    assert_eq!(
+        checksum(&merged),
+        QUICK_ACMIN_CHECKSUM,
+        "the tcp-transport merged stream diverged from the golden engine bytes"
+    );
+    // Same on-disk layout as the local transport.
+    for index in 0..2 {
+        assert!(dir.join(format!("shard-000{index}.jsonl")).exists());
+        assert!(dir.join(format!("shard-000{index}.cache.jsonl")).exists());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tcp_crashing_shard_resumes_over_reconnects() {
+    let dir = temp_dir("tcp-kill");
+    let spec = write_small_spec(&dir);
+    // Shard 0 crashes after 2 computed trials; each respawned incarnation
+    // must redial the collector under a new incarnation number and resume
+    // from the (local) cache until the stream completes.
+    let output = run(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--transport",
+        "tcp://127.0.0.1:0",
+        "--verify",
+        "--fault",
+        "0:exit-after=2",
+        "--max-respawns",
+        "5",
+    ]);
+    let log = stdout_of(&output);
+    assert!(
+        output.status.success(),
+        "tcp run failed: {log}\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let runs = incarnations(&log, 0);
+    assert!(
+        runs.len() >= 2,
+        "the fault must have killed shard 0 at least once:\n{log}"
+    );
+    let mut persisted = 0u64;
+    for &(preloaded, computed) in &runs {
+        assert_eq!(
+            preloaded, persisted,
+            "a reconnecting incarnation must preload prior computations:\n{log}"
+        );
+        persisted += computed;
+    }
+    assert_eq!(
+        persisted, 6,
+        "no trial recomputed across reconnects:\n{log}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection transport: the watch loop against scripted network
+// failures, in-process and deterministic.
+// ---------------------------------------------------------------------------
+
+use rowpress_cli::driver::{supervise, SuperviseReport, WatchPolicy};
+use rowpress_cli::transport::{FaultInjector, FaultOp, FaultScript, Transport};
+use rowpress_cli::CliError;
+use rowpress_core::campaign::CampaignSpec;
+use rowpress_core::engine::{Engine, JsonlSink, Plan, Sink, TrialRecord};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// The single-process record stream of `SMALL_SPEC` (12 trials), computed
+/// once — the reference every fault scenario must converge to.
+fn small_records() -> &'static [TrialRecord] {
+    static RECORDS: OnceLock<Vec<TrialRecord>> = OnceLock::new();
+    RECORDS.get_or_init(|| {
+        let spec = CampaignSpec::parse(SMALL_SPEC).unwrap();
+        Engine::new(&spec.config())
+            .run_collect(&spec.plan().unwrap())
+            .unwrap()
+    })
+}
+
+/// Serializes records exactly as `merged.jsonl` would be written, so the
+/// assertions below are byte-identity, not just record equality.
+fn bytes_of(records: &[TrialRecord]) -> Vec<u8> {
+    let mut sink = JsonlSink::new(Vec::new());
+    for record in records {
+        sink.accept(record.clone()).unwrap();
+    }
+    sink.into_inner()
+}
+
+/// A fast-poll watch policy for the in-process scenarios.
+fn test_policy(stall_ms: u64, connect_ms: u64, max_respawns: u32) -> WatchPolicy {
+    WatchPolicy {
+        stall: Duration::from_millis(stall_ms),
+        connect: Duration::from_millis(connect_ms),
+        max_respawns,
+        poll: Duration::from_millis(5),
+    }
+}
+
+/// Supervises the scripted fleet and merges what the transport collected.
+fn run_injector(
+    injector: &mut FaultInjector,
+    of: usize,
+    policy: &WatchPolicy,
+) -> Result<(SuperviseReport, Vec<u8>), CliError> {
+    let report = supervise(injector, of, policy)?;
+    let shards = (0..of)
+        .map(|i| injector.collect(i))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((report, bytes_of(&Plan::merge(shards))))
+}
+
+#[test]
+fn silence_under_the_stall_threshold_is_tolerated() {
+    let records = small_records();
+    let mut injector = FaultInjector::new(records, 2);
+    injector.script(
+        0,
+        0,
+        FaultScript::new(vec![FaultOp::StallAfter {
+            index: 1,
+            silence: Duration::from_millis(120),
+        }]),
+    );
+    let (report, merged) = run_injector(&mut injector, 2, &test_policy(900, 3_000, 3)).unwrap();
+    assert_eq!(
+        report.respawns,
+        vec![0, 0],
+        "a pause shorter than the stall threshold must not trigger a kill"
+    );
+    assert_eq!(
+        merged,
+        bytes_of(records),
+        "merged stream must be byte-identical"
+    );
+}
+
+#[test]
+fn silence_over_the_stall_threshold_respawns_and_converges() {
+    let records = small_records();
+    let mut injector = FaultInjector::new(records, 2);
+    injector.script(
+        0,
+        0,
+        FaultScript::new(vec![FaultOp::StallAfter {
+            index: 1,
+            silence: Duration::from_secs(30),
+        }]),
+    );
+    let (report, merged) = run_injector(&mut injector, 2, &test_policy(250, 3_000, 3)).unwrap();
+    assert_eq!(
+        report.respawns,
+        vec![1, 0],
+        "the stall detector must have respawned exactly the silent shard"
+    );
+    assert_eq!(
+        merged,
+        bytes_of(records),
+        "merged stream must be byte-identical"
+    );
+}
+
+#[test]
+fn torn_frame_mid_record_respawns_and_converges() {
+    let records = small_records();
+    let mut injector = FaultInjector::new(records, 2);
+    // 30 bytes keeps the `##rowpress-shard record ` prefix intact but tears
+    // the JSON payload mid-object.
+    injector.script(
+        1,
+        0,
+        FaultScript::new(vec![FaultOp::TearRecord {
+            index: 2,
+            keep_bytes: 30,
+        }]),
+    );
+    let (report, merged) = run_injector(&mut injector, 2, &test_policy(900, 3_000, 3)).unwrap();
+    assert_eq!(
+        report.respawns,
+        vec![0, 1],
+        "a torn record frame must condemn exactly that incarnation"
+    );
+    assert_eq!(
+        merged,
+        bytes_of(records),
+        "merged stream must be byte-identical"
+    );
+}
+
+#[test]
+fn duplicate_record_delivery_is_deduped_without_respawn() {
+    let records = small_records();
+    let mut injector = FaultInjector::new(records, 2);
+    injector.script(
+        0,
+        0,
+        FaultScript::new(vec![
+            FaultOp::DuplicateRecord(1),
+            FaultOp::DuplicateRecord(4),
+        ]),
+    );
+    let (report, merged) = run_injector(&mut injector, 2, &test_policy(900, 3_000, 3)).unwrap();
+    assert_eq!(
+        report.respawns,
+        vec![0, 0],
+        "at-least-once delivery must fold to exactly-once without a respawn"
+    );
+    assert_eq!(
+        merged,
+        bytes_of(records),
+        "merged stream must be byte-identical"
+    );
+}
+
+#[test]
+fn reordered_and_dropped_records_respawn_and_converge() {
+    let records = small_records();
+    let mut injector = FaultInjector::new(records, 2);
+    injector.script(0, 0, FaultScript::new(vec![FaultOp::SwapRecords(1)]));
+    injector.script(1, 0, FaultScript::new(vec![FaultOp::DropRecord(3)]));
+    let (report, merged) = run_injector(&mut injector, 2, &test_policy(900, 3_000, 3)).unwrap();
+    assert_eq!(
+        report.respawns,
+        vec![1, 1],
+        "reordered and dropped frames must each condemn their incarnation"
+    );
+    assert_eq!(
+        merged,
+        bytes_of(records),
+        "merged stream must be byte-identical"
+    );
+}
+
+#[test]
+fn kill_at_byte_offset_resumes_byte_identically() {
+    let records = small_records();
+    let mut injector = FaultInjector::new(records, 2);
+    // Dies mid-stream with a final partial line flushed, torn wherever
+    // byte 200 lands.
+    injector.script(0, 0, FaultScript::new(vec![FaultOp::KillAtByte(200)]));
+    let (report, merged) = run_injector(&mut injector, 2, &test_policy(900, 3_000, 3)).unwrap();
+    assert_eq!(report.respawns, vec![1, 0]);
+    assert_eq!(
+        merged,
+        bytes_of(records),
+        "merged stream must be byte-identical"
+    );
+}
+
+#[test]
+fn respawn_budget_exhaustion_aborts_with_the_documented_error() {
+    let records = small_records();
+    let mut injector = FaultInjector::new(records, 2);
+    // A partition that outlives the budget: every allowed incarnation of
+    // shard 1 dies at the same byte offset.
+    for incarnation in 0..=2 {
+        injector.script(
+            1,
+            incarnation,
+            FaultScript::new(vec![FaultOp::KillAtByte(40)]),
+        );
+    }
+    let err = supervise(&mut injector, 2, &test_policy(900, 3_000, 2)).unwrap_err();
+    assert_eq!(err.code, rowpress_cli::EXIT_RUN, "{err}");
+    assert!(
+        err.message.contains("respawn budget"),
+        "abort must name the budget: {err}"
+    );
+}
+
+#[test]
+fn stall_clock_starts_at_transport_acknowledged_connect_not_launch() {
+    let records = small_records();
+    // A connect 4x slower than the stall threshold, but within the connect
+    // window: if the stall clock (wrongly) started at launch, this shard
+    // would be killed before its first frame.
+    let mut injector = FaultInjector::new(records, 2);
+    injector.script(
+        0,
+        0,
+        FaultScript::new(vec![FaultOp::ConnectDelay(Duration::from_millis(600))]),
+    );
+    let (report, merged) = run_injector(&mut injector, 2, &test_policy(150, 5_000, 0)).unwrap();
+    assert_eq!(
+        report.respawns,
+        vec![0, 0],
+        "a slow connect inside the connect window must not be killed as a stall"
+    );
+    assert_eq!(
+        merged,
+        bytes_of(records),
+        "merged stream must be byte-identical"
+    );
+}
+
+#[test]
+fn connect_window_overrun_is_killed_and_respawned() {
+    let records = small_records();
+    let mut injector = FaultInjector::new(records, 2);
+    injector.script(
+        1,
+        0,
+        FaultScript::new(vec![FaultOp::ConnectDelay(Duration::from_secs(30))]),
+    );
+    let (report, merged) = run_injector(&mut injector, 2, &test_policy(900, 300, 3)).unwrap();
+    assert_eq!(
+        report.respawns,
+        vec![0, 1],
+        "a shard that never connects must be respawned by the connect window"
+    );
+    assert_eq!(
+        merged,
+        bytes_of(records),
+        "merged stream must be byte-identical"
+    );
+}

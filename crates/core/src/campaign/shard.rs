@@ -200,8 +200,8 @@ impl From<EngineError> for CampaignError {
 /// watches. Flushing per record is what makes a kill at any instant
 /// resumable: every outcome that reached the output stream (and any the
 /// workers computed ahead of the drain) is already on disk.
-struct ProgressSink<'a, W: std::io::Write, F: FnMut(ShardEvent)> {
-    inner: JsonlSink<W>,
+struct ProgressSink<'a, S: Sink, F: FnMut(ShardEvent)> {
+    inner: S,
     persistent: &'a mut PersistentCache,
     counters: TrialCache,
     done: usize,
@@ -215,7 +215,7 @@ struct ProgressSink<'a, W: std::io::Write, F: FnMut(ShardEvent)> {
     on_event: &'a std::sync::Mutex<&'a mut F>,
 }
 
-impl<W: std::io::Write, F: FnMut(ShardEvent)> Sink for ProgressSink<'_, W, F> {
+impl<S: Sink, F: FnMut(ShardEvent)> Sink for ProgressSink<'_, S, F> {
     fn accept(&mut self, record: TrialRecord) -> io::Result<()> {
         self.inner.accept(record)?;
         self.flushed += self.persistent.flush()? as u64;
@@ -255,6 +255,34 @@ pub fn run_shard(
     of: usize,
     cache_path: &Path,
     out_path: &Path,
+    on_event: impl FnMut(ShardEvent) + Send,
+) -> Result<ShardRun, CampaignError> {
+    let record_sink = JsonlSink::new(BufWriter::new(File::create(out_path)?));
+    run_shard_with(spec, index, of, cache_path, record_sink, on_event)
+}
+
+/// [`run_shard`] with a caller-supplied record sink instead of a local
+/// output file — the transport-agnostic entry point.
+///
+/// A local shard hands a file-backed [`JsonlSink`] here (that is all
+/// [`run_shard`] does); a remote shard hands a network sink (e.g. a
+/// [`FramedSink`](crate::engine::FramedSink) multiplexed onto the transport
+/// connection, optionally behind a
+/// [`ThreadedSink`](crate::engine::ThreadedSink)) so its records stream to
+/// the orchestrator's collector instead of the local disk. The persistent
+/// cache stays a local file either way: resume must survive the transport
+/// being the very thing that failed.
+///
+/// # Errors
+///
+/// Returns a [`CampaignError`] when the spec does not resolve to a plan,
+/// the cache file or record sink fails, or a trial fails in the engine.
+pub fn run_shard_with(
+    spec: &CampaignSpec,
+    index: usize,
+    of: usize,
+    cache_path: &Path,
+    record_sink: impl Sink,
     mut on_event: impl FnMut(ShardEvent) + Send,
 ) -> Result<ShardRun, CampaignError> {
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -273,7 +301,7 @@ pub fn run_shard(
         let events = std::sync::Mutex::new(&mut on_event);
         let stop = AtomicBool::new(false);
         let mut sink = ProgressSink {
-            inner: JsonlSink::new(BufWriter::new(File::create(out_path)?)),
+            inner: record_sink,
             persistent: &mut persistent,
             counters: counters.clone(),
             done: 0,

@@ -117,8 +117,16 @@ pub struct Orchestration {
     /// Number of shard processes ([`Plan::shard`] count).
     pub shards: usize,
     /// A shard that prints no progress line for this long is killed and
-    /// respawned (it resumes from its persistent cache).
+    /// respawned (it resumes from its persistent cache). The clock starts at
+    /// the transport-acknowledged connect (the shard's first frame), not at
+    /// spawn — see `connect_timeout_ms` for the pre-connect window.
     pub stall_timeout_ms: u64,
+    /// How long a freshly spawned shard may take to deliver its first frame
+    /// before it is declared unreachable and respawned. Separate from the
+    /// stall timeout because a remote transport adds a connect window
+    /// (process launch, socket dial, retries) before any heartbeat can
+    /// arrive.
+    pub connect_timeout_ms: u64,
     /// How many times one shard may be respawned (after a crash or a stall)
     /// before the campaign is aborted.
     pub max_respawns: u32,
@@ -129,6 +137,7 @@ impl Default for Orchestration {
         Orchestration {
             shards: 2,
             stall_timeout_ms: 30_000,
+            connect_timeout_ms: 10_000,
             max_respawns: 3,
         }
     }
@@ -316,7 +325,12 @@ impl CampaignSpec {
                 let table = as_map(v, "orchestration")?;
                 known_keys(
                     table,
-                    &["shards", "stall_timeout_ms", "max_respawns"],
+                    &[
+                        "shards",
+                        "stall_timeout_ms",
+                        "connect_timeout_ms",
+                        "max_respawns",
+                    ],
                     "orchestration",
                 )?;
                 let defaults = Orchestration::default();
@@ -328,6 +342,10 @@ impl CampaignSpec {
                     stall_timeout_ms: match find(table, "stall_timeout_ms") {
                         Some(s) => as_u64(s, "orchestration.stall_timeout_ms")?,
                         None => defaults.stall_timeout_ms,
+                    },
+                    connect_timeout_ms: match find(table, "connect_timeout_ms") {
+                        Some(s) => as_u64(s, "orchestration.connect_timeout_ms")?,
+                        None => defaults.connect_timeout_ms,
                     },
                     max_respawns: match find(table, "max_respawns") {
                         Some(s) => as_u32(s, "orchestration.max_respawns")?,
@@ -377,6 +395,11 @@ impl CampaignSpec {
         if self.orchestration.stall_timeout_ms == 0 {
             return Err(SpecError::new(
                 "orchestration.stall_timeout_ms must be positive",
+            ));
+        }
+        if self.orchestration.connect_timeout_ms == 0 {
+            return Err(SpecError::new(
+                "orchestration.connect_timeout_ms must be positive",
             ));
         }
         for m in &self.measurements {
@@ -482,6 +505,10 @@ impl CampaignSpec {
             (
                 "stall_timeout_ms".to_string(),
                 Value::U64(self.orchestration.stall_timeout_ms),
+            ),
+            (
+                "connect_timeout_ms".to_string(),
+                Value::U64(self.orchestration.connect_timeout_ms),
             ),
             (
                 "max_respawns".to_string(),

@@ -81,5 +81,5 @@ pub use plan::{
     Jitter, Measurement, Plan, PlanBuilder, Trial, TrialOutcome, TrialRecord, TEST_BANK,
 };
 pub use schedule::{CostModel, SchedulePolicy};
-pub use sink::{JsonlReader, JsonlSink, MemorySink, Sink, ThreadedSink};
+pub use sink::{FramedSink, JsonlReader, JsonlSink, MemorySink, Sink, ThreadedSink};
 pub use worker::{lookup_module, run_trial, run_trial_reference, Engine, EngineError};

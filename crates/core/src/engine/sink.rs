@@ -41,6 +41,7 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::Path;
 use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Receives the record stream of an engine run, in plan order.
@@ -123,6 +124,69 @@ impl<W: Write> Sink for JsonlSink<W> {
 
     fn finish(&mut self) -> std::io::Result<()> {
         self.writer.flush()
+    }
+}
+
+/// Streams records as *framed* JSON lines — `<prefix> <record-json>\n` — to
+/// a writer shared behind an `Arc<Mutex<_>>`, one atomic write per record.
+///
+/// This is the network-sink half of a remote campaign transport: a shard
+/// process multiplexes its record stream and its heartbeat/progress frames
+/// over one connection by sharing the writer, and the line-atomic writes
+/// guarantee frames never tear each other even when records come from a
+/// background [`ThreadedSink`] thread while heartbeats come from the event
+/// callback. Each record is flushed immediately (a buffered record is no
+/// heartbeat), so the collector on the other end sees progress in real
+/// time. The prefix is caller-chosen — core stays agnostic of any
+/// particular wire protocol.
+///
+/// ```
+/// use rowpress_core::engine::{FramedSink, Sink};
+/// use std::sync::{Arc, Mutex};
+///
+/// let wire = Arc::new(Mutex::new(Vec::new()));
+/// let sink = FramedSink::new(Arc::clone(&wire), "##frame record");
+/// drop(sink);
+/// assert!(wire.lock().unwrap().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct FramedSink<W: Write> {
+    writer: Arc<Mutex<W>>,
+    prefix: String,
+}
+
+impl<W: Write> FramedSink<W> {
+    /// Wraps a shared writer; every record line starts with `prefix` and a
+    /// space.
+    pub fn new(writer: Arc<Mutex<W>>, prefix: impl Into<String>) -> Self {
+        FramedSink {
+            writer,
+            prefix: prefix.into(),
+        }
+    }
+
+    /// Another handle to the shared writer (for multiplexing other frames
+    /// onto the same connection).
+    pub fn writer(&self) -> Arc<Mutex<W>> {
+        Arc::clone(&self.writer)
+    }
+}
+
+impl<W: Write> Sink for FramedSink<W> {
+    fn accept(&mut self, record: TrialRecord) -> io::Result<()> {
+        let json = serde_json::to_string(&record).map_err(io::Error::other)?;
+        let mut line = String::with_capacity(self.prefix.len() + json.len() + 2);
+        line.push_str(&self.prefix);
+        line.push(' ');
+        line.push_str(&json);
+        line.push('\n');
+        let mut writer = self.writer.lock().expect("framed sink writer lock");
+        writer.write_all(line.as_bytes())?;
+        writer.flush()
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.lock().expect("framed sink writer lock").flush()
     }
 }
 
