@@ -44,11 +44,11 @@ cargo test -p rowpress-cli -q --test orchestrator -- \
   silence_ torn_frame_ duplicate_record_ reordered_ kill_at_byte_ \
   respawn_budget_ stall_clock_ connect_window_
 
-# No orchestrator test may be quietly parked: an #[ignore] in the suite is a
-# fault scenario CI stopped proving.
-step "no #[ignore]d tests in the orchestrator/property suites"
-if grep -rn '#\[ignore' crates/cli/tests tests/; then
-  echo "ignored tests found — the fault matrix must run in CI" >&2
+# No orchestrator, property, or kernel-layer test may be quietly parked: an
+# #[ignore] in these suites is an invariant CI stopped proving.
+step "no #[ignore]d tests in the orchestrator/property/kernel suites"
+if grep -rn '#\[ignore' crates/cli/tests crates/dram/src tests/; then
+  echo "ignored tests found — these invariants must run in CI" >&2
   exit 1
 fi
 
@@ -93,11 +93,20 @@ if [[ "${1:-}" != "quick" ]]; then
   cargo bench -p rowpress-bench --bench perf_persistent_cache --no-run
 
   # Runs (not just compiles) the trial-kernel perf gate on the quick-scale
-  # ACmin grid: asserts outcomes identical to the scalar reference path and
-  # a >= 5x median cold-trial speedup, and refreshes the machine-readable
-  # perf trajectory in BENCH_trial_kernel.json.
+  # ACmin grid: asserts outcomes identical to the scalar reference path, a
+  # >= 5x median cold-trial speedup over that reference AND a >= 2.5x
+  # speedup over the PR 4 kernel median (the pre-word-block floor), and
+  # refreshes the machine-readable perf trajectory in
+  # BENCH_trial_kernel.json — which must carry the word-skip and
+  # profile-store hit rates that explain the numbers.
   step "cargo bench -p rowpress-bench --bench perf_trial_kernel (runs, writes BENCH_trial_kernel.json)"
   cargo bench -p rowpress-bench --bench perf_trial_kernel
+  for field in word_skip_rate profile_store_hit_rate speedup_vs_pr4_kernel; do
+    if ! grep -q "\"$field\"" BENCH_trial_kernel.json; then
+      echo "BENCH_trial_kernel.json is missing \"$field\"" >&2
+      exit 1
+    fi
+  done
 fi
 
 step "cargo doc --no-deps with warnings denied (missing docs are errors)"

@@ -3,18 +3,25 @@
 //! precomputed-profile kernel against the scalar reference path the kernel
 //! replaced, plus the warm in-process cache replay rate.
 //!
-//! Before criterion runs, the bench asserts the kernel's two contractual
-//! properties — outcomes byte-identical to the reference path, and a ≥ 5x
-//! median cold-trial speedup — and writes a machine-readable
-//! `BENCH_trial_kernel.json` at the repository root so future PRs have a
-//! perf trajectory to regress against.
+//! Before criterion runs, the bench asserts the kernel's contractual
+//! properties — outcomes byte-identical to the reference path, a ≥ 5x median
+//! cold-trial speedup over the scalar reference, and a ≥ 2.5x speedup over
+//! the PR 4 kernel median (the pre-word-block, pre-profile-store floor) —
+//! and writes a machine-readable `BENCH_trial_kernel.json` at the repository
+//! root so future PRs have a perf trajectory to regress against. The report
+//! also records the word-skip rate of the word-block scan and the profile
+//! store's hit rate, so the trajectory explains *why* the numbers move.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rowpress_core::engine::{run_trial, run_trial_reference, Engine, Measurement, Plan};
 use rowpress_core::{ExperimentConfig, TrialScratch};
-use rowpress_dram::Time;
+use rowpress_dram::{reset_scan_word_stats, scan_word_stats, ProfileStore, Time};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// The kernel cold-trial median BENCH_trial_kernel.json recorded before the
+/// word-block + profile-store optimizations (PR 4's flat-storage kernel).
+const PR4_KERNEL_US_MEDIAN: f64 = 915.7;
 
 fn acmin_plan(cfg: &ExperimentConfig) -> Plan {
     Plan::grid(cfg)
@@ -40,7 +47,11 @@ fn bench_trial_kernel(c: &mut Criterion) {
     let cfg = ExperimentConfig::quick();
     let plan = acmin_plan(&cfg);
     let trials = plan.trials();
-    let mut scratch = TrialScratch::new();
+    // A private store keeps the hit/miss counters scoped to this timing loop
+    // instead of mixing with whatever else the process interned globally.
+    let store = ProfileStore::new();
+    let mut scratch = TrialScratch::with_profile_store(store.clone());
+    reset_scan_word_stats();
 
     // Correctness gate: every trial outcome of the kernel path must equal the
     // scalar reference path's, and per-trial times feed the medians.
@@ -58,6 +69,18 @@ fn bench_trial_kernel(c: &mut Criterion) {
     let kernel_us = median_us(kernel_times);
     let reference_us = median_us(reference_times);
     let speedup = reference_us / kernel_us.max(1e-9);
+    let speedup_vs_pr4 = PR4_KERNEL_US_MEDIAN / kernel_us.max(1e-9);
+    let words = scan_word_stats();
+    let word_skip_rate = words.skip_rate();
+    let store_hit_rate = store.hit_rate();
+    assert!(
+        words.words_visited + words.words_skipped > 0,
+        "word-block scan ran no words — instrumentation is broken"
+    );
+    assert!(
+        store.hits() > 0,
+        "profile store saw no hits on a grid with repeated (bank, row) sites"
+    );
 
     // Warm replay: the in-process cache answers every trial.
     let warm_engine = Engine::new(&cfg);
@@ -69,20 +92,32 @@ fn bench_trial_kernel(c: &mut Criterion) {
 
     println!(
         "perf_trial_kernel: {} trials, median cold trial {kernel_us:.0}us (kernel) vs \
-         {reference_us:.0}us (reference) = {speedup:.1}x, warm replay {warm_us:.1}us/trial",
+         {reference_us:.0}us (reference) = {speedup:.1}x ({speedup_vs_pr4:.1}x vs PR4 kernel), \
+         warm replay {warm_us:.1}us/trial, word skip rate {:.1}%, \
+         profile store hit rate {:.1}%",
         plan.len(),
+        word_skip_rate * 100.0,
+        store_hit_rate * 100.0,
     );
     let report = format!(
         "{{\n  \"bench\": \"perf_trial_kernel\",\n  \"grid\": \"quick-scale ACmin\",\n  \
          \"trials\": {},\n  \"reference_cold_trial_us_median\": {reference_us:.1},\n  \
          \"kernel_cold_trial_us_median\": {kernel_us:.1},\n  \
-         \"warm_replay_us_per_trial\": {warm_us:.1},\n  \"speedup_cold\": {speedup:.1}\n}}\n",
+         \"warm_replay_us_per_trial\": {warm_us:.1},\n  \"speedup_cold\": {speedup:.1},\n  \
+         \"speedup_vs_pr4_kernel\": {speedup_vs_pr4:.1},\n  \
+         \"word_skip_rate\": {word_skip_rate:.3},\n  \
+         \"profile_store_hit_rate\": {store_hit_rate:.3}\n}}\n",
         plan.len(),
     );
     std::fs::write(report_path(), report).expect("write BENCH_trial_kernel.json");
     assert!(
         speedup >= 5.0,
         "trial kernel must be >= 5x faster than the reference path, got {speedup:.1}x"
+    );
+    assert!(
+        speedup_vs_pr4 >= 2.5,
+        "trial kernel must be >= 2.5x faster than the PR 4 kernel median \
+         ({PR4_KERNEL_US_MEDIAN}us), got {speedup_vs_pr4:.1}x ({kernel_us:.1}us)"
     );
 
     c.bench_function("acmin_grid_trial_kernel_cold", |b| {

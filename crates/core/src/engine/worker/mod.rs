@@ -362,6 +362,12 @@ fn execute(
 ) -> DramResult<TrialOutcome> {
     let mut module = DramModule::new(&trial.spec, cfg.geometry);
     module.set_profile_caching(profile_caching);
+    if profile_caching {
+        // The kernel path shares the scratch's cross-trial profile store:
+        // every trial probing the same (spec, temperature, jitter, row) site
+        // reuses one cell-profile build instead of repeating it.
+        module.set_profile_store(scratch.profile_store().clone());
+    }
     module.set_temperature(trial.temperature_c);
     if trial.jitter.sigma != 0.0 {
         module.set_flip_jitter(trial.jitter.sigma, trial.jitter.salt);

@@ -9,7 +9,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::patterns::{run_pattern_any_flip, run_pattern_into, PatternInstance, PatternSite};
-use rowpress_dram::{Bitflip, DataPattern, DramModule, DramResult, Time};
+use rowpress_dram::{Bitflip, DataPattern, DramModule, DramResult, ProfileStore, Time};
 use serde::{Deserialize, Serialize};
 
 /// Reusable buffers for the trial hot path.
@@ -21,16 +21,46 @@ use serde::{Deserialize, Serialize};
 /// reused across every probe and trial, so a full search performs no heap
 /// allocation after warm-up beyond the outcome buffers that escape into
 /// records.
-#[derive(Debug, Default)]
+///
+/// The scratch also carries the [`ProfileStore`] the kernel path attaches to
+/// each trial's freshly built module, so the several tAggON points a campaign
+/// probes per (module, row) site amortize one cell-profile build instead of
+/// repeating it per trial. Like the flip accumulator, the store never
+/// influences outcomes — interned tables are bit-equal to fresh builds.
+#[derive(Debug)]
 pub struct TrialScratch {
     /// Flip accumulator reused by the collection passes.
     pub(crate) flips: Vec<Bitflip>,
+    /// Cross-trial profile store shared by every trial run with this scratch.
+    profile_store: ProfileStore,
 }
 
 impl TrialScratch {
-    /// Creates an empty scratch (buffers grow on first use and stick).
+    /// Creates an empty scratch (buffers grow on first use and stick) bound
+    /// to the process-wide [`ProfileStore::global`] store.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_profile_store(ProfileStore::global())
+    }
+
+    /// A scratch bound to a specific [`ProfileStore`]. Perf harnesses use a
+    /// private store so cold-build and hit/miss accounting is self-contained;
+    /// everything else shares the global store via [`TrialScratch::new`].
+    pub fn with_profile_store(store: ProfileStore) -> Self {
+        TrialScratch {
+            flips: Vec::new(),
+            profile_store: store,
+        }
+    }
+
+    /// The profile store trials executed with this scratch share.
+    pub fn profile_store(&self) -> &ProfileStore {
+        &self.profile_store
+    }
+}
+
+impl Default for TrialScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

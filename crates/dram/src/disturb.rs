@@ -506,6 +506,7 @@ impl FaultModel {
             columns: bits,
             press_vulnerable: self.press_row.is_some(),
             anti: vec![0u64; (bits as usize).div_ceil(64)],
+            word_min: Vec::new(),
             min_hammer: [[f64::INFINITY; 8]; 2],
             min_press: [[f64::INFINITY; 8]; 2],
             min_retention: [[f64::INFINITY; 8]; 2],
@@ -535,6 +536,71 @@ impl FaultModel {
         }
         table
     }
+
+    /// A digest of everything a [`CellProfileTable`] build depends on besides
+    /// the (bank, row, temperature, jitter) build inputs: the module seed, die
+    /// calibration, geometry, timing and physics configuration, plus the
+    /// derived row/cell distributions (which also capture the tested-rows
+    /// hint). Two models with equal fingerprints build bit-identical tables
+    /// from equal build inputs, which is what lets the cross-trial
+    /// [`ProfileStore`](crate::ProfileStore) intern tables by value of this
+    /// digest instead of holding a model reference.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = fxhash::FxHasher::default();
+        self.seed.hash(&mut h);
+        self.profile.hash(&mut h);
+        self.geometry.hash(&mut h);
+        // TimingParams and FaultModelConfig carry f64 fields and no Hash
+        // impl: fold their raw bits in directly.
+        let t = &self.timing;
+        for time in [
+            t.t_ras,
+            t.t_rp,
+            t.t_rcd,
+            t.t_cl,
+            t.t_ccd,
+            t.t_refi,
+            t.t_refw,
+            t.t_rfc,
+            t.command_granularity,
+        ] {
+            time.as_ps().hash(&mut h);
+        }
+        t.max_postponed_refreshes.hash(&mut h);
+        let c = &self.config;
+        for x in [
+            c.hammer_on_gain,
+            c.hammer_on_tau_ns,
+            c.hammer_off_gain,
+            c.hammer_off_tau_ns,
+            c.recovery_rho,
+            c.press_on_offset_ns,
+            c.distance_decay[0],
+            c.distance_decay[1],
+            c.distance_decay[2],
+        ] {
+            x.to_bits().hash(&mut h);
+        }
+        c.correlate_hammer_press.hash(&mut h);
+        for dist in [Some(self.hammer_row), self.press_row, Some(self.retention)] {
+            match dist {
+                Some(d) => {
+                    d.mu.to_bits().hash(&mut h);
+                    d.sigma.to_bits().hash(&mut h);
+                }
+                None => u64::MAX.hash(&mut h),
+            }
+        }
+        for x in [
+            self.hammer_cell_sigma,
+            self.press_cell_sigma,
+            self.hammer_ref_boost,
+        ] {
+            x.to_bits().hash(&mut h);
+        }
+        h.finish()
+    }
 }
 
 /// Precomputed per-cell fault parameters of one row, built by
@@ -550,12 +616,26 @@ impl FaultModel {
 /// bucket, which turns the "does this row currently contain *any* bitflip?"
 /// probe of the bisection searches into an O(8) comparison for rows holding
 /// an unmodified repeating-byte data pattern.
-#[derive(Debug, Clone)]
+///
+/// For full scans the table additionally keeps one [`WordMinima`] summary per
+/// 64-column word: the minimum threshold per mechanism over all cells of the
+/// word, regardless of charge state. A disturbance total below a word's
+/// minimum is below every cell threshold in the word, so the scan skips the
+/// whole word with three comparisons; only words that *can* fire fall through
+/// to the exact per-bucket / per-cell path, keeping flip output bit-identical.
+///
+/// The table derives [`PartialEq`] field-by-field, so two tables compare
+/// equal exactly when every stored threshold, mask and summary is equal —
+/// the property the `ProfileStore` interning tests assert.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellProfileTable {
     columns: u32,
     press_vulnerable: bool,
     /// Bit `c` set ⇔ column `c` is an anti-cell (charged state stores 0).
     anti: Vec<u64>,
+    /// Per-64-column-word minimum thresholds (state-agnostic lower bounds;
+    /// exact per-cell minima in dense builds, bucket-derived in sparse ones).
+    word_min: Vec<WordMinima>,
     /// Minimum thresholds indexed by `[polarity][column % 8]`, with polarity
     /// 0 = true cells and 1 = anti-cells. Each entry is the exact threshold
     /// of a real cell of the bucket (or infinity for an empty bucket).
@@ -581,11 +661,35 @@ pub struct CellProfileTable {
 /// Per-cell threshold vectors of a jitter-enabled build: jitter breaks the
 /// hash-monotonicity the sparse representation relies on, so every cell's
 /// factor is materialized.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct DenseThresholds {
     hammer: Vec<f64>,
     press: Vec<f64>,
     retention_s: Vec<f64>,
+}
+
+/// Minimum flip thresholds over one 64-column word of a row, regardless of
+/// the cells' current charge state. A disturbance total below a field is
+/// below every cell threshold of the corresponding mechanism in the word, so
+/// a full scan can skip the word entirely; totals at or above a field fall
+/// through to the exact per-cell evaluation, which decides identically to a
+/// scan without the summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WordMinima {
+    /// Minimum hammer threshold over the word's cells.
+    pub hammer: f64,
+    /// Minimum press threshold (µs) over the word's cells.
+    pub press_us: f64,
+    /// Minimum retention time (s) over the word's cells.
+    pub retention_s: f64,
+}
+
+impl WordMinima {
+    const UNREACHABLE: WordMinima = WordMinima {
+        hammer: f64::INFINITY,
+        press_us: f64::INFINITY,
+        retention_s: f64::INFINITY,
+    };
 }
 
 /// The weakest-cell thresholds of a row under one repeating fill byte,
@@ -616,6 +720,10 @@ impl CellProfileTable {
         let mut retention_hash: [[Option<u64>; 8]; 2] = [[None; 8]; 2];
         let mut hammer_anchor_in = [[false; 8]; 2];
         let mut press_anchor_in = [[false; 8]; 2];
+        // Which (polarity, residue) buckets each 64-column word contains,
+        // as a 16-bit mask per word: the word-block summaries are derived
+        // from the bucket minima of exactly these buckets.
+        let mut present = vec![0u16; self.anti.len()];
         let track_press = self.press_vulnerable;
         for column in 0..self.columns {
             let word = u64::from(column);
@@ -625,6 +733,7 @@ impl CellProfileTable {
             }
             let polarity = usize::from(anti);
             let residue = (column % 8) as usize;
+            present[(column / 64) as usize] |= 1u16 << (polarity * 8 + residue);
             if self.hammer_anchors.contains(&column) {
                 hammer_anchor_in[polarity][residue] = true;
             } else {
@@ -671,6 +780,26 @@ impl CellProfileTable {
                 }
             }
         }
+        // Word summaries: the minimum bucket minimum over the buckets present
+        // in each word. A bucket minimum lower-bounds every cell threshold of
+        // the bucket anywhere in the row, so the summary is a conservative
+        // (never too high) per-word lower bound — skipping on it is safe.
+        self.word_min = present
+            .iter()
+            .map(|&mask| {
+                let mut wm = WordMinima::UNREACHABLE;
+                let mut bits = mask;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let (polarity, residue) = (b / 8, b % 8);
+                    wm.hammer = wm.hammer.min(self.min_hammer[polarity][residue]);
+                    wm.press_us = wm.press_us.min(self.min_press[polarity][residue]);
+                    wm.retention_s = wm.retention_s.min(self.min_retention[polarity][residue]);
+                }
+                wm
+            })
+            .collect();
     }
 
     /// The jitter-enabled build: every cell's thresholds are materialized
@@ -691,6 +820,7 @@ impl CellProfileTable {
             retention_s: Vec::with_capacity(n),
         };
         let press_base = self.press_base.unwrap_or(f64::INFINITY);
+        self.word_min = vec![WordMinima::UNREACHABLE; self.anti.len()];
         for column in 0..self.columns {
             let word = u64::from(column);
             let addr = CellAddr {
@@ -728,6 +858,12 @@ impl CellProfileTable {
             *slot = slot.min(press);
             let slot = &mut self.min_retention[polarity][residue];
             *slot = slot.min(retention);
+            // Dense builds materialize every threshold anyway, so the word
+            // summaries are the exact per-word minima, not bucket bounds.
+            let wm = &mut self.word_min[(column / 64) as usize];
+            wm.hammer = wm.hammer.min(hammer);
+            wm.press_us = wm.press_us.min(press);
+            wm.retention_s = wm.retention_s.min(retention);
             dense.hammer.push(hammer);
             dense.press.push(press);
             dense.retention_s.push(retention);
@@ -830,6 +966,21 @@ impl CellProfileTable {
     #[inline]
     pub(crate) fn min_retention_bucket(&self, anti: bool, column: u32) -> f64 {
         self.min_retention[usize::from(anti)][(column % 8) as usize]
+    }
+
+    /// The number of 64-column words the row spans (the last word may be
+    /// partial for row sizes that are not a multiple of 64).
+    pub fn word_count(&self) -> usize {
+        self.word_min.len()
+    }
+
+    /// The [`WordMinima`] summary of word `word` (columns `64*word ..
+    /// 64*word + 64`): state-agnostic minimum thresholds over the word's
+    /// cells. Full scans test a disturbance total against these three floats
+    /// and skip the word's 64 cells outright when no mechanism can fire.
+    #[inline]
+    pub fn word_minima(&self, word: usize) -> WordMinima {
+        self.word_min[word]
     }
 
     /// The minimum flip thresholds of the row when every byte of the row
@@ -1107,6 +1258,88 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn word_minima_lower_bound_every_cell_threshold() {
+        let m = model();
+        let bank = BankId(1);
+        let row = RowId(12);
+        for (label, table) in [
+            ("sparse", m.cell_profile_table(bank, row, 65.0, None)),
+            (
+                "dense",
+                m.cell_profile_table(
+                    bank,
+                    row,
+                    65.0,
+                    Some(&|a: CellAddr| 1.0 + f64::from(a.column.0 % 5) * 0.02),
+                ),
+            ),
+        ] {
+            assert_eq!(table.word_count(), (table.columns() as usize).div_ceil(64));
+            for word in 0..table.word_count() {
+                let wm = table.word_minima(word);
+                let first = (word * 64) as u32;
+                let last = table.columns().min(first + 64);
+                let mut hammer = f64::INFINITY;
+                let mut press = f64::INFINITY;
+                let mut retention = f64::INFINITY;
+                for c in first..last {
+                    hammer = hammer.min(table.hammer_threshold(c));
+                    press = press.min(table.press_threshold(c));
+                    retention = retention.min(table.retention_threshold_s(c));
+                }
+                // Safe to skip on: never above the true word minimum.
+                assert!(wm.hammer <= hammer, "{label} hammer word {word}");
+                assert!(wm.press_us <= press, "{label} press word {word}");
+                assert!(wm.retention_s <= retention, "{label} retention word {word}");
+                // The dense build materializes every threshold, so its
+                // summaries are the exact minima, not just bounds.
+                if label == "dense" {
+                    assert_eq!(wm.hammer, hammer, "dense hammer word {word}");
+                    assert_eq!(wm.press_us, press, "dense press word {word}");
+                    assert_eq!(wm.retention_s, retention, "dense retention word {word}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_build_relevant_inputs() {
+        let die = find_die(Manufacturer::S, DieDensity::Gb8, 'B').unwrap();
+        let base = FaultModel::with_defaults(die, Geometry::tiny(), 1);
+        assert_eq!(base.fingerprint(), base.fingerprint());
+        let other_seed = FaultModel::with_defaults(die, Geometry::tiny(), 2);
+        assert_ne!(base.fingerprint(), other_seed.fingerprint());
+        let other_geometry = FaultModel::with_defaults(die, Geometry::scaled_down(), 1);
+        assert_ne!(base.fingerprint(), other_geometry.fingerprint());
+        let other_die = find_die(Manufacturer::M, DieDensity::Gb8, 'B').unwrap();
+        let other_profile = FaultModel::with_defaults(other_die, Geometry::tiny(), 1);
+        assert_ne!(base.fingerprint(), other_profile.fingerprint());
+        let other_config = FaultModel::new(
+            die,
+            Geometry::tiny(),
+            TimingParams::ddr4(),
+            1,
+            FaultModelConfig {
+                recovery_rho: 0.25,
+                ..Default::default()
+            },
+            3072,
+        );
+        assert_ne!(base.fingerprint(), other_config.fingerprint());
+        // The tested-rows hint shifts the derived row distributions, which
+        // shift the tables — it must shift the fingerprint too.
+        let other_hint = FaultModel::new(
+            die,
+            Geometry::tiny(),
+            TimingParams::ddr4(),
+            1,
+            FaultModelConfig::default(),
+            64,
+        );
+        assert_ne!(base.fingerprint(), other_hint.fingerprint());
     }
 
     #[test]

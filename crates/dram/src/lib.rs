@@ -54,19 +54,23 @@ pub mod math;
 mod module;
 mod pattern;
 mod profile;
+mod store;
 mod time;
 mod timing;
 
 pub use address::{BankId, CellAddr, ColumnId, Geometry, RowId, RowMapping};
 pub use command::DramCommand;
-pub use disturb::{cell, CellProfileTable, FaultModel, FaultModelConfig, RowMinima};
+pub use disturb::{cell, CellProfileTable, FaultModel, FaultModelConfig, RowMinima, WordMinima};
 pub use error::{DramError, DramResult};
-pub use module::{Bitflip, DramModule, FlipMechanism};
+pub use module::{
+    reset_scan_word_stats, scan_word_stats, Bitflip, DramModule, FlipMechanism, ScanWordStats,
+};
 pub use pattern::{fill_row, DataPattern, RowRole};
 pub use profile::{
     die_catalog, find_die, module_inventory, representative_modules, DieDensity, DieProfile,
     Manufacturer, ModuleSpec, PressCalibration,
 };
+pub use store::ProfileStore;
 pub use time::Time;
 pub use timing::{representative_t_aggon, sweep_t_aggon, TimingParams};
 
@@ -78,6 +82,7 @@ mod crate_tests {
     fn public_types_are_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DramModule>();
+        assert_send_sync::<ProfileStore>();
         assert_send_sync::<FaultModel>();
         assert_send_sync::<ModuleSpec>();
         assert_send_sync::<DramError>();

@@ -26,11 +26,13 @@ use crate::disturb::{CellProfileTable, FaultModel, FaultModelConfig};
 use crate::error::{DramError, DramResult};
 use crate::pattern::{DataPattern, RowRole};
 use crate::profile::{DieProfile, ModuleSpec};
+use crate::store::{ProfileKey, ProfileStore};
 use crate::time::Time;
 use crate::timing::TimingParams;
 use crate::Geometry;
 use serde::{Deserialize, Serialize};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Which physical mechanism produced a bitflip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -116,8 +118,9 @@ struct RowSlot {
     /// Quick check: any ledger entry nonzero.
     exposed: bool,
     /// Lazily built per-cell fault parameters (see [`CellProfileTable`]);
-    /// invalidated on temperature / jitter changes.
-    profile: OnceLock<Box<CellProfileTable>>,
+    /// invalidated on temperature / jitter changes. `Arc` so a table interned
+    /// in a cross-trial [`ProfileStore`] is shared, not copied, per module.
+    profile: OnceLock<Arc<CellProfileTable>>,
 }
 
 impl RowSlot {
@@ -165,6 +168,48 @@ struct RowDisturb {
     press_exposed: bool,
 }
 
+/// Cumulative word-block statistics of the profiled full-scan path,
+/// process-wide (like the [`ProfileStore`] they instrument — a module cannot
+/// carry the counters itself without giving up `Clone`-independence of its
+/// observable state). Snapshot via [`scan_word_stats`]; perf harnesses
+/// bracket a measured region with [`reset_scan_word_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanWordStats {
+    /// 64-column words visited by profiled full scans.
+    pub words_visited: u64,
+    /// Of those, words skipped whole by the word-minimum prune.
+    pub words_skipped: u64,
+}
+
+impl ScanWordStats {
+    /// Fraction of visited words skipped whole (0.0 before any scan ran).
+    pub fn skip_rate(&self) -> f64 {
+        if self.words_visited == 0 {
+            return 0.0;
+        }
+        self.words_skipped as f64 / self.words_visited as f64
+    }
+}
+
+static SCAN_WORDS_VISITED: AtomicU64 = AtomicU64::new(0);
+static SCAN_WORDS_SKIPPED: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the cumulative [`ScanWordStats`]. Each scan adds its local
+/// tallies once at the end with relaxed ordering, so the snapshot is cheap
+/// and approximately consistent — counters, not a synchronization point.
+pub fn scan_word_stats() -> ScanWordStats {
+    ScanWordStats {
+        words_visited: SCAN_WORDS_VISITED.load(Ordering::Relaxed),
+        words_skipped: SCAN_WORDS_SKIPPED.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the cumulative word-block scan counters to zero.
+pub fn reset_scan_word_stats() {
+    SCAN_WORDS_VISITED.store(0, Ordering::Relaxed);
+    SCAN_WORDS_SKIPPED.store(0, Ordering::Relaxed);
+}
+
 /// A DRAM module under test: fault model + mutable experiment state.
 ///
 /// # Examples
@@ -196,6 +241,11 @@ pub struct DramModule {
     jitter_sigma: f64,
     jitter_salt: u64,
     profile_caching: bool,
+    /// Cross-trial intern table for built row profiles; `None` (the default)
+    /// keeps builds module-local.
+    profile_store: Option<ProfileStore>,
+    /// The fault model's build-identity digest, precomputed for store keys.
+    model_fingerprint: u64,
 }
 
 impl DramModule {
@@ -218,6 +268,7 @@ impl DramModule {
         config: FaultModelConfig,
     ) -> Self {
         let fault = FaultModel::new(spec.die, geometry, timing, spec.seed, config, 3072);
+        let model_fingerprint = fault.fingerprint();
         DramModule {
             spec: spec.clone(),
             fault,
@@ -230,6 +281,8 @@ impl DramModule {
             jitter_sigma: 0.0,
             jitter_salt: 0,
             profile_caching: true,
+            profile_store: None,
+            model_fingerprint,
         }
     }
 
@@ -316,6 +369,21 @@ impl DramModule {
     /// Whether the precomputed-profile evaluation path is enabled.
     pub fn profile_caching(&self) -> bool {
         self.profile_caching
+    }
+
+    /// Attaches a cross-trial [`ProfileStore`]: row profiles are looked up
+    /// there (keyed by the full build identity — model fingerprint,
+    /// temperature, jitter, bank, row) before being built, and donated on a
+    /// miss, so modules sharing one store build each distinct table once per
+    /// process. Only consulted by the kernel path; the scalar reference path
+    /// ([`DramModule::set_profile_caching`] off) never touches profiles.
+    pub fn set_profile_store(&mut self, store: ProfileStore) {
+        self.profile_store = Some(store);
+    }
+
+    /// The attached cross-trial [`ProfileStore`], if any.
+    pub fn profile_store(&self) -> Option<&ProfileStore> {
+        self.profile_store.as_ref()
     }
 
     /// Drops every cached row profile (temperature or jitter changed).
@@ -553,14 +621,22 @@ impl DramModule {
     /// so tests can check the table against the fault model's per-cell
     /// functions; the evaluation paths use it internally.
     ///
+    /// Takes `&self`: the build is interior-mutable via the row slot's
+    /// `OnceLock`. For a row whose storage chunk was never touched there is
+    /// no slot to cache in, so the table is served from the attached
+    /// [`ProfileStore`] (interned) or built fresh per call.
+    ///
     /// # Errors
     ///
     /// Returns an error if the address is out of range.
-    pub fn cell_profiles(&mut self, bank: BankId, row: RowId) -> DramResult<&CellProfileTable> {
+    pub fn cell_profiles(&self, bank: BankId, row: RowId) -> DramResult<Arc<CellProfileTable>> {
         self.check_addr(bank, row)?;
-        self.slot_mut(bank, row); // allocate the slab so the cache has a home
-        let slot = self.slot(bank, row).expect("slab allocated");
-        Ok(self.profile(bank, row, slot))
+        match self.slot(bank, row) {
+            Some(slot) => Ok(Arc::clone(
+                slot.profile.get_or_init(|| self.build_profile(bank, row)),
+            )),
+            None => Ok(self.build_profile(bank, row)),
+        }
     }
 
     /// Issues a single activation (see [`DramModule::activate_many`]).
@@ -622,18 +698,46 @@ impl DramModule {
 
     /// The row's cached [`CellProfileTable`], building it on first use.
     fn profile<'a>(&'a self, bank: BankId, row: RowId, slot: &'a RowSlot) -> &'a CellProfileTable {
-        slot.profile.get_or_init(|| {
-            let jitter = |addr| self.flip_jitter(addr);
-            let jitter: Option<&dyn Fn(CellAddr) -> f64> = if self.jitter_sigma == 0.0 {
-                None
-            } else {
-                Some(&jitter)
-            };
-            Box::new(
-                self.fault
-                    .cell_profile_table(bank, row, self.temperature_c, jitter),
-            )
-        })
+        slot.profile.get_or_init(|| self.build_profile(bank, row))
+    }
+
+    /// Builds (or fetches from the attached [`ProfileStore`]) the profile of
+    /// one row under the current temperature and jitter settings.
+    fn build_profile(&self, bank: BankId, row: RowId) -> Arc<CellProfileTable> {
+        match &self.profile_store {
+            Some(store) => store.get_or_build(self.profile_key(bank, row), || {
+                self.build_profile_uncached(bank, row)
+            }),
+            None => Arc::new(self.build_profile_uncached(bank, row)),
+        }
+    }
+
+    /// The store key of one row's profile under the current settings. A
+    /// temperature or jitter change produces a different key, so stale
+    /// entries interned under the old settings are never hit again — the
+    /// store needs no invalidation protocol (the per-slot `OnceLock`s are
+    /// still cleared by [`DramModule::invalidate_profiles`]).
+    fn profile_key(&self, bank: BankId, row: RowId) -> ProfileKey {
+        ProfileKey {
+            model: self.model_fingerprint,
+            temp_bits: self.temperature_c.to_bits(),
+            jitter_sigma_bits: self.jitter_sigma.to_bits(),
+            jitter_salt: self.jitter_salt,
+            bank,
+            row,
+        }
+    }
+
+    /// The actual table build: the expensive hash pass over the row's cells.
+    fn build_profile_uncached(&self, bank: BankId, row: RowId) -> CellProfileTable {
+        let jitter = |addr| self.flip_jitter(addr);
+        let jitter: Option<&dyn Fn(CellAddr) -> f64> = if self.jitter_sigma == 0.0 {
+            None
+        } else {
+            Some(&jitter)
+        };
+        self.fault
+            .cell_profile_table(bank, row, self.temperature_c, jitter)
     }
 
     /// Evaluates every cell of a row against its current disturbance,
@@ -659,8 +763,12 @@ impl DramModule {
         }
     }
 
-    /// The kernel scan: per-cell thresholds come from the precomputed
-    /// profile, so the loop is two comparisons per cell with no hashing.
+    /// The kernel scan, word-blocked: each 64-column word is first tested
+    /// against the profile's per-word minimum thresholds ([`crate::WordMinima`])
+    /// — three compares — and skipped whole when no mechanism's total reaches
+    /// any cell in it. Words that can fire fall through to the exact
+    /// per-bucket / per-cell scalar path, so the emitted flips (and their
+    /// ascending-column order) are bit-identical to a scan without the prune.
     fn scan_cells_profiled(
         &self,
         bank: BankId,
@@ -672,54 +780,75 @@ impl DramModule {
     ) {
         let profile = self.profile(bank, row, slot);
         let check_press = d.press_exposed && profile.press_vulnerable();
-        for column in 0..self.geometry.bits_per_row {
-            let bit = Self::stored_bit(data, column);
-            let anti = profile.is_anti(column);
-            // Bucket pruning: a total below the (polarity, residue) bucket's
-            // minimum threshold is below every cell threshold in the bucket,
-            // so the exact per-cell evaluation runs only for cells a
-            // mechanism could actually flip.
-            let flip = if anti != bit {
-                // Charge-drain mechanisms: RowPress and retention.
-                let pressed = check_press
-                    && d.press_total >= profile.min_press_bucket(anti, column)
-                    && d.press_total >= profile.press_threshold(column);
-                let leaked = !pressed
-                    && d.check_retention
-                    && d.retention_elapsed_s >= profile.min_retention_bucket(anti, column)
-                    && d.retention_elapsed_s >= profile.retention_threshold_s(column);
-                if pressed {
-                    Some(FlipMechanism::Press)
-                } else if leaked {
-                    Some(FlipMechanism::Retention)
+        let columns = self.geometry.bits_per_row;
+        let mut visited = 0u64;
+        let mut skipped = 0u64;
+        'words: for word in 0..profile.word_count() {
+            visited += 1;
+            // Word-block prune: the summary minima lower-bound every cell
+            // threshold in the word regardless of charge state, so a total
+            // below all three can flip nothing here.
+            let wm = profile.word_minima(word);
+            let can_fire = (d.check_hammer && d.hammer_total >= wm.hammer)
+                || (check_press && d.press_total >= wm.press_us)
+                || (d.check_retention && d.retention_elapsed_s >= wm.retention_s);
+            if !can_fire {
+                skipped += 1;
+                continue;
+            }
+            let first = (word * 64) as u32;
+            let last = columns.min(first + 64);
+            for column in first..last {
+                let bit = Self::stored_bit(data, column);
+                let anti = profile.is_anti(column);
+                // Bucket pruning: a total below the (polarity, residue)
+                // bucket's minimum threshold is below every cell threshold in
+                // the bucket, so the exact per-cell evaluation runs only for
+                // cells a mechanism could actually flip.
+                let flip = if anti != bit {
+                    // Charge-drain mechanisms: RowPress and retention.
+                    let pressed = check_press
+                        && d.press_total >= profile.min_press_bucket(anti, column)
+                        && d.press_total >= profile.press_threshold(column);
+                    let leaked = !pressed
+                        && d.check_retention
+                        && d.retention_elapsed_s >= profile.min_retention_bucket(anti, column)
+                        && d.retention_elapsed_s >= profile.retention_threshold_s(column);
+                    if pressed {
+                        Some(FlipMechanism::Press)
+                    } else if leaked {
+                        Some(FlipMechanism::Retention)
+                    } else {
+                        None
+                    }
+                } else if d.check_hammer
+                    && d.hammer_total >= profile.min_hammer_bucket(anti, column)
+                    && d.hammer_total >= profile.hammer_threshold(column)
+                {
+                    // Charge-injection mechanism: RowHammer.
+                    Some(FlipMechanism::Hammer)
                 } else {
                     None
-                }
-            } else if d.check_hammer
-                && d.hammer_total >= profile.min_hammer_bucket(anti, column)
-                && d.hammer_total >= profile.hammer_threshold(column)
-            {
-                // Charge-injection mechanism: RowHammer.
-                Some(FlipMechanism::Hammer)
-            } else {
-                None
-            };
-            if let Some(mechanism) = flip {
-                let keep_going = emit(Bitflip {
-                    addr: CellAddr {
-                        bank,
-                        row,
-                        column: ColumnId(column),
-                    },
-                    from: bit,
-                    to: !bit,
-                    mechanism,
-                });
-                if !keep_going {
-                    return;
+                };
+                if let Some(mechanism) = flip {
+                    let keep_going = emit(Bitflip {
+                        addr: CellAddr {
+                            bank,
+                            row,
+                            column: ColumnId(column),
+                        },
+                        from: bit,
+                        to: !bit,
+                        mechanism,
+                    });
+                    if !keep_going {
+                        break 'words;
+                    }
                 }
             }
         }
+        SCAN_WORDS_VISITED.fetch_add(visited, Ordering::Relaxed);
+        SCAN_WORDS_SKIPPED.fetch_add(skipped, Ordering::Relaxed);
     }
 
     /// The reference scan: every cell parameter recomputed on demand from the

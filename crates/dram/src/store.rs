@@ -1,0 +1,251 @@
+//! Cross-trial interning of precomputed row profiles.
+//!
+//! Building a row's [`CellProfileTable`] is the single most expensive step of
+//! a cold trial: one full hash pass over the row's cells. Within one
+//! [`DramModule`](crate::DramModule) the table is cached per row slot, but a
+//! campaign constructs a *fresh module per trial* (that is what makes trial
+//! outcomes independent of scheduling), so the several tAggON points it
+//! probes per (module, row) site used to rebuild identical tables over and
+//! over.
+//!
+//! [`ProfileStore`] closes that gap: a process-wide, `Arc`-shared, read-only
+//! intern table keyed by everything a build depends on — the fault model's
+//! [`fingerprint`](crate::FaultModel::fingerprint) (seed, die calibration,
+//! geometry, timing, physics config), build temperature, jitter setting, bank
+//! and row. Modules with a store attached
+//! ([`DramModule::set_profile_store`](crate::DramModule::set_profile_store))
+//! consult it before building; the first trial to need a table builds and
+//! donates it, every later trial clones the `Arc`. Temperature or jitter
+//! changes need no invalidation protocol: they change the key, so stale
+//! entries are simply never hit again.
+//!
+//! The store never returns an approximate table — a hit is keyed on the full
+//! build identity, so interned tables are bit-equal to freshly built ones and
+//! flip output stays byte-identical. Hit/miss counters expose how much work
+//! the interning saves; the `perf_trial_kernel` bench records the rate.
+//!
+//! # Example
+//!
+//! Two modules of the same spec share one store: the second module's lookup
+//! is a hit and yields literally the same allocation.
+//!
+//! ```
+//! use rowpress_dram::{module_inventory, BankId, DramModule, Geometry, ProfileStore, RowId};
+//! use std::sync::Arc;
+//!
+//! let store = ProfileStore::new();
+//! let spec = module_inventory().remove(0);
+//! let mut first = DramModule::new(&spec, Geometry::tiny());
+//! first.set_profile_store(store.clone());
+//! let mut second = DramModule::new(&spec, Geometry::tiny());
+//! second.set_profile_store(store.clone());
+//!
+//! let built = first.cell_profiles(BankId(0), RowId(3))?;
+//! let interned = second.cell_profiles(BankId(0), RowId(3))?;
+//! assert!(Arc::ptr_eq(&built, &interned));
+//! assert_eq!((store.misses(), store.hits()), (1, 1));
+//! # Ok::<(), rowpress_dram::DramError>(())
+//! ```
+
+use crate::address::{BankId, RowId};
+use crate::disturb::CellProfileTable;
+use fxhash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The full build identity of one interned [`CellProfileTable`].
+///
+/// Everything [`FaultModel::cell_profile_table`](crate::FaultModel) reads is
+/// either in here or covered by the model fingerprint, so equal keys imply
+/// bit-identical tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct ProfileKey {
+    /// [`FaultModel::fingerprint`](crate::FaultModel::fingerprint): seed, die
+    /// calibration, geometry, timing and physics configuration.
+    pub model: u64,
+    /// Build temperature, raw `f64` bits (the build bakes it into the
+    /// retention thresholds).
+    pub temp_bits: u64,
+    /// Jitter sigma, raw `f64` bits; `0.0f64.to_bits()` when disabled.
+    pub jitter_sigma_bits: u64,
+    /// Jitter salt; 0 when disabled.
+    pub jitter_salt: u64,
+    /// The profiled row's bank.
+    pub bank: BankId,
+    /// The profiled row.
+    pub row: RowId,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    /// One `OnceLock` cell per key, following the `TrialCache` pattern: the
+    /// map lock is held only to find or insert the cell, never across a
+    /// build, so concurrent workers building *different* rows do not
+    /// serialize and workers racing on the *same* row build it exactly once.
+    tables: Mutex<FxHashMap<ProfileKey, Arc<OnceLock<Arc<CellProfileTable>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A process-wide intern table of built [`CellProfileTable`]s, shared across
+/// trials (and threads) so each distinct row profile is built once per
+/// process instead of once per trial. The module-level docs describe the
+/// data flow and hold a runnable example.
+///
+/// Clones share storage; the type is cheap to clone and `Send + Sync`.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileStore {
+    inner: Arc<StoreInner>,
+}
+
+impl ProfileStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide store: every engine worker's scratch binds to this
+    /// one by default, so concurrent trials — and successive engine runs in
+    /// one process — share builds.
+    pub fn global() -> ProfileStore {
+        static GLOBAL: OnceLock<ProfileStore> = OnceLock::new();
+        GLOBAL.get_or_init(ProfileStore::new).clone()
+    }
+
+    /// Number of lookups answered from an already-interned table.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to build (and donate) the table.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups answered without a build (0.0 for a fresh store).
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, misses) = (self.hits(), self.misses());
+        if hits + misses == 0 {
+            return 0.0;
+        }
+        hits as f64 / (hits + misses) as f64
+    }
+
+    /// Number of interned tables.
+    pub fn len(&self) -> usize {
+        self.inner.tables.lock().expect("profile store lock").len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The interned table for `key`, building and donating it on first need.
+    /// A lookup that finds another thread mid-build waits for that build and
+    /// counts as a hit (it paid no build itself).
+    pub(crate) fn get_or_build(
+        &self,
+        key: ProfileKey,
+        build: impl FnOnce() -> CellProfileTable,
+    ) -> Arc<CellProfileTable> {
+        let cell = {
+            let mut tables = self.inner.tables.lock().expect("profile store lock");
+            Arc::clone(tables.entry(key).or_default())
+        };
+        let mut built = false;
+        let table = cell.get_or_init(|| {
+            built = true;
+            Arc::new(build())
+        });
+        let counter = if built {
+            &self.inner.misses
+        } else {
+            &self.inner.hits
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disturb::FaultModel;
+    use crate::profile::{find_die, DieDensity, Manufacturer};
+    use crate::Geometry;
+
+    fn key(row: u32) -> ProfileKey {
+        ProfileKey {
+            model: 1,
+            temp_bits: 50.0f64.to_bits(),
+            jitter_sigma_bits: 0.0f64.to_bits(),
+            jitter_salt: 0,
+            bank: BankId(0),
+            row: RowId(row),
+        }
+    }
+
+    fn table(row: u32) -> CellProfileTable {
+        let die = find_die(Manufacturer::S, DieDensity::Gb8, 'B').unwrap();
+        let model = FaultModel::with_defaults(die, Geometry::tiny(), 0x77);
+        model.cell_profile_table(BankId(0), RowId(row), 50.0, None)
+    }
+
+    #[test]
+    fn interns_once_per_key_and_counts_hits() {
+        let store = ProfileStore::new();
+        assert!(store.is_empty());
+        let mut builds = 0;
+        let a = store.get_or_build(key(1), || {
+            builds += 1;
+            table(1)
+        });
+        let b = store.get_or_build(key(1), || {
+            builds += 1;
+            table(1)
+        });
+        assert_eq!(builds, 1, "second lookup must not rebuild");
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = store.get_or_build(key(2), || table(2));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!((store.misses(), store.hits()), (2, 1));
+        assert_eq!(store.len(), 2);
+        assert!((store.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_storage_and_counters() {
+        let store = ProfileStore::new();
+        let clone = store.clone();
+        let a = store.get_or_build(key(5), || table(5));
+        let b = clone.get_or_build(key(5), || table(5));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((clone.misses(), clone.hits()), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_lookups_build_exactly_once() {
+        let store = ProfileStore::new();
+        let builds = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    store.get_or_build(key(9), || {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        table(9)
+                    });
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        assert_eq!(store.misses() + store.hits(), 8);
+        assert_eq!(store.misses(), 1);
+    }
+
+    #[test]
+    fn store_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProfileStore>();
+    }
+}

@@ -77,6 +77,33 @@ fn quick_acmin_jsonl_is_byte_identical_to_pre_kernel_engine() {
 }
 
 #[test]
+fn quick_acmin_jsonl_is_worker_count_invariant_under_shared_profile_store() {
+    // Engine workers all intern row profiles in the process-global
+    // ProfileStore; whether one worker builds every table or four race to
+    // build them, the merged stream must stay byte-identical.
+    let cfg = ExperimentConfig::quick();
+    let plan = quick_acmin_plan(&cfg);
+    for workers in [1, 4] {
+        let mut buf = Vec::new();
+        let mut sink = JsonlSink::new(&mut buf);
+        Engine::new(&cfg)
+            .with_workers(workers)
+            .run(&plan, &mut sink)
+            .expect("quick grid runs");
+        assert_eq!(
+            buf.len(),
+            QUICK_ACMIN_BYTES,
+            "stream length drifted with {workers} workers"
+        );
+        assert_eq!(
+            checksum(&buf),
+            QUICK_ACMIN_CHECKSUM,
+            "the JSONL byte stream changed with {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn kernel_and_reference_trial_paths_agree_on_the_quick_grid() {
     // Per-trial equivalence, sharper than the stream checksum: the kernel
     // path (precomputed profiles + scratch reuse) must produce the same

@@ -5,8 +5,11 @@ use proptest::prelude::*;
 use rowpress::core::stats::{loglog_slope, BoxSummary};
 use rowpress::core::{ExperimentConfig, PatternKind, PatternSite};
 use rowpress::dram::math::LogNormal;
-use rowpress::dram::{module_inventory, BankId, DramModule, Geometry, RowId, Time, TimingParams};
+use rowpress::dram::{
+    module_inventory, BankId, DramModule, Geometry, ProfileStore, RowId, Time, TimingParams,
+};
 use rowpress::mitigations::adapted_trh;
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -171,6 +174,101 @@ proptest! {
             (flips, data)
         };
         prop_assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn word_block_scan_with_shared_store_matches_reference(
+        module_idx in 0usize..10,
+        t_on_us in 1.0f64..20_000.0,
+        acts in 1u64..2_000,
+        idle_ms in 0.0f64..2_000.0,
+        pattern_sel in 0usize..6,
+        jitter_sel in 0u8..2,
+    ) {
+        // The word-block kernel with a cross-trial store attached must flip
+        // exactly the cells the scalar reference flips, and a second module
+        // replaying the interned tables must agree without rebuilding any.
+        let inventory = module_inventory();
+        let spec = &inventory[module_idx % inventory.len()];
+        let pattern = rowpress::dram::DataPattern::all()[pattern_sel];
+        let bank = BankId(1);
+        let store = ProfileStore::new();
+        let run = |store: Option<&ProfileStore>| {
+            let mut m = DramModule::new(spec, Geometry::tiny());
+            m.set_profile_caching(store.is_some());
+            if let Some(s) = store {
+                m.set_profile_store(s.clone());
+            }
+            if jitter_sel == 1 {
+                m.set_flip_jitter(0.05, 0x5EED ^ acts);
+            }
+            m.init_row_pattern(bank, RowId(20), pattern, rowpress::dram::RowRole::Aggressor)
+                .unwrap();
+            m.init_row_pattern(bank, RowId(21), pattern, rowpress::dram::RowRole::Victim)
+                .unwrap();
+            m.activate_many(bank, RowId(20), Time::from_us(t_on_us), Time::from_ns(15.0), acts)
+                .unwrap();
+            m.idle(Time::from_ms(idle_ms));
+            let flips = m.check_row(bank, RowId(21)).unwrap();
+            let data = m.read_row(bank, RowId(21)).unwrap();
+            (flips, data)
+        };
+        let cold = run(Some(&store));
+        let misses_after_cold = store.misses();
+        let replay = run(Some(&store));
+        prop_assert_eq!(store.misses(), misses_after_cold, "replay must only hit the store");
+        prop_assert!(store.hits() > 0, "replay must be served from the store");
+        prop_assert_eq!(&cold, &replay);
+        prop_assert_eq!(cold, run(None));
+    }
+
+    #[test]
+    fn store_interned_tables_bit_equal_to_fresh_builds(
+        module_idx in 0usize..10,
+        bank in 0u16..2,
+        row in 0u32..64,
+        temp_a in 40.0f64..70.0,
+        temp_b in 70.1f64..95.0,
+        jitter_sel in 0u8..2,
+    ) {
+        // Every table served by the store must be bit-equal to the table a
+        // store-less module would build fresh at the same temperature and
+        // jitter — including the change-and-change-back edge where the slot
+        // cache is invalidated but the store still holds the original table.
+        let inventory = module_inventory();
+        let spec = &inventory[module_idx % inventory.len()];
+        let bank = BankId(bank);
+        let row = RowId(row);
+        let store = ProfileStore::new();
+        let fresh = |temp: f64, jitter: (f64, u64)| {
+            let mut m = DramModule::new(spec, Geometry::tiny());
+            m.set_flip_jitter(jitter.0, jitter.1);
+            m.set_temperature(temp);
+            m.cell_profiles(bank, row).unwrap()
+        };
+        let base_jitter = if jitter_sel == 1 { (0.03, 0xF00D) } else { (0.0, 0) };
+        let mut m = DramModule::new(spec, Geometry::tiny());
+        m.set_profile_store(store.clone());
+        m.set_flip_jitter(base_jitter.0, base_jitter.1);
+        m.set_temperature(temp_a);
+        let a1 = m.cell_profiles(bank, row).unwrap();
+        m.set_temperature(temp_b);
+        let b = m.cell_profiles(bank, row).unwrap();
+        m.set_temperature(temp_a);
+        let a2 = m.cell_profiles(bank, row).unwrap();
+        prop_assert_eq!(&*a1, &*fresh(temp_a, base_jitter));
+        prop_assert_eq!(&*b, &*fresh(temp_b, base_jitter));
+        // Returning to temp_a must be a store hit: same allocation, no build.
+        prop_assert!(Arc::ptr_eq(&a1, &a2));
+        prop_assert_eq!(store.misses(), 2);
+        // Same edge through the jitter parameters.
+        m.set_flip_jitter(0.1, 0xBEEF);
+        let j = m.cell_profiles(bank, row).unwrap();
+        prop_assert_eq!(&*j, &*fresh(temp_a, (0.1, 0xBEEF)));
+        m.set_flip_jitter(base_jitter.0, base_jitter.1);
+        let a3 = m.cell_profiles(bank, row).unwrap();
+        prop_assert!(Arc::ptr_eq(&a1, &a3));
+        prop_assert_eq!(store.misses(), 3);
     }
 }
 
