@@ -44,10 +44,11 @@ cargo test -p rowpress-cli -q --test orchestrator -- \
   silence_ torn_frame_ duplicate_record_ reordered_ kill_at_byte_ \
   respawn_budget_ stall_clock_ connect_window_
 
-# No orchestrator, property, or kernel-layer test may be quietly parked: an
-# #[ignore] in these suites is an invariant CI stopped proving.
-step "no #[ignore]d tests in the orchestrator/property/kernel suites"
-if grep -rn '#\[ignore' crates/cli/tests crates/dram/src tests/; then
+# No orchestrator, property, kernel-layer, or campaign-core test may be
+# quietly parked: an #[ignore] in these suites is an invariant CI stopped
+# proving.
+step "no #[ignore]d tests in the orchestrator/property/kernel/core suites"
+if grep -rn '#\[ignore' crates/cli/tests crates/core/src crates/dram/src tests/; then
   echo "ignored tests found — these invariants must run in CI" >&2
   exit 1
 fi
@@ -104,6 +105,22 @@ if [[ "${1:-}" != "quick" ]]; then
   for field in word_skip_rate profile_store_hit_rate speedup_vs_pr4_kernel; do
     if ! grep -q "\"$field\"" BENCH_trial_kernel.json; then
       echo "BENCH_trial_kernel.json is missing \"$field\"" >&2
+      exit 1
+    fi
+  done
+
+  # Runs the campaign-layer perf gate: parallel cache preload on a respawn-
+  # churn corpus (the >= 4x speedup assert arms itself only on >= 4 cores;
+  # the measured ratio is always reported), learned-vs-analytic dispatch on
+  # a simulated mixed grid (the learned makespan must not be worse), and
+  # compaction of the duplicated corpus (> 4x shrink, zero trials lost).
+  # Refreshes BENCH_campaign.json.
+  step "cargo bench -p rowpress-bench --bench perf_campaign (runs, writes BENCH_campaign.json)"
+  cargo bench -p rowpress-bench --bench perf_campaign
+  for field in preload_lines_per_s preload_speedup_parallel \
+    makespan_ratio_learned_vs_analytic compaction_ratio; do
+    if ! grep -q "\"$field\"" BENCH_campaign.json; then
+      echo "BENCH_campaign.json is missing \"$field\"" >&2
       exit 1
     fi
   done

@@ -290,9 +290,13 @@ pub fn run(args: &ShardArgs) -> i32 {
             ShardEvent::Beat {
                 computed_live,
                 replayed_live,
+                busy_us,
+                idle_us,
+                queue_peak,
             } => events.emit(format_args!(
                 "{PROTOCOL_PREFIX} beat computed_live={computed_live} \
-                 replayed_live={replayed_live}"
+                 replayed_live={replayed_live} busy_us={busy_us} \
+                 idle_us={idle_us} queue_peak={queue_peak}"
             )),
             ShardEvent::Progress {
                 done,

@@ -27,8 +27,8 @@ use crate::transport::{
     Liveness, LocalProcess, ShardHandle, ShardStatus, TcpAgent, Transport, TransportKind,
 };
 use crate::{parse_number, CliError, EXIT_OK, EXIT_VERIFY};
-use rowpress_core::campaign::{CampaignSpec, MERGED_FILENAME};
-use rowpress_core::engine::{Engine, JsonlSink, Plan, Sink};
+use rowpress_core::campaign::{shard_cache_path, CampaignSpec, MERGED_FILENAME};
+use rowpress_core::engine::{Engine, JsonlSink, PersistentCache, Plan, Sink};
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::PathBuf;
@@ -108,6 +108,87 @@ impl RunOptions {
         }
         Ok(options)
     }
+}
+
+/// Parsed options of the `compact` command.
+#[derive(Debug)]
+pub struct CompactOptions {
+    spec_path: PathBuf,
+    out_dir: PathBuf,
+    max_bytes: Option<u64>,
+}
+
+impl CompactOptions {
+    /// Parses `compact <SPEC> [OPTIONS]`.
+    pub fn parse(operand: Option<&String>, rest: &[String]) -> Result<CompactOptions, CliError> {
+        let spec_path =
+            operand.ok_or_else(|| CliError::usage("compact: missing <SPEC> operand"))?;
+        let mut options = CompactOptions {
+            spec_path: PathBuf::from(spec_path),
+            out_dir: PathBuf::from("campaign-out"),
+            max_bytes: None,
+        };
+        let mut args = rest.iter();
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .cloned()
+                    .ok_or_else(|| CliError::usage(format!("compact: {name} needs a value")))
+            };
+            match flag.as_str() {
+                "--out-dir" => options.out_dir = PathBuf::from(value("--out-dir")?),
+                "--max-bytes" => {
+                    options.max_bytes = Some(parse_number(&value("--max-bytes")?, "--max-bytes")?);
+                }
+                other => return Err(CliError::usage(format!("compact: unknown flag `{other}`"))),
+            }
+        }
+        Ok(options)
+    }
+}
+
+/// `compact`: rewrite every shard cache under the output directory without
+/// duplicate trials and, when a budget is given (`--max-bytes` beats the
+/// spec's `[cache] max_bytes`), within it. Run it between campaign
+/// invocations — a cache owned by a live shard must not be rewritten
+/// underneath it.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when the spec does not load, the output directory
+/// holds no shard caches, or a cache cannot be rewritten.
+pub fn compact_caches(options: CompactOptions) -> Result<i32, CliError> {
+    let spec = CampaignSpec::from_path(&options.spec_path)?;
+    let cfg = spec.config();
+    let budget = options.max_bytes.or(spec.cache_max_bytes);
+    let mut index = 0;
+    loop {
+        let path = shard_cache_path(&options.out_dir, index);
+        if !path.exists() {
+            break;
+        }
+        let mut cache = PersistentCache::open(&path, &cfg)?;
+        let stats = cache.compact(budget)?;
+        println!(
+            "shard {index}: {} -> {} bytes, {} -> {} records \
+             ({} duplicates dropped, {} evicted)",
+            stats.bytes_before,
+            stats.bytes_after,
+            stats.records_before,
+            stats.records_after,
+            stats.duplicates_dropped,
+            stats.evicted,
+        );
+        index += 1;
+    }
+    if index == 0 {
+        return Err(CliError::run(format!(
+            "no shard caches under {} (expected {})",
+            options.out_dir.display(),
+            shard_cache_path(&options.out_dir, 0).display(),
+        )));
+    }
+    Ok(EXIT_OK)
 }
 
 /// The watch loop's clocks and budgets.

@@ -20,7 +20,7 @@
 
 use rowpress_cli::{child, driver, CliError, EXIT_OK};
 use rowpress_core::campaign::CampaignSpec;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const USAGE: &str = "\
 rowpress-campaign — multi-process RowPress characterization campaigns
@@ -28,7 +28,17 @@ rowpress-campaign — multi-process RowPress characterization campaigns
 USAGE:
     rowpress-campaign run <SPEC> [OPTIONS]   execute a campaign spec
     rowpress-campaign spec <SPEC>            parse a spec, print canonical JSON
-    rowpress-campaign plan <SPEC>            print the plan/shard breakdown
+    rowpress-campaign plan <SPEC> [--out-dir <DIR>]
+                                             print the plan/shard breakdown;
+                                             with --out-dir, also the learned
+                                             shares fitted from the shard
+                                             caches' recorded wall times
+    rowpress-campaign compact <SPEC> [--out-dir <DIR>] [--max-bytes <N>]
+                                             rewrite the shard caches without
+                                             duplicate trials; --max-bytes (or
+                                             the spec's [cache] max_bytes)
+                                             evicts the oldest records past
+                                             the budget
     rowpress-campaign help | --help          this help
 
 RUN OPTIONS:
@@ -89,13 +99,18 @@ fn dispatch(args: &[String]) -> Result<i32, CliError> {
             Ok(EXIT_OK)
         }
         Some("plan") => {
-            let spec = load_spec(operand, rest)?;
-            print_plan_summary(&spec)?;
+            let (out_dir, rest) = split_out_dir(rest)?;
+            let spec = load_spec(operand, &rest)?;
+            print_plan_summary(&spec, out_dir.as_deref())?;
             Ok(EXIT_OK)
         }
         Some("run") => {
             let options = driver::RunOptions::parse(operand, rest)?;
             driver::orchestrate(options)
+        }
+        Some("compact") => {
+            let options = driver::CompactOptions::parse(operand, rest)?;
+            driver::compact_caches(options)
         }
         Some("__shard") => {
             let args = child::ShardArgs::parse(operand, rest)?;
@@ -115,9 +130,31 @@ fn load_spec(operand: Option<&String>, rest: &[String]) -> Result<CampaignSpec, 
     Ok(CampaignSpec::from_path(PathBuf::from(path))?)
 }
 
+/// Splits `plan`'s one optional flag (`--out-dir <DIR>`) off the argument
+/// tail, leaving the rest for [`load_spec`]'s no-further-flags check.
+fn split_out_dir(rest: &[String]) -> Result<(Option<PathBuf>, Vec<String>), CliError> {
+    let mut out_dir = None;
+    let mut remaining = Vec::new();
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        if arg == "--out-dir" {
+            let dir = args
+                .next()
+                .ok_or_else(|| CliError::usage("plan: --out-dir needs a value"))?;
+            out_dir = Some(PathBuf::from(dir));
+        } else {
+            remaining.push(arg.clone());
+        }
+    }
+    Ok((out_dir, remaining))
+}
+
 /// `plan`: a dry-run summary an operator reads before committing hardware —
 /// trial counts per shard and the cost-model share each shard carries.
-fn print_plan_summary(spec: &CampaignSpec) -> Result<(), CliError> {
+/// With `--out-dir`, the wall times recorded in that directory's shard
+/// caches fit a learned cost model whose shares are printed beside the
+/// analytic ones.
+fn print_plan_summary(spec: &CampaignSpec, out_dir: Option<&Path>) -> Result<(), CliError> {
     use rowpress_core::engine::CostModel;
     let cfg = spec.config();
     let plan = spec.plan()?;
@@ -125,12 +162,24 @@ fn print_plan_summary(spec: &CampaignSpec) -> Result<(), CliError> {
     // actually execute.
     let shards = spec.orchestration.shards.min(plan.len().max(1));
     let model = CostModel::default();
-    let total_cost: u128 = plan
-        .trials()
-        .iter()
-        .map(|t| model.estimate(&cfg, t))
-        .sum::<u128>()
-        .max(1);
+    let learned = match out_dir {
+        Some(dir) => {
+            let samples = cache_samples(dir, spec)?;
+            let fitted = model.fit(&cfg, samples.iter().map(|(t, w)| (t, *w)));
+            fitted.is_learned().then_some(fitted)
+        }
+        None => None,
+    };
+    let share = |model: &CostModel, shard: &rowpress_core::engine::Plan| {
+        let total: u128 = plan
+            .trials()
+            .iter()
+            .map(|t| model.estimate(&cfg, t))
+            .sum::<u128>()
+            .max(1);
+        let cost: u128 = shard.trials().iter().map(|t| model.estimate(&cfg, t)).sum();
+        cost * 100 / total
+    };
     println!(
         "campaign {:?}: {} trials, {} shard(s)",
         spec.name,
@@ -139,12 +188,43 @@ fn print_plan_summary(spec: &CampaignSpec) -> Result<(), CliError> {
     );
     for index in 0..shards {
         let shard = plan.shard(index, shards);
-        let cost: u128 = shard.trials().iter().map(|t| model.estimate(&cfg, t)).sum();
-        println!(
-            "  shard {index}: {} trials, {}% of modeled device time",
-            shard.len(),
-            cost * 100 / total_cost
-        );
+        match &learned {
+            Some(fitted) => println!(
+                "  shard {index}: {} trials, {}% of modeled device time \
+                 ({}% learned from recorded wall times)",
+                shard.len(),
+                share(&model, &shard),
+                share(fitted, &shard),
+            ),
+            None => println!(
+                "  shard {index}: {} trials, {}% of modeled device time",
+                shard.len(),
+                share(&model, &shard),
+            ),
+        }
     }
     Ok(())
+}
+
+/// Collects every (trial, wall-time) sample the output directory's shard
+/// caches recorded.
+fn cache_samples(
+    dir: &Path,
+    spec: &CampaignSpec,
+) -> Result<Vec<(rowpress_core::engine::Trial, u64)>, CliError> {
+    use rowpress_core::campaign::shard_cache_path;
+    use rowpress_core::engine::PersistentCache;
+    let cfg = spec.config();
+    let mut samples = Vec::new();
+    let mut index = 0;
+    loop {
+        let path = shard_cache_path(dir, index);
+        if !path.exists() {
+            break;
+        }
+        let cache = PersistentCache::open(&path, &cfg)?;
+        samples.extend(cache.timed_samples().iter().cloned());
+        index += 1;
+    }
+    Ok(samples)
 }

@@ -8,7 +8,7 @@
 //! ##rowpress-shard hello index=0 of=2 incarnation=1     transport connect ack
 //! ##rowpress-shard boot index=0                         pre-start liveness
 //! ##rowpress-shard start index=0 of=2 total=36 preloaded=12
-//! ##rowpress-shard beat computed_live=3 replayed_live=12
+//! ##rowpress-shard beat computed_live=3 replayed_live=12 busy_us=880 idle_us=120 queue_peak=4
 //! ##rowpress-shard record {"trial":…,"outcome":…}       one TrialRecord (TCP)
 //! ##rowpress-shard progress done=15 total=36 computed=3 replayed=12
 //! ##rowpress-shard fault exit-after=12                  injected test fault

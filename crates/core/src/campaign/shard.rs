@@ -56,7 +56,7 @@
 
 use super::spec::{CampaignSpec, SpecError};
 use crate::engine::{
-    Engine, EngineError, JsonlSink, PersistentCache, Sink, TrialCache, TrialRecord,
+    CostModel, Engine, EngineError, JsonlSink, PersistentCache, Sink, TrialCache, TrialRecord,
 };
 use std::fmt;
 use std::fs::File;
@@ -104,6 +104,14 @@ pub enum ShardEvent {
         computed_live: u64,
         /// Live cache-hit count.
         replayed_live: u64,
+        /// Wall-clock microseconds the engine's workers have spent computing
+        /// trials so far (see [`PoolMetrics::busy_us`](crate::engine::PoolMetrics::busy_us)).
+        busy_us: u64,
+        /// Wall-clock microseconds workers have spent idle inside completed
+        /// pooled runs.
+        idle_us: u64,
+        /// High-water mark of outcomes queued behind the plan-ordered drain.
+        queue_peak: u64,
     },
     /// One record reached the shard's output stream (and the cache file was
     /// flushed past it).
@@ -291,8 +299,19 @@ pub fn run_shard_with(
     let shard = spec.plan()?.shard(index, of);
     let mut persistent = PersistentCache::open(cache_path, &cfg)?;
     let preloaded = persistent.preloaded();
-    let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+    // Learn per-measurement cost corrections from the wall times a previous
+    // incarnation recorded: a respawned shard dispatches its remaining
+    // trials by observed cost, not just the analytic model. A cold cache
+    // has no samples and `fit` falls back to the analytic model.
+    let cost = CostModel::default().fit(
+        &cfg,
+        persistent.timed_samples().iter().map(|(t, w)| (t, *w)),
+    );
+    let engine = Engine::new(&cfg)
+        .with_persistent_cache(&persistent)
+        .with_cost_model(cost);
     let counters = engine.cache().clone();
+    let metrics = engine.pool_metrics().clone();
     on_event(ShardEvent::Started {
         preloaded,
         total: shard.len(),
@@ -331,6 +350,9 @@ pub fn run_shard_with(
                         (events.lock().expect("event lock"))(ShardEvent::Beat {
                             computed_live: now.0,
                             replayed_live: now.1,
+                            busy_us: metrics.busy_us(),
+                            idle_us: metrics.idle_us(),
+                            queue_peak: metrics.queue_peak(),
                         });
                     }
                 }
@@ -345,6 +367,11 @@ pub fn run_shard_with(
     // outcome computed ahead of the last drained record; `computed` is
     // thereafter an exact on-disk count.
     let computed = flushed + persistent.flush()? as u64;
+    // A finishing shard is the safe moment to compact: no flush is racing
+    // the rewrite, and the next incarnation preloads the slimmed file.
+    if let Some(budget) = spec.cache_max_bytes {
+        persistent.compact(Some(budget))?;
+    }
     let replayed = counters.hits();
     on_event(ShardEvent::Finished {
         total: shard.len(),
@@ -493,6 +520,53 @@ mod tests {
             );
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finishing_shard_compacts_its_cache_to_the_spec_budget() {
+        // Size a budget off an unbudgeted run: half the full cache file.
+        let unbudgeted = spec();
+        let dir = temp_dir("budget");
+        let cache = shard_cache_path(&dir, 0);
+        let out = shard_output_path(&dir, 0);
+        let full_run = run_shard(&unbudgeted, 0, 1, &cache, &out, |_| {}).unwrap();
+        let full = std::fs::metadata(&cache).unwrap().len();
+
+        let mut budgeted = unbudgeted.clone();
+        budgeted.cache_max_bytes = Some(full / 2);
+        budgeted.validate().unwrap();
+        let dir2 = temp_dir("budget2");
+        let cache2 = shard_cache_path(&dir2, 0);
+        let out2 = shard_output_path(&dir2, 0);
+        let run = run_shard(&budgeted, 0, 1, &cache2, &out2, |_| {}).unwrap();
+        assert_eq!(run.records, full_run.records);
+        assert!(
+            std::fs::metadata(&cache2).unwrap().len() <= full / 2,
+            "the finishing shard must compact its cache to the budget"
+        );
+        // The output stream is unaffected by the cache budget.
+        assert_eq!(std::fs::read(&out).unwrap(), std::fs::read(&out2).unwrap());
+
+        // The next incarnation preloads the slimmed cache, recomputes only
+        // the evicted trials, and still rewrites the identical stream.
+        let resumed = run_shard(&budgeted, 0, 1, &cache2, &out2, |_| {}).unwrap();
+        assert_eq!(resumed.records, full_run.records);
+        assert!(
+            resumed.preloaded > 0,
+            "some records must survive the budget"
+        );
+        assert!(
+            (resumed.preloaded as u64) < full_run.computed,
+            "some records must have been evicted"
+        );
+        assert_eq!(
+            resumed.computed,
+            full_run.computed - resumed.preloaded as u64,
+            "exactly the evicted trials recompute"
+        );
+        assert_eq!(std::fs::read(&out).unwrap(), std::fs::read(&out2).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
     }
 
     #[test]

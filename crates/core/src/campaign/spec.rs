@@ -169,6 +169,10 @@ pub struct CampaignSpec {
     pub measurements: Vec<Measurement>,
     /// Fan-out and straggler policy.
     pub orchestration: Orchestration,
+    /// Byte budget for each shard's persistent-cache file: when set, a
+    /// finishing shard [compacts](crate::engine::PersistentCache::compact)
+    /// its cache and evicts the oldest records past the budget.
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl CampaignSpec {
@@ -232,7 +236,14 @@ impl CampaignSpec {
         let root = as_map(root, "spec root")?;
         known_keys(
             root,
-            &["name", "config", "grid", "measurement", "orchestration"],
+            &[
+                "name",
+                "config",
+                "grid",
+                "measurement",
+                "orchestration",
+                "cache",
+            ],
             "spec root",
         )?;
 
@@ -356,6 +367,17 @@ impl CampaignSpec {
             None => Orchestration::default(),
         };
 
+        let cache_max_bytes = match find(root, "cache") {
+            Some(v) => {
+                let table = as_map(v, "cache")?;
+                known_keys(table, &["max_bytes"], "cache")?;
+                find(table, "max_bytes")
+                    .map(|v| as_u64(v, "cache.max_bytes"))
+                    .transpose()?
+            }
+            None => None,
+        };
+
         let spec = CampaignSpec {
             name,
             preset,
@@ -367,6 +389,7 @@ impl CampaignSpec {
             data_patterns,
             measurements,
             orchestration,
+            cache_max_bytes,
         };
         spec.validate()?;
         Ok(spec)
@@ -401,6 +424,9 @@ impl CampaignSpec {
             return Err(SpecError::new(
                 "orchestration.connect_timeout_ms must be positive",
             ));
+        }
+        if self.cache_max_bytes == Some(0) {
+            return Err(SpecError::new("cache.max_bytes must be positive"));
         }
         for m in &self.measurements {
             if let Measurement::OnOff { on_fraction, .. } = m {
@@ -515,14 +541,23 @@ impl CampaignSpec {
                 Value::U64(u64::from(self.orchestration.max_respawns)),
             ),
         ];
-        let root = Value::Map(vec![
+        let mut root = vec![
             ("name".to_string(), Value::Str(self.name.clone())),
             ("config".to_string(), Value::Map(config)),
             ("grid".to_string(), Value::Map(grid)),
             ("measurement".to_string(), Value::Seq(measurements)),
             ("orchestration".to_string(), Value::Map(orchestration)),
-        ]);
-        serde_json::to_string(&root).expect("canonical spec serialization is infallible")
+        ];
+        // Emitted only when set, so specs without a budget keep their
+        // pre-existing canonical form.
+        if let Some(budget) = self.cache_max_bytes {
+            root.push((
+                "cache".to_string(),
+                Value::Map(vec![("max_bytes".to_string(), Value::U64(budget))]),
+            ));
+        }
+        serde_json::to_string(&Value::Map(root))
+            .expect("canonical spec serialization is infallible")
     }
 }
 
@@ -1056,6 +1091,30 @@ mod tests {
         let reparsed = CampaignSpec::parse(&canonical).unwrap();
         assert_eq!(reparsed, spec);
         assert_eq!(reparsed.canonical_json(), canonical);
+        // Without a [cache] table the budget is off and the canonical form
+        // does not mention it (older specs keep their fixed point).
+        assert_eq!(spec.cache_max_bytes, None);
+        assert!(!canonical.contains("cache"));
+    }
+
+    #[test]
+    fn cache_budget_parses_validates_and_round_trips() {
+        let budgeted = format!("{QUICK_ACMIN}\n[cache]\nmax_bytes = 4096\n");
+        let spec = CampaignSpec::parse(&budgeted).unwrap();
+        assert_eq!(spec.cache_max_bytes, Some(4096));
+        let canonical = spec.canonical_json();
+        assert!(canonical.contains("\"max_bytes\":4096"));
+        let reparsed = CampaignSpec::parse(&canonical).unwrap();
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.canonical_json(), canonical);
+
+        let zero = format!("{QUICK_ACMIN}\n[cache]\nmax_bytes = 0\n");
+        let err = CampaignSpec::parse(&zero).unwrap_err();
+        assert!(err.to_string().contains("max_bytes"), "{err}");
+
+        let unknown = format!("{QUICK_ACMIN}\n[cache]\nmax_lines = 7\n");
+        let err = CampaignSpec::parse(&unknown).unwrap_err();
+        assert!(err.to_string().contains("max_lines"), "{err}");
     }
 
     #[test]

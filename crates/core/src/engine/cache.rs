@@ -48,14 +48,17 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// The memoized result of one trial. Errors are cached too: the device model
 /// is deterministic, so a trial that failed once (e.g. an out-of-range row)
 /// fails identically every time.
 pub(super) type CachedOutcome = DramResult<Arc<TrialOutcome>>;
 
-/// One journaled fresh outcome: the unit [`PersistentCache::flush`] drains.
-type JournalEntry = (Trial, Arc<TrialOutcome>);
+/// One journaled fresh outcome — trial, outcome, and the wall time the
+/// computation took (`None` when replayed from a torn tail whose record
+/// predates wall-time capture): the unit [`PersistentCache::flush`] drains.
+type JournalEntry = (Trial, Arc<TrialOutcome>, Option<u64>);
 
 /// A shareable, thread-safe [`Trial`]-keyed outcome cache with hit/miss
 /// accounting. Cloning shares the underlying storage.
@@ -106,14 +109,18 @@ impl TrialCache {
             }
         };
         let mut computed = false;
+        let mut wall_us = None;
         let outcome = cell.get_or_init(|| {
             computed = true;
-            compute().map(Arc::new)
+            let start = Instant::now();
+            let outcome = compute().map(Arc::new);
+            wall_us = Some(start.elapsed().as_micros() as u64);
+            outcome
         });
         if computed {
             self.misses.fetch_add(1, Ordering::Relaxed);
             if let Ok(outcome) = outcome {
-                self.journal_push(trial.clone(), Arc::clone(outcome));
+                self.journal_push(trial.clone(), Arc::clone(outcome), wall_us);
             }
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -130,11 +137,16 @@ impl TrialCache {
         }
     }
 
-    /// Records one (trial, outcome) pair in the journal, if enabled. Errored
-    /// outcomes never enter the journal.
-    pub(super) fn journal_push(&self, trial: Trial, outcome: Arc<TrialOutcome>) {
+    /// Records one (trial, outcome, wall-time) entry in the journal, if
+    /// enabled. Errored outcomes never enter the journal.
+    pub(super) fn journal_push(
+        &self,
+        trial: Trial,
+        outcome: Arc<TrialOutcome>,
+        wall_us: Option<u64>,
+    ) {
         if let Some(entries) = self.journal.lock().expect("journal lock").as_mut() {
-            entries.push((trial, outcome));
+            entries.push((trial, outcome, wall_us));
         }
     }
 
@@ -306,6 +318,26 @@ pub struct PersistentCache {
     /// When the file ended in a torn line at open, the byte length of the
     /// valid prefix; the next flush truncates to it before appending.
     repair_len: Option<u64>,
+    /// Preloaded (trial, wall-time) pairs — the sample set
+    /// [`CostModel::fit`](super::CostModel::fit) learns from.
+    timed: Vec<(Trial, u64)>,
+}
+
+/// What [`PersistentCache::compact`] did to the backing file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactStats {
+    /// File size before compaction, in bytes.
+    pub bytes_before: u64,
+    /// File size after compaction, in bytes.
+    pub bytes_after: u64,
+    /// Record lines read (duplicates included).
+    pub records_before: usize,
+    /// Record lines kept.
+    pub records_after: usize,
+    /// Later duplicates of an already-seen trial that were dropped.
+    pub duplicates_dropped: usize,
+    /// Distinct records evicted oldest-first to satisfy the byte budget.
+    pub evicted: usize,
 }
 
 impl PersistentCache {
@@ -321,6 +353,22 @@ impl PersistentCache {
     /// written under a different configuration (missing or mismatching
     /// header — [`io::ErrorKind::InvalidData`]).
     pub fn open(path: impl Into<PathBuf>, cfg: &ExperimentConfig) -> io::Result<Self> {
+        Self::open_with_workers(path, cfg, crate::campaign::worker_count())
+    }
+
+    /// [`PersistentCache::open`] with an explicit preload parallelism:
+    /// record lines are split into per-worker chunks parsed concurrently
+    /// (the bench's dominant preload cost is JSON parsing, which is
+    /// embarrassingly parallel). Seeding and torn-tail handling stay
+    /// sequential and first-occurrence-wins, so the preloaded cache is
+    /// identical at any worker count. Small files fall back to the
+    /// sequential path — threads only help once there is enough work per
+    /// worker to amortize the spawn.
+    pub fn open_with_workers(
+        path: impl Into<PathBuf>,
+        cfg: &ExperimentConfig,
+        workers: usize,
+    ) -> io::Result<Self> {
         let path = path.into();
         let config = ConfigKey::of(cfg);
         let cache = TrialCache::new();
@@ -330,6 +378,7 @@ impl PersistentCache {
         let mut on_disk = FxHashSet::default();
         let mut header_on_disk = false;
         let mut repair_len = None;
+        let mut timed = Vec::new();
         match std::fs::read_to_string(&path) {
             Ok(text) => {
                 // Keep byte offsets so a torn tail can be truncated away.
@@ -348,62 +397,74 @@ impl PersistentCache {
                         repair_len = Some(tail_start as u64);
                     }
                 }
-                let content: Vec<&(usize, bool, &str)> = raw
+                let content: Vec<&str> = raw
                     .iter()
                     .filter(|(_, _, l)| !l.trim().is_empty())
+                    .map(|&(_, _, l)| l)
                     .collect();
-                for (position, &&(_, _, line)) in content.iter().enumerate() {
+                if let Some((&header_line, body)) = content.split_first() {
                     // Only the file's very last line can be a kill artifact.
-                    let torn_tail = position + 1 == content.len() && repair_len.is_some();
-                    if position == 0 {
-                        match serde_json::from_str::<CacheHeader>(line) {
-                            Ok(header) => {
-                                if torn_tail {
-                                    // The header itself was torn: the next
-                                    // flush truncates and rewrites it.
-                                    continue;
-                                }
-                                if header.config != config {
-                                    return Err(io::Error::new(
-                                        io::ErrorKind::InvalidData,
-                                        format!(
-                                            "{}: cache was written under a different \
-                                             configuration (budget/repeats/accuracy/geometry)",
-                                            path.display()
-                                        ),
-                                    ));
-                                }
-                                header_on_disk = true;
-                            }
-                            Err(_) if torn_tail => {}
-                            Err(_) => {
+                    let header_is_tail = body.is_empty() && repair_len.is_some();
+                    match serde_json::from_str::<CacheHeader>(header_line) {
+                        // A torn header: the next flush truncates and
+                        // rewrites it.
+                        Ok(_) if header_is_tail => {}
+                        Ok(header) => {
+                            if header.config != config {
                                 return Err(io::Error::new(
                                     io::ErrorKind::InvalidData,
                                     format!(
-                                        "{}: not a persistent-cache file (no header)",
+                                        "{}: cache was written under a different \
+                                         configuration (budget/repeats/accuracy/geometry)",
                                         path.display()
                                     ),
                                 ));
                             }
+                            header_on_disk = true;
                         }
+                        Err(_) if header_is_tail => {}
+                        Err(_) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!(
+                                    "{}: not a persistent-cache file (no header)",
+                                    path.display()
+                                ),
+                            ));
+                        }
+                    }
+                    let (bulk, tail) = if repair_len.is_some() && !body.is_empty() {
+                        body.split_at(body.len() - 1)
                     } else {
-                        match serde_json::from_str::<TrialRecord>(line) {
-                            Ok(record) => {
-                                cache.seed(record.trial.clone(), record.outcome.clone());
-                                if torn_tail {
-                                    // Parseable but unterminated: seed it (no
-                                    // recompute), keep it out of `on_disk`,
-                                    // and journal it so the next flush
-                                    // rewrites it after the truncation.
-                                    cache.journal_push(record.trial, Arc::new(record.outcome));
-                                } else {
-                                    on_disk.insert(record.trial);
-                                }
+                        (body, &[][..])
+                    };
+                    // The bulk is known-good (any torn line was split off
+                    // above): parse it in parallel, then seed sequentially
+                    // so first-occurrence-wins ordering is preserved.
+                    let records = parse_records(bulk, workers).map_err(io::Error::other)?;
+                    for record in records {
+                        cache.seed(record.trial.clone(), record.outcome);
+                        if let Some(wall_us) = record.wall_us {
+                            timed.push((record.trial.clone(), wall_us));
+                        }
+                        on_disk.insert(record.trial);
+                    }
+                    // A parseable but unterminated tail line is seeded (no
+                    // recompute), kept out of `on_disk`, and journaled so the
+                    // next flush rewrites it after the truncation; a line torn
+                    // mid-JSON is dropped and that one trial is recomputed by
+                    // the resumed owner.
+                    for &line in tail {
+                        if let Ok(record) = serde_json::from_str::<TrialRecord>(line) {
+                            cache.seed(record.trial.clone(), record.outcome.clone());
+                            if let Some(wall_us) = record.wall_us {
+                                timed.push((record.trial.clone(), wall_us));
                             }
-                            // Torn mid-JSON: drop it; that one trial is
-                            // recomputed by the resumed owner.
-                            Err(_) if torn_tail => {}
-                            Err(e) => return Err(io::Error::other(e)),
+                            cache.journal_push(
+                                record.trial,
+                                Arc::new(record.outcome),
+                                record.wall_us,
+                            );
                         }
                     }
                 }
@@ -420,6 +481,7 @@ impl PersistentCache {
             on_disk,
             preloaded,
             repair_len,
+            timed,
         })
     }
 
@@ -440,6 +502,14 @@ impl PersistentCache {
         self.preloaded
     }
 
+    /// The preloaded (trial, wall-time-µs) pairs — every record on disk
+    /// that carried a recorded wall time. This is the sample set
+    /// [`CostModel::fit`](super::CostModel::fit) learns per-measurement
+    /// correction factors from.
+    pub fn timed_samples(&self) -> &[(Trial, u64)] {
+        &self.timed
+    }
+
     /// Appends every outcome computed since open (or the previous flush) to
     /// the backing file and returns how many records were written. Errored
     /// trials are never persisted.
@@ -457,7 +527,7 @@ impl PersistentCache {
             .cache
             .drain_journal()
             .into_iter()
-            .filter(|(trial, _)| !self.on_disk.contains(trial))
+            .filter(|(trial, _, _)| !self.on_disk.contains(trial))
             .collect();
         if entries.is_empty() {
             return Ok(0);
@@ -465,7 +535,7 @@ impl PersistentCache {
         match self.write_batch(&entries) {
             Ok(written) => {
                 self.on_disk
-                    .extend(entries.into_iter().map(|(trial, _)| trial));
+                    .extend(entries.into_iter().map(|(trial, _, _)| trial));
                 Ok(written)
             }
             Err(e) => {
@@ -481,10 +551,11 @@ impl PersistentCache {
     /// for `header_on_disk`/`repair_len` bookkeeping tied to completed I/O.
     fn write_batch(&mut self, entries: &[JournalEntry]) -> io::Result<usize> {
         let mut fresh: Vec<String> = Vec::with_capacity(entries.len());
-        for (trial, outcome) in entries {
+        for (trial, outcome, wall_us) in entries {
             let record = TrialRecord {
                 trial: trial.clone(),
                 outcome: (**outcome).clone(),
+                wall_us: *wall_us,
             };
             fresh.push(serde_json::to_string(&record).map_err(io::Error::other)?);
         }
@@ -529,6 +600,149 @@ impl PersistentCache {
         self.header_on_disk = true;
         Ok(fresh.len())
     }
+
+    /// Rewrites the backing file without duplicate trials — respawn replays
+    /// of a killed shard re-append records another incarnation already wrote,
+    /// and those duplicates accumulate forever in an append-only file — and,
+    /// when `max_bytes` is given, evicts the *oldest* distinct records until
+    /// the file fits the budget (oldest-first: the newest measurements are
+    /// the ones the next incarnation most likely replays).
+    ///
+    /// The rewrite is crash-safe: the compacted file is written to a
+    /// temporary sibling and atomically renamed over the original, so a
+    /// kill at any instant leaves either the old or the new file fully
+    /// valid — never a torn hybrid. Pending fresh outcomes are flushed
+    /// first, so nothing journaled is lost.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the file cannot be read or rewritten, or
+    /// [`io::ErrorKind::InvalidData`] when it is not a persistent-cache
+    /// file. A missing file compacts to nothing.
+    pub fn compact(&mut self, max_bytes: Option<u64>) -> io::Result<CompactStats> {
+        self.flush()?;
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(CompactStats::default()),
+            Err(e) => return Err(e),
+        };
+        let bytes_before = text.len() as u64;
+        // Compact only the valid prefix; a torn tail left by a killed owner
+        // is dropped here exactly as a flush would have dropped it.
+        let valid = match self.repair_len {
+            Some(len) => &text[..len as usize],
+            None => &text[..],
+        };
+        let mut lines = valid.lines().filter(|l| !l.trim().is_empty());
+        let header = match lines.next() {
+            Some(line) => {
+                serde_json::from_str::<CacheHeader>(line).map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "{}: not a persistent-cache file (no header)",
+                            self.path.display()
+                        ),
+                    )
+                })?;
+                line
+            }
+            None => {
+                return Ok(CompactStats {
+                    bytes_before,
+                    ..CompactStats::default()
+                })
+            }
+        };
+        // First-occurrence-wins dedup, mirroring the preload's seed order.
+        let mut records_before = 0;
+        let mut seen = FxHashSet::default();
+        let mut kept: Vec<(Trial, &str)> = Vec::new();
+        for line in lines {
+            records_before += 1;
+            let record = serde_json::from_str::<TrialRecord>(line).map_err(io::Error::other)?;
+            if seen.insert(record.trial.clone()) {
+                kept.push((record.trial, line));
+            }
+        }
+        let duplicates_dropped = records_before - kept.len();
+        // Budget eviction: drop the oldest distinct records until the
+        // rewritten file (header + kept lines, each newline-terminated)
+        // fits.
+        let mut evicted = 0;
+        if let Some(budget) = max_bytes {
+            let mut total = header.len() as u64 + 1;
+            total += kept.iter().map(|(_, l)| l.len() as u64 + 1).sum::<u64>();
+            while total > budget && evicted < kept.len() {
+                total -= kept[evicted].1.len() as u64 + 1;
+                evicted += 1;
+            }
+        }
+        let kept = kept.split_off(evicted);
+        let mut batch = String::with_capacity(valid.len());
+        batch.push_str(header);
+        batch.push('\n');
+        for (_, line) in &kept {
+            batch.push_str(line);
+            batch.push('\n');
+        }
+        // Tmp-file + rename: the original stays untouched until the new
+        // file is fully on disk, so a kill mid-rewrite loses nothing.
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(batch.as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.header_on_disk = true;
+        self.repair_len = None;
+        self.on_disk = kept.iter().map(|(trial, _)| trial.clone()).collect();
+        Ok(CompactStats {
+            bytes_before,
+            bytes_after: batch.len() as u64,
+            records_before,
+            records_after: kept.len(),
+            duplicates_dropped,
+            evicted,
+        })
+    }
+}
+
+/// Parses a slice of known-good record lines, splitting into per-worker
+/// chunks parsed on scoped threads. Chunking preserves order — the joined
+/// vector is exactly the sequential parse — and small inputs skip the
+/// threads entirely.
+fn parse_records(lines: &[&str], workers: usize) -> Result<Vec<TrialRecord>, serde_json::Error> {
+    /// Below this many lines per worker, thread spawn overhead beats the
+    /// parse time it saves.
+    const MIN_LINES_PER_WORKER: usize = 128;
+    let workers = workers.min(lines.len() / MIN_LINES_PER_WORKER).max(1);
+    if workers <= 1 {
+        return lines
+            .iter()
+            .map(|line| serde_json::from_str::<TrialRecord>(line))
+            .collect();
+    }
+    let chunk_len = lines.len().div_ceil(workers);
+    let parsed = std::thread::scope(|scope| {
+        let handles: Vec<_> = lines
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|line| serde_json::from_str::<TrialRecord>(line))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("preload worker"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    Ok(parsed.into_iter().flatten().collect())
 }
 
 impl Drop for PersistentCache {
@@ -765,10 +979,236 @@ mod tests {
         let record = TrialRecord {
             trial,
             outcome: TrialOutcome::Retention { flips: Vec::new() },
+            wall_us: None,
         };
         std::fs::write(&path, serde_json::to_string(&record).unwrap() + "\n").unwrap();
         let err = PersistentCache::open(&path, &cfg).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wall_times_are_recorded_and_absent_wall_times_are_tolerated() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let path = temp_path("walltime");
+        {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+        }
+        // Every flushed record carries the wall time its computation took…
+        let text = std::fs::read_to_string(&path).unwrap();
+        for line in text.lines().skip(1) {
+            assert!(line.contains("\"wall_us\""), "{line}");
+        }
+        // …and the next open feeds them back as fit samples.
+        let persistent = PersistentCache::open(&path, &cfg).unwrap();
+        assert_eq!(persistent.timed_samples().len(), plan.len());
+        assert!(persistent
+            .timed_samples()
+            .iter()
+            .all(|(t, _)| plan.trials().contains(t)));
+
+        // A file written before wall-time capture (no `wall_us` field)
+        // still preloads in full — it just yields no samples.
+        let mut legacy = String::new();
+        for (position, line) in text.lines().enumerate() {
+            if position == 0 {
+                legacy.push_str(line);
+            } else {
+                let mut record = serde_json::from_str::<TrialRecord>(line).unwrap();
+                record.wall_us = None;
+                let stripped = serde_json::to_string(&record).unwrap();
+                assert!(!stripped.contains("wall_us"));
+                legacy.push_str(&stripped);
+            }
+            legacy.push('\n');
+        }
+        std::fs::write(&path, legacy).unwrap();
+        let persistent = PersistentCache::open(&path, &cfg).unwrap();
+        assert_eq!(persistent.preloaded(), plan.len());
+        assert!(persistent.timed_samples().is_empty());
+        let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+        engine.run_collect(&plan).unwrap();
+        assert_eq!(engine.cache().misses(), 0, "legacy records still replay");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_preload_is_identical_to_sequential() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let path = temp_path("parallel");
+        {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+        }
+        // Replicate the body well past the per-worker threshold so the
+        // chunked path actually runs, duplicates included (a respawned
+        // shard's re-appends look exactly like this).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let header = text.lines().next().unwrap().to_string();
+        let body: Vec<&str> = text.lines().skip(1).collect();
+        let mut big = header.clone();
+        big.push('\n');
+        while big.lines().count() < 1200 {
+            for line in &body {
+                big.push_str(line);
+                big.push('\n');
+            }
+        }
+        std::fs::write(&path, &big).unwrap();
+        for workers in [1, 2, 8] {
+            let persistent = PersistentCache::open_with_workers(&path, &cfg, workers).unwrap();
+            assert_eq!(persistent.preloaded(), plan.len(), "workers={workers}");
+            assert_eq!(persistent.timed_samples().len(), big.lines().count() - 1);
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+            assert_eq!(engine.cache().misses(), 0, "workers={workers}");
+        }
+        // A torn tail is still detected and repaired under the chunked path.
+        let torn = &big[..big.len() - 9];
+        std::fs::write(&path, torn).unwrap();
+        let persistent = PersistentCache::open_with_workers(&path, &cfg, 8).unwrap();
+        assert_eq!(
+            persistent.preloaded(),
+            plan.len(),
+            "duplicates cover the torn line"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_drops_duplicates_and_replay_needs_no_recompute() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let path = temp_path("compact");
+        {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+        }
+        // Simulate a respawn double-append: every record line twice more.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut duplicated = text.clone();
+        for line in text.lines().skip(1) {
+            duplicated.push_str(line);
+            duplicated.push('\n');
+        }
+        std::fs::write(&path, &duplicated).unwrap();
+
+        let mut persistent = PersistentCache::open(&path, &cfg).unwrap();
+        assert_eq!(
+            persistent.preloaded(),
+            plan.len(),
+            "duplicates preload once"
+        );
+        let stats = persistent.compact(None).unwrap();
+        assert_eq!(stats.bytes_before, duplicated.len() as u64);
+        assert!(stats.bytes_after < stats.bytes_before);
+        assert_eq!(stats.records_before, 2 * plan.len());
+        assert_eq!(stats.records_after, plan.len());
+        assert_eq!(stats.duplicates_dropped, plan.len());
+        assert_eq!(stats.evicted, 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), stats.bytes_after);
+        drop(persistent);
+
+        // The compacted file replays the full trial set with zero
+        // recompute, and an open + flush + drop leaves it byte-identical.
+        let compacted = std::fs::read_to_string(&path).unwrap();
+        {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            assert_eq!(persistent.preloaded(), plan.len());
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+            assert_eq!(engine.cache().misses(), 0);
+        }
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), compacted);
+
+        // Compacting an already-compact file is a no-op.
+        let mut persistent = PersistentCache::open(&path, &cfg).unwrap();
+        let stats = persistent.compact(None).unwrap();
+        assert_eq!(stats.bytes_before, stats.bytes_after);
+        assert_eq!(stats.duplicates_dropped, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_budget_evicts_oldest_first() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let path = temp_path("budget");
+        {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 3, "need at least two records to evict one");
+        // Budget = header + the last two records: everything older goes.
+        let keep = &lines[lines.len() - 2..];
+        let budget = (lines[0].len() + 1 + keep.iter().map(|l| l.len() + 1).sum::<usize>()) as u64;
+
+        let mut persistent = PersistentCache::open(&path, &cfg).unwrap();
+        let stats = persistent.compact(Some(budget)).unwrap();
+        assert_eq!(stats.evicted, lines.len() - 3);
+        assert_eq!(stats.records_after, 2);
+        assert!(stats.bytes_after <= budget);
+        let after: Vec<String> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        assert_eq!(after[0], lines[0], "header survives");
+        assert_eq!(&after[1..], keep, "the newest records survive, in order");
+        // The evicted trials are simply recomputed next time.
+        let persistent = PersistentCache::open(&path, &cfg).unwrap();
+        assert_eq!(persistent.preloaded(), 2);
+        let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+        engine.run_collect(&plan).unwrap();
+        assert_eq!(engine.cache().misses(), (plan.len() - 2) as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_is_crash_safe_around_the_tmp_rename() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let path = temp_path("crashsafe");
+        {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+        }
+        let intact = std::fs::read_to_string(&path).unwrap();
+
+        // A kill mid-rewrite leaves a partial tmp sibling and the original
+        // untouched: opens ignore the tmp entirely.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &intact[..intact.len() / 2]).unwrap();
+        let persistent = PersistentCache::open(&path, &cfg).unwrap();
+        assert_eq!(persistent.preloaded(), plan.len());
+        drop(persistent);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), intact);
+
+        // The next compact simply overwrites the stale tmp and completes.
+        let mut persistent = PersistentCache::open(&path, &cfg).unwrap();
+        persistent.compact(None).unwrap();
+        assert!(!tmp.exists(), "tmp is consumed by the rename");
+        let reopened = PersistentCache::open(&path, &cfg).unwrap();
+        assert_eq!(reopened.preloaded(), plan.len());
+
+        // Compacting a cache whose file has a torn tail drops the tail,
+        // exactly as a flush-repair would.
+        let torn = &intact[..intact.len() - 25];
+        std::fs::write(&path, torn).unwrap();
+        let mut persistent = PersistentCache::open(&path, &cfg).unwrap();
+        let stats = persistent.compact(None).unwrap();
+        assert_eq!(stats.records_after, plan.len() - 1);
+        assert!(PersistentCache::open(&path, &cfg).is_ok());
         std::fs::remove_file(&path).ok();
     }
 

@@ -76,10 +76,10 @@ pub mod schedule;
 pub mod sink;
 pub mod worker;
 
-pub use cache::{PersistentCache, TrialCache};
+pub use cache::{CompactStats, PersistentCache, TrialCache};
 pub use plan::{
     Jitter, Measurement, Plan, PlanBuilder, Trial, TrialOutcome, TrialRecord, TEST_BANK,
 };
 pub use schedule::{CostModel, SchedulePolicy};
 pub use sink::{FramedSink, JsonlReader, JsonlSink, MemorySink, Sink, ThreadedSink};
-pub use worker::{lookup_module, run_trial, run_trial_reference, Engine, EngineError};
+pub use worker::{lookup_module, run_trial, run_trial_reference, Engine, EngineError, PoolMetrics};

@@ -40,6 +40,7 @@
 //!             .map(|t| TrialRecord {
 //!                 trial: t.clone(),
 //!                 outcome: TrialOutcome::Retention { flips: Vec::new() },
+//!                 wall_us: None,
 //!             })
 //!             .collect()
 //!     })
@@ -289,12 +290,55 @@ pub enum TrialOutcome {
 
 /// A trial together with its outcome: the unit streamed to
 /// [`Sink`](super::Sink)s.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `wall_us` is the measured wall-clock cost of computing the outcome, in
+/// microseconds — the observation [`CostModel::fit`](super::CostModel::fit)
+/// learns per-measurement-kind correction factors from. It is *metadata*,
+/// not part of the result: engine record streams always carry `None` (so
+/// sink output stays byte-identical regardless of timing), and only
+/// [`PersistentCache`](super::PersistentCache) files persist measured times.
+/// Serialization omits the field entirely when `None` and tolerates its
+/// absence when parsing, so every pre-existing cache/record file still
+/// round-trips unchanged.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialRecord {
     /// The executed trial.
     pub trial: Trial,
     /// Its outcome.
     pub outcome: TrialOutcome,
+    /// Measured wall-clock compute time in microseconds, when known.
+    pub wall_us: Option<u64>,
+}
+
+// Hand-written (rather than derived) serde impls: the derive encodes every
+// field unconditionally and errors on a missing one, but `wall_us` must be
+// *omitted* when `None` — the engine's sink streams predate the field and
+// are pinned byte-for-byte by tests/golden.rs — and *tolerated* when absent,
+// so cache files written before timing existed still preload.
+impl serde::Serialize for TrialRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("trial".to_string(), self.trial.to_value()),
+            ("outcome".to_string(), self.outcome.to_value()),
+        ];
+        if let Some(wall_us) = self.wall_us {
+            fields.push(("wall_us".to_string(), serde::Value::U64(wall_us)));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for TrialRecord {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(TrialRecord {
+            trial: serde::Deserialize::from_value(value.field("trial")?)?,
+            outcome: serde::Deserialize::from_value(value.field("outcome")?)?,
+            wall_us: match value.field("wall_us") {
+                Ok(wall) => serde::Deserialize::from_value(wall)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 /// An ordered list of trials. Execution results always stream in plan order.

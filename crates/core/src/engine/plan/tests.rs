@@ -103,6 +103,7 @@ fn shard_strides_and_merge_restores_plan_order() {
                     .map(|t| TrialRecord {
                         trial: t.clone(),
                         outcome: TrialOutcome::Retention { flips: Vec::new() },
+                        wall_us: None,
                     })
                     .collect()
             })

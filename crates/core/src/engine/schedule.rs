@@ -48,6 +48,21 @@ use crate::patterns::PatternSite;
 use rowpress_dram::TimingParams;
 use std::cmp::Reverse;
 
+/// Number of [`Measurement`] kinds — the axis of the learned correction
+/// factors.
+const KINDS: usize = 5;
+
+/// The factor slot a measurement's corrections live in.
+fn kind_index(measurement: &Measurement) -> usize {
+    match measurement {
+        Measurement::AcMin { .. } => 0,
+        Measurement::AcMax { .. } => 1,
+        Measurement::TAggOnMin { .. } => 2,
+        Measurement::OnOff { .. } => 3,
+        Measurement::Retention { .. } => 4,
+    }
+}
+
 /// How the engine hands queued trials to its workers. The record stream is
 /// identical under every policy; only pool utilization differs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,26 +95,98 @@ pub enum SchedulePolicy {
 /// trials cost their idle duration. Everything scales with the touched site
 /// rows and the configured repeats.
 ///
+/// On top of the analytic estimate the model carries one learned correction
+/// factor per measurement kind, fitted from recorded per-trial wall times by
+/// [`CostModel::fit`]; a kind with no recorded history keeps factor 1.0 (the
+/// pure analytic estimate), so fitting degrades gracefully to the
+/// device-occupancy guess.
+///
 /// Only the *relative order* of estimates matters: the scheduler sorts by
 /// them and ties fall back to plan order, so an imperfect model can reorder
 /// dispatch but never change results.
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel {
     timing: TimingParams,
+    /// Per-kind multiplicative corrections (indexed by [`kind_index`]),
+    /// normalized so the fitted model stays on the analytic scale: 1.0
+    /// everywhere on an unfitted model.
+    factors: [f64; KINDS],
 }
 
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
             timing: TimingParams::ddr4(),
+            factors: [1.0; KINDS],
         }
     }
 }
 
 impl CostModel {
-    /// A model over explicit timing parameters (the default uses DDR4).
+    /// A model over explicit timing parameters (the default uses DDR4), with
+    /// no learned corrections.
     pub fn new(timing: TimingParams) -> Self {
-        CostModel { timing }
+        CostModel {
+            timing,
+            factors: [1.0; KINDS],
+        }
+    }
+
+    /// Fits per-measurement-kind correction factors from observed
+    /// `(trial, wall_us)` compute times — e.g. a [`PersistentCache`](super::PersistentCache)'s
+    /// [`timed_samples`](super::PersistentCache::timed_samples) — and returns
+    /// the corrected model.
+    ///
+    /// Each observed kind's factor is its wall-time-to-analytic-estimate
+    /// ratio normalized by the global ratio across all samples, so fitted
+    /// kinds are reranked against each other by what the hardware actually
+    /// took while unseen kinds (factor 1.0) stay comparable on the analytic
+    /// scale. With no usable samples the analytic model comes back
+    /// unchanged.
+    pub fn fit<'a>(
+        &self,
+        cfg: &ExperimentConfig,
+        samples: impl IntoIterator<Item = (&'a Trial, u64)>,
+    ) -> CostModel {
+        let analytic = CostModel::new(self.timing);
+        let mut wall = [0.0f64; KINDS];
+        let mut modeled = [0.0f64; KINDS];
+        for (trial, wall_us) in samples {
+            let estimate = analytic.estimate(cfg, trial);
+            if estimate == 0 {
+                continue;
+            }
+            let kind = kind_index(&trial.measurement);
+            wall[kind] += wall_us as f64;
+            modeled[kind] += estimate as f64;
+        }
+        let total_wall: f64 = wall.iter().sum();
+        let total_modeled: f64 = modeled.iter().sum();
+        if total_wall <= 0.0 || total_modeled <= 0.0 {
+            return analytic;
+        }
+        let global = total_wall / total_modeled;
+        let mut factors = [1.0f64; KINDS];
+        for kind in 0..KINDS {
+            if modeled[kind] > 0.0 {
+                factors[kind] = (wall[kind] / modeled[kind]) / global;
+            }
+        }
+        CostModel {
+            timing: self.timing,
+            factors,
+        }
+    }
+
+    /// The learned correction applied to `measurement`'s analytic estimate
+    /// (1.0 on an unfitted model or an unseen kind).
+    pub fn factor(&self, measurement: &Measurement) -> f64 {
+        self.factors[kind_index(measurement)]
+    }
+
+    /// Whether any correction factor was fitted from history.
+    pub fn is_learned(&self) -> bool {
+        self.factors != [1.0; KINDS]
     }
 
     /// Estimated device occupancy of `trial` under `cfg`, in picoseconds of
@@ -117,12 +204,14 @@ impl CostModel {
             let cycle = on + u128::from(t_off.as_ps());
             (on * 1_000_000).checked_div(cycle).unwrap_or(0)
         };
+        // Per-repeat cost of one site row; repeats and rows multiply at the
+        // end so every kind scales with both.
         let cost = match trial.measurement {
             Measurement::AcMin { t_aggon } => {
                 // Bisection device time ~ 2x the budget-bound first probe,
                 // per repeat; the row is open for the on-share of each cycle.
                 let t_on = t_aggon.max(self.timing.t_ras);
-                repeats * 2 * budget_ps * on_share_ppm(t_on, self.timing.t_rp) / 1_000_000
+                2 * budget_ps * on_share_ppm(t_on, self.timing.t_rp) / 1_000_000
             }
             Measurement::AcMax { t_aggon } => {
                 let t_on = t_aggon.max(self.timing.t_ras);
@@ -131,7 +220,7 @@ impl CostModel {
             // Bisection over on-times: the first probe holds the row open for
             // up to budget/ac per activation, so a search costs about two
             // full budgets per repeat.
-            Measurement::TAggOnMin { .. } => repeats * 2 * budget_ps,
+            Measurement::TAggOnMin { .. } => 2 * budget_ps,
             Measurement::OnOff {
                 delta_a2a,
                 on_fraction,
@@ -143,7 +232,15 @@ impl CostModel {
             }
             Measurement::Retention { duration } => u128::from(duration.as_ps()),
         };
-        cost * rows
+        let analytic = cost * rows * repeats;
+        let factor = self.factors[kind_index(&trial.measurement)];
+        // The exact-integer path keeps default-model ties bit-stable; only a
+        // fitted factor routes through floating point.
+        if factor == 1.0 {
+            analytic
+        } else {
+            (analytic as f64 * factor) as u128
+        }
     }
 
     /// The order in which a worker pool should claim the trials of a plan:
@@ -245,5 +342,143 @@ mod tests {
     #[test]
     fn schedule_policy_defaults_to_cost_aware() {
         assert_eq!(SchedulePolicy::default(), SchedulePolicy::CostAware);
+    }
+
+    #[test]
+    fn every_measurement_kind_scales_with_repeats() {
+        // The struct docs promise "everything scales with … the configured
+        // repeats"; AcMax/OnOff/Retention used to ignore it.
+        let mut once = cfg();
+        once.repeats = 1;
+        let mut four = once;
+        four.repeats = 4;
+        let model = CostModel::default();
+        let kinds = [
+            Measurement::AcMin {
+                t_aggon: Time::from_ms(30.0),
+            },
+            Measurement::AcMax {
+                t_aggon: Time::from_ms(30.0),
+            },
+            Measurement::TAggOnMin { ac: 10 },
+            Measurement::OnOff {
+                delta_a2a: Time::from_ns(100.0),
+                on_fraction: 0.5,
+            },
+            Measurement::Retention {
+                duration: Time::from_ms(1.0),
+            },
+        ];
+        for kind in kinds {
+            let mut trial = acmin_trial(Time::from_ns(36.0));
+            trial.measurement = kind;
+            let base = model.estimate(&once, &trial);
+            assert!(base > 0, "{kind:?} must have a nonzero estimate");
+            assert_eq!(
+                model.estimate(&four, &trial),
+                4 * base,
+                "{kind:?} must scale with repeats"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_reranks_kinds_by_observed_wall_time() {
+        let cfg = cfg();
+        let press = acmin_trial(Time::from_ms(30.0));
+        let mut retention = press.clone();
+        retention.measurement = Measurement::Retention {
+            duration: Time::from_secs(60.0),
+        };
+        let analytic = CostModel::default();
+        // Premise: the analytic model calls the 60 s retention trial the
+        // long pole…
+        assert!(analytic.estimate(&cfg, &retention) > analytic.estimate(&cfg, &press));
+        // …but the recorded wall times say retention is nearly free (the
+        // device model simulates the idle wait instead of sleeping it).
+        let samples = [(&press, 10_000u64), (&retention, 15u64)];
+        let fitted = analytic.fit(&cfg, samples.iter().map(|&(t, w)| (t, w)));
+        assert!(fitted.is_learned());
+        assert!(
+            fitted.estimate(&cfg, &press) > fitted.estimate(&cfg, &retention),
+            "fitted model must rank by observed wall time"
+        );
+        // An unseen kind keeps the pure analytic estimate.
+        let mut unseen = press.clone();
+        unseen.measurement = Measurement::TAggOnMin { ac: 10 };
+        assert_eq!(fitted.factor(&unseen.measurement), 1.0);
+        // Fitting from nothing is the analytic model.
+        let empty = analytic.fit(&cfg, std::iter::empty());
+        assert!(!empty.is_learned());
+        assert_eq!(
+            empty.estimate(&cfg, &press),
+            analytic.estimate(&cfg, &press)
+        );
+    }
+
+    /// Deterministic list scheduling: claim trials in dispatch order, each
+    /// onto the earliest-free worker, and report the pool's finish time.
+    fn makespan(order: &[usize], true_cost_us: &[u64], workers: usize) -> u64 {
+        let mut free = vec![0u64; workers];
+        for &index in order {
+            let worker = (0..workers).min_by_key(|&w| free[w]).unwrap();
+            free[worker] += true_cost_us[index];
+        }
+        free.into_iter().max().unwrap_or(0)
+    }
+
+    #[test]
+    fn learned_dispatch_makespan_never_exceeds_analytic_on_a_mixed_grid() {
+        // A mixed grid where the analytic model misranks the long pole: many
+        // retention trials with huge modeled durations that are nearly free
+        // on the wall clock, plus one genuinely expensive press search.
+        let cfg = cfg().with_rows_per_module(1);
+        let retention_durations = [4.0, 5.0, 6.0, 7.0, 8.0];
+        let plan = Plan::grid(&cfg)
+            .module(&lookup_module("S3").unwrap())
+            .measurements(
+                std::iter::once(Measurement::AcMin {
+                    t_aggon: Time::from_ms(30.0),
+                })
+                .chain(retention_durations.iter().map(|&secs| {
+                    Measurement::Retention {
+                        duration: Time::from_secs(secs),
+                    }
+                })),
+            )
+            .build();
+        let true_cost_us: Vec<u64> = plan
+            .trials()
+            .iter()
+            .map(|t| match t.measurement {
+                Measurement::AcMin { .. } => 1_000,
+                Measurement::Retention { .. } => 10,
+                _ => unreachable!("mixed grid holds only press and retention"),
+            })
+            .collect();
+        let analytic = CostModel::default();
+        let fitted = analytic.fit(
+            &cfg,
+            plan.trials()
+                .iter()
+                .zip(&true_cost_us)
+                .map(|(t, &w)| (t, w)),
+        );
+        for workers in [2, 4] {
+            let analytic_makespan = makespan(
+                &analytic.dispatch_order(&cfg, plan.trials()),
+                &true_cost_us,
+                workers,
+            );
+            let learned_makespan = makespan(
+                &fitted.dispatch_order(&cfg, plan.trials()),
+                &true_cost_us,
+                workers,
+            );
+            assert!(
+                learned_makespan <= analytic_makespan,
+                "{workers} workers: learned {learned_makespan}us vs analytic {analytic_makespan}us"
+            );
+        }
     }
 }

@@ -486,6 +486,7 @@ mod tests {
             let record = TrialRecord {
                 trial: trial.clone(),
                 outcome,
+                wall_us: None,
             };
             let line = serde_json::to_string(&record).unwrap();
             let parsed: TrialRecord = serde_json::from_str(&line).unwrap();

@@ -36,8 +36,58 @@ use rowpress_dram::{
     module_inventory, DramError, DramModule, DramResult, FlipMechanism, ModuleSpec, RowRole,
 };
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Cumulative pool-utilization counters of an [`Engine`]. Clones share the
+/// underlying counters (like [`TrialCache`]), so a monitor thread — the
+/// campaign shard's heartbeat, say — can watch an engine mid-run.
+///
+/// `busy_us` advances live, per completed trial; `idle_us` is settled when a
+/// pooled run drains (each worker books its lifetime minus its busy span),
+/// so mid-run reads can lag the final figure. The counters accumulate across
+/// runs of the same engine.
+#[derive(Debug, Clone, Default)]
+pub struct PoolMetrics {
+    busy_us: Arc<AtomicU64>,
+    idle_us: Arc<AtomicU64>,
+    queue_peak: Arc<AtomicU64>,
+    /// Completed outcomes currently buffered behind the plan-ordered drain
+    /// (transient; its high-water mark is `queue_peak`).
+    pending: Arc<AtomicU64>,
+}
+
+impl PoolMetrics {
+    /// Wall-clock microseconds workers spent computing (or replaying)
+    /// trials.
+    pub fn busy_us(&self) -> u64 {
+        self.busy_us.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock microseconds workers spent idle inside pooled runs —
+    /// claiming, waiting on a shared in-flight trial, or drained out of
+    /// work while the pool's long poles finish.
+    pub fn idle_us(&self) -> u64 {
+        self.idle_us.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of completed outcomes buffered behind the
+    /// plan-ordered drain: the peak-memory price of longest-pole-first
+    /// dispatch.
+    pub fn queue_peak(&self) -> u64 {
+        self.queue_peak.load(Ordering::Relaxed)
+    }
+
+    fn book_filled(&self) {
+        let pending = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(pending, Ordering::Relaxed);
+    }
+
+    fn book_drained(&self) {
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+    }
+}
 
 /// An engine run failed: a trial hit a device-model error, a sink hit an I/O
 /// error, or a referenced module does not exist.
@@ -112,6 +162,8 @@ pub struct Engine {
     workers: usize,
     cache: TrialCache,
     policy: SchedulePolicy,
+    cost: CostModel,
+    metrics: PoolMetrics,
 }
 
 impl Engine {
@@ -123,6 +175,8 @@ impl Engine {
             workers: crate::campaign::worker_count(),
             cache: TrialCache::new(),
             policy: SchedulePolicy::default(),
+            cost: CostModel::default(),
+            metrics: PoolMetrics::default(),
         }
     }
 
@@ -135,6 +189,8 @@ impl Engine {
             workers: crate::campaign::worker_count(),
             cache: shared_cache(cfg),
             policy: SchedulePolicy::default(),
+            cost: CostModel::default(),
+            metrics: PoolMetrics::default(),
         }
     }
 
@@ -167,6 +223,15 @@ impl Engine {
         self
     }
 
+    /// Replaces the cost model [`SchedulePolicy::CostAware`] dispatches by —
+    /// typically one [fitted](CostModel::fit) from a persistent cache's
+    /// recorded wall times. Scheduling never changes results, only pool
+    /// utilization.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
     /// The configuration the engine executes against.
     pub fn config(&self) -> &ExperimentConfig {
         &self.cfg
@@ -185,6 +250,16 @@ impl Engine {
     /// The engine's cache (shared handle; clone-cheap).
     pub fn cache(&self) -> &TrialCache {
         &self.cache
+    }
+
+    /// The cost model [`SchedulePolicy::CostAware`] dispatches by.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The engine's pool-utilization counters (shared handle; clone-cheap).
+    pub fn pool_metrics(&self) -> &PoolMetrics {
+        &self.metrics
     }
 
     /// Executes the plan and streams records to `sink` in plan order.
@@ -215,15 +290,22 @@ impl Engine {
         let trials = plan.trials();
         let n = trials.len();
         let workers = self.workers.min(n);
+        // Streamed records never carry wall times: the sink byte stream is
+        // pinned by tests/golden.rs and must not vary with host speed.
         let record = |trial: &Trial, outcome: Arc<TrialOutcome>| TrialRecord {
             trial: trial.clone(),
             outcome: (*outcome).clone(),
+            wall_us: None,
         };
 
         if workers <= 1 {
             let mut scratch = TrialScratch::new();
             for trial in trials {
+                let start = Instant::now();
                 let outcome = self.outcome_for(trial, &mut scratch)?;
+                self.metrics
+                    .busy_us
+                    .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
                 sink.accept(record(trial, outcome))?;
             }
             return Ok(());
@@ -234,7 +316,7 @@ impl Engine {
         // expensive tail. The drain below is plan-ordered either way.
         let dispatch: Vec<usize> = match self.policy {
             SchedulePolicy::PlanOrder => (0..n).collect(),
-            SchedulePolicy::CostAware => CostModel::default().dispatch_order(&self.cfg, trials),
+            SchedulePolicy::CostAware => self.cost.dispatch_order(&self.cfg, trials),
         };
 
         // Workers fill per-trial slots off a shared queue; this thread drains
@@ -253,6 +335,8 @@ impl Engine {
                     // One scratch per worker: buffers warm up on the first
                     // trial and are reused for every trial the worker claims.
                     let mut scratch = TrialScratch::new();
+                    let spawned = Instant::now();
+                    let mut busy_local = 0u64;
                     loop {
                         if abort.load(Ordering::Relaxed) {
                             break;
@@ -262,14 +346,23 @@ impl Engine {
                             break;
                         }
                         let index = dispatch[claimed];
+                        let start = Instant::now();
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 self.outcome_for(&trials[index], &mut scratch)
                             }));
+                        let spent = start.elapsed().as_micros() as u64;
+                        busy_local += spent;
+                        self.metrics.busy_us.fetch_add(spent, Ordering::Relaxed);
                         let mut filled = slots.lock().expect("slot lock");
                         filled[index] = Some(outcome);
+                        self.metrics.book_filled();
                         ready.notify_all();
                     }
+                    let lifetime = spawned.elapsed().as_micros() as u64;
+                    self.metrics
+                        .idle_us
+                        .fetch_add(lifetime.saturating_sub(busy_local), Ordering::Relaxed);
                 });
             }
 
@@ -278,6 +371,7 @@ impl Engine {
                     let mut filled = slots.lock().expect("slot lock");
                     loop {
                         if let Some(outcome) = filled[index].take() {
+                            self.metrics.book_drained();
                             break outcome;
                         }
                         filled = ready.wait(filled).expect("slot lock");

@@ -87,7 +87,7 @@ impl AcMinRecord {
 }
 
 fn acmin_record(record: TrialRecord) -> AcMinRecord {
-    let TrialRecord { trial, outcome } = record;
+    let TrialRecord { trial, outcome, .. } = record;
     let Measurement::AcMin { t_aggon } = trial.measurement else {
         unreachable!("ACmin plans only contain ACmin measurements");
     };
@@ -229,7 +229,7 @@ pub fn taggonmin_sweep(
     let records = run_study_plan(cfg, &plan).expect("valid site");
     records
         .into_iter()
-        .map(|TrialRecord { trial, outcome }| {
+        .map(|TrialRecord { trial, outcome, .. }| {
             let Measurement::TAggOnMin { ac } = trial.measurement else {
                 unreachable!("tAggONmin plans only contain tAggONmin measurements");
             };
@@ -291,7 +291,7 @@ pub fn acmax_sweep(
     let records = run_study_plan(cfg, &plan).expect("valid site");
     records
         .into_iter()
-        .map(|TrialRecord { trial, outcome }| {
+        .map(|TrialRecord { trial, outcome, .. }| {
             let Measurement::AcMax { t_aggon } = trial.measurement else {
                 unreachable!("ACmax plans only contain ACmax measurements");
             };
@@ -391,7 +391,7 @@ pub fn onoff_sweep(
     let records = run_study_plan(cfg, &plan).expect("valid site");
     records
         .into_iter()
-        .map(|TrialRecord { trial, outcome }| {
+        .map(|TrialRecord { trial, outcome, .. }| {
             let Measurement::OnOff {
                 delta_a2a,
                 on_fraction,
