@@ -46,9 +46,9 @@ cargo test -p rowpress-cli -q --test orchestrator -- \
 
 # No orchestrator, property, kernel-layer, or campaign-core test may be
 # quietly parked: an #[ignore] in these suites is an invariant CI stopped
-# proving.
+# proving. The CLI sources count too (driver/child/transport unit tests).
 step "no #[ignore]d tests in the orchestrator/property/kernel/core suites"
-if grep -rn '#\[ignore' crates/cli/tests crates/core/src crates/dram/src tests/; then
+if grep -rn '#\[ignore' crates/cli/tests crates/cli/src crates/core/src crates/dram/src tests/; then
   echo "ignored tests found — these invariants must run in CI" >&2
   exit 1
 fi
@@ -73,6 +73,27 @@ rm -rf "$CAMPAIGN_OUT-tcp"
 "$CAMPAIGN" spec examples/quick_acmin.toml > "$CAMPAIGN_OUT/spec-a.json"
 "$CAMPAIGN" spec "$CAMPAIGN_OUT/spec-a.json" > "$CAMPAIGN_OUT/spec-b.json"
 diff "$CAMPAIGN_OUT/spec-a.json" "$CAMPAIGN_OUT/spec-b.json"
+
+# Integrity end-to-end on the campaign just run: a clean directory passes
+# fsck; a flipped interior cache byte fails it; a --salvage re-run
+# quarantines that line, re-verifies byte-identical, and fsck goes green
+# again (reporting the quarantined line).
+step "rowpress-campaign fsck + salvage (flip a cache byte, recover, re-verify)"
+"$CAMPAIGN" fsck "$CAMPAIGN_OUT"
+CACHE="$CAMPAIGN_OUT/shard-0000.cache.jsonl"
+OFFSET=$(( $(head -n 1 "$CACHE" | wc -c) + 10 ))
+ORIG_BYTE=$(dd if="$CACHE" bs=1 skip="$OFFSET" count=1 2>/dev/null | od -An -tu1 | tr -d ' ')
+printf "$(printf '\\%03o' $(( ORIG_BYTE ^ 1 )))" \
+  | dd of="$CACHE" bs=1 seek="$OFFSET" count=1 conv=notrunc 2>/dev/null
+if "$CAMPAIGN" fsck "$CAMPAIGN_OUT"; then
+  echo "fsck must fail on a corrupt cache line" >&2
+  exit 1
+fi
+"$CAMPAIGN" run examples/quick_acmin.toml --shards 2 --out-dir "$CAMPAIGN_OUT" \
+  --salvage --verify
+test -f "$CACHE.quarantine"
+FSCK_OUT=$("$CAMPAIGN" fsck "$CAMPAIGN_OUT")
+grep -q "1 quarantined" <<< "$FSCK_OUT"
 
 step "cargo fmt --all -- --check"
 cargo fmt --all -- --check

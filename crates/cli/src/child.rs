@@ -190,12 +190,10 @@ impl Emitter {
     /// still be binding when the first child launches) and announces this
     /// (shard, incarnation) with the `hello` frame.
     fn connect(addr: &str, index: usize, of: usize, incarnation: u32) -> Result<Emitter, CliError> {
-        let mut backoff = Duration::from_millis(50);
         let mut last_error = String::new();
         for attempt in 0..6 {
             if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff *= 2;
+                std::thread::sleep(dial_backoff(attempt, index, incarnation));
             }
             match TcpStream::connect(addr) {
                 Ok(stream) => {
@@ -233,6 +231,29 @@ impl Emitter {
             }
         }
     }
+}
+
+/// Delay before dial attempt `attempt` (attempt 1 is the first retry).
+///
+/// Exponential from 50 ms but *capped at 2 s*: an orchestrator that takes a
+/// while to rebind must see steady retry pressure, not a child whose next
+/// attempt is minutes out. On top of the cap rides a deterministic jitter —
+/// up to a quarter of the delay, derived from (shard, incarnation, attempt)
+/// — so a fleet of children respawned in the same instant does not dial in
+/// lockstep, while any single incarnation's schedule stays exactly
+/// reproducible.
+fn dial_backoff(attempt: u32, index: usize, incarnation: u32) -> Duration {
+    const BASE_MS: u64 = 50;
+    const CAP_MS: u64 = 2_000;
+    let exponential = BASE_MS << (attempt.saturating_sub(1)).min(10);
+    let capped = exponential.min(CAP_MS);
+    // FNV-1a over the identity tuple: cheap, stable, no RNG state.
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for value in [index as u64, u64::from(incarnation), u64::from(attempt)] {
+        hash ^= value;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    Duration::from_millis(capped + hash % (capped / 4 + 1))
 }
 
 /// Runs the shard and returns the process exit code.
@@ -293,10 +314,12 @@ pub fn run(args: &ShardArgs) -> i32 {
                 busy_us,
                 idle_us,
                 queue_peak,
+                degraded,
             } => events.emit(format_args!(
                 "{PROTOCOL_PREFIX} beat computed_live={computed_live} \
                  replayed_live={replayed_live} busy_us={busy_us} \
-                 idle_us={idle_us} queue_peak={queue_peak}"
+                 idle_us={idle_us} queue_peak={queue_peak} degraded={}",
+                u8::from(degraded)
             )),
             ShardEvent::Progress {
                 done,
@@ -311,8 +334,11 @@ pub fn run(args: &ShardArgs) -> i32 {
                 total,
                 computed,
                 replayed,
+                degraded,
             } => events.emit(format_args!(
-                "{PROTOCOL_PREFIX} done total={total} computed={computed} replayed={replayed}"
+                "{PROTOCOL_PREFIX} done total={total} computed={computed} \
+                 replayed={replayed} degraded={}",
+                u8::from(degraded)
             )),
         }
         if let ShardEvent::Progress { computed, .. } = event {
@@ -358,5 +384,36 @@ pub fn run(args: &ShardArgs) -> i32 {
             eprintln!("rowpress-campaign shard {}: {e}", args.index);
             EXIT_RUN
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dial_backoff_is_capped_and_deterministic() {
+        // Exponential until the cap, never past cap + 25% jitter.
+        let cap = Duration::from_millis(2_000 + 500);
+        for attempt in 1..64 {
+            for (index, incarnation) in [(0, 0), (3, 1), (7, 12)] {
+                let delay = dial_backoff(attempt, index, incarnation);
+                assert!(delay <= cap, "attempt {attempt} waits {delay:?}");
+                assert_eq!(
+                    delay,
+                    dial_backoff(attempt, index, incarnation),
+                    "the schedule must be reproducible"
+                );
+            }
+        }
+        // Early attempts grow exponentially from the 50 ms base.
+        assert!(dial_backoff(1, 0, 0) < dial_backoff(3, 0, 0));
+        // Distinct incarnations of the same shard land on distinct delays
+        // once the cap flattens the exponential part (the jitter's job).
+        let late: Vec<Duration> = (0..8).map(|inc| dial_backoff(6, 2, inc)).collect();
+        assert!(
+            late.windows(2).any(|w| w[0] != w[1]),
+            "jitter must spread a respawned fleet: {late:?}"
+        );
     }
 }

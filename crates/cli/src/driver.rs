@@ -21,18 +21,212 @@
 //! [`supervise`] is generic over the [`Transport`], which is what makes the
 //! whole watch loop testable in-process against the scripted
 //! [`FaultInjector`](crate::transport::FaultInjector).
+//!
+//! # Crash-anywhere recovery
+//!
+//! The parent is *itself* allowed to die. Every supervision step — launch,
+//! connect, fault, respawn, degrade, done, merge — is appended to a
+//! checksummed [`SupervisorJournal`] (`supervisor.jsonl`) before or as it
+//! happens, and [`resume`] rebuilds the fleet state from that journal plus
+//! the shards' persistent caches: respawned incarnations continue *past*
+//! the journal's highest recorded incarnation, replay their caches, and the
+//! re-merged stream is byte-identical to an uninterrupted run. [`fsck`]
+//! closes the loop by verifying every checksum the campaign wrote (cache
+//! lines, the merged stream against its `.crc` sidecar) without touching
+//! anything.
 
 use crate::child::Fault;
 use crate::transport::{
     Liveness, LocalProcess, ShardHandle, ShardStatus, TcpAgent, Transport, TransportKind,
 };
 use crate::{parse_number, CliError, EXIT_OK, EXIT_VERIFY};
-use rowpress_core::campaign::{shard_cache_path, CampaignSpec, MERGED_FILENAME};
-use rowpress_core::engine::{Engine, JsonlSink, PersistentCache, Plan, Sink};
+use rowpress_core::campaign::{
+    shard_cache_path, CampaignSpec, MERGED_CRC_FILENAME, MERGED_FILENAME,
+};
+use rowpress_core::engine::{
+    append_checksum, crc32, quarantine_path, split_checksum, CrcLineWriter, Engine, JsonlSink,
+    LineChecksum, PersistentCache, Plan, Sink,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fs::File;
-use std::io::BufWriter;
-use std::path::PathBuf;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+/// The parent's append-only event journal under the output directory.
+pub const SUPERVISOR_JOURNAL_FILENAME: &str = "supervisor.jsonl";
+
+/// The event-kind vocabulary of the [`SupervisorJournal`].
+pub mod journal_event {
+    /// A fresh campaign started (journal truncated).
+    pub const CAMPAIGN_STARTED: &str = "campaign_started";
+    /// A killed campaign was picked back up by `resume`.
+    pub const RESUMED: &str = "resumed";
+    /// Incarnation `incarnation` of shard `shard` was launched.
+    pub const SHARD_LAUNCHED: &str = "shard_launched";
+    /// The incarnation's first frame reached the transport.
+    pub const SHARD_CONNECTED: &str = "shard_connected";
+    /// The incarnation reported itself degraded (compute-only).
+    pub const SHARD_DEGRADED: &str = "shard_degraded";
+    /// The incarnation died, stalled or never connected.
+    pub const SHARD_FAULTED: &str = "shard_faulted";
+    /// A replacement incarnation was launched after a fault.
+    pub const SHARD_RESPAWNED: &str = "shard_respawned";
+    /// The shard delivered its complete stream and exited cleanly.
+    pub const SHARD_DONE: &str = "shard_done";
+    /// All shards finished; the merge began.
+    pub const MERGE_STARTED: &str = "merge_started";
+    /// The merged stream and its checksum sidecar are on disk.
+    pub const MERGE_COMMITTED: &str = "merge_committed";
+}
+
+/// One journal line: what happened, and to which shard incarnation (both
+/// `None` for campaign-level events). Serialized as JSON with a `#crc32=`
+/// suffix per line, so `resume` can trust what it replays and stop cleanly
+/// at a torn tail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorEvent {
+    /// One of the [`journal_event`] kind words.
+    pub event: String,
+    /// Shard index, for per-shard events.
+    pub shard: Option<u64>,
+    /// Shard incarnation, for per-shard events.
+    pub incarnation: Option<u64>,
+}
+
+impl SupervisorEvent {
+    /// A campaign-level event (no shard).
+    fn campaign(kind: &str) -> Self {
+        SupervisorEvent {
+            event: kind.to_string(),
+            shard: None,
+            incarnation: None,
+        }
+    }
+
+    /// A per-shard event.
+    fn shard(kind: &str, index: usize, incarnation: u32) -> Self {
+        SupervisorEvent {
+            event: kind.to_string(),
+            shard: Some(index as u64),
+            incarnation: Some(u64::from(incarnation)),
+        }
+    }
+}
+
+/// Append-only, per-line-checksummed supervision log (see the module docs).
+///
+/// Writes are unbuffered (one `write_all` per event) so a parent killed at
+/// any instant loses at most the event being written — whose torn line the
+/// reader then discards via its checksum. Journal failures never fail the
+/// campaign: the shards' caches remain the ground truth, the journal only
+/// makes `resume` smarter about incarnation numbering.
+#[derive(Debug)]
+pub struct SupervisorJournal {
+    file: File,
+    broken: bool,
+}
+
+impl SupervisorJournal {
+    /// Starts a fresh journal (truncating any previous one) under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the file cannot be created.
+    pub fn start(dir: &Path) -> std::io::Result<Self> {
+        Ok(SupervisorJournal {
+            file: File::create(dir.join(SUPERVISOR_JOURNAL_FILENAME))?,
+            broken: false,
+        })
+    }
+
+    /// Reopens an existing journal for appending (the `resume` path).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the file cannot be opened.
+    pub fn reopen(dir: &Path) -> std::io::Result<Self> {
+        Ok(SupervisorJournal {
+            file: std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dir.join(SUPERVISOR_JOURNAL_FILENAME))?,
+            broken: false,
+        })
+    }
+
+    /// Appends one event, best-effort: a journal that stops writing warns
+    /// once and never takes the campaign down with it.
+    pub fn append(&mut self, event: &SupervisorEvent) {
+        if self.broken {
+            return;
+        }
+        let Ok(json) = serde_json::to_string(event) else {
+            return;
+        };
+        let mut line = append_checksum(&json);
+        line.push('\n');
+        if let Err(e) = self.file.write_all(line.as_bytes()) {
+            self.broken = true;
+            eprintln!(
+                "campaign: supervisor journal write failed ({e}); \
+                 a later resume may relaunch from stale incarnation numbers"
+            );
+        }
+    }
+
+    /// Replays the journal under `dir`. Stops at the first line that fails
+    /// its checksum or does not parse — the torn tail a killed parent
+    /// leaves — and returns everything before it. A missing journal reads
+    /// as empty (a pre-journal campaign directory).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when an existing journal cannot be read.
+    pub fn read(dir: &Path) -> std::io::Result<Vec<SupervisorEvent>> {
+        let text = match std::fs::read_to_string(dir.join(SUPERVISOR_JOURNAL_FILENAME)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut events = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (payload, status) = split_checksum(line);
+            if status == LineChecksum::Mismatch {
+                break;
+            }
+            match serde_json::from_str::<SupervisorEvent>(payload) {
+                Ok(event) => events.push(event),
+                Err(_) => break,
+            }
+        }
+        Ok(events)
+    }
+}
+
+/// The per-shard incarnation numbers a resumed campaign must launch with:
+/// one past the highest the journal recorded, so stale incarnations that
+/// are somehow still alive can never be mistaken for the new fleet.
+fn next_incarnations(events: &[SupervisorEvent], of: usize) -> Vec<u32> {
+    let mut next = vec![0u32; of];
+    for event in events {
+        if event.event != journal_event::SHARD_LAUNCHED
+            && event.event != journal_event::SHARD_RESPAWNED
+        {
+            continue;
+        }
+        if let (Some(shard), Some(incarnation)) = (event.shard, event.incarnation) {
+            if let Some(slot) = next.get_mut(shard as usize) {
+                *slot = (*slot).max(incarnation as u32 + 1);
+            }
+        }
+    }
+    next
+}
 
 /// Parsed options of the `run` command.
 #[derive(Debug)]
@@ -45,6 +239,7 @@ pub struct RunOptions {
     connect_timeout_ms: Option<u64>,
     max_respawns: Option<u32>,
     verify: bool,
+    salvage: bool,
     faults: Vec<(usize, Fault)>,
 }
 
@@ -61,6 +256,7 @@ impl RunOptions {
             connect_timeout_ms: None,
             max_respawns: None,
             verify: false,
+            salvage: false,
             faults: Vec::new(),
         };
         let mut args = rest.iter();
@@ -95,6 +291,7 @@ impl RunOptions {
                         Some(parse_number(&value("--max-respawns")?, "--max-respawns")?);
                 }
                 "--verify" => options.verify = true,
+                "--salvage" => options.salvage = true,
                 "--fault" => {
                     let raw = value("--fault")?;
                     let (index, fault) = raw.split_once(':').ok_or_else(|| {
@@ -223,14 +420,31 @@ pub struct SuperviseReport {
     /// Respawns each shard consumed (index-aligned; all zeros on a calm
     /// run).
     pub respawns: Vec<u32>,
+    /// Whether each shard reported itself degraded — persistence disabled
+    /// mid-run, computing on — at any point (index-aligned, sticky).
+    pub degraded: Vec<bool>,
 }
 
 /// One supervised shard's watch-loop state.
 struct Supervised {
     index: usize,
     handle: Box<dyn ShardHandle>,
+    /// The incarnation currently running (base + respawns on resume).
+    incarnation: u32,
     respawns: u32,
     finished: bool,
+    /// Whether this incarnation's first frame was already journaled.
+    connected: bool,
+    /// Sticky: some incarnation of this shard reported `degraded=1`.
+    degraded: bool,
+}
+
+/// Appends to the journal when one is attached (fresh in-process fleets —
+/// the orchestrator tests — run journal-less).
+fn note(journal: &mut Option<&mut SupervisorJournal>, event: SupervisorEvent) {
+    if let Some(journal) = journal.as_deref_mut() {
+        journal.append(&event);
+    }
 }
 
 /// Launches every shard through the transport and babysits the fleet to
@@ -247,16 +461,41 @@ pub fn supervise(
     of: usize,
     policy: &WatchPolicy,
 ) -> Result<SuperviseReport, CliError> {
+    supervise_resumed(transport, of, policy, None, &[])
+}
+
+/// [`supervise`], journaled and resumable: each shard's first incarnation
+/// is taken from `base_incarnations` (0 when absent — a fresh run), and
+/// every supervision event is appended to `journal` when one is attached.
+///
+/// # Errors
+///
+/// As [`supervise`].
+pub fn supervise_resumed(
+    transport: &mut dyn Transport,
+    of: usize,
+    policy: &WatchPolicy,
+    mut journal: Option<&mut SupervisorJournal>,
+    base_incarnations: &[u32],
+) -> Result<SuperviseReport, CliError> {
     let mut fleet = Vec::with_capacity(of);
     for index in 0..of {
+        let incarnation = base_incarnations.get(index).copied().unwrap_or(0);
+        note(
+            &mut journal,
+            SupervisorEvent::shard(journal_event::SHARD_LAUNCHED, index, incarnation),
+        );
         fleet.push(Supervised {
             index,
-            handle: transport.launch(index, 0)?,
+            handle: transport.launch(index, incarnation)?,
+            incarnation,
             respawns: 0,
             finished: false,
+            connected: false,
+            degraded: false,
         });
     }
-    let result = watch(transport, &mut fleet, policy);
+    let result = watch(transport, &mut fleet, policy, &mut journal);
     if result.is_err() {
         for shard in &mut fleet {
             if !shard.finished {
@@ -266,6 +505,7 @@ pub fn supervise(
     }
     result.map(|()| SuperviseReport {
         respawns: fleet.iter().map(|s| s.respawns).collect(),
+        degraded: fleet.iter().map(|s| s.degraded).collect(),
     })
 }
 
@@ -273,6 +513,7 @@ fn watch(
     transport: &mut dyn Transport,
     fleet: &mut [Supervised],
     policy: &WatchPolicy,
+    journal: &mut Option<&mut SupervisorJournal>,
 ) -> Result<(), CliError> {
     loop {
         let mut live = 0usize;
@@ -281,42 +522,93 @@ fn watch(
                 continue;
             }
             live += 1;
+            if !shard.degraded && shard.handle.degraded() {
+                shard.degraded = true;
+                println!(
+                    "campaign: shard {} degraded — cache persistence disabled, \
+                     computing on without it",
+                    shard.index
+                );
+                note(
+                    journal,
+                    SupervisorEvent::shard(
+                        journal_event::SHARD_DEGRADED,
+                        shard.index,
+                        shard.incarnation,
+                    ),
+                );
+            }
             match shard.handle.poll()? {
                 ShardStatus::Exited { clean } => {
                     if clean && shard.handle.done() {
                         shard.finished = true;
+                        // The degraded beat may only have been drained by the
+                        // exit poll above; pick it up before the final report.
+                        if !shard.degraded && shard.handle.degraded() {
+                            shard.degraded = true;
+                            note(
+                                journal,
+                                SupervisorEvent::shard(
+                                    journal_event::SHARD_DEGRADED,
+                                    shard.index,
+                                    shard.incarnation,
+                                ),
+                            );
+                        }
+                        note(
+                            journal,
+                            SupervisorEvent::shard(
+                                journal_event::SHARD_DONE,
+                                shard.index,
+                                shard.incarnation,
+                            ),
+                        );
                         println!(
                             "campaign: shard {} finished ({} respawn(s))",
                             shard.index, shard.respawns
                         );
                     } else {
                         println!("campaign: shard {} died, respawning", shard.index);
-                        respawn(transport, shard, policy)?;
+                        respawn(transport, shard, policy, journal)?;
                     }
                 }
-                ShardStatus::Running => match shard.handle.liveness() {
-                    Liveness::Connecting { waited } if waited >= policy.connect => {
-                        println!(
-                            "campaign: shard {} never connected ({} ms since launch), \
-                             killing and respawning",
-                            shard.index,
-                            waited.as_millis()
+                ShardStatus::Running => {
+                    let liveness = shard.handle.liveness();
+                    if !shard.connected && matches!(liveness, Liveness::Alive { .. }) {
+                        shard.connected = true;
+                        note(
+                            journal,
+                            SupervisorEvent::shard(
+                                journal_event::SHARD_CONNECTED,
+                                shard.index,
+                                shard.incarnation,
+                            ),
                         );
-                        shard.handle.kill();
-                        respawn(transport, shard, policy)?;
                     }
-                    Liveness::Alive { quiet } if quiet >= policy.stall => {
-                        println!(
-                            "campaign: shard {} stalled ({} ms without a heartbeat), \
-                             killing and respawning",
-                            shard.index,
-                            quiet.as_millis()
-                        );
-                        shard.handle.kill();
-                        respawn(transport, shard, policy)?;
+                    match liveness {
+                        Liveness::Connecting { waited } if waited >= policy.connect => {
+                            println!(
+                                "campaign: shard {} never connected ({} ms since launch), \
+                                 killing and respawning",
+                                shard.index,
+                                waited.as_millis()
+                            );
+                            shard.handle.kill();
+                            respawn(transport, shard, policy, journal)?;
+                        }
+                        Liveness::Alive { quiet } if quiet >= policy.stall => {
+                            println!(
+                                "campaign: shard {} stalled ({} ms without a heartbeat), \
+                                 killing and respawning",
+                                shard.index,
+                                quiet.as_millis()
+                            );
+                            shard.handle.kill();
+                            respawn(transport, shard, policy, journal)?;
+                        }
+                        _ => {}
                     }
-                    _ => {}
-                },
+                }
             }
         }
         if live == 0 {
@@ -330,7 +622,12 @@ fn respawn(
     transport: &mut dyn Transport,
     shard: &mut Supervised,
     policy: &WatchPolicy,
+    journal: &mut Option<&mut SupervisorJournal>,
 ) -> Result<(), CliError> {
+    note(
+        journal,
+        SupervisorEvent::shard(journal_event::SHARD_FAULTED, shard.index, shard.incarnation),
+    );
     let used = shard.respawns + 1;
     if used > policy.max_respawns {
         return Err(CliError::run(format!(
@@ -339,8 +636,15 @@ fn respawn(
             shard.index, policy.max_respawns
         )));
     }
-    shard.handle = transport.launch(shard.index, used)?;
+    let incarnation = shard.incarnation + 1;
+    note(
+        journal,
+        SupervisorEvent::shard(journal_event::SHARD_RESPAWNED, shard.index, incarnation),
+    );
+    shard.handle = transport.launch(shard.index, incarnation)?;
+    shard.incarnation = incarnation;
     shard.respawns = used;
+    shard.connected = false;
     Ok(())
 }
 
@@ -366,6 +670,9 @@ pub fn orchestrate(options: RunOptions) -> Result<i32, CliError> {
     if let Some(budget) = options.max_respawns {
         spec.orchestration.max_respawns = budget;
     }
+    if options.salvage {
+        spec.cache_salvage = true;
+    }
     spec.validate()?;
     let plan = spec.plan()?;
     let of = spec.orchestration.shards.min(plan.len().max(1));
@@ -375,7 +682,8 @@ pub fn orchestrate(options: RunOptions) -> Result<i32, CliError> {
 
     std::fs::create_dir_all(&options.out_dir)?;
     // Children execute the *resolved* spec (CLI overrides applied), so the
-    // file on disk documents exactly what ran.
+    // file on disk documents exactly what ran — and it is what `resume`
+    // reloads after a parent crash.
     let resolved = options.out_dir.join("campaign.json");
     std::fs::write(&resolved, spec.canonical_json() + "\n")?;
     println!(
@@ -385,13 +693,120 @@ pub fn orchestrate(options: RunOptions) -> Result<i32, CliError> {
         options.out_dir.display()
     );
 
-    let exe = std::env::current_exe()?;
+    let mut journal = SupervisorJournal::start(&options.out_dir)?;
+    journal.append(&SupervisorEvent::campaign(journal_event::CAMPAIGN_STARTED));
     let faults = options.faults.iter().copied().collect();
-    let mut transport: Box<dyn Transport> = match &options.transport {
+    execute(
+        &spec,
+        &options.out_dir,
+        &options.transport,
+        faults,
+        options.verify,
+        &mut journal,
+        &[],
+    )
+}
+
+/// Parsed options of the `resume` command.
+#[derive(Debug)]
+pub struct ResumeOptions {
+    dir: PathBuf,
+    transport: TransportKind,
+    verify: bool,
+}
+
+impl ResumeOptions {
+    /// Parses `resume <DIR> [OPTIONS]`.
+    pub fn parse(operand: Option<&String>, rest: &[String]) -> Result<ResumeOptions, CliError> {
+        let dir = operand.ok_or_else(|| CliError::usage("resume: missing <DIR> operand"))?;
+        let mut options = ResumeOptions {
+            dir: PathBuf::from(dir),
+            transport: TransportKind::Local,
+            verify: false,
+        };
+        let mut args = rest.iter();
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .cloned()
+                    .ok_or_else(|| CliError::usage(format!("resume: {name} needs a value")))
+            };
+            match flag.as_str() {
+                "--transport" => {
+                    options.transport = TransportKind::parse(&value("--transport")?)?;
+                }
+                "--verify" => options.verify = true,
+                other => return Err(CliError::usage(format!("resume: unknown flag `{other}`"))),
+            }
+        }
+        Ok(options)
+    }
+}
+
+/// `resume`: pick a killed campaign back up from its output directory. The
+/// resolved `campaign.json` says what to run, the supervisor journal says
+/// how far the dead parent got (and which incarnation numbers are burnt),
+/// and the shards' persistent caches make the relaunched fleet replay
+/// instead of recompute — so the re-merged stream is byte-identical to an
+/// uninterrupted run.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when the directory holds no resolved campaign, or
+/// for any of the `run`-level failures.
+pub fn resume(options: ResumeOptions) -> Result<i32, CliError> {
+    let resolved = options.dir.join("campaign.json");
+    if !resolved.exists() {
+        return Err(CliError::run(format!(
+            "{}: no campaign.json — this directory never started a campaign",
+            options.dir.display()
+        )));
+    }
+    let spec = CampaignSpec::from_path(&resolved)?;
+    spec.validate()?;
+    let of = spec.orchestration.shards;
+    let events = SupervisorJournal::read(&options.dir)?;
+    let base_incarnations = next_incarnations(&events, of);
+    println!(
+        "campaign {:?}: resuming {of} shard(s) in {} ({} journal event(s) replayed)",
+        spec.name,
+        options.dir.display(),
+        events.len()
+    );
+    let mut journal = SupervisorJournal::reopen(&options.dir)?;
+    journal.append(&SupervisorEvent::campaign(journal_event::RESUMED));
+    execute(
+        &spec,
+        &options.dir,
+        &options.transport,
+        HashMap::new(),
+        options.verify,
+        &mut journal,
+        &base_incarnations,
+    )
+}
+
+/// The shared back half of `run` and `resume`: fan out through the
+/// transport, supervise to completion, merge with a checksum sidecar,
+/// optionally verify. Expects the resolved spec to already live at
+/// `out_dir/campaign.json`.
+fn execute(
+    spec: &CampaignSpec,
+    out_dir: &Path,
+    transport_kind: &TransportKind,
+    faults: HashMap<usize, Fault>,
+    verify: bool,
+    journal: &mut SupervisorJournal,
+    base_incarnations: &[u32],
+) -> Result<i32, CliError> {
+    let of = spec.orchestration.shards;
+    let resolved = out_dir.join("campaign.json");
+    let exe = std::env::current_exe()?;
+    let mut transport: Box<dyn Transport> = match transport_kind {
         TransportKind::Local => Box::new(LocalProcess::new(
             exe,
             resolved,
-            options.out_dir.clone(),
+            out_dir.to_path_buf(),
             of,
             faults,
         )),
@@ -399,37 +814,62 @@ pub fn orchestrate(options: RunOptions) -> Result<i32, CliError> {
             let agent = TcpAgent::new(
                 exe,
                 resolved,
-                options.out_dir.clone(),
+                out_dir.to_path_buf(),
                 of,
                 faults,
                 bind_addr,
-                &spec,
+                spec,
             )?;
             println!("campaign: collector listening on {}", agent.local_addr());
             Box::new(agent)
         }
     };
-    let policy = WatchPolicy::from_spec(&spec);
-    supervise(transport.as_mut(), of, &policy)?;
+    let policy = WatchPolicy::from_spec(spec);
+    let report = supervise_resumed(
+        transport.as_mut(),
+        of,
+        &policy,
+        Some(journal),
+        base_incarnations,
+    )?;
+    for (index, degraded) in report.degraded.iter().enumerate() {
+        if *degraded {
+            println!(
+                "campaign: shard {index} ran degraded (cache persistence disabled \
+                 mid-run); its unpersisted trials will be recomputed on the next \
+                 run or resume"
+            );
+        }
+    }
 
+    journal.append(&SupervisorEvent::campaign(journal_event::MERGE_STARTED));
     let shards = (0..of)
         .map(|i| transport.collect(i))
         .collect::<Result<Vec<_>, _>>()?;
     let records = Plan::merge(shards);
-    let merged_path = options.out_dir.join(MERGED_FILENAME);
-    let mut sink = JsonlSink::new(BufWriter::new(File::create(&merged_path)?));
+    let merged_path = out_dir.join(MERGED_FILENAME);
+    let mut sink = JsonlSink::new(CrcLineWriter::new(BufWriter::new(File::create(
+        &merged_path,
+    )?)));
     let count = records.len();
     for record in records {
         sink.accept(record)?;
     }
     sink.finish()?;
+    // Checksums ride in a sidecar, not inline: the merged stream itself
+    // stays byte-identical to a single-process run (the `--verify` pin).
+    std::fs::write(
+        out_dir.join(MERGED_CRC_FILENAME),
+        sink.into_inner().sidecar(),
+    )?;
+    journal.append(&SupervisorEvent::campaign(journal_event::MERGE_COMMITTED));
     println!(
-        "campaign: merged {count} records into {}",
+        "campaign: merged {count} records into {} (+ {MERGED_CRC_FILENAME} sidecar)",
         merged_path.display()
     );
 
-    if options.verify {
-        let expected = single_process_bytes(&spec)?;
+    if verify {
+        let expected = single_process_bytes(spec)?;
         let got = std::fs::read(&merged_path)?;
         if got != expected {
             return Err(CliError {
@@ -459,4 +899,276 @@ fn single_process_bytes(spec: &CampaignSpec) -> Result<Vec<u8>, CliError> {
         .run(&plan, &mut sink)
         .map_err(|e| CliError::run(e.to_string()))?;
     Ok(sink.into_inner())
+}
+
+/// Parsed options of the `fsck` command.
+#[derive(Debug)]
+pub struct FsckOptions {
+    dir: PathBuf,
+}
+
+impl FsckOptions {
+    /// Parses `fsck <DIR>`.
+    pub fn parse(operand: Option<&String>, rest: &[String]) -> Result<FsckOptions, CliError> {
+        let dir = operand.ok_or_else(|| CliError::usage("fsck: missing <DIR> operand"))?;
+        if let Some(extra) = rest.first() {
+            return Err(CliError::usage(format!(
+                "fsck: unexpected argument `{extra}`"
+            )));
+        }
+        Ok(FsckOptions {
+            dir: PathBuf::from(dir),
+        })
+    }
+}
+
+/// `fsck`: verify every checksum a campaign directory holds — each shard
+/// cache line, and the merged stream against its CRC sidecar — without
+/// modifying anything. Quarantined lines (already set aside by a salvage
+/// open) are reported but are not failures; corrupt lines still *in* a
+/// cache, sidecar mismatches, and missing records are.
+///
+/// # Errors
+///
+/// Returns a run-level [`CliError`] when any integrity problem is found,
+/// or when the directory holds nothing to check.
+pub fn fsck(options: FsckOptions) -> Result<i32, CliError> {
+    let dir = &options.dir;
+    let mut problems = 0usize;
+    let mut checked = 0usize;
+    let mut index = 0;
+    loop {
+        let path = shard_cache_path(dir, index);
+        if !path.exists() {
+            break;
+        }
+        checked += 1;
+        let audit = PersistentCache::audit(&path)?;
+        for (offset, reason) in &audit.corrupt {
+            println!(
+                "fsck: {}: corrupt record at byte {offset}: {reason}",
+                path.display()
+            );
+        }
+        problems += audit.corrupt.len();
+        let quarantine = quarantine_path(&path);
+        let quarantined = if quarantine.exists() {
+            std::fs::read_to_string(&quarantine)?
+                .lines()
+                .filter(|line| !line.trim().is_empty())
+                .count()
+        } else {
+            0
+        };
+        let mut notes = Vec::new();
+        if audit.legacy > 0 {
+            notes.push(format!("{} legacy checksum-less line(s)", audit.legacy));
+        }
+        if audit.torn_tail {
+            notes.push("torn tail (self-repairs on the next open)".to_string());
+        }
+        println!(
+            "fsck: {}: {} record(s), {} checksummed, {} quarantined{}",
+            path.display(),
+            audit.records,
+            audit.checksummed,
+            quarantined,
+            if notes.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", notes.join(", "))
+            }
+        );
+        index += 1;
+    }
+    let merged = dir.join(MERGED_FILENAME);
+    if merged.exists() {
+        checked += 1;
+        problems += fsck_merged(dir, &merged)?;
+    }
+    if checked == 0 {
+        return Err(CliError::run(format!(
+            "{}: nothing to check (no shard caches or merged stream)",
+            dir.display()
+        )));
+    }
+    if problems > 0 {
+        return Err(CliError::run(format!(
+            "fsck: {problems} integrity problem(s) found"
+        )));
+    }
+    println!("fsck: all integrity checks passed");
+    Ok(EXIT_OK)
+}
+
+/// Verifies the merged stream against its `merged.jsonl.crc` sidecar.
+/// Returns the number of problems found (a missing sidecar is reported but
+/// tolerated — pre-integrity campaign directories have none).
+fn fsck_merged(dir: &Path, merged: &Path) -> Result<usize, CliError> {
+    let bytes = std::fs::read(merged)?;
+    let mut problems = 0usize;
+    let mut got = Vec::new();
+    for chunk in bytes.split_inclusive(|&b| b == b'\n') {
+        if chunk.last() == Some(&b'\n') {
+            got.push(crc32(&chunk[..chunk.len() - 1]));
+        } else {
+            println!(
+                "fsck: {}: torn tail (unterminated final record)",
+                merged.display()
+            );
+            problems += 1;
+        }
+    }
+    let sidecar = dir.join(MERGED_CRC_FILENAME);
+    if !sidecar.exists() {
+        println!(
+            "fsck: {}: no {MERGED_CRC_FILENAME} sidecar; stream not verified \
+             (merged before checksums existed?)",
+            merged.display()
+        );
+        return Ok(problems);
+    }
+    let mut expected = Vec::new();
+    for line in std::fs::read_to_string(&sidecar)?.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let crc = u32::from_str_radix(line.trim(), 16).map_err(|_| {
+            CliError::run(format!(
+                "{}: malformed sidecar line `{line}` (want 8 hex digits)",
+                sidecar.display()
+            ))
+        })?;
+        expected.push(crc);
+    }
+    if expected.len() != got.len() {
+        println!(
+            "fsck: {}: {} record(s) on disk but {} checksum(s) in the sidecar \
+             — records missing or appended",
+            merged.display(),
+            got.len(),
+            expected.len()
+        );
+        problems += 1;
+    }
+    for (line, (want, have)) in expected.iter().zip(&got).enumerate() {
+        if want != have {
+            println!(
+                "fsck: {}: record at line {} fails its checksum \
+                 ({have:08x} != sidecar {want:08x})",
+                merged.display(),
+                line + 1
+            );
+            problems += 1;
+        }
+    }
+    if problems == 0 {
+        println!(
+            "fsck: {}: {} record(s) verified against the sidecar",
+            merged.display(),
+            got.len()
+        );
+    }
+    Ok(problems)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rowpress-driver-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn journal_round_trips_and_discards_the_torn_tail() {
+        let dir = scratch("journal");
+        let mut journal = SupervisorJournal::start(&dir).unwrap();
+        journal.append(&SupervisorEvent::campaign(journal_event::CAMPAIGN_STARTED));
+        journal.append(&SupervisorEvent::shard(journal_event::SHARD_LAUNCHED, 0, 0));
+        journal.append(&SupervisorEvent::shard(journal_event::SHARD_DONE, 0, 0));
+        drop(journal);
+
+        // A parent killed mid-append leaves a partial line; the reader must
+        // return everything before it and stop there.
+        let path = dir.join(SUPERVISOR_JOURNAL_FILENAME);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(br#"{"event":"shard_launch"#);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let events = SupervisorJournal::read(&dir).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0],
+            SupervisorEvent::campaign(journal_event::CAMPAIGN_STARTED)
+        );
+        assert_eq!(
+            events[2],
+            SupervisorEvent::shard(journal_event::SHARD_DONE, 0, 0)
+        );
+
+        // Every committed line carries a verifying checksum.
+        for line in std::fs::read_to_string(&path).unwrap().lines().take(3) {
+            assert_eq!(split_checksum(line).1, LineChecksum::Valid);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_read_rejects_a_flipped_byte_and_everything_after() {
+        let dir = scratch("journal-flip");
+        let mut journal = SupervisorJournal::start(&dir).unwrap();
+        for incarnation in 0..3 {
+            journal.append(&SupervisorEvent::shard(
+                journal_event::SHARD_RESPAWNED,
+                0,
+                incarnation,
+            ));
+        }
+        drop(journal);
+
+        let path = dir.join(SUPERVISOR_JOURNAL_FILENAME);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Corrupt the second line's payload: it and the (intact) third line
+        // must both be discarded — order matters for incarnation math.
+        let second = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        bytes[second + 10] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let events = SupervisorJournal::read(&dir).unwrap();
+        assert_eq!(
+            events,
+            vec![SupervisorEvent::shard(journal_event::SHARD_RESPAWNED, 0, 0)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_reads_as_empty() {
+        let dir = scratch("journal-missing");
+        assert_eq!(SupervisorJournal::read(&dir).unwrap(), Vec::new());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn next_incarnations_launch_one_past_the_journal() {
+        let events = vec![
+            SupervisorEvent::campaign(journal_event::CAMPAIGN_STARTED),
+            SupervisorEvent::shard(journal_event::SHARD_LAUNCHED, 0, 0),
+            SupervisorEvent::shard(journal_event::SHARD_LAUNCHED, 1, 0),
+            SupervisorEvent::shard(journal_event::SHARD_FAULTED, 1, 0),
+            SupervisorEvent::shard(journal_event::SHARD_RESPAWNED, 1, 1),
+            // Connected/done events never burn incarnations.
+            SupervisorEvent::shard(journal_event::SHARD_DONE, 0, 0),
+            // A journal from a wider fleet than the spec now plans is
+            // tolerated: out-of-range shards are ignored.
+            SupervisorEvent::shard(journal_event::SHARD_LAUNCHED, 9, 4),
+        ];
+        assert_eq!(next_incarnations(&events, 2), vec![1, 2]);
+        assert_eq!(next_incarnations(&[], 2), vec![0, 0]);
+    }
 }

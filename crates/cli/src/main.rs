@@ -27,6 +27,17 @@ rowpress-campaign — multi-process RowPress characterization campaigns
 
 USAGE:
     rowpress-campaign run <SPEC> [OPTIONS]   execute a campaign spec
+    rowpress-campaign resume <DIR> [--verify] [--transport <T>]
+                                             continue a killed campaign from
+                                             its supervisor journal and the
+                                             shards' persistent caches; the
+                                             re-merged stream is byte-identical
+                                             to an uninterrupted run
+    rowpress-campaign fsck <DIR>             verify every checksum under a
+                                             campaign directory (cache lines,
+                                             merged stream vs its sidecar);
+                                             non-zero exit on any integrity
+                                             failure
     rowpress-campaign spec <SPEC>            parse a spec, print canonical JSON
     rowpress-campaign plan <SPEC> [--out-dir <DIR>]
                                              print the plan/shard breakdown;
@@ -54,6 +65,11 @@ RUN OPTIONS:
     --max-respawns <N>        override the spec's per-shard respawn budget
     --verify                  re-run single-process and require the merged
                               stream to be byte-identical
+    --salvage                 open shard caches with the salvage policy: a
+                              corrupt cache line is quarantined to a
+                              .quarantine sidecar (byte offset + reason) and
+                              the shard recomputes just that trial, instead
+                              of failing the shard
     --fault <I:KIND=N>        (testing) inject a fault into shard I:
                               exit-after=N kills it after N computed trials,
                               hang-after=N wedges it after N computed trials
@@ -61,8 +77,13 @@ RUN OPTIONS:
 FILES (under --out-dir):
     campaign.json             the resolved spec the shards execute
     shard-NNNN.jsonl          shard N's plan-ordered record stream
-    shard-NNNN.cache.jsonl    shard N's persistent trial cache (resume state)
+    shard-NNNN.cache.jsonl    shard N's persistent trial cache (resume state;
+                              every line carries a #crc32= suffix)
+    *.quarantine              corrupt cache lines set aside by --salvage
+    supervisor.jsonl          the parent's append-only event journal (what
+                              `resume` replays after a parent crash)
     merged.jsonl              the merged stream, byte-identical to one process
+    merged.jsonl.crc          per-record CRC-32 sidecar of merged.jsonl
 
 EXIT CODES:
     0  success        2  usage error      3  invalid spec
@@ -107,6 +128,14 @@ fn dispatch(args: &[String]) -> Result<i32, CliError> {
         Some("run") => {
             let options = driver::RunOptions::parse(operand, rest)?;
             driver::orchestrate(options)
+        }
+        Some("resume") => {
+            let options = driver::ResumeOptions::parse(operand, rest)?;
+            driver::resume(options)
+        }
+        Some("fsck") => {
+            let options = driver::FsckOptions::parse(operand, rest)?;
+            driver::fsck(options)
         }
         Some("compact") => {
             let options = driver::CompactOptions::parse(operand, rest)?;

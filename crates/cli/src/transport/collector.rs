@@ -31,6 +31,7 @@ pub struct ShardCollector {
     duplicates: u64,
     fault: Option<String>,
     complete: bool,
+    degraded: bool,
 }
 
 impl ShardCollector {
@@ -43,6 +44,7 @@ impl ShardCollector {
             duplicates: 0,
             fault: None,
             complete: false,
+            degraded: false,
         }
     }
 
@@ -55,7 +57,11 @@ impl ShardCollector {
         }
         match Frame::parse(line) {
             Some(Frame::Record(payload)) => self.ingest_record(payload),
-            Some(Frame::Done { total, .. }) => {
+            Some(Frame::Beat { degraded: true }) => self.degraded = true,
+            Some(Frame::Done {
+                total, degraded, ..
+            }) => {
+                self.degraded |= degraded;
                 if self.records.len() == self.expected.len() && total as usize == self.records.len()
                 {
                     self.complete = true;
@@ -111,6 +117,13 @@ impl ShardCollector {
     /// Duplicate record frames dropped so far.
     pub fn duplicates(&self) -> u64 {
         self.duplicates
+    }
+
+    /// Whether any beat or done frame carried `degraded=1` — the shard
+    /// stopped persisting its cache but kept computing (sticky for the
+    /// incarnation).
+    pub fn degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Records accepted so far (all of them, in plan order, when
@@ -177,6 +190,25 @@ mod tests {
         assert!(c.is_complete());
         assert_eq!(c.fault(), None);
         assert_eq!(c.into_records(), records);
+    }
+
+    #[test]
+    fn degraded_frames_stick_without_faulting_the_stream() {
+        let records = records();
+        let mut c = collector(&records);
+        assert!(!c.degraded());
+        c.ingest("##rowpress-shard beat computed_live=1 replayed_live=0 degraded=1");
+        assert!(c.degraded(), "a degraded beat must stick");
+        for record in &records {
+            c.ingest(&line(record));
+        }
+        c.ingest(&format!(
+            "##rowpress-shard done total={} computed=0 replayed=0 degraded=1",
+            records.len()
+        ));
+        assert!(c.is_complete(), "degraded is a warning, not a fault");
+        assert_eq!(c.fault(), None);
+        assert!(c.degraded());
     }
 
     #[test]

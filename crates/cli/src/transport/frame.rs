@@ -8,12 +8,17 @@
 //! ##rowpress-shard hello index=0 of=2 incarnation=1     transport connect ack
 //! ##rowpress-shard boot index=0                         pre-start liveness
 //! ##rowpress-shard start index=0 of=2 total=36 preloaded=12
-//! ##rowpress-shard beat computed_live=3 replayed_live=12 busy_us=880 idle_us=120 queue_peak=4
+//! ##rowpress-shard beat computed_live=3 replayed_live=12 busy_us=880 idle_us=120 queue_peak=4 degraded=0
 //! ##rowpress-shard record {"trial":…,"outcome":…}       one TrialRecord (TCP)
 //! ##rowpress-shard progress done=15 total=36 computed=3 replayed=12
 //! ##rowpress-shard fault exit-after=12                  injected test fault
-//! ##rowpress-shard done total=36 computed=24 replayed=12
+//! ##rowpress-shard done total=36 computed=24 replayed=12 degraded=0
 //! ```
+//!
+//! `degraded=1` on a `beat` or `done` frame means the shard disabled cache
+//! persistence after repeated flush failures (ENOSPC and friends) and is
+//! finishing compute-only; an absent `degraded` field reads as 0, so frames
+//! from older shard binaries keep parsing.
 //!
 //! Over the local transport, records travel in `shard-NNNN.jsonl` files and
 //! the `record` frame is unused; over TCP (and the in-memory fault
@@ -50,7 +55,11 @@ pub enum Frame<'a> {
         total: u64,
     },
     /// Worker-liveness heartbeat (counters advanced, nothing drained yet).
-    Beat,
+    Beat {
+        /// The shard gave up on cache persistence and runs compute-only
+        /// (`degraded=1`; absent on older shards, which reads as `false`).
+        degraded: bool,
+    },
     /// One serialized [`TrialRecord`](rowpress_core::engine::TrialRecord);
     /// the payload is the JSON after the frame word.
     Record(&'a str),
@@ -75,6 +84,9 @@ pub enum Frame<'a> {
         computed: u64,
         /// Cache hits of the incarnation.
         replayed: u64,
+        /// The incarnation finished compute-only — its stream is complete
+        /// but outcomes past `computed` were never persisted.
+        degraded: bool,
     },
     /// A protocol-prefixed line this version does not understand (or a
     /// known frame with missing fields — e.g. the tail of a torn line).
@@ -107,7 +119,9 @@ impl<'a> Frame<'a> {
                 (Some(preloaded), Some(total)) => Frame::Start { preloaded, total },
                 _ => Frame::Unknown,
             },
-            "beat" => Frame::Beat,
+            "beat" => Frame::Beat {
+                degraded: field(body, "degraded") == Some(1),
+            },
             "record" => Frame::Record(body["record".len()..].trim_start()),
             "progress" => match (
                 field(body, "done"),
@@ -133,6 +147,7 @@ impl<'a> Frame<'a> {
                     total,
                     computed,
                     replayed,
+                    degraded: field(body, "degraded") == Some(1),
                 },
                 _ => Frame::Unknown,
             },
@@ -177,7 +192,17 @@ mod tests {
             Some(Frame::Done {
                 total: 6,
                 computed: 6,
-                replayed: 0
+                replayed: 0,
+                degraded: false
+            })
+        );
+        assert_eq!(
+            Frame::parse("##rowpress-shard done total=6 computed=2 replayed=0 degraded=1"),
+            Some(Frame::Done {
+                total: 6,
+                computed: 2,
+                replayed: 0,
+                degraded: true
             })
         );
         assert_eq!(
@@ -190,7 +215,11 @@ mod tests {
         );
         assert_eq!(
             Frame::parse("##rowpress-shard beat computed_live=1 replayed_live=0"),
-            Some(Frame::Beat)
+            Some(Frame::Beat { degraded: false })
+        );
+        assert_eq!(
+            Frame::parse("##rowpress-shard beat computed_live=1 replayed_live=0 degraded=1"),
+            Some(Frame::Beat { degraded: true })
         );
     }
 

@@ -86,15 +86,29 @@ impl Transport for LocalProcess {
         // transport-acknowledged connect, not at spawn (see `Liveness`).
         let beat: Arc<Mutex<Option<Instant>>> = Arc::new(Mutex::new(None));
         let done = Arc::new(AtomicBool::new(false));
+        let degraded = Arc::new(AtomicBool::new(false));
         let reader = {
             let beat = Arc::clone(&beat);
             let done = Arc::clone(&done);
+            let degraded = Arc::clone(&degraded);
             std::thread::spawn(move || {
                 for line in BufReader::new(stdout).lines() {
                     let Ok(line) = line else { break };
                     *beat.lock().expect("beat lock") = Some(Instant::now());
-                    if matches!(Frame::parse(&line), Some(Frame::Done { .. })) {
-                        done.store(true, Ordering::Relaxed);
+                    match Frame::parse(&line) {
+                        Some(Frame::Done {
+                            degraded: was_degraded,
+                            ..
+                        }) => {
+                            done.store(true, Ordering::Relaxed);
+                            if was_degraded {
+                                degraded.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        Some(Frame::Beat { degraded: true }) => {
+                            degraded.store(true, Ordering::Relaxed);
+                        }
+                        _ => {}
                     }
                     // Relay with a stable prefix: the parent's stdout is the
                     // campaign log (and what the recovery tests parse).
@@ -109,6 +123,7 @@ impl Transport for LocalProcess {
             launched: Instant::now(),
             beat,
             done,
+            degraded,
             reader: Some(reader),
         }))
     }
@@ -127,6 +142,8 @@ struct LocalHandle {
     /// `None` until the reader thread sees the child's first stdout line.
     beat: Arc<Mutex<Option<Instant>>>,
     done: Arc<AtomicBool>,
+    /// Sticky: set when any beat/done frame carried `degraded=1`.
+    degraded: Arc<AtomicBool>,
     reader: Option<JoinHandle<()>>,
 }
 
@@ -159,6 +176,10 @@ impl ShardHandle for LocalHandle {
 
     fn done(&self) -> bool {
         self.done.load(Ordering::Relaxed)
+    }
+
+    fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     fn kill(&mut self) {

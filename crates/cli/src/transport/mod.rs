@@ -92,6 +92,14 @@ pub trait ShardHandle {
     /// a complete record stream for this shard.
     fn done(&self) -> bool;
 
+    /// Whether this incarnation reported itself degraded (`degraded=1` on a
+    /// beat or done frame): it computes, but stopped persisting its cache
+    /// after repeated flush failures. Transports that predate the field
+    /// report `false`.
+    fn degraded(&self) -> bool {
+        false
+    }
+
     /// Kills the shard and releases its transport resources. Idempotent.
     fn kill(&mut self);
 }

@@ -281,6 +281,15 @@ impl ShardHandle for TcpHandle {
         self.slot.done.load(Ordering::Relaxed)
     }
 
+    fn degraded(&self) -> bool {
+        // The collector tracks `degraded=1` beat/done frames (sticky).
+        self.slot
+            .collector
+            .lock()
+            .expect("collector lock")
+            .degraded()
+    }
+
     fn kill(&mut self) {
         self.slot.dead.store(true, Ordering::Relaxed);
         let _ = self.child.kill();

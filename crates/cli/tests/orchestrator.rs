@@ -701,3 +701,204 @@ fn connect_window_overrun_is_killed_and_respawned() {
         "merged stream must be byte-identical"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Crash-anywhere recovery: a killed parent, corrupted caches, fsck.
+// ---------------------------------------------------------------------------
+
+/// Kills a whole process group — the parent *and* its shard children, the
+/// worst-case "machine reset" crash a campaign directory must survive.
+#[cfg(unix)]
+fn kill_group(pid: u32) {
+    let status = Command::new("kill")
+        .args(["-9", &format!("-{pid}")])
+        .status()
+        .expect("spawn kill");
+    assert!(status.success(), "kill -9 -{pid} failed");
+}
+
+#[cfg(unix)]
+#[test]
+fn parent_killed_mid_campaign_resumes_byte_identically() {
+    use std::os::unix::process::CommandExt;
+    let dir = temp_dir("parent-crash");
+    let spec = example_spec();
+    // Own process group, so the kill takes out parent and shards together.
+    let mut child = Command::new(BIN)
+        .args([
+            "run",
+            spec.to_str().unwrap(),
+            "--out-dir",
+            dir.to_str().unwrap(),
+            "--shards",
+            "2",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .process_group(0)
+        .spawn()
+        .expect("spawn campaign parent");
+
+    // Let the campaign get real work on disk (journal + a non-empty shard
+    // cache), then pull the plug mid-run.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let cache_bytes = std::fs::metadata(dir.join("shard-0000.cache.jsonl"))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        if dir.join("supervisor.jsonl").exists() && cache_bytes > 0 {
+            break;
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            break; // finished before we could kill it: resume still must work
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "campaign produced no on-disk state to crash against"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    kill_group(child.id());
+    let _ = child.wait();
+
+    // The dead parent's directory is everything `resume` gets.
+    let output = run(&["resume", dir.to_str().unwrap(), "--verify"]);
+    let log = stdout_of(&output);
+    assert!(
+        output.status.success(),
+        "resume failed: {log}\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(log.contains("resuming"), "{log}");
+    let merged = std::fs::read(dir.join("merged.jsonl")).unwrap();
+    assert_eq!(merged.len(), QUICK_ACMIN_BYTES, "stream length drifted");
+    assert_eq!(
+        checksum(&merged),
+        QUICK_ACMIN_CHECKSUM,
+        "the resumed merged stream diverged from the uninterrupted golden bytes"
+    );
+    // The journal records the full story: crash, resume, committed merge.
+    let journal = std::fs::read_to_string(dir.join("supervisor.jsonl")).unwrap();
+    assert!(journal.contains("\"resumed\""), "{journal}");
+    assert!(journal.contains("\"merge_committed\""), "{journal}");
+    // And the directory passes fsck afterwards.
+    let fsck = run(&["fsck", dir.to_str().unwrap()]);
+    assert!(fsck.status.success(), "{}", stdout_of(&fsck));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flipped_cache_byte_strict_fails_salvage_recovers() {
+    let dir = temp_dir("salvage");
+    let spec = write_small_spec(&dir);
+    let base = |extra: &[&str]| {
+        let mut args = vec![
+            "run",
+            spec.to_str().unwrap(),
+            "--out-dir",
+            dir.to_str().unwrap(),
+            "--verify",
+        ];
+        args.extend_from_slice(extra);
+        run(&args)
+    };
+    let output = base(&[]);
+    assert!(output.status.success(), "{}", stdout_of(&output));
+    let baseline = std::fs::read(dir.join("merged.jsonl")).unwrap();
+
+    // Flip one byte inside the second line of shard 0's cache — an interior
+    // record, not the repairable torn tail.
+    let cache = dir.join("shard-0000.cache.jsonl");
+    let mut bytes = std::fs::read(&cache).unwrap();
+    let second = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+    bytes[second + 10] ^= 0x01;
+    std::fs::write(&cache, &bytes).unwrap();
+
+    // Strict (default) policy: the shard refuses the cache, and with no
+    // respawn budget the campaign aborts rather than silently recompute.
+    let strict = base(&["--max-respawns", "0"]);
+    assert_eq!(
+        strict.status.code(),
+        Some(4),
+        "a corrupt cache under the strict policy must abort: {}",
+        stdout_of(&strict)
+    );
+
+    // Salvage policy: the corrupt line is quarantined, its one trial
+    // recomputed, and the stream is byte-identical to the clean run.
+    let salvaged = base(&["--salvage"]);
+    assert!(
+        salvaged.status.success(),
+        "salvage run failed: {}\n{}",
+        stdout_of(&salvaged),
+        String::from_utf8_lossy(&salvaged.stderr)
+    );
+    assert_eq!(
+        std::fs::read(dir.join("merged.jsonl")).unwrap(),
+        baseline,
+        "salvaged merged stream must be byte-identical to the clean run"
+    );
+    let quarantine = dir.join("shard-0000.cache.jsonl.quarantine");
+    assert!(
+        quarantine.exists(),
+        "salvage must leave a quarantine sidecar"
+    );
+    let entries = std::fs::read_to_string(&quarantine).unwrap();
+    assert_eq!(
+        entries.lines().count(),
+        1,
+        "exactly one line was corrupted: {entries}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fsck_verdicts_track_planted_corruption() {
+    let dir = temp_dir("fsck");
+    let spec = write_small_spec(&dir);
+    let output = run(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--verify",
+    ]);
+    assert!(output.status.success(), "{}", stdout_of(&output));
+
+    // Clean directory: exit 0 and an explicit verdict.
+    let clean = run(&["fsck", dir.to_str().unwrap()]);
+    let text = stdout_of(&clean);
+    assert!(clean.status.success(), "{text}");
+    assert!(text.contains("all integrity checks passed"), "{text}");
+    assert!(text.contains("verified against the sidecar"), "{text}");
+
+    // A flipped interior cache byte fails fsck and names the offset.
+    let cache = dir.join("shard-0001.cache.jsonl");
+    let pristine = std::fs::read(&cache).unwrap();
+    let mut bytes = pristine.clone();
+    let second = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+    bytes[second + 10] ^= 0x01;
+    std::fs::write(&cache, &bytes).unwrap();
+    let corrupt = run(&["fsck", dir.to_str().unwrap()]);
+    let text = stdout_of(&corrupt);
+    assert_eq!(corrupt.status.code(), Some(4), "{text}");
+    assert!(text.contains("corrupt record at byte"), "{text}");
+    std::fs::write(&cache, &pristine).unwrap();
+
+    // A flipped merged-stream byte is caught against the CRC sidecar.
+    let merged = dir.join("merged.jsonl");
+    let mut bytes = std::fs::read(&merged).unwrap();
+    bytes[40] ^= 0x01;
+    std::fs::write(&merged, &bytes).unwrap();
+    let corrupt = run(&["fsck", dir.to_str().unwrap()]);
+    let text = stdout_of(&corrupt);
+    assert_eq!(corrupt.status.code(), Some(4), "{text}");
+    assert!(text.contains("fails its checksum"), "{text}");
+
+    // An empty directory is an error, not a silent pass.
+    let empty = temp_dir("fsck-empty");
+    let nothing = run(&["fsck", empty.to_str().unwrap()]);
+    assert_eq!(nothing.status.code(), Some(4));
+    std::fs::remove_dir_all(&empty).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

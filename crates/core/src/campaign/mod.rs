@@ -21,8 +21,8 @@ pub mod shard;
 pub mod spec;
 
 pub use shard::{
-    run_shard, run_shard_with, shard_cache_path, shard_output_path, CampaignError, ShardEvent,
-    ShardRun, MERGED_FILENAME,
+    run_shard, run_shard_on, run_shard_with, shard_cache_path, shard_output_path, CampaignError,
+    ShardEvent, ShardRun, DEGRADE_AFTER, MERGED_CRC_FILENAME, MERGED_FILENAME,
 };
 pub use spec::{CampaignSpec, ConfigPreset, Orchestration, SpecError};
 

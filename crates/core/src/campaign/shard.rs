@@ -56,12 +56,14 @@
 
 use super::spec::{CampaignSpec, SpecError};
 use crate::engine::{
-    CostModel, Engine, EngineError, JsonlSink, PersistentCache, Sink, TrialCache, TrialRecord,
+    CostModel, Engine, EngineError, JsonlSink, OpenPolicy, PersistentCache, PoolMetrics, Sink,
+    TrialCache, TrialRecord,
 };
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The file a shard streams its records to: `shard-NNNN.jsonl` under the
 /// campaign's output directory.
@@ -78,6 +80,19 @@ pub fn shard_cache_path(dir: &Path, index: usize) -> PathBuf {
 /// The merged, plan-ordered record stream the orchestrator writes after all
 /// shards finish: byte-identical to a single-process run of the campaign.
 pub const MERGED_FILENAME: &str = "merged.jsonl";
+
+/// The integrity sidecar of [`MERGED_FILENAME`]: one CRC-32 (8 hex digits)
+/// per merged record line, in stream order. The merged stream itself is a
+/// golden, byte-pinned artifact, so its checksums ride alongside instead of
+/// inline — `rowpress-campaign fsck` verifies the pair.
+pub const MERGED_CRC_FILENAME: &str = "merged.jsonl.crc";
+
+/// Consecutive per-record cache-flush failures a shard tolerates before it
+/// stops persisting and degrades to compute-only. Three in a row is a disk
+/// that is *staying* broken (ENOSPC, EIO), not a transient hiccup — and the
+/// failed entries stay journaled in memory, so a later incarnation with a
+/// healthy disk recomputes only what was never persisted.
+pub const DEGRADE_AFTER: u32 = 3;
 
 /// A progress report from a running shard, emitted through [`run_shard`]'s
 /// callback. The CLI child prints one protocol line per event; the parent's
@@ -112,6 +127,10 @@ pub enum ShardEvent {
         idle_us: u64,
         /// High-water mark of outcomes queued behind the plan-ordered drain.
         queue_peak: u64,
+        /// True once the shard gave up on persistence after
+        /// [`DEGRADE_AFTER`] consecutive flush failures and is running
+        /// compute-only. Sticky for the rest of the incarnation.
+        degraded: bool,
     },
     /// One record reached the shard's output stream (and the cache file was
     /// flushed past it).
@@ -137,6 +156,11 @@ pub enum ShardEvent {
         computed: u64,
         /// Total cache hits of the incarnation.
         replayed: u64,
+        /// The incarnation finished compute-only (see [`ShardEvent::Beat`]'s
+        /// `degraded`): its record stream is complete, but outcomes past
+        /// `computed` were never persisted and will be recomputed by the
+        /// next incarnation.
+        degraded: bool,
     },
 }
 
@@ -151,6 +175,9 @@ pub struct ShardRun {
     pub computed: u64,
     /// Trials replayed from the cache (cache hits).
     pub replayed: u64,
+    /// The incarnation disabled persistence after [`DEGRADE_AFTER`]
+    /// consecutive flush failures and finished compute-only.
+    pub degraded: bool,
 }
 
 /// A campaign step failed: the spec did not resolve, a file could not be
@@ -212,11 +239,18 @@ struct ProgressSink<'a, S: Sink, F: FnMut(ShardEvent)> {
     inner: S,
     persistent: &'a mut PersistentCache,
     counters: TrialCache,
+    metrics: PoolMetrics,
     done: usize,
     total: usize,
     /// Fresh outcomes persisted across this incarnation's flushes — the
     /// number reported as `computed` (see [`ShardEvent::Progress`]).
     flushed: u64,
+    /// Consecutive flush failures; resets on any successful flush. At
+    /// [`DEGRADE_AFTER`] the sink trips `degraded` and stops persisting.
+    flush_failures: u32,
+    /// Sticky degraded flag, shared with the beat thread so heartbeats
+    /// carry it to the orchestrator.
+    degraded: &'a AtomicBool,
     /// Shared with the beat thread, which only ever takes it between
     /// events; a callback that blocks (a wedged consumer) therefore also
     /// silences the beats, keeping stall detection honest.
@@ -226,7 +260,35 @@ struct ProgressSink<'a, S: Sink, F: FnMut(ShardEvent)> {
 impl<S: Sink, F: FnMut(ShardEvent)> Sink for ProgressSink<'_, S, F> {
     fn accept(&mut self, record: TrialRecord) -> io::Result<()> {
         self.inner.accept(record)?;
-        self.flushed += self.persistent.flush()? as u64;
+        // A failing cache flush must not kill the shard: the record stream
+        // (this sink's `inner`) is still advancing, and the unwritten
+        // outcomes stay journaled for a retry on the next record. Only
+        // after DEGRADE_AFTER *consecutive* failures — a disk that is
+        // staying broken — does the shard stop trying and go compute-only,
+        // announcing the transition synchronously so the orchestrator
+        // learns of it even on a sub-second shard.
+        if !self.degraded.load(Ordering::Relaxed) {
+            match self.persistent.flush() {
+                Ok(written) => {
+                    self.flushed += written as u64;
+                    self.flush_failures = 0;
+                }
+                Err(_) => {
+                    self.flush_failures += 1;
+                    if self.flush_failures >= DEGRADE_AFTER {
+                        self.degraded.store(true, Ordering::Relaxed);
+                        (self.on_event.lock().expect("event lock"))(ShardEvent::Beat {
+                            computed_live: self.counters.misses(),
+                            replayed_live: self.counters.hits(),
+                            busy_us: self.metrics.busy_us(),
+                            idle_us: self.metrics.idle_us(),
+                            queue_peak: self.metrics.queue_peak(),
+                            degraded: true,
+                        });
+                    }
+                }
+            }
+        }
         self.done += 1;
         (self.on_event.lock().expect("event lock"))(ShardEvent::Progress {
             done: self.done,
@@ -291,13 +353,40 @@ pub fn run_shard_with(
     of: usize,
     cache_path: &Path,
     record_sink: impl Sink,
+    on_event: impl FnMut(ShardEvent) + Send,
+) -> Result<ShardRun, CampaignError> {
+    // `[cache] salvage = true` in the spec trades strictness for survival:
+    // a corrupt cache line costs one record (quarantined to the sidecar),
+    // not the shard's entire measured history.
+    let policy = if spec.cache_salvage {
+        OpenPolicy::Salvage
+    } else {
+        OpenPolicy::Strict
+    };
+    let persistent = PersistentCache::open_with_policy(cache_path, &spec.config(), policy)?;
+    run_shard_on(spec, index, of, persistent, record_sink, on_event)
+}
+
+/// [`run_shard_with`] on an already-opened [`PersistentCache`] — the
+/// injection seam for fault-harness tests ([`crate::engine::FsFaults`])
+/// and callers that open the cache under a custom policy or worker count.
+///
+/// # Errors
+///
+/// Returns a [`CampaignError`] when the spec does not resolve to a plan,
+/// the record sink fails, or a trial fails in the engine. A *cache* flush
+/// failure is not fatal: after [`DEGRADE_AFTER`] consecutive failures the
+/// shard degrades to compute-only and still completes its stream.
+pub fn run_shard_on(
+    spec: &CampaignSpec,
+    index: usize,
+    of: usize,
+    mut persistent: PersistentCache,
+    record_sink: impl Sink,
     mut on_event: impl FnMut(ShardEvent) + Send,
 ) -> Result<ShardRun, CampaignError> {
-    use std::sync::atomic::{AtomicBool, Ordering};
-
     let cfg = spec.config();
     let shard = spec.plan()?.shard(index, of);
-    let mut persistent = PersistentCache::open(cache_path, &cfg)?;
     let preloaded = persistent.preloaded();
     // Learn per-measurement cost corrections from the wall times a previous
     // incarnation recorded: a respawned shard dispatches its remaining
@@ -316,6 +405,7 @@ pub fn run_shard_with(
         preloaded,
         total: shard.len(),
     });
+    let degraded_flag = AtomicBool::new(false);
     let flushed = {
         let events = std::sync::Mutex::new(&mut on_event);
         let stop = AtomicBool::new(false);
@@ -323,9 +413,12 @@ pub fn run_shard_with(
             inner: record_sink,
             persistent: &mut persistent,
             counters: counters.clone(),
+            metrics: metrics.clone(),
             done: 0,
             total: shard.len(),
             flushed: 0,
+            flush_failures: 0,
+            degraded: &degraded_flag,
             on_event: &events,
         };
         std::thread::scope(|scope| {
@@ -353,6 +446,7 @@ pub fn run_shard_with(
                             busy_us: metrics.busy_us(),
                             idle_us: metrics.idle_us(),
                             queue_peak: metrics.queue_peak(),
+                            degraded: degraded_flag.load(Ordering::Relaxed),
                         });
                     }
                 }
@@ -363,26 +457,37 @@ pub fn run_shard_with(
         })?;
         sink.flushed
     };
+    let degraded = degraded_flag.load(Ordering::Relaxed);
     // Every worker has stopped by now, so this final flush drains any
     // outcome computed ahead of the last drained record; `computed` is
-    // thereafter an exact on-disk count.
-    let computed = flushed + persistent.flush()? as u64;
+    // thereafter an exact on-disk count. A degraded shard skips it (and
+    // the compaction): its disk is the thing that is broken, and the
+    // journaled outcomes belong to the next, healthy incarnation.
+    let computed = if degraded {
+        flushed
+    } else {
+        flushed + persistent.flush()? as u64
+    };
     // A finishing shard is the safe moment to compact: no flush is racing
     // the rewrite, and the next incarnation preloads the slimmed file.
-    if let Some(budget) = spec.cache_max_bytes {
-        persistent.compact(Some(budget))?;
+    if !degraded {
+        if let Some(budget) = spec.cache_max_bytes {
+            persistent.compact(Some(budget))?;
+        }
     }
     let replayed = counters.hits();
     on_event(ShardEvent::Finished {
         total: shard.len(),
         computed,
         replayed,
+        degraded,
     });
     Ok(ShardRun {
         records: shard.len(),
         preloaded,
         computed,
         replayed,
+        degraded,
     })
 }
 
@@ -567,6 +672,110 @@ mod tests {
         assert_eq!(std::fs::read(&out).unwrap(), std::fs::read(&out2).unwrap());
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn enospc_mid_run_degrades_to_compute_only_with_a_complete_stream() {
+        use crate::engine::FsFaults;
+        // Size the fault off an unfaulted run: inject ENOSPC once half the
+        // full cache file has been appended.
+        let spec = spec();
+        let scratch = temp_dir("degrade-scratch");
+        run_shard(
+            &spec,
+            0,
+            1,
+            &shard_cache_path(&scratch, 0),
+            &shard_output_path(&scratch, 0),
+            |_| {},
+        )
+        .unwrap();
+        let full = std::fs::metadata(shard_cache_path(&scratch, 0))
+            .unwrap()
+            .len();
+
+        let dir = temp_dir("degrade");
+        let cache = shard_cache_path(&dir, 0);
+        let out = shard_output_path(&dir, 0);
+        let mut persistent = PersistentCache::open(&cache, &spec.config()).unwrap();
+        persistent.set_write_fault(FsFaults::new().enospc_at(full / 2));
+        let mut events = Vec::new();
+        let run = run_shard_on(
+            &spec,
+            0,
+            1,
+            persistent,
+            JsonlSink::new(BufWriter::new(File::create(&out).unwrap())),
+            |e| events.push(e),
+        )
+        .unwrap();
+        assert!(run.degraded, "the shard must trip the degraded flag");
+        assert!(run.computed > 0, "records before the fault persisted");
+        assert!(
+            run.computed < run.records as u64,
+            "records after the fault must not claim persistence"
+        );
+        // The transition is announced synchronously on a beat, and the
+        // final event carries the flag too.
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, ShardEvent::Beat { degraded: true, .. })),
+            "degradation must surface on a heartbeat"
+        );
+        assert!(matches!(
+            events.last(),
+            Some(ShardEvent::Finished { degraded: true, .. })
+        ));
+        // Compute-only still means *complete*: the record stream is
+        // byte-identical to a healthy single-process run.
+        assert_eq!(std::fs::read(&out).unwrap(), single_process_bytes(&spec));
+
+        // Space returns: a plain incarnation preloads exactly what was
+        // persisted and recomputes only the unpersisted suffix.
+        let resumed = run_shard(&spec, 0, 1, &cache, &out, |_| {}).unwrap();
+        assert!(!resumed.degraded);
+        assert_eq!(resumed.preloaded as u64, run.computed);
+        assert_eq!(resumed.computed, run.records as u64 - run.computed);
+        assert_eq!(std::fs::read(&out).unwrap(), single_process_bytes(&spec));
+        std::fs::remove_dir_all(&scratch).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spec_salvage_policy_lets_a_shard_survive_a_corrupt_cache_line() {
+        use crate::engine::quarantine_path;
+        let spec = spec();
+        let dir = temp_dir("salvage");
+        let cache = shard_cache_path(&dir, 0);
+        let out = shard_output_path(&dir, 0);
+        let first = run_shard(&spec, 0, 1, &cache, &out, |_| {}).unwrap();
+        let baseline = std::fs::read(&out).unwrap();
+
+        // Flip one byte in the middle of the second record line.
+        let mut bytes = std::fs::read(&cache).unwrap();
+        let second_line = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|header_end| header_end + 1)
+            .unwrap();
+        bytes[second_line + 10] ^= 0x01;
+        std::fs::write(&cache, &bytes).unwrap();
+
+        // Default (strict) spec: the shard refuses to start.
+        let err = run_shard(&spec, 0, 1, &cache, &out, |_| {}).unwrap_err();
+        assert!(matches!(err, CampaignError::Io(_)), "{err}");
+
+        // `[cache] salvage = true`: one record quarantined, one recomputed,
+        // stream identical.
+        let mut salvaging = spec.clone();
+        salvaging.cache_salvage = true;
+        let run = run_shard(&salvaging, 0, 1, &cache, &out, |_| {}).unwrap();
+        assert_eq!(run.preloaded, first.records - 1);
+        assert_eq!(run.computed, 1, "exactly the quarantined trial recomputes");
+        assert!(quarantine_path(&cache).exists());
+        assert_eq!(std::fs::read(&out).unwrap(), baseline);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

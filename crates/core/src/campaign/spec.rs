@@ -173,6 +173,11 @@ pub struct CampaignSpec {
     /// finishing shard [compacts](crate::engine::PersistentCache::compact)
     /// its cache and evicts the oldest records past the budget.
     pub cache_max_bytes: Option<u64>,
+    /// When set, shards open their persistent caches with the
+    /// [salvage](crate::engine::OpenPolicy::Salvage) policy: corrupt
+    /// interior lines are quarantined to a `.quarantine` sidecar and the
+    /// run continues, instead of refusing to start.
+    pub cache_salvage: bool,
 }
 
 impl CampaignSpec {
@@ -367,15 +372,20 @@ impl CampaignSpec {
             None => Orchestration::default(),
         };
 
-        let cache_max_bytes = match find(root, "cache") {
+        let (cache_max_bytes, cache_salvage) = match find(root, "cache") {
             Some(v) => {
                 let table = as_map(v, "cache")?;
-                known_keys(table, &["max_bytes"], "cache")?;
-                find(table, "max_bytes")
+                known_keys(table, &["max_bytes", "salvage"], "cache")?;
+                let max_bytes = find(table, "max_bytes")
                     .map(|v| as_u64(v, "cache.max_bytes"))
-                    .transpose()?
+                    .transpose()?;
+                let salvage = match find(table, "salvage") {
+                    Some(s) => as_bool(s, "cache.salvage")?,
+                    None => false,
+                };
+                (max_bytes, salvage)
             }
-            None => None,
+            None => (None, false),
         };
 
         let spec = CampaignSpec {
@@ -390,6 +400,7 @@ impl CampaignSpec {
             measurements,
             orchestration,
             cache_max_bytes,
+            cache_salvage,
         };
         spec.validate()?;
         Ok(spec)
@@ -550,11 +561,15 @@ impl CampaignSpec {
         ];
         // Emitted only when set, so specs without a budget keep their
         // pre-existing canonical form.
-        if let Some(budget) = self.cache_max_bytes {
-            root.push((
-                "cache".to_string(),
-                Value::Map(vec![("max_bytes".to_string(), Value::U64(budget))]),
-            ));
+        if self.cache_max_bytes.is_some() || self.cache_salvage {
+            let mut cache = Vec::new();
+            if let Some(budget) = self.cache_max_bytes {
+                cache.push(("max_bytes".to_string(), Value::U64(budget)));
+            }
+            if self.cache_salvage {
+                cache.push(("salvage".to_string(), Value::Bool(true)));
+            }
+            root.push(("cache".to_string(), Value::Map(cache)));
         }
         serde_json::to_string(&Value::Map(root))
             .expect("canonical spec serialization is infallible")
@@ -794,6 +809,16 @@ fn as_u64(value: &Value, ctx: &str) -> Result<u64, SpecError> {
 fn as_u32(value: &Value, ctx: &str) -> Result<u32, SpecError> {
     let raw = as_u64(value, ctx)?;
     u32::try_from(raw).map_err(|_| SpecError::new(format!("{ctx} is out of range")))
+}
+
+fn as_bool(value: &Value, ctx: &str) -> Result<bool, SpecError> {
+    match value {
+        Value::Bool(b) => Ok(*b),
+        other => Err(SpecError::new(format!(
+            "{ctx} must be a boolean, found {}",
+            other.kind()
+        ))),
+    }
 }
 
 /// The TOML subset front end: tables, dotted table headers, array-of-tables
@@ -1115,6 +1140,33 @@ mod tests {
         let unknown = format!("{QUICK_ACMIN}\n[cache]\nmax_lines = 7\n");
         let err = CampaignSpec::parse(&unknown).unwrap_err();
         assert!(err.to_string().contains("max_lines"), "{err}");
+    }
+
+    #[test]
+    fn cache_salvage_parses_defaults_off_and_round_trips() {
+        let base = CampaignSpec::parse(QUICK_ACMIN).unwrap();
+        assert!(!base.cache_salvage, "salvage is opt-in");
+
+        let salvaging = format!("{QUICK_ACMIN}\n[cache]\nsalvage = true\n");
+        let spec = CampaignSpec::parse(&salvaging).unwrap();
+        assert!(spec.cache_salvage);
+        assert_eq!(spec.cache_max_bytes, None);
+        let canonical = spec.canonical_json();
+        assert!(canonical.contains("\"salvage\":true"));
+        let reparsed = CampaignSpec::parse(&canonical).unwrap();
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.canonical_json(), canonical);
+
+        // `salvage = false` parses but stays out of the canonical form,
+        // matching the no-[cache] fixed point.
+        let explicit_off = format!("{QUICK_ACMIN}\n[cache]\nsalvage = false\n");
+        let spec = CampaignSpec::parse(&explicit_off).unwrap();
+        assert!(!spec.cache_salvage);
+        assert!(!spec.canonical_json().contains("cache"));
+
+        let bad = format!("{QUICK_ACMIN}\n[cache]\nsalvage = 1\n");
+        let err = CampaignSpec::parse(&bad).unwrap_err();
+        assert!(err.to_string().contains("salvage"), "{err}");
     }
 
     #[test]

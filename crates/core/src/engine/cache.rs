@@ -9,6 +9,17 @@
 //! [`PersistentCache::flush`] (also invoked on drop) — so a repeated bench
 //! run in a *new* process replays entirely from disk.
 //!
+//! Every line the cache writes carries a CRC-32 suffix (see
+//! [`super::integrity`]), and [`OpenPolicy`] chooses what a corrupt interior
+//! line costs: [`OpenPolicy::Strict`] forfeits the open (the historical
+//! behavior, now an explicit [`io::ErrorKind::InvalidData`]), while
+//! [`OpenPolicy::Salvage`] quarantines the corrupt lines to a sidecar file
+//! and keeps every valid record — on a multi-day campaign, one flipped bit
+//! must not cost a shard its entire measured history. [`FsFaults`] injects
+//! deterministic write-path faults (ENOSPC at byte K, flip byte K) to prove
+//! those paths, and [`PersistentCache::audit`] is the config-free integrity
+//! scan behind `rowpress-campaign fsck`.
+//!
 //! # Example: cross-process replay through a cache file
 //!
 //! ```
@@ -38,6 +49,7 @@
 //! # Ok::<(), rowpress_dram::DramError>(())
 //! ```
 
+use super::integrity::{append_checksum, split_checksum, LineChecksum};
 use super::plan::{Trial, TrialOutcome, TrialRecord};
 use crate::config::ExperimentConfig;
 use fxhash::{FxHashMap, FxHashSet};
@@ -321,6 +333,163 @@ pub struct PersistentCache {
     /// Preloaded (trial, wall-time) pairs — the sample set
     /// [`CostModel::fit`](super::CostModel::fit) learns from.
     timed: Vec<(Trial, u64)>,
+    /// Corrupt interior lines moved to the quarantine sidecar at open
+    /// (always 0 under [`OpenPolicy::Strict`]).
+    quarantined: usize,
+    /// Test-only write-path fault injection (see [`FsFaults`]).
+    write_fault: Option<FsFaults>,
+}
+
+/// What [`PersistentCache::open_with_policy`] does about a corrupt interior
+/// line (one that is not the repairable torn tail of a killed append).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpenPolicy {
+    /// Refuse the file: corrupt interior data is
+    /// [`io::ErrorKind::InvalidData`]. The right default for interactive
+    /// runs — corruption should be seen, not silently trimmed.
+    #[default]
+    Strict,
+    /// Move each corrupt line (with its byte offset and a reason) to the
+    /// `<cache>.quarantine` sidecar, atomically rewrite the cache without
+    /// them, and preload every valid record. The right policy for resuming
+    /// a long campaign: one flipped bit costs one record, not the file.
+    Salvage,
+}
+
+/// The path of the quarantine sidecar that [`OpenPolicy::Salvage`] appends
+/// corrupt lines to: the cache file name plus a `.quarantine` suffix.
+pub fn quarantine_path(cache: &Path) -> PathBuf {
+    let mut name = cache.file_name().unwrap_or_default().to_os_string();
+    name.push(".quarantine");
+    cache.with_file_name(name)
+}
+
+/// One corrupt line preserved in the quarantine sidecar: where it sat, why
+/// it was rejected, and its (lossily decoded) text for post-mortems.
+#[derive(Debug, Serialize, Deserialize)]
+struct QuarantineEntry {
+    offset: u64,
+    length: usize,
+    reason: String,
+    line: String,
+}
+
+/// Deterministic filesystem fault injection for the [`PersistentCache`]
+/// append path — the disk-side mirror of the transport layer's
+/// `FaultInjector`: instead of corrupting the wire, corrupt the write. Both
+/// faults are positional over the *cumulative* byte stream appended through
+/// the harness, so a scenario replays identically on every run:
+///
+/// * **ENOSPC at byte K** — an append that would push the cumulative stream
+///   past K fails whole with [`io::ErrorKind::StorageFull`] (the
+///   all-or-nothing shape a rolled-back batch write has anyway), until
+///   [`FsFaults::clear_enospc`] simulates space coming back.
+/// * **flip at byte K** — the byte at cumulative position K has its low bit
+///   XOR-flipped on the way to disk: the write "succeeds" but the medium
+///   lied, which is exactly what the checksum layer exists to catch.
+///
+/// Clones share state, so a test can keep a handle while the cache owns
+/// another.
+#[derive(Debug, Clone, Default)]
+pub struct FsFaults {
+    inner: Arc<FaultState>,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    /// Byte capacity; `u64::MAX` = unlimited.
+    enospc_at: AtomicU64,
+    /// Cumulative position to corrupt; `u64::MAX` = none.
+    flip_at: AtomicU64,
+    /// Cumulative bytes successfully appended through the harness.
+    written: AtomicU64,
+}
+
+impl Default for FaultState {
+    fn default() -> Self {
+        FaultState {
+            enospc_at: AtomicU64::new(u64::MAX),
+            flip_at: AtomicU64::new(u64::MAX),
+            written: AtomicU64::new(0),
+        }
+    }
+}
+
+impl FsFaults {
+    /// A harness with no faults armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms the ENOSPC fault: appends fail once the cumulative stream would
+    /// exceed `bytes`.
+    #[must_use]
+    pub fn enospc_at(self, bytes: u64) -> Self {
+        self.inner.enospc_at.store(bytes, Ordering::SeqCst);
+        self
+    }
+
+    /// Arms the corruption fault: the byte at cumulative position `byte` is
+    /// XOR-flipped on its way to disk.
+    #[must_use]
+    pub fn flip_at(self, byte: u64) -> Self {
+        self.inner.flip_at.store(byte, Ordering::SeqCst);
+        self
+    }
+
+    /// Space came back: lifts the ENOSPC ceiling so later appends succeed.
+    pub fn clear_enospc(&self) {
+        self.inner.enospc_at.store(u64::MAX, Ordering::SeqCst);
+    }
+
+    /// Cumulative bytes successfully appended through the harness.
+    pub fn written(&self) -> u64 {
+        self.inner.written.load(Ordering::SeqCst)
+    }
+
+    /// Applies the armed faults to one batch about to be appended.
+    fn inject(&self, batch: &mut [u8]) -> io::Result<()> {
+        let start = self.inner.written.load(Ordering::SeqCst);
+        let end = start + batch.len() as u64;
+        if end > self.inner.enospc_at.load(Ordering::SeqCst) {
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                format!("injected ENOSPC: append would reach byte {end}"),
+            ));
+        }
+        let flip = self.inner.flip_at.load(Ordering::SeqCst);
+        if (start..end).contains(&flip) {
+            batch[(flip - start) as usize] ^= 0x01;
+        }
+        self.inner.written.store(end, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+/// What [`PersistentCache::audit`] found in one cache file — the per-file
+/// verdict `rowpress-campaign fsck` aggregates. The scan is config-free: it
+/// checks structure and checksums, not which configuration wrote the file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheAudit {
+    /// Parseable record lines (the header is not counted).
+    pub records: usize,
+    /// Lines (header included) whose checksum suffix verified.
+    pub checksummed: usize,
+    /// Parseable lines without a checksum suffix (pre-checksum legacy).
+    pub legacy: usize,
+    /// Corrupt lines: byte offset and rejection reason.
+    pub corrupt: Vec<(u64, String)>,
+    /// The file ends in an unterminated line — the torn tail of a killed
+    /// append. Repairable by the next open + flush, so not counted corrupt.
+    pub torn_tail: bool,
+}
+
+impl CacheAudit {
+    /// True when the file holds no corruption (a torn tail is repairable,
+    /// not corruption).
+    pub fn clean(&self) -> bool {
+        self.corrupt.is_empty()
+    }
 }
 
 /// What [`PersistentCache::compact`] did to the backing file.
@@ -356,6 +525,17 @@ impl PersistentCache {
         Self::open_with_workers(path, cfg, crate::campaign::worker_count())
     }
 
+    /// [`PersistentCache::open`] with an explicit corruption policy (see
+    /// [`OpenPolicy`]): `Salvage` quarantines corrupt interior lines to the
+    /// [`quarantine_path`] sidecar instead of refusing the file.
+    pub fn open_with_policy(
+        path: impl Into<PathBuf>,
+        cfg: &ExperimentConfig,
+        policy: OpenPolicy,
+    ) -> io::Result<Self> {
+        Self::open_impl(path.into(), cfg, crate::campaign::worker_count(), policy)
+    }
+
     /// [`PersistentCache::open`] with an explicit preload parallelism:
     /// record lines are split into per-worker chunks parsed concurrently
     /// (the bench's dominant preload cost is JSON parsing, which is
@@ -369,7 +549,15 @@ impl PersistentCache {
         cfg: &ExperimentConfig,
         workers: usize,
     ) -> io::Result<Self> {
-        let path = path.into();
+        Self::open_impl(path.into(), cfg, workers, OpenPolicy::Strict)
+    }
+
+    fn open_impl(
+        path: PathBuf,
+        cfg: &ExperimentConfig,
+        workers: usize,
+        policy: OpenPolicy,
+    ) -> io::Result<Self> {
         let config = ConfigKey::of(cfg);
         let cache = TrialCache::new();
         // Persistent caches journal fresh outcomes so each flush is
@@ -379,14 +567,24 @@ impl PersistentCache {
         let mut header_on_disk = false;
         let mut repair_len = None;
         let mut timed = Vec::new();
-        match std::fs::read_to_string(&path) {
-            Ok(text) => {
-                // Keep byte offsets so a torn tail can be truncated away.
-                let mut raw: Vec<(usize, bool, &str)> = Vec::new(); // (start, terminated, line)
+        let mut quarantined = 0;
+        // The read is byte-based, not `read_to_string`: a flipped bit can
+        // make a line invalid UTF-8, and that must be a per-line verdict
+        // (quarantinable under salvage), never a whole-file read error.
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                // Keep byte offsets so a torn tail can be truncated away and
+                // a quarantined line can name where it sat.
+                let mut raw: Vec<(usize, bool, &[u8])> = Vec::new(); // (start, terminated, line)
                 let mut start = 0;
-                for chunk in text.split_inclusive('\n') {
-                    let terminated = chunk.ends_with('\n');
-                    raw.push((start, terminated, chunk.trim_end_matches('\n')));
+                for chunk in bytes.split_inclusive(|&b| b == b'\n') {
+                    let terminated = chunk.last() == Some(&b'\n');
+                    let line = if terminated {
+                        &chunk[..chunk.len() - 1]
+                    } else {
+                        chunk
+                    };
+                    raw.push((start, terminated, line));
                     start += chunk.len();
                 }
                 // An unterminated final line is a torn append, whatever it
@@ -397,15 +595,15 @@ impl PersistentCache {
                         repair_len = Some(tail_start as u64);
                     }
                 }
-                let content: Vec<&str> = raw
+                let content: Vec<(usize, &[u8])> = raw
                     .iter()
-                    .filter(|(_, _, l)| !l.trim().is_empty())
-                    .map(|&(_, _, l)| l)
+                    .filter(|(_, _, l)| !l.iter().all(u8::is_ascii_whitespace))
+                    .map(|&(start, _, l)| (start, l))
                     .collect();
-                if let Some((&header_line, body)) = content.split_first() {
+                if let Some((&(_, header_line), body)) = content.split_first() {
                     // Only the file's very last line can be a kill artifact.
                     let header_is_tail = body.is_empty() && repair_len.is_some();
-                    match serde_json::from_str::<CacheHeader>(header_line) {
+                    match parse_header(header_line) {
                         // A torn header: the next flush truncates and
                         // rewrites it.
                         Ok(_) if header_is_tail => {}
@@ -423,11 +621,14 @@ impl PersistentCache {
                             header_on_disk = true;
                         }
                         Err(_) if header_is_tail => {}
-                        Err(_) => {
+                        // A corrupt header is unsalvageable: without the
+                        // config fingerprint the records cannot be trusted
+                        // to belong to this configuration at all.
+                        Err(reason) => {
                             return Err(io::Error::new(
                                 io::ErrorKind::InvalidData,
                                 format!(
-                                    "{}: not a persistent-cache file (no header)",
+                                    "{}: not a persistent-cache file ({reason})",
                                     path.display()
                                 ),
                             ));
@@ -438,24 +639,43 @@ impl PersistentCache {
                     } else {
                         (body, &[][..])
                     };
-                    // The bulk is known-good (any torn line was split off
-                    // above): parse it in parallel, then seed sequentially
-                    // so first-occurrence-wins ordering is preserved.
-                    let records = parse_records(bulk, workers).map_err(io::Error::other)?;
-                    for record in records {
-                        cache.seed(record.trial.clone(), record.outcome);
-                        if let Some(wall_us) = record.wall_us {
-                            timed.push((record.trial.clone(), wall_us));
+                    // Any torn line was split off above, so a bulk line that
+                    // fails to parse is genuine corruption: parse in
+                    // parallel, then seed sequentially so
+                    // first-occurrence-wins ordering is preserved.
+                    let mut kept: Vec<&[u8]> = Vec::with_capacity(bulk.len());
+                    let mut corrupt: Vec<(usize, &[u8], &'static str)> = Vec::new();
+                    for (&(offset, line), verdict) in bulk.iter().zip(parse_records(bulk, workers))
+                    {
+                        match verdict {
+                            Ok(record) => {
+                                kept.push(line);
+                                cache.seed(record.trial.clone(), record.outcome);
+                                if let Some(wall_us) = record.wall_us {
+                                    timed.push((record.trial.clone(), wall_us));
+                                }
+                                on_disk.insert(record.trial);
+                            }
+                            Err(reason) if policy == OpenPolicy::Strict => {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!(
+                                        "{}: corrupt record at byte {offset}: {reason} \
+                                         (open with the salvage policy to quarantine it)",
+                                        path.display()
+                                    ),
+                                ));
+                            }
+                            Err(reason) => corrupt.push((offset, line, reason)),
                         }
-                        on_disk.insert(record.trial);
                     }
                     // A parseable but unterminated tail line is seeded (no
                     // recompute), kept out of `on_disk`, and journaled so the
                     // next flush rewrites it after the truncation; a line torn
                     // mid-JSON is dropped and that one trial is recomputed by
                     // the resumed owner.
-                    for &line in tail {
-                        if let Ok(record) = serde_json::from_str::<TrialRecord>(line) {
+                    for &(_, line) in tail {
+                        if let Ok(record) = parse_line(line) {
                             cache.seed(record.trial.clone(), record.outcome.clone());
                             if let Some(wall_us) = record.wall_us {
                                 timed.push((record.trial.clone(), wall_us));
@@ -466,6 +686,14 @@ impl PersistentCache {
                                 record.wall_us,
                             );
                         }
+                    }
+                    if !corrupt.is_empty() {
+                        quarantined = corrupt.len();
+                        Self::salvage_rewrite(&path, header_line, &kept, &corrupt)?;
+                        // The rewrite dropped the torn tail with the corrupt
+                        // lines; a parseable tail is journaled above and
+                        // re-appended by the next flush.
+                        repair_len = None;
                     }
                 }
             }
@@ -482,7 +710,54 @@ impl PersistentCache {
             preloaded,
             repair_len,
             timed,
+            quarantined,
+            write_fault: None,
         })
+    }
+
+    /// The salvage arm of [`PersistentCache::open_with_policy`]: append the
+    /// corrupt lines (offset, reason, lossy text) to the quarantine sidecar,
+    /// then atomically rewrite the cache as header + valid records only —
+    /// tmp file + rename, the same crash-safety shape as `compact`, so a
+    /// kill mid-salvage leaves either the corrupt original (salvaged again
+    /// next open) or the clean rewrite, never a hybrid.
+    fn salvage_rewrite(
+        path: &Path,
+        header: &[u8],
+        kept: &[&[u8]],
+        corrupt: &[(usize, &[u8], &'static str)],
+    ) -> io::Result<()> {
+        let mut report = String::new();
+        for &(offset, line, reason) in corrupt {
+            let entry = QuarantineEntry {
+                offset: offset as u64,
+                length: line.len(),
+                reason: reason.to_string(),
+                line: String::from_utf8_lossy(line).into_owned(),
+            };
+            report.push_str(&serde_json::to_string(&entry).map_err(io::Error::other)?);
+            report.push('\n');
+        }
+        let mut sidecar = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(quarantine_path(path))?;
+        sidecar.write_all(report.as_bytes())?;
+        sidecar.flush()?;
+        let mut clean = Vec::with_capacity(header.len() + 1);
+        clean.extend_from_slice(header);
+        clean.push(b'\n');
+        for line in kept {
+            clean.extend_from_slice(line);
+            clean.push(b'\n');
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&clean)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
     }
 
     /// The underlying trial cache. Hand a clone to
@@ -500,6 +775,19 @@ impl PersistentCache {
     /// Number of records preloaded from disk at open.
     pub fn preloaded(&self) -> usize {
         self.preloaded
+    }
+
+    /// Number of corrupt interior lines moved to the quarantine sidecar at
+    /// open — always 0 under [`OpenPolicy::Strict`].
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
+    }
+
+    /// Routes every subsequent append through the given fault harness (a
+    /// clone shares state with the caller's handle). Test instrumentation:
+    /// production caches write straight through.
+    pub fn set_write_fault(&mut self, faults: FsFaults) {
+        self.write_fault = Some(faults);
     }
 
     /// The preloaded (trial, wall-time-µs) pairs — every record on disk
@@ -559,7 +847,8 @@ impl PersistentCache {
             };
             fresh.push(serde_json::to_string(&record).map_err(io::Error::other)?);
         }
-        // Sort the batch so two runs that computed the same outcomes write
+        // Sort the batch (by record payload — the checksum suffix is added
+        // after) so two runs that computed the same outcomes write
         // byte-identical files regardless of completion order.
         fresh.sort_unstable();
         let mut file = std::fs::OpenOptions::new()
@@ -575,25 +864,31 @@ impl PersistentCache {
         }
         // One newline-terminated write per batch: a kill can truncate the
         // batch (the torn tail the next open repairs) but never interleave
-        // or split a record across flushes.
+        // or split a record across flushes. Every line carries its checksum
+        // suffix so later corruption is detectable (and salvageable).
         let mut batch = String::new();
         if !self.header_on_disk {
             let header = CacheHeader {
                 config: self.config.clone(),
             };
-            batch.push_str(&serde_json::to_string(&header).map_err(io::Error::other)?);
+            let json = serde_json::to_string(&header).map_err(io::Error::other)?;
+            batch.push_str(&append_checksum(&json));
             batch.push('\n');
         }
         for line in &fresh {
-            batch.push_str(line);
+            batch.push_str(&append_checksum(line));
             batch.push('\n');
+        }
+        let mut bytes = batch.into_bytes();
+        if let Some(faults) = &self.write_fault {
+            faults.inject(&mut bytes)?;
         }
         // On a failed append (ENOSPC, EIO), truncate back to the pre-write
         // length: a partial batch must never survive as a torn *non-final*
         // line once a retried flush appends after it — open() would then
         // reject the file as corruption rather than repair it.
         let before = file.metadata()?.len();
-        if let Err(e) = file.write_all(batch.as_bytes()).and_then(|()| file.flush()) {
+        if let Err(e) = file.write_all(&bytes).and_then(|()| file.flush()) {
             let _ = file.set_len(before);
             return Err(e);
         }
@@ -636,7 +931,17 @@ impl PersistentCache {
         let mut lines = valid.lines().filter(|l| !l.trim().is_empty());
         let header = match lines.next() {
             Some(line) => {
-                serde_json::from_str::<CacheHeader>(line).map_err(|_| {
+                let (payload, status) = split_checksum(line);
+                if status == LineChecksum::Mismatch {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "{}: cache header failed its checksum; cannot compact",
+                            self.path.display()
+                        ),
+                    ));
+                }
+                serde_json::from_str::<CacheHeader>(payload).map_err(|_| {
                     io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!(
@@ -645,7 +950,12 @@ impl PersistentCache {
                         ),
                     )
                 })?;
-                line
+                // Checksummed lines are kept verbatim; a legacy line gains
+                // its suffix here, so a compacted file is fully protected.
+                match status {
+                    LineChecksum::Valid => line.to_string(),
+                    _ => append_checksum(payload),
+                }
             }
             None => {
                 return Ok(CompactStats {
@@ -657,12 +967,36 @@ impl PersistentCache {
         // First-occurrence-wins dedup, mirroring the preload's seed order.
         let mut records_before = 0;
         let mut seen = FxHashSet::default();
-        let mut kept: Vec<(Trial, &str)> = Vec::new();
+        let mut kept: Vec<(Trial, String)> = Vec::new();
         for line in lines {
             records_before += 1;
-            let record = serde_json::from_str::<TrialRecord>(line).map_err(io::Error::other)?;
+            let (payload, status) = split_checksum(line);
+            if status == LineChecksum::Mismatch {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: corrupt record line (checksum mismatch); \
+                         reopen with the salvage policy before compacting",
+                        self.path.display()
+                    ),
+                ));
+            }
+            let record = serde_json::from_str::<TrialRecord>(payload).map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: corrupt record line; \
+                         reopen with the salvage policy before compacting",
+                        self.path.display()
+                    ),
+                )
+            })?;
             if seen.insert(record.trial.clone()) {
-                kept.push((record.trial, line));
+                let encoded = match status {
+                    LineChecksum::Valid => line.to_string(),
+                    _ => append_checksum(payload),
+                };
+                kept.push((record.trial, encoded));
             }
         }
         let duplicates_dropped = records_before - kept.len();
@@ -680,7 +1014,7 @@ impl PersistentCache {
         }
         let kept = kept.split_off(evicted);
         let mut batch = String::with_capacity(valid.len());
-        batch.push_str(header);
+        batch.push_str(&header);
         batch.push('\n');
         for (_, line) in &kept {
             batch.push_str(line);
@@ -707,42 +1041,130 @@ impl PersistentCache {
             evicted,
         })
     }
+
+    /// Scans a cache file for integrity without opening it against a
+    /// configuration — the per-file engine of `rowpress-campaign fsck`.
+    /// Reports every corrupt line (offset + reason), the checksummed /
+    /// legacy line split, and whether the file ends in a repairable torn
+    /// tail. Never modifies the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the file cannot be read (a missing file is
+    /// [`io::ErrorKind::NotFound`], which directory-walking callers treat
+    /// as "past the last shard").
+    pub fn audit(path: impl AsRef<Path>) -> io::Result<CacheAudit> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)?;
+        let mut audit = CacheAudit::default();
+        let mut raw: Vec<(usize, &[u8])> = Vec::new();
+        let mut start = 0;
+        for chunk in bytes.split_inclusive(|&b| b == b'\n') {
+            let terminated = chunk.last() == Some(&b'\n');
+            let line = if terminated {
+                &chunk[..chunk.len() - 1]
+            } else {
+                chunk
+            };
+            if !terminated {
+                // A torn tail is a kill artifact the next open repairs, not
+                // corruption; it carries no countable record either way.
+                audit.torn_tail = true;
+            } else {
+                raw.push((start, line));
+            }
+            start += chunk.len();
+        }
+        let content: Vec<(usize, &[u8])> = raw
+            .into_iter()
+            .filter(|(_, l)| !l.iter().all(u8::is_ascii_whitespace))
+            .collect();
+        let Some((&(header_offset, header_line), body)) = content.split_first() else {
+            return Ok(audit);
+        };
+        match parse_header(header_line) {
+            Ok(_) => {
+                match split_checksum(std::str::from_utf8(header_line).expect("parsed header")).1 {
+                    LineChecksum::Valid => audit.checksummed += 1,
+                    _ => audit.legacy += 1,
+                }
+            }
+            Err(reason) => audit
+                .corrupt
+                .push((header_offset as u64, reason.to_string())),
+        }
+        for &(offset, line) in body {
+            match parse_line(line) {
+                Ok(_) => {
+                    audit.records += 1;
+                    let text = std::str::from_utf8(line).expect("parsed record");
+                    match split_checksum(text).1 {
+                        LineChecksum::Valid => audit.checksummed += 1,
+                        _ => audit.legacy += 1,
+                    }
+                }
+                Err(reason) => audit.corrupt.push((offset as u64, reason.to_string())),
+            }
+        }
+        Ok(audit)
+    }
 }
 
-/// Parses a slice of known-good record lines, splitting into per-worker
-/// chunks parsed on scoped threads. Chunking preserves order — the joined
-/// vector is exactly the sequential parse — and small inputs skip the
-/// threads entirely.
-fn parse_records(lines: &[&str], workers: usize) -> Result<Vec<TrialRecord>, serde_json::Error> {
+/// Classifies one record line: UTF-8 decode, checksum verification, JSON
+/// parse — the per-line verdict both open policies act on.
+fn parse_line(bytes: &[u8]) -> Result<TrialRecord, &'static str> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "invalid UTF-8")?;
+    let (payload, status) = split_checksum(text);
+    if status == LineChecksum::Mismatch {
+        return Err("checksum mismatch");
+    }
+    serde_json::from_str(payload).map_err(|_| "unparseable record")
+}
+
+/// Classifies the header line (same pipeline as [`parse_line`], different
+/// target type).
+fn parse_header(bytes: &[u8]) -> Result<CacheHeader, &'static str> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "invalid UTF-8")?;
+    let (payload, status) = split_checksum(text);
+    if status == LineChecksum::Mismatch {
+        return Err("header checksum mismatch");
+    }
+    serde_json::from_str(payload).map_err(|_| "no header")
+}
+
+/// Parses a slice of `(offset, line)` pairs into per-line verdicts,
+/// splitting into per-worker chunks parsed on scoped threads. Chunking
+/// preserves order — the joined vector is exactly the sequential parse —
+/// and small inputs skip the threads entirely.
+fn parse_records(
+    lines: &[(usize, &[u8])],
+    workers: usize,
+) -> Vec<Result<TrialRecord, &'static str>> {
     /// Below this many lines per worker, thread spawn overhead beats the
     /// parse time it saves.
     const MIN_LINES_PER_WORKER: usize = 128;
     let workers = workers.min(lines.len() / MIN_LINES_PER_WORKER).max(1);
     if workers <= 1 {
-        return lines
-            .iter()
-            .map(|line| serde_json::from_str::<TrialRecord>(line))
-            .collect();
+        return lines.iter().map(|&(_, line)| parse_line(line)).collect();
     }
     let chunk_len = lines.len().div_ceil(workers);
-    let parsed = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = lines
             .chunks(chunk_len)
             .map(|chunk| {
                 scope.spawn(move || {
                     chunk
                         .iter()
-                        .map(|line| serde_json::from_str::<TrialRecord>(line))
-                        .collect::<Result<Vec<_>, _>>()
+                        .map(|&(_, line)| parse_line(line))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|handle| handle.join().expect("preload worker"))
-            .collect::<Result<Vec<_>, _>>()
-    })?;
-    Ok(parsed.into_iter().flatten().collect())
+            .flat_map(|handle| handle.join().expect("preload worker"))
+            .collect()
+    })
 }
 
 impl Drop for PersistentCache {
@@ -1010,14 +1432,18 @@ mod tests {
             .iter()
             .all(|(t, _)| plan.trials().contains(t)));
 
-        // A file written before wall-time capture (no `wall_us` field)
-        // still preloads in full — it just yields no samples.
+        // A file written before wall-time capture (no `wall_us` field) and
+        // before line checksums still preloads in full — it just yields no
+        // samples. (Stripping the suffix here also exercises the legacy
+        // checksum-less parse path end to end.)
         let mut legacy = String::new();
         for (position, line) in text.lines().enumerate() {
+            let (payload, status) = split_checksum(line);
+            assert_eq!(status, LineChecksum::Valid, "{line}");
             if position == 0 {
-                legacy.push_str(line);
+                legacy.push_str(payload);
             } else {
-                let mut record = serde_json::from_str::<TrialRecord>(line).unwrap();
+                let mut record = serde_json::from_str::<TrialRecord>(payload).unwrap();
                 record.wall_us = None;
                 let stripped = serde_json::to_string(&record).unwrap();
                 assert!(!stripped.contains("wall_us"));
@@ -1209,6 +1635,215 @@ mod tests {
         let stats = persistent.compact(None).unwrap();
         assert_eq!(stats.records_after, plan.len() - 1);
         assert!(PersistentCache::open(&path, &cfg).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Byte offset of the start of content line `index` (0 = header).
+    fn line_offset(text: &str, index: usize) -> usize {
+        text.split_inclusive('\n').take(index).map(str::len).sum()
+    }
+
+    #[test]
+    fn strict_open_rejects_a_corrupt_interior_line_as_invalid_data() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let path = temp_path("strict");
+        {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+        }
+        // Flip one bit in the middle of the *second* record line: interior
+        // corruption, not a torn tail.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        let target = line_offset(&text, 2) + 10;
+        bytes[target] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = PersistentCache::open(&path, &cfg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let offset = line_offset(&text, 2);
+        assert!(
+            err.to_string().contains(&format!("byte {offset}")),
+            "error names the corrupt line's offset: {err}"
+        );
+        assert!(err.to_string().contains("salvage"), "{err}");
+        // Strict never touches the file or creates a quarantine.
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        assert!(!quarantine_path(&path).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn salvage_open_quarantines_exactly_the_corrupt_line() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let path = temp_path("salvage");
+        {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        let offset = line_offset(&text, 2);
+        bytes[offset + 10] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Salvage recovers every other record and quarantines exactly one
+        // line, recording where it sat.
+        let persistent =
+            PersistentCache::open_with_policy(&path, &cfg, OpenPolicy::Salvage).unwrap();
+        assert_eq!(persistent.preloaded(), plan.len() - 1);
+        assert_eq!(persistent.quarantined(), 1);
+        let sidecar = std::fs::read_to_string(quarantine_path(&path)).unwrap();
+        assert_eq!(sidecar.lines().count(), 1);
+        let entry: QuarantineEntry = serde_json::from_str(sidecar.lines().next().unwrap()).unwrap();
+        assert_eq!(entry.offset, offset as u64);
+        assert_eq!(entry.reason, "checksum mismatch");
+        assert_eq!(entry.length, text.lines().nth(2).unwrap().len());
+        drop(persistent);
+
+        // The rewritten cache is clean: a strict reopen succeeds and only
+        // the quarantined trial recomputes.
+        let audit = PersistentCache::audit(&path).unwrap();
+        assert!(audit.clean(), "{audit:?}");
+        assert_eq!(audit.records, plan.len() - 1);
+        let persistent = PersistentCache::open(&path, &cfg).unwrap();
+        assert_eq!(persistent.preloaded(), plan.len() - 1);
+        let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+        engine.run_collect(&plan).unwrap();
+        assert_eq!(
+            engine.cache().misses(),
+            1,
+            "one record was lost, not the file"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(quarantine_path(&path)).ok();
+    }
+
+    #[test]
+    fn salvage_open_on_a_clean_file_changes_nothing() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let path = temp_path("salvage-clean");
+        {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+        }
+        let before = std::fs::read(&path).unwrap();
+        let persistent =
+            PersistentCache::open_with_policy(&path, &cfg, OpenPolicy::Salvage).unwrap();
+        assert_eq!(persistent.preloaded(), plan.len());
+        assert_eq!(persistent.quarantined(), 0);
+        drop(persistent);
+        assert_eq!(std::fs::read(&path).unwrap(), before, "no rewrite");
+        assert!(!quarantine_path(&path).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_enospc_fails_flushes_until_space_returns() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let path = temp_path("enospc");
+        let faults = FsFaults::new().enospc_at(0);
+        let mut persistent = PersistentCache::open(&path, &cfg).unwrap();
+        persistent.set_write_fault(faults.clone());
+        let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+        engine.run_collect(&plan).unwrap();
+        let err = persistent.flush().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(faults.written(), 0);
+        // The unwritten outcomes stayed pending: once space returns, the
+        // retried flush writes every record.
+        faults.clear_enospc();
+        assert_eq!(persistent.flush().unwrap(), plan.len());
+        assert!(faults.written() > 0);
+        drop(persistent);
+        let reopened = PersistentCache::open(&path, &cfg).unwrap();
+        assert_eq!(reopened.preloaded(), plan.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_flip_is_caught_by_checksums_and_salvaged() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let path = temp_path("flip");
+        // Aim the flip 10 bytes into the first *record* line — the header
+        // length is deterministic, so the position is exact.
+        let header_json = serde_json::to_string(&CacheHeader {
+            config: ConfigKey::of(&cfg),
+        })
+        .unwrap();
+        let flip_at = (append_checksum(&header_json).len() + 1 + 10) as u64;
+        let faults = FsFaults::new().flip_at(flip_at);
+        {
+            let mut persistent = PersistentCache::open(&path, &cfg).unwrap();
+            persistent.set_write_fault(faults.clone());
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+            persistent.flush().unwrap();
+        }
+        // The write "succeeded" but the medium lied: strict open refuses,
+        // salvage recovers all but the corrupted record.
+        let err = PersistentCache::open(&path, &cfg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let persistent =
+            PersistentCache::open_with_policy(&path, &cfg, OpenPolicy::Salvage).unwrap();
+        assert_eq!(persistent.preloaded(), plan.len() - 1);
+        assert_eq!(persistent.quarantined(), 1);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(quarantine_path(&path)).ok();
+    }
+
+    #[test]
+    fn audit_classifies_checksummed_legacy_torn_and_corrupt_lines() {
+        let cfg = cfg();
+        let plan = acmin_plan(&cfg);
+        let path = temp_path("audit");
+        {
+            let persistent = PersistentCache::open(&path, &cfg).unwrap();
+            let engine = Engine::new(&cfg).with_persistent_cache(&persistent);
+            engine.run_collect(&plan).unwrap();
+        }
+        // A freshly written file is fully checksummed and clean.
+        let audit = PersistentCache::audit(&path).unwrap();
+        assert!(audit.clean() && !audit.torn_tail);
+        assert_eq!(audit.records, plan.len());
+        assert_eq!(audit.checksummed, plan.len() + 1, "records + header");
+        assert_eq!(audit.legacy, 0);
+
+        // Strip the suffix from one record: a legacy line, still clean.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stripped: String = text
+            .lines()
+            .enumerate()
+            .map(|(i, line)| {
+                let payload = if i == 1 { split_checksum(line).0 } else { line };
+                format!("{payload}\n")
+            })
+            .collect();
+        std::fs::write(&path, &stripped).unwrap();
+        let audit = PersistentCache::audit(&path).unwrap();
+        assert!(audit.clean());
+        assert_eq!((audit.legacy, audit.records), (1, plan.len()));
+
+        // Corrupt an interior byte and tear the tail: one corrupt line with
+        // its offset, plus the (repairable, not corrupt) torn-tail flag.
+        let mut bytes = stripped.clone().into_bytes();
+        let offset = line_offset(&stripped, 2);
+        bytes[offset + 3] ^= 0x01;
+        bytes.truncate(bytes.len() - 4);
+        std::fs::write(&path, &bytes).unwrap();
+        let audit = PersistentCache::audit(&path).unwrap();
+        assert!(audit.torn_tail);
+        assert_eq!(audit.corrupt.len(), 1, "{audit:?}");
+        assert_eq!(audit.corrupt[0].0, offset as u64);
+        assert!(!audit.clean());
         std::fs::remove_file(&path).ok();
     }
 

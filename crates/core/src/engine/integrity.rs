@@ -1,0 +1,197 @@
+//! Per-line integrity primitives for the JSONL artifacts a campaign writes.
+//!
+//! A multi-day characterization campaign stores its only irreplaceable
+//! state in append-only JSONL files: the shards' persistent caches and the
+//! merged record stream. PR 5/6 made those files survive *clean* kills
+//! (torn-tail repair, atomic compaction); this module is the substrate for
+//! surviving *dirty* failures — a flipped bit on disk, a partial sector, a
+//! corrupted interior line — by making every line carry a checksum of its
+//! own payload.
+//!
+//! The framing is a plain-text suffix, `<payload>#crc32=xxxxxxxx`, chosen
+//! so that:
+//!
+//! * legacy lines (no suffix) still parse — readers call
+//!   [`split_checksum`] and get [`LineChecksum::Absent`], never an error;
+//! * a checksummed line is still one line of valid-looking text — `grep`,
+//!   `wc -l` and the torn-tail logic keep working unchanged;
+//! * a JSON payload can never be mistaken for a suffixed one: serialized
+//!   records end in `}`, while the suffix ends in 8 hex digits after a
+//!   literal `#crc32=` tag.
+//!
+//! The checksum is CRC-32 (IEEE 802.3, the reflected 0xEDB88320
+//! polynomial) — the point is detecting storage-level corruption, not
+//! adversaries, and CRC-32 catches every single-bit flip and all burst
+//! errors up to 32 bits, which is exactly the failure model of a torn or
+//! bit-rotted sector.
+
+/// The text tag that introduces a line checksum suffix.
+pub const CRC_TAG: &str = "#crc32=";
+
+/// CRC-32 lookup table (reflected 0xEDB88320), built at compile time.
+static CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+/// Streaming CRC-32 state, for input that arrives in pieces (the per-line
+/// tracker inside [`CrcLineWriter`](super::CrcLineWriter)). Feed bytes with
+/// [`Crc32::update`]; [`Crc32::finish`] reads the digest without consuming
+/// the state.
+#[derive(Debug, Clone)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Fresh state (the CRC of zero bytes finishes to 0).
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 = (self.0 >> 8) ^ CRC32_TABLE[((self.0 ^ u32::from(byte)) & 0xFF) as usize];
+        }
+    }
+
+    /// The digest of everything updated so far.
+    pub fn finish(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What [`split_checksum`] found at the end of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineChecksum {
+    /// No checksum suffix — a legacy line; the payload is the whole line.
+    Absent,
+    /// A suffix whose checksum matches the payload.
+    Valid,
+    /// A suffix whose checksum does **not** match the payload: the line was
+    /// corrupted after it was written (or torn mid-suffix).
+    Mismatch,
+}
+
+/// Appends the checksum suffix to `payload`, producing one protected line
+/// (without the trailing newline).
+pub fn append_checksum(payload: &str) -> String {
+    format!("{payload}{CRC_TAG}{:08x}", crc32(payload.as_bytes()))
+}
+
+/// Splits a line into its payload and checksum verdict. Lines without the
+/// `#crc32=xxxxxxxx` suffix are legacy ([`LineChecksum::Absent`]) and
+/// returned whole; the suffix shape is strict (exactly 8 lowercase hex
+/// digits), so a payload that happens to contain the tag mid-line is never
+/// mis-split.
+pub fn split_checksum(line: &str) -> (&str, LineChecksum) {
+    let Some(split) = line.len().checked_sub(CRC_TAG.len() + 8) else {
+        return (line, LineChecksum::Absent);
+    };
+    if !line.is_char_boundary(split) || !line[split..].starts_with(CRC_TAG) {
+        return (line, LineChecksum::Absent);
+    }
+    let hex = &line[split + CRC_TAG.len()..];
+    if !hex
+        .bytes()
+        .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return (line, LineChecksum::Absent);
+    }
+    let payload = &line[..split];
+    let Ok(expected) = u32::from_str_radix(hex, 16) else {
+        return (line, LineChecksum::Absent);
+    };
+    if crc32(payload.as_bytes()) == expected {
+        (payload, LineChecksum::Valid)
+    } else {
+        (payload, LineChecksum::Mismatch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_reference_vector() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn checksums_round_trip_and_detect_single_bit_flips() {
+        let payload = r#"{"trial":{"module":"S3"},"outcome":"x"}"#;
+        let line = append_checksum(payload);
+        assert!(line.starts_with(payload) && line.contains(CRC_TAG));
+        assert_eq!(split_checksum(&line), (payload, LineChecksum::Valid));
+
+        // Flip every single bit of the payload in turn: all must be caught.
+        let bytes = line.as_bytes();
+        for position in 0..payload.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.to_vec();
+                corrupt[position] ^= 1 << bit;
+                let Ok(text) = String::from_utf8(corrupt) else {
+                    continue; // non-UTF-8 corruption is caught upstream
+                };
+                let (_, status) = split_checksum(&text);
+                assert_eq!(status, LineChecksum::Mismatch, "bit {bit} @ {position}");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_lines_and_decoy_suffixes_are_absent_not_errors() {
+        assert_eq!(
+            split_checksum(r#"{"plain":"json"}"#),
+            (r#"{"plain":"json"}"#, LineChecksum::Absent)
+        );
+        assert_eq!(split_checksum(""), ("", LineChecksum::Absent));
+        // A tag with the wrong digit count or uppercase hex is not a suffix.
+        assert_eq!(split_checksum("x#crc32=abc").1, LineChecksum::Absent);
+        assert_eq!(split_checksum("x#crc32=ABCDEF01").1, LineChecksum::Absent);
+        // The tag appearing mid-payload (inside a JSON string) does not
+        // confuse the splitter: only a trailing suffix counts.
+        let tricky = r##"{"note":"#crc32=deadbeef"}"##;
+        assert_eq!(split_checksum(tricky), (tricky, LineChecksum::Absent));
+    }
+
+    #[test]
+    fn a_torn_suffix_degrades_to_a_legacy_line() {
+        let line = append_checksum("{\"a\":1}");
+        // Cut mid-suffix: no longer matches the strict shape, so the line
+        // reads as a (corrupt, unparseable-as-JSON) legacy line — the JSON
+        // parse then rejects it, which is the correct verdict for a tear.
+        let torn = &line[..line.len() - 3];
+        assert_eq!(split_checksum(torn).1, LineChecksum::Absent);
+    }
+}

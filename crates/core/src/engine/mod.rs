@@ -21,7 +21,12 @@
 //! * [`cache`] — the in-process [`TrialCache`] (shared per configuration via
 //!   [`Engine::shared`]) and the [`PersistentCache`] that preloads and
 //!   flushes trial outcomes through a JSONL file, so a *new* process replays
-//!   warm instead of recomputing.
+//!   warm instead of recomputing. Opens take an [`OpenPolicy`] — strict, or
+//!   salvage corrupt lines into a quarantine sidecar.
+//! * [`integrity`] — per-line CRC-32 checksums: every cache line carries a
+//!   `#crc32=` suffix, [`CrcLineWriter`] produces the merged output's `.crc`
+//!   sidecar, and `PersistentCache::audit` is the file-integrity scan behind
+//!   `rowpress-campaign fsck`.
 //! * [`sink`] — the [`Sink`] consumers of the record stream: [`MemorySink`],
 //!   [`JsonlSink`], the [`ThreadedSink`] background-writer adapter that
 //!   decouples slow I/O from the pool, and the [`JsonlReader`] that parses
@@ -71,15 +76,19 @@
 //! ```
 
 pub mod cache;
+pub mod integrity;
 pub mod plan;
 pub mod schedule;
 pub mod sink;
 pub mod worker;
 
-pub use cache::{CompactStats, PersistentCache, TrialCache};
+pub use cache::{
+    quarantine_path, CacheAudit, CompactStats, FsFaults, OpenPolicy, PersistentCache, TrialCache,
+};
+pub use integrity::{append_checksum, crc32, split_checksum, Crc32, LineChecksum};
 pub use plan::{
     Jitter, Measurement, Plan, PlanBuilder, Trial, TrialOutcome, TrialRecord, TEST_BANK,
 };
 pub use schedule::{CostModel, SchedulePolicy};
-pub use sink::{FramedSink, JsonlReader, JsonlSink, MemorySink, Sink, ThreadedSink};
+pub use sink::{CrcLineWriter, FramedSink, JsonlReader, JsonlSink, MemorySink, Sink, ThreadedSink};
 pub use worker::{lookup_module, run_trial, run_trial_reference, Engine, EngineError, PoolMetrics};

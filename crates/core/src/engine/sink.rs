@@ -36,6 +36,7 @@
 //! # Ok::<(), rowpress_dram::DramError>(())
 //! ```
 
+use super::integrity::Crc32;
 use super::plan::{Plan, TrialRecord};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Write};
@@ -187,6 +188,77 @@ impl<W: Write> Sink for FramedSink<W> {
 
     fn finish(&mut self) -> io::Result<()> {
         self.writer.lock().expect("framed sink writer lock").flush()
+    }
+}
+
+/// A [`Write`] adapter that passes bytes through *unchanged* while recording
+/// the CRC-32 of every newline-terminated line (the newline itself is
+/// excluded, matching the cache's per-line checksums) — the producer of the
+/// merged output's `.crc` sidecar.
+///
+/// The wrapped stream is byte-identical to the unwrapped one: the merged
+/// JSONL is a golden, byte-pinned artifact, so its integrity data rides in
+/// a sidecar file instead of inline suffixes.
+///
+/// ```
+/// use rowpress_core::engine::{crc32, CrcLineWriter};
+/// use std::io::Write;
+///
+/// let mut writer = CrcLineWriter::new(Vec::new());
+/// writer.write_all(b"alpha\nbravo\n").unwrap();
+/// assert_eq!(writer.crcs(), [crc32(b"alpha"), crc32(b"bravo")]);
+/// assert_eq!(writer.into_inner(), b"alpha\nbravo\n");
+/// ```
+#[derive(Debug)]
+pub struct CrcLineWriter<W: Write> {
+    inner: W,
+    line: Crc32,
+    crcs: Vec<u32>,
+}
+
+impl<W: Write> CrcLineWriter<W> {
+    /// Wraps a writer.
+    pub fn new(inner: W) -> Self {
+        CrcLineWriter {
+            inner,
+            line: Crc32::new(),
+            crcs: Vec::new(),
+        }
+    }
+
+    /// The CRC of each completed line so far, in stream order.
+    pub fn crcs(&self) -> &[u32] {
+        &self.crcs
+    }
+
+    /// The sidecar text: one 8-digit lowercase-hex CRC per completed line,
+    /// in stream order.
+    pub fn sidecar(&self) -> String {
+        self.crcs.iter().map(|crc| format!("{crc:08x}\n")).collect()
+    }
+
+    /// Consumes the adapter, returning the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for CrcLineWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let written = self.inner.write(buf)?;
+        for &byte in &buf[..written] {
+            if byte == b'\n' {
+                self.crcs.push(self.line.finish());
+                self.line = Crc32::new();
+            } else {
+                self.line.update(&[byte]);
+            }
+        }
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -505,6 +577,32 @@ mod tests {
         assert!(JsonlReader::new(BufReader::new(bad.as_bytes()))
             .read_all()
             .is_err());
+    }
+
+    #[test]
+    fn crc_line_writer_is_transparent_and_tracks_per_line_crcs() {
+        use super::super::integrity::crc32;
+        let cfg = cfg();
+        let plan = all_variant_plan(&cfg);
+        let engine = Engine::new(&cfg);
+        let baseline = {
+            let mut sink = JsonlSink::new(Vec::new());
+            engine.run(&plan, &mut sink).unwrap();
+            sink.into_inner()
+        };
+        let mut sink = JsonlSink::new(CrcLineWriter::new(Vec::new()));
+        engine.run(&plan, &mut sink).unwrap();
+        let writer = sink.into_inner();
+        let crcs = writer.crcs().to_vec();
+        let sidecar = writer.sidecar();
+        let bytes = writer.into_inner();
+        assert_eq!(bytes, baseline, "the wrapper must not change the stream");
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(crcs.len(), text.lines().count(), "one CRC per record line");
+        for ((line, &crc), sidecar_line) in text.lines().zip(&crcs).zip(sidecar.lines()) {
+            assert_eq!(crc32(line.as_bytes()), crc);
+            assert_eq!(sidecar_line, format!("{crc:08x}"));
+        }
     }
 
     #[test]
